@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) for the primitives every experiment
+// leans on: SHA-256 / HMAC (NoCDN integrity + accounting), Reed-Solomon
+// encode/decode (attic backup), the event queue, and simulated-TCP
+// throughput in events and bytes per wall-second. These bound how large a
+// simulated world the harness can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "net/topology.hpp"
+#include "transport/mux.hpp"
+#include "util/erasure.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+using namespace hpop;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  util::Bytes data(size, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_HmacSign(benchmark::State& state) {
+  const util::Bytes key = util::to_bytes("short-term-key");
+  const util::Bytes msg = util::to_bytes(
+      "nytimes|7|1234|99|1048576|12");  // a usage record's canonical form
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::hmac_sha256(key, msg));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  util::ReedSolomon rs(k, m);
+  util::Rng rng(1);
+  util::Bytes data(64 * 1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ReedSolomonEncode)->Args({4, 2})->Args({6, 3})->Args({10, 4});
+
+void BM_ReedSolomonDecode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  util::ReedSolomon rs(k, m);
+  util::Rng rng(1);
+  util::Bytes data(64 * 1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto shards = rs.encode(data);
+  std::vector<std::optional<util::Bytes>> damaged(shards.begin(),
+                                                  shards.end());
+  for (int i = 0; i < m; ++i) damaged[static_cast<std::size_t>(i)].reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(damaged, data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ReedSolomonDecode)->Args({4, 2})->Args({10, 4});
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    std::function<void()> tick = [&] {
+      if (++counter < 10000) sim.schedule(util::kMicrosecond, tick);
+    };
+    sim.schedule(0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_SimulatedTcpTransfer(benchmark::State& state) {
+  const auto mb = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim, util::Rng(11));
+    const net::PathParams params{1 * util::kGbps, 5 * util::kMillisecond,
+                                 0.0, 16 << 20};
+    auto path = net::make_two_host_path(net, params, params);
+    transport::TransportMux mux_a(*path.a), mux_b(*path.b);
+    auto listener = mux_b.tcp_listen(80);
+    std::uint64_t received = 0;
+    listener->set_on_accept(
+        [&](std::shared_ptr<transport::TcpConnection> c) {
+          c->set_on_bytes([&](std::size_t n) { received += n; });
+        });
+    auto client = mux_a.tcp_connect({path.b->address(), 80});
+    client->set_on_established([&] { client->send_bytes(mb << 20); });
+    sim.run_until(60 * util::kSecond);
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mb << 20));
+}
+BENCHMARK(BM_SimulatedTcpTransfer)->Arg(1)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

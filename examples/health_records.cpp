@@ -1,0 +1,144 @@
+// The §IV-A1 case study end-to-end: a patient aggregates electronic health
+// records from multiple providers in their home data attic. Each provider
+// gets a one-time "QR code" grant; from then on its record system
+// duplicates every write into the patient's attic. When an emergency
+// strikes, the complete history is one query away — versus a release form
+// (and days of waiting) per provider.
+
+#include <cstdio>
+
+#include "attic/health.hpp"
+#include "attic/webdav.hpp"
+#include "net/topology.hpp"
+#include "util/logging.hpp"
+
+using namespace hpop;
+
+int main() {
+  util::set_log_level(util::LogLevel::kInfo);
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(7));
+
+  net::Router& core = net.add_router("core");
+  const net::Home home =
+      net::make_home(net, "home", core, 1, net::NatConfig::full_cone(),
+                    net::PathParams{1 * util::kGbps, 2 * util::kMillisecond});
+  std::vector<net::Host*> provider_hosts;
+  for (const char* name : {"mercy-hospital", "lakeside-clinic", "dr-patel"}) {
+    provider_hosts.push_back(&net.add_host(name, net.next_public_address()));
+    net.connect(*provider_hosts.back(), provider_hosts.back()->address(),
+                core, net::IpAddr{},
+                net::LinkParams{1 * util::kGbps, 10 * util::kMillisecond});
+  }
+  net::Host& er = net.add_host("emergency-room", net.next_public_address());
+  net.connect(er, er.address(), core, net::IpAddr{},
+              net::LinkParams{1 * util::kGbps, 8 * util::kMillisecond});
+  net.auto_route();
+
+  // The patient's HPoP + attic. (Home NAT: publish via UPnP.)
+  core::HpopConfig config;
+  config.household = "alice";
+  config.reachability.home_gateway = home.nat;
+  core::Hpop hpop(*home.hosts[0], config);
+  attic::AtticService attic_service(hpop);
+  hpop.boot();
+  sim.run_until(5 * util::kSecond);
+
+  // One-time bootstrapping per provider: hand over the QR code.
+  std::vector<std::unique_ptr<transport::TransportMux>> muxes;
+  std::vector<std::unique_ptr<http::HttpClient>> https;
+  std::vector<std::unique_ptr<attic::HealthProviderSystem>> providers;
+  const char* names[] = {"mercy-hospital", "lakeside-clinic", "dr-patel"};
+  for (int i = 0; i < 3; ++i) {
+    muxes.push_back(
+        std::make_unique<transport::TransportMux>(*provider_hosts[i]));
+    https.push_back(std::make_unique<http::HttpClient>(*muxes.back()));
+    providers.push_back(std::make_unique<attic::HealthProviderSystem>(
+        names[i], *https.back(), sim));
+    const attic::ProviderGrant grant =
+        attic::issue_provider_grant(attic_service, names[i]);
+    const std::string qr = grant.encode();
+    std::printf("[grant] QR code for %s (%zu chars)\n", names[i], qr.size());
+    if (!providers.back()->link_patient("alice", qr).ok()) {
+      std::printf("link failed!\n");
+      return 1;
+    }
+  }
+
+  // Years of medical history accumulate; every record lands in the attic
+  // as a side effect of the provider's normal writes.
+  const char* kinds[] = {"lab", "imaging", "visit-note", "prescription"};
+  int written = 0;
+  for (int month = 0; month < 12; ++month) {
+    for (int p = 0; p < 3; ++p) {
+      if ((month + p) % 2 == 0) continue;  // irregular visits
+      attic::HealthRecord record;
+      record.patient = "alice";
+      record.record_id =
+          "2026-" + std::to_string(month + 1) + "-" + kinds[month % 4];
+      record.kind = kinds[month % 4];
+      record.content = http::Body(std::string(names[p]) + " " + record.kind +
+                                  " for month " + std::to_string(month + 1));
+      providers[static_cast<std::size_t>(p)]->add_record(record);
+      ++written;
+    }
+    sim.run_for(util::kDay);
+  }
+  sim.run_until(sim.now() + 10 * util::kSecond);
+  std::printf("[history] %d records written across 3 providers; attic holds "
+              "%zu files\n",
+              written, attic_service.store().file_count());
+
+  // --- Emergency: the ER needs the complete history NOW. ---
+  // The patient (or a relative with the emergency capability) grants the
+  // ER read access to the whole record tree.
+  const auto er_cap = hpop.tokens().issue(
+      "alice", "/records", /*allow_write=*/false,
+      sim.now() + 24 * util::kHour);
+  transport::TransportMux er_mux(er);
+  http::HttpClient er_http(er_mux);
+  attic::AtticClient er_attic(er_http,
+                              {home.nat->public_ip(), 443},
+                              core::TokenAuthority::encode(er_cap));
+  attic::PatientHealthView er_view(er_attic);
+
+  const util::TimePoint emergency_start = sim.now();
+  er_view.aggregate([&](util::Result<attic::PatientHealthView::Aggregated>
+                            result) {
+    if (!result.ok()) {
+      std::printf("[ER] aggregation failed: %s\n",
+                  result.error().message.c_str());
+      return;
+    }
+    const double ms = util::to_millis(sim.now() - emergency_start);
+    std::printf("[ER] complete history (%zu records from %zu providers) "
+                "available in %.1f ms:\n",
+                result.value().total, result.value().by_provider.size(), ms);
+    for (const auto& [provider, records] : result.value().by_provider) {
+      std::printf("  %-16s %zu records\n", provider.c_str(), records.size());
+    }
+    // Conventional path for comparison: a records release per provider.
+    util::Duration conventional = 0;
+    for (const auto& p : providers) {
+      conventional = std::max(conventional, p->release_delay);
+    }
+    std::printf("[ER] conventional per-provider release would take ~%.0f "
+                "hours (and misses defunct providers entirely)\n",
+                util::to_seconds(conventional) / 3600.0);
+  });
+  sim.run_until(sim.now() + 30 * util::kSecond);
+
+  // The ER's capability cannot write or stray outside /records.
+  er_attic.put("/records/mercy-hospital/forged", http::Body("tamper"),
+               [](util::Result<std::string> r) {
+                 std::printf("[ER] attempted write -> %s (as it should be)\n",
+                             r.ok() ? "ACCEPTED?!" : r.error().code.c_str());
+               });
+  er_attic.get("/photos/private.jpg",
+               [](util::Result<attic::AtticClient::File> r) {
+                 std::printf("[ER] attempted snoop -> %s (as it should be)\n",
+                             r.ok() ? "ACCEPTED?!" : r.error().code.c_str());
+               });
+  sim.run_until(sim.now() + 10 * util::kSecond);
+  return 0;
+}

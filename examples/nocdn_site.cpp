@@ -1,0 +1,117 @@
+// NoCDN (§IV-B, Fig. 2): a content provider recruits household HPoPs as
+// edge servers — no third-party CDN. Shows the wrapper-page workflow, the
+// origin off-load, hash verification catching a corrupting peer, and the
+// signed usage records that settle payment.
+
+#include <cstdio>
+
+#include "net/topology.hpp"
+#include "nocdn/loader.hpp"
+#include "nocdn/origin.hpp"
+#include "nocdn/peer.hpp"
+
+using namespace hpop;
+using namespace hpop::nocdn;
+
+int main() {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(42));
+
+  net::Router& core = net.add_router("core");
+  net::Host& origin_host = net.add_host("nyt-origin",
+                                        net.next_public_address());
+  net.connect(origin_host, origin_host.address(), core, net::IpAddr{},
+              net::LinkParams{1 * util::kGbps, 30 * util::kMillisecond});
+  std::vector<net::Host*> peer_hosts;
+  for (int i = 0; i < 4; ++i) {
+    peer_hosts.push_back(&net.add_host("hpop-peer" + std::to_string(i),
+                                       net.next_public_address()));
+    net.connect(*peer_hosts.back(), peer_hosts.back()->address(), core,
+                net::IpAddr{},
+                net::LinkParams{1 * util::kGbps, 4 * util::kMillisecond});
+  }
+  net::Host& reader = net.add_host("reader", net.next_public_address());
+  net.connect(reader, reader.address(), core, net::IpAddr{},
+              net::LinkParams{300 * util::kMbps, 4 * util::kMillisecond});
+  net.auto_route();
+
+  // The origin and its content.
+  transport::TransportMux origin_mux(origin_host);
+  OriginConfig config;
+  config.provider = "nytimes";
+  config.payment = PaymentModel::kPerByte;
+  OriginServer origin(origin_mux, config, util::Rng(1));
+  PageSpec page;
+  page.path = "/news/today";
+  page.container_url = "/news/today.html";
+  origin.add_object({page.container_url, http::Body::synthetic(45 * 1024, 1)});
+  for (int i = 0; i < 6; ++i) {
+    const std::string url = "/news/asset" + std::to_string(i);
+    page.embedded_urls.push_back(url);
+    origin.add_object({url, http::Body::synthetic((80 + 50 * i) * 1024,
+                                                  100 + i)});
+  }
+  origin.add_page(page);
+
+  // Recruit four household peers (their HPoPs run the reverse proxy).
+  std::vector<std::unique_ptr<transport::TransportMux>> peer_muxes;
+  std::vector<std::unique_ptr<PeerProxy>> peers;
+  for (int i = 0; i < 4; ++i) {
+    peer_muxes.push_back(
+        std::make_unique<transport::TransportMux>(*peer_hosts[i]));
+    peers.push_back(std::make_unique<PeerProxy>(*peer_muxes.back(), 8080,
+                                                util::Rng(100 + i)));
+    const std::uint64_t id = origin.recruit_peer(peers.back()->endpoint());
+    peers.back()->signup(
+        ProviderSignup{"nytimes", id, {origin_host.address(), 80}});
+    peers.back()->start_usage_uploads(30 * util::kSecond);
+  }
+
+  // One of them turns malicious halfway through.
+  transport::TransportMux reader_mux(reader);
+  http::HttpClient reader_http(reader_mux);
+  LoaderClient loader(reader_http, {origin_host.address(), 80}, "nytimes");
+
+  std::printf("=== NoCDN demo: 10 page views, peer #2 turns corrupt at "
+              "view 5 ===\n");
+  int view = 0;
+  std::function<void()> next_view = [&] {
+    if (view == 5) {
+      std::printf("--- peer #2 starts corrupting content ---\n");
+      peers[2]->set_behavior(PeerBehavior{.corrupt_content = true});
+    }
+    if (view >= 10) return;
+    ++view;
+    loader.load_page("/news/today", [&](PageLoadResult result) {
+      std::printf(
+          "view %2d: %s in %6.1f ms | peers %6.1f KB, origin %5.1f KB, "
+          "hash failures %d\n",
+          view, result.success ? "ok " : "FAIL",
+          util::to_millis(result.load_time),
+          result.bytes_from_peers / 1024.0,
+          result.bytes_from_origin / 1024.0, result.verification_failures);
+      sim.schedule(5 * util::kSecond, next_view);
+    });
+  };
+  next_view();
+  sim.run_until(200 * util::kSecond);
+
+  for (auto& peer : peers) peer->upload_usage_now();
+  sim.run_until(sim.now() + 10 * util::kSecond);
+
+  std::printf("\n=== settlement ===\n");
+  for (const auto& [peer_id, account] : origin.ledger().accounts()) {
+    std::printf(
+        "peer %llu: credited %8.1f KB over %zu views, rejected %llu, trust "
+        "%.2f, payout $%.6f\n",
+        static_cast<unsigned long long>(peer_id),
+        account.bytes_credited / 1024.0, account.distinct_keys.size(),
+        static_cast<unsigned long long>(account.records_rejected),
+        origin.peer_trust(peer_id), origin.ledger().payout(peer_id));
+  }
+  std::printf("origin served %llu objects directly (cache fills + "
+              "verification fallbacks), %llu wrapper pages\n",
+              static_cast<unsigned long long>(origin.stats().objects_served),
+              static_cast<unsigned long long>(origin.stats().wrapper_pages));
+  return 0;
+}

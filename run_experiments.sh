@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerates every experiment (DESIGN.md S3 / EXPERIMENTS.md) in one go.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build
+for b in build/bench/*; do "$b"; done

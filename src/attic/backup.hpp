@@ -1,0 +1,98 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attic/client.hpp"
+#include "util/erasure.hpp"
+
+namespace hpop::attic {
+
+/// Symmetric encryption for backup shards: HMAC-SHA256 counter-mode
+/// keystream XORed over the plaintext, with an integrity MAC. (A stand-in
+/// for AES-GCM with the same interface obligations: confidentiality from
+/// the key, tamper detection from the tag.)
+struct Sealed {
+  util::Bytes ciphertext;
+  std::uint64_t nonce = 0;
+  util::Digest mac{};
+};
+Sealed seal(const util::Bytes& key, const util::Bytes& plaintext,
+            std::uint64_t nonce);
+util::Result<util::Bytes> unseal(const util::Bytes& key, const Sealed& box);
+
+/// §IV-A "Data Availability": "replicating the entire HPoP to attics
+/// belonging to friends and relatives, or redundantly encoding the
+/// contents — e.g., using erasure codes — and storing pieces with a
+/// variety of peers."
+///
+/// Shards are encrypted before leaving the home, placed under
+/// /backup/<owner>/<file-key>/shard-<i> in peer attics, and a local
+/// manifest records how to reassemble. restore() succeeds whenever at
+/// least k of the k+m shard-holding peers respond.
+class BackupManager {
+ public:
+  enum class Strategy { kReplication, kErasure };
+
+  BackupManager(std::string owner, http::HttpClient& http,
+                util::Bytes key)
+      : owner_(std::move(owner)), http_(http), key_(std::move(key)) {}
+
+  /// Registers a peer attic (friend/relative HPoP) with a capability
+  /// scoped to our backup directory there.
+  void add_peer(net::Endpoint endpoint, const std::string& capability);
+  std::size_t peers() const { return peers_.size(); }
+
+  using BackupCallback = std::function<void(util::Status)>;
+  /// Replication: k=1, writes `m`+1 full encrypted copies. Erasure: writes
+  /// k+m Reed-Solomon shards, one per peer (round-robin placement).
+  void backup(const std::string& file_key, const http::Body& content,
+              Strategy strategy, int k, int m, BackupCallback cb);
+
+  using RestoreCallback = std::function<void(util::Result<http::Body>)>;
+  void restore(const std::string& file_key, RestoreCallback cb);
+
+  struct ManifestEntry {
+    Strategy strategy = Strategy::kErasure;
+    int k = 1;
+    int m = 0;
+    std::size_t original_size = 0;
+    bool synthetic = false;
+    std::uint64_t synthetic_tag = 0;
+    std::uint64_t nonce = 0;
+    util::Digest content_digest{};
+    /// shard index -> peer index (into peers_).
+    std::vector<int> placement;
+  };
+  const std::map<std::string, ManifestEntry>& manifest() const {
+    return manifest_;
+  }
+
+  struct Stats {
+    std::uint64_t shards_written = 0;
+    std::uint64_t shard_write_failures = 0;
+    std::uint64_t restores_ok = 0;
+    std::uint64_t restores_failed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Peer {
+    net::Endpoint endpoint;
+    std::unique_ptr<AtticClient> client;
+  };
+  std::string shard_path(const std::string& file_key, int index) const;
+
+  std::string owner_;
+  http::HttpClient& http_;
+  util::Bytes key_;
+  std::vector<Peer> peers_;
+  std::map<std::string, ManifestEntry> manifest_;
+  std::uint64_t next_nonce_ = 1;
+  std::size_t next_peer_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hpop::attic

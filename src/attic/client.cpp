@@ -1,0 +1,181 @@
+#include "attic/client.hpp"
+
+#include "attic/webdav.hpp"
+
+namespace hpop::attic {
+
+http::Request AtticClient::base(http::Method method,
+                                const std::string& path) const {
+  http::Request req;
+  req.method = method;
+  req.path = std::string(AtticService::kPrefix) + path;
+  req.headers.set("X-Capability", capability_);
+  return req;
+}
+
+namespace {
+util::Error to_error(const http::Response& resp, const std::string& what) {
+  switch (resp.status) {
+    case 401: return {"unauthorized", what};
+    case 403: return {"forbidden", what};
+    case 404: return {"not_found", what};
+    case 412: return {"conflict", what + ": etag mismatch"};
+    case 423: return {"locked", what + ": path locked"};
+    case 507: return {"quota_exceeded", what};
+    default:
+      return {"http_" + std::to_string(resp.status), what};
+  }
+}
+}  // namespace
+
+void AtticClient::get(const std::string& path, FileCallback cb) {
+  http_.fetch(endpoint_, base(http::Method::kGet, path),
+              [cb](util::Result<http::Response> result) {
+                if (!result.ok()) {
+                  cb(util::Result<File>(result.error()));
+                  return;
+                }
+                const http::Response& resp = result.value();
+                if (!resp.ok()) {
+                  cb(util::Result<File>(to_error(resp, "GET failed")));
+                  return;
+                }
+                cb(File{resp.body, resp.headers.get("etag").value_or("")});
+              });
+}
+
+void AtticClient::get_range(const std::string& path, std::size_t offset,
+                            std::size_t length, FileCallback cb) {
+  http::Request req = base(http::Method::kGet, path);
+  http::set_range(req.headers, offset, length);
+  http_.fetch(endpoint_, std::move(req),
+              [cb](util::Result<http::Response> result) {
+                if (!result.ok()) {
+                  cb(util::Result<File>(result.error()));
+                  return;
+                }
+                const http::Response& resp = result.value();
+                if (!resp.ok()) {
+                  cb(util::Result<File>(to_error(resp, "range GET failed")));
+                  return;
+                }
+                cb(File{resp.body, resp.headers.get("etag").value_or("")});
+              });
+}
+
+void AtticClient::put(const std::string& path, http::Body content,
+                      EtagCallback cb, const std::string& if_match,
+                      const std::string& lock_token) {
+  http::Request req = base(http::Method::kPut, path);
+  req.body = std::move(content);
+  if (!if_match.empty()) req.headers.set("If-Match", if_match);
+  if (!lock_token.empty()) req.headers.set("If", lock_token);
+  http_.fetch(endpoint_, std::move(req),
+              [cb](util::Result<http::Response> result) {
+                if (!result.ok()) {
+                  cb(util::Result<std::string>(result.error()));
+                  return;
+                }
+                const http::Response& resp = result.value();
+                if (!resp.ok()) {
+                  cb(util::Result<std::string>(to_error(resp, "PUT failed")));
+                  return;
+                }
+                cb(resp.headers.get("etag").value_or(""));
+              });
+}
+
+void AtticClient::remove(const std::string& path, StatusCallback cb) {
+  http_.fetch(endpoint_, base(http::Method::kDelete, path),
+              [cb](util::Result<http::Response> result) {
+                if (!result.ok()) {
+                  cb(util::Status(result.error()));
+                  return;
+                }
+                cb(result.value().ok()
+                       ? util::Status::success()
+                       : util::Status(to_error(result.value(),
+                                               "DELETE failed")));
+              });
+}
+
+void AtticClient::mkdir(const std::string& path, StatusCallback cb) {
+  http_.fetch(endpoint_, base(http::Method::kMkcol, path),
+              [cb](util::Result<http::Response> result) {
+                if (!result.ok()) {
+                  cb(util::Status(result.error()));
+                  return;
+                }
+                cb(result.value().ok()
+                       ? util::Status::success()
+                       : util::Status(to_error(result.value(),
+                                               "MKCOL failed")));
+              });
+}
+
+void AtticClient::list(const std::string& path, ListCallback cb) {
+  http_.fetch(
+      endpoint_, base(http::Method::kPropfind, path),
+      [cb](util::Result<http::Response> result) {
+        if (!result.ok()) {
+          cb(util::Result<std::vector<std::string>>(result.error()));
+          return;
+        }
+        const http::Response& resp = result.value();
+        if (resp.status != 207) {
+          cb(util::Result<std::vector<std::string>>(
+              to_error(resp, "PROPFIND failed")));
+          return;
+        }
+        std::vector<std::string> entries;
+        const std::string body = resp.body.text();
+        std::size_t start = 0;
+        while (start < body.size()) {
+          const std::size_t end = body.find('\n', start);
+          const std::string line =
+              body.substr(start, end == std::string::npos
+                                     ? std::string::npos
+                                     : end - start);
+          if (!line.empty()) entries.push_back(line);
+          if (end == std::string::npos) break;
+          start = end + 1;
+        }
+        cb(entries);
+      });
+}
+
+void AtticClient::lock(const std::string& path, LockCallback cb) {
+  http_.fetch(endpoint_, base(http::Method::kLock, path),
+              [cb](util::Result<http::Response> result) {
+                if (!result.ok()) {
+                  cb(util::Result<std::string>(result.error()));
+                  return;
+                }
+                const http::Response& resp = result.value();
+                if (!resp.ok()) {
+                  cb(util::Result<std::string>(
+                      to_error(resp, "LOCK failed")));
+                  return;
+                }
+                cb(resp.headers.get("lock-token").value_or(""));
+              });
+}
+
+void AtticClient::unlock(const std::string& path, const std::string& token,
+                         StatusCallback cb) {
+  http::Request req = base(http::Method::kUnlock, path);
+  req.headers.set("Lock-Token", token);
+  http_.fetch(endpoint_, std::move(req),
+              [cb](util::Result<http::Response> result) {
+                if (!result.ok()) {
+                  cb(util::Status(result.error()));
+                  return;
+                }
+                cb(result.value().status == 204
+                       ? util::Status::success()
+                       : util::Status(to_error(result.value(),
+                                               "UNLOCK failed")));
+              });
+}
+
+}  // namespace hpop::attic

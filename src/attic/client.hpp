@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "http/client.hpp"
+
+namespace hpop::attic {
+
+/// Remote attic access: the typed client every external party uses — the
+/// household's own devices, SaaS applications acting on attic data
+/// (Fig. 1), and medical providers pushing records (§IV-A1).
+class AtticClient {
+ public:
+  /// `endpoint` is where the HPoP is reachable (possibly a TURN relay);
+  /// `capability` the encoded token authorizing this party's scope.
+  AtticClient(http::HttpClient& http, net::Endpoint endpoint,
+              std::string capability)
+      : http_(http), endpoint_(endpoint), capability_(std::move(capability)) {}
+
+  struct File {
+    http::Body content;
+    std::string etag;
+  };
+  using FileCallback = std::function<void(util::Result<File>)>;
+  using EtagCallback = std::function<void(util::Result<std::string>)>;
+  using StatusCallback = std::function<void(util::Status)>;
+  using ListCallback =
+      std::function<void(util::Result<std::vector<std::string>>)>;
+  using LockCallback = std::function<void(util::Result<std::string>)>;
+
+  void get(const std::string& path, FileCallback cb);
+  void get_range(const std::string& path, std::size_t offset,
+                 std::size_t length, FileCallback cb);
+  /// `if_match`: empty = unconditional; otherwise the expected etag
+  /// (fails with "conflict" on mismatch). `lock_token` if a lock is held.
+  void put(const std::string& path, http::Body content, EtagCallback cb,
+           const std::string& if_match = "",
+           const std::string& lock_token = "");
+  void remove(const std::string& path, StatusCallback cb);
+  void mkdir(const std::string& path, StatusCallback cb);
+  void list(const std::string& path, ListCallback cb);
+  void lock(const std::string& path, LockCallback cb);
+  void unlock(const std::string& path, const std::string& token,
+              StatusCallback cb);
+
+  net::Endpoint endpoint() const { return endpoint_; }
+
+ private:
+  http::Request base(http::Method method, const std::string& path) const;
+
+  http::HttpClient& http_;
+  net::Endpoint endpoint_;
+  std::string capability_;
+};
+
+}  // namespace hpop::attic

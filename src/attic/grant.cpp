@@ -1,0 +1,68 @@
+#include "attic/grant.hpp"
+
+#include <sstream>
+
+#include "attic/webdav.hpp"
+#include "util/encoding.hpp"
+
+namespace hpop::attic {
+
+std::string ProviderGrant::encode() const {
+  std::ostringstream os;
+  os << attic_endpoint.ip.value << ":" << attic_endpoint.port << "|"
+     << capability << "|" << directory;
+  return util::base64_encode(util::to_bytes(os.str()));
+}
+
+util::Result<ProviderGrant> ProviderGrant::decode(const std::string& qr) {
+  const auto raw = util::base64_decode(qr);
+  if (!raw.ok()) {
+    return util::Result<ProviderGrant>::failure("bad_encoding",
+                                                "QR payload not base64");
+  }
+  const std::string text = util::to_string(raw.value());
+  const auto bar1 = text.find('|');
+  const auto bar2 = text.find('|', bar1 + 1);
+  if (bar1 == std::string::npos || bar2 == std::string::npos) {
+    return util::Result<ProviderGrant>::failure("bad_format",
+                                                "wrong field count");
+  }
+  ProviderGrant grant;
+  const std::string ep = text.substr(0, bar1);
+  const auto colon = ep.find(':');
+  if (colon == std::string::npos) {
+    return util::Result<ProviderGrant>::failure("bad_format", "bad endpoint");
+  }
+  grant.attic_endpoint.ip =
+      net::IpAddr(static_cast<std::uint32_t>(std::stoul(ep.substr(0, colon))));
+  grant.attic_endpoint.port =
+      static_cast<std::uint16_t>(std::stoul(ep.substr(colon + 1)));
+  grant.capability = text.substr(bar1 + 1, bar2 - bar1 - 1);
+  grant.directory = text.substr(bar2 + 1);
+  return grant;
+}
+
+ProviderGrant issue_provider_grant(AtticService& attic,
+                                   const std::string& provider_name,
+                                   util::Duration validity) {
+  core::Hpop& hpop = attic.hpop();
+  const std::string directory = "/records/" + provider_name;
+  attic.store().mkdir(directory);
+
+  const auto cap = hpop.tokens().issue(
+      hpop.household(), directory, /*allow_write=*/true,
+      hpop.simulator().now() + validity);
+
+  ProviderGrant grant;
+  // Prefer the public advertisement (post-boot); fall back to the direct
+  // address for appliances on open networks that never needed traversal.
+  grant.attic_endpoint =
+      hpop.advertisement().method == traversal::ReachMethod::kUnreachable
+          ? net::Endpoint{hpop.host().address(), hpop.service_port()}
+          : hpop.advertisement().endpoint;
+  grant.capability = core::TokenAuthority::encode(cap);
+  grant.directory = directory;
+  return grant;
+}
+
+}  // namespace hpop::attic

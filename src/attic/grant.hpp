@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "hpop/appliance.hpp"
+
+namespace hpop::attic {
+
+class AtticService;
+
+/// The §IV-A1 bootstrap artifact: "the data attic will issue a QR code that
+/// includes all information needed to access the correct portion of the
+/// user's data attic — i.e., everything from the IP address of the data
+/// attic to the proper initial credentials to the location of the files
+/// within the attic."
+///
+/// We carry the same triple {endpoint, capability, directory}; encode()
+/// yields the string a QR code would hold.
+struct ProviderGrant {
+  net::Endpoint attic_endpoint;
+  std::string capability;  // encoded, scoped to the provider directory
+  std::string directory;   // e.g. "/records/mercy-hospital"
+
+  std::string encode() const;
+  static util::Result<ProviderGrant> decode(const std::string& qr);
+};
+
+/// Issues a grant for a named provider: creates the provider's directory
+/// and a write-scoped capability, bound to the HPoP's current public
+/// endpoint.
+ProviderGrant issue_provider_grant(AtticService& attic,
+                                   const std::string& provider_name,
+                                   util::Duration validity = 365 *
+                                                             util::kDay);
+
+}  // namespace hpop::attic

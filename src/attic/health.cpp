@@ -1,0 +1,84 @@
+#include "attic/health.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::attic {
+
+util::Status HealthProviderSystem::link_patient(const std::string& patient,
+                                                const std::string& qr_code) {
+  auto grant = ProviderGrant::decode(qr_code);
+  if (!grant.ok()) {
+    return util::Status(grant.error());
+  }
+  LinkedPatient link;
+  link.grant = grant.value();
+  link.attic = std::make_unique<AtticClient>(
+      http_, link.grant.attic_endpoint, link.grant.capability);
+  linked_[patient] = std::move(link);
+  HPOP_LOG(kInfo, "health") << name_ << " linked patient " << patient
+                            << " -> " << grant.value().directory;
+  return util::Status::success();
+}
+
+void HealthProviderSystem::add_record(HealthRecord record, WriteCallback cb) {
+  record.created = sim_.now();
+  store_[record.patient].push_back(record);
+
+  const auto it = linked_.find(record.patient);
+  if (it == linked_.end()) {
+    // Not linked: local copy only (the pre-attic world).
+    if (cb) cb(util::Status::success());
+    return;
+  }
+  // The storage driver's duplicated write (§IV-A1): local copy kept for
+  // regulatory requirements, attic copy pushed to the patient.
+  const std::string path =
+      it->second.grant.directory + "/" + record.record_id;
+  ++attic_writes_;
+  it->second.attic->put(path, record.content,
+                        [this, cb](util::Result<std::string> etag) {
+                          if (!etag.ok()) {
+                            ++attic_write_failures_;
+                            if (cb) cb(util::Status(etag.error()));
+                            return;
+                          }
+                          if (cb) cb(util::Status::success());
+                        });
+}
+
+std::vector<HealthRecord> HealthProviderSystem::local_records(
+    const std::string& patient) const {
+  const auto it = store_.find(patient);
+  return it == store_.end() ? std::vector<HealthRecord>{} : it->second;
+}
+
+void PatientHealthView::aggregate(AggregateCallback cb) {
+  attic_.list("/records", [this, cb](
+                              util::Result<std::vector<std::string>> dirs) {
+    if (!dirs.ok()) {
+      cb(util::Result<Aggregated>(dirs.error()));
+      return;
+    }
+    auto result = std::make_shared<Aggregated>();
+    auto remaining = std::make_shared<int>(
+        static_cast<int>(dirs.value().size()));
+    if (*remaining == 0) {
+      cb(*result);
+      return;
+    }
+    for (const std::string& dir : dirs.value()) {
+      // "/records/<provider>"
+      const std::string provider = dir.substr(dir.find_last_of('/') + 1);
+      attic_.list(dir, [cb, result, remaining, provider](
+                           util::Result<std::vector<std::string>> records) {
+        if (records.ok()) {
+          result->by_provider[provider] = records.value();
+          result->total += records.value().size();
+        }
+        if (--*remaining == 0) cb(*result);
+      });
+    }
+  });
+}
+
+}  // namespace hpop::attic

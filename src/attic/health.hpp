@@ -1,0 +1,98 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attic/client.hpp"
+#include "attic/grant.hpp"
+
+namespace hpop::attic {
+
+/// One electronic health record, as the provider's EHR system stores it.
+struct HealthRecord {
+  std::string patient;
+  std::string record_id;
+  std::string kind;  // "lab", "imaging", "visit-note", ...
+  http::Body content;
+  util::TimePoint created = 0;
+};
+
+/// A medical provider's record system (§IV-A1). Linked patients have
+/// handed over a grant ("QR code"); the provider's storage driver then
+/// *duplicates* every write — one copy into the provider's own store (the
+/// regulatory copy) and one into the patient's home attic.
+class HealthProviderSystem {
+ public:
+  HealthProviderSystem(std::string name, http::HttpClient& http,
+                       sim::Simulator& sim)
+      : name_(std::move(name)), http_(http), sim_(sim) {}
+
+  /// One-time bootstrapping with a patient's grant.
+  util::Status link_patient(const std::string& patient,
+                            const std::string& qr_code);
+  bool patient_linked(const std::string& patient) const {
+    return linked_.count(patient) > 0;
+  }
+
+  /// Writes a record: local store always; attic copy when linked.
+  using WriteCallback = std::function<void(util::Status)>;
+  void add_record(HealthRecord record, WriteCallback cb = nullptr);
+
+  /// The provider-side view (what a records request to this provider
+  /// returns, after its administrative release delay).
+  std::vector<HealthRecord> local_records(const std::string& patient) const;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t attic_writes() const { return attic_writes_; }
+  std::uint64_t attic_write_failures() const { return attic_write_failures_; }
+
+  /// Administrative latency of a conventional per-provider records release
+  /// (signing forms, faxing, waiting) — §IV-A1's pain point. Exposed so
+  /// experiments can model realistic distributions around it.
+  util::Duration release_delay = 2 * util::kDay;
+
+ private:
+  struct LinkedPatient {
+    ProviderGrant grant;
+    std::unique_ptr<AtticClient> attic;
+  };
+
+  std::string name_;
+  http::HttpClient& http_;
+  sim::Simulator& sim_;
+  std::map<std::string, std::vector<HealthRecord>> store_;  // by patient
+  std::map<std::string, LinkedPatient> linked_;
+  std::uint64_t attic_writes_ = 0;
+  std::uint64_t attic_write_failures_ = 0;
+};
+
+/// The patient's side: aggregates their complete history from their own
+/// attic — one round trip to their HPoP instead of a release form per
+/// provider.
+class PatientHealthView {
+ public:
+  explicit PatientHealthView(AtticClient& attic) : attic_(attic) {}
+
+  struct Aggregated {
+    /// provider -> record paths found.
+    std::map<std::string, std::vector<std::string>> by_provider;
+    std::size_t total = 0;
+  };
+  using AggregateCallback = std::function<void(util::Result<Aggregated>)>;
+  /// Walks /records/<provider>/<record>; completes when all listed
+  /// directories are enumerated.
+  void aggregate(AggregateCallback cb);
+
+  using RecordCallback =
+      std::function<void(util::Result<AtticClient::File>)>;
+  void fetch_record(const std::string& path, RecordCallback cb) {
+    attic_.get(path, std::move(cb));
+  }
+
+ private:
+  AtticClient& attic_;
+};
+
+}  // namespace hpop::attic

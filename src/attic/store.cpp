@@ -1,0 +1,116 @@
+#include "attic/store.hpp"
+
+#include <set>
+
+namespace hpop::attic {
+
+std::string AtticStore::normalize(const std::string& path) {
+  std::string p = path;
+  if (p.empty() || p.front() != '/') p.insert(p.begin(), '/');
+  while (p.size() > 1 && p.back() == '/') p.pop_back();
+  return p;
+}
+
+std::string AtticStore::parent_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == 0 || pos == std::string::npos) return "/";
+  return path.substr(0, pos);
+}
+
+std::string AtticStore::make_etag() {
+  return "\"v" + std::to_string(++etag_counter_) + "\"";
+}
+
+util::Result<std::string> AtticStore::put(const std::string& path,
+                                          http::Body content,
+                                          util::TimePoint now) {
+  const std::string p = normalize(path);
+  const std::size_t incoming = content.size();
+  const auto it = files_.find(p);
+  const std::size_t replacing =
+      it != files_.end() && !it->second.versions.empty()
+          ? it->second.versions.back().content.size()
+          : 0;
+  if (used_ + incoming - replacing > quota_) {
+    return util::Result<std::string>::failure("quota_exceeded",
+                                              "attic quota exhausted");
+  }
+  // Auto-create the directory chain.
+  for (std::string dir = parent_of(p); dirs_.insert(dir).second && dir != "/";
+       dir = parent_of(dir)) {
+  }
+
+  FileVersion version;
+  version.content = std::move(content);
+  version.etag = make_etag();
+  version.modified = now;
+  used_ += incoming;
+  files_[p].versions.push_back(version);
+  return version.etag;
+}
+
+util::Result<FileVersion> AtticStore::get(const std::string& path) const {
+  const auto it = files_.find(normalize(path));
+  if (it == files_.end() || it->second.versions.empty()) {
+    return util::Result<FileVersion>::failure("not_found", path);
+  }
+  return it->second.versions.back();
+}
+
+util::Result<std::vector<FileVersion>> AtticStore::history(
+    const std::string& path) const {
+  const auto it = files_.find(normalize(path));
+  if (it == files_.end()) {
+    return util::Result<std::vector<FileVersion>>::failure("not_found", path);
+  }
+  return it->second.versions;
+}
+
+util::Status AtticStore::remove(const std::string& path) {
+  const auto it = files_.find(normalize(path));
+  if (it == files_.end()) {
+    return util::Status::failure("not_found", path);
+  }
+  for (const FileVersion& v : it->second.versions) {
+    used_ -= v.content.size();
+  }
+  files_.erase(it);
+  return util::Status::success();
+}
+
+bool AtticStore::exists(const std::string& path) const {
+  return files_.count(normalize(path)) > 0;
+}
+
+void AtticStore::mkdir(const std::string& path) {
+  const std::string p = normalize(path);
+  for (std::string dir = p; dirs_.insert(dir).second && dir != "/";
+       dir = parent_of(dir)) {
+  }
+}
+
+bool AtticStore::dir_exists(const std::string& path) const {
+  return dirs_.count(normalize(path)) > 0;
+}
+
+std::vector<std::string> AtticStore::list(const std::string& dir_path) const {
+  const std::string dir = normalize(dir_path);
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  std::set<std::string> children;
+  auto collect = [&](const std::string& path) {
+    if (path.rfind(prefix, 0) != 0 || path == dir) return;
+    const std::string rest = path.substr(prefix.size());
+    const auto slash = rest.find('/');
+    children.insert(prefix +
+                    (slash == std::string::npos ? rest
+                                                : rest.substr(0, slash)));
+  };
+  for (const auto& [path, entry] : files_) {
+    (void)entry;
+    collect(path);
+  }
+  for (const auto& d : dirs_) collect(d);
+  return {children.begin(), children.end()};
+}
+
+}  // namespace hpop::attic

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace hpop::attic {
+
+/// One stored version of a file. The attic keeps history so applications
+/// (and reconciliation after offline edits) can reason about change.
+struct FileVersion {
+  http::Body content;
+  std::string etag;
+  util::TimePoint modified = 0;
+};
+
+/// The attic's versioned object store: a path-keyed namespace with
+/// directories, per-file version history, and a byte quota. This is the
+/// "application-agnostic interface to user data" of §IV-A — WebDAV, the
+/// wrap driver, backup and Internet@home all operate on it.
+class AtticStore {
+ public:
+  explicit AtticStore(std::size_t quota_bytes = 64ull << 30)
+      : quota_(quota_bytes) {}
+
+  /// Writes a new version; creates parent directories implicitly.
+  util::Result<std::string> put(const std::string& path, http::Body content,
+                                util::TimePoint now);
+  util::Result<FileVersion> get(const std::string& path) const;
+  /// Full version history, oldest first.
+  util::Result<std::vector<FileVersion>> history(const std::string& path) const;
+  util::Status remove(const std::string& path);
+  bool exists(const std::string& path) const;
+  void mkdir(const std::string& path);
+  bool dir_exists(const std::string& path) const;
+
+  /// Immediate children (files and directories) of a directory path.
+  std::vector<std::string> list(const std::string& dir_path) const;
+
+  std::size_t used_bytes() const { return used_; }
+  std::size_t quota_bytes() const { return quota_; }
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  struct FileEntry {
+    std::vector<FileVersion> versions;
+  };
+  static std::string normalize(const std::string& path);
+  static std::string parent_of(const std::string& path);
+  std::string make_etag();
+
+  std::size_t quota_;
+  std::size_t used_ = 0;
+  std::uint64_t etag_counter_ = 0;
+  std::map<std::string, FileEntry> files_;
+  std::set<std::string> dirs_{"/"};
+};
+
+}  // namespace hpop::attic

@@ -1,0 +1,246 @@
+#include "attic/webdav.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::attic {
+
+using http::Method;
+using http::Request;
+using http::Response;
+using http::ResponseWriter;
+
+AtticService::AtticService(core::Hpop& hpop, std::size_t quota_bytes)
+    : hpop_(hpop), store_(quota_bytes) {
+  hpop_.register_service("attic", "WebDAV data attic");
+  install_routes();
+}
+
+std::string AtticService::owner_token(util::Duration validity) {
+  const auto cap = hpop_.tokens().issue(hpop_.household(), "/", true,
+                                        hpop_.simulator().now() + validity);
+  return core::TokenAuthority::encode(cap);
+}
+
+std::string AtticService::store_path(const std::string& request_path) {
+  std::string p = request_path.substr(std::string(kPrefix).size());
+  if (p.empty()) p = "/";
+  return p;
+}
+
+bool AtticService::authorize(const Request& req, bool write_access,
+                             Response& resp) {
+  const auto header = req.headers.get("x-capability");
+  if (!header) {
+    resp.status = 401;
+    ++stats_.auth_failures;
+    return false;
+  }
+  const auto cap = core::TokenAuthority::decode(*header);
+  if (!cap.ok()) {
+    resp.status = 401;
+    ++stats_.auth_failures;
+    return false;
+  }
+  const auto status =
+      hpop_.tokens().verify(cap.value(), store_path(req.path), write_access,
+                            hpop_.simulator().now());
+  if (!status.ok()) {
+    resp.status = status.error().code == "out_of_scope" ||
+                          status.error().code == "read_only"
+                      ? 403
+                      : 401;
+    resp.body = http::Body(status.error().message);
+    ++stats_.auth_failures;
+    return false;
+  }
+  return true;
+}
+
+bool AtticService::lock_blocks(const std::string& path, const Request& req) {
+  const auto it = locks_.find(path);
+  if (it == locks_.end()) return false;
+  if (it->second.expires < hpop_.simulator().now()) {
+    locks_.erase(it);
+    return false;
+  }
+  const auto held = req.headers.get("if");  // "If: (<token>)" simplified
+  return !held || *held != it->second.token;
+}
+
+void AtticService::install_routes() {
+  auto& server = hpop_.http_server();
+
+  server.route(Method::kGet, kPrefix,
+               [this](const Request& req, ResponseWriter& w) {
+                 Response resp;
+                 if (!authorize(req, false, resp)) {
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 ++stats_.gets;
+                 const auto file = store_.get(store_path(req.path));
+                 if (!file.ok()) {
+                   resp.status = 404;
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 const FileVersion& v = file.value();
+                 if (req.headers.get("if-none-match") == v.etag) {
+                   resp.status = 304;
+                   resp.headers.set("ETag", v.etag);
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 resp.headers.set("ETag", v.etag);
+                 if (const auto range =
+                         http::parse_range(req.headers, v.content.size())) {
+                   resp.status = 206;
+                   resp.body = v.content.slice(range->first, range->second);
+                 } else {
+                   resp.body = v.content;
+                 }
+                 w.respond(std::move(resp));
+               });
+
+  server.route(Method::kPut, kPrefix,
+               [this](const Request& req, ResponseWriter& w) {
+                 Response resp;
+                 if (!authorize(req, true, resp)) {
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 const std::string path = store_path(req.path);
+                 if (lock_blocks(path, req)) {
+                   ++stats_.lock_conflicts;
+                   resp.status = 423;
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 // Conditional write: detects lost-update conflicts during
+                 // offline reconciliation.
+                 if (const auto expected = req.headers.get("if-match")) {
+                   const auto current = store_.get(path);
+                   if (!current.ok() || current.value().etag != *expected) {
+                     resp.status = 412;
+                     w.respond(std::move(resp));
+                     return;
+                   }
+                 }
+                 ++stats_.puts;
+                 const auto etag = store_.put(path, req.body,
+                                              hpop_.simulator().now());
+                 if (!etag.ok()) {
+                   resp.status = 507;  // insufficient storage
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 resp.status = 201;
+                 resp.headers.set("ETag", etag.value());
+                 w.respond(std::move(resp));
+               });
+
+  server.route(Method::kDelete, kPrefix,
+               [this](const Request& req, ResponseWriter& w) {
+                 Response resp;
+                 if (!authorize(req, true, resp)) {
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 const std::string path = store_path(req.path);
+                 if (lock_blocks(path, req)) {
+                   ++stats_.lock_conflicts;
+                   resp.status = 423;
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 resp.status = store_.remove(path).ok() ? 204 : 404;
+                 w.respond(std::move(resp));
+               });
+
+  server.route(Method::kMkcol, kPrefix,
+               [this](const Request& req, ResponseWriter& w) {
+                 Response resp;
+                 if (!authorize(req, true, resp)) {
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 store_.mkdir(store_path(req.path));
+                 resp.status = 201;
+                 w.respond(std::move(resp));
+               });
+
+  server.route(Method::kPropfind, kPrefix,
+               [this](const Request& req, ResponseWriter& w) {
+                 Response resp;
+                 if (!authorize(req, false, resp)) {
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 const std::string path = store_path(req.path);
+                 std::string body;
+                 if (store_.dir_exists(path)) {
+                   for (const std::string& child : store_.list(path)) {
+                     body += child + "\n";
+                   }
+                 } else {
+                   const auto file = store_.get(path);
+                   if (!file.ok()) {
+                     resp.status = 404;
+                     w.respond(std::move(resp));
+                     return;
+                   }
+                   body = path + " etag=" + file.value().etag + " size=" +
+                          std::to_string(file.value().content.size()) + "\n";
+                 }
+                 resp.status = 207;
+                 resp.body = http::Body(body);
+                 w.respond(std::move(resp));
+               });
+
+  server.route(Method::kLock, kPrefix,
+               [this](const Request& req, ResponseWriter& w) {
+                 Response resp;
+                 if (!authorize(req, true, resp)) {
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 const std::string path = store_path(req.path);
+                 if (lock_blocks(path, req)) {
+                   ++stats_.lock_conflicts;
+                   resp.status = 423;
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 Lock lock;
+                 lock.token =
+                     "opaquelocktoken:" + std::to_string(next_lock_++);
+                 lock.expires =
+                     hpop_.simulator().now() + 5 * util::kMinute;
+                 resp.headers.set("Lock-Token", lock.token);
+                 locks_[path] = std::move(lock);
+                 resp.status = 200;
+                 w.respond(std::move(resp));
+               });
+
+  server.route(Method::kUnlock, kPrefix,
+               [this](const Request& req, ResponseWriter& w) {
+                 Response resp;
+                 if (!authorize(req, true, resp)) {
+                   w.respond(std::move(resp));
+                   return;
+                 }
+                 const std::string path = store_path(req.path);
+                 const auto it = locks_.find(path);
+                 const auto held = req.headers.get("lock-token");
+                 if (it != locks_.end() && held &&
+                     *held == it->second.token) {
+                   locks_.erase(it);
+                   resp.status = 204;
+                 } else {
+                   resp.status = 409;
+                 }
+                 w.respond(std::move(resp));
+               });
+}
+
+}  // namespace hpop::attic

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "attic/store.hpp"
+#include "hpop/appliance.hpp"
+
+namespace hpop::attic {
+
+/// The data attic's WebDAV front end (§IV-A: "we chose HTTP(S) as the basis
+/// for our prototype and implement a data attic as a WebDAV server ...
+/// WebDAV further mediates access from multiple clients through file
+/// locking").
+///
+/// Mounted under /attic/ on the HPoP's HTTP server. Every request must
+/// carry a capability token (X-Capability header) whose scope covers the
+/// path; the household's own devices use a root-scoped capability.
+///
+/// Verbs: GET (incl. Range and If-None-Match), PUT (incl. If-Match and
+/// lock enforcement), DELETE, MKCOL, PROPFIND (directory listing or file
+/// metadata), LOCK / UNLOCK (exclusive write locks with timeout).
+class AtticService {
+ public:
+  AtticService(core::Hpop& hpop, std::size_t quota_bytes = 64ull << 30);
+
+  AtticStore& store() { return store_; }
+  core::Hpop& hpop() { return hpop_; }
+
+  /// Root-scoped capability for the household's own devices.
+  std::string owner_token(util::Duration validity = 365 * util::kDay);
+
+  struct Stats {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t auth_failures = 0;
+    std::uint64_t lock_conflicts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  static constexpr const char* kPrefix = "/attic";
+
+ private:
+  struct Lock {
+    std::string token;
+    util::TimePoint expires = 0;
+  };
+
+  void install_routes();
+  /// Checks the capability header; fills `resp` with the error on failure.
+  bool authorize(const http::Request& req, bool write_access,
+                 http::Response& resp);
+  /// Store path from a request path ("/attic/foo" -> "/foo").
+  static std::string store_path(const std::string& request_path);
+  bool lock_blocks(const std::string& path, const http::Request& req);
+
+  core::Hpop& hpop_;
+  AtticStore store_;
+  std::map<std::string, Lock> locks_;
+  std::uint64_t next_lock_ = 1;
+  Stats stats_;
+};
+
+}  // namespace hpop::attic

@@ -1,0 +1,149 @@
+#include "attic/wrap_driver.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::attic {
+
+void WrapDriver::open(const std::string& path, OpenCallback cb, bool create) {
+  if (offline_) {
+    const auto it = cache_.find(path);
+    if (it == cache_.end() && !create) {
+      cb(util::Result<Fd>::failure("offline_miss",
+                                   "offline and no cached copy"));
+      return;
+    }
+    OpenFile file;
+    file.path = path;
+    if (it != cache_.end()) {
+      file.content = it->second.content;
+      file.etag = it->second.etag;
+    }
+    const Fd fd = next_fd_++;
+    open_[fd] = std::move(file);
+    cb(fd);
+    return;
+  }
+
+  attic_.get(path, [this, path, cb, create](
+                       util::Result<AtticClient::File> result) {
+    OpenFile file;
+    file.path = path;
+    if (result.ok()) {
+      file.content = result.value().content;
+      file.etag = result.value().etag;
+      cache_[path] = {file.content, file.etag};
+    } else if (result.error().code == "not_found" && create) {
+      // O_CREAT: empty new file, no remote version yet.
+    } else {
+      cb(util::Result<Fd>(result.error()));
+      return;
+    }
+    const Fd fd = next_fd_++;
+    open_[fd] = std::move(file);
+    cb(fd);
+  });
+}
+
+util::Result<http::Body> WrapDriver::read(Fd fd) const {
+  const auto it = open_.find(fd);
+  if (it == open_.end()) {
+    return util::Result<http::Body>::failure("bad_fd", "not open");
+  }
+  return it->second.content;
+}
+
+util::Status WrapDriver::write(Fd fd, http::Body content) {
+  const auto it = open_.find(fd);
+  if (it == open_.end()) {
+    return util::Status::failure("bad_fd", "not open");
+  }
+  it->second.content = std::move(content);
+  it->second.dirty = true;
+  return util::Status::success();
+}
+
+void WrapDriver::close(Fd fd, CloseCallback cb) {
+  const auto it = open_.find(fd);
+  if (it == open_.end()) {
+    if (cb) cb(util::Status::failure("bad_fd", "not open"));
+    return;
+  }
+  OpenFile file = std::move(it->second);
+  open_.erase(it);
+
+  if (!file.dirty) {
+    if (cb) cb(util::Status::success());
+    return;
+  }
+  cache_[file.path] = {file.content, file.etag};
+
+  if (offline_) {
+    pending_[file.path] = {file.content, file.etag};
+    if (cb) cb(util::Status::success());  // queued, not lost
+    return;
+  }
+
+  attic_.put(
+      file.path, file.content,
+      [this, path = file.path, content = file.content,
+       cb](util::Result<std::string> etag) {
+        if (etag.ok()) {
+          cache_[path].etag = etag.value();
+          if (cb) cb(util::Status::success());
+        } else if (etag.error().code == "connection_failed" ||
+                   etag.error().code == "timeout") {
+          // The network went away mid-close: behave as an offline close.
+          pending_[path] = cache_[path];
+          if (cb) cb(util::Status::success());
+        } else {
+          if (cb) cb(util::Status(etag.error()));
+        }
+      },
+      /*if_match=*/file.etag);
+}
+
+void WrapDriver::reconcile(ReconcileCallback cb) {
+  if (pending_.empty()) {
+    cb(0, 0);
+    return;
+  }
+  // Shared countdown across the parallel pushes.
+  struct Progress {
+    int remaining;
+    int pushed = 0;
+    int conflicts = 0;
+    ReconcileCallback cb;
+  };
+  auto progress = std::make_shared<Progress>();
+  progress->remaining = static_cast<int>(pending_.size());
+  progress->cb = std::move(cb);
+
+  auto pending = std::move(pending_);
+  pending_.clear();
+
+  for (auto& [path, copy] : pending) {
+    attic_.put(
+        path, copy.content,
+        [this, path, copy, progress](util::Result<std::string> etag) {
+          if (etag.ok()) {
+            ++progress->pushed;
+            cache_[path].etag = etag.value();
+          } else if (etag.error().code == "conflict") {
+            // Someone else updated the file while we were offline: the
+            // remote version wins, ours survives as a conflict copy.
+            ++progress->conflicts;
+            attic_.put(path + ".conflict", copy.content,
+                       [](util::Result<std::string>) {});
+          } else {
+            // Still unreachable: keep it queued for the next attempt.
+            pending_[path] = copy;
+          }
+          if (--progress->remaining == 0) {
+            progress->cb(progress->pushed, progress->conflicts);
+          }
+        },
+        /*if_match=*/copy.etag);
+  }
+}
+
+}  // namespace hpop::attic

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "attic/client.hpp"
+
+namespace hpop::attic {
+
+/// Reproduces the paper's linker-interposition driver (§IV-A Architecture):
+/// applications relinked with `--wrap` have open/fopen redirected here — a
+/// GET materializes a local copy, reads and writes run on that copy, and
+/// close PUTs it back to the attic. "No change to the application code is
+/// required."
+///
+/// Also implements the offline mode sketched in §IV-A "Flexible Access":
+/// when the attic is unreachable, opens fall back to the local copy and
+/// dirty closes queue for reconciliation; reconcile() pushes them with
+/// If-Match so concurrent remote edits surface as conflict copies rather
+/// than silent lost updates.
+class WrapDriver {
+ public:
+  explicit WrapDriver(AtticClient& attic) : attic_(attic) {}
+
+  using Fd = int;
+  using OpenCallback = std::function<void(util::Result<Fd>)>;
+  using CloseCallback = std::function<void(util::Status)>;
+
+  /// __wrap_open: fetches the file (or creates it with O_CREAT semantics
+  /// when `create`), returning a descriptor onto the local copy.
+  void open(const std::string& path, OpenCallback cb, bool create = false);
+
+  /// Reads the local copy. Valid between open and close.
+  util::Result<http::Body> read(Fd fd) const;
+  /// Replaces the local copy's contents and marks it dirty.
+  util::Status write(Fd fd, http::Body content);
+
+  /// __wrap_close: PUTs dirty files back to the attic; clean closes are
+  /// local-only (the paper's driver only writes back on close).
+  void close(Fd fd, CloseCallback cb = nullptr);
+
+  /// Offline/online switch (network loss, HPoP reboot).
+  void set_offline(bool offline) { offline_ = offline; }
+  bool offline() const { return offline_; }
+
+  /// Pushes every queued offline write. Files whose remote etag moved
+  /// since our copy produce a conflict: the remote wins and our version is
+  /// saved as "<path>.conflict".
+  using ReconcileCallback =
+      std::function<void(int pushed, int conflicts)>;
+  void reconcile(ReconcileCallback cb);
+
+  std::size_t open_files() const { return open_.size(); }
+  std::size_t pending_sync() const { return pending_.size(); }
+
+ private:
+  struct OpenFile {
+    std::string path;
+    http::Body content;
+    std::string etag;  // etag of the version we fetched
+    bool dirty = false;
+  };
+  struct CachedCopy {
+    http::Body content;
+    std::string etag;
+  };
+
+  AtticClient& attic_;
+  bool offline_ = false;
+  Fd next_fd_ = 3;  // 0-2 taken, as tradition demands
+  std::map<Fd, OpenFile> open_;
+  /// Last-known-good local copies (the offline working set).
+  std::map<std::string, CachedCopy> cache_;
+  /// path -> dirty content awaiting reconciliation.
+  std::map<std::string, CachedCopy> pending_;
+};
+
+}  // namespace hpop::attic

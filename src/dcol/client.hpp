@@ -1,0 +1,128 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dcol/collective.hpp"
+#include "dcol/tunnel.hpp"
+#include "transport/mptcp.hpp"
+
+namespace hpop::dcol {
+
+/// TLS handshake stand-ins (§IV-C Security: "our prototype requires the
+/// client to complete the TLS handshake with the server over the direct
+/// path before establishing any detours").
+struct TlsClientHello : net::Payload {
+  std::size_t wire_size() const override { return 320; }
+};
+struct TlsServerHello : net::Payload {
+  std::size_t wire_size() const override { return 3200; }  // incl. cert
+};
+struct TlsFinished : net::Payload {
+  std::size_t wire_size() const override { return 96; }
+};
+
+/// Server-side helper: answers TLS hellos on an MPTCP connection, then
+/// forwards all other messages to `app_handler`.
+void serve_tls(const std::shared_ptr<transport::MptcpConnection>& conn,
+               transport::MptcpConnection::MessageHandler app_handler);
+
+struct DcolOptions {
+  TunnelKind tunnel = TunnelKind::kVpn;
+  int max_detours = 2;
+  /// Detour evaluation cadence and trial length ("trial and error to
+  /// explore multiple detours and retain the beneficial ones").
+  util::Duration evaluate_every = 2 * util::kSecond;
+  /// A detour carrying less than this share of recent bytes is withdrawn.
+  double withdraw_share = 0.05;
+  /// Retransmit ratio above which a waypoint is reported as misbehaving.
+  double misbehavior_retx_ratio = 0.25;
+  bool require_tls = true;
+  transport::SchedulerKind scheduler = transport::SchedulerKind::kMinRtt;
+};
+
+/// One detoured connection: the MPTCP session plus its detour state.
+class DcolSession : public std::enable_shared_from_this<DcolSession> {
+ public:
+  struct Detour {
+    std::uint64_t member_id = 0;
+    std::unique_ptr<VpnTunnel> vpn;
+    std::unique_ptr<NatTunnel> nat;
+    std::shared_ptr<transport::TcpConnection> subflow;
+    std::uint64_t last_bytes = 0;   // received+acked at last evaluation
+    bool trial = true;              // still in its first evaluation window
+    bool withdrawn = false;
+  };
+
+  std::shared_ptr<transport::MptcpConnection> connection() { return conn_; }
+  bool secure() const { return secure_; }
+  const std::vector<std::unique_ptr<Detour>>& detours() const {
+    return detours_;
+  }
+  int active_detours() const;
+
+  /// Receiver-side steering: delay subflow acks to push the server's
+  /// min-RTT scheduler off this detour.
+  void steer_away(const std::shared_ptr<transport::TcpConnection>& subflow,
+                  util::Duration ack_delay);
+
+  /// Application-facing message stream (TLS records filtered out).
+  void set_on_message(transport::MptcpConnection::MessageHandler h) {
+    app_handler_ = std::move(h);
+  }
+
+ private:
+  friend class DcolClient;
+  std::shared_ptr<transport::MptcpConnection> conn_;
+  std::vector<std::unique_ptr<Detour>> detours_;
+  transport::MptcpConnection::MessageHandler app_handler_;
+  bool secure_ = false;
+  std::uint64_t primary_last_bytes_ = 0;
+};
+
+/// The DCol engine on a member's device: opens MPTCP connections whose
+/// extra subflows ride waypoint tunnels, explores waypoints by trial and
+/// error, withdraws useless or harmful ones, and reports misbehaviour to
+/// the collective.
+class DcolClient {
+ public:
+  DcolClient(transport::TransportMux& mux, Collective& collective,
+             std::uint64_t self_id, DcolOptions options, util::Rng rng);
+
+  using ConnectCallback =
+      std::function<void(std::shared_ptr<DcolSession>)>;
+  /// Establishes the direct-path subflow (and TLS when required), then
+  /// starts detour exploration in the background.
+  void connect(net::Endpoint server, ConnectCallback cb);
+
+  struct Stats {
+    std::uint64_t detours_tried = 0;
+    std::uint64_t detours_kept = 0;
+    std::uint64_t detours_withdrawn = 0;
+    std::uint64_t misbehavior_reports = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void start_exploration(const std::shared_ptr<DcolSession>& session,
+                         net::Endpoint server);
+  void try_next_waypoint(const std::shared_ptr<DcolSession>& session,
+                         net::Endpoint server);
+  void add_detour_subflow(const std::shared_ptr<DcolSession>& session,
+                          DcolSession::Detour& detour,
+                          transport::TcpOptions opts);
+  void evaluate(const std::shared_ptr<DcolSession>& session,
+                net::Endpoint server);
+  static std::uint64_t subflow_progress(
+      const std::shared_ptr<transport::TcpConnection>& subflow);
+
+  transport::TransportMux& mux_;
+  Collective& collective_;
+  std::uint64_t self_id_;
+  DcolOptions options_;
+  util::Rng rng_;
+  std::set<std::uint64_t> tried_members_;
+  Stats stats_;
+};
+
+}  // namespace hpop::dcol

@@ -1,0 +1,49 @@
+#include "dcol/collective.hpp"
+
+namespace hpop::dcol {
+
+std::uint64_t Collective::add_member(const std::string& name,
+                                     net::Endpoint vpn_endpoint,
+                                     net::Endpoint nat_endpoint) {
+  Member member;
+  member.id = next_id_++;
+  member.name = name;
+  member.vpn_endpoint = vpn_endpoint;
+  member.nat_endpoint = nat_endpoint;
+  members_[member.id] = member;
+  return member.id;
+}
+
+void Collective::report_misbehavior(std::uint64_t member_id,
+                                    double severity) {
+  const auto it = members_.find(member_id);
+  if (it == members_.end()) return;
+  it->second.reputation *= (1.0 - severity);
+  if (it->second.reputation < 0.3) it->second.expelled = true;
+}
+
+std::vector<Collective::Member> Collective::waypoints_for(
+    std::uint64_t requester_id) const {
+  std::vector<Member> out;
+  for (const auto& [id, member] : members_) {
+    if (id == requester_id || member.expelled) continue;
+    out.push_back(member);
+  }
+  return out;
+}
+
+const Collective::Member* Collective::member(std::uint64_t id) const {
+  const auto it = members_.find(id);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::size_t Collective::active_members() const {
+  std::size_t n = 0;
+  for (const auto& [id, member] : members_) {
+    (void)id;
+    if (!member.expelled) ++n;
+  }
+  return n;
+}
+
+}  // namespace hpop::dcol

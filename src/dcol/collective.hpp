@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace hpop::dcol {
+
+/// Membership registry of a Detour Collective (§IV-C): "users forming
+/// cooperatives in which members agree to serve as waypoints to each
+/// other." Members expose their waypoint service endpoints; misbehaviour
+/// reports decay reputation, and members below the floor are expelled
+/// ("the misbehaving peer can be expelled from the collective").
+///
+/// The registry itself is modeled as the cooperative's shared membership
+/// state (in deployment: a small signed membership list that the
+/// coordinator distributes).
+class Collective {
+ public:
+  struct Member {
+    std::uint64_t id = 0;
+    std::string name;
+    net::Endpoint vpn_endpoint;   // waypoint's VPN join/data port
+    net::Endpoint nat_endpoint;   // waypoint's NAT-tunnel signalling port
+    double reputation = 1.0;
+    bool expelled = false;
+  };
+
+  std::uint64_t add_member(const std::string& name,
+                           net::Endpoint vpn_endpoint,
+                           net::Endpoint nat_endpoint);
+
+  /// Misbehaviour report (dropped subflows, corrupt relaying). severity in
+  /// (0,1]: reputation *= (1 - severity); expelled below 0.3.
+  void report_misbehavior(std::uint64_t member_id, double severity);
+
+  /// Waypoint candidates for a client: active members except itself.
+  std::vector<Member> waypoints_for(std::uint64_t requester_id) const;
+  const Member* member(std::uint64_t id) const;
+  std::size_t active_members() const;
+
+ private:
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Member> members_;
+};
+
+}  // namespace hpop::dcol

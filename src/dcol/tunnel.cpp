@@ -1,0 +1,140 @@
+#include "dcol/tunnel.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::dcol {
+
+VpnTunnel::VpnTunnel(transport::TransportMux& mux, net::Endpoint waypoint_vpn)
+    : mux_(mux), waypoint_(waypoint_vpn), socket_(mux.udp_open()) {
+  socket_->set_on_packet([this](const net::Packet& pkt) {
+    if (pkt.encapsulated) {
+      if (!active_) return;
+      // Decapsulate and hand the inner packet (addressed to our virtual
+      // IP) to the local stack.
+      net::Packet inner = *pkt.encapsulated;
+      if (!mux_.host().interfaces().empty()) {
+        mux_.host().deliver(std::move(inner),
+                            mux_.host().interface(0));
+      }
+      return;
+    }
+    for (const auto& ref : pkt.messages) {
+      if (const auto resp =
+              std::dynamic_pointer_cast<const VpnJoinResponse>(ref.message)) {
+        if (!join_cb_) return;
+        auto cb = std::move(join_cb_);
+        join_cb_ = nullptr;
+        if (!resp->ok) {
+          cb(util::Result<net::IpAddr>::failure("vpn_full",
+                                                "waypoint subnet full"));
+          return;
+        }
+        virtual_ip_ = resp->virtual_ip;
+        active_ = true;
+        mux_.host().add_virtual_address(virtual_ip_);
+        // Divert everything sourced from the virtual address into the
+        // tunnel (the "high cost route" scoping from §IV-C is implicit:
+        // only sockets bound to the virtual IP use it).
+        mux_.host().add_egress_hook([this](net::Packet& pkt) {
+          if (!active_ || pkt.src != virtual_ip_) return false;
+          socket_->send_packet_to(waypoint_, pkt);
+          return true;
+        });
+        cb(virtual_ip_);
+      }
+    }
+  });
+}
+
+void VpnTunnel::join(JoinCallback cb) {
+  join_cb_ = std::move(cb);
+  socket_->send_to(waypoint_, std::make_shared<VpnJoinRequest>());
+  // Join over UDP: one retry after a second covers a lost datagram.
+  mux_.simulator().schedule(util::kSecond, [this] {
+    if (join_cb_) {
+      socket_->send_to(waypoint_, std::make_shared<VpnJoinRequest>());
+    }
+  });
+}
+
+transport::TcpOptions VpnTunnel::subflow_options() const {
+  transport::TcpOptions opts;
+  opts.bind_ip = virtual_ip_;
+  return opts;
+}
+
+void VpnTunnel::leave() {
+  if (!active_) return;
+  active_ = false;
+  mux_.host().remove_virtual_address(virtual_ip_);
+}
+
+NatTunnel::NatTunnel(transport::TransportMux& mux,
+                     net::Endpoint waypoint_signal)
+    : mux_(mux), waypoint_signal_(waypoint_signal), socket_(mux.udp_open()) {
+  socket_->set_on_datagram([this](net::Endpoint from, net::PayloadPtr msg) {
+    (void)from;
+    const auto resp = std::dynamic_pointer_cast<const NatTunnelResponse>(msg);
+    if (!resp || !open_cb_) return;
+    auto cb = std::move(open_cb_);
+    open_cb_ = nullptr;
+    if (!resp->ok) {
+      cb(util::Status::failure("tunnel_refused", "waypoint refused tunnel"));
+      return;
+    }
+    tunnel_port_ = resp->tunnel_port;
+    active_ = true;
+
+    const net::Endpoint waypoint_data{waypoint_signal_.ip, tunnel_port_};
+    // Outbound: designated subflows' packets to the server divert to the
+    // waypoint's tunnel port.
+    mux_.host().add_egress_hook([this, waypoint_data](net::Packet& pkt) {
+      if (!active_ || pkt.proto != net::Proto::kTcp) return false;
+      if (pkt.dst_endpoint() != server_) return false;
+      if (attached_ports_.count(pkt.src_port()) == 0) return false;
+      pkt.dst = waypoint_data.ip;
+      pkt.set_dst_port(waypoint_data.port);
+      return false;  // rewritten in place; normal routing continues
+    });
+    // Inbound: restore the server as the apparent source.
+    mux_.host().add_ingress_hook([this, waypoint_data](net::Packet& pkt) {
+      if (!active_ || pkt.proto != net::Proto::kTcp) return false;
+      if (pkt.src_endpoint() != waypoint_data) return false;
+      if (attached_ports_.count(pkt.dst_port()) == 0) return false;
+      pkt.src = server_.ip;
+      pkt.set_src_port(server_.port);
+      return false;  // rewritten in place; normal dispatch continues
+    });
+    cb(util::Status::success());
+  });
+}
+
+void NatTunnel::open(net::Endpoint server, OpenCallback cb) {
+  server_ = server;
+  open_cb_ = std::move(cb);
+  auto req = std::make_shared<NatTunnelRequest>();
+  req->server = server;
+  socket_->send_to(waypoint_signal_, req);
+  mux_.simulator().schedule(util::kSecond, [this, server] {
+    if (open_cb_) {
+      auto req = std::make_shared<NatTunnelRequest>();
+      req->server = server;
+      socket_->send_to(waypoint_signal_, req);
+    }
+  });
+}
+
+void NatTunnel::attach_local_port(std::uint16_t local_port) {
+  attached_ports_.insert(local_port);
+}
+
+transport::TcpOptions NatTunnel::subflow_options(
+    std::uint16_t local_port) const {
+  transport::TcpOptions opts;
+  opts.local_port = local_port;
+  return opts;
+}
+
+void NatTunnel::close() { active_ = false; }
+
+}  // namespace hpop::dcol

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "dcol/waypoint.hpp"
+#include "transport/mux.hpp"
+
+namespace hpop::dcol {
+
+enum class TunnelKind { kVpn, kNat };
+
+/// Client side of a VPN detour tunnel (§IV-C): joins the waypoint's
+/// virtual subnet, receives a virtual address, and transparently
+/// encapsulates every packet sourced from that address toward the
+/// waypoint (adding the 36-byte per-packet overhead). One join serves any
+/// number of servers and subflows — the paper's stated advantage.
+class VpnTunnel {
+ public:
+  VpnTunnel(transport::TransportMux& mux, net::Endpoint waypoint_vpn);
+
+  using JoinCallback = std::function<void(util::Result<net::IpAddr>)>;
+  void join(JoinCallback cb);
+
+  /// Subflow options routing through this tunnel (bind the virtual
+  /// address). Valid after join() succeeds.
+  transport::TcpOptions subflow_options() const;
+  bool active() const { return active_; }
+  net::IpAddr virtual_ip() const { return virtual_ip_; }
+  void leave();
+
+ private:
+  transport::TransportMux& mux_;
+  net::Endpoint waypoint_;
+  std::shared_ptr<transport::UdpSocket> socket_;
+  net::IpAddr virtual_ip_;
+  bool active_ = false;
+  JoinCallback join_cb_;
+};
+
+/// Client side of a NAT detour tunnel: negotiates a forwarding port for
+/// one specific server, then rewrites a designated subflow's packets
+/// (local port match) toward the waypoint. Zero per-packet overhead, but
+/// new signalling per destination — the paper's stated trade-off.
+class NatTunnel {
+ public:
+  NatTunnel(transport::TransportMux& mux, net::Endpoint waypoint_signal);
+
+  using OpenCallback = std::function<void(util::Status)>;
+  void open(net::Endpoint server, OpenCallback cb);
+
+  /// Routes the subflow bound to `local_port` through the tunnel. The
+  /// caller pre-allocates the port and passes it in TcpOptions::local_port.
+  void attach_local_port(std::uint16_t local_port);
+  transport::TcpOptions subflow_options(std::uint16_t local_port) const;
+  bool active() const { return active_; }
+  void close();
+
+ private:
+  transport::TransportMux& mux_;
+  net::Endpoint waypoint_signal_;
+  std::shared_ptr<transport::UdpSocket> socket_;
+  net::Endpoint server_;
+  std::uint16_t tunnel_port_ = 0;
+  std::set<std::uint16_t> attached_ports_;
+  bool active_ = false;
+  OpenCallback open_cb_;
+};
+
+}  // namespace hpop::dcol

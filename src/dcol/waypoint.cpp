@@ -1,0 +1,177 @@
+#include "dcol/waypoint.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::dcol {
+
+WaypointService::WaypointService(transport::TransportMux& mux,
+                                 WaypointConfig config, util::Rng rng)
+    : mux_(mux), config_(config), rng_(rng) {
+  vpn_socket_ = mux_.udp_open(config_.vpn_port);
+  nat_socket_ = mux_.udp_open(config_.nat_signal_port);
+
+  vpn_socket_->set_on_packet([this](const net::Packet& pkt) {
+    if (pkt.encapsulated) {
+      handle_vpn_packet(pkt);
+      return;
+    }
+    // Control: join request.
+    for (const auto& ref : pkt.messages) {
+      if (std::dynamic_pointer_cast<const VpnJoinRequest>(ref.message)) {
+        auto resp = std::make_shared<VpnJoinResponse>();
+        if (next_virtual_ >= 62) {  // /26 => 64 addresses, minus net/gw
+          resp->ok = false;
+        } else {
+          const net::IpAddr vip(config_.vpn_subnet.value + next_virtual_++);
+          vpn_clients_[vip] = VpnClient{vip, pkt.src_endpoint()};
+          resp->ok = true;
+          resp->virtual_ip = vip;
+          ++stats_.vpn_clients;
+        }
+        vpn_socket_->send_to(pkt.src_endpoint(), resp);
+      }
+    }
+  });
+
+  nat_socket_->set_on_datagram([this](net::Endpoint from,
+                                      net::PayloadPtr msg) {
+    const auto req = std::dynamic_pointer_cast<const NatTunnelRequest>(msg);
+    if (!req) return;
+    auto resp = std::make_shared<NatTunnelResponse>();
+    resp->tunnel_port = allocate_port();
+    resp->ok = true;
+    nat_tunnels_[resp->tunnel_port] = req->server;
+    ++stats_.nat_tunnels;
+    nat_socket_->send_to(from, resp);
+  });
+
+  mux_.host().add_ingress_hook(
+      [this](net::Packet& pkt) { return intercept(pkt); });
+}
+
+net::Endpoint WaypointService::vpn_endpoint() const {
+  return {mux_.host().address(), config_.vpn_port};
+}
+
+net::Endpoint WaypointService::nat_endpoint() const {
+  return {mux_.host().address(), config_.nat_signal_port};
+}
+
+std::uint16_t WaypointService::allocate_port() {
+  while (by_port_.count(next_port_) > 0 ||
+         nat_tunnels_.count(next_port_) > 0) {
+    ++next_port_;
+  }
+  return next_port_++;
+}
+
+bool WaypointService::relay_budget(const net::Packet& pkt,
+                                   std::size_t extra_bytes) {
+  if (config_.drop_rate > 0.0 && rng_.bernoulli(config_.drop_rate)) {
+    ++stats_.packets_dropped;
+    return false;
+  }
+  ++stats_.packets_relayed;
+  // Counted as wire bytes, including VPN encapsulation overhead — this is
+  // what the §IV-C VPN-vs-NAT trade-off is about.
+  stats_.bytes_relayed += pkt.wire_size() + extra_bytes;
+  return true;
+}
+
+void WaypointService::handle_vpn_packet(const net::Packet& outer) {
+  // Decapsulate; the inner packet's source is the client's virtual address.
+  net::Packet inner = *outer.encapsulated;
+  const auto client_it = vpn_clients_.find(inner.src);
+  if (client_it == vpn_clients_.end()) return;  // not joined
+  // Track the client's current outer endpoint (it may be NAT-remapped).
+  client_it->second.outer = outer.src_endpoint();
+
+  // The inbound leg arrived encapsulated: account for the outer size.
+  if (!relay_budget(inner, net::Packet::kVpnOverhead)) return;
+
+  // SNAT the virtual source to one of our public ports and forward.
+  const auto key = std::make_tuple(static_cast<int>(inner.proto),
+                                   inner.src_endpoint(),
+                                   inner.dst_endpoint());
+  auto snat_it = snat_.find(key);
+  if (snat_it == snat_.end()) {
+    const std::uint16_t port = allocate_port();
+    snat_it = snat_.emplace(key, port).first;
+    Translation t;
+    t.vpn = true;
+    t.inner_src = inner.src_endpoint();
+    t.server = inner.dst_endpoint();
+    t.client_outer = outer.src_endpoint();
+    by_port_[port] = t;
+  } else {
+    by_port_[snat_it->second].client_outer = outer.src_endpoint();
+  }
+  inner.src = mux_.host().address();
+  inner.set_src_port(snat_it->second);
+  mux_.host().send_packet(std::move(inner));
+}
+
+bool WaypointService::intercept(net::Packet& pkt) {
+  if (pkt.proto != net::Proto::kTcp) return false;
+  if (pkt.dst != mux_.host().address()) return false;
+  const std::uint16_t port = pkt.dst_port();
+
+  // Client -> server over a negotiated NAT tunnel port.
+  const auto tunnel_it = nat_tunnels_.find(port);
+  if (tunnel_it != nat_tunnels_.end()) {
+    if (!relay_budget(pkt)) return true;
+    const net::Endpoint server = tunnel_it->second;
+    const auto key = std::make_tuple(static_cast<int>(pkt.proto),
+                                     pkt.src_endpoint(), server);
+    auto snat_it = snat_.find(key);
+    if (snat_it == snat_.end()) {
+      const std::uint16_t out_port = allocate_port();
+      snat_it = snat_.emplace(key, out_port).first;
+      Translation t;
+      t.vpn = false;
+      t.inner_src = pkt.src_endpoint();
+      t.server = server;
+      t.client_ip = pkt.src;
+      t.client_port = pkt.src_port();
+      t.tunnel_port = port;
+      by_port_[out_port] = t;
+    }
+    net::Packet fwd = pkt;
+    fwd.src = mux_.host().address();
+    fwd.set_src_port(snat_it->second);
+    fwd.dst = server.ip;
+    fwd.set_dst_port(server.port);
+    mux_.host().send_packet(std::move(fwd));
+    return true;
+  }
+
+  // Server -> client on an allocated SNAT port.
+  const auto trans_it = by_port_.find(port);
+  if (trans_it != by_port_.end()) {
+    const Translation& t = trans_it->second;
+    if (pkt.src_endpoint() != t.server) return true;  // stray: drop
+    if (!relay_budget(pkt, t.vpn ? net::Packet::kVpnOverhead : 0)) {
+      return true;
+    }
+    net::Packet back = pkt;
+    if (t.vpn) {
+      // Restore the virtual destination and encapsulate toward the
+      // client's outer endpoint (adds the 36-byte VPN overhead).
+      back.dst = t.inner_src.ip;
+      back.set_dst_port(t.inner_src.port);
+      vpn_socket_->send_packet_to(t.client_outer, std::move(back));
+    } else {
+      // Rewrite so the client sees the packet arriving from its tunnel
+      // port; the client-side shim restores the server address.
+      back.src = mux_.host().address();
+      back.set_src_port(t.tunnel_port);
+      back.dst = t.client_ip;
+      back.set_dst_port(t.client_port);
+      mux_.host().send_packet(std::move(back));
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hpop::dcol

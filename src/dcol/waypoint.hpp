@@ -1,0 +1,114 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "transport/mux.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace hpop::dcol {
+
+// --- Control messages ---
+
+/// VPN join (the OpenVPN+DHCP handshake of §IV-C collapsed to one round).
+struct VpnJoinRequest : net::Payload {
+  std::size_t wire_size() const override { return 64; }
+};
+
+struct VpnJoinResponse : net::Payload {
+  net::IpAddr virtual_ip;
+  bool ok = false;
+  std::size_t wire_size() const override { return 64; }
+};
+
+/// NAT tunnel signalling: "the client and waypoint negotiate a port on
+/// which the waypoint would receive packets from the client and the
+/// intended final destination of those packets."
+struct NatTunnelRequest : net::Payload {
+  net::Endpoint server;
+  std::size_t wire_size() const override { return 40; }
+};
+
+struct NatTunnelResponse : net::Payload {
+  std::uint16_t tunnel_port = 0;
+  bool ok = false;
+  std::size_t wire_size() const override { return 24; }
+};
+
+struct WaypointConfig {
+  std::uint16_t vpn_port = 1194;
+  std::uint16_t nat_signal_port = 1195;
+  /// This waypoint's private VPN block (a /26 per §IV-C: "assigning each
+  /// waypoint in the collective a /26 from the 10.0.0.0/8 block ... allows
+  /// for each of 256K non-conflicting waypoints to serve 64 clients").
+  net::IpAddr vpn_subnet = net::IpAddr(10, 200, 0, 0);
+  /// Misbehaviour injection: drop this fraction of relayed packets.
+  double drop_rate = 0.0;
+};
+
+/// The waypoint service an HPoP runs for its collective (§IV-C, Fig. 3).
+/// Supports both tunnelling mechanisms interchangeably:
+///  - VPN: client joins the waypoint's virtual subnet, sends encapsulated
+///    packets (+36 B/packet); the waypoint decapsulates, NATs the virtual
+///    source to its public address, and forwards. Reusable for any server.
+///  - NAT: per-(server) negotiated forwarding port; zero per-packet
+///    overhead, standard netfilter-style rewriting.
+class WaypointService {
+ public:
+  WaypointService(transport::TransportMux& mux, WaypointConfig config,
+                  util::Rng rng);
+
+  struct Stats {
+    std::uint64_t vpn_clients = 0;
+    std::uint64_t nat_tunnels = 0;
+    std::uint64_t packets_relayed = 0;
+    std::uint64_t bytes_relayed = 0;
+    std::uint64_t packets_dropped = 0;  // injected misbehaviour
+  };
+  const Stats& stats() const { return stats_; }
+  net::Endpoint vpn_endpoint() const;
+  net::Endpoint nat_endpoint() const;
+  void set_drop_rate(double rate) { config_.drop_rate = rate; }
+
+ private:
+  struct VpnClient {
+    net::IpAddr virtual_ip;
+    net::Endpoint outer;  // where to send encapsulated returns
+  };
+  /// Key: public port we allocated. One entry per (flow) translation.
+  struct Translation {
+    bool vpn = false;
+    // Original (pre-SNAT) source as the client knows it.
+    net::Endpoint inner_src;
+    net::Endpoint server;
+    net::Endpoint client_outer;   // VPN: encapsulation target
+    std::uint16_t client_port = 0;  // NAT mode: client's real source port
+    net::IpAddr client_ip;          // NAT mode: client's outer address
+    std::uint16_t tunnel_port = 0;  // NAT mode: the negotiated inbound port
+  };
+
+  void handle_vpn_packet(const net::Packet& outer);
+  bool intercept(net::Packet& pkt);
+  std::uint16_t allocate_port();
+  bool relay_budget(const net::Packet& pkt, std::size_t extra_bytes = 0);
+
+  transport::TransportMux& mux_;
+  WaypointConfig config_;
+  util::Rng rng_;
+  std::shared_ptr<transport::UdpSocket> vpn_socket_;
+  std::shared_ptr<transport::UdpSocket> nat_socket_;
+  std::map<net::IpAddr, VpnClient> vpn_clients_;  // by virtual ip
+  std::uint32_t next_virtual_ = 2;                // .0/.1 reserved
+  /// (proto, inner src endpoint, server) -> allocated public port.
+  std::map<std::tuple<int, net::Endpoint, net::Endpoint>, std::uint16_t>
+      snat_;
+  std::map<std::uint16_t, Translation> by_port_;
+  /// NAT-mode tunnels: waypoint port -> server (pre-flow configuration).
+  std::map<std::uint16_t, net::Endpoint> nat_tunnels_;
+  std::uint16_t next_port_ = 40000;
+  Stats stats_;
+};
+
+}  // namespace hpop::dcol

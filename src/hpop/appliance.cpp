@@ -1,0 +1,52 @@
+#include "hpop/appliance.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::core {
+
+Hpop::Hpop(net::Host& host, HpopConfig config)
+    : host_(host),
+      config_(std::move(config)),
+      mux_(host),
+      http_server_(mux_, config_.service_port),
+      http_client_(mux_),
+      tokens_(config_.secret),
+      reachability_(mux_, [this] {
+        traversal::ReachabilityConfig rc = config_.reachability;
+        rc.service_port = config_.service_port;
+        return rc;
+      }()) {
+  // A friendly landing page, so "is my HPoP up?" has an answer.
+  http_server_.route(http::Method::kGet, "/",
+                     [this](const http::Request&, http::ResponseWriter& w) {
+                       http::Response resp;
+                       std::string body =
+                           "HPoP for household '" + config_.household + "'\n";
+                       for (const auto& [name, desc] : services_) {
+                         body += name + ": " + desc + "\n";
+                       }
+                       resp.body = http::Body(body);
+                       w.respond(std::move(resp));
+                     });
+}
+
+void Hpop::boot(BootCallback cb) {
+  reachability_.establish([this, cb](const traversal::Advertisement& adv) {
+    online_ = adv.method != traversal::ReachMethod::kUnreachable;
+    if (config_.directory && online_) {
+      registration_ = std::make_unique<DirectoryRegistration>(
+          mux_, *config_.directory, config_.household, reachability_);
+      registration_->register_advertisement(adv);
+    }
+    HPOP_LOG(kInfo, "hpop") << config_.household << " online via "
+                            << traversal::to_string(adv.method);
+    if (cb) cb(adv);
+  });
+}
+
+void Hpop::register_service(const std::string& name,
+                            const std::string& description) {
+  services_[name] = description;
+}
+
+}  // namespace hpop::core

@@ -1,0 +1,106 @@
+#include "hpop/auth.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "util/encoding.hpp"
+
+namespace hpop::core {
+
+std::string Capability::canonical() const {
+  std::ostringstream os;
+  os << household << "\n"
+     << scope << "\n"
+     << (allow_write ? "rw" : "r") << "\n"
+     << expires << "\n"
+     << serial;
+  return os.str();
+}
+
+util::Digest TokenAuthority::sign(const Capability& cap) const {
+  return util::hmac_sha256(secret_, cap.canonical());
+}
+
+Capability TokenAuthority::issue(const std::string& household,
+                                 const std::string& scope, bool allow_write,
+                                 util::TimePoint expires) {
+  Capability cap;
+  cap.household = household;
+  cap.scope = scope;
+  cap.allow_write = allow_write;
+  cap.expires = expires;
+  cap.serial = next_serial_++;
+  cap.mac = sign(cap);
+  return cap;
+}
+
+util::Status TokenAuthority::verify(const Capability& cap,
+                                    const std::string& path,
+                                    bool write_access,
+                                    util::TimePoint now) const {
+  if (!util::digest_equal(cap.mac, sign(cap))) {
+    return util::Status::failure("bad_signature", "capability forged");
+  }
+  if (now > cap.expires) {
+    return util::Status::failure("expired", "capability expired");
+  }
+  if (revoked_.count(cap.serial) > 0) {
+    return util::Status::failure("revoked", "capability revoked");
+  }
+  if (path.rfind(cap.scope, 0) != 0) {
+    return util::Status::failure("out_of_scope",
+                                 "path outside granted scope");
+  }
+  if (write_access && !cap.allow_write) {
+    return util::Status::failure("read_only", "write with read-only grant");
+  }
+  return util::Status::success();
+}
+
+std::string TokenAuthority::encode(const Capability& cap) {
+  std::ostringstream os;
+  os << cap.household << "|" << cap.scope << "|"
+     << (cap.allow_write ? "rw" : "r") << "|" << cap.expires << "|"
+     << cap.serial << "|"
+     << util::hex_encode(util::Bytes(cap.mac.begin(), cap.mac.end()));
+  return util::base64_encode(util::to_bytes(os.str()));
+}
+
+util::Result<Capability> TokenAuthority::decode(const std::string& token) {
+  const auto raw = util::base64_decode(token);
+  if (!raw.ok()) {
+    return util::Result<Capability>::failure("bad_encoding",
+                                             "token not base64");
+  }
+  const std::string text = util::to_string(raw.value());
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find('|', start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  if (parts.size() != 6) {
+    return util::Result<Capability>::failure("bad_format",
+                                             "wrong field count");
+  }
+  Capability cap;
+  cap.household = parts[0];
+  cap.scope = parts[1];
+  cap.allow_write = parts[2] == "rw";
+  cap.expires = std::atoll(parts[3].c_str());
+  cap.serial = std::strtoull(parts[4].c_str(), nullptr, 10);
+  const auto mac = util::hex_decode(parts[5]);
+  if (!mac.ok() || mac.value().size() != cap.mac.size()) {
+    return util::Result<Capability>::failure("bad_format", "bad mac field");
+  }
+  std::copy(mac.value().begin(), mac.value().end(), cap.mac.begin());
+  return cap;
+}
+
+}  // namespace hpop::core

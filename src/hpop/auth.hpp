@@ -1,0 +1,54 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "util/hash.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace hpop::core {
+
+/// A capability: scoped, expiring, HMAC-signed access to a slice of an
+/// HPoP's namespace. This is what the data attic's "QR code" bootstrap
+/// (§IV-A1) carries to a medical provider: everything needed to access the
+/// correct portion of the user's attic — endpoint, credentials, location.
+struct Capability {
+  std::string household;
+  std::string scope;        // path prefix the holder may touch
+  bool allow_write = false;
+  util::TimePoint expires = 0;
+  std::uint64_t serial = 0;  // lets the authority revoke individual grants
+  util::Digest mac{};
+
+  std::string canonical() const;
+};
+
+/// Issues and verifies capabilities using the household's secret. Lives on
+/// the HPoP; external services only ever hold encoded capabilities.
+class TokenAuthority {
+ public:
+  explicit TokenAuthority(util::Bytes secret) : secret_(std::move(secret)) {}
+
+  Capability issue(const std::string& household, const std::string& scope,
+                   bool allow_write, util::TimePoint expires);
+
+  /// Checks signature, expiry, revocation, scope and mode.
+  util::Status verify(const Capability& cap, const std::string& path,
+                      bool write_access, util::TimePoint now) const;
+
+  void revoke(std::uint64_t serial) { revoked_.insert(serial); }
+
+  /// Compact string form (what the QR code encodes).
+  static std::string encode(const Capability& cap);
+  static util::Result<Capability> decode(const std::string& token);
+
+ private:
+  util::Digest sign(const Capability& cap) const;
+
+  util::Bytes secret_;
+  std::uint64_t next_serial_ = 1;
+  std::set<std::uint64_t> revoked_;
+};
+
+}  // namespace hpop::core

@@ -1,0 +1,182 @@
+#include "hpop/directory.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::core {
+
+DirectoryServer::DirectoryServer(transport::TransportMux& mux,
+                                 std::uint16_t port)
+    : mux_(mux), listener_(mux.tcp_listen(port)) {
+  listener_->set_on_accept([this](
+                               std::shared_ptr<transport::TcpConnection>
+                                   conn) {
+    conn->set_on_message([this, conn](net::PayloadPtr msg) {
+      if (const auto reg = std::dynamic_pointer_cast<const DirRegister>(msg)) {
+        households_[reg->household] =
+            Registration{reg->advertisement, conn};
+        HPOP_LOG(kInfo, "directory")
+            << "registered " << reg->household << " via "
+            << traversal::to_string(reg->advertisement.method);
+        return;
+      }
+      if (const auto lookup =
+              std::dynamic_pointer_cast<const DirLookupRequest>(msg)) {
+        auto resp = std::make_shared<DirLookupResponse>();
+        resp->txn = lookup->txn;
+        const auto it = households_.find(lookup->household);
+        if (it != households_.end()) {
+          resp->found = true;
+          resp->advertisement = it->second.advertisement;
+        }
+        conn->send(resp);
+        return;
+      }
+      if (const auto rdv =
+              std::dynamic_pointer_cast<const DirRendezvousRequest>(msg)) {
+        const auto it = households_.find(rdv->household);
+        if (it == households_.end() || !it->second.control) {
+          auto ready = std::make_shared<DirRendezvousReady>();
+          ready->txn = rdv->txn;
+          ready->ok = false;
+          conn->send(ready);
+          return;
+        }
+        rendezvous_waiters_[rdv->txn] = conn;
+        it->second.control->send(
+            std::make_shared<DirRendezvousRequest>(*rdv));
+        return;
+      }
+      if (const auto ready =
+              std::dynamic_pointer_cast<const DirRendezvousReady>(msg)) {
+        // Relayed back from the HPoP to the waiting requester.
+        const auto it = rendezvous_waiters_.find(ready->txn);
+        if (it == rendezvous_waiters_.end()) return;
+        if (const auto waiter = it->second.lock()) {
+          waiter->send(std::make_shared<DirRendezvousReady>(*ready));
+        }
+        rendezvous_waiters_.erase(it);
+        return;
+      }
+    });
+    conn->set_on_remote_close([conn] { conn->close(); });
+  });
+}
+
+DirectoryRegistration::DirectoryRegistration(
+    transport::TransportMux& mux, net::Endpoint directory,
+    std::string household, traversal::ReachabilityManager& reach)
+    : mux_(mux),
+      directory_(directory),
+      household_(std::move(household)),
+      reach_(reach) {
+  control_ = mux_.tcp_connect(directory_);
+  control_->set_on_message([this](net::PayloadPtr msg) {
+    if (const auto rdv =
+            std::dynamic_pointer_cast<const DirRendezvousRequest>(msg)) {
+      // A client is about to connect: punch so its SYN traverses our NAT,
+      // then confirm readiness through the directory.
+      reach_.expect_peer(rdv->client);
+      auto ready = std::make_shared<DirRendezvousReady>();
+      ready->txn = rdv->txn;
+      ready->ok = true;
+      control_->send(ready);
+    }
+  });
+}
+
+void DirectoryRegistration::register_advertisement(
+    const traversal::Advertisement& adv) {
+  auto reg = std::make_shared<DirRegister>();
+  reg->household = household_;
+  reg->advertisement = adv;
+  control_->send(reg);
+}
+
+void DirectoryClient::lookup(const std::string& household,
+                             LookupCallback cb) {
+  auto conn = mux_.tcp_connect(directory_);
+  auto req = std::make_shared<DirLookupRequest>();
+  req->household = household;
+  req->txn = next_txn_++;
+  conn->set_on_established([conn, req] { conn->send(req); });
+  auto done = std::make_shared<bool>(false);
+  conn->set_on_message([conn, cb, done](net::PayloadPtr msg) {
+    const auto resp = std::dynamic_pointer_cast<const DirLookupResponse>(msg);
+    if (!resp || *done) return;
+    *done = true;
+    conn->close();
+    if (!resp->found) {
+      cb(util::Result<traversal::Advertisement>::failure(
+          "not_found", "household not registered"));
+      return;
+    }
+    cb(resp->advertisement);
+  });
+  conn->set_on_reset([cb, done] {
+    if (*done) return;
+    *done = true;
+    cb(util::Result<traversal::Advertisement>::failure(
+        "directory_unreachable", "could not reach directory"));
+  });
+}
+
+void DirectoryClient::connect(const std::string& household,
+                              ConnectCallback cb) {
+  lookup(household, [this, household, cb](
+                        util::Result<traversal::Advertisement> adv) {
+    if (!adv.ok()) {
+      cb(util::Result<std::shared_ptr<transport::TcpConnection>>::failure(
+          adv.error().code, adv.error().message));
+      return;
+    }
+    if (adv.value().method == traversal::ReachMethod::kUnreachable) {
+      cb(util::Result<std::shared_ptr<transport::TcpConnection>>::failure(
+          "unreachable", "household HPoP is unreachable"));
+      return;
+    }
+    if (adv.value().rendezvous_required) {
+      rendezvous_and_connect(adv.value(), household, cb);
+    } else {
+      cb(mux_.tcp_connect(adv.value().endpoint));
+    }
+  });
+}
+
+void DirectoryClient::rendezvous_and_connect(
+    const traversal::Advertisement& adv, const std::string& household,
+    ConnectCallback cb) {
+  // Pre-choose our source port and announce it, so the HPoP can punch the
+  // exact (address, port) pair even through port-restricted filters.
+  const std::uint16_t source_port = mux_.host().allocate_port();
+  auto control = mux_.tcp_connect(directory_);
+  auto req = std::make_shared<DirRendezvousRequest>();
+  req->household = household;
+  req->client = {mux_.host().address(), source_port};
+  req->txn = next_txn_++;
+  control->set_on_established([control, req] { control->send(req); });
+  auto done = std::make_shared<bool>(false);
+  control->set_on_message([this, control, adv, source_port, cb,
+                           done](net::PayloadPtr msg) {
+    const auto ready =
+        std::dynamic_pointer_cast<const DirRendezvousReady>(msg);
+    if (!ready || *done) return;
+    *done = true;
+    control->close();
+    if (!ready->ok) {
+      cb(util::Result<std::shared_ptr<transport::TcpConnection>>::failure(
+          "rendezvous_failed", "HPoP did not acknowledge rendezvous"));
+      return;
+    }
+    transport::TcpOptions opts;
+    opts.local_port = source_port;
+    cb(mux_.tcp_connect(adv.endpoint, opts));
+  });
+  control->set_on_reset([cb, done] {
+    if (*done) return;
+    *done = true;
+    cb(util::Result<std::shared_ptr<transport::TcpConnection>>::failure(
+        "directory_unreachable", "could not reach directory"));
+  });
+}
+
+}  // namespace hpop::core

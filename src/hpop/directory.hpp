@@ -1,0 +1,122 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "traversal/reachability.hpp"
+#include "transport/mux.hpp"
+
+namespace hpop::core {
+
+/// Directory wire messages. The directory is the fixed rendezvous point
+/// that lets a household's devices find its HPoP "whether they are inside
+/// or outside of their homes" (§III) — dynamic-DNS plus NAT-rendezvous
+/// signalling.
+
+struct DirRegister : net::Payload {
+  std::string household;
+  traversal::Advertisement advertisement;
+  std::size_t wire_size() const override { return 64 + household.size(); }
+};
+
+struct DirLookupRequest : net::Payload {
+  std::string household;
+  std::uint64_t txn = 0;
+  std::size_t wire_size() const override { return 24 + household.size(); }
+};
+
+struct DirLookupResponse : net::Payload {
+  std::uint64_t txn = 0;
+  bool found = false;
+  traversal::Advertisement advertisement;
+  std::size_t wire_size() const override { return 64; }
+};
+
+/// Client -> directory -> HPoP: "this endpoint is about to connect to you."
+struct DirRendezvousRequest : net::Payload {
+  std::string household;
+  net::Endpoint client;
+  std::uint64_t txn = 0;
+  std::size_t wire_size() const override { return 40 + household.size(); }
+};
+
+/// HPoP -> directory -> client: "punched; connect now."
+struct DirRendezvousReady : net::Payload {
+  std::uint64_t txn = 0;
+  bool ok = false;
+  std::size_t wire_size() const override { return 24; }
+};
+
+/// The public directory service. HPoPs hold persistent registration
+/// connections (their always-on presence); lookups and rendezvous requests
+/// arrive from anywhere.
+class DirectoryServer {
+ public:
+  DirectoryServer(transport::TransportMux& mux, std::uint16_t port = 5300);
+
+  std::size_t registered() const { return households_.size(); }
+
+ private:
+  struct Registration {
+    traversal::Advertisement advertisement;
+    std::shared_ptr<transport::TcpConnection> control;
+  };
+
+  transport::TransportMux& mux_;
+  std::shared_ptr<transport::TcpListener> listener_;
+  std::map<std::string, Registration> households_;
+  // txn -> requester connection, for relaying rendezvous-ready.
+  std::map<std::uint64_t, std::weak_ptr<transport::TcpConnection>>
+      rendezvous_waiters_;
+};
+
+/// HPoP-side registration client: keeps the persistent connection, renews
+/// the advertisement, and punches on rendezvous notifications.
+class DirectoryRegistration {
+ public:
+  DirectoryRegistration(transport::TransportMux& mux,
+                        net::Endpoint directory,
+                        std::string household,
+                        traversal::ReachabilityManager& reach);
+
+  void register_advertisement(const traversal::Advertisement& adv);
+
+ private:
+  transport::TransportMux& mux_;
+  net::Endpoint directory_;
+  std::string household_;
+  traversal::ReachabilityManager& reach_;
+  std::shared_ptr<transport::TcpConnection> control_;
+};
+
+/// Device-side resolver: lookup + (if required) rendezvous + connect.
+class DirectoryClient {
+ public:
+  DirectoryClient(transport::TransportMux& mux, net::Endpoint directory)
+      : mux_(mux), directory_(directory) {}
+
+  using LookupCallback =
+      std::function<void(util::Result<traversal::Advertisement>)>;
+  void lookup(const std::string& household, LookupCallback cb);
+
+  /// Full flow: resolve the household and produce an established TCP
+  /// connection to its HPoP service, transparently handling punching or
+  /// relays. This is the "connect to home from anywhere" primitive every
+  /// HPoP application builds on.
+  using ConnectCallback = std::function<void(
+      util::Result<std::shared_ptr<transport::TcpConnection>>)>;
+  void connect(const std::string& household, ConnectCallback cb);
+
+ private:
+  void rendezvous_and_connect(const traversal::Advertisement& adv,
+                              const std::string& household,
+                              ConnectCallback cb);
+
+  transport::TransportMux& mux_;
+  net::Endpoint directory_;
+  std::uint64_t next_txn_ = 1;
+};
+
+}  // namespace hpop::core

@@ -1,0 +1,91 @@
+#include "http/cache.hpp"
+
+namespace hpop::http {
+
+void HttpCache::bump(const std::string& key, Node& node) {
+  lru_.erase(node.lru_pos);
+  lru_.push_front(key);
+  node.lru_pos = lru_.begin();
+}
+
+void HttpCache::evict_for(std::size_t need) {
+  while (size_ + need > capacity_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto it = map_.find(victim);
+    if (it != map_.end()) {
+      size_ -= it->second.entry.response.body.size();
+      map_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+}
+
+void HttpCache::store(const std::string& key, const Response& response,
+                      util::TimePoint now) {
+  if (response.status != 200) return;
+  const auto age = max_age_seconds(response.headers);
+  if (!age || *age <= 0) return;
+  const std::size_t body = response.body.size();
+  if (body > capacity_) return;
+
+  erase(key);
+  evict_for(body);
+
+  Node node;
+  node.entry.response = response;
+  node.entry.stored_at = now;
+  node.entry.max_age = *age * util::kSecond;
+  node.entry.etag = response.headers.get("etag").value_or("");
+  lru_.push_front(key);
+  node.lru_pos = lru_.begin();
+  size_ += body;
+  map_.emplace(key, std::move(node));
+  ++stats_.stores;
+}
+
+const HttpCache::Entry* HttpCache::lookup(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  bump(key, it->second);
+  return &it->second.entry;
+}
+
+const HttpCache::Entry* HttpCache::lookup_fresh(const std::string& key,
+                                                util::TimePoint now) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (!it->second.entry.fresh(now)) {
+    ++stats_.stale_hits;
+    return nullptr;
+  }
+  ++stats_.hits;
+  bump(key, it->second);
+  return &it->second.entry;
+}
+
+void HttpCache::touch(const std::string& key, util::TimePoint now) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;
+  it->second.entry.stored_at = now;
+  bump(key, it->second);
+}
+
+void HttpCache::erase(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;
+  size_ -= it->second.entry.response.body.size();
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+}
+
+void HttpCache::clear() {
+  map_.clear();
+  lru_.clear();
+  size_ = 0;
+}
+
+}  // namespace hpop::http

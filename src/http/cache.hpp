@@ -1,0 +1,77 @@
+#pragma once
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "http/message.hpp"
+#include "util/time.hpp"
+
+namespace hpop::http {
+
+/// RFC 7234-style response cache with byte-capacity LRU eviction.
+/// Freshness comes from Cache-Control: max-age; validation uses ETags
+/// (If-None-Match -> 304). Shared by the NoCDN peer proxies (§IV-B) and
+/// the Internet@home store (§IV-D).
+class HttpCache {
+ public:
+  explicit HttpCache(std::size_t capacity_bytes = 1ull << 30)
+      : capacity_(capacity_bytes) {}
+
+  struct Entry {
+    Response response;
+    util::TimePoint stored_at = 0;
+    util::Duration max_age = 0;
+    std::string etag;
+
+    bool fresh(util::TimePoint now) const {
+      return now - stored_at <= max_age;
+    }
+  };
+
+  /// Key = "host|path".
+  static std::string key(const std::string& host, const std::string& path) {
+    return host + "|" + path;
+  }
+
+  /// Stores a response if it is cacheable (200, max-age present).
+  void store(const std::string& key, const Response& response,
+             util::TimePoint now);
+  /// Entry regardless of freshness (caller may revalidate stale entries).
+  const Entry* lookup(const std::string& key);
+  /// Fresh entry or nullptr.
+  const Entry* lookup_fresh(const std::string& key, util::TimePoint now);
+  /// Marks a stale entry fresh again after a 304 (revalidation).
+  void touch(const std::string& key, util::TimePoint now);
+  void erase(const std::string& key);
+  void clear();
+
+  std::size_t size_bytes() const { return size_; }
+  std::size_t entries() const { return map_.size(); }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t stale_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    Entry entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+  void evict_for(std::size_t need);
+  void bump(const std::string& key, Node& node);
+
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::unordered_map<std::string, Node> map_;
+  std::list<std::string> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace hpop::http

@@ -1,0 +1,129 @@
+#include "http/client.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::http {
+
+/// One pooled keep-alive connection: at most one request outstanding
+/// (no client pipelining; parallelism comes from multiple connections,
+/// as in browsers).
+struct HttpClient::Conn : std::enable_shared_from_this<HttpClient::Conn> {
+  std::shared_ptr<transport::TcpConnection> tcp;
+  net::Endpoint server;
+  bool busy = false;
+  bool dead = false;
+  ResponseHandler handler;              // outstanding request's continuation
+  std::optional<sim::TimerId> timeout;
+};
+
+void HttpClient::fetch(net::Endpoint server, Request request,
+                       ResponseHandler handler, FetchOptions options) {
+  ++stats_.requests;
+  if (!request.headers.has("host")) {
+    request.headers.set("Host", server.ip.to_string());
+  }
+  pools_[server].queue.push_back(
+      Pending{std::move(request), std::move(handler), options});
+  pump(server);
+}
+
+std::shared_ptr<HttpClient::Conn> HttpClient::idle_connection(
+    Pool& pool, net::Endpoint server, const FetchOptions& options) {
+  std::erase_if(pool.conns,
+                [](const std::shared_ptr<Conn>& c) { return c->dead; });
+  for (const auto& conn : pool.conns) {
+    if (!conn->busy) return conn;
+  }
+  if (static_cast<int>(pool.conns.size()) >=
+      options.max_connections_per_endpoint) {
+    return nullptr;
+  }
+
+  auto conn = std::make_shared<Conn>();
+  conn->server = server;
+  conn->tcp = mux_.tcp_connect(server);
+  pool.conns.push_back(conn);
+
+  std::weak_ptr<Conn> weak = conn;
+  conn->tcp->set_on_message([this, weak](net::PayloadPtr msg) {
+    const auto c = weak.lock();
+    if (!c) return;
+    const auto resp = std::dynamic_pointer_cast<const ResponsePayload>(msg);
+    if (!resp || !c->busy) return;
+    if (c->timeout) {
+      mux_.simulator().cancel(*c->timeout);
+      c->timeout.reset();
+    }
+    c->busy = false;
+    auto handler = std::move(c->handler);
+    c->handler = nullptr;
+    ++stats_.responses;
+    stats_.bytes_fetched += resp->response.wire_size();
+    if (handler) handler(resp->response);
+    pump(c->server);
+  });
+  auto on_gone = [this, weak] {
+    const auto c = weak.lock();
+    if (!c || c->dead) return;
+    c->dead = true;
+    if (c->timeout) {
+      mux_.simulator().cancel(*c->timeout);
+      c->timeout.reset();
+    }
+    if (c->busy && c->handler) {
+      ++stats_.errors;
+      auto handler = std::move(c->handler);
+      c->handler = nullptr;
+      handler(util::Result<Response>::failure("connection_failed",
+                                              "connection lost"));
+    }
+    pump(c->server);
+  };
+  conn->tcp->set_on_reset(on_gone);
+  conn->tcp->set_on_closed(on_gone);
+  conn->tcp->set_on_remote_close([weak] {
+    if (const auto c = weak.lock()) c->tcp->close();
+  });
+  return conn;
+}
+
+void HttpClient::dispatch(const std::shared_ptr<Conn>& conn, Pending pending) {
+  conn->busy = true;
+  conn->handler = std::move(pending.handler);
+  std::weak_ptr<Conn> weak = conn;
+  conn->timeout = mux_.simulator().schedule(
+      pending.options.timeout, [this, weak] {
+        const auto c = weak.lock();
+        if (!c || !c->busy) return;
+        c->timeout.reset();
+        ++stats_.errors;
+        auto handler = std::move(c->handler);
+        c->handler = nullptr;
+        c->busy = false;
+        c->dead = true;
+        c->tcp->abort();
+        if (handler) {
+          handler(util::Result<Response>::failure("timeout",
+                                                  "request timed out"));
+        }
+        pump(c->server);
+      });
+  conn->tcp->send(
+      std::make_shared<RequestPayload>(std::move(pending.request)));
+}
+
+void HttpClient::pump(net::Endpoint server) {
+  Pool& pool = pools_[server];
+  while (!pool.queue.empty()) {
+    const auto conn =
+        idle_connection(pool, server, pool.queue.front().options);
+    if (conn == nullptr) return;  // at connection cap; wait for a response
+    // TcpConnection queues sends until established, so dispatching onto a
+    // still-handshaking connection is safe.
+    Pending pending = std::move(pool.queue.front());
+    pool.queue.pop_front();
+    dispatch(conn, std::move(pending));
+  }
+}
+
+}  // namespace hpop::http

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "http/message.hpp"
+#include "transport/mux.hpp"
+#include "util/result.hpp"
+
+namespace hpop::http {
+
+struct FetchOptions {
+  util::Duration timeout = 30 * util::kSecond;
+  /// Maximum parallel connections per server endpoint (browser-like).
+  int max_connections_per_endpoint = 6;
+};
+
+/// Asynchronous HTTP client with keep-alive connection pooling. One
+/// instance per host; all of a host's services (loader scripts, attic
+/// clients, prefetchers) share it.
+class HttpClient {
+ public:
+  explicit HttpClient(transport::TransportMux& mux) : mux_(mux) {}
+
+  sim::Simulator& simulator() { return mux_.simulator(); }
+
+  using ResponseHandler = std::function<void(util::Result<Response>)>;
+  void fetch(net::Endpoint server, Request request, ResponseHandler handler,
+             FetchOptions options = {});
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t bytes_fetched = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    Request request;
+    ResponseHandler handler;
+    FetchOptions options;
+  };
+  struct Conn;
+  struct Pool {
+    std::deque<Pending> queue;
+    std::vector<std::shared_ptr<Conn>> conns;
+  };
+
+  void pump(net::Endpoint server);
+  std::shared_ptr<Conn> idle_connection(Pool& pool, net::Endpoint server,
+                                        const FetchOptions& options);
+  void dispatch(const std::shared_ptr<Conn>& conn, Pending pending);
+
+  transport::TransportMux& mux_;
+  std::map<net::Endpoint, Pool> pools_;
+  Stats stats_;
+};
+
+}  // namespace hpop::http

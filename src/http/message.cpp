@@ -1,0 +1,179 @@
+#include "http/message.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace hpop::http {
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPut: return "PUT";
+    case Method::kPost: return "POST";
+    case Method::kDelete: return "DELETE";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kPropfind: return "PROPFIND";
+    case Method::kMkcol: return "MKCOL";
+    case Method::kLock: return "LOCK";
+    case Method::kUnlock: return "UNLOCK";
+    case Method::kMove: return "MOVE";
+    case Method::kCopy: return "COPY";
+  }
+  return "?";
+}
+
+std::string Headers::lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+void Headers::set(std::string name, std::string value) {
+  map_[lower(std::move(name))] = std::move(value);
+}
+
+std::optional<std::string> Headers::get(const std::string& name) const {
+  const auto it = map_.find(lower(name));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Headers::has(const std::string& name) const {
+  return map_.count(lower(name)) > 0;
+}
+
+void Headers::erase(const std::string& name) { map_.erase(lower(name)); }
+
+std::size_t Headers::wire_size() const {
+  std::size_t total = 0;
+  for (const auto& [k, v] : map_) {
+    total += k.size() + v.size() + 4;  // ": " + CRLF
+  }
+  return total;
+}
+
+std::size_t Body::size() const {
+  if (is_real()) return bytes().size();
+  return std::get<Synthetic>(rep_).size;
+}
+
+std::string Body::text() const {
+  assert(is_real());
+  return util::to_string(bytes());
+}
+
+std::uint64_t Body::tag() const {
+  if (is_real()) return 0;
+  return std::get<Synthetic>(rep_).tag;
+}
+
+util::Digest Body::digest() const {
+  if (is_real()) return util::Sha256::digest(bytes());
+  const auto& s = std::get<Synthetic>(rep_);
+  char canon[64];
+  std::snprintf(canon, sizeof canon, "synthetic:%llu:%zu",
+                static_cast<unsigned long long>(s.tag), s.size);
+  return util::Sha256::digest(std::string_view(canon));
+}
+
+Body Body::slice(std::size_t offset, std::size_t length) const {
+  assert(offset + length <= size());
+  if (is_real()) {
+    const auto& b = bytes();
+    return Body(util::Bytes(b.begin() + static_cast<std::ptrdiff_t>(offset),
+                            b.begin() +
+                                static_cast<std::ptrdiff_t>(offset + length)));
+  }
+  const auto& s = std::get<Synthetic>(rep_);
+  if (offset == 0 && length == s.size) return *this;
+  // Deterministic sub-tag so independent parties derive identical slices.
+  const std::uint64_t sub_tag =
+      s.tag ^ (0x9e3779b97f4a7c15ULL * (offset + 0x51ull)) ^
+      (0xc2b2ae3d27d4eb4fULL * (length + 0x9dull));
+  return synthetic(length, sub_tag);
+}
+
+Body Body::corrupted() const {
+  if (is_real()) {
+    util::Bytes b = bytes();
+    if (b.empty()) {
+      b.push_back(0xEE);
+    } else {
+      b[b.size() / 2] ^= 0x01;
+    }
+    return Body(std::move(b));
+  }
+  const auto& s = std::get<Synthetic>(rep_);
+  return synthetic(s.size, ~s.tag);
+}
+
+namespace {
+// Rough fixed costs of the request/status lines.
+constexpr std::size_t kRequestLineOverhead = 32;
+constexpr std::size_t kStatusLineOverhead = 24;
+}  // namespace
+
+std::size_t Request::wire_size() const {
+  return kRequestLineOverhead + path.size() + headers.wire_size() +
+         body.size();
+}
+
+std::size_t Response::wire_size() const {
+  return kStatusLineOverhead + headers.wire_size() + body.size();
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> parse_range(
+    const Headers& headers, std::size_t body_size) {
+  const auto value = headers.get("range");
+  if (!value) return std::nullopt;
+  unsigned long long a = 0, b = 0;
+  if (std::sscanf(value->c_str(), "bytes=%llu-%llu", &a, &b) != 2 || b < a ||
+      a >= body_size) {
+    return std::nullopt;
+  }
+  const std::size_t end = std::min<std::size_t>(b + 1, body_size);
+  return std::make_pair(static_cast<std::size_t>(a),
+                        end - static_cast<std::size_t>(a));
+}
+
+void set_range(Headers& headers, std::size_t offset, std::size_t length) {
+  assert(length > 0);
+  headers.set("Range", "bytes=" + std::to_string(offset) + "-" +
+                           std::to_string(offset + length - 1));
+}
+
+std::optional<std::int64_t> max_age_seconds(const Headers& headers) {
+  const auto value = headers.get("cache-control");
+  if (!value) return std::nullopt;
+  if (value->find("no-store") != std::string::npos) return std::nullopt;
+  const auto pos = value->find("max-age=");
+  if (pos == std::string::npos) return std::nullopt;
+  return std::atoll(value->c_str() + pos + 8);
+}
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 207: return "Multi-Status";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 423: return "Locked";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace hpop::http

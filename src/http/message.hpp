@@ -1,0 +1,140 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "net/packet.hpp"
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace hpop::http {
+
+/// HTTP/1.1 methods plus the WebDAV verbs the data attic uses (§IV-A).
+enum class Method {
+  kGet,
+  kHead,
+  kPut,
+  kPost,
+  kDelete,
+  kOptions,
+  // WebDAV:
+  kPropfind,
+  kMkcol,
+  kLock,
+  kUnlock,
+  kMove,
+  kCopy,
+};
+
+std::string to_string(Method m);
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  /// nullopt when absent.
+  std::optional<std::string> get(const std::string& name) const;
+  bool has(const std::string& name) const;
+  void erase(const std::string& name);
+  std::size_t wire_size() const;
+  const std::map<std::string, std::string>& entries() const { return map_; }
+
+ private:
+  static std::string lower(std::string s);
+  std::map<std::string, std::string> map_;
+};
+
+/// Message body: either concrete bytes (small content, where the bytes
+/// themselves matter — attic files, wrapper pages) or synthetic content
+/// identified by a content tag (bulk media in the delivery benches).
+/// Synthetic bodies hash deterministically from (tag, size), so integrity
+/// checking — the heart of NoCDN — works identically for both kinds.
+class Body {
+ public:
+  Body() : rep_(util::Bytes{}) {}
+  explicit Body(util::Bytes bytes) : rep_(std::move(bytes)) {}
+  explicit Body(std::string_view text) : rep_(util::to_bytes(text)) {}
+  static Body synthetic(std::size_t size, std::uint64_t tag) {
+    Body b;
+    b.rep_ = Synthetic{size, tag};
+    return b;
+  }
+
+  std::size_t size() const;
+  bool is_real() const { return std::holds_alternative<util::Bytes>(rep_); }
+  /// Real bytes; must only be called when is_real().
+  const util::Bytes& bytes() const { return std::get<util::Bytes>(rep_); }
+  std::string text() const;
+  std::uint64_t tag() const;
+
+  /// Content digest: SHA-256 of the bytes, or of the canonical (tag, size)
+  /// encoding for synthetic bodies.
+  util::Digest digest() const;
+
+  /// Byte range [offset, offset+length) as its own body. Synthetic slices
+  /// derive a deterministic sub-tag, so origin-computed chunk hashes match
+  /// honest peer-served chunks.
+  Body slice(std::size_t offset, std::size_t length) const;
+
+  /// A tampered copy (different tag / flipped byte): what a malicious NoCDN
+  /// peer serves. Always hash-mismatches the original.
+  Body corrupted() const;
+
+ private:
+  struct Synthetic {
+    std::size_t size;
+    std::uint64_t tag;
+  };
+  std::variant<util::Bytes, Synthetic> rep_;
+};
+
+struct Request {
+  Method method = Method::kGet;
+  std::string path;  // absolute path, e.g. "/records/2026/scan.pdf"
+  Headers headers;
+  Body body;
+
+  std::size_t wire_size() const;
+};
+
+struct Response {
+  int status = 200;
+  Headers headers;
+  Body body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+  std::size_t wire_size() const;
+};
+
+/// Payload wrappers carried over simulated TCP.
+class RequestPayload : public net::Payload {
+ public:
+  explicit RequestPayload(Request req) : request(std::move(req)) {}
+  std::size_t wire_size() const override { return request.wire_size(); }
+  Request request;
+};
+
+class ResponsePayload : public net::Payload {
+ public:
+  explicit ResponsePayload(Response resp) : response(std::move(resp)) {}
+  std::size_t wire_size() const override { return response.wire_size(); }
+  Response response;
+};
+
+// --- Header helpers used across modules ---
+
+/// Parses "Range: bytes=a-b" (inclusive b, per RFC 7233). Returns
+/// {offset, length} or nullopt.
+std::optional<std::pair<std::size_t, std::size_t>> parse_range(
+    const Headers& headers, std::size_t body_size);
+void set_range(Headers& headers, std::size_t offset, std::size_t length);
+
+/// Cache-Control: max-age=N (seconds); nullopt when absent/uncacheable.
+std::optional<std::int64_t> max_age_seconds(const Headers& headers);
+
+std::string status_text(int status);
+
+}  // namespace hpop::http

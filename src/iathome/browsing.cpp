@@ -1,0 +1,84 @@
+#include "iathome/browsing.hpp"
+
+#include "iathome/prefetcher.hpp"
+
+namespace hpop::iathome {
+
+UserDevice::UserDevice(transport::TransportMux& mux, const WebCorpus& corpus,
+                       BrowsingConfig config, net::Endpoint service,
+                       net::Endpoint upstream, util::Rng rng)
+    : mux_(mux),
+      corpus_(corpus),
+      config_(config),
+      service_(service),
+      upstream_(upstream),
+      rng_(rng),
+      client_(mux) {}
+
+double UserDevice::activity_now() const {
+  const auto hour = static_cast<std::size_t>(
+      (mux_.simulator().now() / util::kHour) % 24);
+  return config_.diurnal[hour];
+}
+
+void UserDevice::start() {
+  running_ = true;
+  schedule_next_view();
+}
+
+void UserDevice::schedule_next_view() {
+  if (!running_) return;
+  // Thinning: draw at peak rate, then accept with the diurnal factor —
+  // an exact nonhomogeneous-Poisson sampler.
+  const double gap =
+      rng_.exponential(util::to_seconds(config_.mean_think_time));
+  mux_.simulator().schedule(util::seconds(gap), [this] {
+    if (!running_) return;
+    if (rng_.bernoulli(activity_now())) {
+      view_page();
+    }
+    schedule_next_view();
+  });
+}
+
+void UserDevice::view_page() {
+  ++stats_.page_views;
+  const int site = corpus_.sample_site(rng_);
+  const auto objects = corpus_.page_objects(site);
+
+  struct View {
+    util::TimePoint started;
+    int outstanding;
+    bool failed = false;
+  };
+  auto view = std::make_shared<View>();
+  view->started = mux_.simulator().now();
+  view->outstanding = static_cast<int>(objects.size());
+
+  for (const std::size_t id : objects) {
+    http::Request req;
+    req.method = http::Method::kGet;
+    const std::string url = corpus_.object(id).url;
+    req.path = config_.via_hpop
+                   ? std::string(HomeWebService::kPrefix) + url
+                   : url;
+    client_.fetch(config_.via_hpop ? service_ : upstream_, std::move(req),
+                  [this, view](util::Result<http::Response> result) {
+                    if (!result.ok() || !result.value().ok()) {
+                      view->failed = true;
+                    } else {
+                      ++stats_.objects_fetched;
+                    }
+                    if (--view->outstanding == 0) {
+                      if (view->failed) {
+                        ++stats_.failures;
+                      } else {
+                        stats_.page_load_ms.add(util::to_millis(
+                            mux_.simulator().now() - view->started));
+                      }
+                    }
+                  });
+  }
+}
+
+}  // namespace hpop::iathome

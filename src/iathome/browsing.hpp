@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "http/client.hpp"
+#include "iathome/corpus.hpp"
+#include "util/stats.hpp"
+
+namespace hpop::iathome {
+
+struct BrowsingConfig {
+  /// Mean think time between page views during active hours.
+  util::Duration mean_think_time = 60 * util::kSecond;
+  /// Diurnal envelope: activity multiplier per hour-of-day (24 entries,
+  /// 0..1). Defaults to a typical evening-heavy home profile.
+  std::array<double, 24> diurnal{
+      0.05, 0.02, 0.02, 0.02, 0.02, 0.05, 0.15, 0.3,  //
+      0.3,  0.25, 0.2,  0.2,  0.25, 0.25, 0.2,  0.2,  //
+      0.3,  0.5,  0.8,  1.0,  1.0,  0.9,  0.6,  0.2};
+  /// When true, page views go through the HPoP's HomeWebService endpoint;
+  /// when false, straight to the upstream Internet (the baseline world).
+  bool via_hpop = true;
+};
+
+/// A household member's browsing behaviour: Poisson page views inside a
+/// diurnal envelope, each view fetching a site's container + embedded
+/// objects in the corpus (§IV-D "leverage users' long-term history").
+class UserDevice {
+ public:
+  /// `service` is the local HPoP web endpoint (path prefix /web) and
+  /// `upstream` the direct Internet server, for the via_hpop=false
+  /// baseline.
+  UserDevice(transport::TransportMux& mux, const WebCorpus& corpus,
+             BrowsingConfig config, net::Endpoint service,
+             net::Endpoint upstream, util::Rng rng);
+
+  void start();
+  void stop() { running_ = false; }
+
+  struct Stats {
+    std::uint64_t page_views = 0;
+    std::uint64_t objects_fetched = 0;
+    std::uint64_t failures = 0;
+    util::Summary page_load_ms;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void schedule_next_view();
+  void view_page();
+  double activity_now() const;
+
+  transport::TransportMux& mux_;
+  const WebCorpus& corpus_;
+  BrowsingConfig config_;
+  net::Endpoint service_;
+  net::Endpoint upstream_;
+  util::Rng rng_;
+  http::HttpClient client_;
+  bool running_ = false;
+  Stats stats_;
+};
+
+}  // namespace hpop::iathome

@@ -1,0 +1,25 @@
+#include "iathome/prefetcher.hpp"
+#include "util/hash.hpp"
+
+namespace hpop::iathome {
+
+void CoopDirectory::add_member(net::Endpoint home_web_endpoint) {
+  members_.push_back(home_web_endpoint);
+}
+
+int CoopDirectory::owner_of(const std::string& url) const {
+  // Stable hash partition of the URL space across neighbourhood HPoPs
+  // (rendezvous hashing would survive churn better; the bench ablates
+  // partitioned coordination vs no coordination instead).
+  const util::Digest d = util::Sha256::digest(url);
+  const std::uint64_t h = (std::uint64_t(d[0]) << 56) |
+                          (std::uint64_t(d[1]) << 48) |
+                          (std::uint64_t(d[2]) << 40) |
+                          (std::uint64_t(d[3]) << 32) |
+                          (std::uint64_t(d[4]) << 24) |
+                          (std::uint64_t(d[5]) << 16) |
+                          (std::uint64_t(d[6]) << 8) | std::uint64_t(d[7]);
+  return static_cast<int>(h % members_.size());
+}
+
+}  // namespace hpop::iathome

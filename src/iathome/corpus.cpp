@@ -1,0 +1,138 @@
+#include "iathome/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpop::iathome {
+
+WebCorpus::WebCorpus(CorpusConfig config, util::Rng rng)
+    : config_(config),
+      site_popularity_(static_cast<std::uint64_t>(config.n_sites),
+                       config.zipf_exponent) {
+  objects_.reserve(static_cast<std::size_t>(config_.n_sites) *
+                   static_cast<std::size_t>(config_.objects_per_site));
+  for (int s = 0; s < config_.n_sites; ++s) {
+    site_first_.push_back(objects_.size());
+    for (int o = 0; o < config_.objects_per_site; ++o) {
+      ObjectInfo info;
+      info.site = s;
+      info.index = o;
+      info.url = "/s" + std::to_string(s) + "/o" + std::to_string(o);
+      info.size = std::max<std::size_t>(
+          512, static_cast<std::size_t>(
+                   rng.lognormal(config_.size_mu, config_.size_sigma)));
+      // Log-uniform change periods: some objects churn in minutes, most
+      // over days.
+      const double lo = std::log(static_cast<double>(
+          config_.min_change_period));
+      const double hi = std::log(static_cast<double>(
+          config_.max_change_period));
+      info.change_period =
+          static_cast<util::Duration>(std::exp(rng.uniform(lo, hi)));
+      info.deep = rng.bernoulli(config_.deep_fraction);
+      total_bytes_ += info.size;
+      objects_.push_back(std::move(info));
+    }
+  }
+}
+
+int WebCorpus::find(const std::string& url) const {
+  int site = 0, index = 0;
+  if (std::sscanf(url.c_str(), "/s%d/o%d", &site, &index) != 2) return -1;
+  if (site < 0 || site >= config_.n_sites || index < 0 ||
+      index >= config_.objects_per_site) {
+    return -1;
+  }
+  return static_cast<int>(site_first_[static_cast<std::size_t>(site)]) +
+         index;
+}
+
+std::uint64_t WebCorpus::version_at(std::size_t id, util::TimePoint t) const {
+  const ObjectInfo& info = objects_[id];
+  return static_cast<std::uint64_t>(t / info.change_period);
+}
+
+http::Body WebCorpus::body_at(std::size_t id, util::TimePoint t) const {
+  const ObjectInfo& info = objects_[id];
+  // Tag mixes identity and version: a changed object hash-differs.
+  const std::uint64_t tag =
+      (static_cast<std::uint64_t>(id) << 24) ^ version_at(id, t);
+  return http::Body::synthetic(info.size, tag);
+}
+
+std::vector<std::size_t> WebCorpus::page_objects(int site) const {
+  std::vector<std::size_t> ids;
+  const std::size_t first = site_first_[static_cast<std::size_t>(site)];
+  ids.push_back(first);  // container
+  const int embeds =
+      std::min(config_.embedded_per_page, config_.objects_per_site - 1);
+  for (int e = 1; e <= embeds; ++e) {
+    ids.push_back(first + static_cast<std::size_t>(e));
+  }
+  return ids;
+}
+
+int WebCorpus::sample_site(util::Rng& rng) const {
+  return static_cast<int>(site_popularity_.sample(rng));
+}
+
+InternetService::InternetService(transport::TransportMux& mux,
+                                 WebCorpus& corpus, std::uint16_t port)
+    : mux_(mux), corpus_(corpus), port_(port), server_(mux, port) {
+  server_.route(
+      http::Method::kGet, "/s",
+      [this](const http::Request& req, http::ResponseWriter& w) {
+        ++stats_.requests;
+        http::Response resp;
+        const int id = corpus_.find(req.path);
+        if (id < 0) {
+          resp.status = 404;
+          w.respond(std::move(resp));
+          return;
+        }
+        const auto& info = corpus_.object(static_cast<std::size_t>(id));
+        if (info.deep) {
+          const auto auth = req.headers.get("authorization");
+          if (!auth || credentials_.count(*auth) == 0) {
+            ++stats_.unauthorized;
+            resp.status = 401;
+            w.respond(std::move(resp));
+            return;
+          }
+        }
+        const util::TimePoint now = mux_.simulator().now();
+        const std::string etag =
+            "\"" + std::to_string(id) + "." +
+            std::to_string(corpus_.version_at(static_cast<std::size_t>(id),
+                                              now)) +
+            "\"";
+        if (req.headers.get("if-none-match") == etag) {
+          ++stats_.not_modified;
+          resp.status = 304;
+          resp.headers.set("ETag", etag);
+          // 304s refresh freshness lifetime too (RFC 7234 §4.3.4).
+          resp.headers.set(
+              "Cache-Control",
+              "max-age=" + std::to_string(corpus_.config().max_age_s));
+          w.respond(std::move(resp));
+          return;
+        }
+        resp.body = corpus_.body_at(static_cast<std::size_t>(id), now);
+        resp.headers.set("ETag", etag);
+        resp.headers.set(
+            "Cache-Control",
+            "max-age=" + std::to_string(corpus_.config().max_age_s));
+        stats_.bytes_served += resp.wire_size();
+        w.respond(std::move(resp));
+      });
+}
+
+void InternetService::add_credential(const std::string& credential) {
+  credentials_.insert(credential);
+}
+
+net::Endpoint InternetService::endpoint() const {
+  return {mux_.host().address(), port_};
+}
+
+}  // namespace hpop::iathome

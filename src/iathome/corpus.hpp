@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "http/server.hpp"
+#include "util/rng.hpp"
+
+namespace hpop::iathome {
+
+/// Parameters of the synthetic web corpus ("the Internet" as seen by a
+/// household). Popularity is Zipf across pages; object sizes lognormal;
+/// every object changes on its own period (content churn), and a fraction
+/// is "deep web" — requiring the user's credentials (§IV-D).
+struct CorpusConfig {
+  int n_sites = 100;
+  int objects_per_site = 20;
+  double zipf_exponent = 0.9;
+  double size_mu = std::log(40.0 * 1024);  // median ~40 KB
+  double size_sigma = 1.0;
+  util::Duration min_change_period = 10 * util::kMinute;
+  util::Duration max_change_period = 7 * util::kDay;
+  double deep_fraction = 0.15;
+  std::int64_t max_age_s = 300;  // served Cache-Control
+  int embedded_per_page = 8;
+};
+
+/// The corpus: deterministic object catalogue with lazy versioning —
+/// version(t) = t / change_period, so no per-object timers are needed.
+class WebCorpus {
+ public:
+  WebCorpus(CorpusConfig config, util::Rng rng);
+
+  struct ObjectInfo {
+    std::string url;  // "/s<site>/o<index>"
+    int site = 0;
+    int index = 0;
+    std::size_t size = 0;
+    util::Duration change_period = 0;
+    bool deep = false;
+  };
+
+  const CorpusConfig& config() const { return config_; }
+  std::size_t object_count() const { return objects_.size(); }
+  const ObjectInfo& object(std::size_t id) const { return objects_[id]; }
+  /// id by url; -1 if unknown.
+  int find(const std::string& url) const;
+
+  /// Current version of an object at simulated time t.
+  std::uint64_t version_at(std::size_t id, util::TimePoint t) const;
+  /// Synthetic body for the object's version at time t.
+  http::Body body_at(std::size_t id, util::TimePoint t) const;
+
+  /// A page view of site s = its container (object 0) plus embedded
+  /// objects (deterministic per site).
+  std::vector<std::size_t> page_objects(int site) const;
+
+  /// Popularity sampling: draws a site for the next page view.
+  int sample_site(util::Rng& rng) const;
+
+  std::size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  CorpusConfig config_;
+  std::vector<ObjectInfo> objects_;
+  std::vector<std::size_t> site_first_;  // first object id per site
+  util::ZipfSampler site_popularity_;
+  std::size_t total_bytes_ = 0;
+};
+
+/// The upstream Internet server hosting the corpus: GET /s<i>/o<j>, with
+/// If-None-Match revalidation and deep-web authorization.
+class InternetService {
+ public:
+  InternetService(transport::TransportMux& mux, WebCorpus& corpus,
+                  std::uint16_t port = 80);
+
+  /// Registers a valid credential for deep-web content.
+  void add_credential(const std::string& credential);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t not_modified = 0;
+    std::uint64_t unauthorized = 0;
+    std::uint64_t bytes_served = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  net::Endpoint endpoint() const;
+
+ private:
+  transport::TransportMux& mux_;
+  WebCorpus& corpus_;
+  std::uint16_t port_;
+  http::HttpServer server_;
+  std::set<std::string> credentials_;
+  Stats stats_;
+};
+
+}  // namespace hpop::iathome

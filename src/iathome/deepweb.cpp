@@ -1,0 +1,52 @@
+#include "iathome/deepweb.hpp"
+
+namespace hpop::iathome {
+
+void AtticTriggerEngine::start(util::Duration scan_interval) {
+  scan_now();
+  sim_.schedule(scan_interval,
+                [this, scan_interval] { start(scan_interval); });
+}
+
+int AtticTriggerEngine::scan_now() {
+  int added = 0;
+  for (const Trigger& trigger : triggers_) {
+    for (const std::string& url : trigger(store_)) {
+      if (subscribed_.insert(url).second) {
+        service_.subscribe(url);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+AtticTriggerEngine::Trigger make_ticker_trigger(
+    std::string scan_dir, std::map<std::string, std::string> symbol_to_url) {
+  return [scan_dir = std::move(scan_dir),
+          symbol_to_url = std::move(symbol_to_url)](
+             const attic::AtticStore& store) {
+    std::vector<std::string> urls;
+    for (const std::string& path : store.list(scan_dir)) {
+      const auto file = store.get(path);
+      if (!file.ok() || !file.value().content.is_real()) continue;
+      const std::string text = file.value().content.text();
+      std::size_t pos = 0;
+      while ((pos = text.find("TICKER:", pos)) != std::string::npos) {
+        pos += 7;
+        std::size_t end = pos;
+        while (end < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[end])) != 0)) {
+          ++end;
+        }
+        const std::string symbol = text.substr(pos, end - pos);
+        const auto it = symbol_to_url.find(symbol);
+        if (it != symbol_to_url.end()) urls.push_back(it->second);
+        pos = end;
+      }
+    }
+    return urls;
+  };
+}
+
+}  // namespace hpop::iathome

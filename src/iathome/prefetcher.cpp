@@ -1,0 +1,317 @@
+#include "iathome/prefetcher.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace hpop::iathome {
+
+HomeWebService::HomeWebService(transport::TransportMux& mux,
+                               HomeWebConfig config, net::Endpoint upstream)
+    : mux_(mux),
+      config_(config),
+      upstream_(upstream),
+      server_(mux, config.port),
+      client_(mux),
+      cache_(config.cache_bytes) {
+  if (config_.demand_smoothing) {
+    // Modest burst allowance; large transfers push the bucket into deficit
+    // (see refresh()'s estimate-and-settle accounting) and later refreshes
+    // wait it out — no fetch can starve forever.
+    smoother_ = std::make_unique<util::TokenBucket>(
+        config_.smoothing_rate_bytes_per_s,
+        std::max(config_.smoothing_rate_bytes_per_s * 2, 64.0 * 1024));
+  }
+  server_.route(http::Method::kGet, kPrefix,
+                [this](const http::Request& req, http::ResponseWriter& w) {
+                  const bool from_coop = req.headers.has("x-coop");
+                  handle_device_request(req, w, from_coop);
+                });
+}
+
+net::Endpoint HomeWebService::endpoint() const {
+  return {mux_.host().address(), config_.port};
+}
+
+void HomeWebService::join_coop(std::shared_ptr<CoopDirectory> coop,
+                               int self_index) {
+  coop_ = std::move(coop);
+  self_index_ = self_index;
+}
+
+void HomeWebService::add_credential(int site, const std::string& credential) {
+  credentials_[site] = credential;
+}
+
+void HomeWebService::subscribe(const std::string& url) {
+  subscriptions_.insert(url);
+  if (tracked_.count(url) == 0) {
+    tracked_[url] = Tracked{url, 1.0, std::nullopt};
+    refresh(url);
+  }
+}
+
+void HomeWebService::start() {
+  mux_.simulator().schedule(config_.prefetch_scan_interval, [this] {
+    rescan_tracked();
+    start();
+  });
+}
+
+net::Endpoint HomeWebService::upstream_for(const std::string& url) const {
+  (void)url;
+  return upstream_;
+}
+
+void HomeWebService::fetch_upstream(
+    const std::string& url,
+    std::function<void(util::Result<http::Response>)> cb, bool conditional) {
+  http::Request req;
+  req.method = http::Method::kGet;
+  req.path = url;
+  int site = -1;
+  std::sscanf(url.c_str(), "/s%d/", &site);
+  const auto cred = credentials_.find(site);
+  if (cred != credentials_.end()) {
+    req.headers.set("Authorization", cred->second);
+  }
+  if (conditional) {
+    if (const auto* entry = cache_.lookup(http::HttpCache::key("", url))) {
+      if (!entry->etag.empty()) {
+        req.headers.set("If-None-Match", entry->etag);
+      }
+    }
+  }
+  ++stats_.upstream_fetches;
+  client_.fetch(upstream_for(url), std::move(req),
+                [this, cb](util::Result<http::Response> result) {
+                  if (result.ok()) {
+                    stats_.upstream_bytes += result.value().wire_size();
+                  }
+                  cb(std::move(result));
+                });
+}
+
+void HomeWebService::record_access(const std::string& url) {
+  // EWMA popularity; the rescan ranks by it.
+  for (auto& [tracked_url, pop] : history_) {
+    (void)tracked_url;
+    pop *= 0.995;
+  }
+  history_[url] += 1.0;
+}
+
+void HomeWebService::handle_device_request(const http::Request& req,
+                                           http::ResponseWriter& w,
+                                           bool from_coop) {
+  ++stats_.device_requests;
+  const util::TimePoint start = mux_.simulator().now();
+  const std::string url = req.path.substr(std::string(kPrefix).size());
+  if (!from_coop) record_access(url);
+
+  auto reply = [this, &w, start](http::Response resp) {
+    stats_.device_latency_ms.add(
+        util::to_millis(mux_.simulator().now() - start));
+    w.respond(std::move(resp));
+  };
+
+  const std::string key = http::HttpCache::key("", url);
+  const util::TimePoint now = mux_.simulator().now();
+  if (const auto* entry = cache_.lookup_fresh(key, now)) {
+    ++stats_.local_hits;
+    reply(entry->response);
+    return;
+  }
+  // Stale-but-present under revalidate policy: conditional upstream GET.
+  const auto* stale = cache_.lookup(key);
+  if (stale != nullptr &&
+      config_.freshness == FreshnessPolicy::kRevalidateOnAccess) {
+    auto writer = std::make_shared<http::ResponseWriter>(w);
+    fetch_upstream(
+        url,
+        [this, key, url, writer, start](util::Result<http::Response> result) {
+          http::Response resp;
+          const util::TimePoint now = mux_.simulator().now();
+          if (result.ok() && result.value().status == 304) {
+            cache_.touch(key, now);
+            resp = cache_.lookup(key)->response;
+          } else if (result.ok() && result.value().ok()) {
+            cache_.store(key, result.value(), now);
+            resp = result.value();
+          } else {
+            // Upstream trouble: serve the stale copy — §IV-A's "occasional
+            // unavailability" pragmatism applied to the web copy.
+            ++stats_.stale_served;
+            resp = cache_.lookup(key)->response;
+          }
+          stats_.device_latency_ms.add(util::to_millis(now - start));
+          writer->respond(std::move(resp));
+        },
+        /*conditional=*/true);
+    return;
+  }
+
+  // Miss. Cooperative neighbourhoods route through the URL's owner so the
+  // neighbourhood fetches each object upstream once.
+  if (coop_ && !from_coop) {
+    const int owner = coop_->owner_of(url);
+    if (owner != self_index_) {
+      http::Request lateral;
+      lateral.method = http::Method::kGet;
+      lateral.path = req.path;
+      lateral.headers.set("X-Coop", "1");
+      auto writer = std::make_shared<http::ResponseWriter>(w);
+      client_.fetch(coop_->member(owner), std::move(lateral),
+                    [this, key, writer, start](
+                        util::Result<http::Response> result) {
+                      http::Response resp;
+                      const util::TimePoint now = mux_.simulator().now();
+                      if (result.ok() && result.value().ok()) {
+                        ++stats_.coop_hits;
+                        cache_.store(key, result.value(), now);
+                        resp = result.value();
+                      } else {
+                        resp.status = 504;
+                      }
+                      stats_.device_latency_ms.add(
+                          util::to_millis(now - start));
+                      writer->respond(std::move(resp));
+                    });
+      return;
+    }
+  }
+
+  auto writer = std::make_shared<http::ResponseWriter>(w);
+  fetch_upstream(url,
+                 [this, key, writer, start](
+                     util::Result<http::Response> result) {
+                   http::Response resp;
+                   const util::TimePoint now = mux_.simulator().now();
+                   if (result.ok()) {
+                     // Pass upstream responses through verbatim — including
+                     // errors like a deep-web 401 (the device should see
+                     // exactly what the origin said).
+                     resp = result.value();
+                     if (resp.ok()) cache_.store(key, resp, now);
+                   } else {
+                     resp.status = 504;
+                   }
+                   stats_.device_latency_ms.add(util::to_millis(now - start));
+                   writer->respond(std::move(resp));
+                 },
+                 /*conditional=*/false);
+}
+
+void HomeWebService::rescan_tracked() {
+  // Rank observed URLs by popularity; track the top aggressiveness-slice
+  // plus explicit subscriptions.
+  std::vector<std::pair<double, std::string>> ranked;
+  ranked.reserve(history_.size());
+  for (const auto& [url, pop] : history_) {
+    ranked.emplace_back(pop, url);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const std::size_t keep =
+      static_cast<std::size_t>(config_.aggressiveness *
+                               static_cast<double>(ranked.size()));
+
+  std::set<std::string> want(subscriptions_.begin(), subscriptions_.end());
+  for (std::size_t i = 0; i < keep && i < ranked.size(); ++i) {
+    want.insert(ranked[i].second);
+  }
+
+  // Drop URLs no longer worth tracking.
+  for (auto it = tracked_.begin(); it != tracked_.end();) {
+    if (want.count(it->first) == 0) {
+      if (it->second.refresh_timer) {
+        mux_.simulator().cancel(*it->second.refresh_timer);
+      }
+      it = tracked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Start tracking the newcomers.
+  for (const std::string& url : want) {
+    if (tracked_.count(url) > 0) continue;
+    tracked_[url] = Tracked{url, history_[url], std::nullopt};
+    if (config_.freshness == FreshnessPolicy::kRefreshOnExpire) {
+      refresh(url);
+    }
+  }
+}
+
+void HomeWebService::schedule_refresh(const std::string& url,
+                                      util::Duration in) {
+  const auto it = tracked_.find(url);
+  if (it == tracked_.end()) return;
+  if (it->second.refresh_timer) {
+    mux_.simulator().cancel(*it->second.refresh_timer);
+  }
+  it->second.refresh_timer =
+      mux_.simulator().schedule(in, [this, url] { refresh(url); });
+}
+
+void HomeWebService::refresh(const std::string& url) {
+  const auto it = tracked_.find(url);
+  if (it == tracked_.end()) return;
+  it->second.refresh_timer.reset();
+  if (config_.freshness != FreshnessPolicy::kRefreshOnExpire &&
+      subscriptions_.count(url) == 0) {
+    return;
+  }
+
+  // Demand smoothing: deficit shaping. Each refresh must find the budget
+  // out of deficit, immediately debits a flat estimate (so a burst of
+  // simultaneous expirations serializes instead of all passing the gate),
+  // and settles the difference when the actual transfer size is known —
+  // a 304 refunds most of the estimate, a changed object charges its size.
+  constexpr double kRefreshEstimate = 4096.0;
+  const std::string key = http::HttpCache::key("", url);
+  const util::TimePoint now = mux_.simulator().now();
+  if (smoother_ != nullptr) {
+    if (smoother_->level(now) < 0) {
+      const util::TimePoint at = smoother_->available_at(0.0, now);
+      schedule_refresh(url,
+                       std::max<util::Duration>(at - now, util::kSecond));
+      return;
+    }
+    smoother_->force_take(kRefreshEstimate, now);
+  }
+
+  ++stats_.prefetch_fetches;
+  fetch_upstream(
+      url,
+      [this, key, url](util::Result<http::Response> result) {
+        const util::TimePoint now = mux_.simulator().now();
+        if (smoother_ != nullptr && result.ok()) {
+          smoother_->force_take(
+              static_cast<double>(result.value().wire_size()) -
+                  kRefreshEstimate,
+              now);
+        }
+        util::Duration next = 5 * util::kMinute;
+        if (result.ok() && result.value().status == 304) {
+          cache_.touch(key, now);
+        } else if (result.ok() && result.value().ok()) {
+          cache_.store(key, result.value(), now);
+        }
+        if (const auto age = result.ok()
+                                 ? http::max_age_seconds(
+                                       result.value().headers)
+                                 : std::nullopt) {
+          next = *age * util::kSecond;
+        }
+        // Refresh just before the copy expires so devices never observe a
+        // stale window ("keep content fresh by fetching a new copy as a
+        // cached version expires", §IV-D).
+        schedule_refresh(url,
+                         std::max<util::Duration>(next - util::kSecond,
+                                                  util::kSecond));
+      },
+      /*conditional=*/true);
+}
+
+}  // namespace hpop::iathome

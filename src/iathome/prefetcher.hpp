@@ -1,0 +1,132 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "http/cache.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "iathome/corpus.hpp"
+#include "util/stats.hpp"
+#include "util/token_bucket.hpp"
+
+namespace hpop::iathome {
+
+class CoopDirectory;
+
+/// Freshness policies (§IV-D "Aggressiveness": trade scope of gathering
+/// against freshness / upstream load).
+enum class FreshnessPolicy {
+  kRefreshOnExpire,     // proactively refetch as cached copies expire
+  kRevalidateOnAccess,  // leave stale; conditional GET on next access
+};
+
+struct HomeWebConfig {
+  std::uint16_t port = 8080;
+  /// Fraction of the (observed) URL universe to keep locally — the
+  /// aggressiveness knob. 0 = pure demand cache; 1 = "a local copy of the
+  /// entire Internet" the user touches.
+  double aggressiveness = 0.25;
+  FreshnessPolicy freshness = FreshnessPolicy::kRefreshOnExpire;
+  /// Demand smoothing: cap prefetch upstream bandwidth; refreshes queue
+  /// behind the token bucket instead of bursting (§IV-D).
+  bool demand_smoothing = false;
+  double smoothing_rate_bytes_per_s = 2e6;
+  util::Duration prefetch_scan_interval = 30 * util::kSecond;
+  std::size_t cache_bytes = 8ull << 30;
+};
+
+/// The Internet@home service on an HPoP: a caching local web endpoint for
+/// the household's devices plus a long-term-history-driven prefetcher.
+/// Devices fetch GET /web/<url>; the service answers from the local copy
+/// when possible and records access history to decide which slice of the
+/// web to keep fresh.
+class HomeWebService {
+ public:
+  HomeWebService(transport::TransportMux& mux, HomeWebConfig config,
+                 net::Endpoint upstream);
+
+  /// Joins a neighbourhood cooperative cache (§IV-D "A Cooperative
+  /// Cache"); see CoopDirectory.
+  void join_coop(std::shared_ptr<CoopDirectory> coop, int self_index);
+
+  /// Deep-web credential vault: forwarded on matching site fetches.
+  void add_credential(int site, const std::string& credential);
+
+  /// Prefetch subscription from outside the access history (deep-web
+  /// collector, attic triggers).
+  void subscribe(const std::string& url);
+
+  void start();
+
+  struct Stats {
+    std::uint64_t device_requests = 0;
+    std::uint64_t local_hits = 0;
+    std::uint64_t coop_hits = 0;
+    std::uint64_t upstream_fetches = 0;
+    std::uint64_t prefetch_fetches = 0;
+    std::uint64_t upstream_bytes = 0;
+    std::uint64_t stale_served = 0;
+    util::Summary device_latency_ms;
+  };
+  Stats& stats() { return stats_; }
+  net::Endpoint endpoint() const;
+  http::HttpCache& cache() { return cache_; }
+  /// Tracked (prefetched) URL count right now.
+  std::size_t tracked() const { return tracked_.size(); }
+
+  static constexpr const char* kPrefix = "/web";
+
+ private:
+  struct Tracked {
+    std::string url;
+    double popularity = 0.0;  // EWMA of accesses
+    std::optional<sim::TimerId> refresh_timer;
+  };
+
+  void handle_device_request(const http::Request& req,
+                             http::ResponseWriter& w, bool from_coop);
+  void fetch_upstream(const std::string& url,
+                      std::function<void(util::Result<http::Response>)> cb,
+                      bool conditional);
+  void record_access(const std::string& url);
+  void rescan_tracked();
+  void schedule_refresh(const std::string& url, util::Duration in);
+  void refresh(const std::string& url);
+  net::Endpoint upstream_for(const std::string& url) const;
+
+  transport::TransportMux& mux_;
+  HomeWebConfig config_;
+  net::Endpoint upstream_;
+  http::HttpServer server_;
+  http::HttpClient client_;
+  http::HttpCache cache_;
+  std::map<std::string, double> history_;  // url -> EWMA popularity
+  std::map<std::string, Tracked> tracked_;
+  std::set<std::string> subscriptions_;
+  std::map<int, std::string> credentials_;  // site -> credential
+  std::unique_ptr<util::TokenBucket> smoother_;
+  std::shared_ptr<CoopDirectory> coop_;
+  int self_index_ = -1;
+  Stats stats_;
+};
+
+/// Neighbourhood cooperative-cache directory: which HPoP "owns" each URL
+/// (consistent-hash partition), so neighbours coordinate gathering and
+/// dedup upstream retrievals, sharing over lateral gigabit links (§II
+/// "Lateral Bandwidth", §IV-D "A Cooperative Cache").
+class CoopDirectory {
+ public:
+  void add_member(net::Endpoint home_web_endpoint);
+  int owner_of(const std::string& url) const;
+  net::Endpoint member(int index) const { return members_.at(
+      static_cast<std::size_t>(index)); }
+  std::size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<net::Endpoint> members_;
+};
+
+}  // namespace hpop::iathome

@@ -1,0 +1,35 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpop::net {
+
+std::string IpAddr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+IpAddr IpAddr::parse(const std::string& dotted) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) !=
+          4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("bad IP literal: " + dotted);
+  }
+  return IpAddr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+std::string Prefix::to_string() const {
+  return base.to_string() + "/" + std::to_string(bits);
+}
+
+}  // namespace hpop::net

@@ -1,0 +1,75 @@
+#include "net/link.hpp"
+
+#include <cassert>
+
+#include "net/node.hpp"
+#include "util/logging.hpp"
+
+namespace hpop::net {
+
+Link::Link(sim::Simulator& sim, Interface& a, Interface& b, LinkParams params,
+           util::Rng rng)
+    : sim_(sim), a_(a), b_(b), params_(params), rng_(rng) {
+  a_.link = this;
+  b_.link = this;
+}
+
+int Link::direction_of(const Interface& from) const {
+  assert(&from == &a_ || &from == &b_);
+  return &from == &a_ ? 0 : 1;
+}
+
+const Link::DirectionStats& Link::stats_from(const Interface& from) const {
+  return dir_[direction_of(from)].stats;
+}
+
+Interface& Link::peer_of(const Interface& one) {
+  return &one == &a_ ? b_ : a_;
+}
+
+void Link::transmit(const Interface& from, Packet pkt) {
+  const int d = direction_of(from);
+  Direction& dir = dir_[d];
+  const std::size_t size = pkt.wire_size();
+  if (dir.queued_bytes + size > params_.queue_bytes) {
+    ++dir.stats.queue_drops;
+    return;
+  }
+  dir.queued_bytes += size;
+  dir.queue.push_back(std::move(pkt));
+  if (!dir.busy) start_service(d);
+}
+
+void Link::start_service(int d) {
+  Direction& dir = dir_[d];
+  if (dir.queue.empty()) {
+    dir.busy = false;
+    return;
+  }
+  dir.busy = true;
+  Packet pkt = std::move(dir.queue.front());
+  dir.queue.pop_front();
+  const std::size_t size = pkt.wire_size();
+  dir.queued_bytes -= size;
+  const util::Duration tx = util::transmission_delay(size, params_.rate);
+  dir.stats.busy_time += tx;
+
+  Interface& to = d == 0 ? b_ : a_;
+  // Serialization completes after `tx`; the packet then propagates for
+  // params_.delay. The next queued packet starts serializing immediately
+  // after this one finishes.
+  sim_.schedule(tx, [this, d] { start_service(d); });
+  const bool lost = rng_.bernoulli(params_.loss);
+  if (lost) {
+    ++dir_[d].stats.loss_drops;
+    return;
+  }
+  ++dir_[d].stats.pkts;
+  dir_[d].stats.bytes += size;
+  sim_.schedule(tx + params_.delay,
+                [&to, p = std::move(pkt)]() mutable {
+                  to.node->deliver(std::move(p), to);
+                });
+}
+
+}  // namespace hpop::net

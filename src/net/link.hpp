@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hpop::net {
+
+struct Interface;
+
+struct LinkParams {
+  util::BitRate rate = 1 * util::kGbps;
+  util::Duration delay = 1 * util::kMillisecond;  // one-way propagation
+  double loss = 0.0;          // independent per-packet loss probability
+  std::size_t queue_bytes = 512 * 1024;  // drop-tail buffer per direction
+};
+
+/// Full-duplex point-to-point link between two interfaces. Each direction
+/// has an independent drop-tail queue, serialization at `rate`, propagation
+/// `delay`, and Bernoulli loss applied after serialization (channel noise);
+/// queue overflow models congestion loss.
+class Link {
+ public:
+  Link(sim::Simulator& sim, Interface& a, Interface& b, LinkParams params,
+       util::Rng rng);
+
+  /// Called by the owning node: transmit `pkt` from interface `from`.
+  void transmit(const Interface& from, Packet pkt);
+
+  const LinkParams& params() const { return params_; }
+  void set_loss(double loss) { params_.loss = loss; }
+  void set_rate(util::BitRate rate) { params_.rate = rate; }
+
+  struct DirectionStats {
+    std::uint64_t pkts = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t loss_drops = 0;
+    /// Total time the transmitter was busy; utilization = busy/elapsed.
+    util::Duration busy_time = 0;
+  };
+  /// dir 0: a->b, dir 1: b->a.
+  const DirectionStats& stats(int dir) const { return dir_[dir].stats; }
+  /// Stats for the direction whose sender is `from`.
+  const DirectionStats& stats_from(const Interface& from) const;
+
+  Interface& end_a() { return a_; }
+  Interface& end_b() { return b_; }
+  Interface& peer_of(const Interface& one);
+
+ private:
+  struct Direction {
+    std::deque<Packet> queue;
+    std::size_t queued_bytes = 0;
+    bool busy = false;
+    DirectionStats stats;
+  };
+
+  void start_service(int dir);
+  int direction_of(const Interface& from) const;
+
+  sim::Simulator& sim_;
+  Interface& a_;
+  Interface& b_;
+  LinkParams params_;
+  util::Rng rng_;
+  Direction dir_[2];
+};
+
+}  // namespace hpop::net

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "net/node.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace hpop::net {
+
+/// RFC 4787 NAT behaviour taxonomy. Mapping behaviour controls when a new
+/// public port is allocated; filtering behaviour controls which inbound
+/// packets a mapping accepts. The classic "full cone" is endpoint-
+/// independent mapping + filtering; "symmetric" is address-and-port-
+/// dependent both ways — the case where STUN hole punching fails (§III).
+enum class NatBehavior {
+  kEndpointIndependent,
+  kAddressDependent,
+  kAddressAndPortDependent,
+};
+
+struct NatConfig {
+  NatBehavior mapping = NatBehavior::kEndpointIndependent;
+  NatBehavior filtering = NatBehavior::kEndpointIndependent;
+  bool hairpinning = false;
+  /// Whether the box honours UPnP-IGD port-mapping requests. Home routers
+  /// typically do; carrier-grade NATs do not (§III).
+  bool upnp_enabled = true;
+  util::Duration udp_mapping_timeout = 30 * util::kSecond;
+  util::Duration tcp_mapping_timeout = 2 * util::kHour;
+  std::uint16_t port_pool_start = 20000;
+
+  static NatConfig full_cone() { return {}; }
+  static NatConfig restricted_cone() {
+    NatConfig c;
+    c.filtering = NatBehavior::kAddressDependent;
+    return c;
+  }
+  static NatConfig port_restricted_cone() {
+    NatConfig c;
+    c.filtering = NatBehavior::kAddressAndPortDependent;
+    return c;
+  }
+  static NatConfig symmetric() {
+    NatConfig c;
+    c.mapping = NatBehavior::kAddressAndPortDependent;
+    c.filtering = NatBehavior::kAddressAndPortDependent;
+    return c;
+  }
+  /// A typical CGN: port-restricted filtering, no UPnP.
+  static NatConfig carrier_grade() {
+    NatConfig c = port_restricted_cone();
+    c.upnp_enabled = false;
+    return c;
+  }
+};
+
+/// Network address (and port) translator. Interface 0 must be the *outside*
+/// (public-facing) interface; all further interfaces face inside realms.
+class NatBox : public Node {
+ public:
+  NatBox(sim::Simulator& sim, std::string name, NatConfig config);
+
+  void handle_packet(Packet pkt, Interface& in) override;
+
+  IpAddr public_ip() const { return interfaces().front()->addr; }
+  const NatConfig& config() const { return config_; }
+
+  /// UPnP-IGD AddPortMapping: forwards outside `external_port` to
+  /// `internal`. Fails if UPnP is disabled or the port is taken. The UPnP
+  /// client module wraps this in the simulated control exchange.
+  util::Status add_port_mapping(Proto proto, std::uint16_t external_port,
+                                Endpoint internal);
+  util::Status remove_port_mapping(Proto proto, std::uint16_t external_port);
+
+  struct Counters {
+    std::uint64_t translated_out = 0;
+    std::uint64_t translated_in = 0;
+    std::uint64_t filtered = 0;     // inbound rejected by filtering rule
+    std::uint64_t unmatched = 0;    // inbound with no mapping at all
+    std::uint64_t hairpin = 0;
+    std::uint64_t expired = 0;
+  };
+  const Counters& nat_counters() const { return counters_; }
+
+ private:
+  struct MappingKey {
+    Proto proto;
+    Endpoint internal;
+    // For address-dependent mapping: remote IP; for address-and-port-
+    // dependent: remote endpoint. Unused components stay zero.
+    Endpoint remote_component;
+
+    bool operator<(const MappingKey& o) const {
+      if (proto != o.proto) return proto < o.proto;
+      if (internal != o.internal) return internal < o.internal;
+      return remote_component < o.remote_component;
+    }
+  };
+  struct Mapping {
+    std::uint16_t public_port = 0;
+    Endpoint internal;
+    Proto proto = Proto::kUdp;
+    /// Remote endpoints this inside host has sent to through the mapping;
+    /// the filtering rule consults this set.
+    std::set<Endpoint> contacted;
+    util::TimePoint expires = 0;
+  };
+
+  MappingKey make_key(Proto proto, Endpoint internal, Endpoint remote) const;
+  Mapping* outbound_mapping(Proto proto, Endpoint internal, Endpoint remote);
+  Mapping* inbound_lookup(Proto proto, std::uint16_t public_port);
+  bool filtering_allows(const Mapping& m, Endpoint remote) const;
+  bool is_outside(const Interface& in) const {
+    return in.index == 0;
+  }
+  void translate_and_forward_out(Packet pkt);
+  void translate_and_forward_in(Packet pkt, const Mapping& m);
+  util::Duration timeout_for(Proto proto) const;
+
+  NatConfig config_;
+  std::map<MappingKey, Mapping> by_key_;
+  std::map<std::pair<Proto, std::uint16_t>, MappingKey> by_public_port_;
+  std::map<std::pair<Proto, std::uint16_t>, Endpoint> static_forwards_;
+  std::uint16_t next_port_;
+  Counters counters_;
+};
+
+}  // namespace hpop::net

@@ -1,0 +1,149 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hpop::net {
+
+Network::Network(sim::Simulator& sim, util::Rng rng) : sim_(sim), rng_(rng) {}
+
+Host& Network::add_host(const std::string& name, IpAddr addr) {
+  auto host = std::make_unique<Host>(sim_, name);
+  Host& ref = *host;
+  if (!addr.is_unspecified()) {
+    // The address becomes live once the host is connected; pre-creating the
+    // interface lets connect() reuse it.
+    ref.add_interface(addr);
+  }
+  if (by_name_.count(name) > 0) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  by_name_[name] = &ref;
+  nodes_.push_back(std::move(host));
+  return ref;
+}
+
+Router& Network::add_router(const std::string& name) {
+  auto router = std::make_unique<Router>(sim_, name);
+  Router& ref = *router;
+  if (by_name_.count(name) > 0) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  by_name_[name] = &ref;
+  nodes_.push_back(std::move(router));
+  return ref;
+}
+
+NatBox& Network::add_nat(const std::string& name, IpAddr public_ip,
+                         NatConfig config) {
+  auto nat = std::make_unique<NatBox>(sim_, name, config);
+  NatBox& ref = *nat;
+  ref.add_interface(public_ip);  // interface 0 = outside
+  if (by_name_.count(name) > 0) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  by_name_[name] = &ref;
+  nodes_.push_back(std::move(nat));
+  return ref;
+}
+
+Link& Network::connect(Node& a, IpAddr a_addr, Node& b, IpAddr b_addr,
+                       LinkParams params) {
+  auto pick_interface = [](Node& n, IpAddr addr) -> Interface& {
+    // Reuse an existing unlinked interface with this address (e.g. a NAT's
+    // pre-created outside interface or a host's primary address).
+    for (const auto& iface : n.interfaces()) {
+      if (iface->link == nullptr && iface->addr == addr) return *iface;
+    }
+    return n.add_interface(addr);
+  };
+  Interface& ia = pick_interface(a, a_addr);
+  Interface& ib = pick_interface(b, b_addr);
+  links_.push_back(
+      std::make_unique<Link>(sim_, ia, ib, params, rng_.fork()));
+  Link& link = *links_.back();
+  adj_[&a].push_back({&b, &ia, &ib});
+  adj_[&b].push_back({&a, &ib, &ia});
+  return link;
+}
+
+Link& Network::connect(Node& a, Node& b, LinkParams params) {
+  return connect(a, a.address(), b, b.address(), params);
+}
+
+void Network::bfs_install_routes(Node& origin) {
+  // BFS over the adjacency graph. Transit is allowed only through Router
+  // nodes: reaching a Host, NatBox (or the origin realm's edge) terminates
+  // that branch. Every address on every reached node gets a /32 route via
+  // the first hop used to reach it.
+  std::deque<Node*> frontier{&origin};
+  std::unordered_map<Node*, Interface*> first_hop{{&origin, nullptr}};
+
+  while (!frontier.empty()) {
+    Node* cur = frontier.front();
+    frontier.pop_front();
+    const bool can_transit = cur == &origin || dynamic_cast<Router*>(cur);
+    if (!can_transit) continue;
+    for (const Adjacency& adj : adj_[cur]) {
+      if (first_hop.count(adj.peer) > 0) continue;
+      Interface* hop =
+          cur == &origin ? adj.local : first_hop[cur];
+      first_hop[adj.peer] = hop;
+      frontier.push_back(adj.peer);
+    }
+  }
+
+  for (const auto& [node, hop] : first_hop) {
+    if (node == &origin || hop == nullptr) continue;
+    for (const auto& iface : node->interfaces()) {
+      if (!iface->addr.is_unspecified()) {
+        origin.add_route(Prefix{iface->addr, 32}, hop);
+      }
+    }
+  }
+
+  // Nodes attached to a NAT's *inside* (interface index > 0) default-route
+  // through it: hosts in a home, and home routers/switches between hosts
+  // and the NAT. Attachments to a NAT's outside (index 0, the ISP side)
+  // must not — the public core has explicit routes instead.
+  for (const Adjacency& adj : adj_[&origin]) {
+    if (dynamic_cast<NatBox*>(adj.peer) != nullptr &&
+        adj.remote->index > 0) {
+      origin.set_default_route(adj.local);
+      break;
+    }
+  }
+  // A NAT box's default route points out its outside interface (index 0).
+  if (auto* nat = dynamic_cast<NatBox*>(&origin)) {
+    if (!nat->interfaces().empty() &&
+        nat->interfaces().front()->link != nullptr) {
+      nat->set_default_route(nat->interfaces().front().get());
+    }
+  }
+}
+
+void Network::auto_route() {
+  for (const auto& node : nodes_) {
+    node->clear_routes();
+  }
+  for (const auto& node : nodes_) {
+    bfs_install_routes(*node);
+  }
+}
+
+Node* Network::find(const std::string& name) {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+IpAddr Network::next_public_address() { return IpAddr(next_public_++); }
+
+IpAddr Network::next_home_subnet() {
+  const IpAddr base(next_home_);
+  next_home_ += 256;  // /24 per home
+  return base;
+}
+
+}  // namespace hpop::net

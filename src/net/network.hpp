@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/nat.hpp"
+#include "net/node.hpp"
+
+namespace hpop::net {
+
+/// Owns a simulated internetwork: nodes, links, and addressing. Provides
+/// automatic static routing so experiment topologies stay declarative.
+class Network {
+ public:
+  Network(sim::Simulator& sim, util::Rng rng);
+
+  Host& add_host(const std::string& name, IpAddr addr = IpAddr{});
+  Router& add_router(const std::string& name);
+  NatBox& add_nat(const std::string& name, IpAddr public_ip, NatConfig config);
+
+  /// Connects two nodes with a new link, creating an interface on each.
+  /// An unspecified address creates an unnumbered (transit) interface.
+  Link& connect(Node& a, IpAddr a_addr, Node& b, IpAddr b_addr,
+                LinkParams params = {});
+  /// Convenience for hosts that already carry their address: the new
+  /// interfaces reuse each node's primary address.
+  Link& connect(Node& a, Node& b, LinkParams params = {});
+
+  /// Computes static routes: for every node, a /32 route to every address
+  /// reachable through router transit. NAT boxes and hosts are routing
+  /// boundaries — traffic crosses a NAT only via translation, so private
+  /// realms stay isolated (and may even reuse address space, as long as
+  /// addresses within one routing domain are unique).
+  ///
+  /// Nodes behind a NAT additionally get a default route toward it, and a
+  /// NAT's inside realm gets routes as a separate domain.
+  void auto_route();
+
+  sim::Simulator& simulator() { return sim_; }
+  util::Rng& rng() { return rng_; }
+
+  Node* find(const std::string& name);
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  /// Allocates a fresh public address from 100.64.0.0/10-style pool
+  /// (distinct from the 10/8 space used for homes).
+  IpAddr next_public_address();
+  /// Allocates a private /24 for a home; returns the base (x.y.z.0).
+  IpAddr next_home_subnet();
+
+ private:
+  struct Adjacency {
+    Node* peer;
+    Interface* local;
+    Interface* remote;
+  };
+
+  void bfs_install_routes(Node& origin);
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::string, Node*> by_name_;
+  std::unordered_map<Node*, std::vector<Adjacency>> adj_;
+  std::uint32_t next_public_ = IpAddr(100, 64, 0, 1).value;
+  std::uint32_t next_home_ = IpAddr(10, 0, 0, 0).value;
+};
+
+}  // namespace hpop::net

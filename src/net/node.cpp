@@ -1,0 +1,116 @@
+#include "net/node.hpp"
+
+#include "net/link.hpp"
+#include "util/logging.hpp"
+
+namespace hpop::net {
+
+Node::Node(sim::Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+Node::~Node() = default;
+
+Interface& Node::add_interface(IpAddr addr) {
+  auto iface = std::make_unique<Interface>();
+  iface->node = this;
+  iface->addr = addr;
+  iface->index = static_cast<int>(interfaces_.size());
+  interfaces_.push_back(std::move(iface));
+  return *interfaces_.back();
+}
+
+bool Node::owns_address(IpAddr a) const {
+  for (const auto& iface : interfaces_) {
+    if (iface->addr == a) return true;
+  }
+  return virtual_addrs_.count(a) > 0;
+}
+
+IpAddr Node::address() const {
+  return interfaces_.empty() ? IpAddr{} : interfaces_.front()->addr;
+}
+
+void Node::add_route(Prefix p, Interface* out) {
+  // Replace an existing identical prefix so auto_route may be re-run.
+  for (auto& r : routes_) {
+    if (r.prefix == p) {
+      r.out = out;
+      return;
+    }
+  }
+  routes_.push_back({p, out});
+}
+
+Interface* Node::route_lookup(IpAddr dst) const {
+  const RouteEntry* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.prefix.contains(dst)) continue;
+    if (best == nullptr || r.prefix.bits > best->prefix.bits) best = &r;
+  }
+  return best != nullptr ? best->out : nullptr;
+}
+
+void Node::send_packet(Packet pkt) {
+  for (auto& hook : egress_hooks_) {
+    if (hook(pkt)) return;
+  }
+  forward_packet(std::move(pkt));
+}
+
+void Node::forward_packet(Packet pkt) {
+  // Local loopback: a node talking to one of its own addresses short-cuts
+  // the wire (hosts contacting their own HPoP services in-process).
+  if (owns_address(pkt.dst)) {
+    if (!interfaces_.empty()) {
+      deliver(std::move(pkt), *interfaces_.front());
+    }
+    return;
+  }
+  Interface* out = route_lookup(pkt.dst);
+  if (out == nullptr || out->link == nullptr) {
+    ++counters_.no_route;
+    HPOP_LOG(kDebug, "net") << name_ << ": no route to "
+                            << pkt.dst.to_string();
+    return;
+  }
+  ++counters_.pkts_out;
+  counters_.bytes_out += pkt.wire_size();
+  out->link->transmit(*out, std::move(pkt));
+}
+
+void Node::deliver(Packet pkt, Interface& in) {
+  ++counters_.pkts_in;
+  counters_.bytes_in += pkt.wire_size();
+  for (auto& hook : ingress_hooks_) {
+    if (hook(pkt)) return;
+  }
+  handle_packet(std::move(pkt), in);
+}
+
+void Host::handle_packet(Packet pkt, Interface& in) {
+  if (!owns_address(pkt.dst)) {
+    // Hosts do not forward.
+    HPOP_LOG(kTrace, "net") << name() << ": dropping transit packet to "
+                            << pkt.dst.to_string();
+    return;
+  }
+  if (transport_) transport_(std::move(pkt), in);
+}
+
+std::uint16_t Host::allocate_port() {
+  if (next_port_ == 0) next_port_ = 49152;  // wrapped
+  return next_port_++;
+}
+
+void Router::handle_packet(Packet pkt, Interface& in) {
+  (void)in;
+  if (owns_address(pkt.dst)) return;  // routers host no transports
+  if (--pkt.ttl <= 0) {
+    ++ttl_drops_;
+    return;
+  }
+  ++forwarded_;
+  forward_packet(std::move(pkt));
+}
+
+}  // namespace hpop::net

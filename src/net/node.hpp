@@ -1,0 +1,140 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpop::net {
+
+class Link;
+class Node;
+
+/// A network attachment point: an address bound to a node, wired to one
+/// link. Nodes own their interfaces; links reference them.
+struct Interface {
+  Node* node = nullptr;
+  IpAddr addr;
+  Link* link = nullptr;
+  int index = -1;
+};
+
+/// Base class for everything attached to the simulated network: hosts,
+/// routers and NAT boxes.
+class Node {
+ public:
+  Node(sim::Simulator& sim, std::string name);
+  virtual ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  Interface& add_interface(IpAddr addr);
+  const std::vector<std::unique_ptr<Interface>>& interfaces() const {
+    return interfaces_;
+  }
+  Interface& interface(int index) { return *interfaces_.at(index); }
+
+  /// Additional addresses this node answers to (e.g. VPN virtual addresses
+  /// assigned by a DCol waypoint).
+  void add_virtual_address(IpAddr a) { virtual_addrs_.insert(a); }
+  void remove_virtual_address(IpAddr a) { virtual_addrs_.erase(a); }
+  bool owns_address(IpAddr a) const;
+
+  /// The primary (first-interface) address; convenience for hosts.
+  IpAddr address() const;
+
+  // --- Routing ---
+  void add_route(Prefix p, Interface* out);
+  void set_default_route(Interface* out) { add_route(Prefix{}, out); }
+  void clear_routes() { routes_.clear(); }
+  /// Longest-prefix match; nullptr if no route.
+  Interface* route_lookup(IpAddr dst) const;
+
+  // --- I/O ---
+  /// Sends a locally originated packet: egress hooks may consume or rewrite
+  /// it (tunnels); otherwise it is routed out an interface.
+  void send_packet(Packet pkt);
+  /// Entry point from a link. Runs ingress hooks, then handle_packet.
+  void deliver(Packet pkt, Interface& in);
+
+  /// Per-node packet processing: hosts hand to transport, routers forward,
+  /// NATs translate.
+  virtual void handle_packet(Packet pkt, Interface& in) = 0;
+
+  /// Egress/ingress hooks; return true to consume the packet. Used by the
+  /// DCol tunnels and by tests to inject faults or trace traffic.
+  using PacketHook = std::function<bool(Packet&)>;
+  void add_egress_hook(PacketHook h) { egress_hooks_.push_back(std::move(h)); }
+  void add_ingress_hook(PacketHook h) { ingress_hooks_.push_back(std::move(h)); }
+
+  struct Counters {
+    std::uint64_t pkts_in = 0;
+    std::uint64_t pkts_out = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t no_route = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ protected:
+  /// Routes and transmits without egress hooks (used by forwarding paths).
+  void forward_packet(Packet pkt);
+
+ private:
+  struct RouteEntry {
+    Prefix prefix;
+    Interface* out;
+  };
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<Interface>> interfaces_;
+  std::unordered_set<IpAddr> virtual_addrs_;
+  std::vector<RouteEntry> routes_;
+  std::vector<PacketHook> egress_hooks_;
+  std::vector<PacketHook> ingress_hooks_;
+  Counters counters_;
+};
+
+/// An end system: delivers packets addressed to it to the transport layer.
+/// The transport multiplexer (transport/mux) installs itself via
+/// set_transport_handler, keeping net/ independent of transport/.
+class Host : public Node {
+ public:
+  using Node::Node;
+
+  using TransportHandler = std::function<void(Packet, Interface&)>;
+  void set_transport_handler(TransportHandler h) { transport_ = std::move(h); }
+
+  void handle_packet(Packet pkt, Interface& in) override;
+
+  /// Ephemeral port allocator (per host, monotonically increasing).
+  std::uint16_t allocate_port();
+
+ private:
+  TransportHandler transport_;
+  std::uint16_t next_port_ = 49152;
+};
+
+/// Store-and-forward router.
+class Router : public Node {
+ public:
+  using Node::Node;
+  void handle_packet(Packet pkt, Interface& in) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t ttl_drops() const { return ttl_drops_; }
+
+ private:
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t ttl_drops_ = 0;
+};
+
+}  // namespace hpop::net

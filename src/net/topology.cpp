@@ -1,0 +1,77 @@
+#include "net/topology.hpp"
+
+namespace hpop::net {
+
+TwoHostPath make_two_host_path(Network& net, PathParams a_side,
+                               PathParams b_side) {
+  TwoHostPath t;
+  t.a = &net.add_host("host_a", net.next_public_address());
+  t.b = &net.add_host("host_b", net.next_public_address());
+  t.r = &net.add_router("router");
+  t.link_a = &net.connect(*t.a, t.a->address(), *t.r, IpAddr{}, a_side.link());
+  t.link_b = &net.connect(*t.b, t.b->address(), *t.r, IpAddr{}, b_side.link());
+  net.auto_route();
+  return t;
+}
+
+Home make_home(Network& net, const std::string& name, Node& isp, int n_hosts,
+               NatConfig nat_config, PathParams access) {
+  Home home;
+  home.subnet = net.next_home_subnet();
+  NatBox& nat =
+      net.add_nat(name + "_nat", net.next_public_address(), nat_config);
+  home.nat = &nat;
+  net.connect(nat, nat.public_ip(), isp, IpAddr{}, access.link());
+  for (int i = 0; i < n_hosts; ++i) {
+    const IpAddr addr(home.subnet.value + 10 + static_cast<std::uint32_t>(i));
+    Host& host =
+        net.add_host(name + "_h" + std::to_string(i), addr);
+    // In-home gigabit wiring: effectively lossless and instantaneous
+    // relative to the access link.
+    net.connect(host, addr, nat, IpAddr(home.subnet.value + 1),
+                LinkParams{1 * util::kGbps, 100 * util::kMicrosecond, 0.0,
+                           4 * 1024 * 1024});
+    home.hosts.push_back(&host);
+  }
+  return home;
+}
+
+Neighborhood make_neighborhood(Network& net,
+                               const NeighborhoodParams& params) {
+  Neighborhood n;
+  n.aggregation = &net.add_router("aggregation");
+  n.core = &net.add_router("core");
+  n.aggregate_link = &net.connect(*n.aggregation, IpAddr{}, *n.core, IpAddr{},
+                                  params.aggregate.link());
+  for (int h = 0; h < params.n_homes; ++h) {
+    const std::string name = "home" + std::to_string(h);
+    if (params.with_nat) {
+      n.homes.push_back(make_home(net, name, *n.aggregation,
+                                  params.hosts_per_home, params.nat,
+                                  params.last_mile));
+    } else {
+      // Publicly addressed FTTH home (the IPv6-style world of §III).
+      Home home;
+      home.subnet = net.next_home_subnet();
+      for (int i = 0; i < params.hosts_per_home; ++i) {
+        Host& host = net.add_host(name + "_h" + std::to_string(i),
+                                  net.next_public_address());
+        net.connect(host, host.address(), *n.aggregation, IpAddr{},
+                    params.last_mile.link());
+        home.hosts.push_back(&host);
+      }
+      n.homes.push_back(std::move(home));
+    }
+  }
+  for (int s = 0; s < params.n_servers; ++s) {
+    Host& server = net.add_host("server" + std::to_string(s),
+                                net.next_public_address());
+    net.connect(server, server.address(), *n.core, IpAddr{},
+                params.server_path.link());
+    n.servers.push_back(&server);
+  }
+  net.auto_route();
+  return n;
+}
+
+}  // namespace hpop::net

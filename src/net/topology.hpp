@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hpop::net {
+
+/// Canonical experiment topologies. These mirror the environments the paper
+/// reasons about: an FTTH neighbourhood hanging off a shared aggregation
+/// link (Case Connection Zone), homes behind NAT, and distant servers
+/// reached across a multi-hop core.
+
+struct PathParams {
+  util::BitRate rate = 1 * util::kGbps;
+  util::Duration one_way_delay = 5 * util::kMillisecond;
+  double loss = 0.0;
+  std::size_t queue_bytes = 4 * 1024 * 1024;
+
+  LinkParams link() const { return {rate, one_way_delay, loss, queue_bytes}; }
+};
+
+/// host_a --- router --- host_b. The classic two-segment path; per-segment
+/// parameters are independent so tests can create asymmetric conditions.
+struct TwoHostPath {
+  Host* a = nullptr;
+  Host* b = nullptr;
+  Router* r = nullptr;
+  Link* link_a = nullptr;
+  Link* link_b = nullptr;
+};
+TwoHostPath make_two_host_path(Network& net, PathParams a_side,
+                               PathParams b_side);
+
+/// One residence: LAN hosts behind a NAT whose outside connects to an ISP
+/// node (router or CGN).
+struct Home {
+  NatBox* nat = nullptr;
+  std::vector<Host*> hosts;
+  IpAddr subnet;  // 10.x.y.0/24
+};
+/// Creates a home with `n_hosts` hosts behind a NAT and links the NAT's
+/// outside to `isp` with `access` parameters (the FTTH last mile).
+Home make_home(Network& net, const std::string& name, Node& isp, int n_hosts,
+               NatConfig nat_config, PathParams access);
+
+/// The Case Connection Zone shape (§II): `n_homes` homes, each with a
+/// dedicated `last_mile` link to the neighbourhood aggregation router,
+/// which reaches the core over one shared `aggregate` link. Servers attach
+/// to the core at `server_path` distance.
+struct Neighborhood {
+  Router* aggregation = nullptr;
+  Router* core = nullptr;
+  std::vector<Home> homes;
+  Link* aggregate_link = nullptr;
+  std::vector<Host*> servers;
+};
+struct NeighborhoodParams {
+  int n_homes = 10;
+  int hosts_per_home = 1;
+  PathParams last_mile{1 * util::kGbps, 1 * util::kMillisecond, 0.0,
+                       4 * 1024 * 1024};
+  PathParams aggregate{10 * util::kGbps, 1 * util::kMillisecond, 0.0,
+                       16 * 1024 * 1024};
+  PathParams server_path{40 * util::kGbps, 20 * util::kMillisecond, 0.0,
+                         16 * 1024 * 1024};
+  int n_servers = 1;
+  NatConfig nat = NatConfig::full_cone();
+  bool with_nat = true;  // homes behind NAT vs publicly addressed hosts
+};
+Neighborhood make_neighborhood(Network& net, const NeighborhoodParams& params);
+
+}  // namespace hpop::net

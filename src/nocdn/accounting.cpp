@@ -1,0 +1,95 @@
+#include "nocdn/accounting.hpp"
+
+#include <cmath>
+
+namespace hpop::nocdn {
+
+void Ledger::note_grant(std::uint64_t key_id, std::uint64_t peer_id,
+                        std::uint64_t max_bytes, const util::Bytes& key,
+                        util::TimePoint expires) {
+  grants_[key_id] = Grant{peer_id, max_bytes, key, expires, 0};
+}
+
+Ledger::Verdict Ledger::ingest(const UsageRecord& record,
+                               util::TimePoint now) {
+  PeerAccount& account = accounts_[record.peer_id];
+  const auto it = grants_.find(record.key_id);
+  if (it == grants_.end()) {
+    ++account.records_rejected;
+    return Verdict::kUnknownKey;
+  }
+  Grant& grant = it->second;
+  if (grant.peer_id != record.peer_id) {
+    ++account.records_rejected;
+    return Verdict::kWrongPeer;
+  }
+  if (now > grant.expires) {
+    ++account.records_rejected;
+    return Verdict::kExpiredKey;
+  }
+  if (!record.verify(grant.key)) {
+    ++account.records_rejected;
+    return Verdict::kBadSignature;
+  }
+  if (!seen_nonces_.insert({record.key_id, record.nonce}).second) {
+    ++account.records_rejected;
+    ++account.replays;
+    return Verdict::kReplayed;
+  }
+  if (grant.claimed + record.bytes_served > grant.max_bytes) {
+    ++account.records_rejected;
+    ++account.inflations;
+    return Verdict::kInflated;
+  }
+  grant.claimed += record.bytes_served;
+  account.bytes_credited += record.bytes_served;
+  ++account.records_accepted;
+  account.distinct_keys.insert(record.key_id);
+  return Verdict::kAccepted;
+}
+
+double Ledger::payout(std::uint64_t peer_id) const {
+  const auto it = accounts_.find(peer_id);
+  if (it == accounts_.end()) return 0.0;
+  const PeerAccount& account = it->second;
+  switch (model_) {
+    case PaymentModel::kPerByte:
+      return static_cast<double>(account.bytes_credited) * rate_;
+    case PaymentModel::kCappedPerByte:
+      return std::min(cap_,
+                      static_cast<double>(account.bytes_credited) * rate_);
+    case PaymentModel::kFlat:
+      return account.records_accepted > 0 ? cap_ : 0.0;
+  }
+  return 0.0;
+}
+
+double Ledger::total_payout() const {
+  double total = 0.0;
+  for (const auto& [peer_id, account] : accounts_) {
+    (void)account;
+    total += payout(peer_id);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Ledger::anomalous_peers(double sigma) const {
+  util::Summary per_view;
+  std::map<std::uint64_t, double> ratio;
+  for (const auto& [peer_id, account] : accounts_) {
+    if (account.distinct_keys.empty()) continue;
+    const double r = static_cast<double>(account.bytes_credited) /
+                     static_cast<double>(account.distinct_keys.size());
+    ratio[peer_id] = r;
+    per_view.add(r);
+  }
+  std::vector<std::uint64_t> flagged;
+  if (per_view.count() < 2) return flagged;
+  const double threshold = per_view.mean() + sigma * per_view.stddev();
+  for (const auto& [peer_id, r] : ratio) {
+    if (r > threshold) flagged.push_back(peer_id);
+  }
+  return flagged;
+}
+
+}  // namespace hpop::nocdn

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "nocdn/object.hpp"
+#include "util/stats.hpp"
+
+namespace hpop::nocdn {
+
+/// How the provider compensates peers (§IV-B lists per-byte payment, flat
+/// or capped payments, and non-monetary benefits like subscriptions).
+enum class PaymentModel { kPerByte, kCappedPerByte, kFlat };
+
+/// The origin's accounting book: validates incoming usage records against
+/// the minted key grants, guards against replay (nonce cache) and
+/// inflation (claims capped by the bytes actually assigned to the grant),
+/// and accrues per-peer credit.
+class Ledger {
+ public:
+  explicit Ledger(PaymentModel model = PaymentModel::kPerByte,
+                  double per_byte_rate = 1e-9,
+                  double cap_per_peer = 1.0)
+      : model_(model), rate_(per_byte_rate), cap_(cap_per_peer) {}
+
+  /// Origin-side record of a minted key grant: who it was for and the
+  /// maximum bytes that assignment could legitimately serve.
+  void note_grant(std::uint64_t key_id, std::uint64_t peer_id,
+                  std::uint64_t max_bytes, const util::Bytes& key,
+                  util::TimePoint expires);
+
+  enum class Verdict {
+    kAccepted,
+    kBadSignature,
+    kUnknownKey,
+    kExpiredKey,
+    kWrongPeer,
+    kReplayed,
+    kInflated,  // claim exceeds the grant's plausible maximum
+  };
+  Verdict ingest(const UsageRecord& record, util::TimePoint now);
+
+  struct PeerAccount {
+    std::uint64_t bytes_credited = 0;
+    std::uint64_t records_accepted = 0;
+    std::uint64_t records_rejected = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t inflations = 0;
+    std::set<std::uint64_t> distinct_keys;  // ~ distinct page views
+  };
+  const std::map<std::uint64_t, PeerAccount>& accounts() const {
+    return accounts_;
+  }
+
+  /// Payout under the configured model.
+  double payout(std::uint64_t peer_id) const;
+  double total_payout() const;
+
+  /// Collusion/anomaly screen (§IV-B): peers whose credited bytes per
+  /// distinct page view exceed `sigma` standard deviations above the
+  /// population mean.
+  std::vector<std::uint64_t> anomalous_peers(double sigma = 3.0) const;
+
+ private:
+  struct Grant {
+    std::uint64_t peer_id;
+    std::uint64_t max_bytes;
+    util::Bytes key;
+    util::TimePoint expires;
+    std::uint64_t claimed = 0;
+  };
+
+  PaymentModel model_;
+  double rate_;
+  double cap_;
+  std::map<std::uint64_t, Grant> grants_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_nonces_;
+  std::map<std::uint64_t, PeerAccount> accounts_;
+};
+
+}  // namespace hpop::nocdn

@@ -1,0 +1,251 @@
+#include "nocdn/loader.hpp"
+
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace hpop::nocdn {
+
+struct LoaderClient::LoadState {
+  WrapperPage wrapper;
+  util::TimePoint started = 0;
+  PageLoadResult result;
+  /// Fetch units: whole objects, or chunks for chunked objects.
+  int pieces_expected = 0;
+  int pieces_loaded = 0;
+  int outstanding = 0;
+  /// peer_id -> (bytes, objects) it actually served us (usage records).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>> served;
+  LoadCallback cb;
+};
+
+void LoaderClient::load_page(const std::string& page_path, LoadCallback cb) {
+  http::Request req;
+  req.method = http::Method::kGet;
+  // page_path is absolute ("/news"); the wrapper endpoint nests it.
+  req.path = "/page" + page_path;
+
+  auto state = std::make_shared<LoadState>();
+  state->started = http_.simulator().now();
+  state->cb = std::move(cb);
+
+  http_.fetch(origin_, std::move(req),
+              [this, state](util::Result<http::Response> result) {
+                if (!result.ok() || !result.value().ok() ||
+                    !result.value().body.is_real()) {
+                  state->cb(state->result);
+                  return;
+                }
+                state->result.bytes_from_origin +=
+                    result.value().wire_size();
+                const auto wrapper =
+                    parse_wrapper(result.value().body.text());
+                if (!wrapper.ok()) {
+                  state->cb(state->result);
+                  return;
+                }
+                state->wrapper = wrapper.value();
+                for (const auto& obj : state->wrapper.objects) {
+                  state->pieces_expected += obj.chunks.empty()
+                                                ? 1
+                                                : static_cast<int>(
+                                                      obj.chunks.size());
+                }
+                state->outstanding = state->pieces_expected;
+                if (state->outstanding == 0) {
+                  finish(state);
+                  return;
+                }
+                // Fetch the container and all embedded objects. A real
+                // loader would fetch the container first and discover the
+                // embeds; the wrapper already lists them (Fig. 2 (b)), so
+                // they can be pipelined — one of NoCDN's latency wins.
+                for (std::size_t i = 0; i < state->wrapper.objects.size();
+                     ++i) {
+                  fetch_object(state, i);
+                }
+              });
+}
+
+void LoaderClient::fetch_object(const std::shared_ptr<LoadState>& state,
+                                std::size_t index) {
+  const WrapperEntry& entry = state->wrapper.objects[index];
+  if (!entry.chunks.empty()) {
+    // Chunked mode: each chunk independently fetched + verified.
+    for (std::size_t c = 0; c < entry.chunks.size(); ++c) {
+      fetch_chunk(state, index, c);
+    }
+    return;
+  }
+
+  http::Request req;
+  req.method = http::Method::kGet;
+  req.path = entry.url;
+  req.headers.set("Host", provider_);
+  http_.fetch(
+      entry.peer, std::move(req),
+      [this, state, index](util::Result<http::Response> result) {
+        const WrapperEntry& entry = state->wrapper.objects[index];
+        bool ok = false;
+        if (result.ok() && result.value().ok()) {
+          if (util::digest_equal(result.value().body.digest(), entry.hash)) {
+            ok = true;
+            state->result.bytes_from_peers += result.value().wire_size();
+            auto& credit = state->served[entry.peer_id];
+            credit.first += result.value().body.size();
+            credit.second += 1;
+          } else {
+            // Integrity violation: the §IV-B attack, caught.
+            ++state->result.verification_failures;
+            report_peer(entry.peer_id, entry.url);
+          }
+        } else {
+          ++state->result.peer_errors;
+        }
+        if (ok) {
+          ++state->result.objects_loaded;
+          ++state->pieces_loaded;
+          object_done(state);
+        } else {
+          fallback_to_origin(state, entry.url, entry.size);
+        }
+      });
+}
+
+void LoaderClient::fetch_chunk(const std::shared_ptr<LoadState>& state,
+                               std::size_t obj_index,
+                               std::size_t chunk_index) {
+  const WrapperEntry& entry = state->wrapper.objects[obj_index];
+  const ChunkSpec& chunk = entry.chunks[chunk_index];
+  http::Request req;
+  req.method = http::Method::kGet;
+  req.path = entry.url;
+  req.headers.set("Host", provider_);
+  http::set_range(req.headers, chunk.offset, chunk.length);
+  http_.fetch(
+      chunk.peer, std::move(req),
+      [this, state, obj_index, chunk_index](
+          util::Result<http::Response> result) {
+        const WrapperEntry& entry = state->wrapper.objects[obj_index];
+        const ChunkSpec& chunk = entry.chunks[chunk_index];
+        bool ok = false;
+        if (result.ok() &&
+            (result.value().status == 206 || result.value().status == 200)) {
+          if (util::digest_equal(result.value().body.digest(), chunk.hash)) {
+            ok = true;
+            state->result.bytes_from_peers += result.value().wire_size();
+            auto& credit = state->served[chunk.peer_id];
+            credit.first += result.value().body.size();
+            credit.second += 1;
+          } else {
+            ++state->result.verification_failures;
+            report_peer(chunk.peer_id, entry.url);
+          }
+        } else {
+          ++state->result.peer_errors;
+        }
+        if (ok) {
+          ++state->pieces_loaded;
+          object_done(state);
+        } else {
+          // Refetch just this chunk's range from the origin.
+          http::Request retry;
+          retry.method = http::Method::kGet;
+          retry.path = "/obj" + entry.url;
+          http::set_range(retry.headers, chunk.offset, chunk.length);
+          ++state->result.fallbacks_to_origin;
+          http_.fetch(origin_, std::move(retry),
+                      [this, state](util::Result<http::Response> r) {
+                        if (r.ok() && r.value().ok()) {
+                          state->result.bytes_from_origin +=
+                              r.value().wire_size();
+                          ++state->pieces_loaded;
+                        }
+                        object_done(state);
+                      });
+        }
+      });
+}
+
+void LoaderClient::fallback_to_origin(
+    const std::shared_ptr<LoadState>& state, const std::string& url,
+    std::size_t expected_size) {
+  (void)expected_size;
+  ++state->result.fallbacks_to_origin;
+  http::Request req;
+  req.method = http::Method::kGet;
+  req.path = "/obj" + url;
+  http_.fetch(origin_, std::move(req),
+              [this, state](util::Result<http::Response> result) {
+                if (result.ok() && result.value().ok()) {
+                  state->result.bytes_from_origin +=
+                      result.value().wire_size();
+                  ++state->result.objects_loaded;
+                  ++state->pieces_loaded;
+                }
+                object_done(state);
+              });
+}
+
+void LoaderClient::object_done(const std::shared_ptr<LoadState>& state) {
+  if (--state->outstanding == 0) finish(state);
+}
+
+void LoaderClient::finish(const std::shared_ptr<LoadState>& state) {
+  // Sign and deliver a usage record to every peer that served bytes,
+  // keyed with the provider-minted short-term secret (Fig. 2 last step).
+  for (const auto& [peer_id, credit] : state->served) {
+    const KeyGrant* grant = nullptr;
+    for (const auto& [id, g] : state->wrapper.keys) {
+      if (id == peer_id) grant = &g;
+    }
+    if (grant == nullptr) continue;
+
+    UsageRecord record;
+    record.provider = state->wrapper.provider;
+    record.peer_id = peer_id;
+    record.key_id = grant->key_id;
+    record.nonce = state->wrapper.nonce_base + next_client_nonce_++;
+    record.bytes_served = credit.first;
+    record.objects_served = credit.second;
+    record.sign(grant->key);
+
+    // Delivered to the peer, which batches uploads to the provider.
+    net::Endpoint peer_ep;
+    for (const auto& obj : state->wrapper.objects) {
+      if (obj.peer_id == peer_id) peer_ep = obj.peer;
+      for (const auto& chunk : obj.chunks) {
+        if (chunk.peer_id == peer_id) peer_ep = chunk.peer;
+      }
+    }
+    http::Request req;
+    req.method = http::Method::kPost;
+    req.path = "/nocdn/usage";
+    req.headers.set("Host", provider_);
+    req.body = http::Body(serialize_usage_line(record));
+    http_.fetch(peer_ep, std::move(req), [](util::Result<http::Response>) {});
+  }
+
+  state->result.success =
+      state->pieces_loaded == state->pieces_expected &&
+      state->pieces_expected > 0;
+  state->result.load_time = http_.simulator().now() - state->started;
+  // Aggregate into per-device totals.
+  totals_.bytes_from_peers += state->result.bytes_from_peers;
+  totals_.bytes_from_origin += state->result.bytes_from_origin;
+  totals_.objects_loaded += state->result.objects_loaded;
+  totals_.verification_failures += state->result.verification_failures;
+  totals_.peer_errors += state->result.peer_errors;
+  totals_.fallbacks_to_origin += state->result.fallbacks_to_origin;
+  state->cb(state->result);
+}
+
+void LoaderClient::report_peer(std::uint64_t peer_id, const std::string& url) {
+  http::Request req;
+  req.method = http::Method::kPost;
+  req.path = "/report";
+  req.body = http::Body(std::to_string(peer_id) + "|" + url);
+  http_.fetch(origin_, std::move(req), [](util::Result<http::Response>) {});
+}
+
+}  // namespace hpop::nocdn

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "http/client.hpp"
+#include "nocdn/object.hpp"
+
+namespace hpop::nocdn {
+
+/// Outcome of one page download through NoCDN.
+struct PageLoadResult {
+  bool success = false;
+  util::Duration load_time = 0;
+  std::uint64_t bytes_from_peers = 0;
+  std::uint64_t bytes_from_origin = 0;  // wrapper + any fallback objects
+  int objects_loaded = 0;
+  int verification_failures = 0;  // corrupt bodies caught by hashing
+  int peer_errors = 0;            // 5xx / connection failures
+  int fallbacks_to_origin = 0;
+};
+
+/// The loader-script workflow of Fig. 2, executed by an unmodified
+/// browser's JavaScript in the paper and by this class here:
+///  (1) GET the wrapper page from the content provider,
+///  (2) fetch the container and every embedded object from the assigned
+///      peers (or range-chunks from disparate peers),
+///  (3) verify each body against the wrapper's hashes; on mismatch refetch
+///      from the origin and report the peer,
+///  (4) sign and deliver a usage record to each peer that served bytes.
+class LoaderClient {
+ public:
+  LoaderClient(http::HttpClient& http, net::Endpoint origin,
+               std::string provider)
+      : http_(http), origin_(origin), provider_(std::move(provider)) {}
+
+  using LoadCallback = std::function<void(PageLoadResult)>;
+  void load_page(const std::string& page_path, LoadCallback cb);
+
+  /// Cumulative across page loads (one LoaderClient per user device).
+  const PageLoadResult& totals() const { return totals_; }
+
+ private:
+  struct LoadState;
+  void fetch_object(const std::shared_ptr<LoadState>& state,
+                    std::size_t index);
+  void fetch_chunk(const std::shared_ptr<LoadState>& state,
+                   std::size_t obj_index, std::size_t chunk_index);
+  void fallback_to_origin(const std::shared_ptr<LoadState>& state,
+                          const std::string& url, std::size_t expected_size);
+  void object_done(const std::shared_ptr<LoadState>& state);
+  void finish(const std::shared_ptr<LoadState>& state);
+  void report_peer(std::uint64_t peer_id, const std::string& url);
+
+  http::HttpClient& http_;
+  net::Endpoint origin_;
+  std::string provider_;
+  std::uint64_t next_client_nonce_ = 0;
+  PageLoadResult totals_;
+};
+
+}  // namespace hpop::nocdn

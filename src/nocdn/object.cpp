@@ -1,0 +1,185 @@
+#include "nocdn/object.hpp"
+
+#include <sstream>
+
+#include "util/encoding.hpp"
+
+namespace hpop::nocdn {
+
+namespace {
+
+std::string digest_to_hex(const util::Digest& d) {
+  return util::hex_encode(util::Bytes(d.begin(), d.end()));
+}
+
+util::Result<util::Digest> digest_from_hex(const std::string& hex) {
+  const auto bytes = util::hex_decode(hex);
+  util::Digest d{};
+  if (!bytes.ok() || bytes.value().size() != d.size()) {
+    return util::Result<util::Digest>::failure("bad_format", "bad digest");
+  }
+  std::copy(bytes.value().begin(), bytes.value().end(), d.begin());
+  return d;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string serialize(const WrapperPage& page) {
+  // Line-oriented format — the role the wrapper's JSON/JS blob plays in the
+  // prototype. One O line per object, C lines for its chunks, K lines for
+  // per-peer keys.
+  std::ostringstream os;
+  os << "W|" << page.provider << "|" << page.page_path << "|"
+     << page.nonce_base << "\n";
+  for (const auto& obj : page.objects) {
+    os << "O|" << obj.url << "|" << obj.peer_id << "|" << obj.peer.ip.value
+       << ":" << obj.peer.port << "|" << obj.size << "|"
+       << digest_to_hex(obj.hash) << "\n";
+    for (const auto& chunk : obj.chunks) {
+      os << "C|" << chunk.offset << "|" << chunk.length << "|"
+         << chunk.peer_id << "|" << chunk.peer.ip.value << ":"
+         << chunk.peer.port << "|" << digest_to_hex(chunk.hash) << "\n";
+    }
+  }
+  for (const auto& [peer_id, grant] : page.keys) {
+    os << "K|" << peer_id << "|" << grant.key_id << "|"
+       << util::hex_encode(grant.key) << "|" << grant.expires << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+util::Result<net::Endpoint> parse_endpoint(const std::string& s) {
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) {
+    return util::Result<net::Endpoint>::failure("bad_format", "endpoint");
+  }
+  net::Endpoint ep;
+  ep.ip = net::IpAddr(
+      static_cast<std::uint32_t>(std::strtoul(s.substr(0, colon).c_str(),
+                                              nullptr, 10)));
+  ep.port = static_cast<std::uint16_t>(
+      std::strtoul(s.substr(colon + 1).c_str(), nullptr, 10));
+  return ep;
+}
+}  // namespace
+
+util::Result<WrapperPage> parse_wrapper(const std::string& text) {
+  WrapperPage page;
+  bool have_header = false;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    const auto fields = split(line, '|');
+    if (fields[0] == "W" && fields.size() == 4) {
+      page.provider = fields[1];
+      page.page_path = fields[2];
+      page.nonce_base = std::strtoull(fields[3].c_str(), nullptr, 10);
+      have_header = true;
+    } else if (fields[0] == "O" && fields.size() == 6) {
+      WrapperEntry obj;
+      obj.url = fields[1];
+      obj.peer_id = std::strtoull(fields[2].c_str(), nullptr, 10);
+      const auto ep = parse_endpoint(fields[3]);
+      if (!ep.ok()) return util::Result<WrapperPage>(ep.error());
+      obj.peer = ep.value();
+      obj.size = std::strtoull(fields[4].c_str(), nullptr, 10);
+      const auto digest = digest_from_hex(fields[5]);
+      if (!digest.ok()) return util::Result<WrapperPage>(digest.error());
+      obj.hash = digest.value();
+      page.objects.push_back(std::move(obj));
+    } else if (fields[0] == "C" && fields.size() == 6) {
+      if (page.objects.empty()) {
+        return util::Result<WrapperPage>::failure("bad_format",
+                                                  "chunk before object");
+      }
+      ChunkSpec chunk;
+      chunk.offset = std::strtoull(fields[1].c_str(), nullptr, 10);
+      chunk.length = std::strtoull(fields[2].c_str(), nullptr, 10);
+      chunk.peer_id = std::strtoull(fields[3].c_str(), nullptr, 10);
+      const auto ep = parse_endpoint(fields[4]);
+      if (!ep.ok()) return util::Result<WrapperPage>(ep.error());
+      chunk.peer = ep.value();
+      const auto digest = digest_from_hex(fields[5]);
+      if (!digest.ok()) return util::Result<WrapperPage>(digest.error());
+      chunk.hash = digest.value();
+      page.objects.back().chunks.push_back(std::move(chunk));
+    } else if (fields[0] == "K" && fields.size() == 5) {
+      KeyGrant grant;
+      const std::uint64_t peer_id =
+          std::strtoull(fields[1].c_str(), nullptr, 10);
+      grant.key_id = std::strtoull(fields[2].c_str(), nullptr, 10);
+      const auto key = util::hex_decode(fields[3]);
+      if (!key.ok()) return util::Result<WrapperPage>(key.error());
+      grant.key = key.value();
+      grant.expires = std::atoll(fields[4].c_str());
+      page.keys.emplace_back(peer_id, std::move(grant));
+    } else {
+      return util::Result<WrapperPage>::failure("bad_format",
+                                                "unknown line: " + line);
+    }
+  }
+  if (!have_header) {
+    return util::Result<WrapperPage>::failure("bad_format", "missing header");
+  }
+  return page;
+}
+
+std::string serialize_usage_line(const UsageRecord& record) {
+  std::ostringstream os;
+  os << record.provider << "|" << record.peer_id << "|" << record.key_id
+     << "|" << record.nonce << "|" << record.bytes_served << "|"
+     << record.objects_served << "|"
+     << util::hex_encode(util::Bytes(record.mac.begin(), record.mac.end()));
+  return os.str();
+}
+
+util::Result<UsageRecord> parse_usage_line(const std::string& line) {
+  const auto fields = split(line, '|');
+  if (fields.size() != 7) {
+    return util::Result<UsageRecord>::failure("bad_format",
+                                              "wrong field count");
+  }
+  UsageRecord record;
+  record.provider = fields[0];
+  record.peer_id = std::strtoull(fields[1].c_str(), nullptr, 10);
+  record.key_id = std::strtoull(fields[2].c_str(), nullptr, 10);
+  record.nonce = std::strtoull(fields[3].c_str(), nullptr, 10);
+  record.bytes_served = std::strtoull(fields[4].c_str(), nullptr, 10);
+  record.objects_served =
+      static_cast<std::uint32_t>(std::strtoul(fields[5].c_str(), nullptr, 10));
+  const auto mac = digest_from_hex(fields[6]);
+  if (!mac.ok()) return util::Result<UsageRecord>(mac.error());
+  record.mac = mac.value();
+  return record;
+}
+
+std::string UsageRecord::canonical() const {
+  std::ostringstream os;
+  os << provider << "|" << peer_id << "|" << key_id << "|" << nonce << "|"
+     << bytes_served << "|" << objects_served;
+  return os.str();
+}
+
+void UsageRecord::sign(const util::Bytes& key) {
+  mac = util::hmac_sha256(key, canonical());
+}
+
+bool UsageRecord::verify(const util::Bytes& key) const {
+  return util::digest_equal(mac, util::hmac_sha256(key, canonical()));
+}
+
+}  // namespace hpop::nocdn

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "net/address.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace hpop::nocdn {
+
+/// One web object a content provider serves (container page, image,
+/// script, ...).
+struct WebObject {
+  std::string url;  // site-relative, e.g. "/img/photo-3.jpg"
+  http::Body body;
+};
+
+/// A page: container object plus recursively embedded objects (§IV-B,
+/// Fig. 2 workflow).
+struct PageSpec {
+  std::string path;  // page identity, e.g. "/news/today"
+  std::string container_url;
+  std::vector<std::string> embedded_urls;
+};
+
+/// Chunk assignment when an object is fetched in pieces from disparate
+/// peers ("Leveraging Redundancy", ref [24] idea).
+struct ChunkSpec {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::uint64_t peer_id = 0;
+  net::Endpoint peer;
+  util::Digest hash{};
+};
+
+/// Wrapper-page entry for one object: where to fetch it and the
+/// cryptographic hash to verify it against.
+struct WrapperEntry {
+  std::string url;
+  std::uint64_t peer_id = 0;
+  net::Endpoint peer;
+  std::size_t size = 0;
+  util::Digest hash{};
+  std::vector<ChunkSpec> chunks;  // non-empty in chunked mode
+};
+
+/// A short-term secret key the content provider mints per (page view,
+/// peer): the client signs that peer's usage record with it.
+struct KeyGrant {
+  std::uint64_t key_id = 0;
+  util::Bytes key;
+  util::TimePoint expires = 0;
+};
+
+/// The wrapper page (Fig. 2): peer mapping for the container and every
+/// embedded object, per-object hashes, per-peer short-term keys, and the
+/// nonce base for usage reports. The loader script itself is "eminently
+/// cacheable" and modeled as a fixed-size body served separately.
+struct WrapperPage {
+  std::string provider;
+  std::string page_path;
+  std::vector<WrapperEntry> objects;  // [0] is the container
+  std::vector<std::pair<std::uint64_t, KeyGrant>> keys;  // peer_id -> grant
+  std::uint64_t nonce_base = 0;
+};
+
+std::string serialize(const WrapperPage& page);
+util::Result<WrapperPage> parse_wrapper(const std::string& text);
+
+/// A usage record (Fig. 2 step: "the script transfers a usage record to
+/// each peer"), HMAC-signed with the short-term key, nonce-protected
+/// against replay.
+struct UsageRecord {
+  std::string provider;
+  std::uint64_t peer_id = 0;
+  std::uint64_t key_id = 0;
+  std::uint64_t nonce = 0;
+  std::uint64_t bytes_served = 0;
+  std::uint32_t objects_served = 0;
+  util::Digest mac{};
+
+  std::string canonical() const;
+  void sign(const util::Bytes& key);
+  bool verify(const util::Bytes& key) const;
+};
+
+/// Wire form of one record: "provider|peer|key|nonce|bytes|objects|machex".
+std::string serialize_usage_line(const UsageRecord& record);
+util::Result<UsageRecord> parse_usage_line(const std::string& line);
+
+}  // namespace hpop::nocdn

@@ -1,0 +1,262 @@
+#include "nocdn/origin.hpp"
+
+#include "util/encoding.hpp"
+#include "util/logging.hpp"
+
+namespace hpop::nocdn {
+
+OriginServer::OriginServer(transport::TransportMux& mux, OriginConfig config,
+                           util::Rng rng)
+    : mux_(mux),
+      config_(std::move(config)),
+      rng_(rng),
+      server_(mux, config_.port),
+      selector_(make_selector(config_.selector)),
+      ledger_(config_.payment) {
+  install_routes();
+}
+
+void OriginServer::add_object(WebObject object) {
+  objects_[object.url] = std::move(object);
+}
+
+void OriginServer::add_page(PageSpec page) {
+  pages_[page.path] = std::move(page);
+}
+
+std::uint64_t OriginServer::recruit_peer(net::Endpoint endpoint) {
+  const std::uint64_t id = next_peer_id_++;
+  PeerView view;
+  view.peer_id = id;
+  view.endpoint = endpoint;
+  peers_[id] = view;
+  return id;
+}
+
+double OriginServer::peer_trust(std::uint64_t peer_id) const {
+  const auto it = peers_.find(peer_id);
+  return it == peers_.end() ? 0.0 : it->second.trust;
+}
+
+std::vector<PeerView> OriginServer::candidates(net::Endpoint client) {
+  std::vector<PeerView> views;
+  views.reserve(peers_.size());
+  for (auto& [id, view] : peers_) {
+    PeerView v = view;
+    v.rtt_to_client = rtt_oracle_ ? rtt_oracle_(id, client) : 0.05;
+    views.push_back(v);
+  }
+  return views;
+}
+
+http::Response OriginServer::make_wrapper(const std::string& page_path,
+                                          net::Endpoint client) {
+  http::Response resp;
+  const auto page_it = pages_.find(page_path);
+  if (page_it == pages_.end()) {
+    resp.status = 404;
+    return resp;
+  }
+  const PageSpec& spec = page_it->second;
+
+  WrapperPage wrapper;
+  wrapper.provider = config_.provider;
+  wrapper.page_path = page_path;
+  wrapper.nonce_base = next_nonce_base_;
+  next_nonce_base_ += 1000;  // room for per-peer nonces within a view
+
+  const auto views = candidates(client);
+  // Peer assignment + per-peer byte ceilings for the accounting grants.
+  std::map<std::uint64_t, std::uint64_t> assigned_bytes;
+
+  auto assign = [&](const std::string& url) -> bool {
+    const auto obj_it = objects_.find(url);
+    if (obj_it == objects_.end()) return false;
+    const WebObject& obj = obj_it->second;
+
+    WrapperEntry entry;
+    entry.url = url;
+    entry.size = obj.body.size();
+    entry.hash = obj.body.digest();
+
+    if (config_.chunks_per_object > 1 && entry.size > 4096) {
+      // Spread range chunks over distinct peers where possible.
+      const auto n = static_cast<std::size_t>(config_.chunks_per_object);
+      const std::size_t base = entry.size / n;
+      std::size_t offset = 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t len =
+            c + 1 == n ? entry.size - offset : base;
+        const int idx = selector_->select(views, rng_);
+        if (idx < 0) return false;
+        const PeerView& peer = views[static_cast<std::size_t>(idx)];
+        ChunkSpec chunk;
+        chunk.offset = offset;
+        chunk.length = len;
+        chunk.peer_id = peer.peer_id;
+        chunk.peer = peer.endpoint;
+        chunk.hash = obj.body.slice(offset, len).digest();
+        entry.chunks.push_back(chunk);
+        assigned_bytes[peer.peer_id] += len;
+        offset += len;
+      }
+      // The whole-object fields still point somewhere sane (first chunk's
+      // peer) for non-chunk-aware consumers.
+      entry.peer_id = entry.chunks.front().peer_id;
+      entry.peer = entry.chunks.front().peer;
+    } else {
+      const int idx = selector_->select(views, rng_);
+      if (idx < 0) return false;
+      const PeerView& peer = views[static_cast<std::size_t>(idx)];
+      entry.peer_id = peer.peer_id;
+      entry.peer = peer.endpoint;
+      assigned_bytes[peer.peer_id] += entry.size;
+    }
+    wrapper.objects.push_back(std::move(entry));
+    return true;
+  };
+
+  if (!assign(spec.container_url)) {
+    resp.status = 503;  // no peers: provider could fall back to self-serve
+    return resp;
+  }
+  for (const std::string& url : spec.embedded_urls) {
+    if (!assign(url)) {
+      resp.status = 500;
+      return resp;
+    }
+  }
+
+  // Mint one short-term key per peer involved and note the grants.
+  const util::TimePoint now = mux_.simulator().now();
+  for (const auto& [peer_id, bytes] : assigned_bytes) {
+    KeyGrant grant;
+    grant.key_id = next_key_id_++;
+    grant.key.resize(16);
+    for (auto& b : grant.key) b = static_cast<std::uint8_t>(rng_.next_u64());
+    grant.expires = now + config_.key_validity;
+    ledger_.note_grant(grant.key_id, peer_id, bytes, grant.key,
+                       grant.expires);
+    peers_[peer_id].outstanding_bytes += bytes;
+    wrapper.keys.emplace_back(peer_id, std::move(grant));
+  }
+
+  ++stats_.wrapper_pages;
+  resp.body = http::Body(serialize(wrapper));
+  // Wrapper pages are per-view dynamic (peer choice + fresh keys): no
+  // caching. The loader script is served separately and cacheable.
+  resp.headers.set("Cache-Control", "no-store");
+  return resp;
+}
+
+void OriginServer::install_routes() {
+  server_.route(http::Method::kGet, "/page/",
+                [this](const http::Request& req, http::ResponseWriter& w) {
+                  http::Response resp =
+                      make_wrapper(req.path.substr(5), w.peer());
+                  stats_.bytes_served += resp.wire_size();
+                  w.respond(std::move(resp));
+                });
+
+  server_.route(http::Method::kGet, "/loader.js",
+                [this](const http::Request&, http::ResponseWriter& w) {
+                  http::Response resp;
+                  resp.body = http::Body::synthetic(kLoaderScriptSize,
+                                                    0x10adull);
+                  resp.headers.set("Cache-Control", "max-age=86400");
+                  stats_.bytes_served += resp.wire_size();
+                  w.respond(std::move(resp));
+                });
+
+  server_.route(http::Method::kGet, "/obj/",
+                [this](const http::Request& req, http::ResponseWriter& w) {
+                  http::Response resp;
+                  const std::string url = req.path.substr(4);
+                  const auto it = objects_.find(url);
+                  if (it == objects_.end()) {
+                    resp.status = 404;
+                    w.respond(std::move(resp));
+                    return;
+                  }
+                  ++stats_.objects_served;
+                  resp.headers.set(
+                      "Cache-Control",
+                      "max-age=" + std::to_string(config_.object_max_age_s));
+                  resp.headers.set("ETag",
+                                   util::digest_hex(it->second.body.digest())
+                                       .substr(0, 16));
+                  if (const auto range = http::parse_range(
+                          req.headers, it->second.body.size())) {
+                    resp.status = 206;
+                    resp.body =
+                        it->second.body.slice(range->first, range->second);
+                  } else {
+                    resp.body = it->second.body;
+                  }
+                  stats_.bytes_served += resp.wire_size();
+                  w.respond(std::move(resp));
+                });
+
+  server_.route(
+      http::Method::kPost, "/usage",
+      [this](const http::Request& req, http::ResponseWriter& w) {
+        http::Response resp;
+        ++stats_.usage_batches;
+        // The batch rides as a typed payload attached to the body text
+        // (serialized records, one per line).
+        int accepted = 0, rejected = 0;
+        if (req.body.is_real()) {
+          const std::string text = req.body.text();
+          std::size_t start = 0;
+          while (start < text.size()) {
+            const auto end = text.find('\n', start);
+            const std::string line =
+                text.substr(start, end == std::string::npos
+                                       ? std::string::npos
+                                       : end - start);
+            if (!line.empty()) {
+              const auto record = parse_usage_line(line);
+              if (record.ok() &&
+                  ledger_.ingest(record.value(), mux_.simulator().now()) ==
+                      Ledger::Verdict::kAccepted) {
+                ++accepted;
+                const auto peer_it = peers_.find(record.value().peer_id);
+                if (peer_it != peers_.end()) {
+                  peer_it->second.outstanding_bytes -=
+                      std::min(peer_it->second.outstanding_bytes,
+                               record.value().bytes_served);
+                }
+              } else {
+                ++rejected;
+              }
+            }
+            if (end == std::string::npos) break;
+            start = end + 1;
+          }
+        }
+        resp.body = http::Body("accepted=" + std::to_string(accepted) +
+                               " rejected=" + std::to_string(rejected));
+        w.respond(std::move(resp));
+      });
+
+  server_.route(http::Method::kPost, "/report",
+                [this](const http::Request& req, http::ResponseWriter& w) {
+                  ++stats_.misbehaviour_reports;
+                  // Body: "peer_id|url". Verification failures decay trust
+                  // sharply — serving one corrupt object is damning.
+                  if (req.body.is_real()) {
+                    const std::string text = req.body.text();
+                    const std::uint64_t peer_id =
+                        std::strtoull(text.c_str(), nullptr, 10);
+                    const auto it = peers_.find(peer_id);
+                    if (it != peers_.end()) {
+                      it->second.trust *= 0.25;
+                    }
+                  }
+                  http::Response resp;
+                  resp.status = 204;
+                  w.respond(std::move(resp));
+                });
+}
+
+}  // namespace hpop::nocdn

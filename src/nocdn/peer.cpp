@@ -1,0 +1,163 @@
+#include "nocdn/peer.hpp"
+
+#include <sstream>
+
+#include "util/encoding.hpp"
+#include "util/logging.hpp"
+
+namespace hpop::nocdn {
+
+PeerProxy::PeerProxy(transport::TransportMux& mux, std::uint16_t port,
+                     util::Rng rng, PeerBehavior behavior)
+    : mux_(mux),
+      port_(port),
+      rng_(rng),
+      behavior_(behavior),
+      server_(mux, port),
+      client_(mux),
+      cache_(256ull << 20) {}
+
+net::Endpoint PeerProxy::endpoint() const {
+  return {mux_.host().address(), port_};
+}
+
+void PeerProxy::signup(ProviderSignup signup) {
+  const std::string provider = signup.provider;
+  signups_[provider] = std::move(signup);
+  install_routes(provider);
+}
+
+void PeerProxy::install_routes(const std::string& provider) {
+  // Reverse-proxy GETs for this provider's vhost.
+  server_.vhost_route(
+      provider, http::Method::kGet, "/",
+      [this, provider](const http::Request& req, http::ResponseWriter& w) {
+        serve(signups_.at(provider), req, w);
+      });
+  // Clients deliver their signed usage records here (Fig. 2 final step).
+  server_.vhost_route(
+      provider, http::Method::kPost, "/nocdn/usage",
+      [this, provider](const http::Request& req, http::ResponseWriter& w) {
+        if (req.body.is_real()) {
+          const auto record = parse_usage_line(req.body.text());
+          if (record.ok()) {
+            ++stats_.records_received;
+            pending_usage_[provider].push_back(record.value());
+          }
+        }
+        http::Response resp;
+        resp.status = 204;
+        w.respond(std::move(resp));
+      });
+}
+
+void PeerProxy::respond_from(const ProviderSignup& signup,
+                             const http::Request& req,
+                             http::ResponseWriter w, http::Response resp) {
+  (void)signup;
+  if (resp.status == 200 && behavior_.corrupt_content) {
+    resp.body = resp.body.corrupted();
+  }
+  // Honour range requests against the (possibly cached full) body.
+  if (resp.status == 200) {
+    if (const auto range = http::parse_range(req.headers, resp.body.size())) {
+      resp.status = 206;
+      resp.body = resp.body.slice(range->first, range->second);
+    }
+  }
+  stats_.bytes_served += resp.wire_size();
+  if (behavior_.extra_delay > 0) {
+    auto writer = std::make_shared<http::ResponseWriter>(w);
+    mux_.simulator().schedule(
+        behavior_.extra_delay,
+        [writer, resp = std::move(resp)]() mutable {
+          writer->respond(std::move(resp));
+        });
+    return;
+  }
+  w.respond(std::move(resp));
+}
+
+void PeerProxy::serve(const ProviderSignup& signup, const http::Request& req,
+                      http::ResponseWriter w) {
+  ++stats_.requests;
+  if (behavior_.drop_rate > 0.0 && rng_.bernoulli(behavior_.drop_rate)) {
+    ++stats_.dropped;
+    http::Response resp;
+    resp.status = 503;
+    w.respond(std::move(resp));
+    return;
+  }
+
+  const std::string cache_key =
+      http::HttpCache::key(signup.provider, req.path);
+  if (const auto* entry =
+          cache_.lookup_fresh(cache_key, mux_.simulator().now())) {
+    ++stats_.cache_hits;
+    respond_from(signup, req, w, entry->response);
+    return;
+  }
+  ++stats_.cache_misses;
+
+  // Fetch the FULL object from the origin (cacheable), then satisfy the
+  // client's (possibly ranged) request from it.
+  http::Request upstream;
+  upstream.method = http::Method::kGet;
+  upstream.path = "/obj" + req.path;
+  auto writer = std::make_shared<http::ResponseWriter>(w);
+  client_.fetch(
+      signup.origin, std::move(upstream),
+      [this, signup, req, writer, cache_key](
+          util::Result<http::Response> result) {
+        http::Response resp;
+        if (!result.ok()) {
+          resp.status = 502;
+          writer->respond(std::move(resp));
+          return;
+        }
+        resp = result.value();
+        if (resp.status == 200) {
+          cache_.store(cache_key, resp, mux_.simulator().now());
+        }
+        respond_from(signup, req, *writer, std::move(resp));
+      });
+}
+
+void PeerProxy::start_usage_uploads(util::Duration interval) {
+  upload_timer_ = mux_.simulator().schedule(interval, [this, interval] {
+    upload_usage_now();
+    start_usage_uploads(interval);
+  });
+}
+
+void PeerProxy::upload_usage_now() {
+  for (auto& [provider, records] : pending_usage_) {
+    if (records.empty()) continue;
+    const auto& signup = signups_.at(provider);
+    std::ostringstream body;
+    for (const UsageRecord& r : records) {
+      if (behavior_.inflate_factor != 1.0) {
+        // Inflate the claim. The peer cannot re-sign (it never sees the
+        // short-term key), so the origin's signature check catches this.
+        UsageRecord inflated = r;
+        inflated.bytes_served = static_cast<std::uint64_t>(
+            static_cast<double>(r.bytes_served) * behavior_.inflate_factor);
+        body << serialize_usage_line(inflated) << "\n";
+      } else {
+        body << serialize_usage_line(r) << "\n";
+      }
+      if (behavior_.replay_records) {
+        body << serialize_usage_line(r) << "\n";
+      }
+    }
+    records.clear();
+    http::Request req;
+    req.method = http::Method::kPost;
+    req.path = "/usage";
+    req.body = http::Body(body.str());
+    client_.fetch(signup.origin, std::move(req),
+                  [](util::Result<http::Response>) {});
+  }
+}
+
+}  // namespace hpop::nocdn

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http/cache.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "nocdn/object.hpp"
+#include "util/rng.hpp"
+
+namespace hpop::nocdn {
+
+/// Failure/attack modes injectable into a peer — the §IV-B threat model:
+/// "more danger that an attacker would sign up with an intent of
+/// corrupting the content", usage inflation, record replay.
+struct PeerBehavior {
+  bool corrupt_content = false;   // serve hash-mismatching bodies
+  double inflate_factor = 1.0;    // multiply reported bytes
+  bool replay_records = false;    // upload every record twice
+  util::Duration extra_delay = 0; // overloaded/slow peer
+  double drop_rate = 0.0;         // probability of 503ing a request
+};
+
+/// One provider a peer serves content for (virtual hosting: "standard
+/// Apache in reverse proxy mode with virtual hosting — to allow a peer to
+/// sign up for content delivery with multiple content providers").
+struct ProviderSignup {
+  std::string provider;        // Host header value
+  std::uint64_t peer_id = 0;   // identity assigned by that provider
+  net::Endpoint origin;        // where to fetch on cache miss + upload usage
+};
+
+/// A NoCDN edge peer: an HPoP-resident reverse proxy with a cache, usage
+/// accumulation and periodic usage upload.
+class PeerProxy {
+ public:
+  PeerProxy(transport::TransportMux& mux, std::uint16_t port,
+            util::Rng rng, PeerBehavior behavior = {});
+
+  void signup(ProviderSignup signup);
+  void set_behavior(PeerBehavior behavior) { behavior_ = behavior; }
+
+  /// Starts periodic usage uploads ("peers accumulate usage records and
+  /// periodically upload them to the content provider for payment").
+  void start_usage_uploads(util::Duration interval);
+  /// Immediate flush (end of an experiment).
+  void upload_usage_now();
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t bytes_served = 0;
+    std::uint64_t records_received = 0;
+    std::uint64_t dropped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  http::HttpCache& cache() { return cache_; }
+  net::Endpoint endpoint() const;
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void install_routes(const std::string& provider);
+  void serve(const ProviderSignup& signup, const http::Request& req,
+             http::ResponseWriter w);
+  void respond_from(const ProviderSignup& signup, const http::Request& req,
+                    http::ResponseWriter w, http::Response resp);
+
+  transport::TransportMux& mux_;
+  std::uint16_t port_;
+  util::Rng rng_;
+  PeerBehavior behavior_;
+  http::HttpServer server_;
+  http::HttpClient client_;
+  http::HttpCache cache_;
+  std::map<std::string, ProviderSignup> signups_;  // by provider name
+  std::map<std::string, std::vector<UsageRecord>> pending_usage_;
+  std::optional<sim::TimerId> upload_timer_;
+  Stats stats_;
+};
+
+}  // namespace hpop::nocdn

@@ -1,0 +1,76 @@
+#include "nocdn/selection.hpp"
+
+#include <stdexcept>
+
+namespace hpop::nocdn {
+
+int RandomSelector::select(const std::vector<PeerView>& candidates,
+                           util::Rng& rng) {
+  if (candidates.empty()) return -1;
+  return static_cast<int>(rng.uniform_index(candidates.size()));
+}
+
+int ProximitySelector::select(const std::vector<PeerView>& candidates,
+                              util::Rng& rng) {
+  (void)rng;
+  int best = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (best < 0 ||
+        candidates[i].rtt_to_client <
+            candidates[static_cast<std::size_t>(best)].rtt_to_client) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int LoadAwareSelector::select(const std::vector<PeerView>& candidates,
+                              util::Rng& rng) {
+  (void)rng;
+  int best = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (best < 0 ||
+        candidates[i].outstanding_bytes <
+            candidates[static_cast<std::size_t>(best)].outstanding_bytes) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int TrustWeightedSelector::select(const std::vector<PeerView>& candidates,
+                                  util::Rng& rng) {
+  // Weighted draw: weight = trust / (1 + rtt), zero below the floor. The
+  // randomness doubles as the §IV-B collusion mitigation (unpredictable
+  // client-to-peer mappings).
+  double total = 0.0;
+  std::vector<double> weights(candidates.size(), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].trust < min_trust_) continue;
+    weights[i] = candidates[i].trust /
+                 (1.0 + candidates[i].rtt_to_client * 100.0);
+    total += weights[i];
+  }
+  if (total <= 0.0) return -1;
+  double draw = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0.0 && weights[i] > 0.0) return static_cast<int>(i);
+  }
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::unique_ptr<PeerSelector> make_selector(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomSelector>();
+  if (name == "proximity") return std::make_unique<ProximitySelector>();
+  if (name == "load-aware") return std::make_unique<LoadAwareSelector>();
+  if (name == "trust-weighted") {
+    return std::make_unique<TrustWeightedSelector>();
+  }
+  throw std::invalid_argument("unknown selector: " + name);
+}
+
+}  // namespace hpop::nocdn

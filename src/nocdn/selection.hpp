@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/rng.hpp"
+
+namespace hpop::nocdn {
+
+/// What the origin knows about a recruited peer when assigning it work.
+struct PeerView {
+  std::uint64_t peer_id = 0;
+  net::Endpoint endpoint;
+  /// Estimated RTT to the requesting client (from telemetry; the bench
+  /// supplies an oracle). Seconds.
+  double rtt_to_client = 0.0;
+  /// Outstanding assigned-but-unreported bytes (load proxy).
+  std::uint64_t outstanding_bytes = 0;
+  /// Trust score in [0,1]: decays on client-reported verification
+  /// failures (§IV-B "trustworthiness element").
+  double trust = 1.0;
+};
+
+/// Peer-selection policy: given candidate views, choose one for the next
+/// object assignment. The paper calls this the CDN's "secret sauce" that
+/// NoCDN must rebuild without privileged access to the edge (§IV-B Peer
+/// Selection); these strategies are the ablation set.
+class PeerSelector {
+ public:
+  virtual ~PeerSelector() = default;
+  /// Returns an index into `candidates` or -1 when none is acceptable.
+  virtual int select(const std::vector<PeerView>& candidates,
+                     util::Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random (also the collusion mitigation: unpredictable payment
+/// paths).
+class RandomSelector : public PeerSelector {
+ public:
+  int select(const std::vector<PeerView>& candidates,
+             util::Rng& rng) override;
+  std::string name() const override { return "random"; }
+};
+
+/// Lowest estimated client RTT (proximity routing, what a classic CDN
+/// does).
+class ProximitySelector : public PeerSelector {
+ public:
+  int select(const std::vector<PeerView>& candidates,
+             util::Rng& rng) override;
+  std::string name() const override { return "proximity"; }
+};
+
+/// Least outstanding bytes (load-aware).
+class LoadAwareSelector : public PeerSelector {
+ public:
+  int select(const std::vector<PeerView>& candidates,
+             util::Rng& rng) override;
+  std::string name() const override { return "load-aware"; }
+};
+
+/// Proximity weighted by trust; peers below `min_trust` are excluded
+/// entirely.
+class TrustWeightedSelector : public PeerSelector {
+ public:
+  explicit TrustWeightedSelector(double min_trust = 0.5)
+      : min_trust_(min_trust) {}
+  int select(const std::vector<PeerView>& candidates,
+             util::Rng& rng) override;
+  std::string name() const override { return "trust-weighted"; }
+
+ private:
+  double min_trust_;
+};
+
+std::unique_ptr<PeerSelector> make_selector(const std::string& name);
+
+}  // namespace hpop::nocdn

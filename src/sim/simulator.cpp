@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace hpop::sim {
+
+Simulator::Simulator() { util::set_log_clock(&now_); }
+
+Simulator::~Simulator() { util::set_log_clock(nullptr); }
+
+TimerId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(when >= now_);
+  const TimerId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(TimerId id) { cancelled_.insert(id); }
+
+bool Simulator::pop_and_run(TimePoint deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) return false;
+    // priority_queue::top is const; the event is copied cheaply enough
+    // (one shared function object) and popped before running so that the
+    // handler may schedule or cancel freely.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t limit) {
+  const std::uint64_t stop = executed_ + limit < executed_
+                                 ? UINT64_MAX
+                                 : executed_ + limit;
+  while (executed_ < stop && pop_and_run(INT64_MAX)) {
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (pop_and_run(deadline)) {
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+bool Simulator::empty() const {
+  // Cancelled events may still sit in the queue; treat a queue of only
+  // cancelled events as logically empty.
+  return queue_.size() <= cancelled_.size();
+}
+
+}  // namespace hpop::sim

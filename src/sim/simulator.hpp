@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace hpop::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+using TimerId = std::uint64_t;
+
+/// Deterministic discrete-event simulator.
+///
+/// The entire reproduction runs on simulated time: links, TCP timers,
+/// prefetch schedules and user think-times are all events in one queue.
+/// Events at equal timestamps run in scheduling order (a monotonically
+/// increasing sequence number breaks ties), which makes every run
+/// bit-reproducible for a fixed seed.
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay (delay >= 0). Returns an id
+  /// usable with cancel().
+  TimerId schedule(Duration delay, std::function<void()> fn);
+  TimerId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  void cancel(TimerId id);
+
+  /// Runs until the queue drains or `limit` events execute.
+  void run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with timestamp <= deadline, then sets now() = deadline.
+  void run_until(TimePoint deadline);
+
+  /// Runs for `d` simulated time from the current instant.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  std::uint64_t events_executed() const { return executed_; }
+  bool empty() const;
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    TimerId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run(TimePoint deadline);
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace hpop::sim

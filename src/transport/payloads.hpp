@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace hpop::transport {
+
+/// A payload of concrete bytes (control messages, small files).
+class BytesPayload : public net::Payload {
+ public:
+  explicit BytesPayload(util::Bytes data) : data_(std::move(data)) {}
+  explicit BytesPayload(std::string_view s) : data_(util::to_bytes(s)) {}
+
+  std::size_t wire_size() const override { return data_.size(); }
+  const util::Bytes& data() const { return data_; }
+  std::string text() const { return util::to_string(data_); }
+
+ private:
+  util::Bytes data_;
+};
+
+/// Synthetic bulk payload: occupies wire bytes without materializing them.
+/// Bulk-transfer benches (multi-gigabyte flows) use this.
+class FillerPayload : public net::Payload {
+ public:
+  explicit FillerPayload(std::size_t size) : size_(size) {}
+  std::size_t wire_size() const override { return size_; }
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace hpop::transport

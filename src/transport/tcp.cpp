@@ -1,0 +1,628 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "transport/mux.hpp"
+#include "util/logging.hpp"
+
+namespace hpop::transport {
+
+namespace {
+std::uint64_t g_packet_id = 0;
+}
+
+TcpConnection::TcpConnection(TransportMux& mux, net::Endpoint local,
+                             net::Endpoint remote, TcpOptions opts,
+                             bool passive)
+    : mux_(mux),
+      local_(local),
+      remote_(remote),
+      opts_(opts),
+      state_(passive ? State::kSynReceived : State::kSynSent),
+      peer_rwnd_(UINT64_MAX),
+      rto_(opts.initial_rto) {
+  cwnd_ = static_cast<double>(opts_.initial_window_segments) *
+          static_cast<double>(opts_.mss);
+  ssthresh_ = 1e18;  // effectively infinite until the first loss
+}
+
+net::Packet TcpConnection::base_packet() const {
+  net::Packet pkt;
+  pkt.src = local_.ip;
+  pkt.dst = remote_.ip;
+  pkt.proto = net::Proto::kTcp;
+  pkt.tcp.src_port = local_.port;
+  pkt.tcp.dst_port = remote_.port;
+  pkt.tcp.ack = rcv_nxt_;
+  pkt.tcp.ack_flag = true;
+  pkt.tcp.wnd = opts_.receive_window;
+  // Advertise the out-of-order ranges. Real TCP fits only 3-4 SACK blocks
+  // per segment and cycles through them; we ship the whole list at once —
+  // the steady state a real sender's scoreboard converges to within an RTT,
+  // without simulating the block rotation.
+  for (const auto& [lo, hi] : ooo_ranges_) {
+    pkt.tcp.sack.emplace_back(lo, hi);
+  }
+  pkt.id = ++g_packet_id;
+  return pkt;
+}
+
+void TcpConnection::transmit(net::Packet pkt) {
+  mux_.send_packet(std::move(pkt));
+}
+
+void TcpConnection::start_active_open() {
+  net::Packet syn = base_packet();
+  syn.tcp.syn = true;
+  syn.tcp.ack_flag = false;
+  if (opts_.mp_capable) syn.tcp.mp_capable = opts_.mptcp_token;
+  if (opts_.join_token) syn.tcp.mp_join = opts_.join_token;
+  transmit(std::move(syn));
+  arm_rto();
+}
+
+void TcpConnection::enqueue(std::uint64_t len, net::PayloadPtr payload) {
+  assert(!fin_queued_ && "send after close");
+  if (len == 0 && payload == nullptr) return;
+  snd_buf_end_ += len;
+  send_items_.push_back(Item{snd_buf_end_, std::move(payload)});
+  try_send();
+}
+
+void TcpConnection::send(net::PayloadPtr message) {
+  assert(message != nullptr);
+  const std::uint64_t len = message->wire_size();
+  enqueue(len, std::move(message));
+}
+
+void TcpConnection::send_bytes(std::size_t n) {
+  if (n == 0) return;
+  enqueue(n, nullptr);
+}
+
+void TcpConnection::close() {
+  if (fin_queued_ || state_ == State::kClosed) return;
+  fin_queued_ = true;
+  if (state_ == State::kEstablished || state_ == State::kClosing) {
+    try_send();
+  }
+}
+
+void TcpConnection::abort() {
+  if (state_ == State::kClosed) return;
+  net::Packet rst = base_packet();
+  rst.tcp.rst = true;
+  transmit(std::move(rst));
+  fail("local abort");
+}
+
+void TcpConnection::fail(const char* reason) {
+  HPOP_LOG(kDebug, "tcp") << local_.to_string() << "->" << remote_.to_string()
+                          << " failed: " << reason;
+  const auto self = shared_from_this();  // keep alive through unregister
+  disarm_rto();
+  if (delayed_ack_timer_) {
+    mux_.simulator().cancel(*delayed_ack_timer_);
+    delayed_ack_timer_.reset();
+  }
+  state_ = State::kClosed;
+  mux_.tcp_unregister(local_, remote_);
+  if (on_reset_) {
+    on_reset_();
+  } else if (on_closed_) {
+    on_closed_();  // apps that only watch for closure still learn of it
+  }
+}
+
+std::uint64_t TcpConnection::available_window() const {
+  const auto wnd = static_cast<std::uint64_t>(
+      std::min(cwnd_, static_cast<double>(peer_rwnd_)));
+  const std::uint64_t flight = snd_nxt_ - snd_una_;
+  return flight >= wnd ? 0 : wnd - flight;
+}
+
+std::vector<net::MessageRef> TcpConnection::refs_in_range(
+    std::uint64_t seq, std::uint64_t len) const {
+  // Items are sorted by end_offset; collect those ending in (seq, seq+len].
+  std::vector<net::MessageRef> refs;
+  const auto it = std::lower_bound(
+      send_items_.begin(), send_items_.end(), seq + 1,
+      [](const Item& item, std::uint64_t v) { return item.end_offset < v; });
+  for (auto i = it; i != send_items_.end() && i->end_offset <= seq + len;
+       ++i) {
+    refs.push_back(net::MessageRef{i->end_offset, i->payload});
+  }
+  return refs;
+}
+
+void TcpConnection::emit_segment(std::uint64_t seq, std::uint64_t len,
+                                 bool retransmit) {
+  net::Packet pkt = base_packet();
+  pkt.tcp.seq = seq;
+  pkt.payload_len = len;
+  pkt.messages = refs_in_range(seq, len);
+  if (retransmit) {
+    ++retransmits_;
+    // Karn's algorithm: never time a retransmitted sequence range.
+    if (timed_seq_ && *timed_seq_ > seq && *timed_seq_ <= seq + len) {
+      timed_seq_.reset();
+    }
+  } else if (!timed_seq_) {
+    timed_seq_ = seq + len;
+    timed_at_ = mux_.simulator().now();
+  }
+  transmit(std::move(pkt));
+  arm_rto();
+}
+
+void TcpConnection::try_send() {
+  if (state_ != State::kEstablished && state_ != State::kClosing) return;
+  if (in_fast_recovery_) {
+    send_in_recovery();
+    return;
+  }
+  const std::uint64_t mss = opts_.mss;
+  while (snd_nxt_ < snd_buf_end_) {
+    const std::uint64_t space = available_window();
+    if (space == 0) break;
+    const std::uint64_t len =
+        std::min({mss, snd_buf_end_ - snd_nxt_, space});
+    emit_segment(snd_nxt_, len, snd_nxt_ < high_water_ ? true : false);
+    if (snd_nxt_ + len > high_water_) high_water_ = snd_nxt_ + len;
+    snd_nxt_ += len;
+  }
+  maybe_send_fin();
+}
+
+void TcpConnection::update_sack_scoreboard(const net::Packet& pkt) {
+  for (const auto& [lo_in, hi_in] : pkt.tcp.sack) {
+    std::uint64_t lo = std::max(lo_in, snd_una_);
+    std::uint64_t hi = hi_in;
+    if (hi <= lo) continue;
+    auto it = sacked_.lower_bound(lo);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) {
+        lo = prev->first;
+        hi = std::max(hi, prev->second);
+        sacked_.erase(prev);
+      }
+    }
+    it = sacked_.lower_bound(lo);
+    while (it != sacked_.end() && it->first <= hi) {
+      hi = std::max(hi, it->second);
+      it = sacked_.erase(it);
+    }
+    sacked_[lo] = hi;
+  }
+  // Prune everything at or below the cumulative-ack frontier.
+  while (!sacked_.empty() && sacked_.begin()->second <= snd_una_) {
+    sacked_.erase(sacked_.begin());
+  }
+  if (!sacked_.empty() && sacked_.begin()->first < snd_una_) {
+    auto node = sacked_.extract(sacked_.begin());
+    const std::uint64_t hi = node.mapped();
+    if (hi > snd_una_) sacked_[snd_una_] = hi;
+  }
+}
+
+std::uint64_t TcpConnection::sacked_bytes_in_flight() const {
+  std::uint64_t total = 0;
+  for (const auto& [lo, hi] : sacked_) {
+    const std::uint64_t clipped_lo = std::max(lo, snd_una_);
+    const std::uint64_t clipped_hi = std::min(hi, snd_nxt_);
+    if (clipped_hi > clipped_lo) total += clipped_hi - clipped_lo;
+  }
+  return total;
+}
+
+std::pair<std::uint64_t, std::uint64_t> TcpConnection::next_hole(
+    std::uint64_t from) const {
+  std::uint64_t start = std::max(from, snd_una_);
+  // Skip forward past any sacked range containing `start`.
+  for (const auto& [lo, hi] : sacked_) {
+    if (lo <= start && start < hi) start = hi;
+  }
+  if (start >= snd_nxt_) return {start, start};
+  // Hole ends at the next sacked range (or the send frontier).
+  std::uint64_t end = snd_nxt_;
+  const auto it = sacked_.upper_bound(start);
+  if (it != sacked_.end()) end = std::min(end, it->first);
+  return {start, end};
+}
+
+void TcpConnection::enter_recovery() {
+  const double flight = static_cast<double>(snd_nxt_ - snd_una_);
+  ssthresh_ = std::max(flight / 2, 2.0 * static_cast<double>(opts_.mss));
+  cwnd_ = ssthresh_;
+  in_fast_recovery_ = true;
+  recover_ = snd_nxt_;
+  rexmit_scan_ = snd_una_;
+  // Fast retransmit of the first hole, then fill as the pipe allows.
+  const auto [start, end] = next_hole(snd_una_);
+  if (end > start) {
+    const std::uint64_t len = std::min<std::uint64_t>(opts_.mss, end - start);
+    emit_segment(start, len, true);
+    rexmit_scan_ = start + len;
+  }
+  send_in_recovery();
+}
+
+void TcpConnection::send_in_recovery() {
+  // SACK-based recovery (RFC 6675 in spirit): keep the estimated pipe full
+  // of hole retransmissions first, then new data. The pipe excludes both
+  // SACKed bytes and bytes deemed lost (holes below the highest SACK that
+  // we have not retransmitted yet — the IsLost() approximation).
+  const std::uint64_t mss = opts_.mss;
+  while (true) {
+    const std::uint64_t flight = snd_nxt_ - snd_una_;
+    const std::uint64_t sacked = sacked_bytes_in_flight();
+    std::uint64_t lost = 0;
+    if (!sacked_.empty()) {
+      const std::uint64_t highest =
+          std::min(sacked_.rbegin()->second, snd_nxt_);
+      std::uint64_t cursor = std::max(snd_una_, rexmit_scan_);
+      while (cursor < highest) {
+        const auto [hs, he] = next_hole(cursor);
+        if (he <= hs || hs >= highest) break;
+        lost += std::min(he, highest) - hs;
+        cursor = he;
+      }
+    }
+    const std::uint64_t out = sacked + lost;
+    const std::uint64_t pipe = flight > out ? flight - out : 0;
+    const auto wnd = static_cast<std::uint64_t>(
+        std::min(cwnd_, static_cast<double>(peer_rwnd_)));
+    if (pipe + mss > wnd) break;
+
+    const auto [start, end] = next_hole(rexmit_scan_);
+    if (end > start && start < recover_) {
+      const std::uint64_t len =
+          std::min({mss, end - start, recover_ - start});
+      emit_segment(start, len, true);
+      rexmit_scan_ = start + len;
+      continue;
+    }
+    if (snd_nxt_ < snd_buf_end_) {
+      const std::uint64_t len = std::min(mss, snd_buf_end_ - snd_nxt_);
+      emit_segment(snd_nxt_, len, snd_nxt_ < high_water_);
+      if (snd_nxt_ + len > high_water_) high_water_ = snd_nxt_ + len;
+      snd_nxt_ += len;
+      continue;
+    }
+    break;
+  }
+  maybe_send_fin();
+}
+
+void TcpConnection::maybe_send_fin() {
+  if (!fin_queued_ || snd_nxt_ != snd_buf_end_) return;
+  if (available_window() == 0 && snd_nxt_ > snd_una_) {
+    // Window exhausted; FIN goes out once acks open space.
+    return;
+  }
+  net::Packet fin = base_packet();
+  fin.tcp.fin = true;
+  fin.tcp.seq = snd_nxt_;
+  transmit(std::move(fin));
+  snd_nxt_ += 1;  // FIN consumes one sequence number
+  if (snd_nxt_ > high_water_) high_water_ = snd_nxt_;
+  fin_sent_ = true;
+  if (state_ == State::kEstablished) state_ = State::kClosing;
+  arm_rto();
+}
+
+void TcpConnection::send_ack_now() {
+  if (delayed_ack_timer_) {
+    mux_.simulator().cancel(*delayed_ack_timer_);
+    delayed_ack_timer_.reset();
+  }
+  net::Packet ack = base_packet();
+  transmit(std::move(ack));
+}
+
+void TcpConnection::schedule_delayed_ack() {
+  if (opts_.ack_delay <= 0) {
+    send_ack_now();
+    return;
+  }
+  if (delayed_ack_timer_) return;  // pending ack will carry latest rcv_nxt
+  const auto self = weak_from_this();
+  delayed_ack_timer_ = mux_.simulator().schedule(opts_.ack_delay, [self] {
+    if (const auto conn = self.lock()) {
+      conn->delayed_ack_timer_.reset();
+      net::Packet ack = conn->base_packet();
+      conn->transmit(std::move(ack));
+    }
+  });
+}
+
+void TcpConnection::update_rtt(util::Duration sample) {
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const util::Duration err =
+        sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = srtt_ + std::max<util::Duration>(4 * rttvar_, util::kMillisecond);
+  rto_ = std::clamp(rto_, opts_.min_rto, opts_.max_rto);
+}
+
+void TcpConnection::arm_rto() {
+  disarm_rto();
+  util::Duration effective = rto_;
+  for (int i = 0; i < rto_backoff_; ++i) {
+    effective = std::min(effective * 2, opts_.max_rto);
+  }
+  const auto self = weak_from_this();
+  rto_timer_ = mux_.simulator().schedule(effective, [self] {
+    if (const auto conn = self.lock()) {
+      conn->rto_timer_.reset();
+      conn->on_rto();
+    }
+  });
+}
+
+void TcpConnection::disarm_rto() {
+  if (rto_timer_) {
+    mux_.simulator().cancel(*rto_timer_);
+    rto_timer_.reset();
+  }
+}
+
+void TcpConnection::on_rto() {
+  ++timeouts_;
+  if (rto_backoff_ > 10) {
+    fail("too many timeouts");
+    return;
+  }
+  ++rto_backoff_;
+
+  if (state_ == State::kSynSent) {
+    start_active_open();
+    return;
+  }
+  if (state_ == State::kSynReceived) {
+    net::Packet synack = base_packet();
+    synack.tcp.syn = true;
+    transmit(std::move(synack));
+    arm_rto();
+    return;
+  }
+
+  if (snd_una_ == snd_nxt_ && !fin_queued_) return;  // nothing outstanding
+  // Loss recovery by timeout: collapse to one segment, go-back-N.
+  ssthresh_ = std::max(static_cast<double>(snd_nxt_ - snd_una_) / 2,
+                       2.0 * static_cast<double>(opts_.mss));
+  cwnd_ = static_cast<double>(opts_.mss);
+  in_fast_recovery_ = false;
+  dupacks_ = 0;
+  timed_seq_.reset();
+  // Distrust the scoreboard after a timeout (RFC 6675 §5.1).
+  sacked_.clear();
+  rexmit_scan_ = 0;
+  snd_nxt_ = snd_una_;
+  // If the FIN was outstanding it needs re-emitting once data is resent.
+  fin_sent_ = fin_sent_ && snd_una_ > snd_buf_end_;
+  try_send();
+  arm_rto();
+  // The rollback may have reopened window space (e.g. a jammed flight
+  // estimate); let layered senders (MPTCP) refill.
+  if (on_send_space_) on_send_space_();
+}
+
+void TcpConnection::prune_acked_items() {
+  while (!send_items_.empty() && send_items_.front().end_offset <= snd_una_) {
+    if (on_payload_acked_ && send_items_.front().payload) {
+      on_payload_acked_(send_items_.front().payload);
+    }
+    send_items_.pop_front();
+  }
+}
+
+void TcpConnection::on_new_ack(std::uint64_t acked) {
+  const double mss = static_cast<double>(opts_.mss);
+  if (cwnd_ < ssthresh_) {
+    // Slow start: appropriate byte counting capped at one MSS per ACK.
+    cwnd_ += std::min(static_cast<double>(acked), mss);
+  } else {
+    cwnd_ += mss * mss / cwnd_;
+  }
+}
+
+void TcpConnection::process_ack(const net::Packet& pkt) {
+  peer_rwnd_ = pkt.tcp.wnd;
+  const std::uint64_t ack = pkt.tcp.ack;
+  if (ack > snd_una_) {
+    const std::uint64_t newly = ack - snd_una_;
+    if (timed_seq_ && ack >= *timed_seq_) {
+      update_rtt(mux_.simulator().now() - timed_at_);
+      timed_seq_.reset();
+    }
+    rto_backoff_ = 0;
+    snd_una_ = ack;
+    // A late ack can cover data beyond snd_nxt_ after an RTO rollback
+    // (the timeout was spurious). Advance the send cursor, or the flight
+    // computation underflows and the window jams shut.
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    update_sack_scoreboard(pkt);
+    if (in_fast_recovery_) {
+      if (ack >= recover_) {
+        // Full ack: recovery episode over.
+        in_fast_recovery_ = false;
+        dupacks_ = 0;
+        cwnd_ = ssthresh_;
+      } else {
+        // Partial ack: the byte at `ack` is a further hole. Retransmit it
+        // even if the scan cursor already passed (that copy was lost too).
+        const auto [start, end] = next_hole(snd_una_);
+        if (end > start && start < recover_) {
+          const std::uint64_t len =
+              std::min<std::uint64_t>(opts_.mss, end - start);
+          emit_segment(start, len, true);
+          rexmit_scan_ = std::max(rexmit_scan_, start + len);
+        }
+      }
+    } else {
+      dupacks_ = 0;
+      on_new_ack(newly);
+    }
+    prune_acked_items();
+    if (fin_sent_ && ack >= snd_buf_end_ + 1) fin_acked_ = true;
+    if (snd_una_ == snd_nxt_) {
+      disarm_rto();
+    } else {
+      arm_rto();
+    }
+    try_send();
+    if (on_send_space_) on_send_space_();
+    maybe_finish_close();
+  } else if (ack == snd_una_ && snd_nxt_ > snd_una_ && pkt.payload_len == 0 &&
+             !pkt.tcp.syn && !pkt.tcp.fin) {
+    update_sack_scoreboard(pkt);
+    ++dupacks_;
+    if (in_fast_recovery_) {
+      send_in_recovery();  // newly sacked bytes shrink the pipe
+    } else if (dupacks_ >= 3) {
+      enter_recovery();
+    }
+  }
+}
+
+void TcpConnection::deliver_ready() {
+  // Hand over every message whose final byte is now contiguous.
+  while (!pending_refs_.empty() &&
+         pending_refs_.begin()->first <= rcv_nxt_) {
+    net::PayloadPtr msg = pending_refs_.begin()->second;
+    pending_refs_.erase(pending_refs_.begin());
+    if (msg && on_message_) on_message_(msg);
+  }
+}
+
+void TcpConnection::process_data(const net::Packet& pkt) {
+  const std::uint64_t seq = pkt.tcp.seq;
+  const std::uint64_t len = pkt.payload_len;
+  for (const auto& ref : pkt.messages) {
+    if (ref.end_offset > rcv_nxt_ && ref.message) {
+      pending_refs_.emplace(ref.end_offset, ref.message);
+    }
+  }
+  const std::uint64_t old_rcv_nxt = rcv_nxt_;
+  if (seq + len > rcv_nxt_) {
+    // Merge [seq, seq+len) into the out-of-order set.
+    std::uint64_t lo = seq;
+    std::uint64_t hi = seq + len;
+    auto it = ooo_ranges_.lower_bound(lo);
+    if (it != ooo_ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) {
+        lo = prev->first;
+        hi = std::max(hi, prev->second);
+        it = ooo_ranges_.erase(prev);
+      }
+    }
+    while (it != ooo_ranges_.end() && it->first <= hi) {
+      hi = std::max(hi, it->second);
+      it = ooo_ranges_.erase(it);
+    }
+    ooo_ranges_[lo] = hi;
+    // Advance the contiguous frontier.
+    auto front = ooo_ranges_.begin();
+    if (front != ooo_ranges_.end() && front->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, front->second);
+      ooo_ranges_.erase(front);
+    }
+  }
+  if (rcv_nxt_ > old_rcv_nxt) {
+    if (on_bytes_) on_bytes_(rcv_nxt_ - old_rcv_nxt);
+    deliver_ready();
+  }
+  // FIN handling: the peer's FIN sits right after its last data byte.
+  bool remote_closed_now = false;
+  if (fin_seq_ && !fin_received_ && rcv_nxt_ == *fin_seq_) {
+    rcv_nxt_ += 1;
+    fin_received_ = true;
+    remote_closed_now = true;
+    if (state_ == State::kEstablished) state_ = State::kClosing;
+  }
+  schedule_delayed_ack();
+  if (remote_closed_now && on_remote_close_) on_remote_close_();
+  maybe_finish_close();
+}
+
+void TcpConnection::maybe_finish_close() {
+  if (state_ == State::kClosed) return;
+  if (fin_received_ && !fin_queued_) {
+    // Passive close: once the peer finished sending, close our side after
+    // the application had its chance to respond. Applications that want to
+    // keep sending call close() themselves later; default echoes the close.
+    // We do not auto-close: half-open connections are legal. (HTTP keeps
+    // the connection open for the response.)
+  }
+  if (fin_received_ && fin_acked_) {
+    const auto self = shared_from_this();
+    disarm_rto();
+    state_ = State::kClosed;
+    mux_.tcp_unregister(local_, remote_);
+    if (on_closed_) on_closed_();
+  }
+}
+
+void TcpConnection::on_packet(const net::Packet& pkt) {
+  if (pkt.tcp.rst) {
+    fail("connection reset by peer");
+    return;
+  }
+
+  switch (state_) {
+    case State::kSynSent:
+      if (pkt.tcp.syn && pkt.tcp.ack_flag) {
+        state_ = State::kEstablished;
+        peer_rwnd_ = pkt.tcp.wnd;
+        rto_backoff_ = 0;
+        disarm_rto();
+        send_ack_now();
+        if (on_established_) on_established_();
+        try_send();
+      }
+      return;
+    case State::kSynReceived:
+      if (pkt.tcp.syn && !pkt.tcp.ack_flag) {
+        // Initial or retransmitted SYN: (re-)send SYN-ACK.
+        peer_rwnd_ = pkt.tcp.wnd;
+        net::Packet synack = base_packet();
+        synack.tcp.syn = true;
+        transmit(std::move(synack));
+        arm_rto();
+        return;
+      }
+      if (pkt.tcp.ack_flag) {
+        state_ = State::kEstablished;
+        rto_backoff_ = 0;
+        disarm_rto();
+        if (internal_established_) internal_established_();
+        if (on_established_) on_established_();
+        // Fall through to process any piggybacked data below.
+      } else {
+        return;
+      }
+      break;
+    case State::kEstablished:
+    case State::kClosing:
+      break;
+    case State::kClosed:
+      return;
+  }
+
+  if (pkt.tcp.fin) {
+    fin_seq_ = pkt.tcp.seq + pkt.payload_len;
+  }
+  if (pkt.tcp.ack_flag) process_ack(pkt);
+  if (pkt.payload_len > 0 || pkt.tcp.fin) process_data(pkt);
+}
+
+}  // namespace hpop::transport

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+
+namespace hpop::transport {
+
+class TransportMux;
+
+/// Connectionless datagram endpoint. Datagrams carry one Payload each and
+/// are delivered (or silently lost) as the network dictates — STUN, TURN,
+/// and the DCol VPN encapsulation ride on this.
+class UdpSocket : public std::enable_shared_from_this<UdpSocket> {
+ public:
+  UdpSocket(TransportMux& mux, std::uint16_t port);
+  ~UdpSocket() = default;
+
+  using DatagramHandler =
+      std::function<void(net::Endpoint from, net::PayloadPtr payload)>;
+  void set_on_datagram(DatagramHandler h) { handler_ = std::move(h); }
+
+  /// Raw-packet handler (takes precedence); the VPN server uses it to see
+  /// the encapsulated inner packet.
+  using PacketHandler = std::function<void(const net::Packet&)>;
+  void set_on_packet(PacketHandler h) { packet_handler_ = std::move(h); }
+
+  void send_to(net::Endpoint dst, net::PayloadPtr payload);
+  /// Sends a raw pre-built packet through this socket's port (used by the
+  /// VPN layer, which needs to emit encapsulated packets).
+  void send_packet_to(net::Endpoint dst, net::Packet inner);
+
+  std::uint16_t port() const { return port_; }
+  void close();
+  bool closed() const { return closed_; }
+
+  // Mux-internal.
+  void on_packet(const net::Packet& pkt);
+
+ private:
+  TransportMux& mux_;
+  std::uint16_t port_;
+  bool closed_ = false;
+  DatagramHandler handler_;
+  PacketHandler packet_handler_;
+};
+
+}  // namespace hpop::transport

@@ -1,0 +1,218 @@
+#include "traversal/reachability.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::traversal {
+
+std::string to_string(ReachMethod m) {
+  switch (m) {
+    case ReachMethod::kDirect: return "direct";
+    case ReachMethod::kUpnp: return "upnp";
+    case ReachMethod::kStunPunch: return "stun-punch";
+    case ReachMethod::kTurnRelay: return "turn-relay";
+    case ReachMethod::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+Reflector::Reflector(transport::TransportMux& mux, std::uint16_t port)
+    : mux_(mux), port_(port), listener_(mux.tcp_listen(port)) {
+  listener_->set_on_accept([this](
+                               std::shared_ptr<transport::TcpConnection>
+                                   control) {
+    control->set_on_message([this, control](net::PayloadPtr msg) {
+      const auto req =
+          std::dynamic_pointer_cast<const ReflectTestRequest>(msg);
+      if (!req) return;
+
+      const std::uint16_t probe_port = next_probe_port_++;
+      auto launch_probe = [this, control, target = req->target, probe_port] {
+        transport::TcpOptions opts;
+        opts.local_port = probe_port;
+        auto probe = mux_.tcp_connect(target, opts);
+        auto finished = std::make_shared<bool>(false);
+        auto report = [control, probe, finished](bool ok) {
+          if (*finished) return;
+          *finished = true;
+          auto result = std::make_shared<ReflectTestResult>();
+          result->reachable = ok;
+          control->send(result);
+          probe->abort();
+        };
+        probe->set_on_established([report] { report(true); });
+        probe->set_on_reset([report] { report(false); });
+        // No SYN-ACK within 3 s (filtered silently by a NAT) => fail.
+        mux_.simulator().schedule(3 * util::kSecond,
+                                  [report] { report(false); });
+      };
+
+      if (req->announce_first) {
+        auto announce = std::make_shared<ReflectAnnounce>();
+        announce->from = {mux_.host().address(), probe_port};
+        control->send(announce);
+        // Give the requester time to punch before probing.
+        mux_.simulator().schedule(200 * util::kMillisecond,
+                                  std::move(launch_probe));
+      } else {
+        launch_probe();
+      }
+    });
+    control->set_on_remote_close([control] { control->close(); });
+  });
+}
+
+ReachabilityManager::ReachabilityManager(transport::TransportMux& mux,
+                                         ReachabilityConfig config)
+    : mux_(mux), config_(config) {}
+
+bool ReachabilityManager::behind_nat() const {
+  // 10/8 marks the private realms in our topologies.
+  const net::IpAddr addr = mux_.host().address();
+  return net::Prefix{net::IpAddr(10, 0, 0, 0), 8}.contains(addr);
+}
+
+void ReachabilityManager::verify(net::Endpoint target, bool announce_first,
+                                 std::function<void(bool)> cb) {
+  if (!config_.reflector) {
+    // No external vantage point: trust the candidate optimistically.
+    cb(true);
+    return;
+  }
+  auto control = mux_.tcp_connect(*config_.reflector);
+  auto req = std::make_shared<ReflectTestRequest>();
+  req->target = target;
+  req->announce_first = announce_first;
+  control->set_on_established([control, req] { control->send(req); });
+  auto done = std::make_shared<bool>(false);
+  control->set_on_message(
+      [this, control, cb, done](net::PayloadPtr msg) {
+        if (const auto announce =
+                std::dynamic_pointer_cast<const ReflectAnnounce>(msg)) {
+          // Rendezvous: punch toward the announced probe source.
+          expect_peer(announce->from);
+          return;
+        }
+        if (const auto result =
+                std::dynamic_pointer_cast<const ReflectTestResult>(msg)) {
+          if (*done) return;
+          *done = true;
+          control->close();
+          cb(result->reachable);
+        }
+      });
+  control->set_on_reset([cb, done] {
+    if (*done) return;
+    *done = true;
+    cb(false);
+  });
+}
+
+void ReachabilityManager::establish(EstablishCallback cb) {
+  callback_ = std::move(cb);
+  try_direct();
+}
+
+void ReachabilityManager::finish(Advertisement adv) {
+  advertisement_ = adv;
+  HPOP_LOG(kInfo, "reach") << mux_.host().name() << " reachable via "
+                           << to_string(adv.method) << " at "
+                           << adv.endpoint.to_string();
+  if (callback_) callback_(advertisement_);
+}
+
+void ReachabilityManager::try_direct() {
+  if (behind_nat()) {
+    try_upnp();
+    return;
+  }
+  const net::Endpoint candidate{mux_.host().address(), config_.service_port};
+  verify(candidate, false, [this, candidate](bool ok) {
+    if (ok) {
+      finish({ReachMethod::kDirect, candidate, false});
+    } else {
+      try_turn();  // publicly addressed but blocked: relay or bust
+    }
+  });
+}
+
+void ReachabilityManager::try_upnp() {
+  if (config_.home_gateway == nullptr) {
+    try_stun();
+    return;
+  }
+  upnp_ = std::make_unique<UpnpClient>(mux_.simulator(),
+                                       config_.home_gateway);
+  const net::Endpoint internal{mux_.host().address(), config_.service_port};
+  upnp_->add_port_mapping(
+      net::Proto::kTcp, config_.service_port, internal,
+      [this](util::Status status) {
+        if (!status.ok()) {
+          try_stun();
+          return;
+        }
+        const net::Endpoint candidate{
+            config_.home_gateway->public_ip(), config_.service_port};
+        // Verification matters: behind a CGN the home mapping exists but
+        // the gateway's "public" address is itself private (§III).
+        verify(candidate, false, [this, candidate](bool ok) {
+          if (ok) {
+            finish({ReachMethod::kUpnp, candidate, false});
+          } else {
+            try_stun();
+          }
+        });
+      });
+}
+
+void ReachabilityManager::try_stun() {
+  if (!config_.stun_server) {
+    try_turn();
+    return;
+  }
+  // Keep a UDP mapping alive for rendezvous signalling and discover the
+  // TCP mapping our service port gets.
+  stun_ = std::make_unique<StunClient>(mux_, *config_.stun_server);
+  stun_->start_keepalive(20 * util::kSecond);
+  discover_tcp_mapping(
+      mux_, *config_.stun_server, config_.service_port,
+      [this](util::Result<net::Endpoint> mapped) {
+        if (!mapped.ok()) {
+          try_turn();
+          return;
+        }
+        stun_mapped_tcp_ = mapped.value();
+        // Verify punchability with a rendezvous-style probe. A symmetric
+        // NAT maps our punch to a *different* public port than the one we
+        // advertised, so the probe's SYN stays filtered and this fails.
+        verify(*stun_mapped_tcp_, true, [this](bool ok) {
+          if (ok) {
+            finish({ReachMethod::kStunPunch, *stun_mapped_tcp_, true});
+          } else {
+            try_turn();
+          }
+        });
+      });
+}
+
+void ReachabilityManager::try_turn() {
+  if (!config_.turn_server) {
+    finish({ReachMethod::kUnreachable, {}, false});
+    return;
+  }
+  turn_ = std::make_unique<TurnAllocation>(mux_, *config_.turn_server,
+                                           config_.service_port);
+  turn_->allocate([this](util::Result<net::Endpoint> relay) {
+    if (relay.ok()) {
+      finish({ReachMethod::kTurnRelay, relay.value(), false});
+    } else {
+      finish({ReachMethod::kUnreachable, {}, false});
+    }
+  });
+}
+
+void ReachabilityManager::expect_peer(net::Endpoint peer) {
+  punch_tcp(mux_.host(), config_.service_port, peer, config_.nat_depth + 1);
+  if (stun_) punch_udp(*stun_->socket(), peer);
+}
+
+}  // namespace hpop::traversal

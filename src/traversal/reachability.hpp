@@ -1,0 +1,113 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "traversal/stun.hpp"
+#include "traversal/turn.hpp"
+#include "traversal/upnp.hpp"
+
+namespace hpop::traversal {
+
+// --- Reflector: an external vantage point that verifies reachability ---
+
+struct ReflectTestRequest : net::Payload {
+  net::Endpoint target;
+  bool announce_first = false;  // rendezvous-style: announce, wait, connect
+  std::size_t wire_size() const override { return 40; }
+};
+
+struct ReflectAnnounce : net::Payload {
+  net::Endpoint from;  // endpoint the reflector will connect from
+  std::size_t wire_size() const override { return 32; }
+};
+
+struct ReflectTestResult : net::Payload {
+  bool reachable = false;
+  std::size_t wire_size() const override { return 24; }
+};
+
+/// A public service that attempts a TCP connection to a requested endpoint
+/// and reports whether it succeeded. In `announce_first` mode it first
+/// tells the requester which endpoint the probe will come from and delays
+/// briefly — giving a NATed requester time to punch (the rendezvous dance
+/// the HPoP directory performs in production use).
+class Reflector {
+ public:
+  Reflector(transport::TransportMux& mux, std::uint16_t port = 7100);
+  std::uint16_t port() const { return port_; }
+
+ private:
+  transport::TransportMux& mux_;
+  std::uint16_t port_;
+  std::shared_ptr<transport::TcpListener> listener_;
+  std::uint16_t next_probe_port_ = 36000;
+};
+
+// --- Reachability manager: the HPoP boot sequence from §III ---
+
+enum class ReachMethod {
+  kDirect,      // publicly addressed (the IPv6 future of §III)
+  kUpnp,        // home NAT port mapping
+  kStunPunch,   // hole punching; requires rendezvous per client
+  kTurnRelay,   // relayed; "limited functionality" fallback
+  kUnreachable,
+};
+
+std::string to_string(ReachMethod m);
+
+struct Advertisement {
+  ReachMethod method = ReachMethod::kUnreachable;
+  net::Endpoint endpoint;  // where clients should connect
+  bool rendezvous_required = false;
+};
+
+struct ReachabilityConfig {
+  std::uint16_t service_port = 443;
+  net::NatBox* home_gateway = nullptr;  // discovered IGD, if any
+  std::optional<net::Endpoint> stun_server;
+  std::optional<net::Endpoint> turn_server;
+  std::optional<net::Endpoint> reflector;
+  /// NAT chain depth above this host (punch TTL = depth + 1).
+  int nat_depth = 1;
+};
+
+/// Implements §III: "UPnP ... for home networks behind a local NAT device
+/// only; STUN (hole punching) for ISP-operated NAT; TURN relaying where
+/// hole punching does not work." Tries each in that order, verifying with
+/// the reflector, and exposes the resulting public advertisement.
+class ReachabilityManager {
+ public:
+  ReachabilityManager(transport::TransportMux& mux, ReachabilityConfig config);
+
+  using EstablishCallback = std::function<void(const Advertisement&)>;
+  void establish(EstablishCallback cb);
+
+  const Advertisement& advertisement() const { return advertisement_; }
+
+  /// Rendezvous notification: `peer` is about to connect; punch the NAT so
+  /// its SYN is admitted.
+  void expect_peer(net::Endpoint peer);
+
+ private:
+  void try_direct();
+  void try_upnp();
+  void try_stun();
+  void try_turn();
+  void finish(Advertisement adv);
+  void verify(net::Endpoint target, bool announce_first,
+              std::function<void(bool)> cb);
+  bool behind_nat() const;
+
+  transport::TransportMux& mux_;
+  ReachabilityConfig config_;
+  Advertisement advertisement_;
+  EstablishCallback callback_;
+  std::unique_ptr<UpnpClient> upnp_;
+  std::unique_ptr<StunClient> stun_;
+  std::unique_ptr<TurnAllocation> turn_;
+  std::optional<net::Endpoint> stun_mapped_tcp_;
+};
+
+}  // namespace hpop::traversal

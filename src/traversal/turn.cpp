@@ -1,0 +1,179 @@
+#include "traversal/turn.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::traversal {
+
+/// Server-side state for one allocation: the control connection to the
+/// allocating client and the relay listener for external peers.
+struct TurnServer::Allocation {
+  std::shared_ptr<transport::TcpConnection> control;
+  std::shared_ptr<transport::TcpListener> relay_listener;
+  std::uint16_t relay_port = 0;
+  std::uint64_t next_conn_id = 1;
+  std::map<std::uint64_t, std::shared_ptr<transport::TcpConnection>> peers;
+};
+
+TurnServer::TurnServer(transport::TransportMux& mux,
+                       std::uint16_t control_port)
+    : mux_(mux), control_port_(control_port) {
+  listener_ = mux_.tcp_listen(control_port);
+  listener_->set_on_accept(
+      [this](std::shared_ptr<transport::TcpConnection> conn) {
+        handle_allocate(conn);
+      });
+}
+
+void TurnServer::handle_allocate(
+    const std::shared_ptr<transport::TcpConnection>& control) {
+  auto alloc = std::make_shared<Allocation>();
+  alloc->control = control;
+
+  control->set_on_message([this, alloc](net::PayloadPtr msg) {
+    if (std::dynamic_pointer_cast<const TurnAllocateRequest>(msg)) {
+      if (alloc->relay_listener) return;  // duplicate
+      ++allocations_;
+      alloc->relay_port = next_relay_port_++;
+      alloc->relay_listener = mux_.tcp_listen(alloc->relay_port);
+      allocations_by_port_[alloc->relay_port] = alloc;
+
+      alloc->relay_listener->set_on_accept(
+          [this, alloc](std::shared_ptr<transport::TcpConnection> peer) {
+            const std::uint64_t id = alloc->next_conn_id++;
+            alloc->peers[id] = peer;
+            auto open = std::make_shared<TurnConnectionEvent>();
+            open->conn_id = id;
+            alloc->control->send(open);
+
+            peer->set_on_message([this, alloc, id](net::PayloadPtr m) {
+              auto data = std::make_shared<TurnData>();
+              data->conn_id = id;
+              data->inner = m;
+              bytes_relayed_ += data->wire_size();
+              alloc->control->send(data);
+            });
+            auto gone = [alloc, id] {
+              if (alloc->peers.erase(id) > 0) {
+                auto ev = std::make_shared<TurnConnectionEvent>();
+                ev->conn_id = id;
+                ev->open = false;
+                alloc->control->send(ev);
+              }
+            };
+            peer->set_on_remote_close([alloc, id] {
+              const auto it = alloc->peers.find(id);
+              if (it != alloc->peers.end()) it->second->close();
+            });
+            peer->set_on_closed(gone);
+            peer->set_on_reset(gone);
+          });
+
+      auto resp = std::make_shared<TurnAllocateResponse>();
+      resp->relay = {mux_.host().address(), alloc->relay_port};
+      alloc->control->send(resp);
+      return;
+    }
+    if (const auto data = std::dynamic_pointer_cast<const TurnData>(msg)) {
+      // Client -> peer direction.
+      const auto it = alloc->peers.find(data->conn_id);
+      if (it == alloc->peers.end()) return;
+      bytes_relayed_ += data->wire_size();
+      if (data->inner) {
+        it->second->send(data->inner);
+      } else if (data->filler > 0) {
+        it->second->send_bytes(data->filler);
+      }
+      return;
+    }
+    if (const auto ev =
+            std::dynamic_pointer_cast<const TurnConnectionEvent>(msg)) {
+      if (!ev->open) {
+        const auto it = alloc->peers.find(ev->conn_id);
+        if (it != alloc->peers.end()) {
+          it->second->close();
+          alloc->peers.erase(it);
+        }
+      }
+    }
+  });
+}
+
+TurnAllocation::TurnAllocation(transport::TransportMux& mux,
+                               net::Endpoint turn_server,
+                               std::uint16_t local_service_port)
+    : mux_(mux),
+      server_(turn_server),
+      local_service_port_(local_service_port) {}
+
+void TurnAllocation::allocate(ReadyCallback cb) {
+  ready_cb_ = std::move(cb);
+  control_ = mux_.tcp_connect(server_);
+  control_->set_on_established(
+      [this] { control_->send(std::make_shared<TurnAllocateRequest>()); });
+  control_->set_on_message(
+      [this](net::PayloadPtr msg) { on_control_message(std::move(msg)); });
+  auto fail = [this] {
+    if (ready_cb_) {
+      auto cb = std::move(ready_cb_);
+      ready_cb_ = nullptr;
+      cb(util::Result<net::Endpoint>::failure("turn_unreachable",
+                                              "allocation failed"));
+    }
+  };
+  control_->set_on_reset(fail);
+}
+
+void TurnAllocation::on_control_message(net::PayloadPtr msg) {
+  if (const auto resp =
+          std::dynamic_pointer_cast<const TurnAllocateResponse>(msg)) {
+    relay_ = resp->relay;
+    if (ready_cb_) {
+      auto cb = std::move(ready_cb_);
+      ready_cb_ = nullptr;
+      cb(*relay_);
+    }
+    return;
+  }
+  if (const auto ev =
+          std::dynamic_pointer_cast<const TurnConnectionEvent>(msg)) {
+    if (ev->open) {
+      // New relayed peer: bridge it to the local service over loopback.
+      Bridge bridge;
+      bridge.local = mux_.tcp_connect(
+          {mux_.host().address(), local_service_port_});
+      const std::uint64_t id = ev->conn_id;
+      bridge.local->set_on_message([this, id](net::PayloadPtr m) {
+        auto data = std::make_shared<TurnData>();
+        data->conn_id = id;
+        data->inner = m;
+        control_->send(data);
+      });
+      bridge.local->set_on_closed([this, id] {
+        auto done = std::make_shared<TurnConnectionEvent>();
+        done->conn_id = id;
+        done->open = false;
+        control_->send(done);
+        bridges_.erase(id);
+      });
+      bridges_.emplace(id, std::move(bridge));
+    } else {
+      const auto it = bridges_.find(ev->conn_id);
+      if (it != bridges_.end()) {
+        it->second.local->close();
+        bridges_.erase(it);
+      }
+    }
+    return;
+  }
+  if (const auto data = std::dynamic_pointer_cast<const TurnData>(msg)) {
+    const auto it = bridges_.find(data->conn_id);
+    if (it == bridges_.end()) return;
+    if (data->inner) {
+      it->second.local->send(data->inner);
+    } else if (data->filler > 0) {
+      it->second.local->send_bytes(data->filler);
+    }
+  }
+}
+
+}  // namespace hpop::traversal

@@ -1,0 +1,40 @@
+#include "traversal/upnp.hpp"
+
+namespace hpop::traversal {
+
+void UpnpClient::add_port_mapping(net::Proto proto,
+                                  std::uint16_t external_port,
+                                  net::Endpoint internal, Callback cb) {
+  sim_.schedule(kControlLatency, [this, proto, external_port, internal,
+                                  cb = std::move(cb)] {
+    if (gateway_ == nullptr) {
+      cb(util::Status::failure("no_gateway", "no IGD discovered"));
+      return;
+    }
+    cb(gateway_->add_port_mapping(proto, external_port, internal));
+  });
+}
+
+void UpnpClient::remove_port_mapping(net::Proto proto,
+                                     std::uint16_t external_port,
+                                     Callback cb) {
+  sim_.schedule(kControlLatency,
+                [this, proto, external_port, cb = std::move(cb)] {
+                  if (gateway_ == nullptr) {
+                    cb(util::Status::failure("no_gateway",
+                                             "no IGD discovered"));
+                    return;
+                  }
+                  cb(gateway_->remove_port_mapping(proto, external_port));
+                });
+}
+
+util::Result<net::IpAddr> UpnpClient::external_ip() const {
+  if (gateway_ == nullptr) {
+    return util::Result<net::IpAddr>::failure("no_gateway",
+                                              "no IGD discovered");
+  }
+  return gateway_->public_ip();
+}
+
+}  // namespace hpop::traversal

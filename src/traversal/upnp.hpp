@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+
+#include "net/nat.hpp"
+#include "util/result.hpp"
+
+namespace hpop::traversal {
+
+/// UPnP-IGD client (§III): programmatic port forwarding on the *home* NAT
+/// during HPoP setup. The SSDP discovery + SOAP AddPortMapping exchange is
+/// modeled as a small control-latency delay against the gateway device; a
+/// CGN (or a gateway with UPnP disabled) refuses.
+class UpnpClient {
+ public:
+  /// `gateway` is the LAN's IGD as found by SSDP discovery; nullptr when
+  /// discovery found none.
+  UpnpClient(sim::Simulator& sim, net::NatBox* gateway)
+      : sim_(sim), gateway_(gateway) {}
+
+  using Callback = std::function<void(util::Status)>;
+
+  void add_port_mapping(net::Proto proto, std::uint16_t external_port,
+                        net::Endpoint internal, Callback cb);
+  void remove_port_mapping(net::Proto proto, std::uint16_t external_port,
+                           Callback cb);
+
+  /// The gateway's external address (what the mapping exposes). Note that
+  /// behind a CGN this is still a private realm address — which is exactly
+  /// why UPnP alone is insufficient there (§III).
+  util::Result<net::IpAddr> external_ip() const;
+
+ private:
+  static constexpr util::Duration kControlLatency =
+      20 * util::kMillisecond;  // SSDP + SOAP round trips on the LAN
+
+  sim::Simulator& sim_;
+  net::NatBox* gateway_;
+};
+
+}  // namespace hpop::traversal

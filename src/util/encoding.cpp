@@ -1,0 +1,126 @@
+#include "util/encoding.hpp"
+
+#include <array>
+
+namespace hpop::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kB64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(const Bytes& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Result<Bytes> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Result<Bytes>::failure("bad_encoding", "odd hex length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Result<Bytes>::failure("bad_encoding", "invalid hex digit");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(const Bytes& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (std::uint32_t(data[i]) << 16) |
+                            (std::uint32_t(data[i + 1]) << 8) |
+                            std::uint32_t(data[i + 2]);
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 6) & 0x3f]);
+    out.push_back(kB64Digits[v & 0x3f]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = std::uint32_t(data[i]) << 16;
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v =
+        (std::uint32_t(data[i]) << 16) | (std::uint32_t(data[i + 1]) << 8);
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> base64_decode(std::string_view b64) {
+  if (b64.size() % 4 != 0) {
+    return Result<Bytes>::failure("bad_encoding", "base64 length not 4k");
+  }
+  Bytes out;
+  out.reserve(b64.size() / 4 * 3);
+  for (std::size_t i = 0; i < b64.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = b64[i + j];
+      if (c == '=') {
+        // Padding may only appear in the last group's final positions.
+        if (i + 4 != b64.size() || j < 2) {
+          return Result<Bytes>::failure("bad_encoding", "misplaced padding");
+        }
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) {
+          return Result<Bytes>::failure("bad_encoding", "data after padding");
+        }
+        vals[j] = b64_value(c);
+        if (vals[j] < 0) {
+          return Result<Bytes>::failure("bad_encoding", "invalid base64 char");
+        }
+      }
+    }
+    const std::uint32_t v = (std::uint32_t(vals[0]) << 18) |
+                            (std::uint32_t(vals[1]) << 12) |
+                            (std::uint32_t(vals[2]) << 6) |
+                            std::uint32_t(vals[3]);
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+}  // namespace hpop::util

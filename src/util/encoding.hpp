@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace hpop::util {
+
+/// Lowercase hex encode/decode.
+std::string hex_encode(const Bytes& data);
+Result<Bytes> hex_decode(std::string_view hex);
+
+/// Standard base64 (RFC 4648, with padding). Used to serialize attic grant
+/// tokens ("QR codes") and capability tokens into copyable strings.
+std::string base64_encode(const Bytes& data);
+Result<Bytes> base64_decode(std::string_view b64);
+
+}  // namespace hpop::util

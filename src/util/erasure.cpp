@@ -1,0 +1,202 @@
+#include "util/erasure.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpop::util {
+
+namespace gf256 {
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+  Tables() {
+    // Generator 2 over polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d).
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0);
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+}  // namespace gf256
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  if (k < 1 || m < 1 || k + m > 255) {
+    throw std::invalid_argument("ReedSolomon: need 1<=k, 1<=m, k+m<=255");
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::matrix_row(int r) const {
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(k_), 0);
+  if (r < k_) {
+    row[static_cast<std::size_t>(r)] = 1;  // identity block: systematic code
+  } else {
+    // Cauchy block: C[i][j] = 1 / (x_i ^ y_j) with x_i = k + i, y_j = j.
+    // x and y sets are disjoint, so x_i ^ y_j != 0.
+    const int i = r - k_;
+    for (int j = 0; j < k_; ++j) {
+      const auto xi = static_cast<std::uint8_t>(k_ + i);
+      const auto yj = static_cast<std::uint8_t>(j);
+      row[static_cast<std::size_t>(j)] =
+          gf256::inv(static_cast<std::uint8_t>(xi ^ yj));
+    }
+  }
+  return row;
+}
+
+std::vector<Bytes> ReedSolomon::encode(const Bytes& data) const {
+  const std::size_t shard_len =
+      (data.size() + static_cast<std::size_t>(k_) - 1) /
+      static_cast<std::size_t>(k_);
+  // Zero-pad so the data splits into k equal shards; the caller keeps the
+  // original length.
+  std::vector<Bytes> shards(static_cast<std::size_t>(k_ + m_));
+  for (int i = 0; i < k_; ++i) {
+    Bytes& s = shards[static_cast<std::size_t>(i)];
+    s.assign(shard_len, 0);
+    const std::size_t off = static_cast<std::size_t>(i) * shard_len;
+    for (std::size_t j = 0; j < shard_len && off + j < data.size(); ++j) {
+      s[j] = data[off + j];
+    }
+  }
+  for (int r = k_; r < k_ + m_; ++r) {
+    const auto row = matrix_row(r);
+    Bytes& out = shards[static_cast<std::size_t>(r)];
+    out.assign(shard_len, 0);
+    for (int j = 0; j < k_; ++j) {
+      const std::uint8_t coeff = row[static_cast<std::size_t>(j)];
+      if (coeff == 0) continue;
+      const Bytes& in = shards[static_cast<std::size_t>(j)];
+      for (std::size_t b = 0; b < shard_len; ++b) {
+        out[b] = gf256::add(out[b], gf256::mul(coeff, in[b]));
+      }
+    }
+  }
+  return shards;
+}
+
+Result<Bytes> ReedSolomon::decode(
+    const std::vector<std::optional<Bytes>>& shards,
+    std::size_t original_size) const {
+  if (shards.size() != static_cast<std::size_t>(k_ + m_)) {
+    return Result<Bytes>::failure("bad_arg", "wrong shard vector size");
+  }
+  std::vector<int> have;
+  for (int i = 0; i < k_ + m_; ++i) {
+    if (shards[static_cast<std::size_t>(i)].has_value()) have.push_back(i);
+  }
+  if (static_cast<int>(have.size()) < k_) {
+    return Result<Bytes>::failure(
+        "insufficient_shards",
+        "need " + std::to_string(k_) + " shards, have " +
+            std::to_string(have.size()));
+  }
+  have.resize(static_cast<std::size_t>(k_));
+  const std::size_t shard_len = shards[static_cast<std::size_t>(have[0])]->size();
+  for (int idx : have) {
+    if (shards[static_cast<std::size_t>(idx)]->size() != shard_len) {
+      return Result<Bytes>::failure("bad_arg", "inconsistent shard sizes");
+    }
+  }
+
+  // Solve A * D = S where A is the k x k submatrix of the generator for the
+  // rows we hold and S the corresponding shards. Gauss–Jordan over GF(256).
+  const auto n = static_cast<std::size_t>(k_);
+  std::vector<std::vector<std::uint8_t>> a(n);
+  std::vector<Bytes> s(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    a[r] = matrix_row(have[r]);
+    s[r] = *shards[static_cast<std::size_t>(have[r])];
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot; guaranteed to exist because any k rows of [I; Cauchy]
+    // are linearly independent.
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) {
+      return Result<Bytes>::failure("singular", "generator submatrix singular");
+    }
+    std::swap(a[pivot], a[col]);
+    std::swap(s[pivot], s[col]);
+
+    const std::uint8_t inv_p = gf256::inv(a[col][col]);
+    for (std::size_t j = 0; j < n; ++j) a[col][j] = gf256::mul(a[col][j], inv_p);
+    for (std::size_t b = 0; b < shard_len; ++b) {
+      s[col][b] = gf256::mul(s[col][b], inv_p);
+    }
+
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || a[r][col] == 0) continue;
+      const std::uint8_t factor = a[r][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        a[r][j] = gf256::add(a[r][j], gf256::mul(factor, a[col][j]));
+      }
+      for (std::size_t b = 0; b < shard_len; ++b) {
+        s[r][b] = gf256::add(s[r][b], gf256::mul(factor, s[col][b]));
+      }
+    }
+  }
+
+  Bytes out;
+  out.reserve(n * shard_len);
+  for (std::size_t r = 0; r < n; ++r) {
+    out.insert(out.end(), s[r].begin(), s[r].end());
+  }
+  if (original_size > out.size()) {
+    return Result<Bytes>::failure("bad_arg", "original_size exceeds data");
+  }
+  out.resize(original_size);
+  return out;
+}
+
+double erasure_availability(int k, int m, double p) {
+  // P[at least k of k+m independent Bernoulli(p) shards are up].
+  const int n = k + m;
+  double total = 0.0;
+  for (int i = k; i <= n; ++i) {
+    // C(n, i) via lgamma for numeric stability at larger n.
+    const double log_c = std::lgamma(n + 1.0) - std::lgamma(i + 1.0) -
+                         std::lgamma(n - i + 1.0);
+    total += std::exp(log_c + i * std::log(p) + (n - i) * std::log1p(-p));
+  }
+  return std::min(1.0, total);
+}
+
+}  // namespace hpop::util

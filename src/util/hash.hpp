@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace hpop::util {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4). Self-contained; validated against the
+/// NIST test vectors in the unit tests. Used for NoCDN object integrity,
+/// capability tokens, and erasure-shard checksums.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  void update(std::string_view s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further use.
+  Digest finish();
+
+  /// One-shot helpers.
+  static Digest digest(const Bytes& data);
+  static Digest digest(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104). Used to sign NoCDN usage records and HPoP
+/// capability tokens.
+Digest hmac_sha256(const Bytes& key, const Bytes& message);
+Digest hmac_sha256(const Bytes& key, std::string_view message);
+
+/// Constant-time digest comparison (the simulation does not have timing
+/// side channels, but the API models the correct idiom).
+bool digest_equal(const Digest& a, const Digest& b);
+
+std::string digest_hex(const Digest& d);
+
+}  // namespace hpop::util

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hpop::util {
+
+/// Error payload carried by Result<T>: a machine-usable code plus a
+/// human-readable message. Codes are free-form, short, stable strings
+/// ("not_found", "timeout", "forbidden", ...) so callers can dispatch
+/// without string-matching prose.
+struct Error {
+  std::string code;
+  std::string message;
+};
+
+/// Minimal expected<T, Error> substitute (std::expected is C++23).
+///
+/// Used on paths where failure is an anticipated runtime outcome —
+/// lookups that can miss, network operations that can time out —
+/// as opposed to programming errors, which assert/throw.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}
+  Result(Error error) : state_(std::move(error)) {}
+
+  static Result failure(std::string code, std::string message) {
+    return Result(Error{std::move(code), std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}
+
+  static Status success() { return Status(); }
+  static Status failure(std::string code, std::string message) {
+    return Status(Error{std::move(code), std::move(message)});
+  }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace hpop::util

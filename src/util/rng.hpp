@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hpop::util {
+
+/// Deterministic pseudo-random source (xoshiro256** core). All stochastic
+/// behaviour in the simulator — link loss, workload generation, peer
+/// selection randomisation — flows from seeded Rng instances so that every
+/// experiment is bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child stream; used to give each subsystem its
+  /// own stream so adding draws in one does not perturb another.
+  Rng fork();
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  bool bernoulli(double p);
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+  double pareto(double scale, double shape);
+  double lognormal(double mu, double sigma);
+  double normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (rank 0 most popular).
+  /// Sampling is by inverse CDF over precomputed weights; callers that need
+  /// many draws over the same (n, s) should use ZipfSampler.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// Picks k distinct indices from [0, n).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Precomputed Zipf CDF for repeated sampling over a fixed (n, s).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+  std::uint64_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hpop::util

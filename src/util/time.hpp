@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpop::util {
+
+/// Simulated time is kept in integer nanoseconds for determinism: no
+/// floating-point drift, total ordering of events, and enough range for
+/// ~292 years of simulated time.
+using Duration = std::int64_t;   // nanoseconds
+using TimePoint = std::int64_t;  // nanoseconds since simulation start
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+inline constexpr Duration milliseconds(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+inline constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+inline constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+inline constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Link and access rates are expressed in bits per second.
+using BitRate = double;
+
+inline constexpr BitRate kKbps = 1e3;
+inline constexpr BitRate kMbps = 1e6;
+inline constexpr BitRate kGbps = 1e9;
+
+/// Time to serialize `bytes` onto a link of rate `rate` (bits/sec).
+inline constexpr Duration transmission_delay(std::size_t bytes, BitRate rate) {
+  return static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                               rate * static_cast<double>(kSecond));
+}
+
+/// Human-readable rendering, e.g. "12.5ms" or "3.2s", for logs and tables.
+std::string format_duration(Duration d);
+
+}  // namespace hpop::util

@@ -1,0 +1,46 @@
+#include "util/token_bucket.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpop::util {
+
+TokenBucket::TokenBucket(double rate, double capacity)
+    : rate_(rate), capacity_(capacity), tokens_(capacity) {
+  assert(rate > 0 && capacity > 0);
+}
+
+void TokenBucket::refill(TimePoint now) {
+  assert(now >= last_);
+  tokens_ = std::min(capacity_,
+                     tokens_ + rate_ * to_seconds(now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_take(double tokens, TimePoint now) {
+  refill(now);
+  if (tokens_ + 1e-9 >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+void TokenBucket::force_take(double tokens, TimePoint now) {
+  refill(now);
+  tokens_ -= tokens;
+}
+
+TimePoint TokenBucket::available_at(double tokens, TimePoint now) {
+  refill(now);
+  if (tokens_ >= tokens) return now;
+  const double deficit = tokens - tokens_;
+  return now + seconds(deficit / rate_);
+}
+
+double TokenBucket::level(TimePoint now) {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace hpop::util

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+namespace hpop::util {
+
+/// Token-bucket rate limiter over simulated time. Internet@home's demand
+/// smoother uses it to cap the upstream bytes the prefetcher may consume in
+/// any window, and NoCDN peers use it to model serving-capacity limits.
+class TokenBucket {
+ public:
+  /// rate: token refill in tokens/second; capacity: burst size in tokens.
+  TokenBucket(double rate, double capacity);
+
+  /// Attempts to take `tokens` at simulated time `now`; returns true and
+  /// debits on success.
+  bool try_take(double tokens, TimePoint now);
+
+  /// Debits unconditionally; the level may go negative (deficit-counter
+  /// shaping: callers gate on level() >= 0 and charge actual costs after
+  /// the fact, which handles work whose cost is only known afterwards —
+  /// e.g. a refresh that turns out to be a 304).
+  void force_take(double tokens, TimePoint now);
+
+  /// Time at which `tokens` will be available (>= now); callers can schedule
+  /// a retry for exactly then.
+  TimePoint available_at(double tokens, TimePoint now);
+
+  double level(TimePoint now);
+  double rate() const { return rate_; }
+  void set_rate(double rate) { rate_ = rate; }
+
+ private:
+  void refill(TimePoint now);
+
+  double rate_;
+  double capacity_;
+  double tokens_;
+  TimePoint last_ = 0;
+};
+
+}  // namespace hpop::util

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpop::util {
+
+/// Raw byte buffer used throughout the code base for wire data, file
+/// contents, keys and digests.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Converts a string to bytes (no encoding transformation, byte-for-byte).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Converts bytes to a std::string (byte-for-byte).
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace hpop::util

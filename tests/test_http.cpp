@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "http/cache.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "net/topology.hpp"
+
+namespace hpop::http {
+namespace {
+
+using net::PathParams;
+using util::kMillisecond;
+using util::kSecond;
+
+// ----------------------------------------------------------- Message layer
+
+TEST(Headers, CaseInsensitive) {
+  Headers h;
+  h.set("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  h.set("CONTENT-type", "image/png");
+  EXPECT_EQ(h.get("Content-Type"), "image/png");
+  EXPECT_TRUE(h.has("content-TYPE"));
+  h.erase("Content-Type");
+  EXPECT_FALSE(h.has("content-type"));
+}
+
+TEST(Body, RealDigestChangesWithContent) {
+  EXPECT_NE(Body("hello").digest(), Body("hellp").digest());
+  EXPECT_EQ(Body("hello").digest(), Body("hello").digest());
+}
+
+TEST(Body, SyntheticDigestDependsOnTagAndSize) {
+  const Body a = Body::synthetic(1000, 42);
+  EXPECT_EQ(a.digest(), Body::synthetic(1000, 42).digest());
+  EXPECT_NE(a.digest(), Body::synthetic(1000, 43).digest());
+  EXPECT_NE(a.digest(), Body::synthetic(1001, 42).digest());
+}
+
+TEST(Body, CorruptedAlwaysMismatches) {
+  const Body real("payload");
+  EXPECT_NE(real.digest(), real.corrupted().digest());
+  const Body synth = Body::synthetic(5000, 7);
+  EXPECT_NE(synth.digest(), synth.corrupted().digest());
+  EXPECT_EQ(synth.corrupted().size(), synth.size());
+}
+
+TEST(Body, SliceRealBytes) {
+  const Body b("0123456789");
+  EXPECT_EQ(b.slice(2, 3).text(), "234");
+  EXPECT_EQ(b.slice(0, 10).text(), "0123456789");
+}
+
+TEST(Body, SliceSyntheticDeterministic) {
+  const Body b = Body::synthetic(100000, 99);
+  const Body s1 = b.slice(5000, 1000);
+  const Body s2 = b.slice(5000, 1000);
+  EXPECT_EQ(s1.digest(), s2.digest());
+  EXPECT_EQ(s1.size(), 1000u);
+  EXPECT_NE(s1.digest(), b.slice(6000, 1000).digest());
+  // Full-range slice is the object itself.
+  EXPECT_EQ(b.slice(0, 100000).digest(), b.digest());
+}
+
+TEST(Range, ParseAndClamp) {
+  Headers h;
+  set_range(h, 100, 50);
+  EXPECT_EQ(h.get("range"), "bytes=100-149");
+  const auto r = parse_range(h, 1000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 100u);
+  EXPECT_EQ(r->second, 50u);
+
+  // Range end beyond the body clamps.
+  Headers h2;
+  set_range(h2, 900, 500);
+  const auto r2 = parse_range(h2, 1000);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->second, 100u);
+
+  // Start beyond the body is unsatisfiable.
+  Headers h3;
+  set_range(h3, 2000, 10);
+  EXPECT_FALSE(parse_range(h3, 1000).has_value());
+}
+
+TEST(CacheControl, MaxAgeParsing) {
+  Headers h;
+  EXPECT_FALSE(max_age_seconds(h).has_value());
+  h.set("Cache-Control", "max-age=300");
+  EXPECT_EQ(max_age_seconds(h), 300);
+  h.set("Cache-Control", "no-store, max-age=300");
+  EXPECT_FALSE(max_age_seconds(h).has_value());
+}
+
+// ----------------------------------------------------------- Client/server
+
+struct HttpFixture {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(21)};
+  net::TwoHostPath path;
+  std::unique_ptr<transport::TransportMux> mux_client;
+  std::unique_ptr<transport::TransportMux> mux_server;
+  std::unique_ptr<HttpClient> client;
+  std::unique_ptr<HttpServer> server;
+
+  HttpFixture() {
+    path = net::make_two_host_path(net, PathParams{}, PathParams{});
+    mux_client = std::make_unique<transport::TransportMux>(*path.a);
+    mux_server = std::make_unique<transport::TransportMux>(*path.b);
+    client = std::make_unique<HttpClient>(*mux_client);
+    server = std::make_unique<HttpServer>(*mux_server, 80);
+  }
+  net::Endpoint server_ep() const { return {path.b->address(), 80}; }
+};
+
+TEST(HttpEndToEnd, GetRoundTrip) {
+  HttpFixture f;
+  f.server->route(Method::kGet, "/hello",
+                  [](const Request& req, ResponseWriter& w) {
+                    Response resp;
+                    resp.body = Body("hi " + req.path);
+                    w.respond(std::move(resp));
+                  });
+  std::string got;
+  Request req;
+  req.path = "/hello";
+  f.client->fetch(f.server_ep(), req, [&](util::Result<Response> r) {
+    ASSERT_TRUE(r.ok());
+    got = r.value().body.text();
+  });
+  f.sim.run_until(5 * kSecond);
+  EXPECT_EQ(got, "hi /hello");
+  EXPECT_EQ(f.server->stats().requests, 1u);
+}
+
+TEST(HttpEndToEnd, DefaultHandlerIs404) {
+  HttpFixture f;
+  int status = 0;
+  f.client->fetch(f.server_ep(), Request{}, [&](util::Result<Response> r) {
+    ASSERT_TRUE(r.ok());
+    status = r.value().status;
+  });
+  f.sim.run_until(5 * kSecond);
+  EXPECT_EQ(status, 404);
+}
+
+TEST(HttpEndToEnd, LongestPrefixWins) {
+  HttpFixture f;
+  f.server->route(Method::kGet, "/a",
+                  [](const Request&, ResponseWriter& w) {
+                    Response r;
+                    r.body = Body("short");
+                    w.respond(std::move(r));
+                  });
+  f.server->route(Method::kGet, "/a/b",
+                  [](const Request&, ResponseWriter& w) {
+                    Response r;
+                    r.body = Body("long");
+                    w.respond(std::move(r));
+                  });
+  std::string got;
+  Request req;
+  req.path = "/a/b/c";
+  f.client->fetch(f.server_ep(), req, [&](util::Result<Response> r) {
+    got = r.value().body.text();
+  });
+  f.sim.run_until(5 * kSecond);
+  EXPECT_EQ(got, "long");
+}
+
+TEST(HttpEndToEnd, VhostRouting) {
+  HttpFixture f;
+  f.server->vhost_route("siteA", Method::kGet, "/",
+                        [](const Request&, ResponseWriter& w) {
+                          Response r;
+                          r.body = Body("A");
+                          w.respond(std::move(r));
+                        });
+  f.server->vhost_route("siteB", Method::kGet, "/",
+                        [](const Request&, ResponseWriter& w) {
+                          Response r;
+                          r.body = Body("B");
+                          w.respond(std::move(r));
+                        });
+  std::string a, b;
+  Request ra;
+  ra.path = "/index";
+  ra.headers.set("Host", "siteA");
+  f.client->fetch(f.server_ep(), ra,
+                  [&](util::Result<Response> r) { a = r.value().body.text(); });
+  Request rb;
+  rb.path = "/index";
+  rb.headers.set("Host", "siteB");
+  f.client->fetch(f.server_ep(), rb,
+                  [&](util::Result<Response> r) { b = r.value().body.text(); });
+  f.sim.run_until(5 * kSecond);
+  EXPECT_EQ(a, "A");
+  EXPECT_EQ(b, "B");
+}
+
+TEST(HttpEndToEnd, DeferredResponsesKeepOrder) {
+  HttpFixture f;
+  // First request answers late; second instantly. The client must still
+  // see responses matched to its requests (per-connection ordering).
+  f.server->route(Method::kGet, "/slow",
+                  [&](const Request&, ResponseWriter& w) {
+                    ResponseWriter deferred = w;
+                    f.sim.schedule(200 * kMillisecond, [deferred]() mutable {
+                      Response r;
+                      r.body = Body("slow");
+                      deferred.respond(std::move(r));
+                    });
+                  });
+  f.server->route(Method::kGet, "/fast",
+                  [](const Request&, ResponseWriter& w) {
+                    Response r;
+                    r.body = Body("fast");
+                    w.respond(std::move(r));
+                  });
+  std::vector<std::string> order;
+  Request slow;
+  slow.path = "/slow";
+  Request fast;
+  fast.path = "/fast";
+  FetchOptions one_conn;
+  one_conn.max_connections_per_endpoint = 1;  // force shared pipeline
+  f.client->fetch(f.server_ep(), slow,
+                  [&](util::Result<Response> r) {
+                    order.push_back(r.value().body.text());
+                  },
+                  one_conn);
+  f.client->fetch(f.server_ep(), fast,
+                  [&](util::Result<Response> r) {
+                    order.push_back(r.value().body.text());
+                  },
+                  one_conn);
+  f.sim.run_until(5 * kSecond);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "slow");
+  EXPECT_EQ(order[1], "fast");
+}
+
+TEST(HttpEndToEnd, ParallelConnectionsForParallelFetches) {
+  HttpFixture f;
+  f.server->route(Method::kGet, "/obj",
+                  [](const Request&, ResponseWriter& w) {
+                    Response r;
+                    r.body = Body::synthetic(200 * 1024, 5);
+                    w.respond(std::move(r));
+                  });
+  int done = 0;
+  for (int i = 0; i < 6; ++i) {
+    Request req;
+    req.path = "/obj";
+    f.client->fetch(f.server_ep(), req,
+                    [&](util::Result<Response> r) {
+                      if (r.ok() && r.value().ok()) ++done;
+                    });
+  }
+  f.sim.run_until(10 * kSecond);
+  EXPECT_EQ(done, 6);
+}
+
+TEST(HttpEndToEnd, TimeoutFiresOnUnresponsiveServer) {
+  HttpFixture f;
+  f.server->route(Method::kGet, "/never",
+                  [](const Request&, ResponseWriter& w) {
+                    (void)w;  // deliberately never respond
+                  });
+  std::string error_code;
+  Request req;
+  req.path = "/never";
+  FetchOptions opts;
+  opts.timeout = 2 * kSecond;
+  f.client->fetch(f.server_ep(), req,
+                  [&](util::Result<Response> r) {
+                    ASSERT_FALSE(r.ok());
+                    error_code = r.error().code;
+                  },
+                  opts);
+  f.sim.run_until(10 * kSecond);
+  EXPECT_EQ(error_code, "timeout");
+}
+
+TEST(HttpEndToEnd, ConnectionRefusedReportsError) {
+  HttpFixture f;
+  bool failed = false;
+  Request req;
+  req.path = "/x";
+  f.client->fetch({f.path.b->address(), 81}, req,
+                  [&](util::Result<Response> r) { failed = !r.ok(); });
+  f.sim.run_until(5 * kSecond);
+  EXPECT_TRUE(failed);
+}
+
+// ----------------------------------------------------------------- Cache
+
+TEST(Cache, StoreAndFreshLookup) {
+  HttpCache cache;
+  Response resp;
+  resp.body = Body("data");
+  resp.headers.set("Cache-Control", "max-age=60");
+  cache.store("k", resp, 0);
+  EXPECT_NE(cache.lookup_fresh("k", 30 * kSecond), nullptr);
+  EXPECT_EQ(cache.lookup_fresh("k", 61 * kSecond), nullptr);  // stale
+  EXPECT_NE(cache.lookup("k"), nullptr);  // still present
+}
+
+TEST(Cache, UncacheableResponsesNotStored) {
+  HttpCache cache;
+  Response no_cc;
+  no_cc.body = Body("x");
+  cache.store("a", no_cc, 0);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+
+  Response no_store;
+  no_store.body = Body("x");
+  no_store.headers.set("Cache-Control", "no-store");
+  cache.store("b", no_store, 0);
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+
+  Response error;
+  error.status = 404;
+  error.headers.set("Cache-Control", "max-age=60");
+  cache.store("c", error, 0);
+  EXPECT_EQ(cache.lookup("c"), nullptr);
+}
+
+TEST(Cache, TouchRefreshesStaleEntry) {
+  HttpCache cache;
+  Response resp;
+  resp.body = Body("data");
+  resp.headers.set("Cache-Control", "max-age=10");
+  cache.store("k", resp, 0);
+  EXPECT_EQ(cache.lookup_fresh("k", 20 * kSecond), nullptr);
+  cache.touch("k", 20 * kSecond);  // revalidated via 304
+  EXPECT_NE(cache.lookup_fresh("k", 25 * kSecond), nullptr);
+}
+
+TEST(Cache, LruEvictionByBytes) {
+  HttpCache cache(10 * 1024);
+  auto make = [](std::size_t size) {
+    Response r;
+    r.body = Body::synthetic(size, 1);
+    r.headers.set("Cache-Control", "max-age=600");
+    return r;
+  };
+  cache.store("a", make(4 * 1024), 0);
+  cache.store("b", make(4 * 1024), 0);
+  ASSERT_NE(cache.lookup("a"), nullptr);  // 'a' is now most recent
+  cache.store("c", make(4 * 1024), 0);    // evicts LRU = 'b'
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, OversizedObjectRejected) {
+  HttpCache cache(1024);
+  Response r;
+  r.body = Body::synthetic(4096, 1);
+  r.headers.set("Cache-Control", "max-age=600");
+  cache.store("big", r, 0);
+  EXPECT_EQ(cache.lookup("big"), nullptr);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hpop::http

@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpop::net {
+namespace {
+
+using util::kGbps;
+using util::kMbps;
+using util::kMicrosecond;
+using util::kMillisecond;
+
+struct Seen {
+  Packet pkt;
+  util::TimePoint at;
+};
+
+/// Records every packet a host's transport layer would receive.
+std::vector<Seen>* capture(Host& host, sim::Simulator& sim) {
+  auto* seen = new std::vector<Seen>();  // owned by the test body
+  host.set_transport_handler([seen, &sim](Packet pkt, Interface&) {
+    seen->push_back({std::move(pkt), sim.now()});
+  });
+  return seen;
+}
+
+Packet make_udp(Endpoint src, Endpoint dst, std::size_t payload = 100) {
+  Packet pkt;
+  pkt.src = src.ip;
+  pkt.dst = dst.ip;
+  pkt.proto = Proto::kUdp;
+  pkt.udp.src_port = src.port;
+  pkt.udp.dst_port = dst.port;
+  pkt.payload_len = payload;
+  return pkt;
+}
+
+TEST(Address, ParseFormatRoundTrip) {
+  const IpAddr a = IpAddr::parse("192.168.1.200");
+  EXPECT_EQ(a.to_string(), "192.168.1.200");
+  EXPECT_EQ(IpAddr(10, 0, 0, 1).to_string(), "10.0.0.1");
+  EXPECT_THROW(IpAddr::parse("300.1.1.1"), std::invalid_argument);
+  EXPECT_THROW(IpAddr::parse("1.2.3"), std::invalid_argument);
+}
+
+TEST(Address, PrefixContains) {
+  const Prefix p{IpAddr(10, 1, 2, 0), 24};
+  EXPECT_TRUE(p.contains(IpAddr(10, 1, 2, 200)));
+  EXPECT_FALSE(p.contains(IpAddr(10, 1, 3, 1)));
+  EXPECT_TRUE((Prefix{IpAddr{}, 0}).contains(IpAddr(1, 2, 3, 4)));
+}
+
+TEST(Packet, WireSizes) {
+  Packet tcp;
+  tcp.proto = Proto::kTcp;
+  tcp.payload_len = 1000;
+  EXPECT_EQ(tcp.wire_size(), 1040u);  // 20 IP + 20 TCP + payload
+
+  Packet udp;
+  udp.proto = Proto::kUdp;
+  udp.payload_len = 100;
+  EXPECT_EQ(udp.wire_size(), 128u);  // 20 IP + 8 UDP + payload
+
+  // VPN encapsulation adds exactly the paper's 36 bytes (§IV-C).
+  Packet outer;
+  outer.proto = Proto::kUdp;
+  outer.encapsulated = std::make_shared<const Packet>(tcp);
+  EXPECT_EQ(outer.wire_size(), 1040u + 36u);
+}
+
+TEST(Link, SerializationPlusPropagation) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  // 1 Mbps, 5 ms: a 1028-byte wire packet takes 8.224 ms to serialize.
+  net.connect(a, b, LinkParams{1 * kMbps, 5 * kMillisecond, 0.0, 1 << 20});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  a.send_packet(make_udp({a.address(), 10}, {b.address(), 20}, 1000));
+  sim.run();
+  ASSERT_EQ(seen->size(), 1u);
+  EXPECT_EQ(seen->front().at,
+            util::transmission_delay(1028, 1 * kMbps) + 5 * kMillisecond);
+}
+
+TEST(Link, FifoQueueing) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  net.connect(a, b, LinkParams{1 * kMbps, 0, 0.0, 1 << 20});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));  // 1000B
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  sim.run();
+  ASSERT_EQ(seen->size(), 2u);
+  EXPECT_EQ(seen->at(0).at, util::transmission_delay(1000, 1 * kMbps));
+  EXPECT_EQ(seen->at(1).at, 2 * util::transmission_delay(1000, 1 * kMbps));
+}
+
+TEST(Link, DropTailOnQueueOverflow) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  Link& link =
+      net.connect(a, b, LinkParams{1 * kMbps, 0, 0.0, 2000});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  for (int i = 0; i < 5; ++i) {
+    a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  }
+  sim.run();
+  // 2000-byte buffer: the first packet moves straight into the serializer
+  // (vacating the buffer), two more queue; the remaining two drop.
+  EXPECT_EQ(seen->size(), 3u);
+  EXPECT_EQ(link.stats(0).queue_drops, 2u);
+}
+
+TEST(Link, RandomLossDropsAndCounts) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  Link& link = net.connect(a, b, LinkParams{1 * kGbps, 0, 0.5, 1 << 20});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(seen->size()) / n, 0.5, 0.05);
+  EXPECT_EQ(seen->size() + link.stats(0).loss_drops, static_cast<size_t>(n));
+}
+
+TEST(Routing, MultiHopThroughRouters) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(2, 0, 0, 1));
+  Router& r1 = net.add_router("r1");
+  Router& r2 = net.add_router("r2");
+  net.connect(a, a.address(), r1, IpAddr{});
+  net.connect(r1, IpAddr{}, r2, IpAddr{});
+  net.connect(r2, IpAddr{}, b, b.address());
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}));
+  sim.run();
+  ASSERT_EQ(seen->size(), 1u);
+  EXPECT_EQ(r1.forwarded(), 1u);
+  EXPECT_EQ(r2.forwarded(), 1u);
+  EXPECT_EQ(seen->front().pkt.ttl, 62);
+}
+
+TEST(Routing, TtlExpiryDrops) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(2, 0, 0, 1));
+  Router& r1 = net.add_router("r1");
+  net.connect(a, a.address(), r1, IpAddr{});
+  net.connect(r1, IpAddr{}, b, b.address());
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  Packet pkt = make_udp({a.address(), 1}, {b.address(), 2});
+  pkt.ttl = 1;
+  a.send_packet(std::move(pkt));
+  sim.run();
+  EXPECT_TRUE(seen->empty());
+  EXPECT_EQ(r1.ttl_drops(), 1u);
+}
+
+TEST(Routing, HostsDoNotForwardTransit) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& mid = net.add_host("mid", IpAddr(1, 0, 0, 2));
+  Host& c = net.add_host("c", IpAddr(1, 0, 0, 3));
+  net.connect(a, mid);
+  net.connect(mid, c);
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(c, sim));
+
+  a.send_packet(make_udp({a.address(), 1}, {c.address(), 2}));
+  sim.run();
+  EXPECT_TRUE(seen->empty());  // no route: hosts are not transit nodes
+}
+
+// ------------------------------------------------------------------- NAT
+
+struct NatFixture {
+  sim::Simulator sim;
+  Network net{sim, util::Rng(3)};
+  Host* inside = nullptr;
+  NatBox* nat = nullptr;
+  Host* server1 = nullptr;
+  Host* server2 = nullptr;
+  std::unique_ptr<std::vector<Seen>> seen_inside;
+  std::unique_ptr<std::vector<Seen>> seen1;
+  std::unique_ptr<std::vector<Seen>> seen2;
+
+  explicit NatFixture(NatConfig config) {
+    nat = &net.add_nat("nat", IpAddr(100, 64, 0, 1), config);
+    Router& core = net.add_router("core");
+    net.connect(*nat, nat->public_ip(), core, IpAddr{});
+    inside = &net.add_host("inside", IpAddr(10, 0, 0, 10));
+    net.connect(*inside, inside->address(), *nat, IpAddr(10, 0, 0, 1));
+    server1 = &net.add_host("s1", IpAddr(100, 64, 0, 9));
+    server2 = &net.add_host("s2", IpAddr(100, 64, 0, 8));
+    net.connect(*server1, server1->address(), core, IpAddr{});
+    net.connect(*server2, server2->address(), core, IpAddr{});
+    net.auto_route();
+    seen_inside.reset(capture(*inside, sim));
+    seen1.reset(capture(*server1, sim));
+    seen2.reset(capture(*server2, sim));
+  }
+};
+
+TEST(Nat, OutboundTranslationAndReply) {
+  NatFixture f(NatConfig::full_cone());
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.sim.run();
+  ASSERT_EQ(f.seen1->size(), 1u);
+  const Packet& at_server = f.seen1->front().pkt;
+  EXPECT_EQ(at_server.src, f.nat->public_ip());
+  EXPECT_NE(at_server.udp.src_port, 5000);  // translated
+
+  // Reply to the translated endpoint reaches the inside host.
+  f.server1->send_packet(
+      make_udp({f.server1->address(), 53}, at_server.src_endpoint()));
+  f.sim.run();
+  ASSERT_EQ(f.seen_inside->size(), 1u);
+  EXPECT_EQ(f.seen_inside->front().pkt.dst_endpoint(),
+            (Endpoint{f.inside->address(), 5000}));
+}
+
+TEST(Nat, FullConeAcceptsThirdPartyInbound) {
+  NatFixture f(NatConfig::full_cone());
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.sim.run();
+  const Endpoint mapped = f.seen1->front().pkt.src_endpoint();
+  // An unrelated server can reach the mapping (endpoint-independent filter).
+  f.server2->send_packet(make_udp({f.server2->address(), 99}, mapped));
+  f.sim.run();
+  EXPECT_EQ(f.seen_inside->size(), 1u);
+}
+
+TEST(Nat, PortRestrictedRejectsThirdParty) {
+  NatFixture f(NatConfig::port_restricted_cone());
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.sim.run();
+  const Endpoint mapped = f.seen1->front().pkt.src_endpoint();
+
+  f.server2->send_packet(make_udp({f.server2->address(), 99}, mapped));
+  f.sim.run();
+  EXPECT_TRUE(f.seen_inside->empty());
+  EXPECT_EQ(f.nat->nat_counters().filtered, 1u);
+
+  // Same server, different source port: still rejected.
+  f.server1->send_packet(make_udp({f.server1->address(), 54}, mapped));
+  f.sim.run();
+  EXPECT_TRUE(f.seen_inside->empty());
+
+  // The contacted endpoint passes.
+  f.server1->send_packet(make_udp({f.server1->address(), 53}, mapped));
+  f.sim.run();
+  EXPECT_EQ(f.seen_inside->size(), 1u);
+}
+
+TEST(Nat, AddressRestrictedAllowsSameHostOtherPort) {
+  NatFixture f(NatConfig::restricted_cone());
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.sim.run();
+  const Endpoint mapped = f.seen1->front().pkt.src_endpoint();
+  f.server1->send_packet(make_udp({f.server1->address(), 54}, mapped));
+  f.sim.run();
+  EXPECT_EQ(f.seen_inside->size(), 1u);
+}
+
+TEST(Nat, EndpointIndependentMappingReusesPort) {
+  NatFixture f(NatConfig::full_cone());
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server2->address(), 53}));
+  f.sim.run();
+  ASSERT_EQ(f.seen1->size(), 1u);
+  ASSERT_EQ(f.seen2->size(), 1u);
+  EXPECT_EQ(f.seen1->front().pkt.udp.src_port,
+            f.seen2->front().pkt.udp.src_port);
+}
+
+TEST(Nat, SymmetricMappingDiffersPerDestination) {
+  NatFixture f(NatConfig::symmetric());
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server2->address(), 53}));
+  f.sim.run();
+  ASSERT_EQ(f.seen1->size(), 1u);
+  ASSERT_EQ(f.seen2->size(), 1u);
+  EXPECT_NE(f.seen1->front().pkt.udp.src_port,
+            f.seen2->front().pkt.udp.src_port);
+}
+
+TEST(Nat, StaticForwardAdmitsUnsolicited) {
+  NatFixture f(NatConfig::full_cone());
+  ASSERT_TRUE(f.nat
+                  ->add_port_mapping(Proto::kUdp, 8080,
+                                     {f.inside->address(), 80})
+                  .ok());
+  f.server1->send_packet(make_udp({f.server1->address(), 1000},
+                                  {f.nat->public_ip(), 8080}));
+  f.sim.run();
+  ASSERT_EQ(f.seen_inside->size(), 1u);
+  EXPECT_EQ(f.seen_inside->front().pkt.dst_endpoint(),
+            (Endpoint{f.inside->address(), 80}));
+}
+
+TEST(Nat, UpnpRefusedWhenDisabled) {
+  NatFixture f(NatConfig::carrier_grade());
+  const auto status =
+      f.nat->add_port_mapping(Proto::kUdp, 8080, {f.inside->address(), 80});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "upnp_disabled");
+}
+
+TEST(Nat, PortMappingConflictRejected) {
+  NatFixture f(NatConfig::full_cone());
+  ASSERT_TRUE(
+      f.nat->add_port_mapping(Proto::kUdp, 8080, {f.inside->address(), 80})
+          .ok());
+  EXPECT_FALSE(
+      f.nat->add_port_mapping(Proto::kUdp, 8080, {f.inside->address(), 81})
+          .ok());
+  ASSERT_TRUE(f.nat->remove_port_mapping(Proto::kUdp, 8080).ok());
+  EXPECT_TRUE(
+      f.nat->add_port_mapping(Proto::kUdp, 8080, {f.inside->address(), 81})
+          .ok());
+}
+
+TEST(Nat, MappingExpiresAfterTimeout) {
+  NatConfig config = NatConfig::full_cone();
+  config.udp_mapping_timeout = 1 * util::kSecond;
+  NatFixture f(config);
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.sim.run();
+  const Endpoint mapped = f.seen1->front().pkt.src_endpoint();
+
+  f.sim.run_until(f.sim.now() + 2 * util::kSecond);
+  f.server1->send_packet(make_udp({f.server1->address(), 53}, mapped));
+  f.sim.run();
+  EXPECT_TRUE(f.seen_inside->empty());
+  EXPECT_GE(f.nat->nat_counters().expired + f.nat->nat_counters().unmatched,
+            1u);
+}
+
+TEST(Nat, HairpinOnlyWhenEnabled) {
+  for (const bool hairpin : {false, true}) {
+    NatConfig config = NatConfig::full_cone();
+    config.hairpinning = hairpin;
+    NatFixture f(config);
+    // Create a mapping for a second inside port to target.
+    f.inside->send_packet(
+        make_udp({f.inside->address(), 7000}, {f.server1->address(), 53}));
+    f.sim.run();
+    const Endpoint mapped = f.seen1->front().pkt.src_endpoint();
+    // The same host now addresses its own public mapping.
+    f.inside->send_packet(make_udp({f.inside->address(), 7001}, mapped));
+    f.sim.run();
+    EXPECT_EQ(f.seen_inside->size(), hairpin ? 1u : 0u);
+  }
+}
+
+// ------------------------------------------------------------- Topologies
+
+TEST(Topology, NeighborhoodShape) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(5));
+  NeighborhoodParams params;
+  params.n_homes = 3;
+  params.hosts_per_home = 2;
+  const Neighborhood hood = make_neighborhood(net, params);
+  EXPECT_EQ(hood.homes.size(), 3u);
+  EXPECT_EQ(hood.homes[0].hosts.size(), 2u);
+  ASSERT_EQ(hood.servers.size(), 1u);
+
+  // A home host can reach the server through NAT + aggregation + core.
+  std::unique_ptr<std::vector<Seen>> seen(capture(*hood.servers[0], sim));
+  Host& h = *hood.homes[1].hosts[0];
+  h.send_packet(make_udp({h.address(), 1234},
+                         {hood.servers[0]->address(), 80}));
+  sim.run();
+  ASSERT_EQ(seen->size(), 1u);
+  EXPECT_EQ(seen->front().pkt.src, hood.homes[1].nat->public_ip());
+}
+
+TEST(Topology, LateralTrafficStaysOffAggregate) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(5));
+  NeighborhoodParams params;
+  params.n_homes = 2;
+  params.with_nat = false;
+  const Neighborhood hood = make_neighborhood(net, params);
+
+  Host& a = *hood.homes[0].hosts[0];
+  Host& b = *hood.homes[1].hosts[0];
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}));
+  sim.run();
+  ASSERT_EQ(seen->size(), 1u);
+  // §II "Lateral Bandwidth": neighbor-to-neighbor traffic bypasses the
+  // shared aggregate link entirely.
+  EXPECT_EQ(hood.aggregate_link->stats(0).pkts +
+                hood.aggregate_link->stats(1).pkts,
+            0u);
+}
+
+}  // namespace
+}  // namespace hpop::net

@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "nocdn/loader.hpp"
+#include "nocdn/origin.hpp"
+#include "nocdn/peer.hpp"
+
+namespace hpop::nocdn {
+namespace {
+
+using util::kSecond;
+
+// ------------------------------------------------------- Wire structures
+
+TEST(Wrapper, SerializeParseRoundTrip) {
+  WrapperPage page;
+  page.provider = "nytimes";
+  page.page_path = "/news/today";
+  page.nonce_base = 4242;
+  WrapperEntry obj;
+  obj.url = "/img/a.jpg";
+  obj.peer_id = 7;
+  obj.peer = {net::IpAddr(100, 64, 0, 9), 8080};
+  obj.size = 123456;
+  obj.hash = util::Sha256::digest("content");
+  ChunkSpec chunk;
+  chunk.offset = 0;
+  chunk.length = 61728;
+  chunk.peer_id = 8;
+  chunk.peer = {net::IpAddr(100, 64, 0, 10), 8080};
+  chunk.hash = util::Sha256::digest("chunk");
+  obj.chunks.push_back(chunk);
+  page.objects.push_back(obj);
+  KeyGrant grant;
+  grant.key_id = 55;
+  grant.key = util::to_bytes("0123456789abcdef");
+  grant.expires = 600 * kSecond;
+  page.keys.emplace_back(7, grant);
+
+  const auto parsed = parse_wrapper(serialize(page));
+  ASSERT_TRUE(parsed.ok());
+  const WrapperPage& p = parsed.value();
+  EXPECT_EQ(p.provider, "nytimes");
+  EXPECT_EQ(p.nonce_base, 4242u);
+  ASSERT_EQ(p.objects.size(), 1u);
+  EXPECT_EQ(p.objects[0].url, "/img/a.jpg");
+  EXPECT_EQ(p.objects[0].peer, obj.peer);
+  EXPECT_EQ(p.objects[0].hash, obj.hash);
+  ASSERT_EQ(p.objects[0].chunks.size(), 1u);
+  EXPECT_EQ(p.objects[0].chunks[0].length, 61728u);
+  ASSERT_EQ(p.keys.size(), 1u);
+  EXPECT_EQ(p.keys[0].first, 7u);
+  EXPECT_EQ(p.keys[0].second.key, grant.key);
+}
+
+TEST(Wrapper, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_wrapper("").ok());
+  EXPECT_FALSE(parse_wrapper("X|huh").ok());
+  EXPECT_FALSE(parse_wrapper("C|1|2|3|4:5|ff").ok());  // chunk before object
+}
+
+TEST(UsageRecords, SignVerifyAndLineRoundTrip) {
+  const util::Bytes key = util::to_bytes("shortterm");
+  UsageRecord record;
+  record.provider = "nytimes";
+  record.peer_id = 3;
+  record.key_id = 9;
+  record.nonce = 100;
+  record.bytes_served = 250000;
+  record.objects_served = 4;
+  record.sign(key);
+  EXPECT_TRUE(record.verify(key));
+
+  const auto parsed = parse_usage_line(serialize_usage_line(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().verify(key));
+  EXPECT_EQ(parsed.value().bytes_served, 250000u);
+
+  // Any field tamper breaks the signature.
+  UsageRecord inflated = record;
+  inflated.bytes_served *= 10;
+  EXPECT_FALSE(inflated.verify(key));
+}
+
+// ---------------------------------------------------------------- Ledger
+
+TEST(Ledger, AcceptsValidAndStopsReplay) {
+  Ledger ledger;
+  const util::Bytes key = util::to_bytes("k1");
+  ledger.note_grant(1, 7, 1 << 20, key, 600 * kSecond);
+  UsageRecord record;
+  record.provider = "p";
+  record.peer_id = 7;
+  record.key_id = 1;
+  record.nonce = 5;
+  record.bytes_served = 100000;
+  record.sign(key);
+  EXPECT_EQ(ledger.ingest(record, 0), Ledger::Verdict::kAccepted);
+  EXPECT_EQ(ledger.ingest(record, 0), Ledger::Verdict::kReplayed);
+  EXPECT_EQ(ledger.accounts().at(7).bytes_credited, 100000u);
+  EXPECT_EQ(ledger.accounts().at(7).replays, 1u);
+}
+
+TEST(Ledger, RejectsBadSignatureAndWrongPeer) {
+  Ledger ledger;
+  const util::Bytes key = util::to_bytes("k1");
+  ledger.note_grant(1, 7, 1 << 20, key, 600 * kSecond);
+
+  UsageRecord forged;
+  forged.provider = "p";
+  forged.peer_id = 7;
+  forged.key_id = 1;
+  forged.nonce = 6;
+  forged.bytes_served = 999999;
+  forged.sign(util::to_bytes("wrong"));
+  EXPECT_EQ(ledger.ingest(forged, 0), Ledger::Verdict::kBadSignature);
+
+  UsageRecord wrong_peer;
+  wrong_peer.provider = "p";
+  wrong_peer.peer_id = 8;  // claims someone else's grant
+  wrong_peer.key_id = 1;
+  wrong_peer.nonce = 7;
+  wrong_peer.bytes_served = 1;
+  wrong_peer.sign(key);
+  EXPECT_EQ(ledger.ingest(wrong_peer, 0), Ledger::Verdict::kWrongPeer);
+}
+
+TEST(Ledger, CollusionInflationCappedByGrant) {
+  // A colluding client+peer can sign anything — but the origin knows how
+  // many bytes it assigned to the grant and rejects claims beyond it.
+  Ledger ledger;
+  const util::Bytes key = util::to_bytes("k1");
+  ledger.note_grant(1, 7, 500000, key, 600 * kSecond);
+  UsageRecord record;
+  record.provider = "p";
+  record.peer_id = 7;
+  record.key_id = 1;
+  record.nonce = 1;
+  record.bytes_served = 600000;  // exceeds the assignment
+  record.sign(key);
+  EXPECT_EQ(ledger.ingest(record, 0), Ledger::Verdict::kInflated);
+  EXPECT_EQ(ledger.accounts().at(7).inflations, 1u);
+}
+
+TEST(Ledger, ExpiredKeyRejected) {
+  Ledger ledger;
+  const util::Bytes key = util::to_bytes("k1");
+  ledger.note_grant(1, 7, 1 << 20, key, 10 * kSecond);
+  UsageRecord record;
+  record.provider = "p";
+  record.peer_id = 7;
+  record.key_id = 1;
+  record.nonce = 1;
+  record.bytes_served = 5;
+  record.sign(key);
+  EXPECT_EQ(ledger.ingest(record, 20 * kSecond),
+            Ledger::Verdict::kExpiredKey);
+}
+
+TEST(Ledger, PaymentModels) {
+  const util::Bytes key = util::to_bytes("k");
+  auto credit = [&](Ledger& ledger, std::uint64_t bytes) {
+    static std::uint64_t nonce = 0;
+    static std::uint64_t key_id = 0;
+    ++key_id;
+    ledger.note_grant(key_id, 1, bytes, key, 600 * kSecond);
+    UsageRecord r;
+    r.provider = "p";
+    r.peer_id = 1;
+    r.key_id = key_id;
+    r.nonce = ++nonce;
+    r.bytes_served = bytes;
+    r.sign(key);
+    EXPECT_EQ(ledger.ingest(r, 0), Ledger::Verdict::kAccepted);
+  };
+  Ledger per_byte(PaymentModel::kPerByte, 1e-6);
+  credit(per_byte, 2'000'000);
+  EXPECT_NEAR(per_byte.payout(1), 2.0, 1e-9);
+
+  Ledger capped(PaymentModel::kCappedPerByte, 1e-6, 1.5);
+  credit(capped, 2'000'000);
+  EXPECT_NEAR(capped.payout(1), 1.5, 1e-9);
+
+  Ledger flat(PaymentModel::kFlat, 0, 0.25);
+  credit(flat, 2'000'000);
+  EXPECT_NEAR(flat.payout(1), 0.25, 1e-9);
+}
+
+TEST(Ledger, AnomalousPeersFlagged) {
+  Ledger ledger;
+  const util::Bytes key = util::to_bytes("k");
+  std::uint64_t key_id = 0, nonce = 0;
+  auto add = [&](std::uint64_t peer, std::uint64_t bytes) {
+    ++key_id;
+    ledger.note_grant(key_id, peer, bytes, key, 600 * kSecond);
+    UsageRecord r;
+    r.provider = "p";
+    r.peer_id = peer;
+    r.key_id = key_id;
+    r.nonce = ++nonce;
+    r.bytes_served = bytes;
+    r.sign(key);
+    ledger.ingest(r, 0);
+  };
+  for (std::uint64_t peer = 1; peer <= 9; ++peer) add(peer, 100000);
+  add(10, 100000000);  // colluding pair pumping one peer's credit
+  const auto flagged = ledger.anomalous_peers(2.0);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 10u);
+}
+
+// --------------------------------------------------------- End-to-end
+
+/// Origin + N peers + one client, all publicly addressed around a core.
+struct CdnWorld {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(61)};
+  net::Router* core;
+  net::Host* origin_host;
+  net::Host* client_host;
+  std::vector<net::Host*> peer_hosts;
+  std::unique_ptr<transport::TransportMux> mux_origin;
+  std::unique_ptr<transport::TransportMux> mux_client;
+  std::vector<std::unique_ptr<transport::TransportMux>> mux_peers;
+  std::unique_ptr<OriginServer> origin;
+  std::vector<std::unique_ptr<PeerProxy>> peers;
+  std::unique_ptr<http::HttpClient> client_http;
+  std::unique_ptr<LoaderClient> loader;
+
+  explicit CdnWorld(int n_peers, OriginConfig config = make_config()) {
+    core = &net.add_router("core");
+    origin_host = &net.add_host("origin", net.next_public_address());
+    net.connect(*origin_host, origin_host->address(), *core, net::IpAddr{},
+                net::LinkParams{1 * util::kGbps, 25 * util::kMillisecond});
+    client_host = &net.add_host("client", net.next_public_address());
+    net.connect(*client_host, client_host->address(), *core, net::IpAddr{},
+                net::LinkParams{1 * util::kGbps, 5 * util::kMillisecond});
+    for (int i = 0; i < n_peers; ++i) {
+      peer_hosts.push_back(
+          &net.add_host("peer" + std::to_string(i),
+                        net.next_public_address()));
+      net.connect(*peer_hosts.back(), peer_hosts.back()->address(), *core,
+                  net::IpAddr{},
+                  net::LinkParams{1 * util::kGbps, 5 * util::kMillisecond});
+    }
+    net.auto_route();
+
+    mux_origin = std::make_unique<transport::TransportMux>(*origin_host);
+    origin = std::make_unique<OriginServer>(*mux_origin, config,
+                                            util::Rng(99));
+    for (int i = 0; i < n_peers; ++i) {
+      mux_peers.push_back(
+          std::make_unique<transport::TransportMux>(*peer_hosts[i]));
+      peers.push_back(std::make_unique<PeerProxy>(
+          *mux_peers.back(), 8080, util::Rng(1000 + i)));
+      const std::uint64_t id =
+          origin->recruit_peer(peers.back()->endpoint());
+      peers.back()->signup(ProviderSignup{
+          "nytimes", id, {origin_host->address(), 80}});
+    }
+    mux_client = std::make_unique<transport::TransportMux>(*client_host);
+    client_http = std::make_unique<http::HttpClient>(*mux_client);
+    loader = std::make_unique<LoaderClient>(
+        *client_http, net::Endpoint{origin_host->address(), 80}, "nytimes");
+
+    // Content: one page with a container + 4 embedded objects.
+    PageSpec page;
+    page.path = "/news";
+    page.container_url = "/news/index.html";
+    origin->add_object({page.container_url,
+                        http::Body::synthetic(30 * 1024, 0xC0)});
+    for (int i = 0; i < 4; ++i) {
+      const std::string url = "/news/obj" + std::to_string(i);
+      page.embedded_urls.push_back(url);
+      origin->add_object(
+          {url, http::Body::synthetic((100 + 40 * i) * 1024,
+                                      0xE0 + static_cast<unsigned>(i))});
+    }
+    origin->add_page(page);
+  }
+
+  static OriginConfig make_config() {
+    OriginConfig config;
+    config.provider = "nytimes";
+    return config;
+  }
+
+  PageLoadResult load_once(util::Duration timeout = 60 * kSecond) {
+    std::optional<PageLoadResult> result;
+    loader->load_page("/news", [&](PageLoadResult r) { result = r; });
+    sim.run_until(sim.now() + timeout);
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(PageLoadResult{});
+  }
+};
+
+TEST(NoCdnEndToEnd, PageLoadsThroughPeers) {
+  CdnWorld w(3);
+  const PageLoadResult result = w.load_once();
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.objects_loaded, 5);
+  EXPECT_EQ(result.verification_failures, 0);
+  EXPECT_GT(result.bytes_from_peers, 300u * 1024);
+  // Origin served the wrapper + peer cache-miss fills, but the client got
+  // its object bytes from peers.
+  EXPECT_EQ(w.origin->stats().wrapper_pages, 1u);
+}
+
+TEST(NoCdnEndToEnd, RepeatedLoadsConvergeOntoPeerCaches) {
+  CdnWorld w(3);
+  // The random selector spreads objects over peers; each (peer, object)
+  // pair misses at most once, so origin object serves are bounded by
+  // peers x objects and stop growing once every pair is cached.
+  for (int i = 0; i < 12; ++i) (void)w.load_once();
+  EXPECT_LE(w.origin->stats().objects_served, 3u * 5u);
+  const auto plateau = w.origin->stats().objects_served;
+  (void)w.load_once();
+  EXPECT_EQ(w.origin->stats().objects_served, plateau);
+  std::uint64_t hits = 0;
+  for (const auto& peer : w.peers) hits += peer->stats().cache_hits;
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(NoCdnEndToEnd, OriginOffloadFactor) {
+  CdnWorld w(4);
+  // Warm every (peer, object) pair, then measure a steady-state view.
+  for (int i = 0; i < 15; ++i) (void)w.load_once();
+  const auto before = w.origin->stats().bytes_served;
+  const PageLoadResult result = w.load_once();
+  const auto origin_bytes = w.origin->stats().bytes_served - before;
+  ASSERT_TRUE(result.success);
+  // The origin shipped only the (small) wrapper; peers shipped the page.
+  // §IV-B: "improves scalability of the origin site because it only has to
+  // deliver a small wrapper page."
+  EXPECT_LT(origin_bytes * 10, result.bytes_from_peers);
+}
+
+TEST(NoCdnEndToEnd, CorruptingPeerCaughtAndPageStillLoads) {
+  CdnWorld w(3);
+  w.peers[1]->set_behavior(PeerBehavior{.corrupt_content = true});
+  const PageLoadResult result = w.load_once();
+  EXPECT_TRUE(result.success);  // fallback refetched from origin
+  EXPECT_GT(result.verification_failures, 0);
+  EXPECT_EQ(result.objects_loaded, 5);
+  EXPECT_GT(w.origin->stats().misbehaviour_reports, 0u);
+  // Trust decayed for the corrupting peer only.
+  EXPECT_LT(w.origin->peer_trust(2), 0.5);
+  EXPECT_DOUBLE_EQ(w.origin->peer_trust(1), 1.0);
+  EXPECT_DOUBLE_EQ(w.origin->peer_trust(3), 1.0);
+}
+
+TEST(NoCdnEndToEnd, UsageRecordsReachLedger) {
+  CdnWorld w(3);
+  (void)w.load_once();
+  for (const auto& peer : w.peers) peer->upload_usage_now();
+  w.sim.run_until(w.sim.now() + 10 * kSecond);
+  std::uint64_t credited = 0;
+  for (const auto& [peer_id, account] : w.origin->ledger().accounts()) {
+    (void)peer_id;
+    credited += account.bytes_credited;
+    EXPECT_EQ(account.records_rejected, 0u);
+  }
+  // All object bytes (not wire framing) got credited.
+  EXPECT_GT(credited, 300u * 1024);
+  EXPECT_GT(w.origin->ledger().total_payout(), 0.0);
+}
+
+TEST(NoCdnEndToEnd, InflatedUploadRejectedBySignature) {
+  CdnWorld w(2);
+  w.peers[0]->set_behavior(PeerBehavior{.inflate_factor = 3.0});
+  (void)w.load_once();
+  for (const auto& peer : w.peers) peer->upload_usage_now();
+  w.sim.run_until(w.sim.now() + 10 * kSecond);
+  const auto& accounts = w.origin->ledger().accounts();
+  const auto it = accounts.find(1);  // the inflating peer
+  if (it != accounts.end() && it->second.records_accepted +
+      it->second.records_rejected > 0) {
+    EXPECT_EQ(it->second.records_accepted, 0u);
+    EXPECT_GT(it->second.records_rejected, 0u);
+  }
+}
+
+TEST(NoCdnEndToEnd, ReplayedUploadRejected) {
+  CdnWorld w(2);
+  w.peers[0]->set_behavior(PeerBehavior{.replay_records = true});
+  (void)w.load_once();
+  for (const auto& peer : w.peers) peer->upload_usage_now();
+  w.sim.run_until(w.sim.now() + 10 * kSecond);
+  const auto& accounts = w.origin->ledger().accounts();
+  const auto it = accounts.find(1);
+  if (it != accounts.end() && it->second.records_accepted > 0) {
+    EXPECT_EQ(it->second.replays, it->second.records_accepted);
+  }
+}
+
+TEST(NoCdnEndToEnd, ChunkedDownloadSpreadsLoad) {
+  OriginConfig config = CdnWorld::make_config();
+  config.chunks_per_object = 3;
+  CdnWorld w(3, config);
+  const PageLoadResult result = w.load_once();
+  EXPECT_TRUE(result.success);
+  // With chunking, multiple peers served pieces of the page.
+  int peers_used = 0;
+  for (const auto& peer : w.peers) {
+    if (peer->stats().bytes_served > 0) ++peers_used;
+  }
+  EXPECT_GE(peers_used, 2);
+}
+
+TEST(NoCdnEndToEnd, ChunkingCapsOneBadPeersImpact) {
+  // §IV-B "Leveraging Redundancy": chunking "lower[s] the chance that one
+  // problematic peer ... will have a large overall impact". With a peer
+  // that drops every request, whole-object mode can lose entire large
+  // objects to the bad peer on an unlucky draw, while chunked mode loses
+  // at most a slice of each object. Compare the worst per-view fallback
+  // volume across several views.
+  OriginConfig chunked_config = CdnWorld::make_config();
+  chunked_config.chunks_per_object = 3;
+  CdnWorld chunked(3, chunked_config);
+  CdnWorld whole(3);
+  for (int i = 0; i < 3; ++i) {
+    (void)chunked.load_once();  // warm caches
+    (void)whole.load_once();
+  }
+  chunked.peers[0]->set_behavior(PeerBehavior{.drop_rate = 1.0});
+  whole.peers[0]->set_behavior(PeerBehavior{.drop_rate = 1.0});
+
+  std::uint64_t worst_chunked = 0, worst_whole = 0;
+  for (int i = 0; i < 8; ++i) {
+    const PageLoadResult c = chunked.load_once();
+    const PageLoadResult u = whole.load_once();
+    EXPECT_TRUE(c.success);  // fallback keeps the page loading either way
+    EXPECT_TRUE(u.success);
+    worst_chunked = std::max(worst_chunked, c.bytes_from_origin);
+    worst_whole = std::max(worst_whole, u.bytes_from_origin);
+  }
+  EXPECT_LE(worst_chunked, worst_whole);
+}
+
+TEST(NoCdnEndToEnd, NoPeersMeans503) {
+  CdnWorld w(0);
+  const PageLoadResult result = w.load_once(10 * kSecond);
+  EXPECT_FALSE(result.success);
+}
+
+}  // namespace
+}  // namespace hpop::nocdn
+
+namespace hpop::nocdn {
+namespace {
+
+// ------------------------------------------------------- Peer selection
+
+std::vector<PeerView> three_peers() {
+  std::vector<PeerView> peers(3);
+  for (int i = 0; i < 3; ++i) {
+    peers[static_cast<std::size_t>(i)].peer_id =
+        static_cast<std::uint64_t>(i + 1);
+    peers[static_cast<std::size_t>(i)].rtt_to_client = 0.010 * (i + 1);
+    peers[static_cast<std::size_t>(i)].outstanding_bytes =
+        static_cast<std::uint64_t>((3 - i) * 1000);
+  }
+  return peers;
+}
+
+TEST(Selection, ProximityPicksLowestRtt) {
+  util::Rng rng(1);
+  ProximitySelector selector;
+  EXPECT_EQ(selector.select(three_peers(), rng), 0);
+}
+
+TEST(Selection, LoadAwarePicksLeastOutstanding) {
+  util::Rng rng(1);
+  LoadAwareSelector selector;
+  EXPECT_EQ(selector.select(three_peers(), rng), 2);
+}
+
+TEST(Selection, RandomCoversAllCandidates) {
+  util::Rng rng(1);
+  RandomSelector selector;
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(selector.select(three_peers(), rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Selection, TrustWeightedExcludesLowTrust) {
+  util::Rng rng(1);
+  TrustWeightedSelector selector(0.5);
+  auto peers = three_peers();
+  peers[0].trust = 0.1;  // below the floor
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(selector.select(peers, rng));
+  EXPECT_EQ(seen.count(0), 0u);
+  EXPECT_GT(seen.count(1) + seen.count(2), 0u);
+}
+
+TEST(Selection, EmptyCandidatesGiveMinusOne) {
+  util::Rng rng(1);
+  for (const char* name :
+       {"random", "proximity", "load-aware", "trust-weighted"}) {
+    auto selector = make_selector(name);
+    EXPECT_EQ(selector->select({}, rng), -1) << name;
+  }
+  EXPECT_THROW(make_selector("bogus"), std::invalid_argument);
+}
+
+TEST(Selection, AllUntrustedGivesMinusOne) {
+  util::Rng rng(1);
+  TrustWeightedSelector selector(0.5);
+  auto peers = three_peers();
+  for (auto& p : peers) p.trust = 0.0;
+  EXPECT_EQ(selector.select(peers, rng), -1);
+}
+
+}  // namespace
+}  // namespace hpop::nocdn

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hpop::sim {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3 * kMillisecond, [&] { order.push_back(3); });
+  sim.schedule(1 * kMillisecond, [&] { order.push_back(1); });
+  sim.schedule(2 * kMillisecond, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3 * kMillisecond);
+}
+
+TEST(Simulator, TiesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(kMillisecond, [&] { order.push_back(1); });
+  sim.schedule(kMillisecond, [&] { order.push_back(2); });
+  sim.schedule(kMillisecond, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, HandlersMaySchedule) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(kMillisecond, [&] {
+    ++fired;
+    sim.schedule(kMillisecond, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2 * kMillisecond);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId id = sim.schedule(kMillisecond, [&] { ++fired; });
+  sim.schedule(2 * kMillisecond, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelFromWithinHandler) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId later = sim.schedule(2 * kMillisecond, [&] { ++fired; });
+  sim.schedule(kMillisecond, [&] { sim.cancel(later); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(kSecond, [&] { ++fired; });
+  sim.schedule(3 * kSecond, [&] { ++fired; });
+  sim.run_until(2 * kSecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 2 * kSecond);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_until(kSecond);
+  int fired = 0;
+  sim.schedule(kSecond, [&] { ++fired; });
+  sim.run_for(kSecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 2 * kSecond);
+}
+
+TEST(Simulator, EventLimitBoundsExecution) {
+  Simulator sim;
+  // A self-perpetuating event chain must stop at the limit.
+  std::function<void()> tick = [&] { sim.schedule(kMillisecond, tick); };
+  sim.schedule(kMillisecond, tick);
+  sim.run(100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, ZeroDelayRunsImmediatelyInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(0, [&] {
+    order.push_back(1);
+    sim.schedule(0, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 0);
+}
+
+}  // namespace
+}  // namespace hpop::sim
