@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_attic_availability"
+  "../bench/bench_attic_availability.pdb"
+  "CMakeFiles/bench_attic_availability.dir/bench_attic_availability.cpp.o"
+  "CMakeFiles/bench_attic_availability.dir/bench_attic_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attic_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

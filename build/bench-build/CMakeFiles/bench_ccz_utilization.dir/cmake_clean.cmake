@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ccz_utilization"
+  "../bench/bench_ccz_utilization.pdb"
+  "CMakeFiles/bench_ccz_utilization.dir/bench_ccz_utilization.cpp.o"
+  "CMakeFiles/bench_ccz_utilization.dir/bench_ccz_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ccz_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_coop_cache"
+  "../bench/bench_coop_cache.pdb"
+  "CMakeFiles/bench_coop_cache.dir/bench_coop_cache.cpp.o"
+  "CMakeFiles/bench_coop_cache.dir/bench_coop_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coop_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

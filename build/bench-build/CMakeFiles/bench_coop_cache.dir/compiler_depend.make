@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_coop_cache.
+# This may be replaced when dependencies are built.

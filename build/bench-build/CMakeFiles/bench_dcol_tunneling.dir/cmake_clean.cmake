@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dcol_tunneling"
+  "../bench/bench_dcol_tunneling.pdb"
+  "CMakeFiles/bench_dcol_tunneling.dir/bench_dcol_tunneling.cpp.o"
+  "CMakeFiles/bench_dcol_tunneling.dir/bench_dcol_tunneling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcol_tunneling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_attic"
+  "../bench/bench_fig1_attic.pdb"
+  "CMakeFiles/bench_fig1_attic.dir/bench_fig1_attic.cpp.o"
+  "CMakeFiles/bench_fig1_attic.dir/bench_fig1_attic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_attic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_nocdn"
+  "../bench/bench_fig2_nocdn.pdb"
+  "CMakeFiles/bench_fig2_nocdn.dir/bench_fig2_nocdn.cpp.o"
+  "CMakeFiles/bench_fig2_nocdn.dir/bench_fig2_nocdn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nocdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_dcol"
+  "../bench/bench_fig3_dcol.pdb"
+  "CMakeFiles/bench_fig3_dcol.dir/bench_fig3_dcol.cpp.o"
+  "CMakeFiles/bench_fig3_dcol.dir/bench_fig3_dcol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dcol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_health_records"
+  "../bench/bench_health_records.pdb"
+  "CMakeFiles/bench_health_records.dir/bench_health_records.cpp.o"
+  "CMakeFiles/bench_health_records.dir/bench_health_records.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_health_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

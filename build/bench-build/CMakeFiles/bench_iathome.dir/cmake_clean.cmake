@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_iathome"
+  "../bench/bench_iathome.pdb"
+  "CMakeFiles/bench_iathome.dir/bench_iathome.cpp.o"
+  "CMakeFiles/bench_iathome.dir/bench_iathome.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iathome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

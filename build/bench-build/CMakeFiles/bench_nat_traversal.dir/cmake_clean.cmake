@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nat_traversal"
+  "../bench/bench_nat_traversal.pdb"
+  "CMakeFiles/bench_nat_traversal.dir/bench_nat_traversal.cpp.o"
+  "CMakeFiles/bench_nat_traversal.dir/bench_nat_traversal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nat_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

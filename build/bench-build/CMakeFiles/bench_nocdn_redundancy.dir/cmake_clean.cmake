@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nocdn_redundancy"
+  "../bench/bench_nocdn_redundancy.pdb"
+  "CMakeFiles/bench_nocdn_redundancy.dir/bench_nocdn_redundancy.cpp.o"
+  "CMakeFiles/bench_nocdn_redundancy.dir/bench_nocdn_redundancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nocdn_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

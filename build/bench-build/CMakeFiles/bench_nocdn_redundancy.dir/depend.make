@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_nocdn_redundancy.
+# This may be replaced when dependencies are built.

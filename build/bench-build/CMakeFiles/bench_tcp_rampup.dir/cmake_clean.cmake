@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tcp_rampup"
+  "../bench/bench_tcp_rampup.pdb"
+  "CMakeFiles/bench_tcp_rampup.dir/bench_tcp_rampup.cpp.o"
+  "CMakeFiles/bench_tcp_rampup.dir/bench_tcp_rampup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_rampup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

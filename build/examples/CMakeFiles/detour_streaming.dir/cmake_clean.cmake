@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detour_streaming.dir/detour_streaming.cpp.o"
+  "CMakeFiles/detour_streaming.dir/detour_streaming.cpp.o.d"
+  "detour_streaming"
+  "detour_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detour_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_records.dir/health_records.cpp.o"
+  "CMakeFiles/health_records.dir/health_records.cpp.o.d"
+  "health_records"
+  "health_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

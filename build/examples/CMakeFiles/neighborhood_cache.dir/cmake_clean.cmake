@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_cache.dir/neighborhood_cache.cpp.o"
+  "CMakeFiles/neighborhood_cache.dir/neighborhood_cache.cpp.o.d"
+  "neighborhood_cache"
+  "neighborhood_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocdn_site.dir/nocdn_site.cpp.o"
+  "CMakeFiles/nocdn_site.dir/nocdn_site.cpp.o.d"
+  "nocdn_site"
+  "nocdn_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocdn_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

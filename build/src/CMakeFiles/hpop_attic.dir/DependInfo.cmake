@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attic/backup.cpp" "src/CMakeFiles/hpop_attic.dir/attic/backup.cpp.o" "gcc" "src/CMakeFiles/hpop_attic.dir/attic/backup.cpp.o.d"
+  "/root/repo/src/attic/client.cpp" "src/CMakeFiles/hpop_attic.dir/attic/client.cpp.o" "gcc" "src/CMakeFiles/hpop_attic.dir/attic/client.cpp.o.d"
+  "/root/repo/src/attic/grant.cpp" "src/CMakeFiles/hpop_attic.dir/attic/grant.cpp.o" "gcc" "src/CMakeFiles/hpop_attic.dir/attic/grant.cpp.o.d"
+  "/root/repo/src/attic/health.cpp" "src/CMakeFiles/hpop_attic.dir/attic/health.cpp.o" "gcc" "src/CMakeFiles/hpop_attic.dir/attic/health.cpp.o.d"
+  "/root/repo/src/attic/store.cpp" "src/CMakeFiles/hpop_attic.dir/attic/store.cpp.o" "gcc" "src/CMakeFiles/hpop_attic.dir/attic/store.cpp.o.d"
+  "/root/repo/src/attic/webdav.cpp" "src/CMakeFiles/hpop_attic.dir/attic/webdav.cpp.o" "gcc" "src/CMakeFiles/hpop_attic.dir/attic/webdav.cpp.o.d"
+  "/root/repo/src/attic/wrap_driver.cpp" "src/CMakeFiles/hpop_attic.dir/attic/wrap_driver.cpp.o" "gcc" "src/CMakeFiles/hpop_attic.dir/attic/wrap_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

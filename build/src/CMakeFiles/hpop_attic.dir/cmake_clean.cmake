@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_attic.dir/attic/backup.cpp.o"
+  "CMakeFiles/hpop_attic.dir/attic/backup.cpp.o.d"
+  "CMakeFiles/hpop_attic.dir/attic/client.cpp.o"
+  "CMakeFiles/hpop_attic.dir/attic/client.cpp.o.d"
+  "CMakeFiles/hpop_attic.dir/attic/grant.cpp.o"
+  "CMakeFiles/hpop_attic.dir/attic/grant.cpp.o.d"
+  "CMakeFiles/hpop_attic.dir/attic/health.cpp.o"
+  "CMakeFiles/hpop_attic.dir/attic/health.cpp.o.d"
+  "CMakeFiles/hpop_attic.dir/attic/store.cpp.o"
+  "CMakeFiles/hpop_attic.dir/attic/store.cpp.o.d"
+  "CMakeFiles/hpop_attic.dir/attic/webdav.cpp.o"
+  "CMakeFiles/hpop_attic.dir/attic/webdav.cpp.o.d"
+  "CMakeFiles/hpop_attic.dir/attic/wrap_driver.cpp.o"
+  "CMakeFiles/hpop_attic.dir/attic/wrap_driver.cpp.o.d"
+  "libhpop_attic.a"
+  "libhpop_attic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_attic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

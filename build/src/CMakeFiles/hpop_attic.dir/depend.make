@@ -1,0 +1,2 @@
+# Empty dependencies file for hpop_attic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_core.dir/hpop/appliance.cpp.o"
+  "CMakeFiles/hpop_core.dir/hpop/appliance.cpp.o.d"
+  "CMakeFiles/hpop_core.dir/hpop/auth.cpp.o"
+  "CMakeFiles/hpop_core.dir/hpop/auth.cpp.o.d"
+  "CMakeFiles/hpop_core.dir/hpop/directory.cpp.o"
+  "CMakeFiles/hpop_core.dir/hpop/directory.cpp.o.d"
+  "libhpop_core.a"
+  "libhpop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_dcol.dir/dcol/client.cpp.o"
+  "CMakeFiles/hpop_dcol.dir/dcol/client.cpp.o.d"
+  "CMakeFiles/hpop_dcol.dir/dcol/collective.cpp.o"
+  "CMakeFiles/hpop_dcol.dir/dcol/collective.cpp.o.d"
+  "CMakeFiles/hpop_dcol.dir/dcol/tunnel.cpp.o"
+  "CMakeFiles/hpop_dcol.dir/dcol/tunnel.cpp.o.d"
+  "CMakeFiles/hpop_dcol.dir/dcol/waypoint.cpp.o"
+  "CMakeFiles/hpop_dcol.dir/dcol/waypoint.cpp.o.d"
+  "libhpop_dcol.a"
+  "libhpop_dcol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_dcol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

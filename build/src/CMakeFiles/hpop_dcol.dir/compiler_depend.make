@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpop_dcol.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/cache.cpp" "src/CMakeFiles/hpop_http.dir/http/cache.cpp.o" "gcc" "src/CMakeFiles/hpop_http.dir/http/cache.cpp.o.d"
+  "/root/repo/src/http/client.cpp" "src/CMakeFiles/hpop_http.dir/http/client.cpp.o" "gcc" "src/CMakeFiles/hpop_http.dir/http/client.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/CMakeFiles/hpop_http.dir/http/message.cpp.o" "gcc" "src/CMakeFiles/hpop_http.dir/http/message.cpp.o.d"
+  "/root/repo/src/http/server.cpp" "src/CMakeFiles/hpop_http.dir/http/server.cpp.o" "gcc" "src/CMakeFiles/hpop_http.dir/http/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpop_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

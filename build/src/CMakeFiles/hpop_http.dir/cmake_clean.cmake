@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_http.dir/http/cache.cpp.o"
+  "CMakeFiles/hpop_http.dir/http/cache.cpp.o.d"
+  "CMakeFiles/hpop_http.dir/http/client.cpp.o"
+  "CMakeFiles/hpop_http.dir/http/client.cpp.o.d"
+  "CMakeFiles/hpop_http.dir/http/message.cpp.o"
+  "CMakeFiles/hpop_http.dir/http/message.cpp.o.d"
+  "CMakeFiles/hpop_http.dir/http/server.cpp.o"
+  "CMakeFiles/hpop_http.dir/http/server.cpp.o.d"
+  "libhpop_http.a"
+  "libhpop_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

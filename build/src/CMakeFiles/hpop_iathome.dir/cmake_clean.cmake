@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_iathome.dir/iathome/browsing.cpp.o"
+  "CMakeFiles/hpop_iathome.dir/iathome/browsing.cpp.o.d"
+  "CMakeFiles/hpop_iathome.dir/iathome/coop.cpp.o"
+  "CMakeFiles/hpop_iathome.dir/iathome/coop.cpp.o.d"
+  "CMakeFiles/hpop_iathome.dir/iathome/corpus.cpp.o"
+  "CMakeFiles/hpop_iathome.dir/iathome/corpus.cpp.o.d"
+  "CMakeFiles/hpop_iathome.dir/iathome/deepweb.cpp.o"
+  "CMakeFiles/hpop_iathome.dir/iathome/deepweb.cpp.o.d"
+  "CMakeFiles/hpop_iathome.dir/iathome/prefetcher.cpp.o"
+  "CMakeFiles/hpop_iathome.dir/iathome/prefetcher.cpp.o.d"
+  "libhpop_iathome.a"
+  "libhpop_iathome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_iathome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

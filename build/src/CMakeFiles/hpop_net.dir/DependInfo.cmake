@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/CMakeFiles/hpop_net.dir/net/address.cpp.o" "gcc" "src/CMakeFiles/hpop_net.dir/net/address.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/hpop_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/hpop_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/nat.cpp" "src/CMakeFiles/hpop_net.dir/net/nat.cpp.o" "gcc" "src/CMakeFiles/hpop_net.dir/net/nat.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/hpop_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/hpop_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/hpop_net.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/hpop_net.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/hpop_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/hpop_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

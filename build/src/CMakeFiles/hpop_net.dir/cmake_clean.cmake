@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_net.dir/net/address.cpp.o"
+  "CMakeFiles/hpop_net.dir/net/address.cpp.o.d"
+  "CMakeFiles/hpop_net.dir/net/link.cpp.o"
+  "CMakeFiles/hpop_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/hpop_net.dir/net/nat.cpp.o"
+  "CMakeFiles/hpop_net.dir/net/nat.cpp.o.d"
+  "CMakeFiles/hpop_net.dir/net/network.cpp.o"
+  "CMakeFiles/hpop_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/hpop_net.dir/net/node.cpp.o"
+  "CMakeFiles/hpop_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/hpop_net.dir/net/topology.cpp.o"
+  "CMakeFiles/hpop_net.dir/net/topology.cpp.o.d"
+  "libhpop_net.a"
+  "libhpop_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

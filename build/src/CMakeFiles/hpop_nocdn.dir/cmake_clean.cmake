@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_nocdn.dir/nocdn/accounting.cpp.o"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/accounting.cpp.o.d"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/loader.cpp.o"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/loader.cpp.o.d"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/object.cpp.o"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/object.cpp.o.d"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/origin.cpp.o"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/origin.cpp.o.d"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/peer.cpp.o"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/peer.cpp.o.d"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/selection.cpp.o"
+  "CMakeFiles/hpop_nocdn.dir/nocdn/selection.cpp.o.d"
+  "libhpop_nocdn.a"
+  "libhpop_nocdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_nocdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

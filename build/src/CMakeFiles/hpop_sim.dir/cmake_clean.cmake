@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/hpop_sim.dir/sim/simulator.cpp.o.d"
+  "libhpop_sim.a"
+  "libhpop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpop_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/mptcp.cpp" "src/CMakeFiles/hpop_transport.dir/transport/mptcp.cpp.o" "gcc" "src/CMakeFiles/hpop_transport.dir/transport/mptcp.cpp.o.d"
+  "/root/repo/src/transport/mux.cpp" "src/CMakeFiles/hpop_transport.dir/transport/mux.cpp.o" "gcc" "src/CMakeFiles/hpop_transport.dir/transport/mux.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/CMakeFiles/hpop_transport.dir/transport/tcp.cpp.o" "gcc" "src/CMakeFiles/hpop_transport.dir/transport/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/CMakeFiles/hpop_transport.dir/transport/udp.cpp.o" "gcc" "src/CMakeFiles/hpop_transport.dir/transport/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

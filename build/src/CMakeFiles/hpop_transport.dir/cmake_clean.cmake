@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_transport.dir/transport/mptcp.cpp.o"
+  "CMakeFiles/hpop_transport.dir/transport/mptcp.cpp.o.d"
+  "CMakeFiles/hpop_transport.dir/transport/mux.cpp.o"
+  "CMakeFiles/hpop_transport.dir/transport/mux.cpp.o.d"
+  "CMakeFiles/hpop_transport.dir/transport/tcp.cpp.o"
+  "CMakeFiles/hpop_transport.dir/transport/tcp.cpp.o.d"
+  "CMakeFiles/hpop_transport.dir/transport/udp.cpp.o"
+  "CMakeFiles/hpop_transport.dir/transport/udp.cpp.o.d"
+  "libhpop_transport.a"
+  "libhpop_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

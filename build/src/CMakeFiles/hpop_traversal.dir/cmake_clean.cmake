@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_traversal.dir/traversal/reachability.cpp.o"
+  "CMakeFiles/hpop_traversal.dir/traversal/reachability.cpp.o.d"
+  "CMakeFiles/hpop_traversal.dir/traversal/stun.cpp.o"
+  "CMakeFiles/hpop_traversal.dir/traversal/stun.cpp.o.d"
+  "CMakeFiles/hpop_traversal.dir/traversal/turn.cpp.o"
+  "CMakeFiles/hpop_traversal.dir/traversal/turn.cpp.o.d"
+  "CMakeFiles/hpop_traversal.dir/traversal/upnp.cpp.o"
+  "CMakeFiles/hpop_traversal.dir/traversal/upnp.cpp.o.d"
+  "libhpop_traversal.a"
+  "libhpop_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

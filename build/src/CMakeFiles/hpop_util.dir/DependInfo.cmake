@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/encoding.cpp" "src/CMakeFiles/hpop_util.dir/util/encoding.cpp.o" "gcc" "src/CMakeFiles/hpop_util.dir/util/encoding.cpp.o.d"
+  "/root/repo/src/util/erasure.cpp" "src/CMakeFiles/hpop_util.dir/util/erasure.cpp.o" "gcc" "src/CMakeFiles/hpop_util.dir/util/erasure.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/hpop_util.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/hpop_util.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/hpop_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/hpop_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/hpop_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/hpop_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hpop_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hpop_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/token_bucket.cpp" "src/CMakeFiles/hpop_util.dir/util/token_bucket.cpp.o" "gcc" "src/CMakeFiles/hpop_util.dir/util/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpop_util.dir/util/encoding.cpp.o"
+  "CMakeFiles/hpop_util.dir/util/encoding.cpp.o.d"
+  "CMakeFiles/hpop_util.dir/util/erasure.cpp.o"
+  "CMakeFiles/hpop_util.dir/util/erasure.cpp.o.d"
+  "CMakeFiles/hpop_util.dir/util/hash.cpp.o"
+  "CMakeFiles/hpop_util.dir/util/hash.cpp.o.d"
+  "CMakeFiles/hpop_util.dir/util/logging.cpp.o"
+  "CMakeFiles/hpop_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/hpop_util.dir/util/rng.cpp.o"
+  "CMakeFiles/hpop_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/hpop_util.dir/util/stats.cpp.o"
+  "CMakeFiles/hpop_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/hpop_util.dir/util/token_bucket.cpp.o"
+  "CMakeFiles/hpop_util.dir/util/token_bucket.cpp.o.d"
+  "libhpop_util.a"
+  "libhpop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attic.dir/test_attic.cpp.o"
+  "CMakeFiles/test_attic.dir/test_attic.cpp.o.d"
+  "test_attic"
+  "test_attic.pdb"
+  "test_attic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcol.dir/test_dcol.cpp.o"
+  "CMakeFiles/test_dcol.dir/test_dcol.cpp.o.d"
+  "test_dcol"
+  "test_dcol.pdb"
+  "test_dcol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

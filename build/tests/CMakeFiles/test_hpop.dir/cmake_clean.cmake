@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpop.dir/test_hpop.cpp.o"
+  "CMakeFiles/test_hpop.dir/test_hpop.cpp.o.d"
+  "test_hpop"
+  "test_hpop.pdb"
+  "test_hpop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

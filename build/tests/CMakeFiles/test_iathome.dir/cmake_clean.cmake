@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iathome.dir/test_iathome.cpp.o"
+  "CMakeFiles/test_iathome.dir/test_iathome.cpp.o.d"
+  "test_iathome"
+  "test_iathome.pdb"
+  "test_iathome[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iathome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

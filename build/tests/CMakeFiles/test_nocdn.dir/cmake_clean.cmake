@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nocdn.dir/test_nocdn.cpp.o"
+  "CMakeFiles/test_nocdn.dir/test_nocdn.cpp.o.d"
+  "test_nocdn"
+  "test_nocdn.pdb"
+  "test_nocdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nocdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traversal.dir/test_traversal.cpp.o"
+  "CMakeFiles/test_traversal.dir/test_traversal.cpp.o.d"
+  "test_traversal"
+  "test_traversal.pdb"
+  "test_traversal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

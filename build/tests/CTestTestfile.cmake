@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_traversal[1]_include.cmake")
+include("/root/repo/build/tests/test_hpop[1]_include.cmake")
+include("/root/repo/build/tests/test_attic[1]_include.cmake")
+include("/root/repo/build/tests/test_nocdn[1]_include.cmake")
+include("/root/repo/build/tests/test_dcol[1]_include.cmake")
+include("/root/repo/build/tests/test_iathome[1]_include.cmake")
+include("/root/repo/build/tests/test_torture[1]_include.cmake")
