@@ -12,6 +12,7 @@
 #include "iathome/browsing.hpp"
 #include "iathome/prefetcher.hpp"
 #include "net/topology.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace hpop;
 using namespace hpop::bench;
@@ -99,23 +100,29 @@ Metrics run(int homes, bool coop_enabled) {
   sim.run_until(19 * util::kHour);
   const std::uint64_t uplink_before =
       uplink.stats(0).bytes + uplink.stats(1).bytes;
+  // Everything below reports the same 2-hour evening window: a registry
+  // snapshot pair isolates the interval (and this run — the registry is
+  // process-wide) without per-home stat plumbing.
+  const auto before = telemetry::registry().snapshot();
   sim.run_until(21 * util::kHour);
+  const auto window = telemetry::MetricsRegistry::delta(
+      before, telemetry::registry().snapshot());
 
   Metrics m;
   m.uplink_mb = static_cast<double>(uplink.stats(0).bytes +
                                     uplink.stats(1).bytes - uplink_before) /
                 (1 << 20);
-  util::Summary latency;
+  m.upstream_requests =
+      static_cast<std::uint64_t>(window.value("iathome.upstream_fetches"));
+  m.lateral_hits =
+      static_cast<std::uint64_t>(window.value("iathome.coop_hits"));
+  if (const auto* lat = window.find("iathome.device_latency_ms")) {
+    m.p95_ms = lat->p95;
+  }
   for (auto& s : setups) {
-    m.upstream_requests += s.web->stats().upstream_fetches;
-    m.lateral_hits += s.web->stats().coop_hits;
     m.objects += s.user->stats().objects_fetched;
-    for (const double ms : s.web->stats().device_latency_ms.samples()) {
-      latency.add(ms);
-    }
     s.user->stop();
   }
-  m.p95_ms = latency.percentile(0.95);
   return m;
 }
 
@@ -127,7 +134,8 @@ int main() {
          "gigabit links serve neighbours without touching the aggregate");
 
   util::Table table({"homes", "coop", "uplink MB (2h evening)",
-                     "upstream requests", "lateral hits", "p95 (ms)"});
+                     "upstream req (2h)", "lateral hits (2h)",
+                     "p95 ms (2h)"});
   double solo_requests = 0, coop_requests = 0;
   for (const int homes : {4, 8}) {
     for (const bool coop : {false, true}) {

@@ -8,11 +8,14 @@
 // client sweep; (2) the attack matrix — corruption, inflation, replay —
 // and what catches each; (3) the peer-selection ablation.
 
+#include <cstring>
+
 #include "bench/common.hpp"
 #include "net/topology.hpp"
 #include "nocdn/loader.hpp"
 #include "nocdn/origin.hpp"
 #include "nocdn/peer.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace hpop;
 using namespace hpop::bench;
@@ -170,10 +173,15 @@ int main() {
   for (const int clients : {5, 15, 30}) {
     World w(6, clients, make_config());
     (void)w.load_all();  // warm peer caches
-    const auto before = w.origin->stats().bytes_served;
+    // Interval accounting via the metrics registry: snapshot around the
+    // measured round so warm-up traffic (and other worlds in this process)
+    // subtracts out.
+    const auto before = telemetry::registry().snapshot();
     const auto results = w.load_all();
+    const auto measured = telemetry::MetricsRegistry::delta(
+        before, telemetry::registry().snapshot());
     const double origin_per_view =
-        static_cast<double>(w.origin->stats().bytes_served - before) /
+        measured.value("nocdn.origin.bytes_served") /
         static_cast<double>(results.size());
     util::Summary load_ms;
     for (const auto& r : results) {
@@ -199,6 +207,7 @@ int main() {
     }
     std::vector<std::unique_ptr<transport::TransportMux>> cm;
     std::vector<std::unique_ptr<http::HttpClient>> ch;
+    const auto direct_before = telemetry::registry().snapshot();
     auto outstanding = std::make_shared<int>(clients *
                                              static_cast<int>(urls.size()));
     for (int c = 0; c < clients; ++c) {
@@ -215,8 +224,10 @@ int main() {
       }
     }
     d.sim.run_until(120 * util::kSecond);
+    const auto direct_measured = telemetry::MetricsRegistry::delta(
+        direct_before, telemetry::registry().snapshot());
     const double direct_per_view =
-        static_cast<double>(direct_origin.stats().bytes_served) /
+        direct_measured.value("nocdn.origin.bytes_served") /
         static_cast<double>(clients);
     const double factor = direct_per_view / origin_per_view;
     if (clients == 30) headline_factor = factor;
@@ -256,6 +267,12 @@ int main() {
             w.origin->peer_trust(2) < 0.5);
   }
   {  // inflation + replay
+    // Watch the ledger through the flow tracer: every verified/rejected
+    // usage record emits a typed event carrying the peer id and reason.
+    auto& tr = telemetry::tracer();
+    tr.clear();
+    tr.enable(telemetry::TraceCategory::kNocdn);
+    const auto before = telemetry::registry().snapshot();
     World w(4, 1, make_config());
     w.peers[0]->set_behavior(PeerBehavior{.inflate_factor = 5.0});
     w.peers[1]->set_behavior(PeerBehavior{.replay_records = true});
@@ -267,25 +284,32 @@ int main() {
     }
     for (auto& peer : w.peers) peer->upload_usage_now();
     w.sim.run_until(w.sim.now() + 10 * util::kSecond);
-    const auto& accounts = w.origin->ledger().accounts();
-    const auto inflated = accounts.find(1);
-    const auto replayed = accounts.find(2);
-    const std::uint64_t inflated_rejects =
-        inflated != accounts.end() ? inflated->second.records_rejected : 0;
-    const std::uint64_t replays =
-        replayed != accounts.end() ? replayed->second.replays : 0;
+    tr.disable(telemetry::TraceCategory::kNocdn);
+    const auto measured = telemetry::MetricsRegistry::delta(
+        before, telemetry::registry().snapshot());
+
+    std::uint64_t inflated_rejects = 0, replays = 0, inflated_accepted = 0;
+    for (const auto& rec :
+         tr.records(telemetry::TraceEvent::kUsageRecordRejected)) {
+      if (rec.a == 1.0) ++inflated_rejects;  // a carries the peer id
+      if (std::strcmp(rec.detail, "replayed") == 0) ++replays;
+    }
+    for (const auto& rec :
+         tr.records(telemetry::TraceEvent::kUsageRecordVerified)) {
+      if (rec.a == 1.0) ++inflated_accepted;
+    }
     attacks.add_row({"usage inflation (x5)", "client HMAC signature",
                      std::to_string(inflated_rejects) + " records rejected",
                      "n/a"});
     attacks.add_row({"record replay", "per-key nonce cache",
                      std::to_string(replays) + " replays rejected", "n/a"});
+    std::printf("ledger interval totals: %.0f records accepted, %.0f "
+                "rejected (registry delta)\n",
+                measured.value("nocdn.ledger.records_accepted"),
+                measured.value("nocdn.ledger.records_rejected"));
     verdict("inflated claims earn nothing", "0 accepted",
-            std::to_string(inflated != accounts.end()
-                               ? inflated->second.records_accepted
-                               : 0) +
-                " accepted",
-            inflated == accounts.end() ||
-                inflated->second.records_accepted == 0);
+            std::to_string(inflated_accepted) + " accepted",
+            inflated_accepted == 0);
     verdict("replays rejected", ">0 caught", std::to_string(replays),
             replays > 0);
   }
@@ -299,6 +323,7 @@ int main() {
   for (const std::string selector :
        {"random", "proximity", "load-aware", "trust-weighted"}) {
     World w(8, 10, make_config(selector));
+    const auto world_start = telemetry::registry().snapshot();
     // RTT oracle: peers 0-3 near (5 ms), peers 4-7 far (60 ms); peer 2
     // corrupts.
     w.origin->set_rtt_oracle([](std::uint64_t peer, net::Endpoint) {
@@ -314,13 +339,16 @@ int main() {
       load_ms.add(util::to_millis(r.load_time));
       failures += r.verification_failures;
     }
-    std::uint64_t bad_bytes = w.peers[2]->stats().bytes_served;
-    std::uint64_t all_bytes = 0;
-    for (const auto& peer : w.peers) all_bytes += peer->stats().bytes_served;
+    // Aggregate peer bytes come from the registry (interval since this
+    // world started); the bad peer's share still needs its per-peer stat.
+    const auto world_total = telemetry::MetricsRegistry::delta(
+        world_start, telemetry::registry().snapshot());
+    const std::uint64_t bad_bytes = w.peers[2]->stats().bytes_served;
+    const double all_bytes = world_total.value("nocdn.peer.bytes_served");
     ablation.add_row({selector, fmt(load_ms.median(), 0),
                       std::to_string(failures),
                       fmt(100.0 * static_cast<double>(bad_bytes) /
-                              static_cast<double>(all_bytes ? all_bytes : 1),
+                              (all_bytes > 0 ? all_bytes : 1.0),
                           1)});
   }
   std::printf("%s", ablation.render().c_str());

@@ -11,6 +11,7 @@
 #include "bench/common.hpp"
 #include "dcol/client.hpp"
 #include "net/topology.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transport/payloads.hpp"
 
 using namespace hpop;
@@ -79,13 +80,20 @@ struct World {
   }
 };
 
-/// Downloads `bytes` with up to `max_detours` detours; returns seconds (or
-/// -1 if it never finished within the budget).
-double download_seconds(const PathSpec& direct, int n_waypoints,
+struct DownloadResult {
+  double seconds = -1;       // -1: never finished within the budget
+  double retransmits = 0;    // tcp.retransmits over the run (registry delta)
+  double relayed_bytes = 0;  // dcol.waypoint.relayed_bytes over the run
+};
+
+/// Downloads `bytes` with up to `max_detours` detours; run-scoped stats come
+/// from a registry snapshot pair around the simulation.
+DownloadResult download(const PathSpec& direct, int n_waypoints,
                         int max_detours, std::size_t bytes,
                         transport::SchedulerKind scheduler =
                             transport::SchedulerKind::kMinRtt) {
   World w(direct, n_waypoints);
+  const auto before = telemetry::registry().snapshot();
   transport::TcpOptions sopts;
   sopts.mp_capable = true;
   auto listener = w.mux_server->tcp_listen(443, sopts);
@@ -117,8 +125,13 @@ double download_seconds(const PathSpec& direct, int n_waypoints,
                  });
                });
   w.sim.run_until(400 * util::kSecond);
-  if (done == 0) return -1;
-  return util::to_seconds(done - started);
+  const auto interval = telemetry::MetricsRegistry::delta(
+      before, telemetry::registry().snapshot());
+  DownloadResult result;
+  result.retransmits = interval.value("tcp.retransmits");
+  result.relayed_bytes = interval.value("dcol.waypoint.relayed_bytes");
+  if (done != 0) result.seconds = util::to_seconds(done - started);
+  return result;
 }
 
 }  // namespace
@@ -133,7 +146,7 @@ int main() {
   std::printf("native-path pathology sweep (6 MB download, minRTT "
               "scheduler):\n");
   util::Table sweep({"native path", "direct-only (s)", "with 1 detour (s)",
-                     "speedup"});
+                     "speedup", "retx direct", "retx detour"});
   struct Case {
     const char* label;
     PathSpec spec;
@@ -149,15 +162,17 @@ int main() {
   };
   double speedup_lossy = 0;
   for (const Case& c : cases) {
-    const double direct_s = download_seconds(c.spec, 1, 0, kBytes);
-    const double detour_s = download_seconds(c.spec, 1, 1, kBytes);
-    const double speedup = direct_s > 0 && detour_s > 0
-                               ? direct_s / detour_s
+    const DownloadResult direct = download(c.spec, 1, 0, kBytes);
+    const DownloadResult detour = download(c.spec, 1, 1, kBytes);
+    const double speedup = direct.seconds > 0 && detour.seconds > 0
+                               ? direct.seconds / detour.seconds
                                : 0;
     if (std::string(c.label) == "2% loss") speedup_lossy = speedup;
-    sweep.add_row({c.label, direct_s < 0 ? "DNF" : fmt(direct_s, 1),
-                   detour_s < 0 ? "DNF" : fmt(detour_s, 1),
-                   fmt(speedup, 1) + "x"});
+    sweep.add_row({c.label,
+                   direct.seconds < 0 ? "DNF" : fmt(direct.seconds, 1),
+                   detour.seconds < 0 ? "DNF" : fmt(detour.seconds, 1),
+                   fmt(speedup, 1) + "x", fmt(direct.retransmits, 0),
+                   fmt(detour.retransmits, 0)});
   }
   std::printf("%s", sweep.render().c_str());
   verdict("detour rescues a lossy native path", ">2x",
@@ -165,15 +180,16 @@ int main() {
 
   std::printf("\nwaypoint-count sweep on the 2%%-loss path (refs [27],[30]: "
               "one waypoint suffices):\n");
-  util::Table count({"waypoints used", "download (s)"});
+  util::Table count({"waypoints used", "download (s)", "waypoint relay"});
   double one_wp = 0, two_wp = 0;
   for (const int n : {0, 1, 2, 3}) {
-    const double s = download_seconds({0.02, 25 * util::kMillisecond,
+    const DownloadResult r = download({0.02, 25 * util::kMillisecond,
                                        50 * util::kMbps},
                                       std::max(n, 1), n, kBytes);
-    if (n == 1) one_wp = s;
-    if (n == 2) two_wp = s;
-    count.add_row({std::to_string(n), s < 0 ? "DNF" : fmt(s, 1)});
+    if (n == 1) one_wp = r.seconds;
+    if (n == 2) two_wp = r.seconds;
+    count.add_row({std::to_string(n), r.seconds < 0 ? "DNF" : fmt(r.seconds, 1),
+                   fmt_bytes(r.relayed_bytes)});
   }
   std::printf("%s", count.render().c_str());
   verdict("second waypoint adds little", "<25% further gain",
@@ -188,9 +204,10 @@ int main() {
            {"min-RTT (default)", transport::SchedulerKind::kMinRtt},
            {"round-robin", transport::SchedulerKind::kRoundRobin},
            {"weighted", transport::SchedulerKind::kWeighted}}) {
-    const double s = download_seconds({0.0, 25 * util::kMillisecond,
-                                       50 * util::kMbps},
-                                      1, 1, kBytes, kind);
+    const double s = download({0.0, 25 * util::kMillisecond,
+                               50 * util::kMbps},
+                              1, 1, kBytes, kind)
+                         .seconds;
     sched.add_row({name, s < 0 ? "DNF" : fmt(s, 2)});
   }
   std::printf("%s", sched.render().c_str());

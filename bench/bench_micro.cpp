@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "net/topology.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transport/mux.hpp"
 #include "util/erasure.hpp"
 #include "util/hash.hpp"
@@ -70,6 +71,65 @@ void BM_ReedSolomonDecode(benchmark::State& state) {
                           static_cast<std::int64_t>(data.size()));
 }
 BENCHMARK(BM_ReedSolomonDecode)->Args({4, 2})->Args({10, 4});
+
+// The tracer's contract: a disabled category must cost one load+test+branch
+// per emit(), so leaving instrumentation compiled into every hot path is
+// free. Compare against the enabled path and a bare counter bump.
+void BM_TracerEmitDisabled(benchmark::State& state) {
+  telemetry::Tracer tracer(4096);
+  tracer.disable_all();
+  for (auto _ : state) {
+    tracer.emit(telemetry::TraceEvent::kCacheHit, 1.0, 2.0, "bench");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerEmitDisabled);
+
+void BM_TracerEmitEnabled(benchmark::State& state) {
+  telemetry::Tracer tracer(4096);
+  tracer.enable(telemetry::TraceCategory::kCache);
+  for (auto _ : state) {
+    tracer.emit(telemetry::TraceEvent::kCacheHit, 1.0, 2.0, "bench");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerEmitEnabled);
+
+void BM_CounterInc(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter* counter = registry.counter("bench.counter");
+  for (auto _ : state) {
+    counter->inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_SummaryObserve(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  telemetry::SummaryMetric* summary = registry.summary("bench.summary");
+  double x = 0;
+  for (auto _ : state) {
+    summary->observe(x);
+    x += 0.5;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SummaryObserve);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  const auto n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    registry.counter("c" + std::to_string(i))->inc();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RegistrySnapshot)->Arg(16)->Arg(256);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,16 @@
+#!/bin/sh
+# CI entry point: build + test twice — a plain RelWithDebInfo tree and an
+# ASan+UBSan tree (HPOP_SANITIZE=ON). The sanitized run catches the memory
+# and UB bugs the deterministic simulator would otherwise mask.
+set -e
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure
+
+cmake -B build-asan -S . -DHPOP_SANITIZE=ON
+cmake --build build-asan -j
+# detect_leaks=0: the transport layer keeps connections alive through
+# shared_ptr callback cycles (a known seed-era pattern), which LSan reports
+# at exit. Memory-error and UB detection — the point of this lane — stay on.
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "telemetry/trace.hpp"
 #include "util/encoding.hpp"
 #include "util/logging.hpp"
 
@@ -138,12 +139,14 @@ void BackupManager::backup(const std::string& file_key,
                          peers_.size());
     entry.placement.push_back(peer_index);
     ++stats_.shards_written;
+    m_shards_written_->inc();
     peers_[static_cast<std::size_t>(peer_index)].client->put(
         shard_path(file_key, i), shard_bodies[static_cast<std::size_t>(i)],
         [this, remaining, failed, cb](util::Result<std::string> etag) {
           if (!etag.ok()) {
             ++*failed;
             ++stats_.shard_write_failures;
+            m_shard_write_failures_->inc();
           }
           if (--*remaining == 0) {
             cb(*failed == 0 ? util::Status::success()
@@ -183,14 +186,24 @@ void BackupManager::restore(const std::string& file_key, RestoreCallback cb) {
     gather->done = true;
     if (gather->have < entry.k) {
       ++stats_.restores_failed;
+      m_restores_failed_->inc();
       cb(util::Result<http::Body>::failure(
           "insufficient_shards",
           "only " + std::to_string(gather->have) + " of " +
               std::to_string(entry.k) + " shards reachable"));
       return;
     }
+    if (entry.strategy == Strategy::kErasure &&
+        gather->have < entry.k + entry.m) {
+      // Enough shards to decode, but some were lost: the restore is also a
+      // repair (RS reconstruction of the missing shards' data).
+      m_erasure_repairs_->inc();
+      telemetry::tracer().emit(telemetry::TraceEvent::kAtticErasureRepair,
+                               gather->have, entry.k + entry.m);
+    }
     if (entry.synthetic) {
       ++stats_.restores_ok;
+      m_restores_ok_->inc();
       cb(http::Body::synthetic(entry.original_size, entry.synthetic_tag));
       return;
     }
@@ -217,6 +230,7 @@ void BackupManager::restore(const std::string& file_key, RestoreCallback cb) {
           shard_len * static_cast<std::size_t>(entry.k));
       if (!decoded.ok()) {
         ++stats_.restores_failed;
+        m_restores_failed_->inc();
         cb(util::Result<http::Body>(decoded.error()));
         return;
       }
@@ -232,6 +246,7 @@ void BackupManager::restore(const std::string& file_key, RestoreCallback cb) {
     (void)last_bar;
     if (mac_bar == std::string::npos || nonce_bar == std::string::npos) {
       ++stats_.restores_failed;
+      m_restores_failed_->inc();
       cb(util::Result<http::Body>::failure("corrupt", "missing trailer"));
       return;
     }
@@ -246,6 +261,7 @@ void BackupManager::restore(const std::string& file_key, RestoreCallback cb) {
         as_text.substr(mac_bar + 1, 64));
     if (!mac_bytes.ok() || mac_bytes.value().size() != box.mac.size()) {
       ++stats_.restores_failed;
+      m_restores_failed_->inc();
       cb(util::Result<http::Body>::failure("corrupt", "bad trailer mac"));
       return;
     }
@@ -254,16 +270,19 @@ void BackupManager::restore(const std::string& file_key, RestoreCallback cb) {
     auto plaintext = unseal(key_, box);
     if (!plaintext.ok()) {
       ++stats_.restores_failed;
+      m_restores_failed_->inc();
       cb(util::Result<http::Body>(plaintext.error()));
       return;
     }
     http::Body body(std::move(plaintext).take());
     if (!util::digest_equal(body.digest(), entry.content_digest)) {
       ++stats_.restores_failed;
+      m_restores_failed_->inc();
       cb(util::Result<http::Body>::failure("corrupt", "digest mismatch"));
       return;
     }
     ++stats_.restores_ok;
+    m_restores_ok_->inc();
     cb(std::move(body));
   };
 

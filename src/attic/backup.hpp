@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "attic/client.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/erasure.hpp"
 
 namespace hpop::attic {
@@ -38,7 +39,14 @@ class BackupManager {
 
   BackupManager(std::string owner, http::HttpClient& http,
                 util::Bytes key)
-      : owner_(std::move(owner)), http_(http), key_(std::move(key)) {}
+      : owner_(std::move(owner)), http_(http), key_(std::move(key)) {
+    auto& reg = telemetry::registry();
+    m_shards_written_ = reg.counter("attic.backup.shards_written");
+    m_shard_write_failures_ = reg.counter("attic.backup.shard_write_failures");
+    m_restores_ok_ = reg.counter("attic.backup.restores_ok");
+    m_restores_failed_ = reg.counter("attic.backup.restores_failed");
+    m_erasure_repairs_ = reg.counter("attic.backup.erasure_repairs");
+  }
 
   /// Registers a peer attic (friend/relative HPoP) with a capability
   /// scoped to our backup directory there.
@@ -93,6 +101,13 @@ class BackupManager {
   std::uint64_t next_nonce_ = 1;
   std::size_t next_peer_ = 0;
   Stats stats_;
+
+  // Registry handles (aggregated across all backup managers).
+  telemetry::Counter* m_shards_written_;
+  telemetry::Counter* m_shard_write_failures_;
+  telemetry::Counter* m_restores_ok_;
+  telemetry::Counter* m_restores_failed_;
+  telemetry::Counter* m_erasure_repairs_;
 };
 
 }  // namespace hpop::attic

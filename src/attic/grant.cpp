@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "attic/webdav.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/encoding.hpp"
 
 namespace hpop::attic {
@@ -52,6 +53,9 @@ ProviderGrant issue_provider_grant(AtticService& attic,
   const auto cap = hpop.tokens().issue(
       hpop.household(), directory, /*allow_write=*/true,
       hpop.simulator().now() + validity);
+  telemetry::registry().counter("attic.grants_issued")->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kAtticGrantIssued,
+                           static_cast<double>(cap.serial));
 
   ProviderGrant grant;
   // Prefer the public advertisement (post-boot); fall back to the direct

@@ -46,6 +46,8 @@ util::Result<std::string> AtticStore::put(const std::string& path,
   version.modified = now;
   used_ += incoming;
   files_[p].versions.push_back(version);
+  m_puts_->inc();
+  m_used_bytes_->add(static_cast<double>(incoming));
   return version.etag;
 }
 
@@ -73,6 +75,7 @@ util::Status AtticStore::remove(const std::string& path) {
   }
   for (const FileVersion& v : it->second.versions) {
     used_ -= v.content.size();
+    m_used_bytes_->add(-static_cast<double>(v.content.size()));
   }
   files_.erase(it);
   return util::Status::success();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "http/message.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/result.hpp"
 #include "util/time.hpp"
 
@@ -26,7 +27,11 @@ struct FileVersion {
 class AtticStore {
  public:
   explicit AtticStore(std::size_t quota_bytes = 64ull << 30)
-      : quota_(quota_bytes) {}
+      : quota_(quota_bytes) {
+    auto& reg = telemetry::registry();
+    m_puts_ = reg.counter("attic.puts");
+    m_used_bytes_ = reg.gauge("attic.used_bytes");
+  }
 
   /// Writes a new version; creates parent directories implicitly.
   util::Result<std::string> put(const std::string& path, http::Body content,
@@ -59,6 +64,10 @@ class AtticStore {
   std::uint64_t etag_counter_ = 0;
   std::map<std::string, FileEntry> files_;
   std::set<std::string> dirs_{"/"};
+
+  // Registry handles (aggregated across all attic stores).
+  telemetry::Counter* m_puts_;
+  telemetry::Gauge* m_used_bytes_;
 };
 
 }  // namespace hpop::attic

@@ -1,5 +1,6 @@
 #include "dcol/client.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace hpop::dcol {
@@ -112,6 +113,10 @@ void DcolClient::try_next_waypoint(
   if (!chosen) return;
   tried_members_.insert(chosen->id);
   ++stats_.detours_tried;
+  telemetry::registry().counter("dcol.detours_tried")->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kDetourChosen,
+                           static_cast<double>(chosen->id),
+                           chosen->reputation);
 
   auto detour = std::make_unique<DcolSession::Detour>();
   detour->member_id = chosen->id;
@@ -212,6 +217,11 @@ void DcolClient::evaluate(const std::shared_ptr<DcolSession>& session,
       if (sample.detour->nat) sample.detour->nat->close();
       sample.detour->withdrawn = true;
       ++stats_.detours_withdrawn;
+      telemetry::registry().counter("dcol.detours_withdrawn")->inc();
+      telemetry::tracer().emit(telemetry::TraceEvent::kDetourWithdrawn,
+                               static_cast<double>(sample.detour->member_id),
+                               sample.retx_ratio,
+                               harmful ? "harmful" : "useless");
       if (harmful) {
         ++stats_.misbehavior_reports;
         collective_.report_misbehavior(sample.detour->member_id, 0.5);

@@ -31,6 +31,11 @@ VpnTunnel::VpnTunnel(transport::TransportMux& mux, net::Endpoint waypoint_vpn)
         }
         virtual_ip_ = resp->virtual_ip;
         active_ = true;
+        telemetry::registry()
+            .summary("dcol.tunnel.setup_ms", "kind=vpn")
+            ->observe(static_cast<double>(mux_.simulator().now() -
+                                          join_started_) /
+                      util::kMillisecond);
         mux_.host().add_virtual_address(virtual_ip_);
         // Divert everything sourced from the virtual address into the
         // tunnel (the "high cost route" scoping from §IV-C is implicit:
@@ -48,6 +53,7 @@ VpnTunnel::VpnTunnel(transport::TransportMux& mux, net::Endpoint waypoint_vpn)
 
 void VpnTunnel::join(JoinCallback cb) {
   join_cb_ = std::move(cb);
+  join_started_ = mux_.simulator().now();
   socket_->send_to(waypoint_, std::make_shared<VpnJoinRequest>());
   // Join over UDP: one retry after a second covers a lost datagram.
   mux_.simulator().schedule(util::kSecond, [this] {
@@ -84,6 +90,11 @@ NatTunnel::NatTunnel(transport::TransportMux& mux,
     }
     tunnel_port_ = resp->tunnel_port;
     active_ = true;
+    telemetry::registry()
+        .summary("dcol.tunnel.setup_ms", "kind=nat")
+        ->observe(static_cast<double>(mux_.simulator().now() -
+                                      open_started_) /
+                  util::kMillisecond);
 
     const net::Endpoint waypoint_data{waypoint_signal_.ip, tunnel_port_};
     // Outbound: designated subflows' packets to the server divert to the
@@ -112,6 +123,7 @@ NatTunnel::NatTunnel(transport::TransportMux& mux,
 void NatTunnel::open(net::Endpoint server, OpenCallback cb) {
   server_ = server;
   open_cb_ = std::move(cb);
+  open_started_ = mux_.simulator().now();
   auto req = std::make_shared<NatTunnelRequest>();
   req->server = server;
   socket_->send_to(waypoint_signal_, req);

@@ -37,6 +37,7 @@ class VpnTunnel {
   net::IpAddr virtual_ip_;
   bool active_ = false;
   JoinCallback join_cb_;
+  util::TimePoint join_started_ = 0;
 };
 
 /// Client side of a NAT detour tunnel: negotiates a forwarding port for
@@ -66,6 +67,7 @@ class NatTunnel {
   std::set<std::uint16_t> attached_ports_;
   bool active_ = false;
   OpenCallback open_cb_;
+  util::TimePoint open_started_ = 0;
 };
 
 }  // namespace hpop::dcol

@@ -7,6 +7,12 @@ namespace hpop::dcol {
 WaypointService::WaypointService(transport::TransportMux& mux,
                                  WaypointConfig config, util::Rng rng)
     : mux_(mux), config_(config), rng_(rng) {
+  auto& reg = telemetry::registry();
+  m_relayed_pkts_ = reg.counter("dcol.waypoint.relayed_pkts");
+  m_relayed_bytes_ = reg.counter("dcol.waypoint.relayed_bytes");
+  m_dropped_ = reg.counter("dcol.waypoint.dropped");
+  m_vpn_clients_ = reg.gauge("dcol.waypoint.vpn_clients");
+  m_nat_tunnels_ = reg.gauge("dcol.waypoint.nat_tunnels");
   vpn_socket_ = mux_.udp_open(config_.vpn_port);
   nat_socket_ = mux_.udp_open(config_.nat_signal_port);
 
@@ -27,6 +33,7 @@ WaypointService::WaypointService(transport::TransportMux& mux,
           resp->ok = true;
           resp->virtual_ip = vip;
           ++stats_.vpn_clients;
+          m_vpn_clients_->add(1);
         }
         vpn_socket_->send_to(pkt.src_endpoint(), resp);
       }
@@ -42,6 +49,7 @@ WaypointService::WaypointService(transport::TransportMux& mux,
     resp->ok = true;
     nat_tunnels_[resp->tunnel_port] = req->server;
     ++stats_.nat_tunnels;
+    m_nat_tunnels_->add(1);
     nat_socket_->send_to(from, resp);
   });
 
@@ -69,12 +77,15 @@ bool WaypointService::relay_budget(const net::Packet& pkt,
                                    std::size_t extra_bytes) {
   if (config_.drop_rate > 0.0 && rng_.bernoulli(config_.drop_rate)) {
     ++stats_.packets_dropped;
+    m_dropped_->inc();
     return false;
   }
   ++stats_.packets_relayed;
+  m_relayed_pkts_->inc();
   // Counted as wire bytes, including VPN encapsulation overhead — this is
   // what the §IV-C VPN-vs-NAT trade-off is about.
   stats_.bytes_relayed += pkt.wire_size() + extra_bytes;
+  m_relayed_bytes_->inc(pkt.wire_size() + extra_bytes);
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <tuple>
 
+#include "telemetry/metrics.hpp"
 #include "transport/mux.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
@@ -109,6 +110,13 @@ class WaypointService {
   std::map<std::uint16_t, net::Endpoint> nat_tunnels_;
   std::uint16_t next_port_ = 40000;
   Stats stats_;
+
+  // Registry handles (aggregated across all waypoints).
+  telemetry::Counter* m_relayed_pkts_;
+  telemetry::Counter* m_relayed_bytes_;
+  telemetry::Counter* m_dropped_;
+  telemetry::Gauge* m_vpn_clients_;
+  telemetry::Gauge* m_nat_tunnels_;
 };
 
 }  // namespace hpop::dcol

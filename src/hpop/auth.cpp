@@ -4,9 +4,20 @@
 #include <sstream>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/encoding.hpp"
 
 namespace hpop::core {
+
+namespace {
+util::Status deny(std::uint64_t serial, const char* code,
+                  const char* message) {
+  telemetry::registry().counter("attic.grants_denied")->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kAtticGrantDenied,
+                           static_cast<double>(serial), 0, code);
+  return util::Status::failure(code, message);
+}
+}  // namespace
 
 std::string Capability::canonical() const {
   std::ostringstream os;
@@ -40,20 +51,19 @@ util::Status TokenAuthority::verify(const Capability& cap,
                                     bool write_access,
                                     util::TimePoint now) const {
   if (!util::digest_equal(cap.mac, sign(cap))) {
-    return util::Status::failure("bad_signature", "capability forged");
+    return deny(cap.serial, "bad_signature", "capability forged");
   }
   if (now > cap.expires) {
-    return util::Status::failure("expired", "capability expired");
+    return deny(cap.serial, "expired", "capability expired");
   }
   if (revoked_.count(cap.serial) > 0) {
-    return util::Status::failure("revoked", "capability revoked");
+    return deny(cap.serial, "revoked", "capability revoked");
   }
   if (path.rfind(cap.scope, 0) != 0) {
-    return util::Status::failure("out_of_scope",
-                                 "path outside granted scope");
+    return deny(cap.serial, "out_of_scope", "path outside granted scope");
   }
   if (write_access && !cap.allow_write) {
-    return util::Status::failure("read_only", "write with read-only grant");
+    return deny(cap.serial, "read_only", "write with read-only grant");
   }
   return util::Status::success();
 }

@@ -1,5 +1,7 @@
 #include "http/cache.hpp"
 
+#include "telemetry/trace.hpp"
+
 namespace hpop::http {
 
 void HttpCache::bump(const std::string& key, Node& node) {
@@ -14,9 +16,13 @@ void HttpCache::evict_for(std::size_t need) {
     lru_.pop_back();
     const auto it = map_.find(victim);
     if (it != map_.end()) {
-      size_ -= it->second.entry.response.body.size();
+      const std::size_t victim_bytes = it->second.entry.response.body.size();
+      size_ -= victim_bytes;
       map_.erase(it);
       ++stats_.evictions;
+      m_evictions_->inc();
+      telemetry::tracer().emit(telemetry::TraceEvent::kCacheEviction,
+                               static_cast<double>(victim_bytes));
     }
   }
 }
@@ -42,6 +48,7 @@ void HttpCache::store(const std::string& key, const Response& response,
   size_ += body;
   map_.emplace(key, std::move(node));
   ++stats_.stores;
+  m_stores_->inc();
 }
 
 const HttpCache::Entry* HttpCache::lookup(const std::string& key) {
@@ -56,13 +63,21 @@ const HttpCache::Entry* HttpCache::lookup_fresh(const std::string& key,
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    m_misses_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kCacheMiss);
     return nullptr;
   }
   if (!it->second.entry.fresh(now)) {
     ++stats_.stale_hits;
+    m_stale_hits_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kCacheMiss, 0, 1, "stale");
     return nullptr;
   }
   ++stats_.hits;
+  m_hits_->inc();
+  telemetry::tracer().emit(
+      telemetry::TraceEvent::kCacheHit,
+      static_cast<double>(it->second.entry.response.body.size()));
   bump(key, it->second);
   return &it->second.entry;
 }

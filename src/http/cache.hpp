@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "http/message.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/time.hpp"
 
 namespace hpop::http {
@@ -17,7 +18,14 @@ namespace hpop::http {
 class HttpCache {
  public:
   explicit HttpCache(std::size_t capacity_bytes = 1ull << 30)
-      : capacity_(capacity_bytes) {}
+      : capacity_(capacity_bytes) {
+    auto& reg = telemetry::registry();
+    m_hits_ = reg.counter("cache.hits");
+    m_stale_hits_ = reg.counter("cache.stale_hits");
+    m_misses_ = reg.counter("cache.misses");
+    m_stores_ = reg.counter("cache.stores");
+    m_evictions_ = reg.counter("cache.evictions");
+  }
 
   struct Entry {
     Response response;
@@ -72,6 +80,13 @@ class HttpCache {
   std::unordered_map<std::string, Node> map_;
   std::list<std::string> lru_;  // front = most recently used
   Stats stats_;
+
+  // Registry handles (aggregated across all cache instances).
+  telemetry::Counter* m_hits_;
+  telemetry::Counter* m_stale_hits_;
+  telemetry::Counter* m_misses_;
+  telemetry::Counter* m_stores_;
+  telemetry::Counter* m_evictions_;
 };
 
 }  // namespace hpop::http

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
@@ -15,6 +16,14 @@ HomeWebService::HomeWebService(transport::TransportMux& mux,
       server_(mux, config.port),
       client_(mux),
       cache_(config.cache_bytes) {
+  auto& reg = telemetry::registry();
+  m_device_requests_ = reg.counter("iathome.device_requests");
+  m_local_hits_ = reg.counter("iathome.local_hits");
+  m_coop_hits_ = reg.counter("iathome.coop_hits");
+  m_upstream_fetches_ = reg.counter("iathome.upstream_fetches");
+  m_upstream_bytes_ = reg.counter("iathome.upstream_bytes");
+  m_prefetch_fetches_ = reg.counter("iathome.prefetch_fetches");
+  m_device_latency_ms_ = reg.summary("iathome.device_latency_ms");
   if (config_.demand_smoothing) {
     // Modest burst allowance; large transfers push the bucket into deficit
     // (see refresh()'s estimate-and-settle accounting) and later refreshes
@@ -84,13 +93,21 @@ void HomeWebService::fetch_upstream(
     }
   }
   ++stats_.upstream_fetches;
+  m_upstream_fetches_->inc();
   client_.fetch(upstream_for(url), std::move(req),
                 [this, cb](util::Result<http::Response> result) {
                   if (result.ok()) {
                     stats_.upstream_bytes += result.value().wire_size();
+                    m_upstream_bytes_->inc(result.value().wire_size());
                   }
                   cb(std::move(result));
                 });
+}
+
+void HomeWebService::note_device_latency(util::Duration elapsed) {
+  const double ms = util::to_millis(elapsed);
+  stats_.device_latency_ms.add(ms);
+  m_device_latency_ms_->observe(ms);
 }
 
 void HomeWebService::record_access(const std::string& url) {
@@ -106,13 +123,13 @@ void HomeWebService::handle_device_request(const http::Request& req,
                                            http::ResponseWriter& w,
                                            bool from_coop) {
   ++stats_.device_requests;
+  m_device_requests_->inc();
   const util::TimePoint start = mux_.simulator().now();
   const std::string url = req.path.substr(std::string(kPrefix).size());
   if (!from_coop) record_access(url);
 
   auto reply = [this, &w, start](http::Response resp) {
-    stats_.device_latency_ms.add(
-        util::to_millis(mux_.simulator().now() - start));
+    note_device_latency(mux_.simulator().now() - start);
     w.respond(std::move(resp));
   };
 
@@ -120,6 +137,7 @@ void HomeWebService::handle_device_request(const http::Request& req,
   const util::TimePoint now = mux_.simulator().now();
   if (const auto* entry = cache_.lookup_fresh(key, now)) {
     ++stats_.local_hits;
+    m_local_hits_->inc();
     reply(entry->response);
     return;
   }
@@ -145,7 +163,7 @@ void HomeWebService::handle_device_request(const http::Request& req,
             ++stats_.stale_served;
             resp = cache_.lookup(key)->response;
           }
-          stats_.device_latency_ms.add(util::to_millis(now - start));
+          note_device_latency(now - start);
           writer->respond(std::move(resp));
         },
         /*conditional=*/true);
@@ -169,13 +187,13 @@ void HomeWebService::handle_device_request(const http::Request& req,
                       const util::TimePoint now = mux_.simulator().now();
                       if (result.ok() && result.value().ok()) {
                         ++stats_.coop_hits;
+                        m_coop_hits_->inc();
                         cache_.store(key, result.value(), now);
                         resp = result.value();
                       } else {
                         resp.status = 504;
                       }
-                      stats_.device_latency_ms.add(
-                          util::to_millis(now - start));
+                      note_device_latency(now - start);
                       writer->respond(std::move(resp));
                     });
       return;
@@ -197,7 +215,7 @@ void HomeWebService::handle_device_request(const http::Request& req,
                    } else {
                      resp.status = 504;
                    }
-                   stats_.device_latency_ms.add(util::to_millis(now - start));
+                   note_device_latency(now - start);
                    writer->respond(std::move(resp));
                  },
                  /*conditional=*/false);
@@ -282,6 +300,8 @@ void HomeWebService::refresh(const std::string& url) {
   }
 
   ++stats_.prefetch_fetches;
+  m_prefetch_fetches_->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kPrefetchIssued);
   fetch_upstream(
       url,
       [this, key, url](util::Result<http::Response> result) {

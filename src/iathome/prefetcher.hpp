@@ -9,6 +9,7 @@
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "iathome/corpus.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/token_bucket.hpp"
 
@@ -109,8 +110,19 @@ class HomeWebService {
   std::map<int, std::string> credentials_;  // site -> credential
   std::unique_ptr<util::TokenBucket> smoother_;
   std::shared_ptr<CoopDirectory> coop_;
+  void note_device_latency(util::Duration elapsed);
+
   int self_index_ = -1;
   Stats stats_;
+
+  // Registry handles (aggregated across all home web services).
+  telemetry::Counter* m_device_requests_;
+  telemetry::Counter* m_local_hits_;
+  telemetry::Counter* m_coop_hits_;
+  telemetry::Counter* m_upstream_fetches_;
+  telemetry::Counter* m_upstream_bytes_;
+  telemetry::Counter* m_prefetch_fetches_;
+  telemetry::SummaryMetric* m_device_latency_ms_;
 };
 
 /// Neighbourhood cooperative-cache directory: which HPoP "owns" each URL

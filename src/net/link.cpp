@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "net/node.hpp"
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 
 namespace hpop::net {
@@ -12,6 +13,12 @@ Link::Link(sim::Simulator& sim, Interface& a, Interface& b, LinkParams params,
     : sim_(sim), a_(a), b_(b), params_(params), rng_(rng) {
   a_.link = this;
   b_.link = this;
+  auto& reg = telemetry::registry();
+  m_pkts_ = reg.counter("link.tx_pkts");
+  m_bytes_ = reg.counter("link.tx_bytes");
+  m_queue_drops_ = reg.counter("link.queue_drops");
+  m_loss_drops_ = reg.counter("link.loss_drops");
+  m_queued_bytes_ = reg.gauge("link.queued_bytes");
 }
 
 int Link::direction_of(const Interface& from) const {
@@ -33,9 +40,13 @@ void Link::transmit(const Interface& from, Packet pkt) {
   const std::size_t size = pkt.wire_size();
   if (dir.queued_bytes + size > params_.queue_bytes) {
     ++dir.stats.queue_drops;
+    m_queue_drops_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kPacketDrop,
+                             static_cast<double>(size), 0, "queue_full");
     return;
   }
   dir.queued_bytes += size;
+  m_queued_bytes_->add(static_cast<double>(size));
   dir.queue.push_back(std::move(pkt));
   if (!dir.busy) start_service(d);
 }
@@ -51,6 +62,7 @@ void Link::start_service(int d) {
   dir.queue.pop_front();
   const std::size_t size = pkt.wire_size();
   dir.queued_bytes -= size;
+  m_queued_bytes_->add(-static_cast<double>(size));
   const util::Duration tx = util::transmission_delay(size, params_.rate);
   dir.stats.busy_time += tx;
 
@@ -62,10 +74,15 @@ void Link::start_service(int d) {
   const bool lost = rng_.bernoulli(params_.loss);
   if (lost) {
     ++dir_[d].stats.loss_drops;
+    m_loss_drops_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kPacketDrop,
+                             static_cast<double>(size), 1, "channel_loss");
     return;
   }
   ++dir_[d].stats.pkts;
   dir_[d].stats.bytes += size;
+  m_pkts_->inc();
+  m_bytes_->inc(size);
   sim_.schedule(tx + params_.delay,
                 [&to, p = std::move(pkt)]() mutable {
                   to.node->deliver(std::move(p), to);

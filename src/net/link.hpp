@@ -5,6 +5,7 @@
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -69,6 +70,14 @@ class Link {
   LinkParams params_;
   util::Rng rng_;
   Direction dir_[2];
+
+  // Registry handles (aggregated across all links); resolved once here so
+  // the per-packet path is a pointer bump.
+  telemetry::Counter* m_pkts_;
+  telemetry::Counter* m_bytes_;
+  telemetry::Counter* m_queue_drops_;
+  telemetry::Counter* m_loss_drops_;
+  telemetry::Gauge* m_queued_bytes_;
 };
 
 }  // namespace hpop::net

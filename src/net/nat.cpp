@@ -1,5 +1,6 @@
 #include "net/nat.hpp"
 
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 
 namespace hpop::net {
@@ -7,7 +8,12 @@ namespace hpop::net {
 NatBox::NatBox(sim::Simulator& sim, std::string name, NatConfig config)
     : Node(sim, std::move(name)),
       config_(config),
-      next_port_(config.port_pool_start) {}
+      next_port_(config.port_pool_start) {
+  auto& reg = telemetry::registry();
+  m_translated_ = reg.counter("nat.translated");
+  m_rejected_ = reg.counter("nat.rejected");
+  m_table_size_ = reg.gauge("nat.table_size");
+}
 
 util::Duration NatBox::timeout_for(Proto proto) const {
   return proto == Proto::kUdp ? config_.udp_mapping_timeout
@@ -39,6 +45,7 @@ NatBox::Mapping* NatBox::outbound_mapping(Proto proto, Endpoint internal,
     ++counters_.expired;
     by_public_port_.erase({proto, it->second.public_port});
     by_key_.erase(it);
+    m_table_size_->set(static_cast<double>(by_key_.size()));
     it = by_key_.end();
   }
   if (it == by_key_.end()) {
@@ -53,6 +60,7 @@ NatBox::Mapping* NatBox::outbound_mapping(Proto proto, Endpoint internal,
     m.public_port = next_port_++;
     it = by_key_.emplace(key, std::move(m)).first;
     by_public_port_[{proto, it->second.public_port}] = key;
+    m_table_size_->set(static_cast<double>(by_key_.size()));
   }
   it->second.contacted.insert(remote);
   it->second.expires = now + timeout_for(proto);
@@ -69,6 +77,7 @@ NatBox::Mapping* NatBox::inbound_lookup(Proto proto,
     ++counters_.expired;
     by_public_port_.erase(port_it);
     by_key_.erase(it);
+    m_table_size_->set(static_cast<double>(by_key_.size()));
     return nullptr;
   }
   return &it->second;
@@ -120,6 +129,7 @@ void NatBox::translate_and_forward_out(Packet pkt) {
       pkt.src = public_ip();
       pkt.set_src_port(key.second);
       ++counters_.translated_out;
+      m_translated_->inc();
       forward_packet(std::move(pkt));
       return;
     }
@@ -129,6 +139,7 @@ void NatBox::translate_and_forward_out(Packet pkt) {
   pkt.src = public_ip();
   pkt.set_src_port(m->public_port);
   ++counters_.translated_out;
+  m_translated_->inc();
   forward_packet(std::move(pkt));
 }
 
@@ -136,6 +147,7 @@ void NatBox::translate_and_forward_in(Packet pkt, const Mapping& m) {
   pkt.dst = m.internal.ip;
   pkt.set_dst_port(m.internal.port);
   ++counters_.translated_in;
+  m_translated_->inc();
   forward_packet(std::move(pkt));
 }
 
@@ -156,6 +168,9 @@ void NatBox::handle_packet(Packet pkt, Interface& in) {
     // Hairpin: inside host addressing the NAT's public side.
     if (!config_.hairpinning) {
       ++counters_.filtered;
+      m_rejected_->inc();
+      telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 0,
+                               pkt.dst_port(), "hairpin_disabled");
       return;
     }
     ++counters_.hairpin;
@@ -171,6 +186,9 @@ void NatBox::handle_packet(Packet pkt, Interface& in) {
   if (pkt.dst != public_ip()) {
     // Transit traffic: a NAT is not a router for foreign destinations.
     ++counters_.unmatched;
+    m_rejected_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 1,
+                             pkt.dst_port(), "transit");
     return;
   }
   const auto fwd = static_forwards_.find({pkt.proto, pkt.dst_port()});
@@ -184,12 +202,18 @@ void NatBox::handle_packet(Packet pkt, Interface& in) {
   Mapping* m = inbound_lookup(pkt.proto, pkt.dst_port());
   if (m == nullptr) {
     ++counters_.unmatched;
+    m_rejected_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 1,
+                             pkt.dst_port(), "no_mapping");
     HPOP_LOG(kTrace, "nat") << name() << ": no mapping for inbound port "
                             << pkt.dst_port();
     return;
   }
   if (!filtering_allows(*m, pkt.src_endpoint())) {
     ++counters_.filtered;
+    m_rejected_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 0,
+                             pkt.dst_port(), "filtered");
     HPOP_LOG(kTrace, "nat") << name() << ": filtered inbound from "
                             << pkt.src_endpoint().to_string();
     return;

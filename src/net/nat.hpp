@@ -5,6 +5,7 @@
 #include <string>
 
 #include "net/node.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/result.hpp"
 #include "util/time.hpp"
 
@@ -126,6 +127,11 @@ class NatBox : public Node {
   std::map<std::pair<Proto, std::uint16_t>, Endpoint> static_forwards_;
   std::uint16_t next_port_;
   Counters counters_;
+
+  // Registry handles (aggregated across all NAT boxes).
+  telemetry::Counter* m_translated_;
+  telemetry::Counter* m_rejected_;
+  telemetry::Gauge* m_table_size_;
 };
 
 }  // namespace hpop::net

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/trace.hpp"
+
 namespace hpop::nocdn {
 
 void Ledger::note_grant(std::uint64_t key_id, std::uint64_t peer_id,
@@ -10,41 +12,53 @@ void Ledger::note_grant(std::uint64_t key_id, std::uint64_t peer_id,
   grants_[key_id] = Grant{peer_id, max_bytes, key, expires, 0};
 }
 
+Ledger::Verdict Ledger::reject(PeerAccount& account, std::uint64_t peer_id,
+                               Verdict verdict, const char* reason) {
+  ++account.records_rejected;
+  m_records_rejected_->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kUsageRecordRejected,
+                           static_cast<double>(peer_id),
+                           static_cast<double>(verdict), reason);
+  return verdict;
+}
+
 Ledger::Verdict Ledger::ingest(const UsageRecord& record,
                                util::TimePoint now) {
   PeerAccount& account = accounts_[record.peer_id];
   const auto it = grants_.find(record.key_id);
   if (it == grants_.end()) {
-    ++account.records_rejected;
-    return Verdict::kUnknownKey;
+    return reject(account, record.peer_id, Verdict::kUnknownKey,
+                  "unknown_key");
   }
   Grant& grant = it->second;
   if (grant.peer_id != record.peer_id) {
-    ++account.records_rejected;
-    return Verdict::kWrongPeer;
+    return reject(account, record.peer_id, Verdict::kWrongPeer, "wrong_peer");
   }
   if (now > grant.expires) {
-    ++account.records_rejected;
-    return Verdict::kExpiredKey;
+    return reject(account, record.peer_id, Verdict::kExpiredKey,
+                  "expired_key");
   }
   if (!record.verify(grant.key)) {
-    ++account.records_rejected;
-    return Verdict::kBadSignature;
+    return reject(account, record.peer_id, Verdict::kBadSignature,
+                  "bad_signature");
   }
   if (!seen_nonces_.insert({record.key_id, record.nonce}).second) {
-    ++account.records_rejected;
     ++account.replays;
-    return Verdict::kReplayed;
+    return reject(account, record.peer_id, Verdict::kReplayed, "replayed");
   }
   if (grant.claimed + record.bytes_served > grant.max_bytes) {
-    ++account.records_rejected;
     ++account.inflations;
-    return Verdict::kInflated;
+    return reject(account, record.peer_id, Verdict::kInflated, "inflated");
   }
   grant.claimed += record.bytes_served;
   account.bytes_credited += record.bytes_served;
   ++account.records_accepted;
   account.distinct_keys.insert(record.key_id);
+  m_records_accepted_->inc();
+  m_bytes_credited_->inc(record.bytes_served);
+  telemetry::tracer().emit(telemetry::TraceEvent::kUsageRecordVerified,
+                           static_cast<double>(record.peer_id),
+                           static_cast<double>(record.bytes_served));
   return Verdict::kAccepted;
 }
 

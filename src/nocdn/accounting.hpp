@@ -5,6 +5,7 @@
 #include <string>
 
 #include "nocdn/object.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace hpop::nocdn {
@@ -22,7 +23,12 @@ class Ledger {
   explicit Ledger(PaymentModel model = PaymentModel::kPerByte,
                   double per_byte_rate = 1e-9,
                   double cap_per_peer = 1.0)
-      : model_(model), rate_(per_byte_rate), cap_(cap_per_peer) {}
+      : model_(model), rate_(per_byte_rate), cap_(cap_per_peer) {
+    auto& reg = telemetry::registry();
+    m_records_accepted_ = reg.counter("nocdn.ledger.records_accepted");
+    m_records_rejected_ = reg.counter("nocdn.ledger.records_rejected");
+    m_bytes_credited_ = reg.counter("nocdn.ledger.bytes_credited");
+  }
 
   /// Origin-side record of a minted key grant: who it was for and the
   /// maximum bytes that assignment could legitimately serve.
@@ -71,12 +77,20 @@ class Ledger {
     std::uint64_t claimed = 0;
   };
 
+  Verdict reject(PeerAccount& account, std::uint64_t peer_id, Verdict verdict,
+                 const char* reason);
+
   PaymentModel model_;
   double rate_;
   double cap_;
   std::map<std::uint64_t, Grant> grants_;
   std::set<std::pair<std::uint64_t, std::uint64_t>> seen_nonces_;
   std::map<std::uint64_t, PeerAccount> accounts_;
+
+  // Registry handles (aggregated across all ledgers).
+  telemetry::Counter* m_records_accepted_;
+  telemetry::Counter* m_records_rejected_;
+  telemetry::Counter* m_bytes_credited_;
 };
 
 }  // namespace hpop::nocdn

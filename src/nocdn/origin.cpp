@@ -13,6 +13,7 @@ OriginServer::OriginServer(transport::TransportMux& mux, OriginConfig config,
       server_(mux, config_.port),
       selector_(make_selector(config_.selector)),
       ledger_(config_.payment) {
+  m_bytes_served_ = telemetry::registry().counter("nocdn.origin.bytes_served");
   install_routes();
 }
 
@@ -155,6 +156,7 @@ void OriginServer::install_routes() {
                   http::Response resp =
                       make_wrapper(req.path.substr(5), w.peer());
                   stats_.bytes_served += resp.wire_size();
+                  m_bytes_served_->inc(resp.wire_size());
                   w.respond(std::move(resp));
                 });
 
@@ -165,6 +167,7 @@ void OriginServer::install_routes() {
                                                     0x10adull);
                   resp.headers.set("Cache-Control", "max-age=86400");
                   stats_.bytes_served += resp.wire_size();
+                  m_bytes_served_->inc(resp.wire_size());
                   w.respond(std::move(resp));
                 });
 
@@ -194,6 +197,7 @@ void OriginServer::install_routes() {
                     resp.body = it->second.body;
                   }
                   stats_.bytes_served += resp.wire_size();
+                  m_bytes_served_->inc(resp.wire_size());
                   w.respond(std::move(resp));
                 });
 

@@ -84,6 +84,9 @@ class OriginServer {
   std::uint64_t next_key_id_ = 1;
   std::uint64_t next_nonce_base_ = 1;
   Stats stats_;
+
+  // Registry handle (aggregated across all origins).
+  telemetry::Counter* m_bytes_served_;
 };
 
 }  // namespace hpop::nocdn

@@ -15,7 +15,12 @@ PeerProxy::PeerProxy(transport::TransportMux& mux, std::uint16_t port,
       behavior_(behavior),
       server_(mux, port),
       client_(mux),
-      cache_(256ull << 20) {}
+      cache_(256ull << 20) {
+  auto& reg = telemetry::registry();
+  m_requests_ = reg.counter("nocdn.peer.requests");
+  m_bytes_served_ = reg.counter("nocdn.peer.bytes_served");
+  m_records_received_ = reg.counter("nocdn.peer.records_received");
+}
 
 net::Endpoint PeerProxy::endpoint() const {
   return {mux_.host().address(), port_};
@@ -42,6 +47,7 @@ void PeerProxy::install_routes(const std::string& provider) {
           const auto record = parse_usage_line(req.body.text());
           if (record.ok()) {
             ++stats_.records_received;
+            m_records_received_->inc();
             pending_usage_[provider].push_back(record.value());
           }
         }
@@ -66,6 +72,7 @@ void PeerProxy::respond_from(const ProviderSignup& signup,
     }
   }
   stats_.bytes_served += resp.wire_size();
+  m_bytes_served_->inc(resp.wire_size());
   if (behavior_.extra_delay > 0) {
     auto writer = std::make_shared<http::ResponseWriter>(w);
     mux_.simulator().schedule(
@@ -81,6 +88,7 @@ void PeerProxy::respond_from(const ProviderSignup& signup,
 void PeerProxy::serve(const ProviderSignup& signup, const http::Request& req,
                       http::ResponseWriter w) {
   ++stats_.requests;
+  m_requests_->inc();
   if (behavior_.drop_rate > 0.0 && rng_.bernoulli(behavior_.drop_rate)) {
     ++stats_.dropped;
     http::Response resp;

@@ -8,6 +8,7 @@
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "nocdn/object.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hpop::nocdn {
@@ -79,6 +80,11 @@ class PeerProxy {
   std::map<std::string, std::vector<UsageRecord>> pending_usage_;
   std::optional<sim::TimerId> upload_timer_;
   Stats stats_;
+
+  // Registry handles (aggregated across all peers).
+  telemetry::Counter* m_requests_;
+  telemetry::Counter* m_bytes_served_;
+  telemetry::Counter* m_records_received_;
 };
 
 }  // namespace hpop::nocdn

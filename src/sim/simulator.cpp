@@ -2,13 +2,20 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace hpop::sim {
 
-Simulator::Simulator() { util::set_log_clock(&now_); }
+Simulator::Simulator() {
+  util::set_log_clock(&now_);
+  telemetry::tracer().set_clock(&now_);
+}
 
-Simulator::~Simulator() { util::set_log_clock(nullptr); }
+Simulator::~Simulator() {
+  util::set_log_clock(nullptr);
+  telemetry::tracer().set_clock(nullptr);
+}
 
 TimerId Simulator::schedule(Duration delay, std::function<void()> fn) {
   assert(delay >= 0);
@@ -19,10 +26,16 @@ TimerId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
   assert(when >= now_);
   const TimerId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
   return id;
 }
 
-void Simulator::cancel(TimerId id) { cancelled_.insert(id); }
+void Simulator::cancel(TimerId id) {
+  // Only a still-pending timer moves to the cancelled set; a stale cancel
+  // (already fired, already cancelled, or never scheduled) must not leave
+  // a tombstone behind — long runs cancel millions of timers.
+  if (pending_.erase(id) > 0) cancelled_.insert(id);
+}
 
 bool Simulator::pop_and_run(TimePoint deadline) {
   while (!queue_.empty()) {
@@ -33,6 +46,7 @@ bool Simulator::pop_and_run(TimePoint deadline) {
     Event ev = queue_.top();
     queue_.pop();
     if (cancelled_.erase(ev.id) > 0) continue;
+    pending_.erase(ev.id);
     now_ = ev.when;
     ++executed_;
     ev.fn();
@@ -55,10 +69,6 @@ void Simulator::run_until(TimePoint deadline) {
   if (deadline > now_) now_ = deadline;
 }
 
-bool Simulator::empty() const {
-  // Cancelled events may still sit in the queue; treat a queue of only
-  // cancelled events as logically empty.
-  return queue_.size() <= cancelled_.size();
-}
+bool Simulator::empty() const { return pending_.empty(); }
 
 }  // namespace hpop::sim

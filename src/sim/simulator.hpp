@@ -72,6 +72,10 @@ class Simulator {
   TimerId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Ids of queued, not-yet-fired, not-cancelled events. cancel() moves an
+  /// id from here to cancelled_; a cancel for an id not in pending_ (already
+  /// fired or cancelled) is a true no-op, so neither set grows unboundedly.
+  std::unordered_set<TimerId> pending_;
   std::unordered_set<TimerId> cancelled_;
 };
 

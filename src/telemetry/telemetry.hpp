@@ -1,0 +1,9 @@
+#pragma once
+
+// Umbrella header for the telemetry subsystem: a process-wide
+// MetricsRegistry of labeled counters/gauges/histograms/summaries with
+// handle-based hot-path access, plus a category-gated flight-recorder
+// Tracer stamped with simulated time. See DESIGN.md §7.
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"

@@ -1,0 +1,111 @@
+#include "telemetry/trace.hpp"
+
+#include <sstream>
+
+namespace hpop::telemetry {
+
+Tracer g_tracer;
+
+const char* trace_event_name(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kPacketDrop:
+      return "packet_drop";
+    case TraceEvent::kTcpRetransmit:
+      return "tcp_retransmit";
+    case TraceEvent::kTcpTimeout:
+      return "tcp_timeout";
+    case TraceEvent::kTcpCwndChange:
+      return "tcp_cwnd_change";
+    case TraceEvent::kMptcpSubflowSwitch:
+      return "mptcp_subflow_switch";
+    case TraceEvent::kCacheHit:
+      return "cache_hit";
+    case TraceEvent::kCacheMiss:
+      return "cache_miss";
+    case TraceEvent::kCacheEviction:
+      return "cache_eviction";
+    case TraceEvent::kNatMappingRejected:
+      return "nat_mapping_rejected";
+    case TraceEvent::kAtticGrantIssued:
+      return "attic_grant_issued";
+    case TraceEvent::kAtticGrantDenied:
+      return "attic_grant_denied";
+    case TraceEvent::kAtticErasureRepair:
+      return "attic_erasure_repair";
+    case TraceEvent::kDetourChosen:
+      return "detour_chosen";
+    case TraceEvent::kDetourWithdrawn:
+      return "detour_withdrawn";
+    case TraceEvent::kUsageRecordVerified:
+      return "usage_record_verified";
+    case TraceEvent::kUsageRecordRejected:
+      return "usage_record_rejected";
+    case TraceEvent::kPrefetchIssued:
+      return "prefetch_issued";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) { ring_.resize(capacity ? capacity : 1); }
+
+void Tracer::set_capacity(std::size_t capacity) {
+  ring_.assign(capacity ? capacity : 1, TraceRecord{});
+  next_ = 0;
+  emitted_ = 0;
+}
+
+void Tracer::record(TraceEvent event, double a, double b, const char* detail) {
+  TraceRecord& slot = ring_[next_];
+  slot.at = clock_ != nullptr ? *clock_ : 0;
+  slot.event = event;
+  slot.a = a;
+  slot.b = b;
+  slot.detail = detail;
+  next_ = (next_ + 1) % ring_.size();
+  ++emitted_;
+}
+
+std::size_t Tracer::held() const {
+  return emitted_ < ring_.size() ? static_cast<std::size_t>(emitted_)
+                                 : ring_.size();
+}
+
+std::vector<TraceRecord> Tracer::records() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = held();
+  out.reserve(n);
+  // Oldest record sits at next_ once the ring has wrapped, at 0 before.
+  const std::size_t start = emitted_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> Tracer::records(TraceEvent event) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records()) {
+    if (r.event == event) out.push_back(r);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  next_ = 0;
+  emitted_ = 0;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records()) {
+    os << "{\"t\":" << r.at << ",\"event\":\"" << trace_event_name(r.event)
+       << "\",\"a\":" << r.a << ",\"b\":" << r.b;
+    if (r.detail != nullptr && r.detail[0] != '\0') {
+      os << ",\"detail\":\"" << r.detail << "\"";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace hpop::telemetry

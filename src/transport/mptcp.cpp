@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/trace.hpp"
 #include "transport/mux.hpp"
 #include "util/logging.hpp"
 
@@ -10,7 +11,11 @@ namespace hpop::transport {
 
 MptcpConnection::MptcpConnection(TransportMux& mux, std::uint64_t token,
                                  MptcpOptions opts, bool server_role)
-    : mux_(mux), token_(token), opts_(opts), server_role_(server_role) {}
+    : mux_(mux), token_(token), opts_(opts), server_role_(server_role) {
+  auto& reg = telemetry::registry();
+  m_sched_bytes_ = reg.counter("mptcp.sched_bytes");
+  m_subflow_switches_ = reg.counter("mptcp.subflow_switches");
+}
 
 MptcpConnection::~MptcpConnection() = default;
 
@@ -199,6 +204,14 @@ void MptcpConnection::pump() {
   while (!reinject_.empty() || data_next_ < data_end_) {
     const int idx = pick_subflow();
     if (idx < 0) return;
+    if (idx != last_subflow_) {
+      if (last_subflow_ >= 0) {
+        m_subflow_switches_->inc();
+        telemetry::tracer().emit(telemetry::TraceEvent::kMptcpSubflowSwitch,
+                                 last_subflow_, idx);
+      }
+      last_subflow_ = idx;
+    }
     SubflowInfo& sf = subflows_[static_cast<std::size_t>(idx)];
 
     std::uint64_t off = 0;
@@ -223,6 +236,7 @@ void MptcpConnection::pump() {
         std::make_shared<ChunkPayload>(off, len, refs_in_range(off, len));
     outstanding_.push_back(OutChunk{off, len, sf.conn.get(), false});
     sf.bytes_scheduled += len;
+    m_sched_bytes_->inc(len);
     sf.conn->send(std::move(chunk));
   }
   maybe_finish_close();

@@ -124,6 +124,7 @@ class MptcpConnection : public std::enable_shared_from_this<MptcpConnection> {
 
   std::vector<SubflowInfo> subflows_;
   std::size_t rr_next_ = 0;  // round-robin cursor
+  int last_subflow_ = -1;    // scheduler's previous pick (switch detection)
 
   // Data-level sender state.
   std::uint64_t data_end_ = 0;       // bytes queued by the app
@@ -146,6 +147,10 @@ class MptcpConnection : public std::enable_shared_from_this<MptcpConnection> {
   MessageHandler on_message_;
   BytesHandler on_bytes_;
   PlainHandler on_closed_;
+
+  // Registry handles (aggregated across all MPTCP connections).
+  telemetry::Counter* m_sched_bytes_;
+  telemetry::Counter* m_subflow_switches_;
 
   friend class TransportMux;
 };

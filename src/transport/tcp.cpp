@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/trace.hpp"
 #include "transport/mux.hpp"
 #include "util/logging.hpp"
 
@@ -25,6 +26,11 @@ TcpConnection::TcpConnection(TransportMux& mux, net::Endpoint local,
   cwnd_ = static_cast<double>(opts_.initial_window_segments) *
           static_cast<double>(opts_.mss);
   ssthresh_ = 1e18;  // effectively infinite until the first loss
+  auto& reg = telemetry::registry();
+  reg.counter("tcp.connections")->inc();
+  m_retransmits_ = reg.counter("tcp.retransmits");
+  m_timeouts_ = reg.counter("tcp.timeouts");
+  m_rtt_ms_ = reg.summary("tcp.rtt_ms");
 }
 
 net::Packet TcpConnection::base_packet() const {
@@ -144,6 +150,10 @@ void TcpConnection::emit_segment(std::uint64_t seq, std::uint64_t len,
   pkt.messages = refs_in_range(seq, len);
   if (retransmit) {
     ++retransmits_;
+    m_retransmits_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kTcpRetransmit,
+                             static_cast<double>(seq),
+                             static_cast<double>(len));
     // Karn's algorithm: never time a retransmitted sequence range.
     if (timed_seq_ && *timed_seq_ > seq && *timed_seq_ <= seq + len) {
       timed_seq_.reset();
@@ -236,6 +246,8 @@ void TcpConnection::enter_recovery() {
   const double flight = static_cast<double>(snd_nxt_ - snd_una_);
   ssthresh_ = std::max(flight / 2, 2.0 * static_cast<double>(opts_.mss));
   cwnd_ = ssthresh_;
+  telemetry::tracer().emit(telemetry::TraceEvent::kTcpCwndChange, cwnd_,
+                           ssthresh_, "fast_recovery");
   in_fast_recovery_ = true;
   recover_ = snd_nxt_;
   rexmit_scan_ = snd_una_;
@@ -350,6 +362,7 @@ void TcpConnection::update_rtt(util::Duration sample) {
   }
   rto_ = srtt_ + std::max<util::Duration>(4 * rttvar_, util::kMillisecond);
   rto_ = std::clamp(rto_, opts_.min_rto, opts_.max_rto);
+  m_rtt_ms_->observe(static_cast<double>(sample) / util::kMillisecond);
 }
 
 void TcpConnection::arm_rto() {
@@ -376,6 +389,10 @@ void TcpConnection::disarm_rto() {
 
 void TcpConnection::on_rto() {
   ++timeouts_;
+  m_timeouts_->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kTcpTimeout,
+                           static_cast<double>(snd_una_),
+                           static_cast<double>(rto_backoff_));
   if (rto_backoff_ > 10) {
     fail("too many timeouts");
     return;
@@ -399,6 +416,8 @@ void TcpConnection::on_rto() {
   ssthresh_ = std::max(static_cast<double>(snd_nxt_ - snd_una_) / 2,
                        2.0 * static_cast<double>(opts_.mss));
   cwnd_ = static_cast<double>(opts_.mss);
+  telemetry::tracer().emit(telemetry::TraceEvent::kTcpCwndChange, cwnd_,
+                           ssthresh_, "rto_collapse");
   in_fast_recovery_ = false;
   dupacks_ = 0;
   timed_seq_.reset();
@@ -456,6 +475,8 @@ void TcpConnection::process_ack(const net::Packet& pkt) {
         in_fast_recovery_ = false;
         dupacks_ = 0;
         cwnd_ = ssthresh_;
+        telemetry::tracer().emit(telemetry::TraceEvent::kTcpCwndChange, cwnd_,
+                                 ssthresh_, "recovery_exit");
       } else {
         // Partial ack: the byte at `ack` is a further hole. Retransmit it
         // even if the scan cursor already passed (that copy was lost too).

@@ -9,6 +9,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/time.hpp"
 
 namespace hpop::transport {
@@ -212,6 +213,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   PlainHandler on_remote_close_;
   PlainHandler on_send_space_;
   MessageHandler on_payload_acked_;
+
+  // Registry handles (aggregated across all connections).
+  telemetry::Counter* m_retransmits_;
+  telemetry::Counter* m_timeouts_;
+  telemetry::SummaryMetric* m_rtt_ms_;
 
   friend class TransportMux;
 };

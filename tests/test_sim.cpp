@@ -68,6 +68,42 @@ TEST(Simulator, CancelFromWithinHandler) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(Simulator, StaleCancelDoesNotLeakIntoCancelledSet) {
+  // A timer id cancelled after its event already ran must not poison a
+  // later schedule: the cancelled-set only accepts ids still pending.
+  Simulator sim;
+  int fired = 0;
+  const TimerId stale = sim.schedule(kMillisecond, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.cancel(stale);  // already ran: must be a no-op
+  sim.schedule(kMillisecond, [&] { ++fired; });
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DoubleCancelIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId id = sim.schedule(kMillisecond, [&] { ++fired; });
+  sim.cancel(id);
+  sim.cancel(id);
+  sim.schedule(2 * kMillisecond, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelledEventsDoNotKeepSimNonEmpty) {
+  Simulator sim;
+  const TimerId id = sim.schedule(kMillisecond, [] {});
+  sim.cancel(id);
+  // The heap still holds the tombstoned entry, but no live work remains.
+  EXPECT_TRUE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int fired = 0;

@@ -309,6 +309,46 @@ TEST(Summary, FractionAbove) {
   EXPECT_NEAR(s.fraction_above(1000), 0.0, 1e-9);
 }
 
+TEST(Summary, EmptyQueriesReturnZero) {
+  const Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(-1e9), 0.0);
+}
+
+TEST(Summary, SingleSampleIsEveryPercentile) {
+  Summary s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(Summary, PercentileEndpointsHitMinAndMax) {
+  Summary s;
+  for (int i = 10; i >= 1; --i) s.add(i);  // unsorted insert order
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
+}
+
+TEST(Summary, FractionAboveIsStrict) {
+  Summary s;
+  s.add(1);
+  s.add(2);
+  s.add(2);
+  s.add(3);
+  // Samples equal to the threshold do not count as "above".
+  EXPECT_DOUBLE_EQ(s.fraction_above(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.fraction_above(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.5), 1.0);
+}
+
 TEST(Summary, AddAfterQuery) {
   Summary s;
   s.add(1);
@@ -327,6 +367,25 @@ TEST(Histogram, BinningAndClamping) {
   EXPECT_EQ(h.bin_count(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+}
+
+TEST(Histogram, ClampsToEdgeBins) {
+  Histogram h(10, 20, 5);
+  h.add(9.999);   // below range: first bin
+  h.add(-1e6);    // far below: still first bin
+  h.add(20.0);    // exactly hi (range is [lo, hi)): last bin
+  h.add(1e6);     // far above: last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdgesPartitionRange) {
+  Histogram h(0, 10, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 7.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 10.0);
 }
 
 TEST(Table, RendersAligned) {
