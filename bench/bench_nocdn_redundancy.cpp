@@ -56,6 +56,9 @@ struct World {
     OriginConfig config;
     config.provider = "site";
     config.chunks_per_object = chunks;
+    // No alternate peers in the wrapper: this experiment isolates chunking
+    // as the redundancy mechanism (alternate-peer failover is E13's).
+    config.alternates_per_object = 0;
     origin = std::make_unique<OriginServer>(*origin_mux, config,
                                             util::Rng(99));
     PageSpec page;

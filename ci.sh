@@ -8,6 +8,15 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure
 
+# Fixed-seed determinism gate: the chaos suite's same-seed scenario must be
+# byte-identical in-process, and a full seeded chaos run must print the same
+# report across two separate processes.
+./build/tests/test_chaos \
+  --gtest_filter='ChaosScenario.SameSeedChaosRunsAreByteIdentical'
+./build/bench/bench_chaos_recovery > /tmp/chaos_run_a.txt
+./build/bench/bench_chaos_recovery > /tmp/chaos_run_b.txt
+diff /tmp/chaos_run_a.txt /tmp/chaos_run_b.txt
+
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
 cmake --build build-asan -j
 # detect_leaks=0: the transport layer keeps connections alive through

@@ -308,4 +308,197 @@ void BackupManager::restore(const std::string& file_key, RestoreCallback cb) {
   }
 }
 
+namespace {
+bool transport_failure(const util::Error& error) {
+  return error.code == "timeout" || error.code == "connection_failed";
+}
+}  // namespace
+
+void BackupManager::probe_peers(ProbeCallback cb) {
+  const std::size_t n = peers_.size();
+  if (n == 0) {
+    cb({});
+    return;
+  }
+  auto alive = std::make_shared<std::vector<bool>>(n, false);
+  auto outstanding = std::make_shared<std::size_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    peers_[i].client->list(
+        "/backup/" + owner_,
+        [i, alive, outstanding,
+         cb](util::Result<std::vector<std::string>> r) {
+          (*alive)[i] = r.ok() || !transport_failure(r.error());
+          if (--*outstanding == 0) cb(std::move(*alive));
+        });
+  }
+}
+
+void BackupManager::check_and_repair(const std::string& file_key,
+                                     RepairCallback cb) {
+  const auto it = manifest_.find(file_key);
+  if (it == manifest_.end()) {
+    cb(util::Result<RepairReport>::failure("not_found", "no manifest entry"));
+    return;
+  }
+  const int total = it->second.k + it->second.m;
+  const bool synthetic = it->second.synthetic;
+
+  struct Audit {
+    std::vector<std::optional<util::Bytes>> shards;
+    std::vector<bool> present;
+    /// By shard index: the holding peer answered at all (a lost shard on a
+    /// live peer is repaired in place; a dead peer forces relocation).
+    std::vector<bool> holder_answered;
+    int outstanding = 0;
+  };
+  auto audit = std::make_shared<Audit>();
+  audit->shards.resize(static_cast<std::size_t>(total));
+  audit->present.assign(static_cast<std::size_t>(total), false);
+  audit->holder_answered.assign(static_cast<std::size_t>(total), false);
+  audit->outstanding = total;
+
+  auto finish = [this, file_key, audit, cb] {
+    ManifestEntry& entry = manifest_[file_key];
+    const int total = entry.k + entry.m;
+    RepairReport report;
+    report.shards_checked = total;
+    std::vector<int> missing;
+    for (int i = 0; i < total; ++i) {
+      if (!audit->present[static_cast<std::size_t>(i)]) missing.push_back(i);
+    }
+    report.shards_missing = static_cast<int>(missing.size());
+    if (missing.empty()) {
+      cb(report);
+      return;
+    }
+    if (total - report.shards_missing < entry.k) {
+      cb(util::Result<RepairReport>::failure(
+          "insufficient_shards",
+          "only " + std::to_string(total - report.shards_missing) + " of " +
+              std::to_string(entry.k) + " shards reachable"));
+      return;
+    }
+
+    // Rebuild the missing shard bodies from the survivors.
+    std::vector<http::Body> bodies(static_cast<std::size_t>(total));
+    if (entry.synthetic) {
+      const std::size_t shard_size =
+          entry.strategy == Strategy::kReplication
+              ? entry.original_size
+              : (entry.original_size + static_cast<std::size_t>(entry.k) - 1) /
+                    static_cast<std::size_t>(entry.k);
+      for (const int i : missing) {
+        bodies[static_cast<std::size_t>(i)] = http::Body::synthetic(
+            shard_size, entry.synthetic_tag ^ (0xABCDull * (i + 1)));
+      }
+    } else if (entry.strategy == Strategy::kReplication) {
+      for (int i = 0; i < total; ++i) {
+        if (!audit->present[static_cast<std::size_t>(i)]) continue;
+        for (const int j : missing) {
+          bodies[static_cast<std::size_t>(j)] =
+              http::Body(*audit->shards[static_cast<std::size_t>(i)]);
+        }
+        break;
+      }
+    } else {
+      std::size_t shard_len = 0;
+      for (const auto& s : audit->shards) {
+        if (s) shard_len = s->size();
+      }
+      const util::ReedSolomon rs(entry.k, entry.m);
+      const auto decoded = rs.decode(
+          audit->shards, shard_len * static_cast<std::size_t>(entry.k));
+      if (!decoded.ok()) {
+        cb(util::Result<RepairReport>(decoded.error()));
+        return;
+      }
+      auto reencoded = rs.encode(decoded.value());
+      for (const int i : missing) {
+        bodies[static_cast<std::size_t>(i)] =
+            http::Body(std::move(reencoded[static_cast<std::size_t>(i)]));
+      }
+    }
+
+    // Pick a target for each missing shard: the original holder when it is
+    // merely missing the object, otherwise the least-loaded peer that is
+    // not known-dead. (Peers holding nothing of this file were not probed
+    // here; the put itself is the liveness test for those.)
+    std::vector<bool> peer_down(peers_.size(), false);
+    std::vector<int> load(peers_.size(), 0);
+    for (int i = 0; i < total; ++i) {
+      const auto p =
+          static_cast<std::size_t>(entry.placement[static_cast<std::size_t>(i)]);
+      if (!audit->holder_answered[static_cast<std::size_t>(i)]) {
+        peer_down[p] = true;
+      }
+      if (audit->present[static_cast<std::size_t>(i)]) ++load[p];
+    }
+    for (const int i : missing) {
+      auto target = static_cast<std::size_t>(
+          entry.placement[static_cast<std::size_t>(i)]);
+      if (peer_down[target]) {
+        int best = -1;
+        for (std::size_t p = 0; p < peers_.size(); ++p) {
+          if (peer_down[p]) continue;
+          if (best < 0 || load[p] < load[static_cast<std::size_t>(best)]) {
+            best = static_cast<int>(p);
+          }
+        }
+        if (best >= 0) {
+          target = static_cast<std::size_t>(best);
+          entry.placement[static_cast<std::size_t>(i)] = best;
+          ++report.placements_moved;
+        }
+      }
+      ++load[target];
+    }
+
+    auto remaining = std::make_shared<int>(static_cast<int>(missing.size()));
+    auto rep = std::make_shared<RepairReport>(report);
+    for (const int i : missing) {
+      const auto target = static_cast<std::size_t>(
+          entry.placement[static_cast<std::size_t>(i)]);
+      peers_[target].client->put(
+          shard_path(file_key, i), bodies[static_cast<std::size_t>(i)],
+          [this, remaining, rep, cb](util::Result<std::string> etag) {
+            if (etag.ok()) {
+              ++rep->shards_repaired;
+              ++stats_.shards_repaired;
+              m_shards_repaired_->inc();
+            }
+            if (--*remaining == 0) {
+              m_erasure_repairs_->inc();
+              telemetry::tracer().emit(
+                  telemetry::TraceEvent::kAtticErasureRepair,
+                  rep->shards_repaired, rep->shards_missing, "proactive");
+              cb(*rep);
+            }
+          });
+    }
+  };
+
+  for (int i = 0; i < total; ++i) {
+    const auto peer_index = static_cast<std::size_t>(
+        it->second.placement[static_cast<std::size_t>(i)]);
+    peers_[peer_index].client->get(
+        shard_path(file_key, i),
+        [i, synthetic, audit, finish](util::Result<AtticClient::File> file) {
+          const auto idx = static_cast<std::size_t>(i);
+          if (file.ok()) {
+            audit->holder_answered[idx] = true;
+            if (synthetic) {
+              audit->shards[idx] = util::Bytes{};
+              audit->present[idx] = true;
+            } else if (file.value().content.is_real()) {
+              audit->shards[idx] = file.value().content.bytes();
+              audit->present[idx] = true;
+            }
+          } else {
+            audit->holder_answered[idx] = !transport_failure(file.error());
+          }
+          if (--audit->outstanding == 0) finish();
+        });
+  }
+}
+
 }  // namespace hpop::attic

@@ -46,6 +46,7 @@ class BackupManager {
     m_restores_ok_ = reg.counter("attic.backup.restores_ok");
     m_restores_failed_ = reg.counter("attic.backup.restores_failed");
     m_erasure_repairs_ = reg.counter("attic.backup.erasure_repairs");
+    m_shards_repaired_ = reg.counter("attic.backup.shards_repaired");
   }
 
   /// Registers a peer attic (friend/relative HPoP) with a capability
@@ -61,6 +62,27 @@ class BackupManager {
 
   using RestoreCallback = std::function<void(util::Result<http::Body>)>;
   void restore(const std::string& file_key, RestoreCallback cb);
+
+  /// Probes every registered peer attic (a cheap LIST of our backup
+  /// directory); alive[i] is true when peer i answered at all — an error
+  /// status still proves liveness, only transport failures do not.
+  using ProbeCallback = std::function<void(std::vector<bool> alive)>;
+  void probe_peers(ProbeCallback cb);
+
+  struct RepairReport {
+    int shards_checked = 0;
+    int shards_missing = 0;   // unreachable or lost at audit time
+    int shards_repaired = 0;  // re-encoded and rewritten onto live peers
+    int placements_moved = 0; // shards relocated off a dead peer
+  };
+  using RepairCallback = std::function<void(util::Result<RepairReport>)>;
+  /// Proactive repair (the flip side of restore-time reconstruction):
+  /// audits every shard of `file_key`, and if some are missing but at
+  /// least k survive, re-encodes the lost shards and writes them to live
+  /// peers — moving placement off dead peers. The manifest is updated so
+  /// later restores read the repaired locations. Fails with
+  /// "insufficient_shards" when fewer than k shards remain.
+  void check_and_repair(const std::string& file_key, RepairCallback cb);
 
   struct ManifestEntry {
     Strategy strategy = Strategy::kErasure;
@@ -83,6 +105,7 @@ class BackupManager {
     std::uint64_t shard_write_failures = 0;
     std::uint64_t restores_ok = 0;
     std::uint64_t restores_failed = 0;
+    std::uint64_t shards_repaired = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -108,6 +131,7 @@ class BackupManager {
   telemetry::Counter* m_restores_ok_;
   telemetry::Counter* m_restores_failed_;
   telemetry::Counter* m_erasure_repairs_;
+  telemetry::Counter* m_shards_repaired_;
 };
 
 }  // namespace hpop::attic

@@ -31,19 +31,65 @@ void HealthProviderSystem::add_record(HealthRecord record, WriteCallback cb) {
     return;
   }
   // The storage driver's duplicated write (§IV-A1): local copy kept for
-  // regulatory requirements, attic copy pushed to the patient.
-  const std::string path =
-      it->second.grant.directory + "/" + record.record_id;
+  // regulatory requirements, attic copy pushed to the patient. The write
+  // enters the pending queue first and is acked only once it lands, so a
+  // patient-HPoP crash delays durability but never silently drops it.
+  PendingWrite pw;
+  pw.patient = record.patient;
+  pw.path = it->second.grant.directory + "/" + record.record_id;
+  pw.content = record.content;
+  pw.started = sim_.now();
+  pw.cb = std::move(cb);
+  const std::uint64_t id = next_pending_id_++;
+  pending_.emplace(id, std::move(pw));
+  attempt_write(id);
+}
+
+void HealthProviderSystem::attempt_write(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.in_flight) return;
+  const auto link = linked_.find(it->second.patient);
+  if (link == linked_.end()) return;  // unlinked while pending: park
+  it->second.in_flight = true;
+  ++it->second.attempt;
   ++attic_writes_;
-  it->second.attic->put(path, record.content,
-                        [this, cb](util::Result<std::string> etag) {
-                          if (!etag.ok()) {
-                            ++attic_write_failures_;
-                            if (cb) cb(util::Status(etag.error()));
-                            return;
-                          }
-                          if (cb) cb(util::Status::success());
-                        });
+  const std::weak_ptr<int> alive = alive_;
+  link->second.attic->put(
+      it->second.path, it->second.content,
+      [this, alive, id](util::Result<std::string> etag) {
+        if (alive.expired()) return;
+        const auto it = pending_.find(id);
+        if (it == pending_.end()) return;
+        it->second.in_flight = false;
+        if (etag.ok()) {
+          auto cb = std::move(it->second.cb);
+          pending_.erase(it);
+          if (cb) cb(util::Status::success());
+          return;
+        }
+        ++attic_write_failures_;
+        if (retry_policy.may_retry(it->second.attempt, it->second.started,
+                                   sim_.now())) {
+          const util::Duration delay =
+              retry_policy.backoff(it->second.attempt, rng_);
+          sim_.schedule(delay, [this, alive, id] {
+            if (!alive.expired()) attempt_write(id);
+          });
+        }
+        // Budget exhausted: the write parks in the queue until
+        // flush_pending() grants it a fresh budget.
+      });
+}
+
+void HealthProviderSystem::flush_pending() {
+  std::vector<std::uint64_t> parked;
+  for (auto& [id, pw] : pending_) {
+    if (pw.in_flight) continue;
+    pw.attempt = 0;
+    pw.started = sim_.now();
+    parked.push_back(id);
+  }
+  for (const std::uint64_t id : parked) attempt_write(id);
 }
 
 std::vector<HealthRecord> HealthProviderSystem::local_records(

@@ -7,6 +7,7 @@
 
 #include "attic/client.hpp"
 #include "attic/grant.hpp"
+#include "util/retry.hpp"
 
 namespace hpop::attic {
 
@@ -36,9 +37,27 @@ class HealthProviderSystem {
     return linked_.count(patient) > 0;
   }
 
-  /// Writes a record: local store always; attic copy when linked.
+  /// Writes a record: local store always; attic copy when linked. The
+  /// callback acks ONLY once the attic copy is durable — a failed write
+  /// parks in the pending queue and is retried (exponential backoff), so
+  /// an acked record can never be lost to a patient-HPoP crash.
   using WriteCallback = std::function<void(util::Status)>;
   void add_record(HealthRecord record, WriteCallback cb = nullptr);
+
+  /// Attic writes awaiting durability (in flight, backing off, or parked
+  /// after exhausting the retry budget).
+  std::size_t pending_writes() const { return pending_.size(); }
+  /// Restarts delivery of every parked write with a fresh retry budget —
+  /// e.g. once the patient's HPoP is known to be back up.
+  void flush_pending();
+
+  /// Backoff schedule for attic-copy retries (tunable per deployment).
+  util::RetryPolicy retry_policy{/*max_attempts=*/5,
+                                 /*initial_backoff=*/500 * util::kMillisecond,
+                                 /*multiplier=*/2.0,
+                                 /*jitter=*/0.5,
+                                 /*max_backoff=*/10 * util::kSecond,
+                                 /*deadline=*/0};
 
   /// The provider-side view (what a records request to this provider
   /// returns, after its administrative release delay).
@@ -58,14 +77,34 @@ class HealthProviderSystem {
     ProviderGrant grant;
     std::unique_ptr<AtticClient> attic;
   };
+  /// One not-yet-durable attic copy (the "durable pending queue": the
+  /// record itself already sits in store_, so a provider restart could
+  /// rebuild this queue from its own regulatory copies).
+  struct PendingWrite {
+    std::string patient;
+    std::string path;
+    http::Body content;
+    int attempt = 0;
+    util::TimePoint started = 0;
+    bool in_flight = false;
+    WriteCallback cb;
+  };
+
+  void attempt_write(std::uint64_t id);
 
   std::string name_;
   http::HttpClient& http_;
   sim::Simulator& sim_;
   std::map<std::string, std::vector<HealthRecord>> store_;  // by patient
   std::map<std::string, LinkedPatient> linked_;
+  std::map<std::uint64_t, PendingWrite> pending_;
+  std::uint64_t next_pending_id_ = 1;
+  util::Rng rng_{0x48454C5448ull};  // jitter source for backoff
   std::uint64_t attic_writes_ = 0;
   std::uint64_t attic_write_failures_ = 0;
+  /// Liveness token: backoff timers and put callbacks no-op once the
+  /// provider object is gone.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
 /// The patient's side: aggregates their complete history from their own

@@ -1,5 +1,7 @@
 #include "dcol/client.hpp"
 
+#include <limits>
+
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -102,16 +104,19 @@ void DcolClient::try_next_waypoint(
     const std::shared_ptr<DcolSession>& session, net::Endpoint server) {
   if (options_.require_tls && !session->secure_) return;
 
-  // Pick the best untried waypoint by reputation.
+  // Pick the best untried (or cooled-down) waypoint by reputation.
+  const util::TimePoint now = mux_.simulator().now();
   std::optional<Collective::Member> chosen;
   for (const auto& member : collective_.waypoints_for(self_id_)) {
-    if (tried_members_.count(member.id) > 0) continue;
+    const auto tried = tried_members_.find(member.id);
+    if (tried != tried_members_.end() && tried->second > now) continue;
     if (!chosen || member.reputation > chosen->reputation) {
       chosen = member;
     }
   }
   if (!chosen) return;
-  tried_members_.insert(chosen->id);
+  // Provisionally never again; failure paths shorten this to a cooldown.
+  tried_members_[chosen->id] = std::numeric_limits<util::TimePoint>::max();
   ++stats_.detours_tried;
   telemetry::registry().counter("dcol.detours_tried")->inc();
   telemetry::tracer().emit(telemetry::TraceEvent::kDetourChosen,
@@ -130,7 +135,7 @@ void DcolClient::try_next_waypoint(
       const auto session = session_wp.lock();
       if (!session) return;
       if (!vip.ok()) {
-        ref.withdrawn = true;
+        fail_detour(ref);
         return;
       }
       add_detour_subflow(session, ref, ref.vpn->subflow_options());
@@ -143,7 +148,7 @@ void DcolClient::try_next_waypoint(
       const auto session = session_wp.lock();
       if (!session) return;
       if (!status.ok()) {
-        ref.withdrawn = true;
+        fail_detour(ref);
         return;
       }
       const std::uint16_t local_port = mux_.host().allocate_port();
@@ -162,9 +167,45 @@ void DcolClient::add_detour_subflow(
   detour.trial = true;
 }
 
+bool DcolClient::subflow_dead(
+    const std::shared_ptr<DcolSession>& session,
+    const std::shared_ptr<transport::TcpConnection>& subflow) {
+  for (const auto& info : session->conn_->subflows()) {
+    if (info.conn == subflow) return info.dead;
+  }
+  return true;  // no longer tracked: gone
+}
+
+void DcolClient::fail_detour(DcolSession::Detour& detour) {
+  if (detour.withdrawn) return;
+  detour.withdrawn = true;
+  if (detour.vpn) detour.vpn->leave();
+  if (detour.nat) detour.nat->close();
+  // Crash, not underperformance: allow a rejoin once the waypoint has had
+  // a chance to come back.
+  tried_members_[detour.member_id] =
+      mux_.simulator().now() + options_.waypoint_retry_cooldown;
+  ++stats_.detour_failures;
+  telemetry::registry().counter("dcol.detour_failures")->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kDetourWithdrawn,
+                           static_cast<double>(detour.member_id), 0.0,
+                           "failed");
+}
+
 void DcolClient::evaluate(const std::shared_ptr<DcolSession>& session,
                           net::Endpoint server) {
   (void)server;
+  // Reap detours whose subflow collapsed (waypoint crash resets it, or the
+  // restarted waypoint RSTs unknown segments). MPTCP already reinjected
+  // their in-flight data; here we free the exploration slot and make the
+  // member retryable after its cooldown.
+  for (auto& detour : session->detours_) {
+    if (detour->withdrawn || !detour->subflow) continue;
+    if (subflow_dead(session, detour->subflow)) {
+      session->conn_->remove_subflow(detour->subflow);
+      fail_detour(*detour);
+    }
+  }
   // Total progress this window, across primary + detours.
   std::uint64_t total_delta = 0;
   const auto& subflows = session->conn_->subflows();

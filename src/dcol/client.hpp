@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -37,6 +38,11 @@ struct DcolOptions {
   double withdraw_share = 0.05;
   /// Retransmit ratio above which a waypoint is reported as misbehaving.
   double misbehavior_retx_ratio = 0.25;
+  /// A waypoint that *failed* (join timeout, subflow reset — i.e. crashed,
+  /// not underperforming) becomes eligible for re-selection after this
+  /// cooldown, so clients rejoin restarted waypoints. Performance-based
+  /// withdrawals stay permanent.
+  util::Duration waypoint_retry_cooldown = 10 * util::kSecond;
   bool require_tls = true;
   transport::SchedulerKind scheduler = transport::SchedulerKind::kMinRtt;
 };
@@ -99,6 +105,7 @@ class DcolClient {
     std::uint64_t detours_tried = 0;
     std::uint64_t detours_kept = 0;
     std::uint64_t detours_withdrawn = 0;
+    std::uint64_t detour_failures = 0;  // join timeouts + subflow resets
     std::uint64_t misbehavior_reports = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -113,7 +120,14 @@ class DcolClient {
                           transport::TcpOptions opts);
   void evaluate(const std::shared_ptr<DcolSession>& session,
                 net::Endpoint server);
+  /// Withdraws a detour whose waypoint died (vs. underperformed): frees
+  /// the exploration slot and schedules the member for re-trial after the
+  /// cooldown.
+  void fail_detour(DcolSession::Detour& detour);
   static std::uint64_t subflow_progress(
+      const std::shared_ptr<transport::TcpConnection>& subflow);
+  static bool subflow_dead(
+      const std::shared_ptr<DcolSession>& session,
       const std::shared_ptr<transport::TcpConnection>& subflow);
 
   transport::TransportMux& mux_;
@@ -121,7 +135,8 @@ class DcolClient {
   std::uint64_t self_id_;
   DcolOptions options_;
   util::Rng rng_;
-  std::set<std::uint64_t> tried_members_;
+  /// member id -> earliest time it may be selected again; max() = never.
+  std::map<std::uint64_t, util::TimePoint> tried_members_;
   Stats stats_;
 };
 

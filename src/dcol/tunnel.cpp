@@ -56,10 +56,22 @@ void VpnTunnel::join(JoinCallback cb) {
   join_started_ = mux_.simulator().now();
   socket_->send_to(waypoint_, std::make_shared<VpnJoinRequest>());
   // Join over UDP: one retry after a second covers a lost datagram.
-  mux_.simulator().schedule(util::kSecond, [this] {
+  const std::weak_ptr<int> alive = alive_;
+  mux_.simulator().schedule(util::kSecond, [this, alive] {
+    if (alive.expired()) return;
     if (join_cb_) {
       socket_->send_to(waypoint_, std::make_shared<VpnJoinRequest>());
     }
+  });
+  // A crashed waypoint answers nothing at all: fail past the deadline so
+  // the caller can re-select instead of pending forever.
+  mux_.simulator().schedule(setup_timeout_, [this, alive] {
+    if (alive.expired() || !join_cb_) return;
+    auto cb = std::move(join_cb_);
+    join_cb_ = nullptr;
+    telemetry::registry().counter("dcol.tunnel.timeouts")->inc();
+    cb(util::Result<net::IpAddr>::failure("timeout",
+                                          "waypoint unresponsive"));
   });
 }
 
@@ -127,12 +139,21 @@ void NatTunnel::open(net::Endpoint server, OpenCallback cb) {
   auto req = std::make_shared<NatTunnelRequest>();
   req->server = server;
   socket_->send_to(waypoint_signal_, req);
-  mux_.simulator().schedule(util::kSecond, [this, server] {
+  const std::weak_ptr<int> alive = alive_;
+  mux_.simulator().schedule(util::kSecond, [this, alive, server] {
+    if (alive.expired()) return;
     if (open_cb_) {
       auto req = std::make_shared<NatTunnelRequest>();
       req->server = server;
       socket_->send_to(waypoint_signal_, req);
     }
+  });
+  mux_.simulator().schedule(setup_timeout_, [this, alive] {
+    if (alive.expired() || !open_cb_) return;
+    auto cb = std::move(open_cb_);
+    open_cb_ = nullptr;
+    telemetry::registry().counter("dcol.tunnel.timeouts")->inc();
+    cb(util::Status::failure("timeout", "waypoint unresponsive"));
   });
 }
 

@@ -22,6 +22,9 @@ class VpnTunnel {
 
   using JoinCallback = std::function<void(util::Result<net::IpAddr>)>;
   void join(JoinCallback cb);
+  /// Deadline for the join handshake: a crashed waypoint answers nothing,
+  /// so past this the callback fires with a "timeout" failure.
+  void set_setup_timeout(util::Duration d) { setup_timeout_ = d; }
 
   /// Subflow options routing through this tunnel (bind the virtual
   /// address). Valid after join() succeeds.
@@ -38,6 +41,10 @@ class VpnTunnel {
   bool active_ = false;
   JoinCallback join_cb_;
   util::TimePoint join_started_ = 0;
+  util::Duration setup_timeout_ = 3 * util::kSecond;
+  /// Liveness token: retry/deadline timers hold a weak_ptr so they no-op
+  /// once the tunnel object is gone.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
 /// Client side of a NAT detour tunnel: negotiates a forwarding port for
@@ -50,6 +57,8 @@ class NatTunnel {
 
   using OpenCallback = std::function<void(util::Status)>;
   void open(net::Endpoint server, OpenCallback cb);
+  /// Deadline for the open handshake (see VpnTunnel::set_setup_timeout).
+  void set_setup_timeout(util::Duration d) { setup_timeout_ = d; }
 
   /// Routes the subflow bound to `local_port` through the tunnel. The
   /// caller pre-allocates the port and passes it in TcpOptions::local_port.
@@ -68,6 +77,8 @@ class NatTunnel {
   bool active_ = false;
   OpenCallback open_cb_;
   util::TimePoint open_started_ = 0;
+  util::Duration setup_timeout_ = 3 * util::kSecond;
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace hpop::dcol

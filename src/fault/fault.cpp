@@ -1,0 +1,290 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/trace.hpp"
+#include "util/logging.hpp"
+
+namespace hpop::fault {
+
+FaultPlan& FaultPlan::crash(std::string node, util::TimePoint at,
+                            util::Duration downtime) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kCrash;
+  e.node = std::move(node);
+  e.at = at;
+  e.duration = downtime;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(net::Link* link, util::TimePoint at,
+                                util::Duration downtime) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLinkDown;
+  e.link = link;
+  e.at = at;
+  e.duration = downtime;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(net::Link* link, util::TimePoint at, int cycles,
+                           util::Duration down_for, util::Duration up_for) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLinkFlap;
+  e.link = link;
+  e.at = at;
+  e.count = cycles;
+  e.duration = down_for;
+  e.period = up_for;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade(net::Link* link, util::TimePoint at,
+                              util::BitRate rate, double loss,
+                              util::Duration duration) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kDegrade;
+  e.link = link;
+  e.at = at;
+  e.rate = rate;
+  e.loss = loss;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(net::Link* link, util::TimePoint at,
+                                 util::Duration duration, GilbertElliott ge) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kBurstLoss;
+  e.link = link;
+  e.at = at;
+  e.duration = duration;
+  e.ge = ge;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::nat_flush(net::NatBox* nat, util::TimePoint at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kNatFlush;
+  e.nat = nat;
+  e.at = at;
+  events.push_back(e);
+  return *this;
+}
+
+ChaosController::ChaosController(sim::Simulator& sim, util::Rng rng)
+    : sim_(sim), rng_(rng) {
+  auto& reg = telemetry::registry();
+  m_crashes_ = reg.counter("fault.node_crashes");
+  m_restarts_ = reg.counter("fault.node_restarts");
+  m_link_downs_ = reg.counter("fault.link_downs");
+  m_link_ups_ = reg.counter("fault.link_ups");
+  m_nat_flushes_ = reg.counter("fault.nat_flushes");
+  m_downtime_s_ = reg.histogram("fault.node_downtime_s", 0, 120, 24);
+}
+
+void ChaosController::register_node(const std::string& name, net::Node* node,
+                                    std::function<void()> on_crash,
+                                    std::function<void()> on_restart) {
+  NodeEntry e;
+  e.node = node;
+  e.on_crash = std::move(on_crash);
+  e.on_restart = std::move(on_restart);
+  nodes_[name] = std::move(e);
+}
+
+bool ChaosController::node_up(const std::string& name) const {
+  auto it = nodes_.find(name);
+  return it != nodes_.end() && it->second.node->is_up();
+}
+
+util::Duration ChaosController::delay_until(util::TimePoint when) const {
+  return std::max<util::Duration>(0, when - sim_.now());
+}
+
+void ChaosController::do_crash(NodeEntry& e, util::Duration downtime) {
+  if (!e.node->is_up()) return;  // already down: double-crash is a no-op
+  HPOP_LOG(kInfo, "fault") << e.node->name() << ": crash (down for "
+                           << util::format_duration(downtime) << ")";
+  e.went_down = sim_.now();
+  // Take the node down first (clears hooks that may reference service
+  // objects), then tear the services down — process death loses both.
+  e.node->set_up(false);
+  if (e.on_crash) e.on_crash();
+  ++stats_.crashes;
+  m_crashes_->inc();
+  telemetry::tracer().emit(telemetry::TraceEvent::kNodeCrash,
+                           util::to_seconds(downtime), 0, "crash");
+  sim_.schedule(downtime, [this, ep = &e] { do_restart(*ep); });
+}
+
+void ChaosController::do_restart(NodeEntry& e) {
+  if (e.node->is_up()) return;
+  const util::Duration down = sim_.now() - e.went_down;
+  HPOP_LOG(kInfo, "fault") << e.node->name() << ": restart after "
+                           << util::format_duration(down);
+  e.node->set_up(true);
+  if (e.on_restart) e.on_restart();
+  ++stats_.restarts;
+  m_restarts_->inc();
+  m_downtime_s_->observe(util::to_seconds(down));
+  telemetry::tracer().emit(telemetry::TraceEvent::kNodeRestart,
+                           util::to_seconds(down), 0, "restart");
+}
+
+void ChaosController::crash_at(const std::string& name, util::TimePoint when,
+                               util::Duration downtime) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    HPOP_LOG(kWarn, "fault") << "crash_at: unknown node " << name;
+    return;
+  }
+  sim_.schedule(delay_until(when),
+                [this, e = &it->second, downtime] { do_crash(*e, downtime); });
+}
+
+void ChaosController::link_down_at(net::Link* link, util::TimePoint when,
+                                   util::Duration downtime) {
+  sim_.schedule(delay_until(when), [this, link, downtime] {
+    link->set_admin_up(false);
+    ++stats_.link_downs;
+    m_link_downs_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kLinkDown, 0, 0,
+                             "admin_down");
+    sim_.schedule(downtime, [this, link] {
+      link->set_admin_up(true);
+      ++stats_.link_ups;
+      m_link_ups_->inc();
+      telemetry::tracer().emit(telemetry::TraceEvent::kLinkUp, 0, 0,
+                               "admin_up");
+    });
+  });
+}
+
+void ChaosController::flap_link(net::Link* link, util::TimePoint start,
+                                int cycles, util::Duration down_for,
+                                util::Duration up_for) {
+  util::TimePoint at = start;
+  for (int i = 0; i < cycles; ++i) {
+    link_down_at(link, at, down_for);
+    at += down_for + up_for;
+  }
+}
+
+void ChaosController::degrade_link(net::Link* link, util::TimePoint when,
+                                   util::BitRate rate, double loss,
+                                   util::Duration duration) {
+  sim_.schedule(delay_until(when), [this, link, rate, loss, duration] {
+    const net::LinkParams saved = link->params();
+    if (rate > 0) link->set_rate(rate);
+    link->set_loss(loss);
+    ++stats_.degradations;
+    telemetry::tracer().emit(telemetry::TraceEvent::kLinkDegraded, rate, loss,
+                             "degrade");
+    sim_.schedule(duration, [link, saved] {
+      link->set_rate(saved.rate);
+      link->set_loss(saved.loss);
+    });
+  });
+}
+
+void ChaosController::ge_step(net::Link* link, util::TimePoint end,
+                              GilbertElliott ge, bool bad,
+                              double restore_loss) {
+  if (sim_.now() >= end) {
+    link->set_loss(restore_loss);
+    if (bad) {
+      telemetry::tracer().emit(telemetry::TraceEvent::kBurstLoss, 0,
+                               ge.bad_loss, "episode_end");
+    }
+    return;
+  }
+  const bool flip =
+      rng_.bernoulli(bad ? ge.p_bad_to_good : ge.p_good_to_bad);
+  const bool next_bad = flip ? !bad : bad;
+  if (next_bad != bad) {
+    link->set_loss(next_bad ? ge.bad_loss : ge.good_loss);
+    telemetry::tracer().emit(telemetry::TraceEvent::kBurstLoss,
+                             next_bad ? 1 : 0, ge.bad_loss, "transition");
+  }
+  sim_.schedule(ge.step, [this, link, end, ge, next_bad, restore_loss] {
+    ge_step(link, end, ge, next_bad, restore_loss);
+  });
+}
+
+void ChaosController::burst_loss(net::Link* link, util::TimePoint start,
+                                 util::Duration duration, GilbertElliott ge) {
+  sim_.schedule(delay_until(start), [this, link, duration, ge] {
+    const double restore = link->params().loss;
+    link->set_loss(ge.good_loss);
+    ++stats_.burst_episodes;
+    telemetry::tracer().emit(telemetry::TraceEvent::kBurstLoss, 0,
+                             ge.bad_loss, "episode_start");
+    ge_step(link, sim_.now() + duration, ge, /*bad=*/false, restore);
+  });
+}
+
+void ChaosController::flush_nat(net::NatBox* nat, util::TimePoint when) {
+  sim_.schedule(delay_until(when), [this, nat] {
+    const double dropped = static_cast<double>(nat->mapping_count());
+    nat->flush_mappings();
+    ++stats_.nat_flushes;
+    m_nat_flushes_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kNatFlush, dropped, 0,
+                             "flush");
+  });
+}
+
+std::vector<std::string> ChaosController::churn(
+    const std::vector<std::string>& pool, util::TimePoint start,
+    util::Duration window, double fraction, util::Duration downtime) {
+  const std::size_t victims = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(pool.size())));
+  std::vector<std::string> chosen;
+  if (victims == 0 || pool.empty()) return chosen;
+  for (std::size_t i : rng_.sample_indices(pool.size(), victims)) {
+    chosen.push_back(pool[i]);
+  }
+  // sample_indices draws are order-stable; the per-victim offsets below are
+  // drawn in the same (sorted) order so the whole schedule is reproducible.
+  for (const std::string& name : chosen) {
+    const util::TimePoint at =
+        start + static_cast<util::Duration>(
+                    rng_.uniform(0.0, static_cast<double>(window)));
+    crash_at(name, at, downtime);
+  }
+  return chosen;
+}
+
+void ChaosController::execute(const FaultPlan& plan) {
+  for (const FaultEvent& e : plan.events) {
+    switch (e.kind) {
+      case FaultEvent::Kind::kCrash:
+        crash_at(e.node, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLinkDown:
+        link_down_at(e.link, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLinkFlap:
+        flap_link(e.link, e.at, e.count, e.duration, e.period);
+        break;
+      case FaultEvent::Kind::kDegrade:
+        degrade_link(e.link, e.at, e.rate, e.loss, e.duration);
+        break;
+      case FaultEvent::Kind::kBurstLoss:
+        burst_loss(e.link, e.at, e.duration, e.ge);
+        break;
+      case FaultEvent::Kind::kNatFlush:
+        flush_nat(e.nat, e.at);
+        break;
+    }
+  }
+}
+
+}  // namespace hpop::fault

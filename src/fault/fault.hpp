@@ -1,0 +1,157 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/nat.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hpop::fault {
+
+/// Two-state Markov burst-loss model (Gilbert–Elliott). The chain is
+/// stepped every `step`; while in the bad state the link runs at
+/// `bad_loss`, otherwise at `good_loss`.
+struct GilbertElliott {
+  double p_good_to_bad = 0.1;  // per-step transition probabilities
+  double p_bad_to_good = 0.5;
+  double good_loss = 0.0;
+  double bad_loss = 0.3;
+  util::Duration step = 100 * util::kMillisecond;
+};
+
+/// One scripted fault. Times are absolute simulated time; an `at` in the
+/// past fires immediately.
+struct FaultEvent {
+  enum class Kind {
+    kCrash,      // node: crash for `duration`, then restart
+    kLinkDown,   // link: admin-down for `duration`
+    kLinkFlap,   // link: `count` down/up cycles (`duration` down, `period` up)
+    kDegrade,    // link: run at `rate`/`loss` for `duration`, then restore
+    kBurstLoss,  // link: Gilbert–Elliott episode of `duration`
+    kNatFlush,   // nat: drop every dynamic mapping
+  };
+  Kind kind = Kind::kCrash;
+  util::TimePoint at = 0;
+  std::string node;  // kCrash: a name registered with register_node
+  net::Link* link = nullptr;
+  net::NatBox* nat = nullptr;
+  util::Duration duration = 0;
+  int count = 1;                // kLinkFlap: number of down/up cycles
+  util::Duration period = 0;    // kLinkFlap: up time between cycles
+  util::BitRate rate = 0;       // kDegrade: 0 keeps the current rate
+  double loss = 0;              // kDegrade
+  GilbertElliott ge{};          // kBurstLoss
+};
+
+/// A reproducible chaos script: an ordered set of fault events. Plans are
+/// plain data so tests and benches can build, reuse, and print them.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& crash(std::string node, util::TimePoint at,
+                   util::Duration downtime);
+  FaultPlan& link_down(net::Link* link, util::TimePoint at,
+                       util::Duration downtime);
+  FaultPlan& flap(net::Link* link, util::TimePoint at, int cycles,
+                  util::Duration down_for, util::Duration up_for);
+  FaultPlan& degrade(net::Link* link, util::TimePoint at, util::BitRate rate,
+                     double loss, util::Duration duration);
+  FaultPlan& burst_loss(net::Link* link, util::TimePoint at,
+                        util::Duration duration, GilbertElliott ge);
+  FaultPlan& nat_flush(net::NatBox* nat, util::TimePoint at);
+};
+
+/// Deterministic fault injector. Every stochastic choice (churn victims,
+/// crash offsets, Gilbert–Elliott transitions) draws from the seeded Rng
+/// handed in at construction, so a chaos run is as reproducible as any
+/// other simulation: same seed, same faults, same byte-identical telemetry.
+///
+/// Node crashes model real process death: the scenario registers teardown
+/// and rebuild callbacks; on crash the controller takes the node down
+/// (dropping traffic, resetting soft interface state) and runs teardown so
+/// in-memory service state is genuinely lost; on restart it brings the node
+/// up and runs rebuild, which re-creates the mux and services from durable
+/// state only.
+class ChaosController {
+ public:
+  ChaosController(sim::Simulator& sim, util::Rng rng);
+
+  /// Registers a crashable node. `on_crash` must destroy everything living
+  /// in the node's process (transport mux, services); `on_restart` must
+  /// rebuild it. Either may be null for nodes with no attached services.
+  void register_node(const std::string& name, net::Node* node,
+                     std::function<void()> on_crash = nullptr,
+                     std::function<void()> on_restart = nullptr);
+
+  bool node_up(const std::string& name) const;
+
+  // --- Immediate / scheduled primitives ---
+  void crash_at(const std::string& name, util::TimePoint when,
+                util::Duration downtime);
+  void link_down_at(net::Link* link, util::TimePoint when,
+                    util::Duration downtime);
+  void flap_link(net::Link* link, util::TimePoint start, int cycles,
+                 util::Duration down_for, util::Duration up_for);
+  void degrade_link(net::Link* link, util::TimePoint when, util::BitRate rate,
+                    double loss, util::Duration duration);
+  void burst_loss(net::Link* link, util::TimePoint start,
+                  util::Duration duration, GilbertElliott ge);
+  void flush_nat(net::NatBox* nat, util::TimePoint when);
+
+  /// Crashes `fraction` of the named pool (distinct victims, chosen by the
+  /// controller's Rng), each at a uniform offset within [start,
+  /// start+window], each down for `downtime`. Returns the victims.
+  std::vector<std::string> churn(const std::vector<std::string>& pool,
+                                 util::TimePoint start, util::Duration window,
+                                 double fraction, util::Duration downtime);
+
+  /// Schedules every event of a plan.
+  void execute(const FaultPlan& plan);
+
+  struct Stats {
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t link_downs = 0;
+    std::uint64_t link_ups = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t nat_flushes = 0;
+    std::uint64_t burst_episodes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct NodeEntry {
+    net::Node* node = nullptr;
+    std::function<void()> on_crash;
+    std::function<void()> on_restart;
+    util::TimePoint went_down = 0;
+  };
+
+  /// Delay from now to `when`, floored at zero (past events fire now).
+  util::Duration delay_until(util::TimePoint when) const;
+  void do_crash(NodeEntry& e, util::Duration downtime);
+  void do_restart(NodeEntry& e);
+  void ge_step(net::Link* link, util::TimePoint end, GilbertElliott ge,
+               bool bad, double restore_loss);
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  std::map<std::string, NodeEntry> nodes_;
+  Stats stats_;
+
+  telemetry::Counter* m_crashes_;
+  telemetry::Counter* m_restarts_;
+  telemetry::Counter* m_link_downs_;
+  telemetry::Counter* m_link_ups_;
+  telemetry::Counter* m_nat_flushes_;
+  telemetry::HistogramMetric* m_downtime_s_;
+};
+
+}  // namespace hpop::fault

@@ -13,6 +13,10 @@ struct HttpClient::Conn : std::enable_shared_from_this<HttpClient::Conn> {
   bool busy = false;
   bool dead = false;
   ResponseHandler handler;              // outstanding request's continuation
+  Request request;                      // kept so a retry can re-send it
+  FetchOptions options;
+  int attempt = 1;
+  util::TimePoint started = 0;
   std::optional<sim::TimerId> timeout;
 };
 
@@ -22,8 +26,9 @@ void HttpClient::fetch(net::Endpoint server, Request request,
   if (!request.headers.has("host")) {
     request.headers.set("Host", server.ip.to_string());
   }
-  pools_[server].queue.push_back(
-      Pending{std::move(request), std::move(handler), options});
+  pools_[server].queue.push_back(Pending{std::move(request),
+                                         std::move(handler), options, 1,
+                                         mux_.simulator().now()});
   pump(server);
 }
 
@@ -71,11 +76,8 @@ std::shared_ptr<HttpClient::Conn> HttpClient::idle_connection(
       c->timeout.reset();
     }
     if (c->busy && c->handler) {
-      ++stats_.errors;
-      auto handler = std::move(c->handler);
-      c->handler = nullptr;
-      handler(util::Result<Response>::failure("connection_failed",
-                                              "connection lost"));
+      c->busy = false;
+      fail_or_retry(c, "connection_failed", "connection lost");
     }
     pump(c->server);
   };
@@ -90,26 +92,50 @@ std::shared_ptr<HttpClient::Conn> HttpClient::idle_connection(
 void HttpClient::dispatch(const std::shared_ptr<Conn>& conn, Pending pending) {
   conn->busy = true;
   conn->handler = std::move(pending.handler);
+  conn->request = std::move(pending.request);
+  conn->options = pending.options;
+  conn->attempt = pending.attempt;
+  conn->started = pending.started;
   std::weak_ptr<Conn> weak = conn;
   conn->timeout = mux_.simulator().schedule(
       pending.options.timeout, [this, weak] {
         const auto c = weak.lock();
         if (!c || !c->busy) return;
         c->timeout.reset();
-        ++stats_.errors;
-        auto handler = std::move(c->handler);
-        c->handler = nullptr;
         c->busy = false;
         c->dead = true;
         c->tcp->abort();
-        if (handler) {
-          handler(util::Result<Response>::failure("timeout",
-                                                  "request timed out"));
-        }
+        fail_or_retry(c, "timeout", "request timed out");
         pump(c->server);
       });
-  conn->tcp->send(
-      std::make_shared<RequestPayload>(std::move(pending.request)));
+  conn->tcp->send(std::make_shared<RequestPayload>(conn->request));
+}
+
+void HttpClient::fail_or_retry(const std::shared_ptr<Conn>& conn,
+                               const char* code, const char* message) {
+  auto handler = std::move(conn->handler);
+  conn->handler = nullptr;
+  if (!handler) return;
+  const util::RetryPolicy& policy = conn->options.retry;
+  if (policy.may_retry(conn->attempt, conn->started, mux_.simulator().now())) {
+    ++stats_.retries;
+    const util::Duration wait = policy.backoff(conn->attempt, rng_);
+    const net::Endpoint server = conn->server;
+    Pending again{std::move(conn->request), std::move(handler), conn->options,
+                  conn->attempt + 1, conn->started};
+    HPOP_LOG(kDebug, "http") << "retrying " << again.request.path << " ("
+                             << code << ", attempt " << again.attempt << ")";
+    mux_.simulator().schedule(
+        wait, [this, server, alive = std::weak_ptr<int>(alive_),
+               p = std::move(again)]() mutable {
+          if (alive.expired()) return;  // client died with its host
+          pools_[server].queue.push_back(std::move(p));
+          pump(server);
+        });
+    return;
+  }
+  ++stats_.errors;
+  handler(util::Result<Response>::failure(code, message));
 }
 
 void HttpClient::pump(net::Endpoint server) {

@@ -9,6 +9,8 @@
 #include "http/message.hpp"
 #include "transport/mux.hpp"
 #include "util/result.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
 
 namespace hpop::http {
 
@@ -16,6 +18,10 @@ struct FetchOptions {
   util::Duration timeout = 30 * util::kSecond;
   /// Maximum parallel connections per server endpoint (browser-like).
   int max_connections_per_endpoint = 6;
+  /// Transport-level retry: a request that times out or loses its
+  /// connection is re-sent (on a fresh connection) per this policy. The
+  /// default is no retries — callers that want crash resilience opt in.
+  util::RetryPolicy retry = util::RetryPolicy::none();
 };
 
 /// Asynchronous HTTP client with keep-alive connection pooling. One
@@ -23,7 +29,11 @@ struct FetchOptions {
 /// clients, prefetchers) share it.
 class HttpClient {
  public:
-  explicit HttpClient(transport::TransportMux& mux) : mux_(mux) {}
+  /// `rng` feeds retry-backoff jitter only; the default seed keeps clients
+  /// that never retry byte-identical to the pre-retry behaviour (no draws).
+  explicit HttpClient(transport::TransportMux& mux,
+                      util::Rng rng = util::Rng(0x4854545052ull))
+      : mux_(mux), rng_(rng) {}
 
   sim::Simulator& simulator() { return mux_.simulator(); }
 
@@ -35,6 +45,7 @@ class HttpClient {
     std::uint64_t requests = 0;
     std::uint64_t responses = 0;
     std::uint64_t errors = 0;
+    std::uint64_t retries = 0;
     std::uint64_t bytes_fetched = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -44,6 +55,8 @@ class HttpClient {
     Request request;
     ResponseHandler handler;
     FetchOptions options;
+    int attempt = 1;               // 1-based; retries increment
+    util::TimePoint started = 0;   // first-attempt time (deadline anchor)
   };
   struct Conn;
   struct Pool {
@@ -55,9 +68,16 @@ class HttpClient {
   std::shared_ptr<Conn> idle_connection(Pool& pool, net::Endpoint server,
                                         const FetchOptions& options);
   void dispatch(const std::shared_ptr<Conn>& conn, Pending pending);
+  /// Retries the outstanding request per its policy, or fails it out.
+  void fail_or_retry(const std::shared_ptr<Conn>& conn, const char* code,
+                     const char* message);
 
   transport::TransportMux& mux_;
+  util::Rng rng_;
   std::map<net::Endpoint, Pool> pools_;
+  /// Liveness token: retry timers hold a weak_ptr so a timer that outlives
+  /// the client (its host crashed) is a no-op instead of a dangling call.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   Stats stats_;
 };
 

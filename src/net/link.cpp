@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "net/node.hpp"
@@ -10,7 +11,12 @@ namespace hpop::net {
 
 Link::Link(sim::Simulator& sim, Interface& a, Interface& b, LinkParams params,
            util::Rng rng)
-    : sim_(sim), a_(a), b_(b), params_(params), rng_(rng) {
+    : sim_(sim),
+      a_(a),
+      b_(b),
+      params_(params),
+      pending_params_(params),
+      rng_(rng) {
   a_.link = this;
   b_.link = this;
   auto& reg = telemetry::registry();
@@ -18,6 +24,7 @@ Link::Link(sim::Simulator& sim, Interface& a, Interface& b, LinkParams params,
   m_bytes_ = reg.counter("link.tx_bytes");
   m_queue_drops_ = reg.counter("link.queue_drops");
   m_loss_drops_ = reg.counter("link.loss_drops");
+  m_admin_drops_ = reg.counter("link.admin_drops");
   m_queued_bytes_ = reg.gauge("link.queued_bytes");
 }
 
@@ -34,10 +41,53 @@ Interface& Link::peer_of(const Interface& one) {
   return &one == &a_ ? b_ : a_;
 }
 
+void Link::set_loss(double loss) {
+  pending_params_.loss = std::clamp(loss, 0.0, 1.0);
+  params_dirty_ = true;
+}
+
+void Link::set_rate(util::BitRate rate) {
+  if (rate > 0) pending_params_.rate = rate;
+  params_dirty_ = true;
+}
+
+void Link::set_params(LinkParams params) {
+  params.loss = std::clamp(params.loss, 0.0, 1.0);
+  if (params.rate <= 0) params.rate = pending_params_.rate;
+  pending_params_ = params;
+  params_dirty_ = true;
+}
+
+void Link::set_admin_up(bool up) {
+  if (admin_up_ == up) return;
+  admin_up_ = up;
+  if (!up) {
+    drain(0);
+    drain(1);
+  }
+}
+
+void Link::drain(int d) {
+  Direction& dir = dir_[d];
+  if (dir.queue.empty()) return;
+  dir.stats.admin_drops += dir.queue.size();
+  m_admin_drops_->inc(dir.queue.size());
+  m_queued_bytes_->add(-static_cast<double>(dir.queued_bytes));
+  dir.queue.clear();
+  dir.queued_bytes = 0;
+}
+
 void Link::transmit(const Interface& from, Packet pkt) {
   const int d = direction_of(from);
   Direction& dir = dir_[d];
   const std::size_t size = pkt.wire_size();
+  if (!admin_up_) {
+    ++dir.stats.admin_drops;
+    m_admin_drops_->inc();
+    telemetry::tracer().emit(telemetry::TraceEvent::kPacketDrop,
+                             static_cast<double>(size), 2, "admin_down");
+    return;
+  }
   if (dir.queued_bytes + size > params_.queue_bytes) {
     ++dir.stats.queue_drops;
     m_queue_drops_->inc();
@@ -56,6 +106,13 @@ void Link::start_service(int d) {
   if (dir.queue.empty()) {
     dir.busy = false;
     return;
+  }
+  // Staged parameter changes take effect here — at a dequeue boundary —
+  // so the packet whose serialization is already scheduled keeps the rate
+  // it started with.
+  if (params_dirty_) {
+    params_ = pending_params_;
+    params_dirty_ = false;
   }
   dir.busy = true;
   Packet pkt = std::move(dir.queue.front());
@@ -84,7 +141,12 @@ void Link::start_service(int d) {
   m_pkts_->inc();
   m_bytes_->inc(size);
   sim_.schedule(tx + params_.delay,
-                [&to, p = std::move(pkt)]() mutable {
+                [this, d, &to, p = std::move(pkt)]() mutable {
+                  if (!admin_up_) {
+                    ++dir_[d].stats.admin_drops;
+                    m_admin_drops_->inc();
+                    return;
+                  }
                   to.node->deliver(std::move(p), to);
                 });
 }

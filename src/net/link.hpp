@@ -33,14 +33,28 @@ class Link {
   void transmit(const Interface& from, Packet pkt);
 
   const LinkParams& params() const { return params_; }
-  void set_loss(double loss) { params_.loss = loss; }
-  void set_rate(util::BitRate rate) { params_.rate = rate; }
+  /// Parameter changes are *staged*: a packet already serializing finishes
+  /// on the schedule it started with, and the new rate/loss apply from the
+  /// next dequeue. Changing params mid-flight therefore never reschedules
+  /// or double-accounts an in-service packet (it used to corrupt busy_time
+  /// and delivery ordering).
+  void set_loss(double loss);
+  void set_rate(util::BitRate rate);
+  void set_params(LinkParams params);
+
+  /// Administrative state. Taking a link down drains both queues (counted
+  /// as admin_drops) and discards anything transmitted while down; packets
+  /// already on the wire are lost too if the link is still down when their
+  /// propagation completes.
+  void set_admin_up(bool up);
+  bool admin_up() const { return admin_up_; }
 
   struct DirectionStats {
     std::uint64_t pkts = 0;
     std::uint64_t bytes = 0;
     std::uint64_t queue_drops = 0;
     std::uint64_t loss_drops = 0;
+    std::uint64_t admin_drops = 0;
     /// Total time the transmitter was busy; utilization = busy/elapsed.
     util::Duration busy_time = 0;
   };
@@ -63,11 +77,16 @@ class Link {
 
   void start_service(int dir);
   int direction_of(const Interface& from) const;
+  void drain(int dir);
 
   sim::Simulator& sim_;
   Interface& a_;
   Interface& b_;
   LinkParams params_;
+  /// Staged parameters; applied at the next dequeue (see set_rate).
+  LinkParams pending_params_;
+  bool params_dirty_ = false;
+  bool admin_up_ = true;
   util::Rng rng_;
   Direction dir_[2];
 
@@ -77,6 +96,7 @@ class Link {
   telemetry::Counter* m_bytes_;
   telemetry::Counter* m_queue_drops_;
   telemetry::Counter* m_loss_drops_;
+  telemetry::Counter* m_admin_drops_;
   telemetry::Gauge* m_queued_bytes_;
 };
 

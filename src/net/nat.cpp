@@ -61,6 +61,7 @@ NatBox::Mapping* NatBox::outbound_mapping(Proto proto, Endpoint internal,
     it = by_key_.emplace(key, std::move(m)).first;
     by_public_port_[{proto, it->second.public_port}] = key;
     m_table_size_->set(static_cast<double>(by_key_.size()));
+    maybe_schedule_sweep();
   }
   it->second.contacted.insert(remote);
   it->second.expires = now + timeout_for(proto);
@@ -96,6 +97,42 @@ bool NatBox::filtering_allows(const Mapping& m, Endpoint remote) const {
       return m.contacted.count(remote) > 0;
   }
   return false;
+}
+
+void NatBox::enable_mapping_sweep(util::Duration period) {
+  sweep_period_ = period;
+  maybe_schedule_sweep();
+}
+
+void NatBox::maybe_schedule_sweep() {
+  if (sweep_period_ <= 0 || sweep_scheduled_ || by_key_.empty()) return;
+  sweep_scheduled_ = true;
+  simulator().schedule(sweep_period_, [this] {
+    sweep_scheduled_ = false;
+    sweep_expired();
+    maybe_schedule_sweep();
+  });
+}
+
+void NatBox::sweep_expired() {
+  const util::TimePoint now = simulator().now();
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    if (it->second.expires < now) {
+      ++counters_.expired;
+      by_public_port_.erase({it->second.proto, it->second.public_port});
+      it = by_key_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  m_table_size_->set(static_cast<double>(by_key_.size()));
+}
+
+void NatBox::flush_mappings() {
+  counters_.flushed += by_key_.size();
+  by_key_.clear();
+  by_public_port_.clear();
+  m_table_size_->set(0);
 }
 
 util::Status NatBox::add_port_mapping(Proto proto, std::uint16_t external_port,

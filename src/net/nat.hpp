@@ -76,6 +76,21 @@ class NatBox : public Node {
                                 Endpoint internal);
   util::Status remove_port_mapping(Proto proto, std::uint16_t external_port);
 
+  /// Enables periodic idle-timeout eviction: every `period` the box walks
+  /// its table and drops mappings whose timeout has lapsed. Without this,
+  /// expiry is only checked lazily when a packet touches a mapping, so an
+  /// idle mapping would pin table space forever. The sweep timer only runs
+  /// while the table is non-empty (so draining the event queue still
+  /// terminates).
+  void enable_mapping_sweep(util::Duration period);
+
+  /// Drops every dynamic mapping at once — the chaos model of a NAT reboot
+  /// or table flush. Static (UPnP) forwards survive: deployed boxes keep
+  /// them in persistent config.
+  void flush_mappings();
+
+  std::size_t mapping_count() const { return by_key_.size(); }
+
   struct Counters {
     std::uint64_t translated_out = 0;
     std::uint64_t translated_in = 0;
@@ -83,6 +98,7 @@ class NatBox : public Node {
     std::uint64_t unmatched = 0;    // inbound with no mapping at all
     std::uint64_t hairpin = 0;
     std::uint64_t expired = 0;
+    std::uint64_t flushed = 0;
   };
   const Counters& nat_counters() const { return counters_; }
 
@@ -120,12 +136,16 @@ class NatBox : public Node {
   void translate_and_forward_out(Packet pkt);
   void translate_and_forward_in(Packet pkt, const Mapping& m);
   util::Duration timeout_for(Proto proto) const;
+  void maybe_schedule_sweep();
+  void sweep_expired();
 
   NatConfig config_;
   std::map<MappingKey, Mapping> by_key_;
   std::map<std::pair<Proto, std::uint16_t>, MappingKey> by_public_port_;
   std::map<std::pair<Proto, std::uint16_t>, Endpoint> static_forwards_;
   std::uint16_t next_port_;
+  util::Duration sweep_period_ = 0;  // 0: lazy expiry only
+  bool sweep_scheduled_ = false;
   Counters counters_;
 
   // Registry handles (aggregated across all NAT boxes).

@@ -50,7 +50,23 @@ Interface* Node::route_lookup(IpAddr dst) const {
   return best != nullptr ? best->out : nullptr;
 }
 
+void Node::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (!up) {
+    // Soft interface state lives in the (now dead) process image.
+    virtual_addrs_.clear();
+    egress_hooks_.clear();
+    ingress_hooks_.clear();
+  }
+  for (auto& hook : lifecycle_hooks_) hook(up);
+}
+
 void Node::send_packet(Packet pkt) {
+  if (!up_) {
+    ++counters_.down_drops;
+    return;
+  }
   for (auto& hook : egress_hooks_) {
     if (hook(pkt)) return;
   }
@@ -79,6 +95,10 @@ void Node::forward_packet(Packet pkt) {
 }
 
 void Node::deliver(Packet pkt, Interface& in) {
+  if (!up_) {
+    ++counters_.down_drops;
+    return;
+  }
   ++counters_.pkts_in;
   counters_.bytes_in += pkt.wire_size();
   for (auto& hook : ingress_hooks_) {
@@ -95,6 +115,11 @@ void Host::handle_packet(Packet pkt, Interface& in) {
     return;
   }
   if (transport_) transport_(std::move(pkt), in);
+}
+
+void Host::set_up(bool up) {
+  if (!up) transport_ = nullptr;
+  Node::set_up(up);
 }
 
 std::uint16_t Host::allocate_port() {

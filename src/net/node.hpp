@@ -50,6 +50,21 @@ class Node {
   /// The primary (first-interface) address; convenience for hosts.
   IpAddr address() const;
 
+  // --- Lifecycle ---
+  /// Administrative/process state. Taking a node down models a crash or
+  /// power-off: every packet in or out is dropped, and the "soft" interface
+  /// state that lives in the crashed process — virtual addresses and
+  /// egress/ingress hooks (tunnels) — is reset. Interfaces, links, and
+  /// routes survive (they model cabling and DHCP-persistent config).
+  /// Lifecycle hooks fire after the state change.
+  virtual void set_up(bool up);
+  bool is_up() const { return up_; }
+
+  using LifecycleHook = std::function<void(bool up)>;
+  void add_lifecycle_hook(LifecycleHook h) {
+    lifecycle_hooks_.push_back(std::move(h));
+  }
+
   // --- Routing ---
   void add_route(Prefix p, Interface* out);
   void set_default_route(Interface* out) { add_route(Prefix{}, out); }
@@ -80,6 +95,7 @@ class Node {
     std::uint64_t bytes_in = 0;
     std::uint64_t bytes_out = 0;
     std::uint64_t no_route = 0;
+    std::uint64_t down_drops = 0;  // packets dropped while the node was down
   };
   const Counters& counters() const { return counters_; }
 
@@ -100,6 +116,8 @@ class Node {
   std::vector<RouteEntry> routes_;
   std::vector<PacketHook> egress_hooks_;
   std::vector<PacketHook> ingress_hooks_;
+  std::vector<LifecycleHook> lifecycle_hooks_;
+  bool up_ = true;
   Counters counters_;
 };
 
@@ -114,6 +132,11 @@ class Host : public Node {
   void set_transport_handler(TransportHandler h) { transport_ = std::move(h); }
 
   void handle_packet(Packet pkt, Interface& in) override;
+
+  /// A host going down also forgets its transport handler: the mux lives in
+  /// the crashed process, and a stale handler would dangle between restart
+  /// and service re-attachment.
+  void set_up(bool up) override;
 
   /// Ephemeral port allocator (per host, monotonically increasing).
   std::uint16_t allocate_port();

@@ -16,6 +16,8 @@ struct LoaderClient::LoadState {
   int outstanding = 0;
   /// peer_id -> (bytes, objects) it actually served us (usage records).
   std::map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>> served;
+  /// peer_id -> endpoint that actually served (alternates included).
+  std::map<std::uint64_t, net::Endpoint> served_from;
   LoadCallback cb;
 };
 
@@ -68,7 +70,7 @@ void LoaderClient::load_page(const std::string& page_path, LoadCallback cb) {
 }
 
 void LoaderClient::fetch_object(const std::shared_ptr<LoadState>& state,
-                                std::size_t index) {
+                                std::size_t index, std::size_t attempt) {
   const WrapperEntry& entry = state->wrapper.objects[index];
   if (!entry.chunks.empty()) {
     // Chunked mode: each chunk independently fetched + verified.
@@ -78,34 +80,49 @@ void LoaderClient::fetch_object(const std::shared_ptr<LoadState>& state,
     return;
   }
 
+  const std::uint64_t peer_id =
+      attempt == 0 ? entry.peer_id : entry.alternates[attempt - 1].first;
+  const net::Endpoint peer_ep =
+      attempt == 0 ? entry.peer : entry.alternates[attempt - 1].second;
+
   http::Request req;
   req.method = http::Method::kGet;
   req.path = entry.url;
   req.headers.set("Host", provider_);
   http_.fetch(
-      entry.peer, std::move(req),
-      [this, state, index](util::Result<http::Response> result) {
+      peer_ep, std::move(req),
+      [this, state, index, attempt, peer_id,
+       peer_ep](util::Result<http::Response> result) {
         const WrapperEntry& entry = state->wrapper.objects[index];
         bool ok = false;
         if (result.ok() && result.value().ok()) {
           if (util::digest_equal(result.value().body.digest(), entry.hash)) {
             ok = true;
             state->result.bytes_from_peers += result.value().wire_size();
-            auto& credit = state->served[entry.peer_id];
+            auto& credit = state->served[peer_id];
             credit.first += result.value().body.size();
             credit.second += 1;
+            state->served_from[peer_id] = peer_ep;
           } else {
             // Integrity violation: the §IV-B attack, caught.
             ++state->result.verification_failures;
-            report_peer(entry.peer_id, entry.url);
+            report_peer(peer_id, entry.url);
           }
         } else {
           ++state->result.peer_errors;
+          // Crash/churn, not malice: gentle trust decay so the origin
+          // steers future assignments away from the flaky peer.
+          report_peer(peer_id, entry.url, "unreachable");
         }
         if (ok) {
           ++state->result.objects_loaded;
           ++state->pieces_loaded;
           object_done(state);
+        } else if (attempt < entry.alternates.size()) {
+          // Fail over to the next candidate peer before giving up on the
+          // peer swarm entirely.
+          ++state->result.peer_failovers;
+          fetch_object(state, index, attempt + 1);
         } else {
           fallback_to_origin(state, entry.url, entry.size);
         }
@@ -212,10 +229,15 @@ void LoaderClient::finish(const std::shared_ptr<LoadState>& state) {
 
     // Delivered to the peer, which batches uploads to the provider.
     net::Endpoint peer_ep;
-    for (const auto& obj : state->wrapper.objects) {
-      if (obj.peer_id == peer_id) peer_ep = obj.peer;
-      for (const auto& chunk : obj.chunks) {
-        if (chunk.peer_id == peer_id) peer_ep = chunk.peer;
+    const auto ep_it = state->served_from.find(peer_id);
+    if (ep_it != state->served_from.end()) {
+      peer_ep = ep_it->second;
+    } else {
+      for (const auto& obj : state->wrapper.objects) {
+        if (obj.peer_id == peer_id) peer_ep = obj.peer;
+        for (const auto& chunk : obj.chunks) {
+          if (chunk.peer_id == peer_id) peer_ep = chunk.peer;
+        }
       }
     }
     http::Request req;
@@ -236,15 +258,19 @@ void LoaderClient::finish(const std::shared_ptr<LoadState>& state) {
   totals_.objects_loaded += state->result.objects_loaded;
   totals_.verification_failures += state->result.verification_failures;
   totals_.peer_errors += state->result.peer_errors;
+  totals_.peer_failovers += state->result.peer_failovers;
   totals_.fallbacks_to_origin += state->result.fallbacks_to_origin;
   state->cb(state->result);
 }
 
-void LoaderClient::report_peer(std::uint64_t peer_id, const std::string& url) {
+void LoaderClient::report_peer(std::uint64_t peer_id, const std::string& url,
+                               const char* kind) {
   http::Request req;
   req.method = http::Method::kPost;
   req.path = "/report";
-  req.body = http::Body(std::to_string(peer_id) + "|" + url);
+  std::string body = std::to_string(peer_id) + "|" + url;
+  if (kind != nullptr) body += std::string("|") + kind;
+  req.body = http::Body(std::move(body));
   http_.fetch(origin_, std::move(req), [](util::Result<http::Response>) {});
 }
 

@@ -18,6 +18,7 @@ struct PageLoadResult {
   int objects_loaded = 0;
   int verification_failures = 0;  // corrupt bodies caught by hashing
   int peer_errors = 0;            // 5xx / connection failures
+  int peer_failovers = 0;         // retries on an alternate peer
   int fallbacks_to_origin = 0;
 };
 
@@ -43,15 +44,18 @@ class LoaderClient {
 
  private:
   struct LoadState;
+  /// `attempt` 0 targets the assigned peer, 1..N the wrapper's alternates;
+  /// past the last alternate the object falls back to the origin.
   void fetch_object(const std::shared_ptr<LoadState>& state,
-                    std::size_t index);
+                    std::size_t index, std::size_t attempt = 0);
   void fetch_chunk(const std::shared_ptr<LoadState>& state,
                    std::size_t obj_index, std::size_t chunk_index);
   void fallback_to_origin(const std::shared_ptr<LoadState>& state,
                           const std::string& url, std::size_t expected_size);
   void object_done(const std::shared_ptr<LoadState>& state);
   void finish(const std::shared_ptr<LoadState>& state);
-  void report_peer(std::uint64_t peer_id, const std::string& url);
+  void report_peer(std::uint64_t peer_id, const std::string& url,
+                   const char* kind = nullptr);
 
   http::HttpClient& http_;
   net::Endpoint origin_;

@@ -49,6 +49,10 @@ std::string serialize(const WrapperPage& page) {
     os << "O|" << obj.url << "|" << obj.peer_id << "|" << obj.peer.ip.value
        << ":" << obj.peer.port << "|" << obj.size << "|"
        << digest_to_hex(obj.hash) << "\n";
+    for (const auto& [alt_id, alt_ep] : obj.alternates) {
+      os << "A|" << alt_id << "|" << alt_ep.ip.value << ":" << alt_ep.port
+         << "\n";
+    }
     for (const auto& chunk : obj.chunks) {
       os << "C|" << chunk.offset << "|" << chunk.length << "|"
          << chunk.peer_id << "|" << chunk.peer.ip.value << ":"
@@ -101,6 +105,16 @@ util::Result<WrapperPage> parse_wrapper(const std::string& text) {
       if (!digest.ok()) return util::Result<WrapperPage>(digest.error());
       obj.hash = digest.value();
       page.objects.push_back(std::move(obj));
+    } else if (fields[0] == "A" && fields.size() == 3) {
+      if (page.objects.empty()) {
+        return util::Result<WrapperPage>::failure("bad_format",
+                                                  "alternate before object");
+      }
+      const std::uint64_t alt_id = std::strtoull(fields[1].c_str(), nullptr,
+                                                 10);
+      const auto ep = parse_endpoint(fields[2]);
+      if (!ep.ok()) return util::Result<WrapperPage>(ep.error());
+      page.objects.back().alternates.emplace_back(alt_id, ep.value());
     } else if (fields[0] == "C" && fields.size() == 6) {
       if (page.objects.empty()) {
         return util::Result<WrapperPage>::failure("bad_format",

@@ -44,6 +44,10 @@ struct WrapperEntry {
   std::size_t size = 0;
   util::Digest hash{};
   std::vector<ChunkSpec> chunks;  // non-empty in chunked mode
+  /// Backup peers the loader fails over to (in order) when the assigned
+  /// peer is unreachable or serves a corrupt body; the origin is the last
+  /// resort after these.
+  std::vector<std::pair<std::uint64_t, net::Endpoint>> alternates;
 };
 
 /// A short-term secret key the content provider mints per (page view,

@@ -112,6 +112,22 @@ http::Response OriginServer::make_wrapper(const std::string& page_path,
       entry.peer_id = peer.peer_id;
       entry.peer = peer.endpoint;
       assigned_bytes[peer.peer_id] += entry.size;
+      // Backup candidates: rerun the selector over the remaining peers.
+      // Alternates get the same byte ceiling as the primary — they may
+      // serve the whole object if the primary is down.
+      std::vector<PeerView> remaining;
+      for (const PeerView& v : views) {
+        if (v.peer_id != peer.peer_id) remaining.push_back(v);
+      }
+      for (int a = 0; a < config_.alternates_per_object && !remaining.empty();
+           ++a) {
+        const int alt = selector_->select(remaining, rng_);
+        if (alt < 0) break;
+        const PeerView& alt_peer = remaining[static_cast<std::size_t>(alt)];
+        entry.alternates.emplace_back(alt_peer.peer_id, alt_peer.endpoint);
+        assigned_bytes[alt_peer.peer_id] += entry.size;
+        remaining.erase(remaining.begin() + alt);
+      }
     }
     wrapper.objects.push_back(std::move(entry));
     return true;
@@ -243,24 +259,31 @@ void OriginServer::install_routes() {
         w.respond(std::move(resp));
       });
 
-  server_.route(http::Method::kPost, "/report",
-                [this](const http::Request& req, http::ResponseWriter& w) {
-                  ++stats_.misbehaviour_reports;
-                  // Body: "peer_id|url". Verification failures decay trust
-                  // sharply — serving one corrupt object is damning.
-                  if (req.body.is_real()) {
-                    const std::string text = req.body.text();
-                    const std::uint64_t peer_id =
-                        std::strtoull(text.c_str(), nullptr, 10);
-                    const auto it = peers_.find(peer_id);
-                    if (it != peers_.end()) {
-                      it->second.trust *= 0.25;
-                    }
-                  }
-                  http::Response resp;
-                  resp.status = 204;
-                  w.respond(std::move(resp));
-                });
+  server_.route(
+      http::Method::kPost, "/report",
+      [this](const http::Request& req, http::ResponseWriter& w) {
+        ++stats_.misbehaviour_reports;
+        // Body: "peer_id|url" or "peer_id|url|unreachable". Verification
+        // failures decay trust sharply — serving one corrupt object is
+        // damning. Unreachability decays gently: residential peers crash
+        // and churn without malice, and trust recovers placement priority
+        // only slowly after repeat offences.
+        if (req.body.is_real()) {
+          const std::string text = req.body.text();
+          const std::uint64_t peer_id =
+              std::strtoull(text.c_str(), nullptr, 10);
+          const bool unreachable =
+              text.size() >= 12 &&
+              text.compare(text.size() - 12, 12, "|unreachable") == 0;
+          const auto it = peers_.find(peer_id);
+          if (it != peers_.end()) {
+            it->second.trust *= unreachable ? 0.8 : 0.25;
+          }
+        }
+        http::Response resp;
+        resp.status = 204;
+        w.respond(std::move(resp));
+      });
 }
 
 }  // namespace hpop::nocdn

@@ -22,6 +22,9 @@ struct OriginConfig {
   std::string selector = "random";
   /// Cache lifetime peers may assume for objects.
   std::int64_t object_max_age_s = 3600;
+  /// Backup peers listed per whole-object assignment so the loader can
+  /// fail over without a wrapper round-trip when the primary is dead.
+  int alternates_per_object = 2;
 };
 
 /// A content provider's origin site running NoCDN (§IV-B, Fig. 2). Serves:

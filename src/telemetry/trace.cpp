@@ -42,6 +42,20 @@ const char* trace_event_name(TraceEvent event) {
       return "usage_record_rejected";
     case TraceEvent::kPrefetchIssued:
       return "prefetch_issued";
+    case TraceEvent::kNodeCrash:
+      return "node_crash";
+    case TraceEvent::kNodeRestart:
+      return "node_restart";
+    case TraceEvent::kLinkDown:
+      return "link_down";
+    case TraceEvent::kLinkUp:
+      return "link_up";
+    case TraceEvent::kLinkDegraded:
+      return "link_degraded";
+    case TraceEvent::kNatFlush:
+      return "nat_flush";
+    case TraceEvent::kBurstLoss:
+      return "burst_loss";
   }
   return "?";
 }

@@ -21,6 +21,7 @@ enum class TraceCategory : std::uint32_t {
   kDcol = 1u << 6,     // detours chosen/withdrawn
   kNocdn = 1u << 7,    // usage records verified/rejected
   kIathome = 1u << 8,  // prefetch issues
+  kFault = 1u << 9,    // injected faults: crashes, flaps, flushes
   kAll = 0xffffffffu,
 };
 
@@ -42,6 +43,13 @@ enum class TraceEvent : std::uint8_t {
   kUsageRecordVerified,   // a: bytes credited
   kUsageRecordRejected,   // a: verdict code
   kPrefetchIssued,
+  kNodeCrash,    // a: scheduled downtime (s)
+  kNodeRestart,  // a: actual downtime (s)
+  kLinkDown,     // a: 1 if flap episode, 0 if one-shot
+  kLinkUp,
+  kLinkDegraded,  // a: new rate (bps), b: new loss
+  kNatFlush,      // a: mappings dropped
+  kBurstLoss,     // a: 1 entering bad state, 0 leaving; b: bad-state loss
 };
 
 const char* trace_event_name(TraceEvent event);
@@ -74,6 +82,14 @@ constexpr TraceCategory trace_event_category(TraceEvent event) {
       return TraceCategory::kNocdn;
     case TraceEvent::kPrefetchIssued:
       return TraceCategory::kIathome;
+    case TraceEvent::kNodeCrash:
+    case TraceEvent::kNodeRestart:
+    case TraceEvent::kLinkDown:
+    case TraceEvent::kLinkUp:
+    case TraceEvent::kLinkDegraded:
+    case TraceEvent::kNatFlush:
+    case TraceEvent::kBurstLoss:
+      return TraceCategory::kFault;
   }
   return TraceCategory::kAll;
 }

@@ -368,6 +368,17 @@ void MptcpConnection::maybe_finish_close() {
   if (all_dead || (data_drained && subflows_.empty())) {
     closed_ = true;
     mux_.mptcp_unregister(token_);
+    // Clean only if the app asked to close and every queued byte was
+    // data-acked; anything else (a waypoint crash killing all subflows)
+    // is a failure the caller must hear about.
+    const bool clean = close_requested_ && data_una_ == data_end_;
+    if (!clean) {
+      last_error_ = "all subflows lost";
+      if (on_reset_) {
+        on_reset_();
+        return;
+      }
+    }
     if (on_closed_) on_closed_();
   }
 }

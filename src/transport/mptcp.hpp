@@ -66,6 +66,12 @@ class MptcpConnection : public std::enable_shared_from_this<MptcpConnection> {
   void set_on_message(MessageHandler h) { on_message_ = std::move(h); }
   void set_on_bytes(BytesHandler h) { on_bytes_ = std::move(h); }
   void set_on_closed(PlainHandler h) { on_closed_ = std::move(h); }
+  /// Fires instead of on_closed when the session dies abnormally (every
+  /// subflow reset/lost before the data stream drained). Without it the
+  /// failure is still visible through last_error() in on_closed.
+  void set_on_reset(PlainHandler h) { on_reset_ = std::move(h); }
+  /// Failure reason when the session ended abnormally; nullptr otherwise.
+  const char* last_error() const { return last_error_; }
 
   // --- Subflow management (DCol's detour engine drives these) ---
   /// Opens an additional subflow to the peer. `bind_ip` lets a VPN tunnel
@@ -147,6 +153,8 @@ class MptcpConnection : public std::enable_shared_from_this<MptcpConnection> {
   MessageHandler on_message_;
   BytesHandler on_bytes_;
   PlainHandler on_closed_;
+  PlainHandler on_reset_;
+  const char* last_error_ = nullptr;
 
   // Registry handles (aggregated across all MPTCP connections).
   telemetry::Counter* m_sched_bytes_;

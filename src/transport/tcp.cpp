@@ -107,6 +107,7 @@ void TcpConnection::fail(const char* reason) {
   HPOP_LOG(kDebug, "tcp") << local_.to_string() << "->" << remote_.to_string()
                           << " failed: " << reason;
   const auto self = shared_from_this();  // keep alive through unregister
+  last_error_ = reason;
   disarm_rto();
   if (delayed_ack_timer_) {
     mux_.simulator().cancel(*delayed_ack_timer_);

@@ -110,6 +110,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   util::Duration srtt() const { return srtt_; }
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t timeouts() const { return timeouts_; }
+  /// Why the connection failed ("connection reset by peer", "too many
+  /// timeouts", "local abort"); nullptr after a graceful close or while
+  /// open. Lets on_closed-only callers distinguish failure from completion
+  /// instead of stalling on a connection that silently died.
+  const char* last_error() const { return last_error_; }
   /// Window space available for new data right now.
   std::uint64_t available_window() const;
   std::uint64_t unsent_bytes() const { return snd_buf_end_ - snd_nxt_; }
@@ -185,6 +190,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   bool fin_queued_ = false;
   bool fin_sent_ = false;
   bool fin_acked_ = false;
+  const char* last_error_ = nullptr;
 
   // RTT estimation (Karn: time one un-retransmitted segment at a time).
   util::Duration srtt_ = 0;

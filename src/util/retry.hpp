@@ -1,0 +1,51 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hpop::util {
+
+/// Shared retry policy: exponential backoff with full jitter, capped per-try
+/// backoff, an attempt ceiling, and an overall deadline. Services that must
+/// survive chaos (HTTP fetches, attic health writes, DCol rejoin) all pull
+/// their schedules from here so recovery behaviour is tuned in one place.
+///
+/// Backoff for attempt n (1-based; the first retry is attempt 1) is
+///   base = initial_backoff * multiplier^(n-1), clamped to max_backoff,
+/// then jittered to uniform[base*(1-jitter), base] using the caller's
+/// seeded Rng — deterministic like everything else in the simulator.
+struct RetryPolicy {
+  int max_attempts = 3;  // total tries including the first
+  Duration initial_backoff = 200 * kMillisecond;
+  double multiplier = 2.0;
+  double jitter = 0.5;  // fraction of the backoff randomised away
+  Duration max_backoff = 10 * kSecond;
+  /// Overall budget measured from the first attempt; 0 = no deadline.
+  Duration deadline = 0;
+
+  static RetryPolicy none() { return RetryPolicy{1, 0, 1.0, 0.0, 0, 0}; }
+
+  /// Jittered delay before retry `attempt` (1-based). Callers pass their own
+  /// Rng stream so retry draws never perturb unrelated subsystems.
+  Duration backoff(int attempt, Rng& rng) const {
+    double base = static_cast<double>(initial_backoff);
+    for (int i = 1; i < attempt; ++i) base *= multiplier;
+    base = std::min(base, static_cast<double>(max_backoff));
+    const double j = std::clamp(jitter, 0.0, 1.0);
+    const double lo = base * (1.0 - j);
+    return static_cast<Duration>(j > 0.0 ? rng.uniform(lo, base) : base);
+  }
+
+  /// Whether retry `attempt` (1-based) may be scheduled, given the time the
+  /// first attempt started and the current time.
+  bool may_retry(int attempt, TimePoint started, TimePoint now) const {
+    if (attempt >= max_attempts) return false;
+    if (deadline > 0 && now - started >= deadline) return false;
+    return true;
+  }
+};
+
+}  // namespace hpop::util

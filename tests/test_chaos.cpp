@@ -1,0 +1,655 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attic/backup.hpp"
+#include "attic/grant.hpp"
+#include "attic/health.hpp"
+#include "attic/webdav.hpp"
+#include "dcol/client.hpp"
+#include "fault/fault.hpp"
+#include "net/topology.hpp"
+#include "nocdn/loader.hpp"
+#include "nocdn/origin.hpp"
+#include "nocdn/peer.hpp"
+#include "telemetry/metrics.hpp"
+#include "transport/payloads.hpp"
+
+namespace hpop {
+namespace {
+
+using util::kGbps;
+using util::kMbps;
+using util::kMillisecond;
+using util::kSecond;
+
+std::uint64_t admin_drops(const net::Link& link) {
+  return link.stats(0).admin_drops + link.stats(1).admin_drops;
+}
+std::uint64_t loss_drops(const net::Link& link) {
+  return link.stats(0).loss_drops + link.stats(1).loss_drops;
+}
+
+net::Packet make_udp(net::Host& from, net::Host& to) {
+  net::Packet pkt;
+  pkt.src = from.address();
+  pkt.dst = to.address();
+  pkt.proto = net::Proto::kUdp;
+  pkt.udp = {1000, 2000};
+  pkt.payload_len = 100;
+  return pkt;
+}
+
+// ------------------------------------------------- Controller primitives
+
+TEST(Chaos, CrashTearsDownProcessAndRestarts) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(7)};
+  auto path = net::make_two_host_path(net, net::PathParams{},
+                                      net::PathParams{});
+  fault::ChaosController chaos(sim, util::Rng(1));
+  int crashes = 0, restarts = 0;
+  chaos.register_node("b", path.b, [&] { ++crashes; }, [&] { ++restarts; });
+  chaos.crash_at("b", kSecond, 2 * kSecond);
+
+  // One packet before, one during, one after the outage.
+  for (const util::Duration at :
+       {500 * kMillisecond, 2 * kSecond, 4 * kSecond}) {
+    sim.schedule(at, [&] { path.a->send_packet(make_udp(*path.a, *path.b)); });
+  }
+  sim.schedule(1500 * kMillisecond, [&] { EXPECT_FALSE(chaos.node_up("b")); });
+  sim.run();
+
+  EXPECT_TRUE(chaos.node_up("b"));
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(path.b->counters().down_drops, 1u);
+  EXPECT_EQ(path.b->counters().pkts_in, 2u);
+  EXPECT_EQ(chaos.stats().crashes, 1u);
+  EXPECT_EQ(chaos.stats().restarts, 1u);
+}
+
+TEST(Chaos, ChurnPicksDistinctVictimsDeterministically) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(7)};
+  net::Router& r = net.add_router("r");
+  std::vector<std::string> pool;
+  fault::ChaosController chaos(sim, util::Rng(42));
+  for (int i = 0; i < 10; ++i) {
+    net::Host& h =
+        net.add_host("h" + std::to_string(i), net.next_public_address());
+    net.connect(h, h.address(), r, net::IpAddr{}, net::LinkParams{});
+    pool.push_back(h.name());
+    chaos.register_node(h.name(), &h);
+  }
+  // A second controller with the same seed picks the same victims at the
+  // same offsets (its pool is unregistered, so nothing double-crashes).
+  fault::ChaosController twin(sim, util::Rng(42));
+
+  const auto v1 = chaos.churn(pool, 0, 10 * kSecond, 0.3, kSecond);
+  const auto v2 = twin.churn(pool, 0, 10 * kSecond, 0.3, kSecond);
+  EXPECT_EQ(v1, v2);
+  ASSERT_EQ(v1.size(), 3u);  // ceil(0.3 * 10)
+  EXPECT_EQ(std::set<std::string>(v1.begin(), v1.end()).size(), 3u);
+
+  sim.run();
+  EXPECT_EQ(chaos.stats().crashes, 3u);
+  EXPECT_EQ(chaos.stats().restarts, 3u);
+}
+
+TEST(Chaos, FlapCyclesLinkDownAndUp) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(7)};
+  auto path = net::make_two_host_path(net, net::PathParams{},
+                                      net::PathParams{});
+  fault::ChaosController chaos(sim, util::Rng(2));
+  // Down windows: [1,2], [3,4], [5,6].
+  chaos.flap_link(path.link_b, kSecond, 3, kSecond, kSecond);
+  sim.schedule(1500 * kMillisecond,
+               [&] { path.a->send_packet(make_udp(*path.a, *path.b)); });
+  sim.schedule(6500 * kMillisecond,
+               [&] { path.a->send_packet(make_udp(*path.a, *path.b)); });
+  sim.run();
+
+  EXPECT_EQ(chaos.stats().link_downs, 3u);
+  EXPECT_EQ(chaos.stats().link_ups, 3u);
+  EXPECT_GE(admin_drops(*path.link_b), 1u);  // mid-flap packet died
+  EXPECT_EQ(path.b->counters().pkts_in, 1u);        // post-flap one arrived
+}
+
+TEST(Chaos, DegradeAppliesForDurationThenRestores) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(7)};
+  auto path = net::make_two_host_path(net, net::PathParams{},
+                                      net::PathParams{});
+  fault::ChaosController chaos(sim, util::Rng(3));
+  // Total blackout-by-loss between 1s and 3s.
+  chaos.degrade_link(path.link_b, kSecond, 0, 1.0, 2 * kSecond);
+  sim.schedule(1500 * kMillisecond,
+               [&] { path.a->send_packet(make_udp(*path.a, *path.b)); });
+  sim.schedule(4 * kSecond,
+               [&] { path.a->send_packet(make_udp(*path.a, *path.b)); });
+  sim.run();
+
+  EXPECT_EQ(chaos.stats().degradations, 1u);
+  EXPECT_EQ(loss_drops(*path.link_b), 1u);
+  EXPECT_EQ(path.b->counters().pkts_in, 1u);
+}
+
+TEST(Chaos, BurstLossEpisodeEndsAndRestoresBaseline) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(7)};
+  auto path = net::make_two_host_path(net, net::PathParams{},
+                                      net::PathParams{});
+  fault::ChaosController chaos(sim, util::Rng(4));
+  // Deterministic chain: first step enters the bad state and never leaves.
+  fault::GilbertElliott ge;
+  ge.p_good_to_bad = 1.0;
+  ge.p_bad_to_good = 0.0;
+  ge.bad_loss = 1.0;
+  chaos.burst_loss(path.link_b, kSecond, kSecond, ge);
+  sim.schedule(1500 * kMillisecond,
+               [&] { path.a->send_packet(make_udp(*path.a, *path.b)); });
+  sim.schedule(3 * kSecond,
+               [&] { path.a->send_packet(make_udp(*path.a, *path.b)); });
+  sim.run();
+
+  EXPECT_EQ(chaos.stats().burst_episodes, 1u);
+  EXPECT_EQ(loss_drops(*path.link_b), 1u);
+  EXPECT_EQ(path.b->counters().pkts_in, 1u);
+  EXPECT_DOUBLE_EQ(path.link_b->params().loss, 0.0);
+}
+
+TEST(Chaos, NatFlushDropsDynamicMappings) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(7)};
+  net::Router& isp = net.add_router("isp");
+  auto home = net::make_home(net, "home", isp, 1,
+                             net::NatConfig::full_cone(), net::PathParams{});
+  net::Host& ext = net.add_host("ext", net.next_public_address());
+  net.connect(ext, ext.address(), isp, net::IpAddr{}, net::LinkParams{});
+  net.auto_route();
+
+  fault::ChaosController chaos(sim, util::Rng(5));
+  sim.schedule(0, [&] { home.hosts[0]->send_packet(make_udp(*home.hosts[0], ext)); });
+  sim.run_until(kSecond);
+  ASSERT_EQ(home.nat->mapping_count(), 1u);
+
+  chaos.flush_nat(home.nat, 2 * kSecond);
+  sim.run_until(3 * kSecond);
+  EXPECT_EQ(home.nat->mapping_count(), 0u);
+  EXPECT_EQ(chaos.stats().nat_flushes, 1u);
+}
+
+TEST(Chaos, FaultPlanExecutesScriptedEvents) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(7)};
+  auto path = net::make_two_host_path(net, net::PathParams{},
+                                      net::PathParams{});
+  fault::ChaosController chaos(sim, util::Rng(6));
+  chaos.register_node("b", path.b);
+
+  fault::FaultPlan plan;
+  plan.crash("b", kSecond, kSecond)
+      .link_down(path.link_a, kSecond, kSecond)
+      .flap(path.link_b, 3 * kSecond, 2, 500 * kMillisecond,
+            500 * kMillisecond)
+      .degrade(path.link_a, 6 * kSecond, 1 * kMbps, 0.1, kSecond);
+  chaos.execute(plan);
+  sim.run();
+
+  EXPECT_EQ(chaos.stats().crashes, 1u);
+  EXPECT_EQ(chaos.stats().restarts, 1u);
+  EXPECT_EQ(chaos.stats().link_downs, 3u);  // 1 down + 2 flap cycles
+  EXPECT_EQ(chaos.stats().link_ups, 3u);
+  EXPECT_EQ(chaos.stats().degradations, 1u);
+  EXPECT_TRUE(chaos.node_up("b"));
+}
+
+// ------------------------------------------- Health records under crashes
+
+/// A patient HPoP (attic) that a ChaosController can crash and restart.
+/// The attic's contents model disk: they survive the crash; the Hpop and
+/// AtticService objects model the process image: they are rebuilt.
+struct PatientWorld {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(53)};
+  net::TwoHostPath path;
+  attic::AtticStore disk;
+  std::unique_ptr<core::Hpop> hpop;
+  std::unique_ptr<attic::AtticService> attic;
+  std::unique_ptr<transport::TransportMux> mux_provider;
+  std::unique_ptr<http::HttpClient> http_provider;
+
+  PatientWorld() {
+    path = net::make_two_host_path(net, net::PathParams{}, net::PathParams{});
+    build();
+    mux_provider = std::make_unique<transport::TransportMux>(*path.b);
+    http_provider = std::make_unique<http::HttpClient>(*mux_provider);
+  }
+  void build() {
+    core::HpopConfig config;
+    config.household = "patient";
+    hpop = std::make_unique<core::Hpop>(*path.a, config);
+    attic = std::make_unique<attic::AtticService>(*hpop);
+    attic->store() = disk;  // remount the surviving disk
+  }
+  void teardown() {
+    disk = attic->store();
+    attic.reset();
+    hpop.reset();
+  }
+};
+
+TEST(ChaosScenario, AckedHealthRecordsSurviveHpopCrash) {
+  PatientWorld w;
+  fault::ChaosController chaos(w.sim, util::Rng(11));
+  chaos.register_node("patient", w.path.a, [&] { w.teardown(); },
+                      [&] { w.build(); });
+
+  const attic::ProviderGrant grant =
+      attic::issue_provider_grant(*w.attic, "clinic");
+  attic::HealthProviderSystem provider("clinic", *w.http_provider, w.sim);
+  ASSERT_TRUE(provider.link_patient("alice", grant.encode()).ok());
+
+  // A record every 2s; the patient HPoP is dead from t=8s to t=23s, right
+  // through the middle of the write stream.
+  std::set<std::string> acked;
+  for (int i = 0; i < 20; ++i) {
+    w.sim.schedule((1 + 2 * i) * kSecond, [&, i] {
+      attic::HealthRecord rec;
+      rec.patient = "alice";
+      rec.record_id = "rec-" + std::to_string(i);
+      rec.kind = "visit-note";
+      rec.content = http::Body("visit " + std::to_string(i));
+      provider.add_record(rec, [&acked, i](util::Status s) {
+        if (s.ok()) acked.insert("rec-" + std::to_string(i));
+      });
+    });
+  }
+  chaos.crash_at("patient", 8 * kSecond, 15 * kSecond);
+  w.sim.run_until(300 * kSecond);
+
+  EXPECT_EQ(chaos.stats().crashes, 1u);
+  EXPECT_GT(provider.attic_write_failures(), 0u);  // the crash actually bit
+  EXPECT_EQ(provider.pending_writes(), 0u);        // queue fully drained
+  EXPECT_EQ(acked.size(), 20u);                    // every write got acked
+  // The durability invariant: an acked record exists in the attic. Zero
+  // acked-then-lost records.
+  for (const std::string& id : acked) {
+    EXPECT_TRUE(w.attic->store().exists("/records/clinic/" + id)) << id;
+  }
+}
+
+// -------------------------------------------- Backup restore under faults
+
+struct ChaosBackupWorld {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(59)};
+  net::Router* core;
+  net::Host* owner_host;
+  std::unique_ptr<transport::TransportMux> owner_mux;
+  std::unique_ptr<http::HttpClient> owner_http;
+  std::unique_ptr<attic::BackupManager> backup;
+  struct PeerAttic {
+    std::unique_ptr<core::Hpop> hpop;
+    std::unique_ptr<attic::AtticService> attic;
+  };
+  std::vector<PeerAttic> peers;
+  std::vector<net::Link*> peer_links;
+
+  explicit ChaosBackupWorld(int n_peers) {
+    core = &net.add_router("core");
+    owner_host = &net.add_host("owner", net.next_public_address());
+    net.connect(*owner_host, owner_host->address(), *core, net::IpAddr{},
+                net::LinkParams{1 * kGbps, 5 * kMillisecond});
+    owner_mux = std::make_unique<transport::TransportMux>(*owner_host);
+    owner_http = std::make_unique<http::HttpClient>(*owner_mux);
+    backup = std::make_unique<attic::BackupManager>(
+        "owner", *owner_http, util::to_bytes("backup-key"));
+    for (int i = 0; i < n_peers; ++i) {
+      net::Host& host = net.add_host("peer" + std::to_string(i),
+                                     net.next_public_address());
+      peer_links.push_back(&net.connect(
+          host, host.address(), *core, net::IpAddr{},
+          net::LinkParams{1 * kGbps, 10 * kMillisecond}));
+      PeerAttic peer;
+      core::HpopConfig config;
+      config.household = "peer" + std::to_string(i);
+      peer.hpop = std::make_unique<core::Hpop>(host, config);
+      peer.attic = std::make_unique<attic::AtticService>(*peer.hpop);
+      backup->add_peer({host.address(), 443}, peer.attic->owner_token());
+      peers.push_back(std::move(peer));
+    }
+    net.auto_route();
+  }
+};
+
+TEST(ChaosScenario, BackupRestoreSucceedsDuringLinkOutages) {
+  ChaosBackupWorld w(5);
+  fault::ChaosController chaos(w.sim, util::Rng(13));
+  const http::Body content(std::string(3000, 'c'));
+  bool stored = false;
+  w.backup->backup("medical", content,
+                   attic::BackupManager::Strategy::kErasure, 3, 2,
+                   [&](util::Status s) { stored = s.ok(); });
+  w.sim.run_until(10 * kSecond);
+  ASSERT_TRUE(stored);
+
+  // m=2 peers unreachable for two minutes; restore right in the middle.
+  chaos.link_down_at(w.peer_links[1], 15 * kSecond, 120 * kSecond);
+  chaos.link_down_at(w.peer_links[2], 15 * kSecond, 120 * kSecond);
+  std::optional<http::Body> restored;
+  w.sim.schedule(20 * kSecond, [&] {
+    w.backup->restore("medical", [&](util::Result<http::Body> r) {
+      ASSERT_TRUE(r.ok()) << r.error().message;
+      restored = r.value();
+    });
+  });
+  w.sim.run_until(130 * kSecond);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->text(), content.text());
+  EXPECT_EQ(chaos.stats().link_downs, 2u);
+
+  // After the links heal, an audit finds nothing to repair: the outage
+  // was transient, no shard was lost.
+  w.sim.run_until(140 * kSecond);
+  std::optional<attic::BackupManager::RepairReport> report;
+  w.backup->check_and_repair(
+      "medical", [&](util::Result<attic::BackupManager::RepairReport> r) {
+        ASSERT_TRUE(r.ok());
+        report = r.value();
+      });
+  w.sim.run_until(200 * kSecond);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->shards_missing, 0);
+  EXPECT_EQ(report->shards_repaired, 0);
+}
+
+// ------------------------------------------ DCol rejoin after waypoint loss
+
+/// Triangle world (lossy direct path + clean detour via a waypoint) whose
+/// waypoint process the chaos controller can kill and rebuild.
+struct ChaosDcolWorld {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(67)};
+  net::Host* client;
+  net::Host* server;
+  net::Host* waypoint_host;
+  std::unique_ptr<transport::TransportMux> mux_client;
+  std::unique_ptr<transport::TransportMux> mux_server;
+  std::unique_ptr<transport::TransportMux> mux_waypoint;
+  std::unique_ptr<dcol::WaypointService> waypoint;
+
+  ChaosDcolWorld() {
+    client = &net.add_host("client", net.next_public_address());
+    server = &net.add_host("server", net.next_public_address());
+    waypoint_host = &net.add_host("waypoint", net.next_public_address());
+    net::Router& direct_r = net.add_router("direct_r");
+    net::Router& detour_r = net.add_router("detour_r");
+    net.connect(*client, client->address(), direct_r, net::IpAddr{},
+                net::LinkParams{50 * kMbps, 25 * kMillisecond, 0.03, 1 << 21});
+    net.connect(direct_r, net::IpAddr{}, *server, server->address(),
+                net::LinkParams{1000 * kMbps, 5 * kMillisecond, 0.0, 1 << 21});
+    net.connect(*client, client->address(), detour_r, net::IpAddr{},
+                net::LinkParams{100 * kMbps, 10 * kMillisecond, 0.0, 1 << 21});
+    net.connect(*waypoint_host, waypoint_host->address(), detour_r,
+                net::IpAddr{},
+                net::LinkParams{1000 * kMbps, 5 * kMillisecond, 0.0, 1 << 21});
+    net.connect(detour_r, net::IpAddr{}, direct_r, net::IpAddr{},
+                net::LinkParams{1000 * kMbps, 2 * kMillisecond, 0.0, 1 << 21});
+    net.auto_route();
+    client->add_route(net::Prefix{server->address(), 32},
+                      client->interfaces()[0].get());
+    mux_client = std::make_unique<transport::TransportMux>(*client);
+    mux_server = std::make_unique<transport::TransportMux>(*server);
+    build_waypoint();
+  }
+  void build_waypoint() {
+    mux_waypoint = std::make_unique<transport::TransportMux>(*waypoint_host);
+    waypoint = std::make_unique<dcol::WaypointService>(
+        *mux_waypoint, dcol::WaypointConfig{}, util::Rng(71));
+  }
+  void teardown_waypoint() {
+    waypoint.reset();
+    mux_waypoint.reset();
+  }
+  net::Endpoint server_ep() const { return {server->address(), 443}; }
+};
+
+TEST(ChaosScenario, DcolReestablishesDetourAfterWaypointCrash) {
+  ChaosDcolWorld t;
+  fault::ChaosController chaos(t.sim, util::Rng(17));
+  chaos.register_node("waypoint", t.waypoint_host,
+                      [&] { t.teardown_waypoint(); },
+                      [&] { t.build_waypoint(); });
+
+  // Server answers TLS then streams 200 KB per request.
+  transport::TcpOptions listen_opts;
+  listen_opts.mp_capable = true;
+  auto listener = t.mux_server->tcp_listen(443, listen_opts);
+  std::shared_ptr<transport::MptcpConnection> server_session;
+  listener->set_on_accept_mptcp(
+      [&](std::shared_ptr<transport::MptcpConnection> c) {
+        server_session = c;
+        dcol::serve_tls(c, [c](net::PayloadPtr) { c->send_bytes(50'000); });
+      });
+
+  dcol::Collective collective;
+  collective.add_member("wp", t.waypoint->vpn_endpoint(),
+                        t.waypoint->nat_endpoint());
+  dcol::DcolOptions options;
+  options.waypoint_retry_cooldown = 5 * kSecond;
+  dcol::DcolClient dcol(*t.mux_client, collective, 0, options, util::Rng(3));
+
+  std::shared_ptr<dcol::DcolSession> session;
+  std::function<void(int)> request_loop = [&](int remaining) {
+    if (remaining <= 0 || !session) return;
+    session->connection()->send(
+        std::make_shared<transport::BytesPayload>("GET"));
+    t.sim.schedule(2 * kSecond,
+                   [&, remaining] { request_loop(remaining - 1); });
+  };
+  dcol.connect(t.server_ep(), [&](std::shared_ptr<dcol::DcolSession> s) {
+    session = s;
+    t.sim.schedule(kSecond, [&] { request_loop(30); });
+  });
+
+  // Kill the waypoint after the detour has been established and proven.
+  // Death shows up as the client's detour subflow exhausting its RTO
+  // backoff (~14 min of simulated time), being marked dead and reaped.
+  chaos.crash_at("waypoint", 10 * kSecond, 8 * kSecond);
+  t.sim.run_until(1200 * kSecond);
+
+  ASSERT_TRUE(session != nullptr);
+  EXPECT_EQ(chaos.stats().crashes, 1u);
+  EXPECT_EQ(chaos.stats().restarts, 1u);
+  // The dead detour was detected and withdrawn...
+  EXPECT_GE(dcol.stats().detour_failures, 1u);
+  // ...and after the cooldown the client rejoined the restarted waypoint.
+  EXPECT_GE(dcol.stats().detours_tried, 2u);
+  EXPECT_GE(session->active_detours(), 1);
+}
+
+// ----------------------------- NoCDN churn scenario (and its determinism)
+
+/// Origin + client + six peer HPoPs; peers can crash (losing their caches)
+/// and rejoin with their origin-assigned identity, as a restarted HPoP
+/// process would.
+struct ChurnWorld {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(61)};
+  net::Router* core;
+  net::Host* origin_host;
+  net::Host* client_host;
+  std::unique_ptr<transport::TransportMux> mux_origin;
+  std::unique_ptr<nocdn::OriginServer> origin;
+  std::unique_ptr<transport::TransportMux> mux_client;
+  std::unique_ptr<http::HttpClient> client_http;
+  std::unique_ptr<nocdn::LoaderClient> loader;
+  struct Peer {
+    net::Host* host = nullptr;
+    int index = 0;
+    std::uint64_t id = 0;
+    std::unique_ptr<core::Hpop> hpop;
+    std::unique_ptr<nocdn::PeerProxy> proxy;
+  };
+  std::vector<Peer> peers;
+  std::vector<net::Link*> peer_links;
+
+  explicit ChurnWorld(int n_peers) {
+    core = &net.add_router("core");
+    origin_host = &net.add_host("origin", net.next_public_address());
+    net.connect(*origin_host, origin_host->address(), *core, net::IpAddr{},
+                net::LinkParams{1 * kGbps, 25 * kMillisecond});
+    client_host = &net.add_host("client", net.next_public_address());
+    net.connect(*client_host, client_host->address(), *core, net::IpAddr{},
+                net::LinkParams{1 * kGbps, 5 * kMillisecond});
+    for (int i = 0; i < n_peers; ++i) {
+      Peer peer;
+      peer.index = i;
+      peer.host = &net.add_host("peer-" + std::to_string(i),
+                                net.next_public_address());
+      peer_links.push_back(&net.connect(
+          *peer.host, peer.host->address(), *core, net::IpAddr{},
+          net::LinkParams{1 * kGbps, 5 * kMillisecond}));
+      peers.push_back(std::move(peer));
+    }
+    net.auto_route();
+
+    mux_origin = std::make_unique<transport::TransportMux>(*origin_host);
+    nocdn::OriginConfig config;
+    config.provider = "nytimes";
+    origin = std::make_unique<nocdn::OriginServer>(*mux_origin, config,
+                                                   util::Rng(99));
+    for (auto& peer : peers) {
+      build_peer(peer);
+      peer.id = origin->recruit_peer(peer.proxy->endpoint());
+      peer.proxy->signup(
+          {"nytimes", peer.id, {origin_host->address(), 80}});
+    }
+    mux_client = std::make_unique<transport::TransportMux>(*client_host);
+    client_http = std::make_unique<http::HttpClient>(*mux_client);
+    loader = std::make_unique<nocdn::LoaderClient>(
+        *client_http, net::Endpoint{origin_host->address(), 80}, "nytimes");
+
+    nocdn::PageSpec page;
+    page.path = "/news";
+    page.container_url = "/news/index.html";
+    origin->add_object({page.container_url,
+                        http::Body::synthetic(30 * 1024, 0xC0)});
+    for (int i = 0; i < 4; ++i) {
+      const std::string url = "/news/obj" + std::to_string(i);
+      page.embedded_urls.push_back(url);
+      origin->add_object(
+          {url, http::Body::synthetic((100 + 40 * i) * 1024,
+                                      0xE0 + static_cast<unsigned>(i))});
+    }
+    origin->add_page(page);
+  }
+
+  void build_peer(Peer& peer) {
+    core::HpopConfig config;
+    config.household = "peer-" + std::to_string(peer.index);
+    peer.hpop = std::make_unique<core::Hpop>(*peer.host, config);
+    peer.proxy = std::make_unique<nocdn::PeerProxy>(
+        peer.hpop->mux(), 8080, util::Rng(1000 + peer.index));
+    if (peer.id != 0) {  // rejoin with the identity the origin knows
+      peer.proxy->signup(
+          {"nytimes", peer.id, {origin_host->address(), 80}});
+    }
+  }
+  void crash_peer(Peer& peer) {  // process death: cache and sockets gone
+    peer.proxy.reset();
+    peer.hpop.reset();
+  }
+};
+
+struct ChurnOutcome {
+  std::vector<nocdn::PageLoadResult> loads;
+  fault::ChaosController::Stats faults;
+  std::string telemetry_jsonl;
+};
+
+/// The scripted seeded chaos scenario of the PR: crashes ≥30% of the
+/// NoCDN peer HPoPs (each a real crash: cache lost, sockets reset), flaps
+/// one peer's link, and keeps loading the page throughout.
+ChurnOutcome run_churn_scenario() {
+  const telemetry::Snapshot before = telemetry::registry().snapshot();
+  ChurnOutcome out;
+  ChurnWorld w(6);
+  fault::ChaosController chaos(w.sim, util::Rng(2026));
+  std::vector<std::string> pool;
+  for (auto& peer : w.peers) {
+    pool.push_back(peer.host->name());
+    chaos.register_node(peer.host->name(), peer.host,
+                        [&w, &peer] { w.crash_peer(peer); },
+                        [&w, &peer] { w.build_peer(peer); });
+  }
+  // 2 of 6 peers (33%) crash somewhere in [10s, 30s], down 25s each...
+  const auto victims =
+      chaos.churn(pool, 10 * kSecond, 20 * kSecond, 0.3, 25 * kSecond);
+  EXPECT_EQ(victims.size(), 2u);
+  // ...and one peer's access link flaps three times on top.
+  chaos.flap_link(w.peer_links[0], 15 * kSecond, 3, 2 * kSecond,
+                  3 * kSecond);
+
+  // Six page loads back to back, spanning the whole chaos window.
+  std::function<void(int)> next_load = [&](int remaining) {
+    w.loader->load_page("/news", [&, remaining](nocdn::PageLoadResult r) {
+      out.loads.push_back(r);
+      if (remaining > 1) {
+        w.sim.schedule(5 * kSecond, [&, remaining] {
+          next_load(remaining - 1);
+        });
+      }
+    });
+  };
+  w.sim.schedule(kSecond, [&] { next_load(6); });
+
+  w.sim.run_until(900 * kSecond);
+  out.faults = chaos.stats();
+  out.telemetry_jsonl = telemetry::to_jsonl(telemetry::MetricsRegistry::delta(
+      before, telemetry::registry().snapshot()));
+  return out;
+}
+
+TEST(ChaosScenario, NoCdnPageLoadsCompleteUnderPeerChurn) {
+  const ChurnOutcome out = run_churn_scenario();
+  ASSERT_EQ(out.loads.size(), 6u);
+  int failovers = 0, fallbacks = 0;
+  for (const auto& load : out.loads) {
+    EXPECT_TRUE(load.success);  // every load completed despite the chaos
+    EXPECT_EQ(load.objects_loaded, 5);
+    failovers += load.peer_failovers;
+    fallbacks += load.fallbacks_to_origin;
+  }
+  // The chaos actually forced the loader off dead peers.
+  EXPECT_GT(failovers + fallbacks, 0);
+  EXPECT_EQ(out.faults.crashes, 2u);
+  EXPECT_EQ(out.faults.restarts, 2u);
+  EXPECT_EQ(out.faults.link_downs, 3u);
+  EXPECT_EQ(out.faults.link_ups, 3u);
+  // Recovery latencies landed in telemetry.
+  EXPECT_NE(out.telemetry_jsonl.find("fault.node_downtime_s"),
+            std::string::npos);
+  EXPECT_NE(out.telemetry_jsonl.find("fault.node_crashes"),
+            std::string::npos);
+}
+
+TEST(ChaosScenario, SameSeedChaosRunsAreByteIdentical) {
+  const ChurnOutcome first = run_churn_scenario();
+  const ChurnOutcome second = run_churn_scenario();
+  ASSERT_FALSE(first.telemetry_jsonl.empty());
+  // Same seeds, same faults, same recovery: byte-identical telemetry.
+  EXPECT_EQ(first.telemetry_jsonl, second.telemetry_jsonl);
+  ASSERT_EQ(first.loads.size(), second.loads.size());
+  for (std::size_t i = 0; i < first.loads.size(); ++i) {
+    EXPECT_EQ(first.loads[i].load_time, second.loads[i].load_time) << i;
+    EXPECT_EQ(first.loads[i].bytes_from_peers,
+              second.loads[i].bytes_from_peers) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hpop

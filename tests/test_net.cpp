@@ -144,6 +144,75 @@ TEST(Link, RandomLossDropsAndCounts) {
   EXPECT_EQ(seen->size() + link.stats(0).loss_drops, static_cast<size_t>(n));
 }
 
+TEST(Link, RateChangeAppliesAtNextDequeue) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  Link& link = net.connect(a, b, LinkParams{1 * kMbps, 0, 0.0, 1 << 20});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));  // 1000B
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  // Mid-serialization of the first packet, a 10x rate upgrade: the packet
+  // already on the wire keeps the rate it started with, the queued one
+  // picks up the new rate at its dequeue.
+  sim.schedule(1 * kMillisecond, [&] { link.set_rate(10 * kMbps); });
+  sim.run();
+  ASSERT_EQ(seen->size(), 2u);
+  EXPECT_EQ(seen->at(0).at, util::transmission_delay(1000, 1 * kMbps));
+  EXPECT_EQ(seen->at(1).at, util::transmission_delay(1000, 1 * kMbps) +
+                                util::transmission_delay(1000, 10 * kMbps));
+}
+
+TEST(Link, LossChangeDoesNotAffectInFlightPacket) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  Link& link = net.connect(a, b, LinkParams{1 * kMbps, 0, 0.0, 1 << 20});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  // The first packet passed its loss draw when it was dequeued at t=0;
+  // switching to loss=1 mid-serialization must not claw it back. The
+  // second packet dequeues after the change and is lost.
+  sim.schedule(1 * kMillisecond, [&] { link.set_loss(1.0); });
+  sim.run();
+  ASSERT_EQ(seen->size(), 1u);
+  EXPECT_EQ(link.stats(0).loss_drops, 1u);
+}
+
+TEST(Link, AdminDownDrainsQueueAndBlocksTraffic) {
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  Link& link = net.connect(a, b, LinkParams{1 * kMbps, 0, 0.0, 1 << 20});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  for (int i = 0; i < 3; ++i) {
+    a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  }
+  // One packet is serializing, two are queued. Admin-down drains the queue
+  // and drops the in-flight packet at its delivery instant.
+  link.set_admin_up(false);
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  sim.run();
+  EXPECT_TRUE(seen->empty());
+  EXPECT_EQ(link.stats(0).admin_drops, 4u);
+
+  // Back up: traffic flows again.
+  link.set_admin_up(true);
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  sim.run();
+  EXPECT_EQ(seen->size(), 1u);
+}
+
 TEST(Routing, MultiHopThroughRouters) {
   sim::Simulator sim;
   Network net(sim, util::Rng(1));
@@ -389,6 +458,68 @@ TEST(Nat, HairpinOnlyWhenEnabled) {
     f.sim.run();
     EXPECT_EQ(f.seen_inside->size(), hairpin ? 1u : 0u);
   }
+}
+
+TEST(Nat, SweepEvictsIdleMappings) {
+  NatConfig config = NatConfig::full_cone();
+  config.udp_mapping_timeout = 1 * util::kSecond;
+  NatFixture f(config);
+  f.nat->enable_mapping_sweep(500 * kMillisecond);
+
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.sim.run();  // sweep timer self-terminates once the table is empty
+  EXPECT_EQ(f.nat->mapping_count(), 0u);
+  EXPECT_GE(f.nat->nat_counters().expired, 1u);
+  // The eviction happened proactively — within a sweep period of the
+  // timeout — not lazily at the next inbound packet.
+  EXPECT_LE(f.sim.now(), 2 * util::kSecond);
+}
+
+TEST(Nat, SweepKeepsRefreshedMappings) {
+  NatConfig config = NatConfig::full_cone();
+  config.udp_mapping_timeout = 5 * util::kSecond;
+  NatFixture f(config);
+  f.nat->enable_mapping_sweep(1 * util::kSecond);
+
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  // Keep the mapping warm past several sweeps.
+  for (int i = 1; i <= 3; ++i) {
+    f.sim.schedule(i * 2 * util::kSecond, [&] {
+      f.inside->send_packet(
+          make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+    });
+  }
+  f.sim.run_until(7 * util::kSecond);
+  EXPECT_EQ(f.nat->mapping_count(), 1u);
+  EXPECT_EQ(f.nat->nat_counters().expired, 0u);
+}
+
+TEST(Nat, FlushDropsDynamicKeepsStaticForwards) {
+  NatFixture f(NatConfig::full_cone());
+  ASSERT_TRUE(
+      f.nat->add_port_mapping(Proto::kUdp, 8080, {f.inside->address(), 80})
+          .ok());
+  f.inside->send_packet(
+      make_udp({f.inside->address(), 5000}, {f.server1->address(), 53}));
+  f.sim.run();
+  ASSERT_EQ(f.nat->mapping_count(), 1u);
+  const Endpoint mapped = f.seen1->front().pkt.src_endpoint();
+
+  f.nat->flush_mappings();
+  EXPECT_EQ(f.nat->mapping_count(), 0u);
+  EXPECT_EQ(f.nat->nat_counters().flushed, 1u);
+
+  // The dynamic mapping is gone...
+  f.server1->send_packet(make_udp({f.server1->address(), 53}, mapped));
+  f.sim.run();
+  EXPECT_TRUE(f.seen_inside->empty());
+  // ...but the static UPnP forward survived the flush.
+  f.server1->send_packet(make_udp({f.server1->address(), 1000},
+                                  {f.nat->public_ip(), 8080}));
+  f.sim.run();
+  EXPECT_EQ(f.seen_inside->size(), 1u);
 }
 
 // ------------------------------------------------------------- Topologies

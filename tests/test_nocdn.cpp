@@ -417,7 +417,12 @@ TEST(NoCdnEndToEnd, ChunkingCapsOneBadPeersImpact) {
   OriginConfig chunked_config = CdnWorld::make_config();
   chunked_config.chunks_per_object = 3;
   CdnWorld chunked(3, chunked_config);
-  CdnWorld whole(3);
+  // Alternates are whole-object mode's own redundancy mechanism; disable
+  // them so this compares chunking against the *naive* whole-object mode
+  // the paper argues against.
+  OriginConfig whole_config = CdnWorld::make_config();
+  whole_config.alternates_per_object = 0;
+  CdnWorld whole(3, whole_config);
   for (int i = 0; i < 3; ++i) {
     (void)chunked.load_once();  // warm caches
     (void)whole.load_once();
@@ -441,6 +446,22 @@ TEST(NoCdnEndToEnd, NoPeersMeans503) {
   CdnWorld w(0);
   const PageLoadResult result = w.load_once(10 * kSecond);
   EXPECT_FALSE(result.success);
+}
+
+TEST(NoCdnEndToEnd, TrustCollapseDisablesPeerDelivery) {
+  OriginConfig config = CdnWorld::make_config();
+  config.selector = "trust-weighted";
+  CdnWorld w(2, config);
+  for (auto& peer : w.peers) {
+    peer->set_behavior(PeerBehavior{.corrupt_content = true});
+  }
+  // Every fetch fails verification and is reported; trust decays by 0.25x
+  // per report, quickly crossing the selector's 0.5 floor.
+  for (int i = 0; i < 3; ++i) (void)w.load_once();
+  EXPECT_LT(w.origin->peer_trust(1), 0.5);
+  EXPECT_LT(w.origin->peer_trust(2), 0.5);
+  const PageLoadResult result = w.load_once();
+  EXPECT_FALSE(result.success);  // all peers below the floor -> 503 wrapper
 }
 
 }  // namespace
@@ -510,6 +531,20 @@ TEST(Selection, AllUntrustedGivesMinusOne) {
   auto peers = three_peers();
   for (auto& p : peers) p.trust = 0.0;
   EXPECT_EQ(selector.select(peers, rng), -1);
+}
+
+TEST(Selection, NonTrustSelectorsIgnoreZeroTrust) {
+  // Only the trust-weighted selector refuses untrusted peers; the others
+  // must keep returning a valid candidate.
+  util::Rng rng(1);
+  auto peers = three_peers();
+  for (auto& p : peers) p.trust = 0.0;
+  for (const char* name : {"random", "proximity", "load-aware"}) {
+    auto selector = make_selector(name);
+    const int pick = selector->select(peers, rng);
+    EXPECT_GE(pick, 0) << name;
+    EXPECT_LT(pick, 3) << name;
+  }
 }
 
 }  // namespace
