@@ -6,7 +6,9 @@ set -e
 
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure
+# --timeout: no single test may wedge the suite (overload/chaos scenarios
+# drive long simulated horizons but must stay fast in wall-clock terms).
+ctest --test-dir build --output-on-failure --timeout 120
 
 # Fixed-seed determinism gate: the chaos suite's same-seed scenario must be
 # byte-identical in-process, and a full seeded chaos run must print the same
@@ -17,9 +19,20 @@ ctest --test-dir build --output-on-failure
 ./build/bench/bench_chaos_recovery > /tmp/chaos_run_b.txt
 diff /tmp/chaos_run_a.txt /tmp/chaos_run_b.txt
 
+# Overload gate (E14, smoke scale): admission control must beat the
+# admission-off baseline (the bench exits non-zero when its verdicts fail),
+# and two same-seed runs must print byte-identical reports.
+./build/tests/test_overload \
+  --gtest_filter='OverloadChaos.SameSeedFlashCrowdRunsAreByteIdentical'
+./build/bench/bench_flash_crowd --smoke > /tmp/flash_run_a.txt
+./build/bench/bench_flash_crowd --smoke > /tmp/flash_run_b.txt
+diff /tmp/flash_run_a.txt /tmp/flash_run_b.txt
+cat /tmp/flash_run_a.txt
+
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
 cmake --build build-asan -j
 # detect_leaks=0: the transport layer keeps connections alive through
 # shared_ptr callback cycles (a known seed-era pattern), which LSan reports
 # at exit. Memory-error and UB detection — the point of this lane — stay on.
-ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
+  --timeout 240

@@ -110,11 +110,22 @@ void DcolClient::try_next_waypoint(
   for (const auto& member : collective_.waypoints_for(self_id_)) {
     const auto tried = tried_members_.find(member.id);
     if (tried != tried_members_.end() && tried->second > now) continue;
+    if (options_.enable_breakers) {
+      // Non-mutating preview: only the eventually-chosen member should
+      // consume a half-open probe slot.
+      const auto breaker_it = waypoint_breakers_.find(member.id);
+      if (breaker_it != waypoint_breakers_.end() &&
+          !breaker_it->second.would_allow(now)) {
+        ++stats_.breaker_skips;
+        continue;
+      }
+    }
     if (!chosen || member.reputation > chosen->reputation) {
       chosen = member;
     }
   }
   if (!chosen) return;
+  if (options_.enable_breakers) breaker_for(chosen->id)->allow(now);
   // Provisionally never again; failure paths shorten this to a cooldown.
   tried_members_[chosen->id] = std::numeric_limits<util::TimePoint>::max();
   ++stats_.detours_tried;
@@ -162,9 +173,24 @@ void DcolClient::try_next_waypoint(
 void DcolClient::add_detour_subflow(
     const std::shared_ptr<DcolSession>& session, DcolSession::Detour& detour,
     transport::TcpOptions opts) {
+  if (options_.enable_breakers) {
+    breaker_for(detour.member_id)->record_success(mux_.simulator().now());
+  }
   detour.subflow = session->conn_->add_subflow(opts);
   detour.last_bytes = 0;
   detour.trial = true;
+}
+
+overload::CircuitBreaker* DcolClient::breaker_for(std::uint64_t member) {
+  auto it = waypoint_breakers_.find(member);
+  if (it == waypoint_breakers_.end()) {
+    it = waypoint_breakers_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(member),
+                      std::forward_as_tuple(options_.waypoint_breaker, &rng_))
+             .first;
+  }
+  return &it->second;
 }
 
 bool DcolClient::subflow_dead(
@@ -185,6 +211,9 @@ void DcolClient::fail_detour(DcolSession::Detour& detour) {
   // a chance to come back.
   tried_members_[detour.member_id] =
       mux_.simulator().now() + options_.waypoint_retry_cooldown;
+  if (options_.enable_breakers) {
+    breaker_for(detour.member_id)->record_failure(mux_.simulator().now());
+  }
   ++stats_.detour_failures;
   telemetry::registry().counter("dcol.detour_failures")->inc();
   telemetry::tracer().emit(telemetry::TraceEvent::kDetourWithdrawn,

@@ -6,6 +6,7 @@
 
 #include "dcol/collective.hpp"
 #include "dcol/tunnel.hpp"
+#include "overload/breaker.hpp"
 #include "transport/mptcp.hpp"
 
 namespace hpop::dcol {
@@ -45,6 +46,14 @@ struct DcolOptions {
   util::Duration waypoint_retry_cooldown = 10 * util::kSecond;
   bool require_tls = true;
   transport::SchedulerKind scheduler = transport::SchedulerKind::kMinRtt;
+  /// Per-waypoint circuit breakers (off by default). A member whose joins
+  /// keep failing gets an open circuit: the client stops dialling it until
+  /// the (jittered) open window lapses, instead of burning a join timeout
+  /// on every exploration round. Complements the retry cooldown above —
+  /// the cooldown paces a single failure, the breaker squelches repeated
+  /// ones.
+  bool enable_breakers = false;
+  overload::BreakerConfig waypoint_breaker{};
 };
 
 /// One detoured connection: the MPTCP session plus its detour state.
@@ -107,8 +116,13 @@ class DcolClient {
     std::uint64_t detours_withdrawn = 0;
     std::uint64_t detour_failures = 0;  // join timeouts + subflow resets
     std::uint64_t misbehavior_reports = 0;
+    std::uint64_t breaker_skips = 0;  // members passed over: circuit open
   };
   const Stats& stats() const { return stats_; }
+  const overload::CircuitBreaker* waypoint_breaker(std::uint64_t member) const {
+    const auto it = waypoint_breakers_.find(member);
+    return it == waypoint_breakers_.end() ? nullptr : &it->second;
+  }
 
  private:
   void start_exploration(const std::shared_ptr<DcolSession>& session,
@@ -135,8 +149,11 @@ class DcolClient {
   std::uint64_t self_id_;
   DcolOptions options_;
   util::Rng rng_;
+  overload::CircuitBreaker* breaker_for(std::uint64_t member);
+
   /// member id -> earliest time it may be selected again; max() = never.
   std::map<std::uint64_t, util::TimePoint> tried_members_;
+  std::map<std::uint64_t, overload::CircuitBreaker> waypoint_breakers_;
   Stats stats_;
 };
 

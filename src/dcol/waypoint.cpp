@@ -13,6 +13,13 @@ WaypointService::WaypointService(transport::TransportMux& mux,
   m_dropped_ = reg.counter("dcol.waypoint.dropped");
   m_vpn_clients_ = reg.gauge("dcol.waypoint.vpn_clients");
   m_nat_tunnels_ = reg.gauge("dcol.waypoint.nat_tunnels");
+  if (config_.join_rate > 0.0) {
+    overload::AdmissionConfig ac;
+    ac.rate = config_.join_rate;
+    ac.burst = config_.join_burst;
+    join_admission_ = std::make_unique<overload::AdmissionController>(
+        mux_.simulator(), "dcol.waypoint", ac);
+  }
   vpn_socket_ = mux_.udp_open(config_.vpn_port);
   nat_socket_ = mux_.udp_open(config_.nat_signal_port);
 
@@ -25,7 +32,9 @@ WaypointService::WaypointService(transport::TransportMux& mux,
     for (const auto& ref : pkt.messages) {
       if (std::dynamic_pointer_cast<const VpnJoinRequest>(ref.message)) {
         auto resp = std::make_shared<VpnJoinResponse>();
-        if (next_virtual_ >= 62) {  // /26 => 64 addresses, minus net/gw
+        if (!admit_join()) {
+          resp->ok = false;
+        } else if (next_virtual_ >= 62) {  // /26 => 64 addrs, minus net/gw
           resp->ok = false;
         } else {
           const net::IpAddr vip(config_.vpn_subnet.value + next_virtual_++);
@@ -45,11 +54,18 @@ WaypointService::WaypointService(transport::TransportMux& mux,
     const auto req = std::dynamic_pointer_cast<const NatTunnelRequest>(msg);
     if (!req) return;
     auto resp = std::make_shared<NatTunnelResponse>();
-    resp->tunnel_port = allocate_port();
-    resp->ok = true;
-    nat_tunnels_[resp->tunnel_port] = req->server;
-    ++stats_.nat_tunnels;
-    m_nat_tunnels_->add(1);
+    const bool capped = config_.max_nat_tunnels > 0 &&
+                        nat_tunnels_.size() >= config_.max_nat_tunnels;
+    if (capped || !admit_join()) {
+      if (capped) ++stats_.joins_shed;
+      resp->ok = false;
+    } else {
+      resp->tunnel_port = allocate_port();
+      resp->ok = true;
+      nat_tunnels_[resp->tunnel_port] = req->server;
+      ++stats_.nat_tunnels;
+      m_nat_tunnels_->add(1);
+    }
     nat_socket_->send_to(from, resp);
   });
 
@@ -63,6 +79,15 @@ net::Endpoint WaypointService::vpn_endpoint() const {
 
 net::Endpoint WaypointService::nat_endpoint() const {
   return {mux_.host().address(), config_.nat_signal_port};
+}
+
+bool WaypointService::admit_join() {
+  if (!join_admission_) return true;
+  if (join_admission_->try_admit_instant(overload::Class::kThirdParty)) {
+    return true;
+  }
+  ++stats_.joins_shed;
+  return false;
 }
 
 std::uint16_t WaypointService::allocate_port() {

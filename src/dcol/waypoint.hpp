@@ -4,6 +4,7 @@
 #include <memory>
 #include <tuple>
 
+#include "overload/admission.hpp"
 #include "telemetry/metrics.hpp"
 #include "transport/mux.hpp"
 #include "util/result.hpp"
@@ -47,6 +48,13 @@ struct WaypointConfig {
   net::IpAddr vpn_subnet = net::IpAddr(10, 200, 0, 0);
   /// Misbehaviour injection: drop this fraction of relayed packets.
   double drop_rate = 0.0;
+  /// Join admission: token-bucket rate on join/tunnel signalling so a
+  /// stampede of joining strangers cannot starve the household. 0 = off.
+  double join_rate = 0.0;
+  double join_burst = 8.0;
+  /// Hard cap on negotiated NAT tunnels (the VPN side is already capped
+  /// by its /26); 0 = unlimited.
+  std::size_t max_nat_tunnels = 0;
 };
 
 /// The waypoint service an HPoP runs for its collective (§IV-C, Fig. 3).
@@ -67,6 +75,7 @@ class WaypointService {
     std::uint64_t packets_relayed = 0;
     std::uint64_t bytes_relayed = 0;
     std::uint64_t packets_dropped = 0;  // injected misbehaviour
+    std::uint64_t joins_shed = 0;       // admission-refused joins/tunnels
   };
   const Stats& stats() const { return stats_; }
   net::Endpoint vpn_endpoint() const;
@@ -92,6 +101,7 @@ class WaypointService {
 
   void handle_vpn_packet(const net::Packet& outer);
   bool intercept(net::Packet& pkt);
+  bool admit_join();
   std::uint16_t allocate_port();
   bool relay_budget(const net::Packet& pkt, std::size_t extra_bytes = 0);
 
@@ -109,6 +119,7 @@ class WaypointService {
   /// NAT-mode tunnels: waypoint port -> server (pre-flow configuration).
   std::map<std::uint16_t, net::Endpoint> nat_tunnels_;
   std::uint16_t next_port_ = 40000;
+  std::unique_ptr<overload::AdmissionController> join_admission_;
   Stats stats_;
 
   // Registry handles (aggregated across all waypoints).

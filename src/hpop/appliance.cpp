@@ -16,6 +16,27 @@ Hpop::Hpop(net::Host& host, HpopConfig config)
         rc.service_port = config_.service_port;
         return rc;
       }()) {
+  if (config_.admission) {
+    admission_ = std::make_unique<overload::AdmissionController>(
+        simulator(), "hpop.front", *config_.admission);
+    http_server_.set_admission(
+        admission_.get(), [](const http::Request& req) {
+          // Provider health-record writes must never bounce: the provider
+          // fires them and forgets, and a lost record is a lost record.
+          if (req.method == http::Method::kPut &&
+              req.path.rfind("/attic/records/", 0) == 0) {
+            return overload::Class::kCritical;
+          }
+          // Owner-scoped capabilities mark household traffic.
+          if (const auto header = req.headers.get("x-capability")) {
+            const auto cap = TokenAuthority::decode(*header);
+            if (cap.ok() && cap.value().scope == "/") {
+              return overload::Class::kOwner;
+            }
+          }
+          return overload::Class::kThirdParty;
+        });
+  }
   // A friendly landing page, so "is my HPoP up?" has an answer.
   http_server_.route(http::Method::kGet, "/",
                      [this](const http::Request&, http::ResponseWriter& w) {

@@ -8,6 +8,7 @@
 #include "hpop/directory.hpp"
 #include "http/client.hpp"
 #include "http/server.hpp"
+#include "overload/admission.hpp"
 #include "traversal/reachability.hpp"
 
 namespace hpop::core {
@@ -18,6 +19,12 @@ struct HpopConfig {
   util::Bytes secret = util::to_bytes("household-secret");
   traversal::ReachabilityConfig reachability;
   std::optional<net::Endpoint> directory;
+  /// Front-door overload admission (off by default). When set, requests
+  /// bearing an owner-scoped capability outrank third-party traffic, and
+  /// provider health-record writes (PUT /attic/records/...) are critical —
+  /// they are never shed, per the §IV-A promise that the attic is the
+  /// durable home for a patient's records.
+  std::optional<overload::AdmissionConfig> admission;
 };
 
 /// The home point of presence (§II-III): an always-on appliance in the home
@@ -58,6 +65,7 @@ class Hpop {
   }
   std::uint16_t service_port() const { return config_.service_port; }
   bool online() const { return online_; }
+  overload::AdmissionController* admission() { return admission_.get(); }
 
  private:
   net::Host& host_;
@@ -66,6 +74,7 @@ class Hpop {
   http::HttpServer http_server_;
   http::HttpClient http_client_;
   TokenAuthority tokens_;
+  std::unique_ptr<overload::AdmissionController> admission_;
   traversal::ReachabilityManager reachability_;
   std::unique_ptr<DirectoryRegistration> registration_;
   std::map<std::string, std::string> services_;

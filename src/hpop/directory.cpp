@@ -1,5 +1,7 @@
 #include "hpop/directory.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace hpop::core {
@@ -23,6 +25,16 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
               std::dynamic_pointer_cast<const DirLookupRequest>(msg)) {
         auto resp = std::make_shared<DirLookupResponse>();
         resp->txn = lookup->txn;
+        util::Duration hint = 0;
+        if (admission_ && !admission_->try_admit_instant(
+                              overload::Class::kThirdParty, &hint)) {
+          ++sheds_;
+          resp->busy = true;
+          resp->retry_after_s = static_cast<std::uint32_t>(
+              std::max<util::Duration>(hint, util::kSecond) / util::kSecond);
+          conn->send(resp);
+          return;
+        }
         const auto it = households_.find(lookup->household);
         if (it != households_.end()) {
           resp->found = true;
@@ -33,6 +45,19 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
       }
       if (const auto rdv =
               std::dynamic_pointer_cast<const DirRendezvousRequest>(msg)) {
+        util::Duration hint = 0;
+        if (admission_ && !admission_->try_admit_instant(
+                              overload::Class::kOwner, &hint)) {
+          ++sheds_;
+          auto ready = std::make_shared<DirRendezvousReady>();
+          ready->txn = rdv->txn;
+          ready->ok = false;
+          ready->busy = true;
+          ready->retry_after_s = static_cast<std::uint32_t>(
+              std::max<util::Duration>(hint, util::kSecond) / util::kSecond);
+          conn->send(ready);
+          return;
+        }
         const auto it = households_.find(rdv->household);
         if (it == households_.end() || !it->second.control) {
           auto ready = std::make_shared<DirRendezvousReady>();
@@ -60,6 +85,11 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
     });
     conn->set_on_remote_close([conn] { conn->close(); });
   });
+}
+
+void DirectoryServer::enable_admission(overload::AdmissionConfig config) {
+  admission_ = std::make_unique<overload::AdmissionController>(
+      mux_.simulator(), "hpop.directory", config);
 }
 
 DirectoryRegistration::DirectoryRegistration(
@@ -105,6 +135,13 @@ void DirectoryClient::lookup(const std::string& household,
     if (!resp || *done) return;
     *done = true;
     conn->close();
+    if (resp->busy) {
+      cb(util::Result<traversal::Advertisement>::failure(
+          "directory_busy",
+          "directory overloaded; retry after " +
+              std::to_string(resp->retry_after_s) + "s"));
+      return;
+    }
     if (!resp->found) {
       cb(util::Result<traversal::Advertisement>::failure(
           "not_found", "household not registered"));
@@ -164,7 +201,10 @@ void DirectoryClient::rendezvous_and_connect(
     control->close();
     if (!ready->ok) {
       cb(util::Result<std::shared_ptr<transport::TcpConnection>>::failure(
-          "rendezvous_failed", "HPoP did not acknowledge rendezvous"));
+          ready->busy ? "directory_busy" : "rendezvous_failed",
+          ready->busy ? "directory overloaded; retry after " +
+                            std::to_string(ready->retry_after_s) + "s"
+                      : "HPoP did not acknowledge rendezvous"));
       return;
     }
     transport::TcpOptions opts;

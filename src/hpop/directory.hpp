@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "overload/admission.hpp"
 #include "traversal/reachability.hpp"
 #include "transport/mux.hpp"
 
@@ -30,6 +31,10 @@ struct DirLookupRequest : net::Payload {
 struct DirLookupResponse : net::Payload {
   std::uint64_t txn = 0;
   bool found = false;
+  /// Overload shed: the directory exists and may know the household, but
+  /// refused to answer right now. Retry after retry_after_s seconds.
+  bool busy = false;
+  std::uint32_t retry_after_s = 0;
   traversal::Advertisement advertisement;
   std::size_t wire_size() const override { return 64; }
 };
@@ -46,6 +51,8 @@ struct DirRendezvousRequest : net::Payload {
 struct DirRendezvousReady : net::Payload {
   std::uint64_t txn = 0;
   bool ok = false;
+  bool busy = false;  // overload shed, not a rendezvous failure
+  std::uint32_t retry_after_s = 0;
   std::size_t wire_size() const override { return 24; }
 };
 
@@ -58,6 +65,12 @@ class DirectoryServer {
 
   std::size_t registered() const { return households_.size(); }
 
+  /// Overload admission (off unless called). Registrations are critical —
+  /// an HPoP that cannot re-register goes dark for every member of its
+  /// household — so only lookups and rendezvous signalling are sheddable.
+  void enable_admission(overload::AdmissionConfig config);
+  std::uint64_t sheds() const { return sheds_; }
+
  private:
   struct Registration {
     traversal::Advertisement advertisement;
@@ -66,6 +79,8 @@ class DirectoryServer {
 
   transport::TransportMux& mux_;
   std::shared_ptr<transport::TcpListener> listener_;
+  std::unique_ptr<overload::AdmissionController> admission_;
+  std::uint64_t sheds_ = 0;
   std::map<std::string, Registration> households_;
   // txn -> requester connection, for relaying rendezvous-ready.
   std::map<std::uint64_t, std::weak_ptr<transport::TcpConnection>>

@@ -20,9 +20,46 @@ struct HttpClient::Conn : std::enable_shared_from_this<HttpClient::Conn> {
   std::optional<sim::TimerId> timeout;
 };
 
+void HttpClient::enable_breakers(overload::BreakerConfig config) {
+  breaker_config_ = config;
+}
+
+const overload::CircuitBreaker* HttpClient::breaker(
+    net::Endpoint server) const {
+  const auto it = breakers_.find(server);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+overload::CircuitBreaker* HttpClient::breaker_for(net::Endpoint server) {
+  if (!breaker_config_) return nullptr;
+  auto it = breakers_.find(server);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(server, overload::CircuitBreaker(*breaker_config_,
+                                                       &rng_))
+             .first;
+  }
+  return &it->second;
+}
+
 void HttpClient::fetch(net::Endpoint server, Request request,
                        ResponseHandler handler, FetchOptions options) {
   ++stats_.requests;
+  if (overload::CircuitBreaker* br = breaker_for(server)) {
+    if (!br->allow(mux_.simulator().now())) {
+      ++stats_.fast_fails;
+      ++stats_.errors;
+      // Fail asynchronously so callers see uniform callback timing.
+      mux_.simulator().schedule(
+          0, [alive = std::weak_ptr<int>(alive_),
+              handler = std::move(handler)] {
+            if (alive.expired()) return;
+            handler(util::Result<Response>::failure(
+                "circuit_open", "circuit breaker is open"));
+          });
+      return;
+    }
+  }
   if (!request.headers.has("host")) {
     request.headers.set("Host", server.ip.to_string());
   }
@@ -60,11 +97,7 @@ std::shared_ptr<HttpClient::Conn> HttpClient::idle_connection(
       c->timeout.reset();
     }
     c->busy = false;
-    auto handler = std::move(c->handler);
-    c->handler = nullptr;
-    ++stats_.responses;
-    stats_.bytes_fetched += resp->response.wire_size();
-    if (handler) handler(resp->response);
+    on_response(c, resp->response);
     pump(c->server);
   });
   auto on_gone = [this, weak] {
@@ -111,15 +144,70 @@ void HttpClient::dispatch(const std::shared_ptr<Conn>& conn, Pending pending) {
   conn->tcp->send(std::make_shared<RequestPayload>(conn->request));
 }
 
+void HttpClient::on_response(const std::shared_ptr<Conn>& conn,
+                             const Response& response) {
+  const util::TimePoint now = mux_.simulator().now();
+  auto handler = std::move(conn->handler);
+  conn->handler = nullptr;
+
+  const bool shed = response.status == 429 || response.status == 503;
+  if (overload::CircuitBreaker* br = breaker_for(conn->server)) {
+    // A shed response is a health signal, not a payload: it counts against
+    // the failure window, and its Retry-After pins the circuit open.
+    if (shed) {
+      br->record_failure(now);
+      if (const auto hint = retry_after(response.headers)) {
+        br->force_open(now, *hint);
+      }
+    } else {
+      br->record_success(now);
+    }
+  }
+
+  const util::RetryPolicy& policy = conn->options.retry;
+  if (shed && conn->options.retry_on_overload &&
+      is_idempotent(conn->request.method) && handler &&
+      policy.may_retry(conn->attempt, conn->started, now)) {
+    ++stats_.retries;
+    ++stats_.overload_retries;
+    const util::Duration hint = retry_after(response.headers).value_or(0);
+    const util::Duration wait =
+        policy.backoff_with_hint(conn->attempt, rng_, hint);
+    const net::Endpoint server = conn->server;
+    Pending again{std::move(conn->request), std::move(handler),
+                  conn->options, conn->attempt + 1, conn->started};
+    HPOP_LOG(kDebug, "http")
+        << "retrying " << again.request.path << " (" << response.status
+        << ", attempt " << again.attempt << ")";
+    mux_.simulator().schedule(
+        wait, [this, server, alive = std::weak_ptr<int>(alive_),
+               p = std::move(again)]() mutable {
+          if (alive.expired()) return;  // client died with its host
+          pools_[server].queue.push_back(std::move(p));
+          pump(server);
+        });
+    return;
+  }
+
+  ++stats_.responses;
+  stats_.bytes_fetched += response.wire_size();
+  if (handler) handler(response);
+}
+
 void HttpClient::fail_or_retry(const std::shared_ptr<Conn>& conn,
-                               const char* code, const char* message) {
+                               const char* code, const char* message,
+                               util::Duration server_hint) {
+  if (overload::CircuitBreaker* br = breaker_for(conn->server)) {
+    br->record_failure(mux_.simulator().now());
+  }
   auto handler = std::move(conn->handler);
   conn->handler = nullptr;
   if (!handler) return;
   const util::RetryPolicy& policy = conn->options.retry;
   if (policy.may_retry(conn->attempt, conn->started, mux_.simulator().now())) {
     ++stats_.retries;
-    const util::Duration wait = policy.backoff(conn->attempt, rng_);
+    const util::Duration wait =
+        policy.backoff_with_hint(conn->attempt, rng_, server_hint);
     const net::Endpoint server = conn->server;
     Pending again{std::move(conn->request), std::move(handler), conn->options,
                   conn->attempt + 1, conn->started};

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "http/message.hpp"
+#include "overload/breaker.hpp"
 #include "transport/mux.hpp"
 #include "util/result.hpp"
 #include "util/retry.hpp"
@@ -22,6 +23,11 @@ struct FetchOptions {
   /// connection is re-sent (on a fresh connection) per this policy. The
   /// default is no retries — callers that want crash resilience opt in.
   util::RetryPolicy retry = util::RetryPolicy::none();
+  /// Also retry 429/503 responses per the same policy, waiting at least
+  /// the server's Retry-After. Only idempotent methods qualify: once a
+  /// response was received, re-sending a POST could duplicate its effect,
+  /// so non-idempotent requests surface the status to the caller instead.
+  bool retry_on_overload = false;
 };
 
 /// Asynchronous HTTP client with keep-alive connection pooling. One
@@ -41,11 +47,22 @@ class HttpClient {
   void fetch(net::Endpoint server, Request request, ResponseHandler handler,
              FetchOptions options = {});
 
+  /// Enables a per-endpoint circuit breaker: transport failures and
+  /// 429/503 responses count against the failure window; while a circuit
+  /// is open, fetches fast-fail with "circuit_open" instead of hammering a
+  /// struggling server. Retry-After on a shed response force-opens the
+  /// breaker for at least that long. Off by default (no behaviour change).
+  void enable_breakers(overload::BreakerConfig config);
+  /// The breaker guarding `server`; nullptr when breakers are disabled.
+  const overload::CircuitBreaker* breaker(net::Endpoint server) const;
+
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t responses = 0;
     std::uint64_t errors = 0;
     std::uint64_t retries = 0;
+    std::uint64_t overload_retries = 0;  // 429/503-triggered (in retries too)
+    std::uint64_t fast_fails = 0;        // refused by an open circuit
     std::uint64_t bytes_fetched = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -68,13 +85,19 @@ class HttpClient {
   std::shared_ptr<Conn> idle_connection(Pool& pool, net::Endpoint server,
                                         const FetchOptions& options);
   void dispatch(const std::shared_ptr<Conn>& conn, Pending pending);
+  void on_response(const std::shared_ptr<Conn>& conn,
+                   const Response& response);
   /// Retries the outstanding request per its policy, or fails it out.
   void fail_or_retry(const std::shared_ptr<Conn>& conn, const char* code,
-                     const char* message);
+                     const char* message,
+                     util::Duration server_hint = 0);
+  overload::CircuitBreaker* breaker_for(net::Endpoint server);
 
   transport::TransportMux& mux_;
   util::Rng rng_;
   std::map<net::Endpoint, Pool> pools_;
+  std::optional<overload::BreakerConfig> breaker_config_;
+  std::map<net::Endpoint, overload::CircuitBreaker> breakers_;
   /// Liveness token: retry timers hold a weak_ptr so a timer that outlives
   /// the client (its host crashed) is a no-op instead of a dangling call.
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);

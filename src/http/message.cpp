@@ -24,6 +24,29 @@ std::string to_string(Method m) {
   return "?";
 }
 
+std::optional<Method> method_from_string(std::string_view s) {
+  static constexpr Method kAll[] = {
+      Method::kGet,      Method::kHead,  Method::kPut,    Method::kPost,
+      Method::kDelete,   Method::kOptions, Method::kPropfind, Method::kMkcol,
+      Method::kLock,     Method::kUnlock, Method::kMove,  Method::kCopy,
+  };
+  for (Method m : kAll) {
+    if (to_string(m) == s) return m;
+  }
+  return std::nullopt;
+}
+
+bool is_idempotent(Method m) {
+  switch (m) {
+    case Method::kPost:
+    case Method::kLock:
+    case Method::kMove:
+      return false;
+    default:
+      return true;
+  }
+}
+
 std::string Headers::lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
@@ -153,6 +176,22 @@ std::optional<std::int64_t> max_age_seconds(const Headers& headers) {
   return std::atoll(value->c_str() + pos + 8);
 }
 
+std::optional<util::Duration> retry_after(const Headers& headers) {
+  const auto value = headers.get("retry-after");
+  if (!value || value->empty()) return std::nullopt;
+  for (const char c : *value) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  if (value->size() > 9) return std::nullopt;  // > ~31 years: garbage
+  return std::atoll(value->c_str()) * util::kSecond;
+}
+
+void set_retry_after(Headers& headers, util::Duration d) {
+  const std::int64_t secs =
+      std::max<std::int64_t>(1, (d + util::kSecond - 1) / util::kSecond);
+  headers.set("Retry-After", std::to_string(secs));
+}
+
 std::string status_text(int status) {
   switch (status) {
     case 200: return "OK";
@@ -168,12 +207,290 @@ std::string status_text(int status) {
     case 409: return "Conflict";
     case 412: return "Precondition Failed";
     case 423: return "Locked";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
+}
+
+// --- Wire-text serialization and parsing ---------------------------------
+
+namespace {
+
+std::string body_text(const Body& body) {
+  if (body.is_real()) return body.text();
+  // Synthetic bodies have no materialized bytes; serialize a deterministic
+  // filler of the right length so framing stays exact.
+  return std::string(body.size(), 'x');
+}
+
+void append_headers(std::string& out, const Headers& headers,
+                    std::size_t content_length) {
+  for (const auto& [name, value] : headers.entries()) {
+    if (name == "content-length") continue;  // framing is ours to write
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "content-length: " + std::to_string(content_length) + "\r\n\r\n";
+}
+
+/// Pulls CRLF-terminated lines off a wire buffer, enforcing a length cap
+/// per line so hostile input cannot force unbounded scans or buffers.
+struct LineReader {
+  std::string_view wire;
+  std::size_t pos = 0;
+
+  enum class Verdict { kOk, kTruncated, kTooLong };
+  Verdict next(std::string_view* line, std::size_t max_line) {
+    const auto nl = wire.find("\r\n", pos);
+    if (nl == std::string_view::npos) {
+      return wire.size() - pos > max_line ? Verdict::kTooLong
+                                          : Verdict::kTruncated;
+    }
+    if (nl - pos > max_line) return Verdict::kTooLong;
+    *line = wire.substr(pos, nl - pos);
+    pos = nl + 2;
+    return Verdict::kOk;
+  }
+};
+
+struct ParseError {
+  const char* code;
+  const char* message;
+};
+
+std::optional<ParseError> parse_headers(LineReader& reader, Headers* headers,
+                                        const ParseLimits& limits) {
+  std::size_t total_bytes = 0;
+  std::size_t count = 0;
+  for (;;) {
+    std::string_view line;
+    switch (reader.next(&line, limits.max_line)) {
+      case LineReader::Verdict::kTruncated:
+        return ParseError{"truncated", "headers end before blank line"};
+      case LineReader::Verdict::kTooLong:
+        return ParseError{"line_too_long", "header line exceeds limit"};
+      case LineReader::Verdict::kOk:
+        break;
+    }
+    if (line.empty()) return std::nullopt;  // blank line: headers done
+    total_bytes += line.size();
+    if (total_bytes > limits.max_header_bytes) {
+      return ParseError{"headers_too_large", "header block exceeds limit"};
+    }
+    if (++count > limits.max_headers) {
+      return ParseError{"too_many_headers", "header count exceeds limit"};
+    }
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return ParseError{"bad_header", "header line without name:"};
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos ||
+        name.find('\t') != std::string_view::npos) {
+      return ParseError{"bad_header", "whitespace in header name"};
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    headers->set(std::string(name), std::string(value));
+  }
+}
+
+std::optional<ParseError> parse_body(LineReader& reader,
+                                     const Headers& headers, Body* body,
+                                     const ParseLimits& limits) {
+  const auto te = headers.get("transfer-encoding");
+  if (te && te->find("chunked") != std::string::npos) {
+    std::string assembled;
+    for (;;) {
+      std::string_view size_line;
+      if (reader.next(&size_line, limits.max_line) !=
+          LineReader::Verdict::kOk) {
+        return ParseError{"bad_chunk", "missing chunk-size line"};
+      }
+      // Ignore chunk extensions after ';'.
+      const auto semi = size_line.find(';');
+      if (semi != std::string_view::npos) size_line = size_line.substr(0, semi);
+      if (size_line.empty() || size_line.size() > 8) {
+        return ParseError{"bad_chunk", "bad chunk-size length"};
+      }
+      std::size_t chunk = 0;
+      for (const char c : size_line) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return ParseError{"bad_chunk", "non-hex chunk size"};
+        chunk = chunk * 16 + static_cast<std::size_t>(digit);
+      }
+      if (chunk == 0) {
+        // Last chunk; a single trailing CRLF ends the message (no trailer
+        // support — a trailer here is treated as garbage and rejected).
+        std::string_view trailer;
+        if (reader.next(&trailer, limits.max_line) !=
+                LineReader::Verdict::kOk ||
+            !trailer.empty()) {
+          return ParseError{"bad_chunk", "missing final CRLF"};
+        }
+        *body = Body(std::string_view(assembled));
+        return std::nullopt;
+      }
+      if (assembled.size() + chunk > limits.max_body) {
+        return ParseError{"body_too_large", "chunked body exceeds limit"};
+      }
+      if (reader.wire.size() - reader.pos < chunk + 2) {
+        return ParseError{"bad_chunk", "chunk data truncated"};
+      }
+      assembled.append(reader.wire.substr(reader.pos, chunk));
+      reader.pos += chunk;
+      if (reader.wire.substr(reader.pos, 2) != "\r\n") {
+        return ParseError{"bad_chunk", "chunk data not CRLF-terminated"};
+      }
+      reader.pos += 2;
+    }
+  }
+
+  const auto cl = headers.get("content-length");
+  if (cl) {
+    if (cl->empty() || cl->size() > 12) {
+      return ParseError{"bad_content_length", "unparseable content-length"};
+    }
+    for (const char c : *cl) {
+      if (c < '0' || c > '9') {
+        return ParseError{"bad_content_length", "unparseable content-length"};
+      }
+    }
+    const auto length = static_cast<std::size_t>(std::atoll(cl->c_str()));
+    if (length > limits.max_body) {
+      return ParseError{"body_too_large", "declared body exceeds limit"};
+    }
+    if (reader.wire.size() - reader.pos < length) {
+      return ParseError{"truncated", "body shorter than content-length"};
+    }
+    *body = Body(reader.wire.substr(reader.pos, length));
+    reader.pos += length;
+    return std::nullopt;
+  }
+
+  // No framing headers: everything remaining is the body.
+  const std::string_view rest = reader.wire.substr(reader.pos);
+  if (rest.size() > limits.max_body) {
+    return ParseError{"body_too_large", "unframed body exceeds limit"};
+  }
+  *body = Body(rest);
+  reader.pos = reader.wire.size();
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string serialize(const Request& req) {
+  const std::string body = body_text(req.body);
+  std::string out = to_string(req.method) + " " + req.path + " HTTP/1.1\r\n";
+  append_headers(out, req.headers, body.size());
+  out += body;
+  return out;
+}
+
+std::string serialize(const Response& resp) {
+  const std::string body = body_text(resp.body);
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) + "\r\n";
+  append_headers(out, resp.headers, body.size());
+  out += body;
+  return out;
+}
+
+util::Result<Request> parse_request(std::string_view wire,
+                                    const ParseLimits& limits) {
+  LineReader reader{wire};
+  std::string_view start_line;
+  switch (reader.next(&start_line, limits.max_line)) {
+    case LineReader::Verdict::kTruncated:
+      return util::Result<Request>::failure("truncated",
+                                            "no complete request line");
+    case LineReader::Verdict::kTooLong:
+      return util::Result<Request>::failure("line_too_long",
+                                            "request line exceeds limit");
+    case LineReader::Verdict::kOk:
+      break;
+  }
+  const auto sp1 = start_line.find(' ');
+  const auto sp2 =
+      sp1 == std::string_view::npos ? sp1 : start_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    return util::Result<Request>::failure("bad_request_line",
+                                          "expected METHOD SP PATH SP VER");
+  }
+  const auto method = method_from_string(start_line.substr(0, sp1));
+  const std::string_view path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = start_line.substr(sp2 + 1);
+  if (!method || path.empty() || path.front() != '/' ||
+      version.rfind("HTTP/", 0) != 0) {
+    return util::Result<Request>::failure("bad_request_line",
+                                          "unrecognized method/path/version");
+  }
+  Request req;
+  req.method = *method;
+  req.path = std::string(path);
+  if (const auto err = parse_headers(reader, &req.headers, limits)) {
+    return util::Result<Request>::failure(err->code, err->message);
+  }
+  if (const auto err = parse_body(reader, req.headers, &req.body, limits)) {
+    return util::Result<Request>::failure(err->code, err->message);
+  }
+  return req;
+}
+
+util::Result<Response> parse_response(std::string_view wire,
+                                      const ParseLimits& limits) {
+  LineReader reader{wire};
+  std::string_view status_line;
+  switch (reader.next(&status_line, limits.max_line)) {
+    case LineReader::Verdict::kTruncated:
+      return util::Result<Response>::failure("truncated",
+                                             "no complete status line");
+    case LineReader::Verdict::kTooLong:
+      return util::Result<Response>::failure("line_too_long",
+                                             "status line exceeds limit");
+    case LineReader::Verdict::kOk:
+      break;
+  }
+  const auto sp1 = status_line.find(' ');
+  if (status_line.rfind("HTTP/", 0) != 0 || sp1 == std::string_view::npos ||
+      status_line.size() < sp1 + 4) {
+    return util::Result<Response>::failure("bad_status_line",
+                                           "expected HTTP/x.y SP code");
+  }
+  int status = 0;
+  for (std::size_t i = sp1 + 1; i < sp1 + 4; ++i) {
+    const char c = status_line[i];
+    if (c < '0' || c > '9') {
+      return util::Result<Response>::failure("bad_status_line",
+                                             "non-numeric status code");
+    }
+    status = status * 10 + (c - '0');
+  }
+  if (status < 100 || status > 599) {
+    return util::Result<Response>::failure("bad_status_line",
+                                           "status code out of range");
+  }
+  Response resp;
+  resp.status = status;
+  if (const auto err = parse_headers(reader, &resp.headers, limits)) {
+    return util::Result<Response>::failure(err->code, err->message);
+  }
+  if (const auto err = parse_body(reader, resp.headers, &resp.body, limits)) {
+    return util::Result<Response>::failure(err->code, err->message);
+  }
+  return resp;
 }
 
 }  // namespace hpop::http

@@ -4,10 +4,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "net/packet.hpp"
 #include "util/hash.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
 #include "util/types.hpp"
 
 namespace hpop::http {
@@ -30,6 +33,12 @@ enum class Method {
 };
 
 std::string to_string(Method m);
+std::optional<Method> method_from_string(std::string_view s);
+
+/// Whether a request with this method may be safely re-sent after a
+/// response was already received (RFC 7231 §4.2.2 plus the WebDAV verbs).
+/// POST/LOCK/MOVE are not: replaying them can duplicate side effects.
+bool is_idempotent(Method m);
 
 /// Case-insensitive header map (HTTP header names are case-insensitive).
 class Headers {
@@ -135,6 +144,35 @@ void set_range(Headers& headers, std::size_t offset, std::size_t length);
 /// Cache-Control: max-age=N (seconds); nullopt when absent/uncacheable.
 std::optional<std::int64_t> max_age_seconds(const Headers& headers);
 
+/// Retry-After: N (delay-seconds form only); nullopt when absent/garbage.
+std::optional<util::Duration> retry_after(const Headers& headers);
+/// Sets Retry-After, rounding the hint up to whole seconds (minimum 1).
+void set_retry_after(Headers& headers, util::Duration d);
+
 std::string status_text(int status);
+
+// --- Wire-text serialization and hostile-input-safe parsing --------------
+// The simulator normally carries typed Request/Response payloads, but raw
+// clients (and attackers) speak bytes. parse_request/parse_response accept
+// untrusted wire text and reject anything malformed or oversized with an
+// error — never a crash, never an unbounded scan.
+
+struct ParseLimits {
+  std::size_t max_line = 8 * 1024;           // request/status line
+  std::size_t max_header_bytes = 32 * 1024;  // all header lines together
+  std::size_t max_headers = 100;
+  std::size_t max_body = 64ull << 20;
+};
+
+std::string serialize(const Request& req);
+std::string serialize(const Response& resp);
+
+/// Error codes: "truncated", "bad_request_line", "bad_status_line",
+/// "line_too_long", "headers_too_large", "too_many_headers",
+/// "bad_header", "bad_content_length", "bad_chunk", "body_too_large".
+util::Result<Request> parse_request(std::string_view wire,
+                                    const ParseLimits& limits = {});
+util::Result<Response> parse_response(std::string_view wire,
+                                      const ParseLimits& limits = {});
 
 }  // namespace hpop::http

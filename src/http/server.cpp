@@ -1,5 +1,6 @@
 #include "http/server.hpp"
 
+#include "transport/payloads.hpp"
 #include "util/logging.hpp"
 
 namespace hpop::http {
@@ -9,6 +10,9 @@ struct ResponseWriter::Slot {
   std::optional<Response> response;
   /// Set when the handler deferred; fires a flush once filled.
   std::function<void()> on_complete;
+  /// Set when admission control admitted this request; releases the
+  /// occupancy permit once the response is written.
+  std::function<void()> on_finished;
   /// Keeps a deferring handler's writer alive until it responds. Cleared in
   /// respond() to break the slot<->writer reference cycle.
   std::shared_ptr<ResponseWriter> writer_keepalive;
@@ -48,6 +52,12 @@ void HttpServer::set_default_handler(RequestHandler handler) {
   default_handler_ = std::move(handler);
 }
 
+void HttpServer::set_admission(overload::AdmissionController* admission,
+                               Classifier classifier) {
+  admission_ = admission;
+  classifier_ = std::move(classifier);
+}
+
 void HttpServer::on_accept(std::shared_ptr<transport::TcpConnection> conn) {
   auto state = std::make_shared<Connection>();
   state->tcp = std::move(conn);
@@ -60,6 +70,28 @@ void HttpServer::on_accept(std::shared_ptr<transport::TcpConnection> conn) {
     if (const auto req =
             std::dynamic_pointer_cast<const RequestPayload>(msg)) {
       on_request(state, req->request);
+      return;
+    }
+    if (const auto raw =
+            std::dynamic_pointer_cast<const transport::BytesPayload>(msg)) {
+      // Raw wire text from an untyped (possibly hostile) client: parse
+      // under strict limits. Malformed input earns a 400 and the
+      // connection is dropped — never a crash, never a hang.
+      auto parsed = parse_request(raw->text());
+      if (parsed.ok()) {
+        on_request(state, parsed.value());
+        return;
+      }
+      ++stats_.parse_errors;
+      auto slot = std::make_shared<ResponseWriter::Slot>();
+      state->slots.push_back(slot);
+      Response resp;
+      resp.status = 400;
+      resp.headers.set("Connection", "close");
+      resp.body = Body(std::string_view(parsed.error().code));
+      slot->response = std::move(resp);
+      flush(state);
+      state->tcp->close();
     }
   });
   state->tcp->set_on_remote_close([weak] {
@@ -93,6 +125,12 @@ const RequestHandler* HttpServer::find_handler(const Request& request) const {
   return nullptr;
 }
 
+void HttpServer::run_handler(const Request& request,
+                             const std::shared_ptr<ResponseWriter>& writer) {
+  const RequestHandler* handler = find_handler(request);
+  (handler != nullptr ? *handler : default_handler_)(request, *writer);
+}
+
 void HttpServer::on_request(const std::shared_ptr<Connection>& state,
                             const Request& request) {
   ++stats_.requests;
@@ -107,24 +145,52 @@ void HttpServer::on_request(const std::shared_ptr<Connection>& state,
   writer->slot_ = slot;
   writer->peer_ = state->tcp->remote();
 
-  const RequestHandler* handler = find_handler(request);
-  const RequestHandler& chosen =
-      handler != nullptr ? *handler : default_handler_;
-
   std::weak_ptr<Connection> weak = state;
-  chosen(request, *writer);
-  // The handler may have responded through `*writer` or through any copy
-  // of it (both share the slot), or deferred entirely. The slot is the
-  // source of truth.
-  if (slot->response) {
-    flush(state);
-  } else {
-    // Deferred: flush when the handler's (copied) writer responds.
-    slot->on_complete = [this, weak] {
-      if (const auto s = weak.lock()) flush(s);
-    };
-    slot->writer_keepalive = writer;
+  if (admission_ == nullptr) {
+    run_handler(request, writer);
+    // The handler may have responded through `*writer` or through any copy
+    // of it (both share the slot), or deferred entirely. The slot is the
+    // source of truth.
+    if (slot->response) {
+      flush(state);
+    } else {
+      // Deferred: flush when the handler's (copied) writer responds.
+      slot->on_complete = [this, weak] {
+        if (const auto s = weak.lock()) flush(s);
+      };
+      slot->writer_keepalive = writer;
+    }
+    return;
   }
+
+  // Admission path. The slot already sits in the pipeline, so a queued or
+  // shed request still answers in arrival order; the completion callback
+  // covers synchronous, queued and shed outcomes alike.
+  slot->on_complete = [this, weak] {
+    if (const auto s = weak.lock()) flush(s);
+  };
+  slot->writer_keepalive = writer;
+
+  const overload::Class cls =
+      classifier_ ? classifier_(request) : overload::Class::kOwner;
+  admission_->submit(
+      cls,
+      /*run=*/
+      [this, request, writer] {
+        // Balance this admit when the response is eventually written.
+        writer->slot_->on_finished = [this] { admission_->release(); };
+        run_handler(request, writer);
+      },
+      /*shed=*/
+      [this, writer](overload::ShedReason reason,
+                     util::Duration retry_after) {
+        ++stats_.shed;
+        Response resp;
+        resp.status =
+            reason == overload::ShedReason::kRateLimited ? 429 : 503;
+        set_retry_after(resp.headers, retry_after);
+        writer->respond(std::move(resp));
+      });
 }
 
 void HttpServer::flush(const std::shared_ptr<Connection>& state) {
@@ -148,8 +214,11 @@ void ResponseWriter::respond(Response response) {
   slot->response = std::move(response);
   auto complete = std::move(slot->on_complete);
   slot->on_complete = nullptr;
+  auto finished = std::move(slot->on_finished);
+  slot->on_finished = nullptr;
   slot->writer_keepalive.reset();  // may destroy *this — locals only below
   if (complete) complete();
+  if (finished) finished();
 }
 
 }  // namespace hpop::http

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "http/message.hpp"
+#include "overload/admission.hpp"
 #include "transport/mux.hpp"
 
 namespace hpop::http {
@@ -55,11 +56,23 @@ class HttpServer {
   /// Fallback when no route matches (default: 404).
   void set_default_handler(RequestHandler handler);
 
+  /// Maps a request to its admission class; default (nullptr) treats
+  /// everything as owner traffic.
+  using Classifier = std::function<overload::Class(const Request&)>;
+  /// Plugs in admission control: every request is classified and submitted
+  /// before its handler runs; shed requests get 429 (rate-policed) or
+  /// 503 (queue overflow/deadline) with a Retry-After header instead of
+  /// queueing forever. The controller must outlive the server.
+  void set_admission(overload::AdmissionController* admission,
+                     Classifier classifier = nullptr);
+
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t responses = 0;
     std::uint64_t bytes_in = 0;
     std::uint64_t bytes_out = 0;
+    std::uint64_t shed = 0;         // refused by admission control
+    std::uint64_t parse_errors = 0; // malformed raw-wire requests (400)
   };
   const Stats& stats() const { return stats_; }
   std::uint16_t port() const { return listener_->port(); }
@@ -75,6 +88,8 @@ class HttpServer {
   void on_accept(std::shared_ptr<transport::TcpConnection> conn);
   void on_request(const std::shared_ptr<Connection>& state,
                   const Request& request);
+  void run_handler(const Request& request,
+                   const std::shared_ptr<ResponseWriter>& writer);
   const RequestHandler* find_handler(const Request& request) const;
   void flush(const std::shared_ptr<Connection>& state);
 
@@ -82,6 +97,8 @@ class HttpServer {
   std::shared_ptr<transport::TcpListener> listener_;
   std::unordered_map<std::string, std::vector<RouteEntry>> vhosts_;
   RequestHandler default_handler_;
+  overload::AdmissionController* admission_ = nullptr;
+  Classifier classifier_;
   Stats stats_;
   std::vector<std::shared_ptr<Connection>> connections_;
 };

@@ -20,6 +20,7 @@ HomeWebService::HomeWebService(transport::TransportMux& mux,
   m_device_requests_ = reg.counter("iathome.device_requests");
   m_local_hits_ = reg.counter("iathome.local_hits");
   m_coop_hits_ = reg.counter("iathome.coop_hits");
+  m_coop_fallbacks_ = reg.counter("iathome.coop_fallbacks");
   m_upstream_fetches_ = reg.counter("iathome.upstream_fetches");
   m_upstream_bytes_ = reg.counter("iathome.upstream_bytes");
   m_prefetch_fetches_ = reg.counter("iathome.prefetch_fetches");
@@ -31,6 +32,17 @@ HomeWebService::HomeWebService(transport::TransportMux& mux,
     smoother_ = std::make_unique<util::TokenBucket>(
         config_.smoothing_rate_bytes_per_s,
         std::max(config_.smoothing_rate_bytes_per_s * 2, 64.0 * 1024));
+  }
+  if (config_.admission) {
+    admission_ = std::make_unique<overload::AdmissionController>(
+        mux_.simulator(), "iathome", *config_.admission);
+    server_.set_admission(
+        admission_.get(), [](const http::Request& req) {
+          // Neighbours' cooperative fills shed before the household's own
+          // devices do.
+          return req.headers.has("x-coop") ? overload::Class::kThirdParty
+                                           : overload::Class::kOwner;
+        });
   }
   server_.route(http::Method::kGet, kPrefix,
                 [this](const http::Request& req, http::ResponseWriter& w) {
@@ -180,22 +192,43 @@ void HomeWebService::handle_device_request(const http::Request& req,
       lateral.path = req.path;
       lateral.headers.set("X-Coop", "1");
       auto writer = std::make_shared<http::ResponseWriter>(w);
-      client_.fetch(coop_->member(owner), std::move(lateral),
-                    [this, key, writer, start](
-                        util::Result<http::Response> result) {
-                      http::Response resp;
-                      const util::TimePoint now = mux_.simulator().now();
-                      if (result.ok() && result.value().ok()) {
-                        ++stats_.coop_hits;
-                        m_coop_hits_->inc();
-                        cache_.store(key, result.value(), now);
-                        resp = result.value();
-                      } else {
-                        resp.status = 504;
-                      }
-                      note_device_latency(now - start);
-                      writer->respond(std::move(resp));
-                    });
+      client_.fetch(
+          coop_->member(owner), std::move(lateral),
+          [this, key, url, writer, start](
+              util::Result<http::Response> result) {
+            const util::TimePoint now = mux_.simulator().now();
+            if (result.ok() && result.value().ok()) {
+              ++stats_.coop_hits;
+              m_coop_hits_->inc();
+              cache_.store(key, result.value(), now);
+              http::Response resp = result.value();
+              note_device_latency(now - start);
+              writer->respond(std::move(resp));
+              return;
+            }
+            // Owner down or shedding our fill: degrade to a direct
+            // upstream fetch rather than bouncing the device. The
+            // neighbourhood loses the dedup win for this object; the
+            // household keeps working.
+            ++stats_.coop_fallbacks;
+            m_coop_fallbacks_->inc();
+            fetch_upstream(
+                url,
+                [this, key, writer, start](
+                    util::Result<http::Response> result) {
+                  http::Response resp;
+                  const util::TimePoint now = mux_.simulator().now();
+                  if (result.ok()) {
+                    resp = result.value();
+                    if (resp.ok()) cache_.store(key, resp, now);
+                  } else {
+                    resp.status = 504;
+                  }
+                  note_device_latency(now - start);
+                  writer->respond(std::move(resp));
+                },
+                /*conditional=*/false);
+          });
       return;
     }
   }

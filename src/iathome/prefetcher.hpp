@@ -9,6 +9,7 @@
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "iathome/corpus.hpp"
+#include "overload/admission.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/token_bucket.hpp"
@@ -37,6 +38,11 @@ struct HomeWebConfig {
   double smoothing_rate_bytes_per_s = 2e6;
   util::Duration prefetch_scan_interval = 30 * util::kSecond;
   std::size_t cache_bytes = 8ull << 30;
+  /// Overload admission (off by default). Cooperative-cache fill requests
+  /// from neighbours ("X-Coop") are classed below the household's own
+  /// device traffic, so under pressure the service sheds third-party fills
+  /// before its own devices feel anything.
+  std::optional<overload::AdmissionConfig> admission;
 };
 
 /// The Internet@home service on an HPoP: a caching local web endpoint for
@@ -66,6 +72,7 @@ class HomeWebService {
     std::uint64_t device_requests = 0;
     std::uint64_t local_hits = 0;
     std::uint64_t coop_hits = 0;
+    std::uint64_t coop_fallbacks = 0;  // lateral failed; went upstream
     std::uint64_t upstream_fetches = 0;
     std::uint64_t prefetch_fetches = 0;
     std::uint64_t upstream_bytes = 0;
@@ -73,6 +80,7 @@ class HomeWebService {
     util::Summary device_latency_ms;
   };
   Stats& stats() { return stats_; }
+  overload::AdmissionController* admission() { return admission_.get(); }
   net::Endpoint endpoint() const;
   http::HttpCache& cache() { return cache_; }
   /// Tracked (prefetched) URL count right now.
@@ -104,6 +112,7 @@ class HomeWebService {
   http::HttpServer server_;
   http::HttpClient client_;
   http::HttpCache cache_;
+  std::unique_ptr<overload::AdmissionController> admission_;
   std::map<std::string, double> history_;  // url -> EWMA popularity
   std::map<std::string, Tracked> tracked_;
   std::set<std::string> subscriptions_;
@@ -119,6 +128,7 @@ class HomeWebService {
   telemetry::Counter* m_device_requests_;
   telemetry::Counter* m_local_hits_;
   telemetry::Counter* m_coop_hits_;
+  telemetry::Counter* m_coop_fallbacks_;
   telemetry::Counter* m_upstream_fetches_;
   telemetry::Counter* m_upstream_bytes_;
   telemetry::Counter* m_prefetch_fetches_;

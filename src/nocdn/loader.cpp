@@ -110,9 +110,14 @@ void LoaderClient::fetch_object(const std::shared_ptr<LoadState>& state,
           }
         } else {
           ++state->result.peer_errors;
-          // Crash/churn, not malice: gentle trust decay so the origin
-          // steers future assignments away from the flaky peer.
-          report_peer(peer_id, entry.url, "unreachable");
+          if (result.ok() || result.error().code != "circuit_open") {
+            // Crash/churn, not malice: gentle trust decay so the origin
+            // steers future assignments away from the flaky peer. Breaker
+            // fast-fails skip the report — the failures that opened the
+            // circuit were already reported, and re-reporting on every
+            // skipped attempt would spam the origin.
+            report_peer(peer_id, entry.url, "unreachable");
+          }
         }
         if (ok) {
           ++state->result.objects_loaded;

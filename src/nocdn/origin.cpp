@@ -14,6 +14,24 @@ OriginServer::OriginServer(transport::TransportMux& mux, OriginConfig config,
       selector_(make_selector(config_.selector)),
       ledger_(config_.payment) {
   m_bytes_served_ = telemetry::registry().counter("nocdn.origin.bytes_served");
+  if (config_.admission) {
+    admission_ = std::make_unique<overload::AdmissionController>(
+        mux_.simulator(), "nocdn.origin", *config_.admission);
+    server_.set_admission(
+        admission_.get(), [](const http::Request& req) {
+          // Wrapper-only degradation falls out of the priorities: pages
+          // and the loader script (which delegate the heavy bytes to
+          // peers) outrank direct object serves, so under load the origin
+          // keeps handing out wrappers while shedding /obj traffic.
+          if (req.method == http::Method::kPost) {
+            return overload::Class::kBackground;  // /usage, /report
+          }
+          if (req.path.rfind("/obj/", 0) == 0) {
+            return overload::Class::kThirdParty;
+          }
+          return overload::Class::kOwner;  // /page/, /loader.js
+        });
+  }
   install_routes();
 }
 

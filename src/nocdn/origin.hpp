@@ -2,12 +2,14 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "http/server.hpp"
 #include "nocdn/accounting.hpp"
 #include "nocdn/object.hpp"
 #include "nocdn/selection.hpp"
+#include "overload/admission.hpp"
 
 namespace hpop::nocdn {
 
@@ -25,6 +27,11 @@ struct OriginConfig {
   /// Backup peers listed per whole-object assignment so the loader can
   /// fail over without a wrapper round-trip when the primary is dead.
   int alternates_per_object = 2;
+  /// Overload admission (off by default). Under pressure the origin
+  /// degrades to wrapper-only service: the small dynamic pages that
+  /// delegate delivery to peers are the last thing shed, direct object
+  /// serves go first, and accounting uploads are background.
+  std::optional<overload::AdmissionConfig> admission;
 };
 
 /// A content provider's origin site running NoCDN (§IV-B, Fig. 2). Serves:
@@ -63,6 +70,7 @@ class OriginServer {
   };
   const Stats& stats() const { return stats_; }
   const http::HttpServer& http() const { return server_; }
+  overload::AdmissionController* admission() { return admission_.get(); }
 
   static constexpr std::size_t kLoaderScriptSize = 18 * 1024;
 
@@ -77,6 +85,7 @@ class OriginServer {
   OriginConfig config_;
   util::Rng rng_;
   http::HttpServer server_;
+  std::unique_ptr<overload::AdmissionController> admission_;
   std::unique_ptr<PeerSelector> selector_;
   std::map<std::string, WebObject> objects_;
   std::map<std::string, PageSpec> pages_;

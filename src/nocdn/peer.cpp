@@ -20,6 +20,21 @@ PeerProxy::PeerProxy(transport::TransportMux& mux, std::uint16_t port,
   m_requests_ = reg.counter("nocdn.peer.requests");
   m_bytes_served_ = reg.counter("nocdn.peer.bytes_served");
   m_records_received_ = reg.counter("nocdn.peer.records_received");
+  m_usage_evicted_ = reg.counter("nocdn.peer.usage_evicted");
+}
+
+void PeerProxy::enable_admission(overload::AdmissionConfig config) {
+  admission_ = std::make_unique<overload::AdmissionController>(
+      mux_.simulator(), "nocdn.peer", config);
+  server_.set_admission(
+      admission_.get(), [](const http::Request& req) {
+        // Content GETs are third-party serving work — the load admission
+        // protects the uplink from. Usage-record uploads are small
+        // bookkeeping POSTs that can always wait.
+        return req.method == http::Method::kPost
+                   ? overload::Class::kBackground
+                   : overload::Class::kThirdParty;
+      });
 }
 
 net::Endpoint PeerProxy::endpoint() const {
@@ -48,7 +63,13 @@ void PeerProxy::install_routes(const std::string& provider) {
           if (record.ok()) {
             ++stats_.records_received;
             m_records_received_->inc();
-            pending_usage_[provider].push_back(record.value());
+            auto& pending = pending_usage_[provider];
+            if (pending.size() >= kMaxPendingUsage) {
+              pending.erase(pending.begin());
+              ++stats_.usage_evicted;
+              m_usage_evicted_->inc();
+            }
+            pending.push_back(record.value());
           }
         }
         http::Response resp;

@@ -8,6 +8,7 @@
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "nocdn/object.hpp"
+#include "overload/admission.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -43,6 +44,12 @@ class PeerProxy {
   void signup(ProviderSignup signup);
   void set_behavior(PeerBehavior behavior) { behavior_ = behavior; }
 
+  /// Guards the residential uplink with admission control: content GETs
+  /// are third-party serving work (shed under pressure with 429/503 +
+  /// Retry-After), usage-record uploads are background. Off by default.
+  void enable_admission(overload::AdmissionConfig config);
+  overload::AdmissionController* admission() { return admission_.get(); }
+
   /// Starts periodic usage uploads ("peers accumulate usage records and
   /// periodically upload them to the content provider for payment").
   void start_usage_uploads(util::Duration interval);
@@ -56,7 +63,12 @@ class PeerProxy {
     std::uint64_t bytes_served = 0;
     std::uint64_t records_received = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t usage_evicted = 0;  // oldest pending records dropped
   };
+  /// Bound on pending usage records per provider; the oldest are evicted
+  /// past this (they are payment claims, not correctness state — losing
+  /// the oldest under pressure is the cheapest safe degradation).
+  static constexpr std::size_t kMaxPendingUsage = 4096;
   const Stats& stats() const { return stats_; }
   http::HttpCache& cache() { return cache_; }
   net::Endpoint endpoint() const;
@@ -79,12 +91,14 @@ class PeerProxy {
   std::map<std::string, ProviderSignup> signups_;  // by provider name
   std::map<std::string, std::vector<UsageRecord>> pending_usage_;
   std::optional<sim::TimerId> upload_timer_;
+  std::unique_ptr<overload::AdmissionController> admission_;
   Stats stats_;
 
   // Registry handles (aggregated across all peers).
   telemetry::Counter* m_requests_;
   telemetry::Counter* m_bytes_served_;
   telemetry::Counter* m_records_received_;
+  telemetry::Counter* m_usage_evicted_;
 };
 
 }  // namespace hpop::nocdn

@@ -1,0 +1,204 @@
+#include "overload/admission.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace hpop::overload {
+
+const char* to_string(Class c) {
+  switch (c) {
+    case Class::kCritical: return "critical";
+    case Class::kOwner: return "owner";
+    case Class::kThirdParty: return "third_party";
+    case Class::kBackground: return "background";
+  }
+  return "?";
+}
+
+const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::kRateLimited: return "rate_limited";
+    case ShedReason::kQueueFull: return "queue_full";
+    case ShedReason::kDeadline: return "deadline";
+    case ShedReason::kPreempted: return "preempted";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(sim::Simulator& sim,
+                                         std::string service,
+                                         AdmissionConfig config)
+    : sim_(sim), service_(std::move(service)), config_(config) {
+  if (config_.rate > 0.0) {
+    bucket_ = std::make_unique<util::TokenBucket>(
+        config_.rate, std::max(config_.burst, 1.0));
+  }
+  auto& reg = telemetry::registry();
+  const std::string labels = "svc=" + service_;
+  m_admitted_ = reg.counter("overload.admitted", labels);
+  m_queued_ = reg.counter("overload.queued", labels);
+  m_shed_rate_ = reg.counter("overload.shed_rate", labels);
+  m_shed_queue_full_ = reg.counter("overload.shed_queue_full", labels);
+  m_shed_deadline_ = reg.counter("overload.shed_deadline", labels);
+  m_shed_preempted_ = reg.counter("overload.shed_preempted", labels);
+  m_in_flight_ = reg.gauge("overload.in_flight", labels);
+  m_queue_wait_ms_ = reg.summary("overload.queue_wait_ms", labels);
+}
+
+AdmissionController::~AdmissionController() {
+  for (auto& queue : queues_) {
+    for (Waiting& w : queue) sim_.cancel(w.deadline_timer);
+  }
+}
+
+void AdmissionController::admit(RunFn& run) {
+  ++stats_.admitted;
+  m_admitted_->inc();
+  ++in_flight_;
+  m_in_flight_->add(1);
+  run();
+}
+
+void AdmissionController::shed(ShedFn& fn, ShedReason reason,
+                               util::Duration retry_after) {
+  switch (reason) {
+    case ShedReason::kRateLimited:
+      ++stats_.shed_rate;
+      m_shed_rate_->inc();
+      break;
+    case ShedReason::kQueueFull:
+      ++stats_.shed_queue_full;
+      m_shed_queue_full_->inc();
+      break;
+    case ShedReason::kDeadline:
+      ++stats_.shed_deadline;
+      m_shed_deadline_->inc();
+      break;
+    case ShedReason::kPreempted:
+      ++stats_.shed_preempted;
+      m_shed_preempted_->inc();
+      break;
+  }
+  if (fn) fn(reason, retry_after);
+}
+
+void AdmissionController::submit(Class cls, RunFn run, ShedFn shed_fn) {
+  // Critical work is never rate-policed, never queued, never shed.
+  if (cls == Class::kCritical) {
+    admit(run);
+    return;
+  }
+  const util::TimePoint now = sim_.now();
+  if (bucket_ != nullptr && !bucket_->try_take(1.0, now)) {
+    shed(shed_fn, ShedReason::kRateLimited,
+         std::max<util::Duration>(bucket_->available_at(1.0, now) - now,
+                                  util::kMillisecond));
+    return;
+  }
+  if (config_.max_concurrent <= 0 || in_flight_ < config_.max_concurrent) {
+    admit(run);
+    return;
+  }
+  if (queued_total_ >= config_.max_queue && !preempt_below(cls)) {
+    shed(shed_fn, ShedReason::kQueueFull, config_.retry_hint);
+    return;
+  }
+  enqueue(cls, std::move(run), std::move(shed_fn));
+}
+
+void AdmissionController::enqueue(Class cls, RunFn run, ShedFn shed_fn) {
+  ++stats_.queued;
+  m_queued_->inc();
+  Waiting w;
+  w.id = next_id_++;
+  w.enqueued = sim_.now();
+  w.run = std::move(run);
+  w.shed = std::move(shed_fn);
+  w.deadline_timer = sim_.schedule(
+      config_.queue_deadline,
+      [this, cls, id = w.id] { deadline_fired(cls, id); });
+  queues_[static_cast<std::size_t>(cls)].push_back(std::move(w));
+  ++queued_total_;
+}
+
+bool AdmissionController::preempt_below(Class cls) {
+  for (int c = kNumClasses - 1; c > static_cast<int>(cls); --c) {
+    auto& queue = queues_[static_cast<std::size_t>(c)];
+    if (queue.empty()) continue;
+    // Evict the newest entry of the lowest-priority class: it has waited
+    // the least, so shedding it wastes the least accumulated queue time.
+    Waiting victim = std::move(queue.back());
+    queue.pop_back();
+    --queued_total_;
+    sim_.cancel(victim.deadline_timer);
+    shed(victim.shed, ShedReason::kPreempted, config_.retry_hint);
+    return true;
+  }
+  return false;
+}
+
+void AdmissionController::deadline_fired(Class cls, std::uint64_t id) {
+  auto& queue = queues_[static_cast<std::size_t>(cls)];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (it->id != id) continue;
+    Waiting victim = std::move(*it);
+    queue.erase(it);
+    --queued_total_;
+    shed(victim.shed, ShedReason::kDeadline, config_.retry_hint);
+    return;
+  }
+}
+
+bool AdmissionController::try_admit_instant(Class cls,
+                                            util::Duration* retry_after) {
+  if (cls == Class::kCritical) {
+    ++stats_.admitted;
+    m_admitted_->inc();
+    return true;
+  }
+  const util::TimePoint now = sim_.now();
+  if (bucket_ != nullptr && !bucket_->try_take(1.0, now)) {
+    const util::Duration wait = std::max<util::Duration>(
+        bucket_->available_at(1.0, now) - now, util::kMillisecond);
+    if (retry_after != nullptr) *retry_after = wait;
+    ++stats_.shed_rate;
+    m_shed_rate_->inc();
+    return false;
+  }
+  ++stats_.admitted;
+  m_admitted_->inc();
+  return true;
+}
+
+void AdmissionController::release() {
+  if (in_flight_ > 0) {
+    --in_flight_;
+    m_in_flight_->add(-1);
+  }
+  drain();
+}
+
+void AdmissionController::drain() {
+  while (queued_total_ > 0 &&
+         (config_.max_concurrent <= 0 || in_flight_ < config_.max_concurrent)) {
+    Waiting* next = nullptr;
+    std::deque<Waiting>* queue = nullptr;
+    for (auto& q : queues_) {
+      if (!q.empty()) {
+        next = &q.front();
+        queue = &q;
+        break;
+      }
+    }
+    if (next == nullptr) return;
+    Waiting w = std::move(*next);
+    queue->pop_front();
+    --queued_total_;
+    sim_.cancel(w.deadline_timer);
+    m_queue_wait_ms_->observe(util::to_millis(sim_.now() - w.enqueued));
+    admit(w.run);
+  }
+}
+
+}  // namespace hpop::overload

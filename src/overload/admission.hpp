@@ -1,0 +1,139 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/time.hpp"
+#include "util/token_bucket.hpp"
+
+namespace hpop::overload {
+
+/// Traffic classes, highest priority first. The shed order under pressure
+/// is the reverse: background work goes first, third-party serving next,
+/// the household's own traffic after that, and critical work (attic health
+/// writes, directory registrations) is never shed at all.
+enum class Class {
+  kCritical = 0,
+  kOwner = 1,
+  kThirdParty = 2,
+  kBackground = 3,
+};
+inline constexpr int kNumClasses = 4;
+const char* to_string(Class c);
+
+enum class ShedReason {
+  kRateLimited,  // token bucket empty -> 429
+  kQueueFull,    // wait queue at capacity -> 503
+  kDeadline,     // queued past the deadline -> 503
+  kPreempted,    // evicted by higher-priority arrival -> 503
+};
+const char* to_string(ShedReason r);
+
+struct AdmissionConfig {
+  /// Admitted requests per second through the token bucket; 0 disables
+  /// rate policing (concurrency/queue limits still apply).
+  double rate = 0.0;
+  double burst = 16.0;
+  /// Maximum handlers in flight at once; 0 = unlimited (queueing off).
+  int max_concurrent = 0;
+  /// Wait-queue bound across all classes when the concurrency cap is hit.
+  std::size_t max_queue = 64;
+  /// Queued work older than this is shed — a response the client stopped
+  /// waiting for is pure waste to compute.
+  util::Duration queue_deadline = 2 * util::kSecond;
+  /// Retry-After hint handed to queue/deadline sheds (rate sheds compute
+  /// the exact bucket refill time instead).
+  util::Duration retry_hint = util::kSecond;
+};
+
+/// Generic admission controller: token-bucket rate policing, a concurrency
+/// cap with bounded per-class wait queues, deadline-aware shedding, and
+/// priority preemption (an owner arrival evicts queued background work
+/// rather than being turned away). One instance guards one service; the
+/// `service` name labels its `overload.*` telemetry.
+class AdmissionController {
+ public:
+  AdmissionController(sim::Simulator& sim, std::string service,
+                      AdmissionConfig config);
+  ~AdmissionController();
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  using RunFn = std::function<void()>;
+  using ShedFn = std::function<void(ShedReason, util::Duration retry_after)>;
+
+  /// Admits, queues, or sheds one unit of work. Exactly one of `run` /
+  /// `shed` is eventually invoked (possibly synchronously). Every `run`
+  /// must be balanced by a release() when the work completes.
+  void submit(Class cls, RunFn run, ShedFn shed);
+
+  /// Rate-gate only, no occupancy tracking — for fire-and-forget work
+  /// (UDP joins, directory lookups) that completes within its handler.
+  /// On refusal, `*retry_after` (if given) gets the suggested hold-off.
+  bool try_admit_instant(Class cls, util::Duration* retry_after = nullptr);
+
+  /// Marks one admitted unit finished; drains the wait queue.
+  void release();
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t shed_rate = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t shed_preempted = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint64_t total_shed() const {
+    return stats_.shed_rate + stats_.shed_queue_full + stats_.shed_deadline +
+           stats_.shed_preempted;
+  }
+  int in_flight() const { return in_flight_; }
+  std::size_t queue_depth() const { return queued_total_; }
+  const std::string& service() const { return service_; }
+
+ private:
+  struct Waiting {
+    std::uint64_t id = 0;
+    util::TimePoint enqueued = 0;
+    RunFn run;
+    ShedFn shed;
+    sim::TimerId deadline_timer = 0;
+  };
+
+  void admit(RunFn& run);
+  void shed(ShedFn& fn, ShedReason reason, util::Duration retry_after);
+  void enqueue(Class cls, RunFn run, ShedFn shed_fn);
+  /// Sheds the newest lowest-priority entry strictly below `cls`; true if
+  /// an entry was evicted (making room).
+  bool preempt_below(Class cls);
+  void drain();
+  void deadline_fired(Class cls, std::uint64_t id);
+
+  sim::Simulator& sim_;
+  std::string service_;
+  AdmissionConfig config_;
+  std::unique_ptr<util::TokenBucket> bucket_;
+  std::array<std::deque<Waiting>, kNumClasses> queues_;
+  std::size_t queued_total_ = 0;
+  int in_flight_ = 0;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+
+  telemetry::Counter* m_admitted_;
+  telemetry::Counter* m_queued_;
+  telemetry::Counter* m_shed_rate_;
+  telemetry::Counter* m_shed_queue_full_;
+  telemetry::Counter* m_shed_deadline_;
+  telemetry::Counter* m_shed_preempted_;
+  telemetry::Gauge* m_in_flight_;
+  telemetry::SummaryMetric* m_queue_wait_ms_;
+};
+
+}  // namespace hpop::overload

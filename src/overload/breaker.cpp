@@ -1,0 +1,117 @@
+#include "overload/breaker.hpp"
+
+#include <algorithm>
+
+namespace hpop::overload {
+
+void CircuitBreaker::reset_window() {
+  window_.clear();
+  window_failures_ = 0;
+}
+
+void CircuitBreaker::note(bool failure) {
+  window_.push_back(failure);
+  if (failure) ++window_failures_;
+  while (static_cast<int>(window_.size()) > config_.window) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+void CircuitBreaker::trip(util::TimePoint now, util::Duration at_least) {
+  state_ = State::kOpen;
+  probes_in_flight_ = 0;
+  reset_window();
+  double scale = 1.0;
+  if (rng_ != nullptr && config_.jitter > 0.0) {
+    const double j = std::clamp(config_.jitter, 0.0, 1.0);
+    scale = rng_->uniform(1.0 - j, 1.0);
+  }
+  const auto open_for = static_cast<util::Duration>(
+      static_cast<double>(config_.open_for) * scale);
+  open_until_ = std::max(open_until_, now + std::max(open_for, at_least));
+  ++stats_.trips;
+}
+
+bool CircuitBreaker::would_allow(util::TimePoint now) const {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return now >= open_until_;
+    case State::kHalfOpen:
+      return probes_in_flight_ < config_.half_open_probes;
+  }
+  return true;
+}
+
+bool CircuitBreaker::allow(util::TimePoint now) {
+  if (state_ == State::kOpen && now >= open_until_) {
+    state_ = State::kHalfOpen;
+    probes_in_flight_ = 0;
+  }
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      ++stats_.fast_fails;
+      return false;
+    case State::kHalfOpen:
+      if (probes_in_flight_ < config_.half_open_probes) {
+        ++probes_in_flight_;
+        ++stats_.probes;
+        return true;
+      }
+      ++stats_.fast_fails;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(util::TimePoint now) {
+  (void)now;
+  switch (state_) {
+    case State::kClosed:
+      note(false);
+      return;
+    case State::kHalfOpen:
+      // The probe came back healthy: close and start a fresh window.
+      state_ = State::kClosed;
+      probes_in_flight_ = 0;
+      reset_window();
+      return;
+    case State::kOpen:
+      // A late response from before the trip; the open timer stands.
+      return;
+  }
+}
+
+void CircuitBreaker::record_failure(util::TimePoint now) {
+  switch (state_) {
+    case State::kClosed:
+      note(true);
+      if (static_cast<int>(window_.size()) >= config_.min_samples &&
+          static_cast<double>(window_failures_) >=
+              config_.failure_threshold *
+                  static_cast<double>(window_.size())) {
+        trip(now);
+      }
+      return;
+    case State::kHalfOpen:
+      trip(now);  // the probe failed: straight back to open
+      return;
+    case State::kOpen:
+      return;
+  }
+}
+
+void CircuitBreaker::force_open(util::TimePoint now, util::Duration d) {
+  // Server-directed: no jitter shortening — honour at least the full hint.
+  state_ = State::kOpen;
+  probes_in_flight_ = 0;
+  reset_window();
+  open_until_ = std::max(open_until_, now + d);
+  ++stats_.trips;
+}
+
+}  // namespace hpop::overload

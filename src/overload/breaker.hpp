@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hpop::overload {
+
+struct BreakerConfig {
+  /// Sliding outcome window: trip when `failure_threshold` of the last
+  /// `window` outcomes failed, once at least `min_samples` were seen.
+  int window = 16;
+  int min_samples = 8;
+  double failure_threshold = 0.5;
+  /// Open duration, jittered to uniform[open_for*(1-jitter), open_for]
+  /// from the owner's seeded Rng so a fleet of breakers tripped by one
+  /// outage does not probe back in lockstep.
+  util::Duration open_for = 5 * util::kSecond;
+  double jitter = 0.2;
+  /// Concurrent trial requests allowed while half-open.
+  int half_open_probes = 1;
+};
+
+/// Client-side circuit breaker: closed -> (failure rate trips) -> open ->
+/// (timeout elapses) -> half-open -> (probe succeeds) -> closed, or
+/// (probe fails) -> open again. A server-directed Retry-After maps to
+/// force_open(), holding the circuit at least that long.
+///
+/// Deterministic like everything else here: the only randomness is the
+/// open-duration jitter, drawn from the Rng passed in (nullptr = none).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config = {},
+                          util::Rng* rng = nullptr)
+      : config_(config), rng_(rng) {}
+
+  /// Whether a request may proceed now. Transitions open -> half-open when
+  /// the open period has elapsed; in half-open, admits up to
+  /// `half_open_probes` concurrent trials.
+  bool allow(util::TimePoint now);
+  /// Non-mutating preview of allow() — for scanning candidates without
+  /// consuming half-open probe slots.
+  bool would_allow(util::TimePoint now) const;
+
+  void record_success(util::TimePoint now);
+  void record_failure(util::TimePoint now);
+  /// Server-directed open (Retry-After): hold at least until now + d.
+  void force_open(util::TimePoint now, util::Duration d);
+
+  State state() const { return state_; }
+  util::TimePoint open_until() const { return open_until_; }
+
+  struct Stats {
+    std::uint64_t trips = 0;
+    std::uint64_t fast_fails = 0;  // allow() == false
+    std::uint64_t probes = 0;      // half-open trials admitted
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void trip(util::TimePoint now, util::Duration at_least = 0);
+  void note(bool failure);
+  void reset_window();
+
+  BreakerConfig config_;
+  util::Rng* rng_;
+  State state_ = State::kClosed;
+  std::deque<bool> window_;  // true = failure
+  int window_failures_ = 0;
+  util::TimePoint open_until_ = 0;
+  int probes_in_flight_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hpop::overload

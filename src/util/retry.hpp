@@ -39,6 +39,14 @@ struct RetryPolicy {
     return static_cast<Duration>(j > 0.0 ? rng.uniform(lo, base) : base);
   }
 
+  /// Backoff combined with a server-provided hold-off (Retry-After): the
+  /// local schedule still jitters, but the retry never fires earlier than
+  /// the server asked for.
+  Duration backoff_with_hint(int attempt, Rng& rng,
+                             Duration server_hint) const {
+    return std::max(backoff(attempt, rng), server_hint);
+  }
+
   /// Whether retry `attempt` (1-based) may be scheduled, given the time the
   /// first attempt started and the current time.
   bool may_retry(int attempt, TimePoint started, TimePoint now) const {

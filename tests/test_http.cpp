@@ -4,6 +4,7 @@
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "net/topology.hpp"
+#include "transport/payloads.hpp"
 
 namespace hpop::http {
 namespace {
@@ -92,6 +93,140 @@ TEST(CacheControl, MaxAgeParsing) {
   EXPECT_EQ(max_age_seconds(h), 300);
   h.set("Cache-Control", "no-store, max-age=300");
   EXPECT_FALSE(max_age_seconds(h).has_value());
+}
+
+// ---------------------------------------------------- Hostile wire parsing
+
+namespace {
+std::string parse_req_error(std::string_view wire, ParseLimits limits = {}) {
+  const auto r = parse_request(wire, limits);
+  return r.ok() ? "" : r.error().code;
+}
+}  // namespace
+
+TEST(WireParse, RoundTripRequest) {
+  Request req;
+  req.method = Method::kPut;
+  req.path = "/attic/records/doc.txt";
+  req.headers.set("Host", "attic");
+  req.headers.set("X-Capability", "tok");
+  req.body = Body("hello attic");
+  const auto parsed = parse_request(serialize(req));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, Method::kPut);
+  EXPECT_EQ(parsed.value().path, req.path);
+  EXPECT_EQ(parsed.value().headers.get("x-capability"), "tok");
+  EXPECT_EQ(parsed.value().body.text(), "hello attic");
+}
+
+TEST(WireParse, RoundTripResponse) {
+  Response resp;
+  resp.status = 429;
+  set_retry_after(resp.headers, 1500 * kMillisecond);
+  resp.body = Body("slow down");
+  const auto parsed = parse_response(serialize(resp));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 429);
+  EXPECT_EQ(retry_after(parsed.value().headers), 2 * kSecond);  // rounded up
+  EXPECT_EQ(parsed.value().body.text(), "slow down");
+}
+
+TEST(WireParse, TruncatedAndGarbageRequests) {
+  EXPECT_EQ(parse_req_error(""), "truncated");
+  EXPECT_EQ(parse_req_error("GET /x HTTP/1.1"), "truncated");  // no CRLF
+  EXPECT_EQ(parse_req_error("GET /x HTTP/1.1\r\nhost: a\r\n"), "truncated");
+  EXPECT_EQ(parse_req_error("\x16\x03\x01\x02garbage"), "truncated");
+  EXPECT_EQ(parse_req_error("GET\r\n\r\n"), "bad_request_line");
+  EXPECT_EQ(parse_req_error("BREW /pot HTTP/1.1\r\n\r\n"), "bad_request_line");
+  EXPECT_EQ(parse_req_error("GET relative HTTP/1.1\r\n\r\n"),
+            "bad_request_line");
+  EXPECT_EQ(parse_req_error("GET /x SPDY/9\r\n\r\n"), "bad_request_line");
+}
+
+TEST(WireParse, OversizedLinesAndHeaderBlocks) {
+  ParseLimits limits;
+  limits.max_line = 64;
+  limits.max_header_bytes = 256;
+  limits.max_headers = 4;
+  const std::string long_path(100, 'a');
+  EXPECT_EQ(parse_req_error("GET /" + long_path + " HTTP/1.1\r\n\r\n", limits),
+            "line_too_long");
+  // A CRLF-free flood longer than max_line must be rejected, not buffered.
+  EXPECT_EQ(parse_req_error(std::string(10000, 'A'), limits), "line_too_long");
+  EXPECT_EQ(parse_req_error(
+                "GET /x HTTP/1.1\r\nh: " + std::string(80, 'v') + "\r\n\r\n",
+                limits),
+            "line_too_long");
+  std::string many = "GET /x HTTP/1.1\r\n";
+  for (int i = 0; i < 5; ++i) many += "h" + std::to_string(i) + ": v\r\n";
+  EXPECT_EQ(parse_req_error(many + "\r\n", limits), "too_many_headers");
+  // Byte budget trips before the header-count budget (5 × 64 > 256 bytes).
+  std::string fat = "GET /x HTTP/1.1\r\n";
+  for (int i = 0; i < 5; ++i) fat += "h" + std::to_string(i) + ": " +
+                                     std::string(60, 'v') + "\r\n";
+  EXPECT_EQ(parse_req_error(fat + "\r\n", limits), "headers_too_large");
+}
+
+TEST(WireParse, MalformedHeaders) {
+  EXPECT_EQ(parse_req_error("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            "bad_header");
+  EXPECT_EQ(parse_req_error("GET /x HTTP/1.1\r\n: empty-name\r\n\r\n"),
+            "bad_header");
+  EXPECT_EQ(parse_req_error("GET /x HTTP/1.1\r\nbad name: v\r\n\r\n"),
+            "bad_header");
+}
+
+TEST(WireParse, BadContentLength) {
+  EXPECT_EQ(parse_req_error(
+                "GET /x HTTP/1.1\r\ncontent-length: -5\r\n\r\n"),
+            "bad_content_length");
+  EXPECT_EQ(parse_req_error(
+                "GET /x HTTP/1.1\r\ncontent-length: 1e9\r\n\r\n"),
+            "bad_content_length");
+  EXPECT_EQ(parse_req_error(
+                "GET /x HTTP/1.1\r\ncontent-length: 99999999999999\r\n\r\n"),
+            "bad_content_length");
+  EXPECT_EQ(parse_req_error("GET /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nhi"),
+            "truncated");
+  ParseLimits tiny;
+  tiny.max_body = 16;
+  EXPECT_EQ(parse_req_error("GET /x HTTP/1.1\r\ncontent-length: 100\r\n\r\n" +
+                                std::string(100, 'b'),
+                            tiny),
+            "body_too_large");
+}
+
+TEST(WireParse, BadChunkedBodies) {
+  const std::string head =
+      "POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+  EXPECT_EQ(parse_req_error(head), "bad_chunk");                  // no chunks
+  EXPECT_EQ(parse_req_error(head + "zz\r\nhi\r\n0\r\n\r\n"),
+            "bad_chunk");                                         // non-hex
+  EXPECT_EQ(parse_req_error(head + "fffffffff\r\n"), "bad_chunk");  // 9 hex
+  EXPECT_EQ(parse_req_error(head + "a\r\nshort\r\n"), "bad_chunk");
+  EXPECT_EQ(parse_req_error(head + "5\r\nhelloXX0\r\n\r\n"), "bad_chunk");
+  EXPECT_EQ(parse_req_error(head + "5\r\nhello\r\n0\r\n"), "bad_chunk");
+  ParseLimits tiny;
+  tiny.max_body = 8;
+  EXPECT_EQ(parse_req_error(head + "ff\r\n" + std::string(255, 'c') + "\r\n",
+                            tiny),
+            "body_too_large");
+  // A well-formed chunked body parses.
+  const auto ok = parse_request(head + "5\r\nhello\r\n3\r\n!!!\r\n0\r\n\r\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().body.text(), "hello!!!");
+}
+
+TEST(WireParse, BadStatusLines) {
+  auto err = [](std::string_view wire) {
+    const auto r = parse_response(wire);
+    return r.ok() ? "" : r.error().code;
+  };
+  EXPECT_EQ(err("ICY 200 OK\r\n\r\n"), "bad_status_line");
+  EXPECT_EQ(err("HTTP/1.1 xx OK\r\n\r\n"), "bad_status_line");
+  EXPECT_EQ(err("HTTP/1.1 99 Low\r\n\r\n"), "bad_status_line");
+  EXPECT_EQ(err("HTTP/1.1\r\n\r\n"), "bad_status_line");
+  EXPECT_EQ(err("HTTP/1.1 200 OK\r\n\r\n"), "");
 }
 
 // ----------------------------------------------------------- Client/server
@@ -293,6 +428,68 @@ TEST(HttpEndToEnd, ConnectionRefusedReportsError) {
                   [&](util::Result<Response> r) { failed = !r.ok(); });
   f.sim.run_until(5 * kSecond);
   EXPECT_TRUE(failed);
+}
+
+TEST(HttpEndToEnd, RawWireRequestIsParsedAndRouted) {
+  HttpFixture f;
+  f.server->route(Method::kGet, "/hello",
+                  [](const Request& req, ResponseWriter& w) {
+                    Response resp;
+                    resp.body = Body("hi " + req.path);
+                    w.respond(std::move(resp));
+                  });
+  auto conn = f.mux_client->tcp_connect(f.server_ep());
+  int status = 0;
+  std::string body;
+  conn->set_on_message([&](net::PayloadPtr msg) {
+    if (const auto resp = std::dynamic_pointer_cast<const ResponsePayload>(msg)) {
+      status = resp->response.status;
+      body = resp->response.body.text();
+    }
+  });
+  conn->set_on_established([conn] {
+    conn->send(std::make_shared<transport::BytesPayload>(
+        "GET /hello HTTP/1.1\r\nhost: a\r\n\r\n"));
+  });
+  f.sim.run_until(5 * kSecond);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "hi /hello");
+  EXPECT_EQ(f.server->stats().parse_errors, 0u);
+}
+
+TEST(HttpEndToEnd, HostileBytesEarn400AndConnectionClose) {
+  HttpFixture f;
+  bool handler_ran = false;
+  f.server->set_default_handler([&](const Request&, ResponseWriter& w) {
+    handler_ran = true;
+    w.respond(Response{});
+  });
+  auto conn = f.mux_client->tcp_connect(f.server_ep());
+  int status = 0;
+  std::string body;
+  bool closed = false;
+  conn->set_on_message([&](net::PayloadPtr msg) {
+    if (const auto resp = std::dynamic_pointer_cast<const ResponsePayload>(msg)) {
+      status = resp->response.status;
+      body = resp->response.body.text();
+      EXPECT_EQ(resp->response.headers.get("connection"), "close");
+    }
+  });
+  conn->set_on_remote_close([&] {
+    closed = true;
+    conn->close();
+  });
+  conn->set_on_established([conn] {
+    // A CRLF-free flood: rejected by the line-length cap, never buffered.
+    conn->send(std::make_shared<transport::BytesPayload>(
+        std::string(64 * 1024, 'A')));
+  });
+  f.sim.run_until(5 * kSecond);
+  EXPECT_EQ(status, 400);
+  EXPECT_EQ(body, "line_too_long");
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(handler_ran);
+  EXPECT_EQ(f.server->stats().parse_errors, 1u);
 }
 
 // ----------------------------------------------------------------- Cache

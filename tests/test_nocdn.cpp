@@ -393,6 +393,37 @@ TEST(NoCdnEndToEnd, ReplayedUploadRejected) {
   }
 }
 
+TEST(NoCdnEndToEnd, PendingUsageIsBoundedAndEvictsOldest) {
+  CdnWorld w(1);
+  // Flood the peer with valid-looking usage records: the pending queue must
+  // stay bounded (oldest evicted) instead of growing without limit.
+  const std::size_t kExtra = 50;
+  const std::size_t total = PeerProxy::kMaxPendingUsage + kExtra;
+  std::uint64_t accepted = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    UsageRecord record;
+    record.provider = "nytimes";
+    record.peer_id = 1;
+    record.key_id = 1;
+    record.nonce = i;
+    record.bytes_served = 1000;
+    record.sign(util::to_bytes("whatever"));
+    http::Request req;
+    req.method = http::Method::kPost;
+    req.path = "/nocdn/usage";
+    req.headers.set("Host", "nytimes");
+    req.body = http::Body(serialize_usage_line(record));
+    w.client_http->fetch(w.peers[0]->endpoint(), std::move(req),
+                         [&](util::Result<http::Response> r) {
+                           if (r.ok() && r.value().status == 204) ++accepted;
+                         });
+  }
+  w.sim.run_until(w.sim.now() + 120 * kSecond);
+  EXPECT_EQ(accepted, total);
+  EXPECT_EQ(w.peers[0]->stats().records_received, total);
+  EXPECT_EQ(w.peers[0]->stats().usage_evicted, kExtra);
+}
+
 TEST(NoCdnEndToEnd, ChunkedDownloadSpreadsLoad) {
   OriginConfig config = CdnWorld::make_config();
   config.chunks_per_object = 3;
