@@ -1,0 +1,495 @@
+// Hot-path engine baseline: a self-gating microbench suite for the event
+// core and packet path (E15). Unlike bench_micro (google-benchmark, human
+// numbers), this binary measures the engine against an in-process replica
+// of the pre-overhaul scheduler — priority_queue with tombstone sets,
+// copy-constructed std::function closures, copy-from-top pop — on identical
+// workloads, writes the results as BENCH_CORE.json, and exits non-zero when
+// a gate fails:
+//
+//   gate 1: engine events/sec >= 2x the baseline scheduler on the hot
+//           self-rescheduling workload;
+//   gate 2: the TCP bulk transfer delivers every byte.
+//
+// Allocation counts come from a global operator new/delete hook, so
+// "allocation-free hot path" is a measured number, not a claim.
+//
+// Flags: --out PATH (default BENCH_CORE.json), --smoke (small sizes for
+// CI), --no-gate (report but always exit 0).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "transport/mux.hpp"
+#include "transport/payloads.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+// --- Global allocation counter ------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace hpop;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+// --- Baseline scheduler -------------------------------------------------
+// Faithful replica of the pre-overhaul event core: a std::priority_queue
+// of events ordered by (when, seq), cancellation via a tombstone set
+// consulted (and a pending set maintained) on every pop, closures held in
+// copyable std::function, and the event copied out of top() before pop —
+// the exact shape the engine replaced. Rearm is cancel + fresh schedule.
+class BaselineScheduler {
+ public:
+  using TimePoint = util::TimePoint;
+  using Duration = util::Duration;
+
+  std::uint64_t schedule(Duration delay, std::function<void()> fn) {
+    const std::uint64_t id = next_id_++;
+    queue_.push(Event{now_ + delay, next_seq_++, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+  }
+
+  void cancel(std::uint64_t id) {
+    if (pending_.erase(id) > 0) cancelled_.insert(id);
+  }
+
+  std::uint64_t reschedule(std::uint64_t id, Duration delay,
+                           std::function<void()> fn) {
+    cancel(id);
+    return schedule(delay, std::move(fn));
+  }
+
+  void run(std::uint64_t limit) {
+    std::uint64_t executed = 0;
+    while (executed < limit && !queue_.empty()) {
+      Event ev = queue_.top();  // the copy the engine no longer makes
+      queue_.pop();
+      if (cancelled_.erase(ev.id) > 0) continue;
+      pending_.erase(ev.id);
+      now_ = ev.when;
+      ++executed;
+      ev.fn();
+    }
+  }
+
+  TimePoint now() const { return now_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+// --- Workload 1: hot self-rescheduling timer ----------------------------
+// The inner loop of every simulated protocol: an event whose handler
+// schedules the next one. The closure captures a shared_ptr (as real timer
+// closures capture weak_ptr/shared_ptr owners), which is what forces the
+// baseline's std::function to heap-allocate per event. A pool of far-future
+// background timers keeps the heap realistically deep.
+
+struct SchedulerResult {
+  double events_per_sec = 0;
+  double allocs_per_event = 0;
+};
+
+template <typename Sched, typename Ticker>
+SchedulerResult run_hot_loop(Sched& sched, std::uint64_t events,
+                             std::uint64_t* count, int background) {
+  for (int i = 0; i < background; ++i) {
+    sched.schedule(3600 * util::kSecond + i, [] {});
+  }
+  Ticker tick{&sched, count, events, std::make_shared<std::uint64_t>(0)};
+  sched.schedule(0, tick);
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  sched.run(events);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  return {static_cast<double>(events) / elapsed,
+          static_cast<double>(allocs) / static_cast<double>(events)};
+}
+
+struct EngineTicker {
+  sim::Simulator* sched;
+  std::uint64_t* count;
+  std::uint64_t limit;
+  std::shared_ptr<std::uint64_t> owner;
+  void operator()() const {
+    if (++*count < limit) sched->schedule(util::kMicrosecond, EngineTicker{*this});
+  }
+};
+
+struct BaselineTicker {
+  BaselineScheduler* sched;
+  std::uint64_t* count;
+  std::uint64_t limit;
+  std::shared_ptr<std::uint64_t> owner;
+  void operator()() const {
+    if (++*count < limit)
+      sched->schedule(util::kMicrosecond, BaselineTicker{*this});
+  }
+};
+
+// --- Workload 2: schedule / cancel / rearm churn ------------------------
+// The connection-timer pattern: a population of armed timers that are
+// mostly rearmed (every ACK pushes out the RTO) or cancelled before they
+// fire. The engine rearms in place; the baseline pays cancel + schedule
+// (tombstone insert + fresh heap push + fresh closure) per rearm.
+
+struct ChurnResult {
+  double ops_per_sec = 0;
+  double allocs_per_op = 0;
+};
+
+ChurnResult churn_engine(std::uint64_t timers, std::uint64_t ops) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::vector<sim::TimerId> ids(timers);
+  util::Rng rng(42);
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < timers; ++i) {
+    ids[i] = sim.schedule(
+        util::kSecond + static_cast<util::Duration>(rng.uniform_index(1000)) *
+                            util::kMillisecond,
+        [&fired] { ++fired; });
+  }
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    const std::uint64_t i = rng.uniform_index(timers);
+    const auto delay = util::kSecond + static_cast<util::Duration>(
+                                           rng.uniform_index(1000)) *
+                                           util::kMillisecond;
+    if (rng.uniform_index(10) == 0) {
+      sim.cancel(ids[i]);
+      ids[i] = sim.schedule(delay, [&fired] { ++fired; });
+    } else if (!sim.reschedule(ids[i], delay)) {
+      ids[i] = sim.schedule(delay, [&fired] { ++fired; });
+    }
+  }
+  sim.run();
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  const double total_ops = static_cast<double>(timers + ops + fired);
+  return {total_ops / elapsed, static_cast<double>(allocs) / total_ops};
+}
+
+ChurnResult churn_baseline(std::uint64_t timers, std::uint64_t ops) {
+  BaselineScheduler sched;
+  std::uint64_t fired = 0;
+  std::vector<std::uint64_t> ids(timers);
+  util::Rng rng(42);
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < timers; ++i) {
+    ids[i] = sched.schedule(
+        util::kSecond + static_cast<util::Duration>(rng.uniform_index(1000)) *
+                            util::kMillisecond,
+        [&fired] { ++fired; });
+  }
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    const std::uint64_t i = rng.uniform_index(timers);
+    const auto delay = util::kSecond + static_cast<util::Duration>(
+                                           rng.uniform_index(1000)) *
+                                           util::kMillisecond;
+    if (rng.uniform_index(10) == 0) {
+      sched.cancel(ids[i]);
+      ids[i] = sched.schedule(delay, [&fired] { ++fired; });
+    } else {
+      ids[i] = sched.reschedule(ids[i], delay, [&fired] { ++fired; });
+    }
+  }
+  sched.run(UINT64_MAX);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  const double total_ops = static_cast<double>(timers + ops + fired);
+  return {total_ops / elapsed, static_cast<double>(allocs) / total_ops};
+}
+
+// --- Workload 3: packet-hop throughput ----------------------------------
+// UDP datagrams across host -- router -- host: every datagram is copied
+// per hop by the link layer, so this measures the copy-on-write packet
+// body end to end (the body is shared, never cloned, across both hops).
+
+struct PacketHopResult {
+  double packets_per_sec = 0;
+  double allocs_per_packet = 0;
+  std::uint64_t delivered = 0;
+};
+
+PacketHopResult run_packet_hop(std::uint64_t packets) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(7));
+  const net::PathParams params{1 * util::kGbps, 1 * util::kMillisecond, 0.0,
+                               16 << 20};
+  auto path = net::make_two_host_path(net, params, params);
+  transport::TransportMux mux_a(*path.a), mux_b(*path.b);
+  auto rx = mux_b.udp_open(9000);
+  std::uint64_t delivered = 0;
+  rx->set_on_datagram(
+      [&delivered](net::Endpoint, net::PayloadPtr) { ++delivered; });
+  auto tx = mux_a.udp_open(9001);
+  const auto payload = std::make_shared<transport::FillerPayload>(1200);
+  const net::Endpoint dst{path.b->address(), 9000};
+  // Paced at 960 Mbps so the 1 Gbps link never queues unboundedly.
+  std::uint64_t sent = 0;
+  struct Pump {
+    sim::Simulator* sim;
+    std::shared_ptr<transport::UdpSocket> tx;
+    net::Endpoint dst;
+    net::PayloadPtr payload;
+    std::uint64_t* sent;
+    std::uint64_t total;
+    void operator()() const {
+      tx->send_to(dst, payload);
+      if (++*sent < total) sim->schedule(10 * util::kMicrosecond, Pump{*this});
+    }
+  };
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  sim.schedule(0, Pump{&sim, tx, dst, payload, &sent, packets});
+  sim.run();
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  return {static_cast<double>(delivered) / elapsed,
+          static_cast<double>(allocs) / static_cast<double>(packets),
+          delivered};
+}
+
+// --- Workload 4: TCP bulk transfer --------------------------------------
+// The macro check: a full simulated TCP flow (IW10, SACK, delayed ACKs,
+// RTO rearms) moving `mb` MiB over a 1 Gbps / 10 ms RTT path. Reports
+// simulator events per wall-second and allocations per MSS segment, and
+// gates on every byte arriving.
+
+struct TcpBulkResult {
+  double events_per_sec = 0;
+  double allocs_per_segment = 0;
+  double wall_ms = 0;
+  std::uint64_t received = 0;
+  std::uint64_t expected = 0;
+};
+
+TcpBulkResult run_tcp_bulk(std::size_t mb) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(11));
+  const net::PathParams params{1 * util::kGbps, 5 * util::kMillisecond, 0.0,
+                               16 << 20};
+  auto path = net::make_two_host_path(net, params, params);
+  transport::TransportMux mux_a(*path.a), mux_b(*path.b);
+  auto listener = mux_b.tcp_listen(80);
+  std::uint64_t received = 0;
+  listener->set_on_accept([&](std::shared_ptr<transport::TcpConnection> c) {
+    c->set_on_bytes([&received](std::size_t n) { received += n; });
+  });
+  const std::uint64_t expected = static_cast<std::uint64_t>(mb) << 20;
+  auto client = mux_a.tcp_connect({path.b->address(), 80});
+  client->set_on_established([&] { client->send_bytes(expected); });
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  sim.run_until(120 * util::kSecond);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  const double segments =
+      static_cast<double>(expected) / static_cast<double>(1460);
+  return {static_cast<double>(sim.events_executed()) / elapsed,
+          static_cast<double>(allocs) / segments, elapsed * 1e3, received,
+          expected};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_CORE.json";
+  bool smoke = false;
+  bool gate = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--no-gate") == 0) {
+      gate = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out PATH] [--smoke] [--no-gate]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::uint64_t hot_events = smoke ? 200'000 : 2'000'000;
+  const std::uint64_t churn_timers = smoke ? 1'024 : 4'096;
+  const std::uint64_t churn_ops = smoke ? 100'000 : 1'000'000;
+  const std::uint64_t hop_packets = smoke ? 5'000 : 50'000;
+  const std::size_t bulk_mb = smoke ? 8 : 64;
+
+  std::fprintf(stderr, "[bench_core] scheduler hot loop (%llu events)...\n",
+               static_cast<unsigned long long>(hot_events));
+  SchedulerResult baseline_hot;
+  {
+    BaselineScheduler sched;
+    std::uint64_t count = 0;
+    baseline_hot = run_hot_loop<BaselineScheduler, BaselineTicker>(
+        sched, hot_events, &count, 512);
+  }
+  SchedulerResult engine_hot;
+  {
+    sim::Simulator sim;
+    std::uint64_t count = 0;
+    engine_hot =
+        run_hot_loop<sim::Simulator, EngineTicker>(sim, hot_events, &count, 512);
+  }
+  const double speedup = engine_hot.events_per_sec / baseline_hot.events_per_sec;
+
+  std::fprintf(stderr, "[bench_core] schedule/cancel/rearm churn...\n");
+  const ChurnResult baseline_churn = churn_baseline(churn_timers, churn_ops);
+  const ChurnResult engine_churn = churn_engine(churn_timers, churn_ops);
+
+  std::fprintf(stderr, "[bench_core] packet-hop throughput...\n");
+  const PacketHopResult hop = run_packet_hop(hop_packets);
+
+  std::fprintf(stderr, "[bench_core] TCP bulk transfer (%zu MiB)...\n",
+               bulk_mb);
+  const TcpBulkResult bulk = run_tcp_bulk(bulk_mb);
+
+  const bool gate_speedup = speedup >= 2.0;
+  const bool gate_delivery =
+      bulk.received == bulk.expected && hop.delivered == hop_packets;
+  const bool gates_passed = gate_speedup && gate_delivery;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench_core] cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"hpop.bench_core.v1\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"scheduler\": {\n");
+  std::fprintf(out, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(hot_events));
+  std::fprintf(out, "    \"baseline_events_per_sec\": %.0f,\n",
+               baseline_hot.events_per_sec);
+  std::fprintf(out, "    \"engine_events_per_sec\": %.0f,\n",
+               engine_hot.events_per_sec);
+  std::fprintf(out, "    \"speedup\": %.3f,\n", speedup);
+  std::fprintf(out, "    \"baseline_allocs_per_event\": %.3f,\n",
+               baseline_hot.allocs_per_event);
+  std::fprintf(out, "    \"engine_allocs_per_event\": %.3f\n",
+               engine_hot.allocs_per_event);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"churn\": {\n");
+  std::fprintf(out, "    \"baseline_ops_per_sec\": %.0f,\n",
+               baseline_churn.ops_per_sec);
+  std::fprintf(out, "    \"engine_ops_per_sec\": %.0f,\n",
+               engine_churn.ops_per_sec);
+  std::fprintf(out, "    \"baseline_allocs_per_op\": %.3f,\n",
+               baseline_churn.allocs_per_op);
+  std::fprintf(out, "    \"engine_allocs_per_op\": %.3f\n",
+               engine_churn.allocs_per_op);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"packet_hop\": {\n");
+  std::fprintf(out, "    \"packets\": %llu,\n",
+               static_cast<unsigned long long>(hop.delivered));
+  std::fprintf(out, "    \"packets_per_sec\": %.0f,\n", hop.packets_per_sec);
+  std::fprintf(out, "    \"allocs_per_packet\": %.3f\n",
+               hop.allocs_per_packet);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"tcp_bulk\": {\n");
+  std::fprintf(out, "    \"mb\": %zu,\n", bulk_mb);
+  std::fprintf(out, "    \"received\": %llu,\n",
+               static_cast<unsigned long long>(bulk.received));
+  std::fprintf(out, "    \"expected\": %llu,\n",
+               static_cast<unsigned long long>(bulk.expected));
+  std::fprintf(out, "    \"wall_ms\": %.1f,\n", bulk.wall_ms);
+  std::fprintf(out, "    \"events_per_sec\": %.0f,\n", bulk.events_per_sec);
+  std::fprintf(out, "    \"allocs_per_segment\": %.3f\n",
+               bulk.allocs_per_segment);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"gates\": {\n");
+  std::fprintf(out, "    \"scheduler_speedup_min\": 2.0,\n");
+  std::fprintf(out, "    \"scheduler_speedup_ok\": %s,\n",
+               gate_speedup ? "true" : "false");
+  std::fprintf(out, "    \"delivery_ok\": %s\n",
+               gate_delivery ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"gates_passed\": %s\n", gates_passed ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::fprintf(stderr,
+               "[bench_core] scheduler: engine %.2fM ev/s vs baseline %.2fM "
+               "ev/s (%.2fx, allocs/event %.2f -> %.2f)\n",
+               engine_hot.events_per_sec / 1e6,
+               baseline_hot.events_per_sec / 1e6, speedup,
+               baseline_hot.allocs_per_event, engine_hot.allocs_per_event);
+  std::fprintf(stderr,
+               "[bench_core] churn: engine %.2fM ops/s vs baseline %.2fM "
+               "ops/s (allocs/op %.2f -> %.2f)\n",
+               engine_churn.ops_per_sec / 1e6, baseline_churn.ops_per_sec / 1e6,
+               baseline_churn.allocs_per_op, engine_churn.allocs_per_op);
+  std::fprintf(stderr,
+               "[bench_core] packet hop: %.2fM pkts/s, %.2f allocs/pkt\n",
+               hop.packets_per_sec / 1e6, hop.allocs_per_packet);
+  std::fprintf(stderr,
+               "[bench_core] tcp bulk: %llu/%llu bytes, %.2fM ev/s, "
+               "%.2f allocs/segment\n",
+               static_cast<unsigned long long>(bulk.received),
+               static_cast<unsigned long long>(bulk.expected),
+               bulk.events_per_sec / 1e6, bulk.allocs_per_segment);
+  std::fprintf(stderr, "[bench_core] gates %s -> %s\n",
+               gates_passed ? "PASSED" : "FAILED", out_path.c_str());
+
+  if (gate && !gates_passed) return 1;
+  return 0;
+}

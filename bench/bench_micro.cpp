@@ -9,6 +9,7 @@
 #include "net/topology.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transport/mux.hpp"
+#include "transport/payloads.hpp"
 #include "util/erasure.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
@@ -146,6 +147,76 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
                           10000);
 }
 BENCHMARK(BM_SimulatorEventThroughput);
+
+// Timer churn: the RTO/delayed-ACK pattern where nearly every armed timer
+// is pushed out before it fires. reschedule() rearms in place — no
+// tombstone, no fresh closure — so this should track schedule throughput.
+void BM_SimulatorRearm(benchmark::State& state) {
+  const auto timers = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  std::vector<sim::TimerId> ids(timers);
+  for (std::size_t i = 0; i < timers; ++i) {
+    ids[i] = sim.schedule(util::kSecond + static_cast<util::Duration>(i),
+                          [] {});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.reschedule(ids[i], util::kSecond));
+    i = (i + 1) % timers;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorRearm)->Arg(64)->Arg(4096);
+
+// Arm/disarm cycle: schedule + cancel of a short-lived timer, the pattern
+// of one-shot guards (connect timeouts, probe deadlines) that usually die
+// before firing.
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  sim::Simulator sim;
+  // A standing population keeps the heap at realistic depth.
+  for (int i = 0; i < 1024; ++i) {
+    sim.schedule(util::kSecond + i, [] {});
+  }
+  for (auto _ : state) {
+    const auto id = sim.schedule(500 * util::kMillisecond, [] {});
+    sim.cancel(id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
+
+// Packet hops per wall-second: UDP datagrams crossing host--router--host.
+// Every hop copies the Packet struct; the copy-on-write body makes that a
+// header-only copy, which is what this measures end to end.
+void BM_PacketHopThroughput(benchmark::State& state) {
+  const std::uint64_t kPackets = 20000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim, util::Rng(7));
+    const net::PathParams params{1 * util::kGbps, 1 * util::kMillisecond,
+                                 0.0, 16 << 20};
+    auto path = net::make_two_host_path(net, params, params);
+    transport::TransportMux mux_a(*path.a), mux_b(*path.b);
+    auto rx = mux_b.udp_open(9000);
+    std::uint64_t delivered = 0;
+    rx->set_on_datagram(
+        [&delivered](net::Endpoint, net::PayloadPtr) { ++delivered; });
+    auto tx = mux_a.udp_open(9001);
+    const auto payload = std::make_shared<transport::FillerPayload>(1200);
+    const net::Endpoint dst{path.b->address(), 9000};
+    std::uint64_t sent = 0;
+    std::function<void()> pump = [&] {
+      tx->send_to(dst, payload);
+      if (++sent < kPackets) sim.schedule(10 * util::kMicrosecond, pump);
+    };
+    sim.schedule(0, pump);
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPackets));
+}
+BENCHMARK(BM_PacketHopThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatedTcpTransfer(benchmark::State& state) {
   const auto mb = static_cast<std::size_t>(state.range(0));

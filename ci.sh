@@ -29,6 +29,22 @@ diff /tmp/chaos_run_a.txt /tmp/chaos_run_b.txt
 diff /tmp/flash_run_a.txt /tmp/flash_run_b.txt
 cat /tmp/flash_run_a.txt
 
+# Rearm-path determinism: the TCP ramp-up bench exercises the persistent
+# RTO/delayed-ACK timers that now rearm in place (Simulator::reschedule);
+# two same-seed runs must print byte-identical reports.
+./build/bench/bench_tcp_rampup > /tmp/rampup_run_a.txt
+./build/bench/bench_tcp_rampup > /tmp/rampup_run_b.txt
+diff /tmp/rampup_run_a.txt /tmp/rampup_run_b.txt
+
+# Hot-path perf gate (E15, smoke scale): bench_core compares the event
+# engine against an in-process replica of the pre-overhaul scheduler and
+# exits non-zero unless the engine holds a >= 2x events/sec lead and every
+# workload delivers in full. The committed BENCH_CORE.json baseline must
+# also have been produced by a passing run.
+./build/bench/bench_core --smoke --out /tmp/BENCH_CORE.json
+grep -q '"gates_passed": true' /tmp/BENCH_CORE.json
+grep -q '"gates_passed": true' BENCH_CORE.json
+
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
 cmake --build build-asan -j
 # detect_leaks=0: the transport layer keeps connections alive through

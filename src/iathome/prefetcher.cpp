@@ -298,11 +298,15 @@ void HomeWebService::schedule_refresh(const std::string& url,
                                       util::Duration in) {
   const auto it = tracked_.find(url);
   if (it == tracked_.end()) return;
-  if (it->second.refresh_timer) {
-    mux_.simulator().cancel(*it->second.refresh_timer);
+  auto& sim = mux_.simulator();
+  // Rearm the per-URL timer in place; the queued closure already captures
+  // this URL, so only a first arm (or re-arm after firing) schedules.
+  if (it->second.refresh_timer &&
+      sim.reschedule(*it->second.refresh_timer, in)) {
+    return;
   }
   it->second.refresh_timer =
-      mux_.simulator().schedule(in, [this, url] { refresh(url); });
+      sim.schedule(in, [this, url] { refresh(url); });
 }
 
 void HomeWebService::refresh(const std::string& url) {

@@ -1,11 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_function.hpp"
 #include "util/time.hpp"
 
 namespace hpop::sim {
@@ -22,8 +20,24 @@ using TimerId = std::uint64_t;
 /// Events at equal timestamps run in scheduling order (a monotonically
 /// increasing sequence number breaks ties), which makes every run
 /// bit-reproducible for a fixed seed.
+///
+/// Engine shape (the hot path every experiment funnels through):
+///  - Events live in an indexed 4-ary heap. Each scheduled event owns a
+///    slot; the slot tracks the event's heap position, so cancel() and
+///    reschedule() are true O(log n) heap operations instead of tombstones
+///    that fatten the queue and cost two hash-set touches per event.
+///  - TimerIds encode (slot, generation); releasing a slot bumps its
+///    generation, so a stale cancel/reschedule for an already-fired id is
+///    an O(1) no-op — no bookkeeping set ever grows.
+///  - Closures are util::InlineFunction: captures up to 64 bytes (every
+///    timer closure in the tree) never touch the allocator. The closure
+///    lives in the slot, not the heap: sift operations shuffle 24-byte
+///    (when, seq, slot) nodes, and a closure is moved exactly twice in its
+///    life — into its slot on schedule, out on fire.
 class Simulator {
  public:
+  using EventFn = util::InlineFunction<void()>;
+
   Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;
@@ -32,12 +46,24 @@ class Simulator {
   TimePoint now() const { return now_; }
 
   /// Schedules `fn` to run at now() + delay (delay >= 0). Returns an id
-  /// usable with cancel().
-  TimerId schedule(Duration delay, std::function<void()> fn);
-  TimerId schedule_at(TimePoint when, std::function<void()> fn);
+  /// usable with cancel() and reschedule().
+  TimerId schedule(Duration delay, EventFn fn);
+  TimerId schedule_at(TimePoint when, EventFn fn);
 
   /// Cancels a pending timer; no-op if it already fired or was cancelled.
   void cancel(TimerId id);
+
+  /// Rearms a pending timer to fire at now() + delay, keeping its id valid
+  /// and reusing its queued closure — the allocation-free replacement for
+  /// cancel() + schedule() on persistent timers (TCP RTO, delayed ACK,
+  /// prefetch refresh). Ordering matches cancel+schedule exactly: the event
+  /// is re-sequenced behind everything already scheduled for the same
+  /// instant. Returns false (and does nothing) if the timer already fired
+  /// or was cancelled — the caller then schedules afresh.
+  bool reschedule(TimerId id, Duration delay);
+
+  /// True while `id` is queued and not yet fired or cancelled.
+  bool pending(TimerId id) const { return slot_of(id) != kNone; }
 
   /// Runs until the queue drains or `limit` events execute.
   void run(std::uint64_t limit = UINT64_MAX);
@@ -49,34 +75,52 @@ class Simulator {
   void run_for(Duration d) { run_until(now_ + d); }
 
   std::uint64_t events_executed() const { return executed_; }
-  bool empty() const;
+  bool empty() const { return heap_.empty(); }
+  std::size_t queued() const { return heap_.size(); }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kArity = 4;
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  /// Heap node: trivially copyable so sifting never touches a closure.
+  struct HeapNode {
     TimePoint when;
     std::uint64_t seq;
-    TimerId id;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    std::uint32_t pos = kNone;  // heap index while scheduled; kNone when free
+    std::uint32_t gen = 0;      // bumped on release; stale ids never match
+    std::uint32_t next_free = kNone;
+    EventFn fn;  // stationary while queued; moved out only to fire
   };
 
+  static bool earlier(const HeapNode& a, const HeapNode& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  TimerId make_id(std::uint32_t slot) const {
+    // Slot indices are offset by one so no valid id is ever 0 — callers use
+    // 0 as a "no timer" sentinel.
+    return (static_cast<std::uint64_t>(slots_[slot].gen) << 32) |
+           (static_cast<std::uint64_t>(slot) + 1);
+  }
+  std::uint32_t slot_of(TimerId id) const;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::uint32_t i);
+  void sift_down(std::uint32_t i);
+  void restore_at(std::uint32_t i);
+  void remove_at(std::uint32_t i);
   bool pop_and_run(TimePoint deadline);
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  /// Ids of queued, not-yet-fired, not-cancelled events. cancel() moves an
-  /// id from here to cancelled_; a cancel for an id not in pending_ (already
-  /// fired or cancelled) is a true no-op, so neither set grows unboundedly.
-  std::unordered_set<TimerId> pending_;
-  std::unordered_set<TimerId> cancelled_;
+  std::vector<HeapNode> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNone;
 };
 
 }  // namespace hpop::sim

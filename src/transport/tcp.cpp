@@ -43,12 +43,34 @@ net::Packet TcpConnection::base_packet() const {
   pkt.tcp.ack = rcv_nxt_;
   pkt.tcp.ack_flag = true;
   pkt.tcp.wnd = opts_.receive_window;
-  // Advertise the out-of-order ranges. Real TCP fits only 3-4 SACK blocks
-  // per segment and cycles through them; we ship the whole list at once —
-  // the steady state a real sender's scoreboard converges to within an RTT,
-  // without simulating the block rotation.
-  for (const auto& [lo, hi] : ooo_ranges_) {
-    pkt.tcp.sack.emplace_back(lo, hi);
+  // Advertise the out-of-order ranges, capped at what real TCP options fit
+  // (kMaxSackBlocks), in RFC 2018 shape: the block containing the most
+  // recently received segment goes first, and the remaining slots cycle
+  // through the other ranges across successive ACKs. The rotation is what
+  // lets a sender rebuild the full scoreboard of a large loss burst a few
+  // blocks at a time — a static pick of the same 3-4 ranges starves
+  // recovery down to one retransmission per RTT.
+  if (!ooo_ranges_.empty()) {
+    auto& sack = pkt.tcp.sack.mutate();
+    const std::size_t cap = net::TcpHeader::kMaxSackBlocks;
+    sack.reserve(std::min(ooo_ranges_.size(), cap));
+    std::uint64_t first_lo = UINT64_MAX;
+    const auto recent = ooo_ranges_.upper_bound(last_ooo_seq_);
+    if (recent != ooo_ranges_.begin()) {
+      const auto r = std::prev(recent);
+      if (r->first <= last_ooo_seq_ && last_ooo_seq_ < r->second) {
+        sack.emplace_back(r->first, r->second);
+        first_lo = r->first;
+      }
+    }
+    auto it = ooo_ranges_.lower_bound(sack_rotate_);
+    std::size_t scanned = 0;
+    for (; sack.size() < cap && scanned < ooo_ranges_.size(); ++scanned) {
+      if (it == ooo_ranges_.end()) it = ooo_ranges_.begin();
+      if (it->first != first_lo) sack.emplace_back(it->first, it->second);
+      ++it;
+    }
+    sack_rotate_ = it == ooo_ranges_.end() ? 0 : it->first;
   }
   pkt.id = ++g_packet_id;
   return pkt;
@@ -148,7 +170,7 @@ void TcpConnection::emit_segment(std::uint64_t seq, std::uint64_t len,
   net::Packet pkt = base_packet();
   pkt.tcp.seq = seq;
   pkt.payload_len = len;
-  pkt.messages = refs_in_range(seq, len);
+  pkt.messages.assign(refs_in_range(seq, len));
   if (retransmit) {
     ++retransmits_;
     m_retransmits_->inc();
@@ -231,14 +253,18 @@ std::uint64_t TcpConnection::sacked_bytes_in_flight() const {
 std::pair<std::uint64_t, std::uint64_t> TcpConnection::next_hole(
     std::uint64_t from) const {
   std::uint64_t start = std::max(from, snd_una_);
-  // Skip forward past any sacked range containing `start`.
-  for (const auto& [lo, hi] : sacked_) {
-    if (lo <= start && start < hi) start = hi;
+  // The scoreboard is kept merged and disjoint, so at most one range can
+  // contain `start`; skip past it. (A burst loss leaves thousands of
+  // ranges, and this runs per retransmission — it must stay O(log n).)
+  const auto it = sacked_.upper_bound(start);
+  if (it != sacked_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->second > start) start = prev->second;
   }
   if (start >= snd_nxt_) return {start, start};
-  // Hole ends at the next sacked range (or the send frontier).
+  // Hole ends at the next sacked range (or the send frontier). Ranges
+  // never touch, so `it` is still the first range past the skipped one.
   std::uint64_t end = snd_nxt_;
-  const auto it = sacked_.upper_bound(start);
   if (it != sacked_.end()) end = std::min(end, it->first);
   return {start, end};
 }
@@ -268,20 +294,49 @@ void TcpConnection::send_in_recovery() {
   // SACKed bytes and bytes deemed lost (holes below the highest SACK that
   // we have not retransmitted yet — the IsLost() approximation).
   const std::uint64_t mss = opts_.mss;
-  while (true) {
-    const std::uint64_t flight = snd_nxt_ - snd_una_;
-    const std::uint64_t sacked = sacked_bytes_in_flight();
+  // `lost` in one ordered pass over the scoreboard (the holes below
+  // `highest` not yet rescanned). A burst loss leaves thousands of holes,
+  // and summing them hole-by-hole via next_hole() made recovery quadratic
+  // in the scoreboard size (minutes of wall time per simulated RTT).
+  const auto compute_lost = [this](std::uint64_t highest) {
     std::uint64_t lost = 0;
     if (!sacked_.empty()) {
-      const std::uint64_t highest =
-          std::min(sacked_.rbegin()->second, snd_nxt_);
       std::uint64_t cursor = std::max(snd_una_, rexmit_scan_);
-      while (cursor < highest) {
-        const auto [hs, he] = next_hole(cursor);
-        if (he <= hs || hs >= highest) break;
-        lost += std::min(he, highest) - hs;
-        cursor = he;
+      auto it = sacked_.upper_bound(cursor);
+      if (it != sacked_.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->second > cursor) cursor = prev->second;
       }
+      while (cursor < highest) {
+        const std::uint64_t gap_end =
+            it == sacked_.end() ? highest : std::min(it->first, highest);
+        if (gap_end > cursor) lost += gap_end - cursor;
+        if (it == sacked_.end()) break;
+        cursor = std::max(cursor, it->second);
+        ++it;
+      }
+    }
+    return lost;
+  };
+  // Pipe accounting is computed once, then kept current incrementally as
+  // segments go out. That is exact while every SACKed byte sits at or
+  // below the send frontier — always, except briefly after an RTO rewound
+  // snd_nxt_ below survivors of the old flight; there the frontier clips
+  // the sums, so fall back to recomputing per emitted segment.
+  const bool incremental =
+      sacked_.empty() || sacked_.rbegin()->second <= snd_nxt_;
+  std::uint64_t sacked = sacked_bytes_in_flight();
+  std::uint64_t highest =
+      sacked_.empty() ? 0 : std::min(sacked_.rbegin()->second, snd_nxt_);
+  std::uint64_t lost = compute_lost(highest);
+  std::uint64_t flight = snd_nxt_ - snd_una_;
+  while (true) {
+    if (!incremental) {
+      sacked = sacked_bytes_in_flight();
+      highest = sacked_.empty() ? 0
+                                : std::min(sacked_.rbegin()->second, snd_nxt_);
+      lost = compute_lost(highest);
+      flight = snd_nxt_ - snd_una_;
     }
     const std::uint64_t out = sacked + lost;
     const std::uint64_t pipe = flight > out ? flight - out : 0;
@@ -295,6 +350,9 @@ void TcpConnection::send_in_recovery() {
           std::min({mss, end - start, recover_ - start});
       emit_segment(start, len, true);
       rexmit_scan_ = start + len;
+      // The retransmitted bytes leave the lost estimate (they are back in
+      // the pipe); only the part below `highest` was ever counted.
+      if (start < highest) lost -= std::min(start + len, highest) - start;
       continue;
     }
     if (snd_nxt_ < snd_buf_end_) {
@@ -302,6 +360,7 @@ void TcpConnection::send_in_recovery() {
       emit_segment(snd_nxt_, len, snd_nxt_ < high_water_);
       if (snd_nxt_ + len > high_water_) high_water_ = snd_nxt_ + len;
       snd_nxt_ += len;
+      flight += len;
       continue;
     }
     break;
@@ -367,13 +426,17 @@ void TcpConnection::update_rtt(util::Duration sample) {
 }
 
 void TcpConnection::arm_rto() {
-  disarm_rto();
   util::Duration effective = rto_;
   for (int i = 0; i < rto_backoff_; ++i) {
     effective = std::min(effective * 2, opts_.max_rto);
   }
+  auto& sim = mux_.simulator();
+  // One persistent timer per connection: every re-arm while the timer is
+  // still pending is an in-place rearm (no cancel, no fresh closure); a
+  // fresh schedule happens only on the first arm or after the timer fired.
+  if (rto_timer_ && sim.reschedule(*rto_timer_, effective)) return;
   const auto self = weak_from_this();
-  rto_timer_ = mux_.simulator().schedule(effective, [self] {
+  rto_timer_ = sim.schedule(effective, [self] {
     if (const auto conn = self.lock()) {
       conn->rto_timer_.reset();
       conn->on_rto();
@@ -535,6 +598,9 @@ void TcpConnection::process_data(const net::Packet& pkt) {
   }
   const std::uint64_t old_rcv_nxt = rcv_nxt_;
   if (seq + len > rcv_nxt_) {
+    // Remember where this segment landed: its (merged) range leads the
+    // next ACK's SACK blocks per RFC 2018.
+    last_ooo_seq_ = std::max(seq, rcv_nxt_);
     // Merge [seq, seq+len) into the out-of-order set.
     std::uint64_t lo = seq;
     std::uint64_t hi = seq + len;

@@ -204,6 +204,12 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // Receiver.
   std::uint64_t rcv_nxt_ = 0;
   std::map<std::uint64_t, std::uint64_t> ooo_ranges_;  // start -> end
+  /// SACK generation state (RFC 2018 block selection): sequence inside the
+  /// most recently received out-of-order segment, and the rotation cursor
+  /// cycling the remaining ranges through the capped block slots. Mutable:
+  /// advancing the cursor is part of building an (otherwise const) ACK.
+  std::uint64_t last_ooo_seq_ = UINT64_MAX;
+  mutable std::uint64_t sack_rotate_ = 0;
   std::map<std::uint64_t, net::PayloadPtr> pending_refs_;  // end_offset -> msg
   std::optional<std::uint64_t> fin_seq_;  // peer FIN position
   bool fin_received_ = false;

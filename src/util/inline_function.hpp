@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hpop::util {
+
+/// Move-only callable wrapper with small-buffer-optimized storage.
+///
+/// The simulator schedules millions of closures per run; `std::function`
+/// heap-allocates any capture that is not trivially copyable (libstdc++'s
+/// small-object path requires trivial copyability, which a `weak_ptr` — the
+/// canonical timer capture — fails). InlineFunction stores any callable up
+/// to `InlineBytes` in place regardless of triviality, and, being move-only,
+/// lets the event heap move closures around without the copyability tax
+/// `std::function` imposes on every capture.
+///
+/// Callables larger than `InlineBytes` fall back to one heap allocation and
+/// are still moved as a pointer steal afterwards.
+template <typename Signature, std::size_t InlineBytes = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() noexcept : ops_(nullptr) {}
+  InlineFunction(std::nullptr_t) noexcept : ops_(nullptr) {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {
+    if constexpr (sizeof(D) <= InlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      storage_.heap = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(target(), std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct *src into dst, destroying src. Null for heap-stored
+    /// callables, whose moves are pointer steals.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* obj, Args&&... args) -> R {
+        return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* obj) { static_cast<D*>(obj)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* obj, Args&&... args) -> R {
+        return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+      },
+      nullptr,
+      [](void* obj) { delete static_cast<D*>(obj); },
+  };
+
+  void* target() noexcept {
+    return ops_ != nullptr && ops_->relocate != nullptr
+               ? static_cast<void*>(storage_.buf)
+               : storage_.heap;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(target());
+      ops_ = nullptr;
+    }
+  }
+
+  void steal(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(storage_.buf, other.storage_.buf);
+      } else {
+        storage_.heap = other.storage_.heap;
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char buf[InlineBytes];
+    void* heap;
+  } storage_;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hpop::util

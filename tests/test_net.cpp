@@ -72,6 +72,87 @@ TEST(Packet, WireSizes) {
   EXPECT_EQ(outer.wire_size(), 1040u + 36u);
 }
 
+TEST(Packet, WireSizeNestedEncapsulation) {
+  // Tunnel-in-tunnel: each layer adds kVpnOverhead on top of the inner
+  // packet's full size.
+  Packet inner;
+  inner.proto = Proto::kTcp;
+  inner.payload_len = 1000;
+  auto wrap = [](const Packet& p) {
+    Packet outer;
+    outer.proto = Proto::kUdp;
+    outer.encapsulated = std::make_shared<const Packet>(p);
+    return outer;
+  };
+  const Packet twice = wrap(wrap(inner));
+  EXPECT_EQ(twice.wire_size(), 1040u + 2 * Packet::kVpnOverhead);
+  const Packet thrice = wrap(twice);
+  EXPECT_EQ(thrice.wire_size(), 1040u + 3 * Packet::kVpnOverhead);
+}
+
+TEST(Packet, WireSizeBoundedOnRunawayEncapChain) {
+  // A chain far deeper than any real tunnel stack must neither crash nor
+  // count overhead past the depth bound.
+  Packet p;
+  p.proto = Proto::kTcp;
+  p.payload_len = 100;
+  std::shared_ptr<const Packet> chain = std::make_shared<const Packet>(p);
+  const int layers = 4 * Packet::kMaxEncapDepth;
+  for (int i = 0; i < layers; ++i) {
+    Packet outer;
+    outer.proto = Proto::kUdp;
+    outer.encapsulated = chain;
+    chain = std::make_shared<const Packet>(outer);
+  }
+  // Depth capped: overhead for kMaxEncapDepth layers, then the packet at
+  // the cap counted as-is (a UDP wrapper with no own payload).
+  const std::size_t expect =
+      Packet::kMaxEncapDepth * Packet::kVpnOverhead + 20u + 8u;
+  EXPECT_EQ(chain->wire_size(), expect);
+}
+
+TEST(Packet, CowBodySharedAcrossCopiesUntilMutated) {
+  Packet a;
+  a.messages.push_back({100, nullptr});
+  a.tcp.sack.push_back({5, 9});
+  Packet b = a;  // per-hop copy: headers copied, body shared
+  EXPECT_EQ(&a.messages.view(), &b.messages.view());
+  EXPECT_EQ(&a.tcp.sack.view(), &b.tcp.sack.view());
+
+  // Writer clones; the other copy is untouched.
+  b.messages.mutate().push_back({200, nullptr});
+  EXPECT_NE(&a.messages.view(), &b.messages.view());
+  EXPECT_EQ(a.messages.size(), 1u);
+  EXPECT_EQ(b.messages.size(), 2u);
+
+  b.tcp.sack.mutate().clear();
+  EXPECT_EQ(a.tcp.sack.size(), 1u);
+  EXPECT_TRUE(b.tcp.sack.empty());
+}
+
+TEST(Packet, CowMutateWithoutOtherOwnersDoesNotClone) {
+  Packet a;
+  a.messages.push_back({1, nullptr});
+  const auto* before = &a.messages.view();
+  a.messages.mutate().push_back({2, nullptr});
+  EXPECT_EQ(before, &a.messages.view());
+  EXPECT_EQ(a.messages.size(), 2u);
+}
+
+TEST(Packet, CowEmptyBodyHoldsNoStorage) {
+  Packet a;
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_EQ(a.messages.size(), 0u);
+  // assign() of an empty vector releases storage entirely.
+  a.tcp.sack.push_back({1, 2});
+  a.tcp.sack.assign({});
+  EXPECT_TRUE(a.tcp.sack.empty());
+  EXPECT_EQ(a.tcp.sack.view().size(), 0u);
+  // Views of empty bodies alias one shared static vector per type.
+  Packet b;
+  EXPECT_EQ(&a.tcp.sack.view(), &b.tcp.sack.view());
+}
+
 TEST(Link, SerializationPlusPropagation) {
   sim::Simulator sim;
   Network net(sim, util::Rng(1));

@@ -147,5 +147,137 @@ TEST(Simulator, ZeroDelayRunsImmediatelyInOrder) {
   EXPECT_EQ(sim.now(), 0);
 }
 
+TEST(Simulator, RescheduleMovesTimerLater) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId id = sim.schedule(kMillisecond, [&] { ++fired; });
+  EXPECT_TRUE(sim.reschedule(id, 5 * kMillisecond));
+  sim.run_until(4 * kMillisecond);
+  EXPECT_EQ(fired, 0);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5 * kMillisecond);
+}
+
+TEST(Simulator, RescheduleMovesTimerEarlier) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimerId id = sim.schedule(9 * kMillisecond, [&] { order.push_back(1); });
+  sim.schedule(5 * kMillisecond, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.reschedule(id, 2 * kMillisecond));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RescheduleFailsAfterFire) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId id = sim.schedule(kMillisecond, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.reschedule(id, kMillisecond));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RescheduleFailsAfterCancel) {
+  Simulator sim;
+  const TimerId id = sim.schedule(kMillisecond, [] {});
+  sim.cancel(id);
+  EXPECT_FALSE(sim.reschedule(id, kMillisecond));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, PendingTracksLifecycle) {
+  Simulator sim;
+  const TimerId a = sim.schedule(kMillisecond, [] {});
+  const TimerId b = sim.schedule(2 * kMillisecond, [] {});
+  EXPECT_TRUE(sim.pending(a));
+  EXPECT_TRUE(sim.pending(b));
+  sim.cancel(a);
+  EXPECT_FALSE(sim.pending(a));
+  EXPECT_TRUE(sim.reschedule(b, 3 * kMillisecond));
+  EXPECT_TRUE(sim.pending(b));
+  sim.run();
+  EXPECT_FALSE(sim.pending(b));
+}
+
+TEST(Simulator, RescheduleResequencesBehindEqualTimestampPeers) {
+  // Determinism contract: rearming to an instant where other events are
+  // already queued runs the rearmed event last — exactly the order
+  // cancel() + schedule() would have produced.
+  Simulator sim;
+  std::vector<int> order;
+  const TimerId id = sim.schedule(kMillisecond, [&] { order.push_back(1); });
+  sim.schedule(2 * kMillisecond, [&] { order.push_back(2); });
+  sim.schedule(2 * kMillisecond, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.reschedule(id, 2 * kMillisecond));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(Simulator, EqualTimestampFifoAcrossScheduleCancelRearm) {
+  // An interleaving touching all three mutators must still run the
+  // survivors at one instant strictly in (re)scheduling order.
+  Simulator sim;
+  std::vector<int> order;
+  const auto at = 10 * kMillisecond;
+  sim.schedule(at, [&] { order.push_back(1); });
+  const TimerId doomed = sim.schedule(at, [&] { order.push_back(99); });
+  const TimerId moved = sim.schedule(at, [&] { order.push_back(4); });
+  sim.schedule(at, [&] { order.push_back(2); });
+  sim.cancel(doomed);
+  sim.schedule(at, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.reschedule(moved, at));  // re-sequences 4 behind 3
+  sim.schedule(at, [&] { order.push_back(5); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseDoesNotKillNewTimer) {
+  // Freed slots are reused, so a stale id may point at a slot now owned by
+  // a different timer. The generation tag must make the stale cancel and
+  // reschedule no-ops instead of destroying the new owner.
+  Simulator sim;
+  int first = 0, second = 0;
+  const TimerId stale = sim.schedule(kMillisecond, [&] { ++first; });
+  sim.run();
+  EXPECT_EQ(first, 1);
+  // Drain the free list into fresh timers so the stale id's slot is reused.
+  std::vector<TimerId> fresh;
+  for (int i = 0; i < 4; ++i) {
+    fresh.push_back(sim.schedule(kMillisecond, [&] { ++second; }));
+  }
+  sim.cancel(stale);
+  EXPECT_FALSE(sim.reschedule(stale, kSecond));
+  for (const TimerId id : fresh) EXPECT_TRUE(sim.pending(id));
+  sim.run();
+  EXPECT_EQ(second, 4);
+}
+
+TEST(Simulator, RearmedChainStaysDeterministicUnderChurn) {
+  // A fixed schedule/cancel/rearm script must yield the same firing order
+  // every run (this is the engine-level half of the telemetry-diff gate).
+  const auto script = [](std::vector<int>& order) {
+    Simulator sim;
+    std::vector<TimerId> ids;
+    for (int i = 0; i < 16; ++i) {
+      ids.push_back(
+          sim.schedule((1 + i % 4) * kMillisecond, [&order, i] {
+            order.push_back(i);
+          }));
+    }
+    for (int i = 0; i < 16; i += 3) sim.cancel(ids[static_cast<size_t>(i)]);
+    for (int i = 1; i < 16; i += 3) {
+      sim.reschedule(ids[static_cast<size_t>(i)], 2 * kMillisecond);
+    }
+    sim.run();
+  };
+  std::vector<int> first, second;
+  script(first);
+  script(second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
 }  // namespace
 }  // namespace hpop::sim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -531,6 +532,48 @@ TEST(Tcp, AbortSendsRstToPeer) {
   f.sim.run_until(2 * kSecond);
   EXPECT_TRUE(server_reset);
   EXPECT_EQ(client->state(), TcpConnection::State::kClosed);
+}
+
+TEST(Tcp, SackBlocksNeverExceedCapUnderLongOooBurst) {
+  // Regression for the RFC 2018 cap: a long burst of alternating drops
+  // leaves the receiver holding far more out-of-order ranges than a real
+  // TCP header could advertise. Every ACK on the wire must carry at most
+  // kMaxSackBlocks blocks — and the capped advertisement (most recent
+  // block first, remainder rotated) must still let recovery deliver
+  // every byte.
+  PathFixture f({1 * kGbps, 5 * kMillisecond, 0.0, 16 << 20},
+                {1 * kGbps, 5 * kMillisecond, 0.0, 16 << 20});
+  auto listener = f.mux_b->tcp_listen(80);
+  std::uint64_t received = 0;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    c->set_on_bytes([&](std::size_t n) { received += n; });
+  });
+  int data_seen = 0;
+  int dropped = 0;
+  f.path.a->add_egress_hook([&](net::Packet& pkt) {
+    if (pkt.proto != net::Proto::kTcp || pkt.payload_len == 0) return false;
+    ++data_seen;
+    if (data_seen >= 12 && data_seen < 52 && data_seen % 2 == 0) {
+      ++dropped;
+      return true;  // every other segment of a 40-segment burst vanishes
+    }
+    return false;
+  });
+  std::size_t max_sack_blocks = 0;
+  f.path.b->add_egress_hook([&](net::Packet& pkt) {
+    if (pkt.proto == net::Proto::kTcp && pkt.tcp.ack_flag) {
+      max_sack_blocks = std::max(max_sack_blocks, pkt.tcp.sack.size());
+    }
+    return false;
+  });
+  const std::uint64_t total = 400ull * 1460;
+  auto client = f.mux_a->tcp_connect(f.b_endpoint(80));
+  client->set_on_established([&] { client->send_bytes(total); });
+  f.sim.run_until(30 * kSecond);
+  EXPECT_EQ(received, total);
+  EXPECT_GE(dropped, 20);
+  // The cap binds (the burst creates ~20 ranges) and is never exceeded.
+  EXPECT_EQ(max_sack_blocks, net::TcpHeader::kMaxSackBlocks);
 }
 
 }  // namespace
