@@ -26,11 +26,14 @@
 #include <new>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "net/pool.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
+#include "sweep/sweep.hpp"
 #include "transport/mux.hpp"
 #include "transport/payloads.hpp"
 #include "util/rng.hpp"
@@ -347,6 +350,92 @@ TcpBulkResult run_tcp_bulk(std::size_t mb) {
           expected};
 }
 
+// --- Workload 5: pooled vs malloc'd packet lifecycle --------------------
+// The isolated cost of the arena itself: acquire/touch/release a packet
+// from the per-simulator PacketPool versus a fresh heap Packet per
+// iteration — the lifecycle every hop of the wire path used to pay.
+
+struct PoolResult {
+  double ops_per_sec = 0;
+  double allocs_per_op = 0;
+};
+
+PoolResult run_pool_pooled(std::uint64_t ops) {
+  sim::Simulator sim;
+  net::PacketPool& pool = net::PacketPool::of(sim);
+  { net::PooledPacket warm = pool.acquire(); }  // first slab pre-faulted
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    net::PooledPacket p = pool.acquire();
+    p->payload_len = static_cast<std::size_t>(i);
+    sink += p->payload_len;
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  volatile std::uint64_t keep = sink;  // the loop must stay observable
+  (void)keep;
+  return {static_cast<double>(ops) / elapsed,
+          static_cast<double>(allocs) / static_cast<double>(ops)};
+}
+
+PoolResult run_pool_malloc(std::uint64_t ops) {
+  const std::uint64_t allocs_before = alloc_count();
+  const auto start = Clock::now();
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    auto p = std::make_unique<net::Packet>();
+    p->payload_len = static_cast<std::size_t>(i);
+    sink += p->payload_len;
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  volatile std::uint64_t keep = sink;
+  (void)keep;
+  return {static_cast<double>(ops) / elapsed,
+          static_cast<double>(allocs) / static_cast<double>(ops)};
+}
+
+// --- Workload 6: parallel sweep scaling ---------------------------------
+// The seed sweep run serially and on a worker pool. Two properties gate:
+// the outputs must be byte-identical (always), and on hardware with >= 8
+// threads the parallel run must be >= 3x faster (the gate stays disarmed
+// on smaller boxes rather than failing on machine size).
+
+struct SweepScalingResult {
+  unsigned hw_threads = 0;
+  std::size_t jobs = 1;
+  std::size_t seeds = 0;
+  double serial_s = 0;
+  double parallel_s = 0;
+  bool identical = false;
+
+  double speedup() const {
+    return parallel_s > 0 ? serial_s / parallel_s : 0.0;
+  }
+  bool speedup_gate_armed() const { return hw_threads >= 8; }
+};
+
+SweepScalingResult run_sweep_scaling(std::size_t n_seeds) {
+  SweepScalingResult r;
+  r.hw_threads = std::thread::hardware_concurrency();
+  r.jobs = r.hw_threads >= 8 ? 8 : (r.hw_threads > 1 ? r.hw_threads : 2);
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t s = 1; s <= n_seeds; ++s) seeds.push_back(s);
+  r.seeds = seeds.size();
+
+  auto start = Clock::now();
+  const auto serial = sweep::run_sweep(sweep::Scenario::kChaos, seeds, 1);
+  r.serial_s = seconds_since(start);
+  start = Clock::now();
+  const auto parallel =
+      sweep::run_sweep(sweep::Scenario::kChaos, seeds, r.jobs);
+  r.parallel_s = seconds_since(start);
+  r.identical = serial == parallel;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -402,10 +491,32 @@ int main(int argc, char** argv) {
                bulk_mb);
   const TcpBulkResult bulk = run_tcp_bulk(bulk_mb);
 
+  const std::uint64_t pool_ops = smoke ? 200'000 : 2'000'000;
+  std::fprintf(stderr, "[bench_core] pooled vs malloc packet lifecycle...\n");
+  const PoolResult pooled = run_pool_pooled(pool_ops);
+  const PoolResult malloced = run_pool_malloc(pool_ops);
+
+  const std::size_t sweep_seeds = smoke ? 4 : 8;
+  std::fprintf(stderr, "[bench_core] sweep scaling (%zu chaos seeds)...\n",
+               sweep_seeds);
+  const SweepScalingResult sweep = run_sweep_scaling(sweep_seeds);
+
+  constexpr double kPacketHopAllocsMax = 1.0;
+  constexpr double kTcpBulkAllocsMax = 3.0;
+  constexpr double kSweepSpeedupMin = 3.0;
   const bool gate_speedup = speedup >= 2.0;
   const bool gate_delivery =
       bulk.received == bulk.expected && hop.delivered == hop_packets;
-  const bool gates_passed = gate_speedup && gate_delivery;
+  const bool gate_hop_allocs = hop.allocs_per_packet <= kPacketHopAllocsMax;
+  const bool gate_bulk_allocs =
+      bulk.allocs_per_segment <= kTcpBulkAllocsMax;
+  const bool gate_sweep_identical = sweep.identical;
+  // Speedup is a hardware property: armed only where 8 threads exist.
+  const bool gate_sweep_speedup =
+      !sweep.speedup_gate_armed() || sweep.speedup() >= kSweepSpeedupMin;
+  const bool gates_passed = gate_speedup && gate_delivery &&
+                            gate_hop_allocs && gate_bulk_allocs &&
+                            gate_sweep_identical && gate_sweep_speedup;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -456,12 +567,50 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"allocs_per_segment\": %.3f\n",
                bulk.allocs_per_segment);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"packet_pool\": {\n");
+  std::fprintf(out, "    \"ops\": %llu,\n",
+               static_cast<unsigned long long>(pool_ops));
+  std::fprintf(out, "    \"pooled_ops_per_sec\": %.0f,\n",
+               pooled.ops_per_sec);
+  std::fprintf(out, "    \"pooled_allocs_per_op\": %.3f,\n",
+               pooled.allocs_per_op);
+  std::fprintf(out, "    \"malloc_ops_per_sec\": %.0f,\n",
+               malloced.ops_per_sec);
+  std::fprintf(out, "    \"malloc_allocs_per_op\": %.3f\n",
+               malloced.allocs_per_op);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sweep_scaling\": {\n");
+  std::fprintf(out, "    \"scenario\": \"chaos\",\n");
+  std::fprintf(out, "    \"seeds\": %zu,\n", sweep.seeds);
+  std::fprintf(out, "    \"jobs\": %zu,\n", sweep.jobs);
+  std::fprintf(out, "    \"hw_threads\": %u,\n", sweep.hw_threads);
+  std::fprintf(out, "    \"serial_s\": %.3f,\n", sweep.serial_s);
+  std::fprintf(out, "    \"parallel_s\": %.3f,\n", sweep.parallel_s);
+  std::fprintf(out, "    \"speedup\": %.3f,\n", sweep.speedup());
+  std::fprintf(out, "    \"identical\": %s\n",
+               sweep.identical ? "true" : "false");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates\": {\n");
   std::fprintf(out, "    \"scheduler_speedup_min\": 2.0,\n");
   std::fprintf(out, "    \"scheduler_speedup_ok\": %s,\n",
                gate_speedup ? "true" : "false");
-  std::fprintf(out, "    \"delivery_ok\": %s\n",
+  std::fprintf(out, "    \"delivery_ok\": %s,\n",
                gate_delivery ? "true" : "false");
+  std::fprintf(out, "    \"packet_hop_allocs_max\": %.1f,\n",
+               kPacketHopAllocsMax);
+  std::fprintf(out, "    \"packet_hop_allocs_ok\": %s,\n",
+               gate_hop_allocs ? "true" : "false");
+  std::fprintf(out, "    \"tcp_bulk_allocs_max\": %.1f,\n",
+               kTcpBulkAllocsMax);
+  std::fprintf(out, "    \"tcp_bulk_allocs_ok\": %s,\n",
+               gate_bulk_allocs ? "true" : "false");
+  std::fprintf(out, "    \"sweep_identical_ok\": %s,\n",
+               gate_sweep_identical ? "true" : "false");
+  std::fprintf(out, "    \"sweep_speedup_min\": %.1f,\n", kSweepSpeedupMin);
+  std::fprintf(out, "    \"sweep_speedup_armed\": %s,\n",
+               sweep.speedup_gate_armed() ? "true" : "false");
+  std::fprintf(out, "    \"sweep_speedup_ok\": %s\n",
+               gate_sweep_speedup ? "true" : "false");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates_passed\": %s\n", gates_passed ? "true" : "false");
   std::fprintf(out, "}\n");
@@ -487,6 +636,17 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(bulk.received),
                static_cast<unsigned long long>(bulk.expected),
                bulk.events_per_sec / 1e6, bulk.allocs_per_segment);
+  std::fprintf(stderr,
+               "[bench_core] packet pool: %.2fM pooled ops/s (%.2f allocs) "
+               "vs %.2fM malloc ops/s (%.2f allocs)\n",
+               pooled.ops_per_sec / 1e6, pooled.allocs_per_op,
+               malloced.ops_per_sec / 1e6, malloced.allocs_per_op);
+  std::fprintf(stderr,
+               "[bench_core] sweep: %zu seeds, jobs=%zu on %u hw threads, "
+               "%.2fs serial vs %.2fs parallel (%.2fx), identical=%s\n",
+               sweep.seeds, sweep.jobs, sweep.hw_threads, sweep.serial_s,
+               sweep.parallel_s, sweep.speedup(),
+               sweep.identical ? "yes" : "NO");
   std::fprintf(stderr, "[bench_core] gates %s -> %s\n",
                gates_passed ? "PASSED" : "FAILED", out_path.c_str());
 

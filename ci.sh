@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI entry point: build + test twice — a plain RelWithDebInfo tree and an
-# ASan+UBSan tree (HPOP_SANITIZE=ON). The sanitized run catches the memory
-# and UB bugs the deterministic simulator would otherwise mask.
+# CI entry point: build + test three times — a plain RelWithDebInfo tree,
+# an ASan+UBSan tree (HPOP_SANITIZE=ON), and a TSan tree
+# (HPOP_SANITIZE=thread). The sanitized runs catch the memory, UB, and
+# data-race bugs the deterministic simulator would otherwise mask; TSan
+# specifically exercises the parallel sweep runner's locking.
 set -e
 
 cmake -B build -S .
@@ -36,14 +38,35 @@ cat /tmp/flash_run_a.txt
 ./build/bench/bench_tcp_rampup > /tmp/rampup_run_b.txt
 diff /tmp/rampup_run_a.txt /tmp/rampup_run_b.txt
 
+# Parallel-sweep determinism gate (E16): the sweeper's stdout must be
+# byte-identical for any --jobs value — one Simulator per seed, results
+# merged in seed order, nothing shared between workers.
+./build/bench/sweeper --scenario chaos --seeds 1-8 --jobs 1 \
+  > /tmp/sweep_chaos_serial.txt
+./build/bench/sweeper --scenario chaos --seeds 1-8 --jobs 4 \
+  > /tmp/sweep_chaos_parallel.txt
+diff /tmp/sweep_chaos_serial.txt /tmp/sweep_chaos_parallel.txt
+./build/bench/sweeper --scenario flash --seeds 1-4 --jobs 1 \
+  > /tmp/sweep_flash_serial.txt
+./build/bench/sweeper --scenario flash --seeds 1-4 --jobs 4 \
+  > /tmp/sweep_flash_parallel.txt
+diff /tmp/sweep_flash_serial.txt /tmp/sweep_flash_parallel.txt
+
 # Hot-path perf gate (E15, smoke scale): bench_core compares the event
 # engine against an in-process replica of the pre-overhaul scheduler and
-# exits non-zero unless the engine holds a >= 2x events/sec lead and every
-# workload delivers in full. The committed BENCH_CORE.json baseline must
+# exits non-zero unless the engine holds a >= 2x events/sec lead, every
+# workload delivers in full, the data plane stays within its allocation
+# budgets (packet hop <= 1 alloc/pkt, TCP bulk <= 3 allocs/segment), and
+# the sweep-scaling section is byte-identical (plus >= 3x faster where 8
+# hardware threads exist). The committed BENCH_CORE.json baseline must
 # also have been produced by a passing run.
 ./build/bench/bench_core --smoke --out /tmp/BENCH_CORE.json
-grep -q '"gates_passed": true' /tmp/BENCH_CORE.json
-grep -q '"gates_passed": true' BENCH_CORE.json
+for gate_file in /tmp/BENCH_CORE.json BENCH_CORE.json; do
+  grep -q '"gates_passed": true' "$gate_file"
+  grep -q '"packet_hop_allocs_ok": true' "$gate_file"
+  grep -q '"tcp_bulk_allocs_ok": true' "$gate_file"
+  grep -q '"sweep_identical_ok": true' "$gate_file"
+done
 
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
 cmake --build build-asan -j
@@ -52,3 +75,11 @@ cmake --build build-asan -j
 # at exit. Memory-error and UB detection — the point of this lane — stay on.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
   --timeout 240
+
+# TSan lane: the whole tier-1 suite once under ThreadSanitizer. The
+# simulator itself is single-threaded; this lane guards the thread_local
+# telemetry/packet-id state, the Symbol intern table, and the sweep
+# runner's thread pool against races as the parallel surface grows.
+cmake -B build-tsan -S . -DHPOP_SANITIZE=thread
+cmake --build build-tsan -j
+ctest --test-dir build-tsan --output-on-failure --timeout 480

@@ -47,32 +47,44 @@ bool is_idempotent(Method m) {
   }
 }
 
-std::string Headers::lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
+void Headers::set(std::string_view name, std::string value) {
+  // Only the mutating path interns; lookups below stay allocation-free.
+  const util::Symbol sym = util::Symbol::intern(name);
+  for (Entry& e : entries_) {
+    if (e.name == sym) {
+      e.value = std::move(value);
+      return;
+    }
+  }
+  entries_.push_back(Entry{sym, std::move(value)});
 }
 
-void Headers::set(std::string name, std::string value) {
-  map_[lower(std::move(name))] = std::move(value);
+const std::string* Headers::find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (util::Symbol::iequals(e.name.str(), name)) return &e.value;
+  }
+  return nullptr;
 }
 
-std::optional<std::string> Headers::get(const std::string& name) const {
-  const auto it = map_.find(lower(name));
-  if (it == map_.end()) return std::nullopt;
-  return it->second;
+std::optional<std::string> Headers::get(std::string_view name) const {
+  const std::string* value = find(name);
+  if (!value) return std::nullopt;
+  return *value;
 }
 
-bool Headers::has(const std::string& name) const {
-  return map_.count(lower(name)) > 0;
+void Headers::erase(std::string_view name) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (util::Symbol::iequals(entries_[i].name.str(), name)) {
+      entries_.erase_at(i);
+      return;
+    }
+  }
 }
-
-void Headers::erase(const std::string& name) { map_.erase(lower(name)); }
 
 std::size_t Headers::wire_size() const {
   std::size_t total = 0;
-  for (const auto& [k, v] : map_) {
-    total += k.size() + v.size() + 4;  // ": " + CRLF
+  for (const Entry& e : entries_) {
+    total += e.name.str().size() + e.value.size() + 4;  // ": " + CRLF
   }
   return total;
 }
@@ -149,7 +161,7 @@ std::size_t Response::wire_size() const {
 
 std::optional<std::pair<std::size_t, std::size_t>> parse_range(
     const Headers& headers, std::size_t body_size) {
-  const auto value = headers.get("range");
+  const std::string* value = headers.find("range");
   if (!value) return std::nullopt;
   unsigned long long a = 0, b = 0;
   if (std::sscanf(value->c_str(), "bytes=%llu-%llu", &a, &b) != 2 || b < a ||
@@ -168,7 +180,7 @@ void set_range(Headers& headers, std::size_t offset, std::size_t length) {
 }
 
 std::optional<std::int64_t> max_age_seconds(const Headers& headers) {
-  const auto value = headers.get("cache-control");
+  const std::string* value = headers.find("cache-control");
   if (!value) return std::nullopt;
   if (value->find("no-store") != std::string::npos) return std::nullopt;
   const auto pos = value->find("max-age=");
@@ -177,7 +189,7 @@ std::optional<std::int64_t> max_age_seconds(const Headers& headers) {
 }
 
 std::optional<util::Duration> retry_after(const Headers& headers) {
-  const auto value = headers.get("retry-after");
+  const std::string* value = headers.find("retry-after");
   if (!value || value->empty()) return std::nullopt;
   for (const char c : *value) {
     if (c < '0' || c > '9') return std::nullopt;
@@ -229,14 +241,27 @@ std::string body_text(const Body& body) {
 
 void append_headers(std::string& out, const Headers& headers,
                     std::size_t content_length) {
-  for (const auto& [name, value] : headers.entries()) {
-    if (name == "content-length") continue;  // framing is ours to write
-    out += name;
+  // The flat store keeps insertion order; emit sorted by canonical name so
+  // the wire text matches what the old std::map-backed Headers produced.
+  const Headers::Entry* sorted[128];
+  std::size_t count = 0;
+  for (const Headers::Entry& e : headers.entries()) {
+    if (e.name.str() == "content-length") continue;  // framing is ours
+    if (count < sizeof(sorted) / sizeof(sorted[0])) sorted[count++] = &e;
+  }
+  std::sort(sorted, sorted + count,
+            [](const Headers::Entry* a, const Headers::Entry* b) {
+              return a->name.str() < b->name.str();
+            });
+  for (std::size_t i = 0; i < count; ++i) {
+    out += sorted[i]->name.str();
     out += ": ";
-    out += value;
+    out += sorted[i]->value;
     out += "\r\n";
   }
-  out += "content-length: " + std::to_string(content_length) + "\r\n\r\n";
+  out += "content-length: ";
+  out += std::to_string(content_length);
+  out += "\r\n\r\n";
 }
 
 /// Pulls CRLF-terminated lines off a wire buffer, enforcing a length cap
@@ -299,14 +324,14 @@ std::optional<ParseError> parse_headers(LineReader& reader, Headers* headers,
     while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
       value.remove_prefix(1);
     }
-    headers->set(std::string(name), std::string(value));
+    headers->set(name, std::string(value));
   }
 }
 
 std::optional<ParseError> parse_body(LineReader& reader,
                                      const Headers& headers, Body* body,
                                      const ParseLimits& limits) {
-  const auto te = headers.get("transfer-encoding");
+  const std::string* te = headers.find("transfer-encoding");
   if (te && te->find("chunked") != std::string::npos) {
     std::string assembled;
     for (;;) {
@@ -357,7 +382,7 @@ std::optional<ParseError> parse_body(LineReader& reader,
     }
   }
 
-  const auto cl = headers.get("content-length");
+  const std::string* cl = headers.find("content-length");
   if (cl) {
     if (cl->empty() || cl->size() > 12) {
       return ParseError{"bad_content_length", "unparseable content-length"};
@@ -391,20 +416,38 @@ std::optional<ParseError> parse_body(LineReader& reader,
 
 }  // namespace
 
-std::string serialize(const Request& req) {
+void serialize_to(const Request& req, std::string& out) {
+  out.clear();
   const std::string body = body_text(req.body);
-  std::string out = to_string(req.method) + " " + req.path + " HTTP/1.1\r\n";
+  out += to_string(req.method);
+  out += ' ';
+  out += req.path;
+  out += " HTTP/1.1\r\n";
   append_headers(out, req.headers, body.size());
   out += body;
+}
+
+void serialize_to(const Response& resp, std::string& out) {
+  out.clear();
+  const std::string body = body_text(resp.body);
+  out += "HTTP/1.1 ";
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += status_text(resp.status);
+  out += "\r\n";
+  append_headers(out, resp.headers, body.size());
+  out += body;
+}
+
+std::string serialize(const Request& req) {
+  std::string out;
+  serialize_to(req, out);
   return out;
 }
 
 std::string serialize(const Response& resp) {
-  const std::string body = body_text(resp.body);
-  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
-                    status_text(resp.status) + "\r\n";
-  append_headers(out, resp.headers, body.size());
-  out += body;
+  std::string out;
+  serialize_to(resp, out);
   return out;
 }
 

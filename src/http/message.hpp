@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -10,6 +9,8 @@
 #include "net/packet.hpp"
 #include "util/hash.hpp"
 #include "util/result.hpp"
+#include "util/small_vec.hpp"
+#include "util/symbol.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -41,19 +42,31 @@ std::optional<Method> method_from_string(std::string_view s);
 bool is_idempotent(Method m);
 
 /// Case-insensitive header map (HTTP header names are case-insensitive).
+/// Stored flat: an inline vector of interned-name/value pairs. A message
+/// carries a handful of headers, so linear scans beat a tree, and lookups
+/// never allocate (the old implementation lowercased a fresh std::string
+/// per get/has). Serialization sorts by canonical name, preserving the
+/// wire text the map-based version produced.
 class Headers {
  public:
-  void set(std::string name, std::string value);
+  struct Entry {
+    util::Symbol name;
+    std::string value;
+  };
+
+  void set(std::string_view name, std::string value);
   /// nullopt when absent.
-  std::optional<std::string> get(const std::string& name) const;
-  bool has(const std::string& name) const;
-  void erase(const std::string& name);
+  std::optional<std::string> get(std::string_view name) const;
+  /// Pointer into the entry's value, or nullptr when absent. Never
+  /// allocates; invalidated by the next set/erase.
+  const std::string* find(std::string_view name) const;
+  bool has(std::string_view name) const { return find(name) != nullptr; }
+  void erase(std::string_view name);
   std::size_t wire_size() const;
-  const std::map<std::string, std::string>& entries() const { return map_; }
+  const util::SmallVec<Entry, 8>& entries() const { return entries_; }
 
  private:
-  static std::string lower(std::string s);
-  std::map<std::string, std::string> map_;
+  util::SmallVec<Entry, 8> entries_;
 };
 
 /// Message body: either concrete bytes (small content, where the bytes
@@ -166,6 +179,12 @@ struct ParseLimits {
 
 std::string serialize(const Request& req);
 std::string serialize(const Response& resp);
+
+/// Scratch-buffer variants: clear `out` and serialize into it, reusing its
+/// capacity. A caller looping over messages keeps one buffer warm instead
+/// of paying a fresh allocation per message.
+void serialize_to(const Request& req, std::string& out);
+void serialize_to(const Response& resp, std::string& out);
 
 /// Error codes: "truncated", "bad_request_line", "bad_status_line",
 /// "line_too_long", "headers_too_large", "too_many_headers",

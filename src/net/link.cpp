@@ -77,10 +77,10 @@ void Link::drain(int d) {
   dir.queued_bytes = 0;
 }
 
-void Link::transmit(const Interface& from, Packet pkt) {
+void Link::transmit(const Interface& from, PooledPacket pkt) {
   const int d = direction_of(from);
   Direction& dir = dir_[d];
-  const std::size_t size = pkt.wire_size();
+  const std::size_t size = pkt->wire_size();
   if (!admin_up_) {
     ++dir.stats.admin_drops;
     m_admin_drops_->inc();
@@ -115,9 +115,9 @@ void Link::start_service(int d) {
     params_dirty_ = false;
   }
   dir.busy = true;
-  Packet pkt = std::move(dir.queue.front());
+  PooledPacket pkt = std::move(dir.queue.front());
   dir.queue.pop_front();
-  const std::size_t size = pkt.wire_size();
+  const std::size_t size = pkt->wire_size();
   dir.queued_bytes -= size;
   m_queued_bytes_->add(-static_cast<double>(size));
   const util::Duration tx = util::transmission_delay(size, params_.rate);

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "net/packet.hpp"
+#include "net/pool.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
@@ -30,7 +31,7 @@ class Link {
        util::Rng rng);
 
   /// Called by the owning node: transmit `pkt` from interface `from`.
-  void transmit(const Interface& from, Packet pkt);
+  void transmit(const Interface& from, PooledPacket pkt);
 
   const LinkParams& params() const { return params_; }
   /// Parameter changes are *staged*: a packet already serializing finishes
@@ -69,7 +70,7 @@ class Link {
 
  private:
   struct Direction {
-    std::deque<Packet> queue;
+    std::deque<PooledPacket> queue;
     std::size_t queued_bytes = 0;
     bool busy = false;
     DirectionStats stats;

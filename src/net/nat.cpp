@@ -157,42 +157,42 @@ util::Status NatBox::remove_port_mapping(Proto proto,
   return util::Status::success();
 }
 
-void NatBox::translate_and_forward_out(Packet pkt) {
+void NatBox::translate_and_forward_out(PooledPacket pkt) {
   // Traffic from an endpoint with a static forward keeps that external
   // port (otherwise replies from a UPnP-published service would leave
   // through a different port than clients connected to).
   for (const auto& [key, internal] : static_forwards_) {
-    if (key.first == pkt.proto && internal == pkt.src_endpoint()) {
-      pkt.src = public_ip();
-      pkt.set_src_port(key.second);
+    if (key.first == pkt->proto && internal == pkt->src_endpoint()) {
+      pkt->src = public_ip();
+      pkt->set_src_port(key.second);
       ++counters_.translated_out;
       m_translated_->inc();
       forward_packet(std::move(pkt));
       return;
     }
   }
-  Mapping* m = outbound_mapping(pkt.proto, pkt.src_endpoint(),
-                                pkt.dst_endpoint());
-  pkt.src = public_ip();
-  pkt.set_src_port(m->public_port);
+  Mapping* m = outbound_mapping(pkt->proto, pkt->src_endpoint(),
+                                pkt->dst_endpoint());
+  pkt->src = public_ip();
+  pkt->set_src_port(m->public_port);
   ++counters_.translated_out;
   m_translated_->inc();
   forward_packet(std::move(pkt));
 }
 
-void NatBox::translate_and_forward_in(Packet pkt, const Mapping& m) {
-  pkt.dst = m.internal.ip;
-  pkt.set_dst_port(m.internal.port);
+void NatBox::translate_and_forward_in(PooledPacket pkt, const Mapping& m) {
+  pkt->dst = m.internal.ip;
+  pkt->set_dst_port(m.internal.port);
   ++counters_.translated_in;
   m_translated_->inc();
   forward_packet(std::move(pkt));
 }
 
-void NatBox::handle_packet(Packet pkt, Interface& in) {
-  if (--pkt.ttl <= 0) return;
+void NatBox::handle_packet(PooledPacket pkt, Interface& in) {
+  if (--pkt->ttl <= 0) return;
 
   const bool from_outside = is_outside(in);
-  const bool to_me = pkt.dst == public_ip();
+  const bool to_me = pkt->dst == public_ip();
 
   if (!from_outside && !to_me) {
     // Inside -> outside (or inside -> inside of a different realm, which
@@ -207,52 +207,52 @@ void NatBox::handle_packet(Packet pkt, Interface& in) {
       ++counters_.filtered;
       m_rejected_->inc();
       telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 0,
-                               pkt.dst_port(), "hairpin_disabled");
+                               pkt->dst_port(), "hairpin_disabled");
       return;
     }
     ++counters_.hairpin;
     // Translate outbound, then loop back through inbound processing.
-    Mapping* m = outbound_mapping(pkt.proto, pkt.src_endpoint(),
-                                  pkt.dst_endpoint());
-    pkt.src = public_ip();
-    pkt.set_src_port(m->public_port);
+    Mapping* m = outbound_mapping(pkt->proto, pkt->src_endpoint(),
+                                  pkt->dst_endpoint());
+    pkt->src = public_ip();
+    pkt->set_src_port(m->public_port);
     // Fall through to inbound handling below.
   }
 
   // Outside (or hairpinned) packet addressed to our public IP.
-  if (pkt.dst != public_ip()) {
+  if (pkt->dst != public_ip()) {
     // Transit traffic: a NAT is not a router for foreign destinations.
     ++counters_.unmatched;
     m_rejected_->inc();
     telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 1,
-                             pkt.dst_port(), "transit");
+                             pkt->dst_port(), "transit");
     return;
   }
-  const auto fwd = static_forwards_.find({pkt.proto, pkt.dst_port()});
+  const auto fwd = static_forwards_.find({pkt->proto, pkt->dst_port()});
   if (fwd != static_forwards_.end()) {
-    pkt.dst = fwd->second.ip;
-    pkt.set_dst_port(fwd->second.port);
+    pkt->dst = fwd->second.ip;
+    pkt->set_dst_port(fwd->second.port);
     ++counters_.translated_in;
     forward_packet(std::move(pkt));
     return;
   }
-  Mapping* m = inbound_lookup(pkt.proto, pkt.dst_port());
+  Mapping* m = inbound_lookup(pkt->proto, pkt->dst_port());
   if (m == nullptr) {
     ++counters_.unmatched;
     m_rejected_->inc();
     telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 1,
-                             pkt.dst_port(), "no_mapping");
+                             pkt->dst_port(), "no_mapping");
     HPOP_LOG(kTrace, "nat") << name() << ": no mapping for inbound port "
-                            << pkt.dst_port();
+                            << pkt->dst_port();
     return;
   }
-  if (!filtering_allows(*m, pkt.src_endpoint())) {
+  if (!filtering_allows(*m, pkt->src_endpoint())) {
     ++counters_.filtered;
     m_rejected_->inc();
     telemetry::tracer().emit(telemetry::TraceEvent::kNatMappingRejected, 0,
-                             pkt.dst_port(), "filtered");
+                             pkt->dst_port(), "filtered");
     HPOP_LOG(kTrace, "nat") << name() << ": filtered inbound from "
-                            << pkt.src_endpoint().to_string();
+                            << pkt->src_endpoint().to_string();
     return;
   }
   translate_and_forward_in(std::move(pkt), *m);

@@ -64,7 +64,7 @@ class NatBox : public Node {
  public:
   NatBox(sim::Simulator& sim, std::string name, NatConfig config);
 
-  void handle_packet(Packet pkt, Interface& in) override;
+  void handle_packet(PooledPacket pkt, Interface& in) override;
 
   IpAddr public_ip() const { return interfaces().front()->addr; }
   const NatConfig& config() const { return config_; }
@@ -133,8 +133,8 @@ class NatBox : public Node {
   bool is_outside(const Interface& in) const {
     return in.index == 0;
   }
-  void translate_and_forward_out(Packet pkt);
-  void translate_and_forward_in(Packet pkt, const Mapping& m);
+  void translate_and_forward_out(PooledPacket pkt);
+  void translate_and_forward_in(PooledPacket pkt, const Mapping& m);
   util::Duration timeout_for(Proto proto) const;
   void maybe_schedule_sweep();
   void sweep_expired();

@@ -6,7 +6,7 @@
 namespace hpop::net {
 
 Node::Node(sim::Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)) {}
+    : sim_(sim), pool_(&PacketPool::of(sim)), name_(std::move(name)) {}
 
 Node::~Node() = default;
 
@@ -62,56 +62,68 @@ void Node::set_up(bool up) {
   for (auto& hook : lifecycle_hooks_) hook(up);
 }
 
-void Node::send_packet(Packet pkt) {
+void Node::send_packet(PooledPacket pkt) {
   if (!up_) {
     ++counters_.down_drops;
     return;
   }
   for (auto& hook : egress_hooks_) {
-    if (hook(pkt)) return;
+    if (hook(*pkt)) return;
   }
   forward_packet(std::move(pkt));
 }
 
-void Node::forward_packet(Packet pkt) {
+void Node::send_packet(Packet pkt) {
+  PooledPacket pooled = pool_->acquire();
+  *pooled = std::move(pkt);
+  send_packet(std::move(pooled));
+}
+
+void Node::forward_packet(PooledPacket pkt) {
   // Local loopback: a node talking to one of its own addresses short-cuts
   // the wire (hosts contacting their own HPoP services in-process).
-  if (owns_address(pkt.dst)) {
+  if (owns_address(pkt->dst)) {
     if (!interfaces_.empty()) {
       deliver(std::move(pkt), *interfaces_.front());
     }
     return;
   }
-  Interface* out = route_lookup(pkt.dst);
+  Interface* out = route_lookup(pkt->dst);
   if (out == nullptr || out->link == nullptr) {
     ++counters_.no_route;
     HPOP_LOG(kDebug, "net") << name_ << ": no route to "
-                            << pkt.dst.to_string();
+                            << pkt->dst.to_string();
     return;
   }
   ++counters_.pkts_out;
-  counters_.bytes_out += pkt.wire_size();
+  counters_.bytes_out += pkt->wire_size();
   out->link->transmit(*out, std::move(pkt));
 }
 
-void Node::deliver(Packet pkt, Interface& in) {
+void Node::deliver(PooledPacket pkt, Interface& in) {
   if (!up_) {
     ++counters_.down_drops;
     return;
   }
   ++counters_.pkts_in;
-  counters_.bytes_in += pkt.wire_size();
+  counters_.bytes_in += pkt->wire_size();
   for (auto& hook : ingress_hooks_) {
-    if (hook(pkt)) return;
+    if (hook(*pkt)) return;
   }
   handle_packet(std::move(pkt), in);
 }
 
-void Host::handle_packet(Packet pkt, Interface& in) {
-  if (!owns_address(pkt.dst)) {
+void Node::deliver(Packet pkt, Interface& in) {
+  PooledPacket pooled = pool_->acquire();
+  *pooled = std::move(pkt);
+  deliver(std::move(pooled), in);
+}
+
+void Host::handle_packet(PooledPacket pkt, Interface& in) {
+  if (!owns_address(pkt->dst)) {
     // Hosts do not forward.
     HPOP_LOG(kTrace, "net") << name() << ": dropping transit packet to "
-                            << pkt.dst.to_string();
+                            << pkt->dst.to_string();
     return;
   }
   if (transport_) transport_(std::move(pkt), in);
@@ -127,10 +139,10 @@ std::uint16_t Host::allocate_port() {
   return next_port_++;
 }
 
-void Router::handle_packet(Packet pkt, Interface& in) {
+void Router::handle_packet(PooledPacket pkt, Interface& in) {
   (void)in;
-  if (owns_address(pkt.dst)) return;  // routers host no transports
-  if (--pkt.ttl <= 0) {
+  if (owns_address(pkt->dst)) return;  // routers host no transports
+  if (--pkt->ttl <= 0) {
     ++ttl_drops_;
     return;
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace hpop::net {
@@ -34,6 +35,8 @@ class Node {
 
   const std::string& name() const { return name_; }
   sim::Simulator& simulator() { return sim_; }
+  /// The simulator's packet arena; every wire packet is built in it.
+  PacketPool& packet_pool() { return *pool_; }
 
   Interface& add_interface(IpAddr addr);
   const std::vector<std::unique_ptr<Interface>>& interfaces() const {
@@ -74,14 +77,19 @@ class Node {
 
   // --- I/O ---
   /// Sends a locally originated packet: egress hooks may consume or rewrite
-  /// it (tunnels); otherwise it is routed out an interface.
+  /// it (tunnels); otherwise it is routed out an interface. The pooled
+  /// overload is the wire path; the value overload is a convenience for
+  /// callers that build a Packet directly (tests, traversal probes,
+  /// waypoint re-injection) — it moves the packet into a pool slot.
+  void send_packet(PooledPacket pkt);
   void send_packet(Packet pkt);
   /// Entry point from a link. Runs ingress hooks, then handle_packet.
+  void deliver(PooledPacket pkt, Interface& in);
   void deliver(Packet pkt, Interface& in);
 
   /// Per-node packet processing: hosts hand to transport, routers forward,
   /// NATs translate.
-  virtual void handle_packet(Packet pkt, Interface& in) = 0;
+  virtual void handle_packet(PooledPacket pkt, Interface& in) = 0;
 
   /// Egress/ingress hooks; return true to consume the packet. Used by the
   /// DCol tunnels and by tests to inject faults or trace traffic.
@@ -101,7 +109,7 @@ class Node {
 
  protected:
   /// Routes and transmits without egress hooks (used by forwarding paths).
-  void forward_packet(Packet pkt);
+  void forward_packet(PooledPacket pkt);
 
  private:
   struct RouteEntry {
@@ -110,6 +118,7 @@ class Node {
   };
 
   sim::Simulator& sim_;
+  PacketPool* pool_;
   std::string name_;
   std::vector<std::unique_ptr<Interface>> interfaces_;
   std::unordered_set<IpAddr> virtual_addrs_;
@@ -128,10 +137,10 @@ class Host : public Node {
  public:
   using Node::Node;
 
-  using TransportHandler = std::function<void(Packet, Interface&)>;
+  using TransportHandler = std::function<void(PooledPacket, Interface&)>;
   void set_transport_handler(TransportHandler h) { transport_ = std::move(h); }
 
-  void handle_packet(Packet pkt, Interface& in) override;
+  void handle_packet(PooledPacket pkt, Interface& in) override;
 
   /// A host going down also forgets its transport handler: the mux lives in
   /// the crashed process, and a stale handler would dangle between restart
@@ -150,7 +159,7 @@ class Host : public Node {
 class Router : public Node {
  public:
   using Node::Node;
-  void handle_packet(Packet pkt, Interface& in) override;
+  void handle_packet(PooledPacket pkt, Interface& in) override;
 
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t ttl_drops() const { return ttl_drops_; }

@@ -59,6 +59,18 @@ class CowVec {
   }
   void push_back(T value) { mutate().push_back(std::move(value)); }
 
+  /// Empties the body while keeping uniquely-owned storage for reuse — the
+  /// packet-pool recycle path. Shared storage is released instead (some
+  /// in-flight copy still reads it), so readers are never disturbed.
+  void clear_keep_capacity() {
+    if (!v_) return;
+    if (v_.use_count() == 1) {
+      v_->clear();
+    } else {
+      v_.reset();
+    }
+  }
+
  private:
   std::shared_ptr<std::vector<T>> v_;
 };

@@ -1,0 +1,74 @@
+#include "net/pool.hpp"
+
+#include <cassert>
+
+namespace hpop::net {
+
+PacketPool& PacketPool::of(sim::Simulator& sim) {
+  // The attachment slot is single-occupancy and the pool is its only
+  // tenant today; a second tenant would need a keyed registry here.
+  if (auto* a = sim.attachment()) return static_cast<PacketPool&>(*a);
+  auto pool = std::make_unique<PacketPool>();
+  PacketPool& ref = *pool;
+  sim.set_attachment(std::move(pool));
+  return ref;
+}
+
+PooledPacket PacketPool::acquire() {
+  ++stats_.acquired;
+  std::uint32_t idx;
+  if (free_head_ != kNone) {
+    idx = free_head_;
+    Slot& s = slot_at(idx);
+    free_head_ = s.next_free;
+    s.next_free = kNone;
+    ++stats_.recycled;
+  } else {
+    if (size_ % kSlabSize == 0) {
+      slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+      stats_.slabs = slabs_.size();
+    }
+    idx = size_++;
+  }
+  Slot& s = slot_at(idx);
+  s.live = true;
+  ++stats_.live;
+  if (stats_.live > stats_.peak_live) stats_.peak_live = stats_.live;
+  return PooledPacket(this, idx, s.gen);
+}
+
+Packet* PacketPool::try_get(std::uint32_t idx, std::uint32_t gen) {
+  if (idx >= size_) return nullptr;
+  Slot& s = slot_at(idx);
+  if (!s.live || s.gen != gen) return nullptr;
+  return &s.pkt;
+}
+
+void PacketPool::release(std::uint32_t idx, std::uint32_t gen) {
+  Slot& s = slot_at(idx);
+  assert(s.live && s.gen == gen);
+  (void)gen;
+  s.live = false;
+  ++s.gen;  // stale handles to this slot stop resolving
+  --stats_.live;
+
+  // Reset contents but keep uniquely-owned body buffers warm: the next
+  // packet built in this slot appends messages / SACK blocks without
+  // touching the allocator.
+  auto messages = std::move(s.pkt.messages);
+  auto sack = std::move(s.pkt.tcp.sack);
+  messages.clear_keep_capacity();
+  sack.clear_keep_capacity();
+  s.pkt = Packet{};
+  s.pkt.messages = std::move(messages);
+  s.pkt.tcp.sack = std::move(sack);
+
+  if (recycling_) {
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+  // Recycling off: the slot is retired (never re-enters the freelist), so
+  // every acquire sees virgin storage — the "unpooled" comparison mode.
+}
+
+}  // namespace hpop::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/inline_function.hpp"
@@ -38,10 +39,25 @@ class Simulator {
  public:
   using EventFn = util::InlineFunction<void()>;
 
+  /// Per-simulator extension slot. A subsystem that needs state scoped to
+  /// one simulator instance (today: the net::PacketPool arena) derives from
+  /// Attachment and parks itself here. The attachment is destroyed *after*
+  /// every queued closure (see member order below), so closures holding
+  /// pool handles always release into a live pool.
+  class Attachment {
+   public:
+    virtual ~Attachment() = default;
+  };
+
   Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  Attachment* attachment() { return attachment_.get(); }
+  void set_attachment(std::unique_ptr<Attachment> a) {
+    attachment_ = std::move(a);
+  }
 
   TimePoint now() const { return now_; }
 
@@ -115,6 +131,9 @@ class Simulator {
   void remove_at(std::uint32_t i);
   bool pop_and_run(TimePoint deadline);
 
+  /// Declared before heap_/slots_ so it is destroyed after them: queued
+  /// closures (which may own pool handles) die first, then the attachment.
+  std::unique_ptr<Attachment> attachment_;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

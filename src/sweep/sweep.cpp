@@ -1,0 +1,306 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "fault/fault.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "net/topology.hpp"
+#include "nocdn/origin.hpp"
+#include "nocdn/peer.hpp"
+#include "overload/admission.hpp"
+#include "overload/breaker.hpp"
+#include "transport/mux.hpp"
+#include "util/retry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpop::sweep {
+
+using util::kGbps;
+using util::kMbps;
+using util::kMillisecond;
+using util::kSecond;
+
+namespace {
+
+// ------------------------------------------- chaos: fetches vs a flapping link
+
+std::string run_chaos(std::uint64_t seed) {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(seed)};
+  auto path =
+      net::make_two_host_path(net, net::PathParams{}, net::PathParams{});
+  transport::TransportMux mux_server(*path.b);
+  http::HttpServer server(mux_server, 80);
+  server.route(http::Method::kGet, "/",
+               [](const http::Request&, http::ResponseWriter& w) {
+                 http::Response resp;
+                 resp.body = http::Body(std::string(1024, 'x'));
+                 w.respond(std::move(resp));
+               });
+  transport::TransportMux mux_client(*path.a);
+  http::HttpClient client(mux_client, util::Rng(seed ^ 0x9e3779b9u));
+
+  fault::ChaosController chaos(sim, util::Rng(seed ^ 0x51ed2701u));
+  chaos.flap_link(path.link_b, 5 * kSecond, 2, 5 * kSecond, 5 * kSecond);
+
+  http::FetchOptions options;
+  options.timeout = 2 * kSecond;
+  options.retry = util::RetryPolicy{6, kSecond, 2.0, 0.5, 8 * kSecond, 0};
+
+  int ok = 0;
+  std::uint64_t bytes = 0;
+  util::TimePoint last_ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(2 * i * kSecond, [&, options] {
+      http::Request req;
+      req.path = "/";
+      client.fetch({path.b->address(), 80}, req,
+                   [&](util::Result<http::Response> r) {
+                     if (r.ok() && r.value().ok()) {
+                       ++ok;
+                       bytes += r.value().body.size();
+                       last_ok = sim.now();
+                     }
+                   },
+                   options);
+    });
+  }
+  sim.run_until(120 * kSecond);
+
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "chaos seed=%llu ok=%d/10 retries=%llu bytes=%llu "
+                "last_ok_s=%.6f",
+                static_cast<unsigned long long>(seed), ok,
+                static_cast<unsigned long long>(client.stats().retries),
+                static_cast<unsigned long long>(bytes),
+                static_cast<double>(last_ok) / kSecond);
+  return line;
+}
+
+// --------------------------- flash crowd: open loop vs one admission'd peer
+
+std::string run_flash_crowd(std::uint64_t seed) {
+  constexpr int kClients = 8;
+  constexpr util::Duration kIssueEvery = 250 * kMillisecond;
+  constexpr util::Duration kWarmup = 3 * kSecond;
+  constexpr util::Duration kHorizon = 12 * kSecond;
+  constexpr std::size_t kObjectKb = 100;
+
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(seed)};
+  net::Router& core = net.add_router("core");
+
+  net::Host& origin_host = net.add_host("origin", net.next_public_address());
+  net.connect(origin_host, origin_host.address(), core, net::IpAddr{},
+              net::LinkParams{1 * kGbps, 20 * kMillisecond});
+  net::Host& peer_host = net.add_host("peer", net.next_public_address());
+  net.connect(peer_host, peer_host.address(), core, net::IpAddr{},
+              net::LinkParams{20 * kMbps, 5 * kMillisecond});
+  std::vector<net::Host*> client_hosts;
+  for (int i = 0; i <= kClients; ++i) {  // [0] warms the cache
+    client_hosts.push_back(&net.add_host("client-" + std::to_string(i),
+                                         net.next_public_address()));
+    net.connect(*client_hosts.back(), client_hosts.back()->address(), core,
+                net::IpAddr{}, net::LinkParams{1 * kGbps, 8 * kMillisecond});
+  }
+  net.auto_route();
+
+  transport::TransportMux mux_origin(origin_host);
+  nocdn::OriginConfig oconfig;
+  oconfig.provider = "nytimes";
+  nocdn::OriginServer origin(mux_origin, oconfig, util::Rng(seed ^ 99u));
+  const std::string url = "/news/hot.jpg";
+  origin.add_object({url, http::Body::synthetic(kObjectKb * 1024, 0xF1)});
+
+  transport::TransportMux mux_peer(peer_host);
+  nocdn::PeerProxy peer(mux_peer, 8080, util::Rng(seed ^ 1000u));
+  const std::uint64_t peer_id = origin.recruit_peer(peer.endpoint());
+  peer.signup({"nytimes", peer_id, {origin_host.address(), 80}});
+  overload::AdmissionConfig admission;
+  admission.rate = 10.0;
+  admission.burst = 4.0;
+  peer.enable_admission(admission);
+
+  struct ClientSlot {
+    std::unique_ptr<transport::TransportMux> mux;
+    std::unique_ptr<http::HttpClient> http;
+  };
+  std::vector<ClientSlot> clients(client_hosts.size());
+  overload::BreakerConfig bconfig;
+  bconfig.window = 8;
+  bconfig.min_samples = 4;
+  bconfig.open_for = 2 * kSecond;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    clients[i].mux =
+        std::make_unique<transport::TransportMux>(*client_hosts[i]);
+    clients[i].http = std::make_unique<http::HttpClient>(
+        *clients[i].mux, util::Rng(seed * 7919u + i));
+    clients[i].http->enable_breakers(bconfig);
+  }
+
+  http::FetchOptions options;
+  options.timeout = 1500 * kMillisecond;
+  options.retry =
+      util::RetryPolicy{2, 400 * kMillisecond, 2.0, 0.3, 2 * kSecond, 0};
+  options.retry_on_overload = true;
+
+  const net::Endpoint peer_ep = peer.endpoint();
+  auto get_hot = [&](std::size_t c, auto&& done) {
+    http::Request req;
+    req.path = url;
+    req.headers.set("Host", "nytimes");
+    clients[c].http->fetch(peer_ep, std::move(req),
+                           std::forward<decltype(done)>(done), options);
+  };
+
+  bool warmed = false;
+  get_hot(0, [&](util::Result<http::Response> r) {
+    warmed = r.ok() && r.value().status == 200;
+  });
+  sim.run_until(kSecond);
+
+  int issued = 0, ok = 0;
+  std::uint64_t goodput = 0;
+  std::vector<double> latencies;
+  const util::Duration stagger = kIssueEvery / kClients;
+  for (int c = 1; c <= kClients; ++c) {
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, c, tick] {
+      if (sim.now() >= kHorizon) return;
+      const util::TimePoint issued_at = sim.now();
+      if (issued_at >= kWarmup) ++issued;
+      get_hot(static_cast<std::size_t>(c),
+              [&, issued_at](util::Result<http::Response> r) {
+                if (!r.ok() || r.value().status != 200) return;
+                const util::TimePoint done_at = sim.now();
+                if (issued_at < kWarmup || done_at > kHorizon) return;
+                ++ok;
+                goodput += r.value().body.size();
+                latencies.push_back(
+                    static_cast<double>(done_at - issued_at) / kSecond);
+              });
+      sim.schedule(kIssueEvery, *tick);
+    };
+    sim.schedule(kSecond + c * stagger, [tick] { (*tick)(); });
+  }
+  sim.run_until(kHorizon + 5 * kSecond);
+
+  const std::uint64_t sheds =
+      peer.admission() ? peer.admission()->total_shed() : 0;
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[std::min(rank, latencies.size() - 1)];
+  };
+
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "flash seed=%llu warmed=%d ok=%d/%d goodput=%llu sheds=%llu "
+                "p50_s=%.6f p99_s=%.6f",
+                static_cast<unsigned long long>(seed), warmed ? 1 : 0, ok,
+                issued, static_cast<unsigned long long>(goodput),
+                static_cast<unsigned long long>(sheds), pct(0.50), pct(0.99));
+  return line;
+}
+
+// ----------------------------------- rampup: slow start on an empty fat path
+
+std::string run_rampup(std::uint64_t seed) {
+  // The seed picks the RTT (the interesting axis) plus the loss RNG stream.
+  const double rtt_ms = 10.0 + 10.0 * static_cast<double>(seed % 8);
+  const util::BitRate rate = 1 * kGbps;
+  const util::Duration rtt = util::milliseconds(rtt_ms);
+
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(seed));
+  const net::PathParams params{rate, rtt / 4, 0.0,
+                               static_cast<std::size_t>(64) << 20};
+  auto path = net::make_two_host_path(net, params, params);
+  transport::TransportMux mux_a(*path.a), mux_b(*path.b);
+  auto listener = mux_b.tcp_listen(80);
+  std::uint64_t received = 0;
+  listener->set_on_accept([&](std::shared_ptr<transport::TcpConnection> c) {
+    c->set_on_bytes([&](std::size_t n) { received += n; });
+  });
+  auto client = mux_a.tcp_connect({path.b->address(), 80});
+  util::TimePoint established = 0;
+  client->set_on_established([&] {
+    established = sim.now();
+    client->send_bytes(1u << 30);
+  });
+  while (established == 0 && !sim.empty()) sim.run(1);
+
+  int rtts_to_saturation = -1;
+  std::uint64_t bytes_at_saturation = 0;
+  std::uint64_t prev = 0;
+  for (int w = 1; w <= 40; ++w) {
+    sim.run_until(established + w * rtt);
+    const std::uint64_t in_window = received - prev;
+    prev = received;
+    const double window_rate =
+        static_cast<double>(in_window) * 8 / util::to_seconds(rtt);
+    if (window_rate >= 0.9 * static_cast<double>(rate)) {
+      rtts_to_saturation = w;
+      bytes_at_saturation = received;
+      break;
+    }
+  }
+
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "rampup seed=%llu rtt_ms=%.0f rtts_to_90pct=%d "
+                "bytes_at_90pct=%llu",
+                static_cast<unsigned long long>(seed), rtt_ms,
+                rtts_to_saturation,
+                static_cast<unsigned long long>(bytes_at_saturation));
+  return line;
+}
+
+}  // namespace
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kChaos: return "chaos";
+    case Scenario::kFlashCrowd: return "flash";
+    case Scenario::kRampup: return "rampup";
+  }
+  return "?";
+}
+
+std::optional<Scenario> scenario_from_string(std::string_view name) {
+  if (name == "chaos") return Scenario::kChaos;
+  if (name == "flash") return Scenario::kFlashCrowd;
+  if (name == "rampup") return Scenario::kRampup;
+  return std::nullopt;
+}
+
+std::string run_scenario(Scenario s, std::uint64_t seed) {
+  switch (s) {
+    case Scenario::kChaos: return run_chaos(seed);
+    case Scenario::kFlashCrowd: return run_flash_crowd(seed);
+    case Scenario::kRampup: return run_rampup(seed);
+  }
+  return {};
+}
+
+std::vector<std::string> run_sweep(Scenario s,
+                                   const std::vector<std::uint64_t>& seeds,
+                                   std::size_t jobs) {
+  // Slot i is owned by task i; merging is just reading the vector in
+  // order, so the schedule can never reorder the report.
+  std::vector<std::string> results(seeds.size());
+  util::ThreadPool pool(jobs <= 1 ? 0 : jobs);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    pool.submit([&, i] { results[i] = run_scenario(s, seeds[i]); });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace hpop::sweep

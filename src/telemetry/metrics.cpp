@@ -6,7 +6,7 @@
 
 namespace hpop::telemetry {
 
-MetricsRegistry g_registry;
+thread_local MetricsRegistry g_registry;
 
 const char* metric_kind_name(MetricKind kind) {
   switch (kind) {

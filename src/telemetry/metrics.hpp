@@ -132,7 +132,7 @@ class MetricsRegistry {
 
 /// The process-wide registry every instrumented component reports into.
 /// Benches and tests isolate runs with snapshot()/delta(), not by resetting.
-extern MetricsRegistry g_registry;
+extern thread_local MetricsRegistry g_registry;
 inline MetricsRegistry& registry() { return g_registry; }
 
 // --- Exporters -----------------------------------------------------------

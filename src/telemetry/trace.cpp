@@ -4,7 +4,7 @@
 
 namespace hpop::telemetry {
 
-Tracer g_tracer;
+thread_local Tracer g_tracer;
 
 const char* trace_event_name(TraceEvent event) {
   switch (event) {

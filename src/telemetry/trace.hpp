@@ -162,7 +162,7 @@ class Tracer {
 };
 
 /// The process-wide tracer the instrumented components emit into.
-extern Tracer g_tracer;
+extern thread_local Tracer g_tracer;
 inline Tracer& tracer() { return g_tracer; }
 
 }  // namespace hpop::telemetry

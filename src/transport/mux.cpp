@@ -8,7 +8,7 @@ namespace hpop::transport {
 
 TransportMux::TransportMux(net::Host& host) : host_(host) {
   host_.set_transport_handler(
-      [this](net::Packet pkt, net::Interface& in) {
+      [this](net::PooledPacket pkt, net::Interface& in) {
         dispatch(std::move(pkt), in);
       });
 }
@@ -17,9 +17,9 @@ TransportMux::~TransportMux() { host_.set_transport_handler(nullptr); }
 
 net::IpAddr TransportMux::default_source() const { return host_.address(); }
 
-void TransportMux::dispatch(net::Packet pkt, net::Interface& in) {
+void TransportMux::dispatch(net::PooledPacket pkt, net::Interface& in) {
   (void)in;
-  switch (pkt.proto) {
+  switch (pkt->proto) {
     case net::Proto::kTcp:
       handle_tcp(std::move(pkt));
       break;
@@ -46,14 +46,14 @@ std::shared_ptr<UdpSocket> TransportMux::udp_open(std::uint16_t port) {
 
 void TransportMux::udp_unregister(std::uint16_t port) { udp_.erase(port); }
 
-void TransportMux::handle_udp(net::Packet pkt) {
-  const auto it = udp_.find(pkt.udp.dst_port);
+void TransportMux::handle_udp(net::PooledPacket pkt) {
+  const auto it = udp_.find(pkt->udp.dst_port);
   if (it == udp_.end()) {
     HPOP_LOG(kTrace, "mux") << host_.name() << ": UDP to closed port "
-                            << pkt.udp.dst_port;
+                            << pkt->udp.dst_port;
     return;
   }
-  it->second->on_packet(pkt);
+  it->second->on_packet(*pkt);
 }
 
 // --- TCP ---
@@ -99,18 +99,19 @@ std::shared_ptr<TcpConnection> TransportMux::create_passive(
 
 void TransportMux::send_rst_for(const net::Packet& pkt) {
   if (pkt.tcp.rst) return;
-  net::Packet rst;
-  rst.src = pkt.dst;
-  rst.dst = pkt.src;
-  rst.proto = net::Proto::kTcp;
-  rst.tcp.src_port = pkt.tcp.dst_port;
-  rst.tcp.dst_port = pkt.tcp.src_port;
-  rst.tcp.rst = true;
-  rst.tcp.ack = pkt.tcp.seq + pkt.payload_len;
+  net::PooledPacket rst = make_packet();
+  rst->src = pkt.dst;
+  rst->dst = pkt.src;
+  rst->proto = net::Proto::kTcp;
+  rst->tcp.src_port = pkt.tcp.dst_port;
+  rst->tcp.dst_port = pkt.tcp.src_port;
+  rst->tcp.rst = true;
+  rst->tcp.ack = pkt.tcp.seq + pkt.payload_len;
   send_packet(std::move(rst));
 }
 
-void TransportMux::handle_tcp(net::Packet pkt) {
+void TransportMux::handle_tcp(net::PooledPacket pooled) {
+  const net::Packet& pkt = *pooled;
   const auto key = std::make_pair(pkt.dst_endpoint(), pkt.src_endpoint());
   const auto it = connections_.find(key);
   if (it != connections_.end()) {

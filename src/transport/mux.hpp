@@ -40,7 +40,10 @@ class TransportMux {
                                                  MptcpOptions opts = {});
 
   // --- Internals used by the endpoint classes ---
-  void send_packet(net::Packet pkt) { host_.send_packet(std::move(pkt)); }
+  /// A fresh packet from the host's pool; endpoints build segments and
+  /// datagrams in place (the slot's body buffers stay warm across reuse).
+  net::PooledPacket make_packet() { return host_.packet_pool().acquire(); }
+  void send_packet(net::PooledPacket pkt) { host_.send_packet(std::move(pkt)); }
   net::IpAddr default_source() const;
   void udp_unregister(std::uint16_t port);
   void tcp_unregister(const net::Endpoint& local, const net::Endpoint& remote);
@@ -53,9 +56,9 @@ class TransportMux {
   std::uint64_t fresh_token() { return ++token_counter_ * 0x9e37ull + 7; }
 
  private:
-  void dispatch(net::Packet pkt, net::Interface& in);
-  void handle_tcp(net::Packet pkt);
-  void handle_udp(net::Packet pkt);
+  void dispatch(net::PooledPacket pkt, net::Interface& in);
+  void handle_tcp(net::PooledPacket pkt);
+  void handle_udp(net::PooledPacket pkt);
   void send_rst_for(const net::Packet& pkt);
   std::shared_ptr<TcpConnection> create_passive(const net::Packet& syn,
                                                 const TcpOptions& opts);

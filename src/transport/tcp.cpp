@@ -10,7 +10,7 @@
 namespace hpop::transport {
 
 namespace {
-std::uint64_t g_packet_id = 0;
+thread_local std::uint64_t g_packet_id = 0;
 }
 
 TcpConnection::TcpConnection(TransportMux& mux, net::Endpoint local,
@@ -33,16 +33,16 @@ TcpConnection::TcpConnection(TransportMux& mux, net::Endpoint local,
   m_rtt_ms_ = reg.summary("tcp.rtt_ms");
 }
 
-net::Packet TcpConnection::base_packet() const {
-  net::Packet pkt;
-  pkt.src = local_.ip;
-  pkt.dst = remote_.ip;
-  pkt.proto = net::Proto::kTcp;
-  pkt.tcp.src_port = local_.port;
-  pkt.tcp.dst_port = remote_.port;
-  pkt.tcp.ack = rcv_nxt_;
-  pkt.tcp.ack_flag = true;
-  pkt.tcp.wnd = opts_.receive_window;
+net::PooledPacket TcpConnection::base_packet() const {
+  net::PooledPacket pkt = mux_.make_packet();
+  pkt->src = local_.ip;
+  pkt->dst = remote_.ip;
+  pkt->proto = net::Proto::kTcp;
+  pkt->tcp.src_port = local_.port;
+  pkt->tcp.dst_port = remote_.port;
+  pkt->tcp.ack = rcv_nxt_;
+  pkt->tcp.ack_flag = true;
+  pkt->tcp.wnd = opts_.receive_window;
   // Advertise the out-of-order ranges, capped at what real TCP options fit
   // (kMaxSackBlocks), in RFC 2018 shape: the block containing the most
   // recently received segment goes first, and the remaining slots cycle
@@ -51,7 +51,7 @@ net::Packet TcpConnection::base_packet() const {
   // blocks at a time — a static pick of the same 3-4 ranges starves
   // recovery down to one retransmission per RTT.
   if (!ooo_ranges_.empty()) {
-    auto& sack = pkt.tcp.sack.mutate();
+    auto& sack = pkt->tcp.sack.mutate();
     const std::size_t cap = net::TcpHeader::kMaxSackBlocks;
     sack.reserve(std::min(ooo_ranges_.size(), cap));
     std::uint64_t first_lo = UINT64_MAX;
@@ -72,20 +72,20 @@ net::Packet TcpConnection::base_packet() const {
     }
     sack_rotate_ = it == ooo_ranges_.end() ? 0 : it->first;
   }
-  pkt.id = ++g_packet_id;
+  pkt->id = ++g_packet_id;
   return pkt;
 }
 
-void TcpConnection::transmit(net::Packet pkt) {
+void TcpConnection::transmit(net::PooledPacket pkt) {
   mux_.send_packet(std::move(pkt));
 }
 
 void TcpConnection::start_active_open() {
-  net::Packet syn = base_packet();
-  syn.tcp.syn = true;
-  syn.tcp.ack_flag = false;
-  if (opts_.mp_capable) syn.tcp.mp_capable = opts_.mptcp_token;
-  if (opts_.join_token) syn.tcp.mp_join = opts_.join_token;
+  net::PooledPacket syn = base_packet();
+  syn->tcp.syn = true;
+  syn->tcp.ack_flag = false;
+  if (opts_.mp_capable) syn->tcp.mp_capable = opts_.mptcp_token;
+  if (opts_.join_token) syn->tcp.mp_join = opts_.join_token;
   transmit(std::move(syn));
   arm_rto();
 }
@@ -119,8 +119,8 @@ void TcpConnection::close() {
 
 void TcpConnection::abort() {
   if (state_ == State::kClosed) return;
-  net::Packet rst = base_packet();
-  rst.tcp.rst = true;
+  net::PooledPacket rst = base_packet();
+  rst->tcp.rst = true;
   transmit(std::move(rst));
   fail("local abort");
 }
@@ -151,26 +151,25 @@ std::uint64_t TcpConnection::available_window() const {
   return flight >= wnd ? 0 : wnd - flight;
 }
 
-std::vector<net::MessageRef> TcpConnection::refs_in_range(
-    std::uint64_t seq, std::uint64_t len) const {
+void TcpConnection::collect_refs_in_range(
+    std::uint64_t seq, std::uint64_t len,
+    std::vector<net::MessageRef>& out) const {
   // Items are sorted by end_offset; collect those ending in (seq, seq+len].
-  std::vector<net::MessageRef> refs;
   const auto it = std::lower_bound(
       send_items_.begin(), send_items_.end(), seq + 1,
       [](const Item& item, std::uint64_t v) { return item.end_offset < v; });
   for (auto i = it; i != send_items_.end() && i->end_offset <= seq + len;
        ++i) {
-    refs.push_back(net::MessageRef{i->end_offset, i->payload});
+    out.push_back(net::MessageRef{i->end_offset, i->payload});
   }
-  return refs;
 }
 
 void TcpConnection::emit_segment(std::uint64_t seq, std::uint64_t len,
                                  bool retransmit) {
-  net::Packet pkt = base_packet();
-  pkt.tcp.seq = seq;
-  pkt.payload_len = len;
-  pkt.messages.assign(refs_in_range(seq, len));
+  net::PooledPacket pkt = base_packet();
+  pkt->tcp.seq = seq;
+  pkt->payload_len = len;
+  collect_refs_in_range(seq, len, pkt->messages.mutate());
   if (retransmit) {
     ++retransmits_;
     m_retransmits_->inc();
@@ -374,9 +373,9 @@ void TcpConnection::maybe_send_fin() {
     // Window exhausted; FIN goes out once acks open space.
     return;
   }
-  net::Packet fin = base_packet();
-  fin.tcp.fin = true;
-  fin.tcp.seq = snd_nxt_;
+  net::PooledPacket fin = base_packet();
+  fin->tcp.fin = true;
+  fin->tcp.seq = snd_nxt_;
   transmit(std::move(fin));
   snd_nxt_ += 1;  // FIN consumes one sequence number
   if (snd_nxt_ > high_water_) high_water_ = snd_nxt_;
@@ -390,8 +389,7 @@ void TcpConnection::send_ack_now() {
     mux_.simulator().cancel(*delayed_ack_timer_);
     delayed_ack_timer_.reset();
   }
-  net::Packet ack = base_packet();
-  transmit(std::move(ack));
+  transmit(base_packet());
 }
 
 void TcpConnection::schedule_delayed_ack() {
@@ -404,8 +402,7 @@ void TcpConnection::schedule_delayed_ack() {
   delayed_ack_timer_ = mux_.simulator().schedule(opts_.ack_delay, [self] {
     if (const auto conn = self.lock()) {
       conn->delayed_ack_timer_.reset();
-      net::Packet ack = conn->base_packet();
-      conn->transmit(std::move(ack));
+      conn->transmit(conn->base_packet());
     }
   });
 }
@@ -468,8 +465,8 @@ void TcpConnection::on_rto() {
     return;
   }
   if (state_ == State::kSynReceived) {
-    net::Packet synack = base_packet();
-    synack.tcp.syn = true;
+    net::PooledPacket synack = base_packet();
+    synack->tcp.syn = true;
     transmit(std::move(synack));
     arm_rto();
     return;
@@ -617,12 +614,19 @@ void TcpConnection::process_data(const net::Packet& pkt) {
       hi = std::max(hi, it->second);
       it = ooo_ranges_.erase(it);
     }
-    ooo_ranges_[lo] = hi;
-    // Advance the contiguous frontier.
+    if (ooo_spare_) {
+      ooo_spare_.key() = lo;
+      ooo_spare_.mapped() = hi;
+      ooo_ranges_.insert(std::move(ooo_spare_));
+    } else {
+      ooo_ranges_[lo] = hi;
+    }
+    // Advance the contiguous frontier. Extracting (not erasing) the node
+    // hands it back to ooo_spare_ for the next segment's insert.
     auto front = ooo_ranges_.begin();
     if (front != ooo_ranges_.end() && front->first <= rcv_nxt_) {
       rcv_nxt_ = std::max(rcv_nxt_, front->second);
-      ooo_ranges_.erase(front);
+      ooo_spare_ = ooo_ranges_.extract(front);
     }
   }
   if (rcv_nxt_ > old_rcv_nxt) {
@@ -682,8 +686,8 @@ void TcpConnection::on_packet(const net::Packet& pkt) {
       if (pkt.tcp.syn && !pkt.tcp.ack_flag) {
         // Initial or retransmitted SYN: (re-)send SYN-ACK.
         peer_rwnd_ = pkt.tcp.wnd;
-        net::Packet synack = base_packet();
-        synack.tcp.syn = true;
+        net::PooledPacket synack = base_packet();
+        synack->tcp.syn = true;
         transmit(std::move(synack));
         arm_rto();
         return;

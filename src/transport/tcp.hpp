@@ -158,10 +158,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void deliver_ready();
   void prune_acked_items();
   void fail(const char* reason);
-  std::vector<net::MessageRef> refs_in_range(std::uint64_t seq,
-                                             std::uint64_t len) const;
-  net::Packet base_packet() const;
-  void transmit(net::Packet pkt);
+  /// Appends the message refs ending in (seq, seq+len] to `out` — filled
+  /// straight into a pooled packet's body so the hot send path reuses the
+  /// slot's warm buffer instead of building a temporary vector.
+  void collect_refs_in_range(std::uint64_t seq, std::uint64_t len,
+                             std::vector<net::MessageRef>& out) const;
+  net::PooledPacket base_packet() const;
+  void transmit(net::PooledPacket pkt);
 
   TransportMux& mux_;
   net::Endpoint local_;
@@ -204,6 +207,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // Receiver.
   std::uint64_t rcv_nxt_ = 0;
   std::map<std::uint64_t, std::uint64_t> ooo_ranges_;  // start -> end
+  /// Spare map node recycled between the per-segment insert (merge into
+  /// ooo_ranges_) and erase (frontier advance): in-order bulk transfer
+  /// churns one node per segment, and without reuse that is one allocator
+  /// round-trip per segment.
+  std::map<std::uint64_t, std::uint64_t>::node_type ooo_spare_;
   /// SACK generation state (RFC 2018 block selection): sequence inside the
   /// most recently received out-of-order segment, and the rotation cursor
   /// cycling the remaining ranges through the capped block slots. Mutable:

@@ -5,7 +5,7 @@
 namespace hpop::transport {
 
 namespace {
-std::uint64_t g_udp_packet_id = 1u << 30;
+thread_local std::uint64_t g_udp_packet_id = 1u << 30;
 }
 
 UdpSocket::UdpSocket(TransportMux& mux, std::uint16_t port)
@@ -13,30 +13,32 @@ UdpSocket::UdpSocket(TransportMux& mux, std::uint16_t port)
 
 void UdpSocket::send_to(net::Endpoint dst, net::PayloadPtr payload) {
   if (closed_) return;
-  net::Packet pkt;
-  pkt.src = mux_.default_source();
-  pkt.dst = dst.ip;
-  pkt.proto = net::Proto::kUdp;
-  pkt.udp.src_port = port_;
-  pkt.udp.dst_port = dst.port;
-  pkt.payload_len = payload ? payload->wire_size() : 0;
+  net::PooledPacket pkt = mux_.make_packet();
+  pkt->src = mux_.default_source();
+  pkt->dst = dst.ip;
+  pkt->proto = net::Proto::kUdp;
+  pkt->udp.src_port = port_;
+  pkt->udp.dst_port = dst.port;
+  pkt->payload_len = payload ? payload->wire_size() : 0;
   if (payload) {
-    pkt.messages.push_back(net::MessageRef{pkt.payload_len, payload});
+    pkt->messages.push_back(net::MessageRef{pkt->payload_len, payload});
   }
-  pkt.id = ++g_udp_packet_id;
+  pkt->id = ++g_udp_packet_id;
   mux_.send_packet(std::move(pkt));
 }
 
 void UdpSocket::send_packet_to(net::Endpoint dst, net::Packet inner) {
   if (closed_) return;
-  net::Packet pkt;
-  pkt.src = mux_.default_source();
-  pkt.dst = dst.ip;
-  pkt.proto = net::Proto::kUdp;
-  pkt.udp.src_port = port_;
-  pkt.udp.dst_port = dst.port;
-  pkt.encapsulated = std::make_shared<const net::Packet>(std::move(inner));
-  pkt.id = ++g_udp_packet_id;
+  net::PooledPacket pkt = mux_.make_packet();
+  pkt->src = mux_.default_source();
+  pkt->dst = dst.ip;
+  pkt->proto = net::Proto::kUdp;
+  pkt->udp.src_port = port_;
+  pkt->udp.dst_port = dst.port;
+  // The inner packet is shared, not pooled: tunnel hops hold it across
+  // arbitrary lifetimes and the encap path is rare (DCol VPN only).
+  pkt->encapsulated = std::make_shared<const net::Packet>(std::move(inner));
+  pkt->id = ++g_udp_packet_id;
   mux_.send_packet(std::move(pkt));
 }
 

@@ -6,7 +6,7 @@ namespace hpop::util {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
-const TimePoint* g_now = nullptr;
+thread_local const TimePoint* g_now = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace hpop::util {
+
+/// Vector with inline storage for the first N elements. HTTP messages
+/// carry a handful of headers, so keeping them inline removes the
+/// per-message map/vector allocation from the data plane; overflow spills
+/// to the heap with the usual doubling growth.
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& o) { assign_copy(o); }
+  SmallVec(SmallVec&& o) noexcept { assign_move(std::move(o)); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      destroy();
+      assign_copy(o);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      assign_move(std::move(o));
+    }
+    return *this;
+  }
+  ~SmallVec() { destroy(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* slot = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+  void push_back(T v) { emplace_back(std::move(v)); }
+
+  /// Removes the element at `i`, preserving the order of the rest.
+  void erase_at(std::size_t i) {
+    for (std::size_t j = i + 1; j < size_; ++j) {
+      data_[j - 1] = std::move(data_[j]);
+    }
+    data_[--size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+ private:
+  T* inline_slots() { return std::launder(reinterpret_cast<T*>(inline_)); }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != inline_slots()) ::operator delete(data_);
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void destroy() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    if (data_ != inline_slots()) ::operator delete(data_);
+    data_ = inline_slots();
+    size_ = 0;
+    cap_ = N;
+  }
+
+  void assign_copy(const SmallVec& o) {
+    reserve_exact(o.size_);
+    for (std::size_t i = 0; i < o.size_; ++i) new (data_ + i) T(o.data_[i]);
+    size_ = o.size_;
+  }
+
+  void assign_move(SmallVec&& o) noexcept {
+    if (o.data_ != o.inline_slots()) {
+      // Steal the heap buffer outright.
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.data_ = o.inline_slots();
+      o.size_ = 0;
+      o.cap_ = N;
+      return;
+    }
+    for (std::size_t i = 0; i < o.size_; ++i) {
+      new (data_ + i) T(std::move(o.data_[i]));
+      o.data_[i].~T();
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  void reserve_exact(std::size_t n) {
+    if (n <= cap_) return;
+    data_ = static_cast<T*>(::operator new(n * sizeof(T)));
+    cap_ = n;
+  }
+
+  T* data_ = inline_slots();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace hpop::util

@@ -1,0 +1,101 @@
+#include "util/symbol.hpp"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace hpop::util {
+
+namespace {
+
+constexpr char to_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Every header name the HPoP services emit or look up, pre-lowercased.
+/// Order is id assignment only (ids are process-local); keep appending.
+constexpr std::string_view kKnown[] = {
+    "host",
+    "content-length",
+    "content-type",
+    "cache-control",
+    "retry-after",
+    "range",
+    "content-range",
+    "transfer-encoding",
+    "etag",
+    "if-match",
+    "if-none-match",
+    "if-modified-since",
+    "last-modified",
+    "if",
+    "lock-token",
+    "timeout",
+    "depth",
+    "destination",
+    "overwrite",
+    "authorization",
+    "www-authenticate",
+    "x-capability",
+    "x-coop",
+    "connection",
+    "accept",
+    "accept-encoding",
+    "content-encoding",
+    "date",
+    "expires",
+    "age",
+    "location",
+    "server",
+    "user-agent",
+    "vary",
+};
+constexpr std::uint32_t kKnownCount =
+    static_cast<std::uint32_t>(sizeof(kKnown) / sizeof(kKnown[0]));
+
+/// Dynamic table for names outside the known set (rare: hostile input or
+/// future extensions). A deque keeps element addresses stable so str()
+/// views stay valid; the mutex makes the sweeper's worker threads safe.
+std::mutex g_dynamic_mu;
+std::deque<std::string>& dynamic_table() {
+  static std::deque<std::string> table;
+  return table;
+}
+
+}  // namespace
+
+bool Symbol::iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (to_lower(a[i]) != to_lower(b[i])) return false;
+  }
+  return true;
+}
+
+Symbol Symbol::intern(std::string_view name) {
+  if (name.empty()) return Symbol{};
+  for (std::uint32_t i = 0; i < kKnownCount; ++i) {
+    if (iequals(kKnown[i], name)) return Symbol{i + 1};
+  }
+  std::string canonical(name);
+  for (char& c : canonical) c = to_lower(c);
+  std::lock_guard<std::mutex> lock(g_dynamic_mu);
+  auto& table = dynamic_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == canonical) {
+      return Symbol{kKnownCount + 1 + static_cast<std::uint32_t>(i)};
+    }
+  }
+  table.push_back(std::move(canonical));
+  return Symbol{kKnownCount + static_cast<std::uint32_t>(table.size())};
+}
+
+std::string_view Symbol::str() const {
+  if (id_ == 0) return {};
+  if (id_ <= kKnownCount) return kKnown[id_ - 1];
+  std::lock_guard<std::mutex> lock(g_dynamic_mu);
+  return dynamic_table()[id_ - kKnownCount - 1];
+}
+
+}  // namespace hpop::util

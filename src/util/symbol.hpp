@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hpop::util {
+
+/// Interned lowercase identifier, built for HTTP header names. The ~30
+/// names the services actually emit live in a compile-time table, so
+/// interning or comparing them never allocates and never takes a lock;
+/// anything else goes to a mutex-protected dynamic table (process-local
+/// ids — never serialized, so cross-thread assignment order is free to
+/// vary without breaking determinism).
+class Symbol {
+ public:
+  Symbol() = default;  // the empty symbol
+
+  /// Canonical symbol for `name`, matched case-insensitively; the stored
+  /// canonical form is lowercase. Allocation-free for known names.
+  static Symbol intern(std::string_view name);
+
+  /// Canonical (lowercase) text. Valid for the process lifetime.
+  std::string_view str() const;
+
+  bool empty() const { return id_ == 0; }
+  bool operator==(Symbol o) const { return id_ == o.id_; }
+  bool operator!=(Symbol o) const { return id_ != o.id_; }
+
+  /// Case-insensitive comparison helpers that never allocate.
+  static bool iequals(std::string_view a, std::string_view b);
+
+ private:
+  explicit Symbol(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = 0;  // 0: empty; [1, kKnown]: static; above: dynamic
+};
+
+}  // namespace hpop::util

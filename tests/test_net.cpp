@@ -22,8 +22,8 @@ struct Seen {
 /// Records every packet a host's transport layer would receive.
 std::vector<Seen>* capture(Host& host, sim::Simulator& sim) {
   auto* seen = new std::vector<Seen>();  // owned by the test body
-  host.set_transport_handler([seen, &sim](Packet pkt, Interface&) {
-    seen->push_back({std::move(pkt), sim.now()});
+  host.set_transport_handler([seen, &sim](PooledPacket pkt, Interface&) {
+    seen->push_back({std::move(*pkt), sim.now()});
   });
   return seen;
 }

@@ -1,0 +1,57 @@
+// Parallel sweep determinism: running N seeds on a worker pool must
+// produce byte-identical reports to running them serially, merged in seed
+// order. This is the contract ci.sh re-checks on the sweeper binary.
+
+#include <gtest/gtest.h>
+
+#include "sweep/sweep.hpp"
+
+namespace hpop {
+namespace {
+
+TEST(Sweep, ScenarioNamesRoundTrip) {
+  for (sweep::Scenario s : {sweep::Scenario::kChaos,
+                            sweep::Scenario::kFlashCrowd,
+                            sweep::Scenario::kRampup}) {
+    const auto parsed = sweep::scenario_from_string(sweep::to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(sweep::scenario_from_string("nope").has_value());
+}
+
+TEST(Sweep, ChaosParallelMatchesSerial) {
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  const auto serial = sweep::run_sweep(sweep::Scenario::kChaos, seeds, 1);
+  const auto parallel = sweep::run_sweep(sweep::Scenario::kChaos, seeds, 4);
+  ASSERT_EQ(serial.size(), seeds.size());
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(serial[i].rfind("chaos seed=" + std::to_string(seeds[i]), 0),
+              0u)
+        << serial[i];
+  }
+}
+
+TEST(Sweep, FlashCrowdParallelMatchesSerial) {
+  const std::vector<std::uint64_t> seeds = {7, 11};
+  const auto serial =
+      sweep::run_sweep(sweep::Scenario::kFlashCrowd, seeds, 1);
+  const auto parallel =
+      sweep::run_sweep(sweep::Scenario::kFlashCrowd, seeds, 2);
+  EXPECT_EQ(serial, parallel);
+  for (const std::string& line : serial) {
+    EXPECT_NE(line.find("warmed=1"), std::string::npos) << line;
+  }
+}
+
+TEST(Sweep, RerunOnSameThreadIsIdentical) {
+  // Worker threads run many seeds back to back; leftover thread-local
+  // state (telemetry, packet-id counters) must not leak into reports.
+  const auto first = sweep::run_scenario(sweep::Scenario::kChaos, 3);
+  const auto second = sweep::run_scenario(sweep::Scenario::kChaos, 3);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace hpop

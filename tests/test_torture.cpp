@@ -179,11 +179,12 @@ TEST_P(NatMatrix, Rfc4787ObservablesHold) {
 
   std::vector<net::Packet> at_s1, at_s2, at_inside;
   s1.set_transport_handler(
-      [&](net::Packet pkt, net::Interface&) { at_s1.push_back(pkt); });
+      [&](net::PooledPacket pkt, net::Interface&) { at_s1.push_back(*pkt); });
   s2.set_transport_handler(
-      [&](net::Packet pkt, net::Interface&) { at_s2.push_back(pkt); });
-  inside.set_transport_handler(
-      [&](net::Packet pkt, net::Interface&) { at_inside.push_back(pkt); });
+      [&](net::PooledPacket pkt, net::Interface&) { at_s2.push_back(*pkt); });
+  inside.set_transport_handler([&](net::PooledPacket pkt, net::Interface&) {
+    at_inside.push_back(*pkt);
+  });
 
   auto udp_from_inside = [&](net::Endpoint dst) {
     net::Packet pkt;
