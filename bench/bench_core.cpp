@@ -30,6 +30,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench/alloc_hook.hpp"
+#include "metro/topology.hpp"
 #include "net/pool.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -38,23 +40,6 @@
 #include "transport/payloads.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
-
-// --- Global allocation counter ------------------------------------------
-
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -65,9 +50,7 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-std::uint64_t alloc_count() {
-  return g_allocs.load(std::memory_order_relaxed);
-}
+std::uint64_t alloc_count() { return benchhook::alloc_count(); }
 
 // --- Baseline scheduler -------------------------------------------------
 // Faithful replica of the pre-overhaul event core: a std::priority_queue
@@ -436,6 +419,41 @@ SweepScalingResult run_sweep_scaling(std::size_t n_seeds) {
   return r;
 }
 
+// --- Workload 7: metro topology build + per-home memory footprint -------
+// Builds a metro access tree (E17's capacity axis) and measures two
+// numbers: construction throughput (homes/sec, hierarchical routing — not
+// auto_route()'s O(N^2) BFS) and live heap bytes per home while the world
+// is standing. The byte number is what bounds how many HPoPs fit in one
+// process.
+
+struct MetroBuildResult {
+  std::size_t homes = 0;
+  double build_s = 0;
+  double homes_per_sec = 0;
+  double bytes_per_home = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+MetroBuildResult run_metro_build(std::size_t homes) {
+  MetroBuildResult r;
+  r.homes = homes;
+  const std::int64_t live_before = benchhook::live_bytes();
+  const auto start = Clock::now();
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(17));
+  metro::MetroParams params;
+  params.homes = homes;
+  util::Rng rng(17);
+  metro::MetroTopology topo = metro::build_metro(net, params, rng);
+  r.build_s = seconds_since(start);
+  const std::int64_t live_after = benchhook::live_bytes();
+  r.homes_per_sec = static_cast<double>(homes) / r.build_s;
+  r.bytes_per_home = static_cast<double>(live_after - live_before) /
+                     static_cast<double>(homes);
+  r.fingerprint = topo.fingerprint();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -501,9 +519,16 @@ int main(int argc, char** argv) {
                sweep_seeds);
   const SweepScalingResult sweep = run_sweep_scaling(sweep_seeds);
 
+  const std::size_t metro_homes = smoke ? 10'000 : 50'000;
+  std::fprintf(stderr, "[bench_core] metro build (%zu homes)...\n",
+               metro_homes);
+  const MetroBuildResult metro = run_metro_build(metro_homes);
+
   constexpr double kPacketHopAllocsMax = 1.0;
   constexpr double kTcpBulkAllocsMax = 3.0;
   constexpr double kSweepSpeedupMin = 3.0;
+  constexpr double kMetroHomesPerSecMin = 20'000.0;
+  constexpr double kMetroBytesPerHomeMax = 4'096.0;
   const bool gate_speedup = speedup >= 2.0;
   const bool gate_delivery =
       bulk.received == bulk.expected && hop.delivered == hop_packets;
@@ -514,9 +539,13 @@ int main(int argc, char** argv) {
   // Speedup is a hardware property: armed only where 8 threads exist.
   const bool gate_sweep_speedup =
       !sweep.speedup_gate_armed() || sweep.speedup() >= kSweepSpeedupMin;
+  const bool gate_metro_build = metro.homes_per_sec >= kMetroHomesPerSecMin;
+  const bool gate_bytes_per_home =
+      metro.bytes_per_home > 0 && metro.bytes_per_home <= kMetroBytesPerHomeMax;
   const bool gates_passed = gate_speedup && gate_delivery &&
                             gate_hop_allocs && gate_bulk_allocs &&
-                            gate_sweep_identical && gate_sweep_speedup;
+                            gate_sweep_identical && gate_sweep_speedup &&
+                            gate_metro_build && gate_bytes_per_home;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -590,6 +619,14 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"identical\": %s\n",
                sweep.identical ? "true" : "false");
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"metro_build\": {\n");
+  std::fprintf(out, "    \"homes\": %zu,\n", metro.homes);
+  std::fprintf(out, "    \"build_s\": %.3f,\n", metro.build_s);
+  std::fprintf(out, "    \"homes_per_sec\": %.0f,\n", metro.homes_per_sec);
+  std::fprintf(out, "    \"bytes_per_home\": %.1f,\n", metro.bytes_per_home);
+  std::fprintf(out, "    \"fingerprint\": \"%016llx\"\n",
+               static_cast<unsigned long long>(metro.fingerprint));
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates\": {\n");
   std::fprintf(out, "    \"scheduler_speedup_min\": 2.0,\n");
   std::fprintf(out, "    \"scheduler_speedup_ok\": %s,\n",
@@ -609,8 +646,16 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"sweep_speedup_min\": %.1f,\n", kSweepSpeedupMin);
   std::fprintf(out, "    \"sweep_speedup_armed\": %s,\n",
                sweep.speedup_gate_armed() ? "true" : "false");
-  std::fprintf(out, "    \"sweep_speedup_ok\": %s\n",
+  std::fprintf(out, "    \"sweep_speedup_ok\": %s,\n",
                gate_sweep_speedup ? "true" : "false");
+  std::fprintf(out, "    \"metro_homes_per_sec_min\": %.0f,\n",
+               kMetroHomesPerSecMin);
+  std::fprintf(out, "    \"metro_build_ok\": %s,\n",
+               gate_metro_build ? "true" : "false");
+  std::fprintf(out, "    \"bytes_per_home_max\": %.0f,\n",
+               kMetroBytesPerHomeMax);
+  std::fprintf(out, "    \"bytes_per_home_ok\": %s\n",
+               gate_bytes_per_home ? "true" : "false");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates_passed\": %s\n", gates_passed ? "true" : "false");
   std::fprintf(out, "}\n");
@@ -647,6 +692,11 @@ int main(int argc, char** argv) {
                sweep.seeds, sweep.jobs, sweep.hw_threads, sweep.serial_s,
                sweep.parallel_s, sweep.speedup(),
                sweep.identical ? "yes" : "NO");
+  std::fprintf(stderr,
+               "[bench_core] metro build: %zu homes in %.2fs (%.0fk homes/s), "
+               "%.0f bytes/home\n",
+               metro.homes, metro.build_s, metro.homes_per_sec / 1e3,
+               metro.bytes_per_home);
   std::fprintf(stderr, "[bench_core] gates %s -> %s\n",
                gates_passed ? "PASSED" : "FAILED", out_path.c_str());
 

@@ -51,6 +51,20 @@ diff /tmp/sweep_chaos_serial.txt /tmp/sweep_chaos_parallel.txt
 ./build/bench/sweeper --scenario flash --seeds 1-4 --jobs 4 \
   > /tmp/sweep_flash_parallel.txt
 diff /tmp/sweep_flash_serial.txt /tmp/sweep_flash_parallel.txt
+./build/bench/sweeper --scenario metro --seeds 1-4 --jobs 1 \
+  > /tmp/sweep_metro_serial.txt
+./build/bench/sweeper --scenario metro --seeds 1-4 --jobs 4 \
+  > /tmp/sweep_metro_parallel.txt
+diff /tmp/sweep_metro_serial.txt /tmp/sweep_metro_parallel.txt
+
+# Metro smoke gate (E17): build a 10k-home metro, run the short diurnal
+# slice twice, and diff the telemetry — the generator, workload draws, and
+# driver stats must be byte-identical run to run. The bench also self-gates
+# on the bytes-per-home budget and the cross-PoP routing slice.
+./build/bench/bench_metro --smoke > /tmp/metro_run_a.txt
+./build/bench/bench_metro --smoke > /tmp/metro_run_b.txt
+diff /tmp/metro_run_a.txt /tmp/metro_run_b.txt
+cat /tmp/metro_run_a.txt
 
 # Hot-path perf gate (E15, smoke scale): bench_core compares the event
 # engine against an in-process replica of the pre-overhaul scheduler and
@@ -66,6 +80,8 @@ for gate_file in /tmp/BENCH_CORE.json BENCH_CORE.json; do
   grep -q '"packet_hop_allocs_ok": true' "$gate_file"
   grep -q '"tcp_bulk_allocs_ok": true' "$gate_file"
   grep -q '"sweep_identical_ok": true' "$gate_file"
+  grep -q '"metro_build_ok": true' "$gate_file"
+  grep -q '"bytes_per_home_ok": true' "$gate_file"
 done
 
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
@@ -75,6 +91,12 @@ cmake --build build-asan -j
 # at exit. Memory-error and UB detection — the point of this lane — stay on.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
   --timeout 240
+# Metro under ASan: a 1000-home build plus the smoke diurnal day, checking
+# for memory errors at scale. --no-gate because redzones inflate the
+# bytes-per-home numbers the plain lane gates on.
+ASAN_OPTIONS=detect_leaks=0 \
+  ./build-asan/bench/bench_metro --homes 1000 --smoke --no-gate \
+  > /dev/null
 
 # TSan lane: the whole tier-1 suite once under ThreadSanitizer. The
 # simulator itself is single-threaded; this lane guards the thread_local

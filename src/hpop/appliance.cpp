@@ -44,7 +44,7 @@ Hpop::Hpop(net::Host& host, HpopConfig config)
                        std::string body =
                            "HPoP for household '" + config_.household + "'\n";
                        for (const auto& [name, desc] : services_) {
-                         body += name + ": " + desc + "\n";
+                         body += std::string(name.str()) + ": " + desc + "\n";
                        }
                        resp.body = http::Body(body);
                        w.respond(std::move(resp));

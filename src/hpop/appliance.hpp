@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 
@@ -10,6 +9,7 @@
 #include "http/server.hpp"
 #include "overload/admission.hpp"
 #include "traversal/reachability.hpp"
+#include "util/symbol_map.hpp"
 
 namespace hpop::core {
 
@@ -48,9 +48,8 @@ class Hpop {
   /// happens directly on http_server().
   void register_service(const std::string& name,
                         const std::string& description);
-  const std::map<std::string, std::string>& services() const {
-    return services_;
-  }
+  /// Registered services, in registration order.
+  const util::SymbolMap<std::string>& services() const { return services_; }
 
   const std::string& household() const { return config_.household; }
   net::Host& host() { return host_; }
@@ -77,7 +76,7 @@ class Hpop {
   std::unique_ptr<overload::AdmissionController> admission_;
   traversal::ReachabilityManager reachability_;
   std::unique_ptr<DirectoryRegistration> registration_;
-  std::map<std::string, std::string> services_;
+  util::SymbolMap<std::string> services_;
   bool online_ = false;
 };
 

@@ -14,8 +14,8 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
                                    conn) {
     conn->set_on_message([this, conn](net::PayloadPtr msg) {
       if (const auto reg = std::dynamic_pointer_cast<const DirRegister>(msg)) {
-        households_[reg->household] =
-            Registration{reg->advertisement, conn};
+        households_.insert_or_assign(reg->household,
+                                     Registration{reg->advertisement, conn});
         HPOP_LOG(kInfo, "directory")
             << "registered " << reg->household << " via "
             << traversal::to_string(reg->advertisement.method);
@@ -35,10 +35,9 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
           conn->send(resp);
           return;
         }
-        const auto it = households_.find(lookup->household);
-        if (it != households_.end()) {
+        if (const Registration* r = households_.find(lookup->household)) {
           resp->found = true;
-          resp->advertisement = it->second.advertisement;
+          resp->advertisement = r->advertisement;
         }
         conn->send(resp);
         return;
@@ -58,8 +57,8 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
           conn->send(ready);
           return;
         }
-        const auto it = households_.find(rdv->household);
-        if (it == households_.end() || !it->second.control) {
+        const Registration* r = households_.find(rdv->household);
+        if (r == nullptr || !r->control) {
           auto ready = std::make_shared<DirRendezvousReady>();
           ready->txn = rdv->txn;
           ready->ok = false;
@@ -67,8 +66,7 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
           return;
         }
         rendezvous_waiters_[rdv->txn] = conn;
-        it->second.control->send(
-            std::make_shared<DirRendezvousRequest>(*rdv));
+        r->control->send(std::make_shared<DirRendezvousRequest>(*rdv));
         return;
       }
       if (const auto ready =

@@ -8,6 +8,7 @@
 #include "overload/admission.hpp"
 #include "traversal/reachability.hpp"
 #include "transport/mux.hpp"
+#include "util/symbol_map.hpp"
 
 namespace hpop::core {
 
@@ -81,7 +82,10 @@ class DirectoryServer {
   std::shared_ptr<transport::TcpListener> listener_;
   std::unique_ptr<overload::AdmissionController> admission_;
   std::uint64_t sheds_ = 0;
-  std::map<std::string, Registration> households_;
+  /// Household name -> registration, Symbol-keyed: at metro scale the
+  /// directory holds one entry per home, and a std::map's per-node heap
+  /// allocations plus string keys dominated its footprint.
+  util::SymbolMap<Registration> households_;
   // txn -> requester connection, for relaying rendezvous-ready.
   std::map<std::uint64_t, std::weak_ptr<transport::TcpConnection>>
       rendezvous_waiters_;

@@ -1,0 +1,226 @@
+#include "metro/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hpop::metro {
+
+MetroDriver::MetroDriver(MetroTopology& topo, WorkloadModel model,
+                         MetroDriverConfig config, util::Rng rng)
+    : topo_(topo),
+      model_(std::move(model)),
+      config_(std::move(config)),
+      rng_(rng),
+      sim_(topo.homes.empty() ? topo.origins.at(0)->simulator()
+                              : topo.homes.front()->simulator()) {
+  // Resolve the role layout against the actual home count. Each host gets
+  // at most one TransportMux, so the roles must not overlap.
+  const std::size_t homes = topo_.homes.size();
+  config_.peers = std::clamp<std::size_t>(config_.peers, 1,
+                                          std::max<std::size_t>(1, homes / 2));
+  const std::size_t after_peers =
+      homes > config_.peers ? homes - config_.peers : 0;
+  config_.attic_pairs = std::min(config_.attic_pairs, after_peers / 4);
+  const std::size_t reserved = config_.peers + 2 * config_.attic_pairs;
+  config_.active_homes =
+      std::min(config_.active_homes, homes > reserved ? homes - reserved : 0);
+
+  peer_region_begin_ = config_.active_homes;
+  const std::size_t peer_region_size =
+      homes - 2 * config_.attic_pairs - peer_region_begin_;
+  peer_stride_ = std::max<std::size_t>(1, peer_region_size / config_.peers);
+}
+
+MetroDriver::~MetroDriver() = default;
+
+std::size_t MetroDriver::peer_home(std::size_t i) const {
+  return peer_region_begin_ + i * peer_stride_;
+}
+
+void MetroDriver::start() {
+  // Origin on the first IXP-side host.
+  origin_mux_ = std::make_unique<transport::TransportMux>(*topo_.origins.at(0));
+  nocdn::OriginConfig ocfg;
+  ocfg.provider = config_.provider;
+  origin_server_ = std::make_unique<nocdn::OriginServer>(*origin_mux_, ocfg,
+                                                         rng_.fork());
+  const ZipfCatalog& catalog = model_.catalog();
+  for (std::size_t rank = 0; rank < catalog.objects(); ++rank) {
+    origin_server_->add_object(
+        {catalog.url_of(rank),
+         http::Body::synthetic(catalog.bytes_of(rank), rank)});
+    // One container object per page, no embeds: each page load fetches
+    // exactly its rank's object, so delivered traffic follows the Zipf
+    // draw sequence exactly.
+    origin_server_->add_page({catalog.page_of(rank), catalog.url_of(rank), {}});
+  }
+  const net::Endpoint origin_ep{topo_.origins.at(0)->address(), ocfg.port};
+
+  // Peer proxies, spread across the metro so every PoP-ish region has
+  // nearby serving capacity.
+  peers_.resize(config_.peers);
+  for (std::size_t i = 0; i < config_.peers; ++i) {
+    net::Host& host = *topo_.homes.at(peer_home(i));
+    PeerSlot& slot = peers_[i];
+    slot.mux = std::make_unique<transport::TransportMux>(host);
+    slot.proxy =
+        std::make_unique<nocdn::PeerProxy>(*slot.mux, 8080, rng_.fork());
+    const std::uint64_t id =
+        origin_server_->recruit_peer({host.address(), 8080});
+    slot.proxy->signup({config_.provider, id, origin_ep});
+    slot.proxy->start_usage_uploads(config_.usage_upload_interval);
+  }
+
+  // Browsing homes: slots exist up front, stacks are built lazily on the
+  // first arrival so dark-quiet homes cost nothing beyond the vector slot.
+  clients_.resize(config_.active_homes);
+  for (std::size_t h = 0; h < config_.active_homes; ++h) schedule_next(h);
+
+  // Attic-style record sync between tail-home pairs: the store half runs a
+  // plain HTTP record endpoint, the client half PUTs a fresh record every
+  // interval and reads it back.
+  attic_.resize(config_.attic_pairs);
+  for (std::size_t i = 0; i < config_.attic_pairs; ++i) {
+    AtticPair& pair = attic_[i];
+    pair.store_home = topo_.homes.size() - 1 - 2 * i;
+    pair.client_home = topo_.homes.size() - 2 - 2 * i;
+    net::Host& store_host = *topo_.homes.at(pair.store_home);
+    pair.store_mux = std::make_unique<transport::TransportMux>(store_host);
+    pair.store = std::make_unique<http::HttpServer>(*pair.store_mux, 8081);
+    const std::size_t record_bytes = config_.attic_record_bytes;
+    pair.store->route(http::Method::kPut, "/rec/",
+                      [](const http::Request&, http::ResponseWriter& w) {
+                        w.respond({204, {}, {}});
+                      });
+    pair.store->route(http::Method::kGet, "/rec/",
+                      [record_bytes](const http::Request& req,
+                                     http::ResponseWriter& w) {
+                        http::Response resp;
+                        resp.body = http::Body::synthetic(
+                            record_bytes, std::hash<std::string>{}(req.path));
+                        w.respond(std::move(resp));
+                      });
+    pair.client_mux = std::make_unique<transport::TransportMux>(
+        *topo_.homes.at(pair.client_home));
+    pair.client =
+        std::make_unique<http::HttpClient>(*pair.client_mux, rng_.fork());
+    // Stagger the pairs across one interval so they don't synchronize.
+    const util::Duration offset = static_cast<util::Duration>(
+        config_.attic_interval * (i + 1) / (config_.attic_pairs + 1));
+    sim_.schedule(offset, [this, i] { attic_tick(i); });
+  }
+}
+
+MetroDriver::ClientSlot& MetroDriver::ensure_client(std::size_t home) {
+  ClientSlot& slot = clients_[home];
+  if (!slot.mux) {
+    slot.mux = std::make_unique<transport::TransportMux>(*topo_.homes[home]);
+    slot.http = std::make_unique<http::HttpClient>(*slot.mux, rng_.fork());
+    slot.loader = std::make_unique<nocdn::LoaderClient>(
+        *slot.http, net::Endpoint{topo_.origins[0]->address(), 80},
+        config_.provider);
+  }
+  return slot;
+}
+
+void MetroDriver::schedule_next(std::size_t home) {
+  const util::TimePoint t =
+      model_.next_arrival(topo_, home, sim_.now(), rng_);
+  if (t >= config_.horizon) return;
+  sim_.schedule(t - sim_.now(), [this, home] { on_arrival(home); });
+}
+
+void MetroDriver::on_arrival(std::size_t home) {
+  ++stats_.arrivals;
+  ClientSlot& slot = ensure_client(home);
+  const std::size_t rank = model_.draw_object(topo_, home, sim_.now(), rng_);
+  slot.loader->load_page(
+      model_.catalog().page_of(rank), [this](nocdn::PageLoadResult r) {
+        if (r.success) {
+          ++stats_.loads_ok;
+          stats_.bytes_from_peers += r.bytes_from_peers;
+          stats_.bytes_from_origin += r.bytes_from_origin;
+          stats_.load_time_s_total +=
+              static_cast<double>(r.load_time) / util::kSecond;
+        } else {
+          ++stats_.loads_failed;
+        }
+      });
+  schedule_next(home);
+}
+
+void MetroDriver::attic_tick(std::size_t pair_idx) {
+  AtticPair& pair = attic_[pair_idx];
+  const net::Endpoint store_ep{topo_.homes[pair.store_home]->address(), 8081};
+  const std::string path = "/rec/" + std::to_string(pair_idx) + "/" +
+                           std::to_string(pair.seq++);
+  http::Request put;
+  put.method = http::Method::kPut;
+  put.path = path;
+  put.body = http::Body::synthetic(config_.attic_record_bytes, pair.seq);
+  pair.client->fetch(
+      store_ep, std::move(put),
+      [this, pair_idx, store_ep, path](util::Result<http::Response> r) {
+        if (!r.ok()) {
+          ++stats_.attic_failures;
+          return;
+        }
+        ++stats_.attic_puts;
+        http::Request get;
+        get.method = http::Method::kGet;
+        get.path = path;
+        attic_[pair_idx].client->fetch(
+            store_ep, std::move(get), [this](util::Result<http::Response> g) {
+              if (g.ok()) {
+                ++stats_.attic_gets;
+              } else {
+                ++stats_.attic_failures;
+              }
+            });
+      });
+  if (sim_.now() + config_.attic_interval < config_.horizon) {
+    sim_.schedule(config_.attic_interval,
+                  [this, pair_idx] { attic_tick(pair_idx); });
+  }
+}
+
+double MetroDriver::offload() const {
+  const double total = static_cast<double>(stats_.bytes_from_peers) +
+                       static_cast<double>(stats_.bytes_from_origin);
+  return total > 0 ? static_cast<double>(stats_.bytes_from_peers) / total : 0.0;
+}
+
+double MetroDriver::peer_hit_rate() const {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const PeerSlot& slot : peers_) {
+    if (!slot.proxy) continue;
+    hits += slot.proxy->stats().cache_hits;
+    misses += slot.proxy->stats().cache_misses;
+  }
+  const std::uint64_t total = hits + misses;
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+std::string MetroDriver::report() const {
+  char line[256];
+  std::snprintf(
+      line, sizeof line,
+      "homes=%zu active=%zu peers=%zu arrivals=%llu ok=%llu failed=%llu "
+      "offload=%.4f hit=%.4f peer_bytes=%llu origin_bytes=%llu "
+      "attic=%llu/%llu/%llu",
+      topo_.homes.size(), config_.active_homes, config_.peers,
+      static_cast<unsigned long long>(stats_.arrivals),
+      static_cast<unsigned long long>(stats_.loads_ok),
+      static_cast<unsigned long long>(stats_.loads_failed), offload(),
+      peer_hit_rate(),
+      static_cast<unsigned long long>(stats_.bytes_from_peers),
+      static_cast<unsigned long long>(stats_.bytes_from_origin),
+      static_cast<unsigned long long>(stats_.attic_puts),
+      static_cast<unsigned long long>(stats_.attic_gets),
+      static_cast<unsigned long long>(stats_.attic_failures));
+  return line;
+}
+
+}  // namespace hpop::metro

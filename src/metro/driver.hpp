@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "metro/topology.hpp"
+#include "metro/workload.hpp"
+#include "nocdn/loader.hpp"
+#include "nocdn/origin.hpp"
+#include "nocdn/peer.hpp"
+#include "transport/mux.hpp"
+#include "util/rng.hpp"
+
+namespace hpop::metro {
+
+/// Knobs for the metro traffic driver. Roles are disjoint — one
+/// TransportMux per host — so the driver lays homes out as
+/// [active browsers | idle | peers (spread) | attic pairs (tail)] and
+/// clamps the counts to fit the built topology.
+struct MetroDriverConfig {
+  std::string provider = "metro-news";
+  /// Homes that browse (generate page loads). The rest are dark or hold
+  /// one of the other roles.
+  std::size_t active_homes = 1000;
+  /// Homes recruited as NoCDN peer proxies ("well-connected users").
+  std::size_t peers = 16;
+  /// Home pairs running attic-style record sync (PUT then read-back GET of
+  /// a record between two homes, the §IV-A in-home storage traffic shape).
+  std::size_t attic_pairs = 8;
+  util::Duration attic_interval = 5 * util::kSecond;
+  std::size_t attic_record_bytes = 2048;
+  /// No new arrivals are scheduled at or past the horizon; in-flight page
+  /// loads are allowed to finish (run the sim a little longer).
+  util::TimePoint horizon = 60 * util::kSecond;
+  util::Duration usage_upload_interval = 10 * util::kSecond;
+};
+
+/// Wires the NoCDN service stack onto a built metro and drives it with a
+/// WorkloadModel: the origin on topo.origins[0], peer proxies on a spread
+/// of homes, per-home Poisson page-load arrivals (diurnal + flash-crowd
+/// modulated), and background attic record sync. Outages are NOT executed
+/// here — compose them via model.plan().to_fault_plan(topo) and a
+/// ChaosController so chaos stays a separate concern.
+///
+/// Deterministic: one Rng, consumed in simulator event order. All stats
+/// come from per-object counters (never the thread-local telemetry
+/// registry), so reports are safe for byte-identity gates.
+class MetroDriver {
+ public:
+  MetroDriver(MetroTopology& topo, WorkloadModel model,
+              MetroDriverConfig config, util::Rng rng);
+  ~MetroDriver();
+  MetroDriver(const MetroDriver&) = delete;
+  MetroDriver& operator=(const MetroDriver&) = delete;
+
+  /// Builds the service stack and schedules the first arrivals. Call once;
+  /// then run the simulator.
+  void start();
+
+  struct Stats {
+    std::uint64_t arrivals = 0;
+    std::uint64_t loads_ok = 0;
+    std::uint64_t loads_failed = 0;
+    std::uint64_t bytes_from_peers = 0;
+    std::uint64_t bytes_from_origin = 0;
+    double load_time_s_total = 0.0;
+    std::uint64_t attic_puts = 0;
+    std::uint64_t attic_gets = 0;
+    std::uint64_t attic_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Share of content bytes served by peers instead of the origin — the
+  /// NoCDN offload the paper's economics rest on.
+  double offload() const;
+  /// Peer-proxy cache hit rate, summed over all peers.
+  double peer_hit_rate() const;
+  /// One deterministic summary line (no timings, no addresses-of).
+  std::string report() const;
+
+  nocdn::OriginServer& origin() { return *origin_server_; }
+  const MetroDriverConfig& config() const { return config_; }
+
+ private:
+  struct PeerSlot {
+    std::unique_ptr<transport::TransportMux> mux;
+    std::unique_ptr<nocdn::PeerProxy> proxy;
+  };
+  struct ClientSlot {
+    std::unique_ptr<transport::TransportMux> mux;
+    std::unique_ptr<http::HttpClient> http;
+    std::unique_ptr<nocdn::LoaderClient> loader;
+  };
+  struct AtticPair {
+    std::size_t store_home = 0;
+    std::size_t client_home = 0;
+    std::unique_ptr<transport::TransportMux> store_mux;
+    std::unique_ptr<http::HttpServer> store;
+    std::unique_ptr<transport::TransportMux> client_mux;
+    std::unique_ptr<http::HttpClient> client;
+    std::uint64_t seq = 0;
+  };
+
+  std::size_t peer_home(std::size_t i) const;
+  ClientSlot& ensure_client(std::size_t home);
+  void schedule_next(std::size_t home);
+  void on_arrival(std::size_t home);
+  void attic_tick(std::size_t pair);
+
+  MetroTopology& topo_;
+  WorkloadModel model_;
+  MetroDriverConfig config_;
+  util::Rng rng_;
+  sim::Simulator& sim_;
+
+  std::unique_ptr<transport::TransportMux> origin_mux_;
+  std::unique_ptr<nocdn::OriginServer> origin_server_;
+  std::vector<PeerSlot> peers_;
+  std::vector<ClientSlot> clients_;  // [home id], lazily populated
+  std::vector<AtticPair> attic_;
+  std::size_t peer_region_begin_ = 0;
+  std::size_t peer_stride_ = 1;
+
+  Stats stats_;
+};
+
+}  // namespace hpop::metro

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hpop::metro {
+
+/// Per-tier link shape for the metro access tree.
+struct TierLink {
+  util::BitRate rate = 1 * util::kGbps;
+  util::Duration delay = 1 * util::kMillisecond;
+  std::size_t queue_bytes = 512 * 1024;
+
+  net::LinkParams link() const { return {rate, delay, 0.0, queue_bytes}; }
+};
+
+/// Parameters for a metro-scale ISP deployment: a strict hierarchy of
+/// home → DSLAM/OLT → metro aggregation PoP → core, with the content
+/// origins hanging off the core (the IXP side). The tree shape is set by
+/// the two fan-outs; tier counts derive from `homes`.
+///
+/// This is the §III "ultrabroadband FTTH" world: homes are publicly
+/// addressed HPoPs (no NAT), which is also what lets 100k+ of them share
+/// one process — a NAT box per home would double the node count for a
+/// scenario the paper treats as legacy.
+struct MetroParams {
+  std::size_t homes = 100'000;
+  std::size_t homes_per_dslam = 32;   // GPON/DSLAM split ratio
+  std::size_t dslams_per_pop = 16;
+  std::size_t origins = 1;
+
+  /// FTTH last mile (home ↔ DSLAM).
+  TierLink access{1 * util::kGbps, 1 * util::kMillisecond, 256 * 1024};
+  /// DSLAM ↔ metro aggregation PoP.
+  TierLink dslam_uplink{10 * util::kGbps, 1 * util::kMillisecond, 4u << 20};
+  /// PoP ↔ metro core.
+  TierLink pop_uplink{40 * util::kGbps, 2 * util::kMillisecond, 8u << 20};
+  /// Core ↔ origin/IXP.
+  TierLink origin_path{100 * util::kGbps, 5 * util::kMillisecond, 16u << 20};
+
+  /// Per-home multiplicative jitter on the access rate, uniform in
+  /// [1-j, 1+j]: real GPON trees are not perfectly uniform, and the jitter
+  /// makes the seed observable in the topology fingerprint. 0 draws
+  /// nothing (byte-identical topologies regardless of seed).
+  double access_rate_jitter = 0.0;
+
+  std::size_t dslam_count() const {
+    return (homes + homes_per_dslam - 1) / homes_per_dslam;
+  }
+  std::size_t pop_count() const {
+    return (dslam_count() + dslams_per_pop - 1) / dslams_per_pop;
+  }
+};
+
+/// The built metro: node/link handles plus the address plan and subtree
+/// index arithmetic the workload layer scopes events with. All vectors are
+/// indexed by the obvious id (homes[h], dslams[d], pops[p]).
+struct MetroTopology {
+  MetroParams params;
+
+  std::vector<net::Host*> homes;
+  std::vector<net::Router*> dslams;
+  std::vector<net::Router*> pops;
+  net::Router* core = nullptr;
+  std::vector<net::Host*> origins;
+
+  std::vector<net::Link*> access_links;   // [h] home ↔ its DSLAM
+  std::vector<net::Link*> dslam_uplinks;  // [d] DSLAM ↔ its PoP
+  std::vector<net::Link*> pop_uplinks;    // [p] PoP ↔ core
+  std::vector<net::Link*> origin_links;   // [o] core ↔ origin
+
+  // --- Subtree arithmetic (the hierarchy is strictly index-structured) ---
+  std::size_t dslam_of_home(std::size_t h) const {
+    return h / params.homes_per_dslam;
+  }
+  std::size_t pop_of_dslam(std::size_t d) const {
+    return d / params.dslams_per_pop;
+  }
+  std::size_t pop_of_home(std::size_t h) const {
+    return pop_of_dslam(dslam_of_home(h));
+  }
+  /// Home-id range [first, last) hanging off DSLAM `d`.
+  std::pair<std::size_t, std::size_t> homes_of_dslam(std::size_t d) const;
+  /// Home-id range [first, last) hanging off PoP `p`.
+  std::pair<std::size_t, std::size_t> homes_of_pop(std::size_t p) const;
+
+  // --- Address plan ---
+  /// Base of the metro address block (outside the 100.64/10 public pool
+  /// and the 10/8 home pool so the two allocators can coexist).
+  net::IpAddr metro_base;
+  /// Homes per DSLAM rounded up to a power of two: the DSLAM's aggregatable
+  /// block size. PoP blocks are dslam_block * pow2ceil(dslams_per_pop).
+  std::uint32_t dslam_block = 0;
+  std::uint32_t pop_block = 0;
+
+  net::IpAddr home_address(std::size_t h) const;
+  net::Prefix dslam_prefix(std::size_t d) const;
+  net::Prefix pop_prefix(std::size_t p) const;
+  /// First address of DSLAM `d`'s block (pop-strided so every DSLAM block
+  /// nests inside its pop's aggregated prefix).
+  std::uint32_t dslam_base(std::size_t d) const;
+
+  /// FNV-1a over the full structure: counts, every home address, every
+  /// link's rate/delay/queue bit patterns. Same seed ⇒ same fingerprint;
+  /// with access_rate_jitter > 0, different seeds diverge.
+  std::uint64_t fingerprint() const;
+};
+
+/// Builds the metro into `net`. Deterministic: the same (params, rng
+/// state) always produces the same topology, addresses, and link
+/// parameters. Routing is installed hierarchically — a /32 per home on its
+/// DSLAM, one aggregated prefix per child block above that, defaults
+/// upward — so construction is O(homes), not auto_route()'s O(N²) BFS.
+MetroTopology build_metro(net::Network& net, const MetroParams& params,
+                          util::Rng& rng);
+
+}  // namespace hpop::metro

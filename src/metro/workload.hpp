@@ -1,0 +1,153 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "metro/topology.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hpop::metro {
+
+/// A 24-point diurnal load profile. `day_length` scales the whole day so
+/// experiments can run a compressed day (e.g. a 60-second "day") without
+/// touching the shape; evaluation horizons longer than one day wrap.
+/// Values are relative request-rate multipliers; at() interpolates
+/// piecewise-linearly between hour points.
+struct DiurnalCurve {
+  std::array<double, 24> hourly{};
+  util::Duration day_length = util::kDay;
+
+  /// Residential profile: quiet overnight, a morning shoulder, and the
+  /// evening peak the paper's CCZ traces show (same shape the iathome
+  /// browsing model uses).
+  static DiurnalCurve residential(util::Duration day = util::kDay);
+  static DiurnalCurve flat(util::Duration day = util::kDay);
+
+  double at(util::TimePoint t) const;
+  double peak() const;
+};
+
+/// Zipf-popular content catalog: rank 0 is the most popular object. Sizes
+/// are a deterministic function of rank (hash-derived, heavy-ish spread)
+/// so a catalog is fully reproducible from (objects, skew) with no draws.
+class ZipfCatalog {
+ public:
+  ZipfCatalog(std::size_t objects, double skew);
+
+  std::size_t objects() const { return n_; }
+  double skew() const { return skew_; }
+
+  /// Zipf draw of a rank in [0, objects).
+  std::size_t draw(util::Rng& rng) const;
+
+  /// Site-relative URL and page path for a rank.
+  std::string url_of(std::size_t rank) const;
+  std::string page_of(std::size_t rank) const;
+  /// Deterministic object size in [4 KiB, 100 KiB).
+  std::size_t bytes_of(std::size_t rank) const;
+
+ private:
+  std::size_t n_;
+  double skew_;
+  util::ZipfSampler sampler_;
+};
+
+/// One regionally correlated event, scoped to an access-tree subtree: a
+/// flash crowd (every home under the subtree multiplies its request rate
+/// and concentrates on one hot object) or an outage (the subtree's uplink
+/// goes admin-down — the whole region drops off the metro).
+struct EventSpec {
+  enum class Kind { kFlashCrowd, kOutage };
+  enum class Scope { kDslam, kPop };
+
+  Kind kind = Kind::kFlashCrowd;
+  Scope scope = Scope::kDslam;
+  std::size_t target = 0;  // dslam or pop index
+  util::TimePoint start = 0;
+  util::Duration duration = 0;
+  double intensity = 8.0;       // flash crowd: rate multiplier
+  std::size_t hot_object = 0;   // flash crowd: the object everyone wants
+  double hot_fraction = 0.75;   // flash crowd: share of draws that are hot
+
+  bool covers(const MetroTopology& topo, std::size_t home) const;
+  bool active_at(util::TimePoint t) const {
+    return t >= start && t < start + duration;
+  }
+};
+
+/// A reproducible schedule of correlated events. Plain data: generate it
+/// from a seeded Rng (or build it by hand), hand the outages to the
+/// ChaosController via to_fault_plan(), and let the workload model consult
+/// the flash crowds.
+struct EventPlan {
+  std::vector<EventSpec> events;
+
+  /// Draws `flash_crowds` + `outages` events over [0, horizon): targets
+  /// uniform over subtrees (dslam- or pop-scoped, 50/50), starts in the
+  /// middle 70% of the horizon, durations 5–15% of it, crowd intensities
+  /// uniform in [4, 12], hot objects Zipf-drawn from `catalog`.
+  static EventPlan generate(const MetroTopology& topo,
+                            const ZipfCatalog& catalog,
+                            util::TimePoint horizon, std::size_t flash_crowds,
+                            std::size_t outages, util::Rng& rng);
+
+  /// Maps every outage to a link_down of the scoped subtree's uplink.
+  /// Flash crowds do not appear here — they are workload, not faults.
+  fault::FaultPlan to_fault_plan(const MetroTopology& topo) const;
+
+  /// The rate multiplier crowds impose on `home` at `t` (1.0 outside any
+  /// crowd; overlapping crowds multiply).
+  double crowd_multiplier(const MetroTopology& topo, std::size_t home,
+                          util::TimePoint t) const;
+  /// The crowd covering `home` at `t` (first match), or nullptr.
+  const EventSpec* active_crowd(const MetroTopology& topo, std::size_t home,
+                                util::TimePoint t) const;
+
+  std::size_t flash_crowd_count() const;
+  std::size_t outage_count() const;
+  /// Highest crowd intensity in the plan (>= 1.0; used for thinning).
+  double max_crowd_intensity() const;
+  /// FNV-1a over every field of every event (determinism tests).
+  std::uint64_t fingerprint() const;
+};
+
+/// The per-home arrival process: a base Poisson rate modulated by the
+/// diurnal curve and any flash crowd covering the home, sampled by
+/// thinning against the global maximum rate so arrival sequences stay
+/// deterministic per (seed, home) regardless of what other homes do.
+class WorkloadModel {
+ public:
+  WorkloadModel(DiurnalCurve curve, ZipfCatalog catalog, EventPlan plan,
+                double base_rate_per_home);
+
+  const DiurnalCurve& curve() const { return curve_; }
+  const ZipfCatalog& catalog() const { return catalog_; }
+  const EventPlan& plan() const { return plan_; }
+
+  /// Requests/sec for `home` at `t`.
+  double rate_at(const MetroTopology& topo, std::size_t home,
+                 util::TimePoint t) const;
+  /// The thinning envelope: base * curve peak * max crowd intensity.
+  double max_rate() const;
+
+  /// Next arrival strictly after `after` (absolute time), by thinning.
+  util::TimePoint next_arrival(const MetroTopology& topo, std::size_t home,
+                               util::TimePoint after, util::Rng& rng) const;
+
+  /// The object rank `home` requests at `t`: the covering crowd's hot
+  /// object with its hot_fraction, a plain Zipf draw otherwise.
+  std::size_t draw_object(const MetroTopology& topo, std::size_t home,
+                          util::TimePoint t, util::Rng& rng) const;
+
+ private:
+  DiurnalCurve curve_;
+  ZipfCatalog catalog_;
+  EventPlan plan_;
+  double base_rate_;
+};
+
+}  // namespace hpop::metro

@@ -69,11 +69,11 @@ void Link::set_admin_up(bool up) {
 
 void Link::drain(int d) {
   Direction& dir = dir_[d];
-  if (dir.queue.empty()) return;
-  dir.stats.admin_drops += dir.queue.size();
-  m_admin_drops_->inc(dir.queue.size());
+  if (dir.queue == nullptr || dir.queue->empty()) return;
+  dir.stats.admin_drops += dir.queue->size();
+  m_admin_drops_->inc(dir.queue->size());
   m_queued_bytes_->add(-static_cast<double>(dir.queued_bytes));
-  dir.queue.clear();
+  dir.queue->clear();
   dir.queued_bytes = 0;
 }
 
@@ -97,13 +97,16 @@ void Link::transmit(const Interface& from, PooledPacket pkt) {
   }
   dir.queued_bytes += size;
   m_queued_bytes_->add(static_cast<double>(size));
-  dir.queue.push_back(std::move(pkt));
+  if (dir.queue == nullptr) {
+    dir.queue = std::make_unique<std::deque<PooledPacket>>();
+  }
+  dir.queue->push_back(std::move(pkt));
   if (!dir.busy) start_service(d);
 }
 
 void Link::start_service(int d) {
   Direction& dir = dir_[d];
-  if (dir.queue.empty()) {
+  if (dir.queue == nullptr || dir.queue->empty()) {
     dir.busy = false;
     return;
   }
@@ -115,8 +118,8 @@ void Link::start_service(int d) {
     params_dirty_ = false;
   }
   dir.busy = true;
-  PooledPacket pkt = std::move(dir.queue.front());
-  dir.queue.pop_front();
+  PooledPacket pkt = std::move(dir.queue->front());
+  dir.queue->pop_front();
   const std::size_t size = pkt->wire_size();
   dir.queued_bytes -= size;
   m_queued_bytes_->add(-static_cast<double>(size));

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "net/packet.hpp"
 #include "net/pool.hpp"
@@ -70,7 +71,11 @@ class Link {
 
  private:
   struct Direction {
-    std::deque<PooledPacket> queue;
+    /// Allocated on first enqueue: libstdc++'s deque grabs ~0.5KB at
+    /// construction, and a metro-scale world has hundreds of thousands of
+    /// link directions that never carry a packet (last-mile links of idle
+    /// homes). Null means "never used"; once allocated it stays.
+    std::unique_ptr<std::deque<PooledPacket>> queue;
     std::size_t queued_bytes = 0;
     bool busy = false;
     DirectionStats stats;

@@ -19,11 +19,30 @@ Interface& Node::add_interface(IpAddr addr) {
   return *interfaces_.back();
 }
 
+void Node::add_virtual_address(IpAddr a) {
+  for (const IpAddr v : virtual_addrs_) {
+    if (v == a) return;
+  }
+  virtual_addrs_.push_back(a);
+}
+
+void Node::remove_virtual_address(IpAddr a) {
+  for (std::size_t i = 0; i < virtual_addrs_.size(); ++i) {
+    if (virtual_addrs_[i] == a) {
+      virtual_addrs_.erase_at(i);
+      return;
+    }
+  }
+}
+
 bool Node::owns_address(IpAddr a) const {
   for (const auto& iface : interfaces_) {
     if (iface->addr == a) return true;
   }
-  return virtual_addrs_.count(a) > 0;
+  for (const IpAddr v : virtual_addrs_) {
+    if (v == a) return true;
+  }
+  return false;
 }
 
 IpAddr Node::address() const {

@@ -3,12 +3,12 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "net/pool.hpp"
 #include "sim/simulator.hpp"
+#include "util/small_vec.hpp"
 
 namespace hpop::net {
 
@@ -45,9 +45,12 @@ class Node {
   Interface& interface(int index) { return *interfaces_.at(index); }
 
   /// Additional addresses this node answers to (e.g. VPN virtual addresses
-  /// assigned by a DCol waypoint).
-  void add_virtual_address(IpAddr a) { virtual_addrs_.insert(a); }
-  void remove_virtual_address(IpAddr a) { virtual_addrs_.erase(a); }
+  /// assigned by a DCol waypoint). A node holds zero of these almost
+  /// always and one or two under DCol, so the set is an inline small-vec —
+  /// at 100k+ nodes per process an unordered_set's heap buckets per node
+  /// would dominate idle memory.
+  void add_virtual_address(IpAddr a);
+  void remove_virtual_address(IpAddr a);
   bool owns_address(IpAddr a) const;
 
   /// The primary (first-interface) address; convenience for hosts.
@@ -121,7 +124,7 @@ class Node {
   PacketPool* pool_;
   std::string name_;
   std::vector<std::unique_ptr<Interface>> interfaces_;
-  std::unordered_set<IpAddr> virtual_addrs_;
+  util::SmallVec<IpAddr, 2> virtual_addrs_;
   std::vector<RouteEntry> routes_;
   std::vector<PacketHook> egress_hooks_;
   std::vector<PacketHook> ingress_hooks_;

@@ -36,11 +36,13 @@ OriginServer::OriginServer(transport::TransportMux& mux, OriginConfig config,
 }
 
 void OriginServer::add_object(WebObject object) {
-  objects_[object.url] = std::move(object);
+  const util::Symbol key = util::Symbol::intern(object.url);
+  objects_.insert_or_assign(key, std::move(object));
 }
 
 void OriginServer::add_page(PageSpec page) {
-  pages_[page.path] = std::move(page);
+  const util::Symbol key = util::Symbol::intern(page.path);
+  pages_.insert_or_assign(key, std::move(page));
 }
 
 std::uint64_t OriginServer::recruit_peer(net::Endpoint endpoint) {
@@ -71,12 +73,12 @@ std::vector<PeerView> OriginServer::candidates(net::Endpoint client) {
 http::Response OriginServer::make_wrapper(const std::string& page_path,
                                           net::Endpoint client) {
   http::Response resp;
-  const auto page_it = pages_.find(page_path);
-  if (page_it == pages_.end()) {
+  const PageSpec* page = pages_.find(page_path);
+  if (page == nullptr) {
     resp.status = 404;
     return resp;
   }
-  const PageSpec& spec = page_it->second;
+  const PageSpec& spec = *page;
 
   WrapperPage wrapper;
   wrapper.provider = config_.provider;
@@ -89,9 +91,9 @@ http::Response OriginServer::make_wrapper(const std::string& page_path,
   std::map<std::uint64_t, std::uint64_t> assigned_bytes;
 
   auto assign = [&](const std::string& url) -> bool {
-    const auto obj_it = objects_.find(url);
-    if (obj_it == objects_.end()) return false;
-    const WebObject& obj = obj_it->second;
+    const WebObject* found = objects_.find(url);
+    if (found == nullptr) return false;
+    const WebObject& obj = *found;
 
     WrapperEntry entry;
     entry.url = url;
@@ -208,9 +210,9 @@ void OriginServer::install_routes() {
   server_.route(http::Method::kGet, "/obj/",
                 [this](const http::Request& req, http::ResponseWriter& w) {
                   http::Response resp;
-                  const std::string url = req.path.substr(4);
-                  const auto it = objects_.find(url);
-                  if (it == objects_.end()) {
+                  const WebObject* obj = objects_.find(
+                      std::string_view(req.path).substr(4));
+                  if (obj == nullptr) {
                     resp.status = 404;
                     w.respond(std::move(resp));
                     return;
@@ -220,15 +222,14 @@ void OriginServer::install_routes() {
                       "Cache-Control",
                       "max-age=" + std::to_string(config_.object_max_age_s));
                   resp.headers.set("ETag",
-                                   util::digest_hex(it->second.body.digest())
+                                   util::digest_hex(obj->body.digest())
                                        .substr(0, 16));
                   if (const auto range = http::parse_range(
-                          req.headers, it->second.body.size())) {
+                          req.headers, obj->body.size())) {
                     resp.status = 206;
-                    resp.body =
-                        it->second.body.slice(range->first, range->second);
+                    resp.body = obj->body.slice(range->first, range->second);
                   } else {
-                    resp.body = it->second.body;
+                    resp.body = obj->body;
                   }
                   stats_.bytes_served += resp.wire_size();
                   m_bytes_served_->inc(resp.wire_size());

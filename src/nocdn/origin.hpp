@@ -10,6 +10,7 @@
 #include "nocdn/object.hpp"
 #include "nocdn/selection.hpp"
 #include "overload/admission.hpp"
+#include "util/symbol_map.hpp"
 
 namespace hpop::nocdn {
 
@@ -87,8 +88,12 @@ class OriginServer {
   http::HttpServer server_;
   std::unique_ptr<overload::AdmissionController> admission_;
   std::unique_ptr<PeerSelector> selector_;
-  std::map<std::string, WebObject> objects_;
-  std::map<std::string, PageSpec> pages_;
+  /// Catalog and page specs, Symbol-keyed (URLs are matched
+  /// case-insensitively, like the rest of the stack): a metro-scale origin
+  /// carries a six-figure catalog, where std::map's node-per-entry heap
+  /// layout and string keys were the single largest origin allocation.
+  util::SymbolMap<WebObject> objects_;
+  util::SymbolMap<PageSpec> pages_;
   std::map<std::uint64_t, PeerView> peers_;
   std::function<double(std::uint64_t, net::Endpoint)> rtt_oracle_;
   Ledger ledger_;

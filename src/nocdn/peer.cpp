@@ -43,7 +43,7 @@ net::Endpoint PeerProxy::endpoint() const {
 
 void PeerProxy::signup(ProviderSignup signup) {
   const std::string provider = signup.provider;
-  signups_[provider] = std::move(signup);
+  signups_.insert_or_assign(provider, std::move(signup));
   install_routes(provider);
 }
 
@@ -52,7 +52,7 @@ void PeerProxy::install_routes(const std::string& provider) {
   server_.vhost_route(
       provider, http::Method::kGet, "/",
       [this, provider](const http::Request& req, http::ResponseWriter& w) {
-        serve(signups_.at(provider), req, w);
+        serve(*signups_.find(provider), req, w);
       });
   // Clients deliver their signed usage records here (Fig. 2 final step).
   server_.vhost_route(
@@ -162,7 +162,7 @@ void PeerProxy::start_usage_uploads(util::Duration interval) {
 void PeerProxy::upload_usage_now() {
   for (auto& [provider, records] : pending_usage_) {
     if (records.empty()) continue;
-    const auto& signup = signups_.at(provider);
+    const ProviderSignup& signup = *signups_.find(provider);
     std::ostringstream body;
     for (const UsageRecord& r : records) {
       if (behavior_.inflate_factor != 1.0) {

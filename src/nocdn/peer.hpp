@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "overload/admission.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/symbol_map.hpp"
 
 namespace hpop::nocdn {
 
@@ -88,8 +88,11 @@ class PeerProxy {
   http::HttpServer server_;
   http::HttpClient client_;
   http::HttpCache cache_;
-  std::map<std::string, ProviderSignup> signups_;  // by provider name
-  std::map<std::string, std::vector<UsageRecord>> pending_usage_;
+  // Keyed by provider name; every HPoP hosts one of these, so the
+  // bookkeeping is Symbol-keyed and flat. Usage uploads run in signup
+  // order (deterministic), not provider-name order.
+  util::SymbolMap<ProviderSignup> signups_;
+  util::SymbolMap<std::vector<UsageRecord>> pending_usage_;
   std::optional<sim::TimerId> upload_timer_;
   std::unique_ptr<overload::AdmissionController> admission_;
   Stats stats_;

@@ -7,6 +7,9 @@
 #include "fault/fault.hpp"
 #include "http/client.hpp"
 #include "http/server.hpp"
+#include "metro/driver.hpp"
+#include "metro/topology.hpp"
+#include "metro/workload.hpp"
 #include "net/topology.hpp"
 #include "nocdn/origin.hpp"
 #include "nocdn/peer.hpp"
@@ -262,6 +265,54 @@ std::string run_rampup(std::uint64_t seed) {
   return line;
 }
 
+// ------------------- metro: a small diurnal metro day with crowd + outage
+
+std::string run_metro(std::uint64_t seed) {
+  constexpr util::Duration kDayLength = 20 * kSecond;  // compressed day
+  const util::TimePoint horizon = kDayLength;
+
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(seed)};
+
+  metro::MetroParams params;
+  params.homes = 48;
+  params.homes_per_dslam = 8;
+  params.dslams_per_pop = 3;  // 6 DSLAMs, 2 PoPs
+  params.access_rate_jitter = 0.1;
+  util::Rng topo_rng(seed ^ 0x4d455452u);  // "METR"
+  metro::MetroTopology topo = metro::build_metro(net, params, topo_rng);
+
+  metro::ZipfCatalog catalog(64, 0.9);
+  util::Rng plan_rng(seed ^ 0x504c414eu);  // "PLAN"
+  metro::EventPlan plan = metro::EventPlan::generate(
+      topo, catalog, horizon, /*flash_crowds=*/1, /*outages=*/1, plan_rng);
+  metro::WorkloadModel model(metro::DiurnalCurve::residential(kDayLength),
+                             catalog, plan, /*base_rate_per_home=*/0.5);
+
+  metro::MetroDriverConfig dconfig;
+  dconfig.active_homes = 32;
+  dconfig.peers = 4;
+  dconfig.attic_pairs = 2;
+  dconfig.attic_interval = 4 * kSecond;
+  dconfig.horizon = horizon;
+  metro::MetroDriver driver(topo, model, dconfig, util::Rng(seed ^ 0xd1ce5u));
+  driver.start();
+
+  fault::ChaosController chaos(sim, util::Rng(seed ^ 0xfa017u));
+  chaos.execute(plan.to_fault_plan(topo));
+
+  sim.run_until(horizon + 10 * kSecond);
+
+  char line[320];
+  std::snprintf(line, sizeof line,
+                "metro seed=%llu fp=%016llx crowds=%zu outages=%zu %s",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(topo.fingerprint()),
+                plan.flash_crowd_count(), plan.outage_count(),
+                driver.report().c_str());
+  return line;
+}
+
 }  // namespace
 
 const char* to_string(Scenario s) {
@@ -269,6 +320,7 @@ const char* to_string(Scenario s) {
     case Scenario::kChaos: return "chaos";
     case Scenario::kFlashCrowd: return "flash";
     case Scenario::kRampup: return "rampup";
+    case Scenario::kMetro: return "metro";
   }
   return "?";
 }
@@ -277,6 +329,7 @@ std::optional<Scenario> scenario_from_string(std::string_view name) {
   if (name == "chaos") return Scenario::kChaos;
   if (name == "flash") return Scenario::kFlashCrowd;
   if (name == "rampup") return Scenario::kRampup;
+  if (name == "metro") return Scenario::kMetro;
   return std::nullopt;
 }
 
@@ -285,6 +338,7 @@ std::string run_scenario(Scenario s, std::uint64_t seed) {
     case Scenario::kChaos: return run_chaos(seed);
     case Scenario::kFlashCrowd: return run_flash_crowd(seed);
     case Scenario::kRampup: return run_rampup(seed);
+    case Scenario::kMetro: return run_metro(seed);
   }
   return {};
 }

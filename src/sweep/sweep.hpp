@@ -17,6 +17,7 @@ enum class Scenario {
   kChaos,       // HTTP fetches with retries through a flapping link
   kFlashCrowd,  // open-loop crowd vs one admission-controlled NoCDN peer
   kRampup,      // TCP slow-start ramp to 90% of a 1 Gbps path
+  kMetro,       // small metro tree, diurnal NoCDN day with crowd + outage
 };
 
 const char* to_string(Scenario s);

@@ -4,6 +4,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace hpop::util {
 
@@ -54,12 +55,20 @@ constexpr std::string_view kKnown[] = {
 constexpr std::uint32_t kKnownCount =
     static_cast<std::uint32_t>(sizeof(kKnown) / sizeof(kKnown[0]));
 
-/// Dynamic table for names outside the known set (rare: hostile input or
-/// future extensions). A deque keeps element addresses stable so str()
-/// views stay valid; the mutex makes the sweeper's worker threads safe.
+/// Dynamic table for names outside the known set: hostile input, and —
+/// since service bookkeeping moved onto SymbolMap — household names,
+/// provider vhosts and catalog URLs, which at metro scale number in the
+/// hundreds of thousands. A deque keeps element addresses stable so str()
+/// views stay valid; the unordered_map index (string_views into the deque)
+/// makes each intern one hash lookup instead of a linear table scan; the
+/// mutex makes the sweeper's worker threads safe.
 std::mutex g_dynamic_mu;
-std::deque<std::string>& dynamic_table() {
-  static std::deque<std::string> table;
+struct DynamicTable {
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, std::uint32_t> index;  // name -> id
+};
+DynamicTable& dynamic_table() {
+  static DynamicTable table;
   return table;
 }
 
@@ -82,20 +91,20 @@ Symbol Symbol::intern(std::string_view name) {
   for (char& c : canonical) c = to_lower(c);
   std::lock_guard<std::mutex> lock(g_dynamic_mu);
   auto& table = dynamic_table();
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    if (table[i] == canonical) {
-      return Symbol{kKnownCount + 1 + static_cast<std::uint32_t>(i)};
-    }
-  }
-  table.push_back(std::move(canonical));
-  return Symbol{kKnownCount + static_cast<std::uint32_t>(table.size())};
+  const auto it = table.index.find(std::string_view(canonical));
+  if (it != table.index.end()) return Symbol{it->second};
+  table.names.push_back(std::move(canonical));
+  const auto id =
+      kKnownCount + static_cast<std::uint32_t>(table.names.size());
+  table.index.emplace(std::string_view(table.names.back()), id);
+  return Symbol{id};
 }
 
 std::string_view Symbol::str() const {
   if (id_ == 0) return {};
   if (id_ <= kKnownCount) return kKnown[id_ - 1];
   std::lock_guard<std::mutex> lock(g_dynamic_mu);
-  return dynamic_table()[id_ - kKnownCount - 1];
+  return dynamic_table().names[id_ - kKnownCount - 1];
 }
 
 }  // namespace hpop::util

@@ -1,16 +1,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 namespace hpop::util {
 
-/// Interned lowercase identifier, built for HTTP header names. The ~30
+/// Interned lowercase identifier, built for HTTP header names and reused
+/// as the key type for flat service-state containers (SymbolMap). The ~30
 /// names the services actually emit live in a compile-time table, so
 /// interning or comparing them never allocates and never takes a lock;
-/// anything else goes to a mutex-protected dynamic table (process-local
-/// ids — never serialized, so cross-thread assignment order is free to
-/// vary without breaking determinism).
+/// anything else goes to a mutex-protected dynamic table with a hash index
+/// (one O(1) lookup per intern; process-local ids — never serialized, so
+/// cross-thread assignment order is free to vary without breaking
+/// determinism, as long as nothing *orders* observable work by id).
 class Symbol {
  public:
   Symbol() = default;  // the empty symbol
@@ -26,6 +29,12 @@ class Symbol {
   bool operator==(Symbol o) const { return id_ == o.id_; }
   bool operator!=(Symbol o) const { return id_ != o.id_; }
 
+  /// Process-local intern id. Stable for the process lifetime; only ever
+  /// use it for equality-style indexing (hash tables, sorted-by-id search
+  /// structures). Iterating or emitting anything in id order would leak
+  /// intern order — which varies across thread schedules — into output.
+  std::uint32_t id() const { return id_; }
+
   /// Case-insensitive comparison helpers that never allocate.
   static bool iequals(std::string_view a, std::string_view b);
 
@@ -35,3 +44,12 @@ class Symbol {
 };
 
 }  // namespace hpop::util
+
+namespace std {
+template <>
+struct hash<hpop::util::Symbol> {
+  size_t operator()(hpop::util::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>()(s.id());
+  }
+};
+}  // namespace std

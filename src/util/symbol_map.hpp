@@ -1,0 +1,142 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/symbol.hpp"
+
+namespace hpop::util {
+
+/// Flat associative container keyed by interned Symbols — the replacement
+/// for the per-node `std::map<std::string, V>` bookkeeping that used to
+/// live in every directory, origin, peer and appliance. Two properties
+/// matter at metro scale:
+///
+///  - *Compact and allocation-light*: entries live contiguously in one
+///    vector (no per-entry tree node), keys are 4-byte interned ids, and a
+///    lookup never builds a std::string.
+///
+///  - *Deterministic iteration*: iteration follows insertion order, which
+///    is simulation order — never Symbol-id order, which varies with the
+///    process-wide intern history (the sweeper's worker threads intern
+///    concurrently). Anything a service emits while walking a SymbolMap is
+///    therefore byte-identical across runs and `--jobs` values.
+///
+/// Lookups go through a lazily (re)sorted id index: amortized O(log n)
+/// find, O(1) amortized insert (index resort deferred to the next find),
+/// O(n) erase. Pointers into the map are invalidated by insert/erase, like
+/// a vector's.
+template <typename V>
+class SymbolMap {
+ public:
+  using Entry = std::pair<Symbol, V>;
+
+  V* find(Symbol key) {
+    const std::size_t pos = index_of(key);
+    return pos == kNpos ? nullptr : &items_[pos].second;
+  }
+  const V* find(Symbol key) const {
+    const std::size_t pos = index_of(key);
+    return pos == kNpos ? nullptr : &items_[pos].second;
+  }
+  V* find(std::string_view key) { return find(Symbol::intern(key)); }
+  const V* find(std::string_view key) const {
+    return find(Symbol::intern(key));
+  }
+  bool contains(Symbol key) const { return index_of(key) != kNpos; }
+  bool contains(std::string_view key) const {
+    return contains(Symbol::intern(key));
+  }
+
+  /// Value for `key`, default-constructed and appended on first access.
+  V& operator[](Symbol key) {
+    if (V* v = find(key)) return *v;
+    items_.emplace_back(key, V{});
+    index_.push_back(static_cast<std::uint32_t>(items_.size() - 1));
+    sorted_ = false;
+    return items_.back().second;
+  }
+  V& operator[](std::string_view key) { return (*this)[Symbol::intern(key)]; }
+
+  V& insert_or_assign(Symbol key, V value) {
+    V& slot = (*this)[key];
+    slot = std::move(value);
+    return slot;
+  }
+  V& insert_or_assign(std::string_view key, V value) {
+    return insert_or_assign(Symbol::intern(key), std::move(value));
+  }
+
+  /// Removes `key`; later entries keep their insertion order. Returns
+  /// whether anything was erased.
+  bool erase(Symbol key) {
+    const std::size_t pos = index_of(key);
+    if (pos == kNpos) return false;
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(pos));
+    rebuild_index();
+    return true;
+  }
+  bool erase(std::string_view key) { return erase(Symbol::intern(key)); }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() {
+    items_.clear();
+    index_.clear();
+    sorted_ = true;
+  }
+  void reserve(std::size_t n) {
+    items_.reserve(n);
+    index_.reserve(n);
+  }
+
+  /// Iteration is insertion-ordered (see class comment).
+  typename std::vector<Entry>::iterator begin() { return items_.begin(); }
+  typename std::vector<Entry>::iterator end() { return items_.end(); }
+  typename std::vector<Entry>::const_iterator begin() const {
+    return items_.begin();
+  }
+  typename std::vector<Entry>::const_iterator end() const {
+    return items_.end();
+  }
+
+ private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  void rebuild_index() {
+    index_.resize(items_.size());
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      index_[i] = static_cast<std::uint32_t>(i);
+    }
+    sorted_ = false;
+  }
+
+  void sort_index() const {
+    std::sort(index_.begin(), index_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return items_[a].first.id() < items_[b].first.id();
+              });
+    sorted_ = true;
+  }
+
+  std::size_t index_of(Symbol key) const {
+    if (items_.empty()) return kNpos;
+    if (!sorted_) sort_index();
+    const auto it = std::lower_bound(
+        index_.begin(), index_.end(), key.id(),
+        [this](std::uint32_t pos, std::uint32_t id) {
+          return items_[pos].first.id() < id;
+        });
+    if (it == index_.end() || items_[*it].first != key) return kNpos;
+    return *it;
+  }
+
+  std::vector<Entry> items_;                  // insertion order
+  mutable std::vector<std::uint32_t> index_;  // positions, sorted by id
+  mutable bool sorted_ = true;
+};
+
+}  // namespace hpop::util

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "metro/driver.hpp"
+#include "metro/topology.hpp"
+#include "metro/workload.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "sweep/sweep.hpp"
+#include "transport/mux.hpp"
+#include "util/rng.hpp"
+
+namespace hpop::metro {
+namespace {
+
+using util::kSecond;
+
+MetroParams small_params() {
+  MetroParams p;
+  p.homes = 48;
+  p.homes_per_dslam = 8;
+  p.dslams_per_pop = 3;  // 6 DSLAMs, 2 PoPs
+  return p;
+}
+
+// ------------------------------------------------------------- topology
+
+TEST(MetroTopology, TierCountsDeriveFromFanouts) {
+  MetroParams p = small_params();
+  EXPECT_EQ(p.dslam_count(), 6u);
+  EXPECT_EQ(p.pop_count(), 2u);
+
+  // Ragged tail: 50 homes needs a 7th, partly-filled DSLAM and a 3rd PoP.
+  p.homes = 50;
+  EXPECT_EQ(p.dslam_count(), 7u);
+  EXPECT_EQ(p.pop_count(), 3u);
+
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  util::Rng rng(1);
+  MetroTopology topo = build_metro(net, p, rng);
+  EXPECT_EQ(topo.homes.size(), 50u);
+  EXPECT_EQ(topo.dslams.size(), 7u);
+  EXPECT_EQ(topo.pops.size(), 3u);
+  EXPECT_EQ(topo.access_links.size(), 50u);
+  EXPECT_EQ(topo.dslam_uplinks.size(), 7u);
+  EXPECT_EQ(topo.pop_uplinks.size(), 3u);
+  EXPECT_EQ(topo.origins.size(), 1u);
+  auto [first, last] = topo.homes_of_dslam(6);
+  EXPECT_EQ(first, 48u);
+  EXPECT_EQ(last, 50u);  // the ragged DSLAM holds only 2 homes
+}
+
+TEST(MetroTopology, SubtreeArithmeticMatchesConstruction) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng rng(1);
+  MetroTopology topo = build_metro(net, p, rng);
+  EXPECT_EQ(topo.dslam_of_home(0), 0u);
+  EXPECT_EQ(topo.dslam_of_home(7), 0u);
+  EXPECT_EQ(topo.dslam_of_home(8), 1u);
+  EXPECT_EQ(topo.pop_of_home(0), 0u);
+  EXPECT_EQ(topo.pop_of_home(23), 0u);   // dslam 2, pop 0
+  EXPECT_EQ(topo.pop_of_home(24), 1u);   // dslam 3, pop 1
+  auto [first, last] = topo.homes_of_pop(1);
+  EXPECT_EQ(first, 24u);
+  EXPECT_EQ(last, 48u);
+}
+
+TEST(MetroTopology, AddressesAreUniqueAndInsideAggregatedPrefixes) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng rng(1);
+  MetroTopology topo = build_metro(net, p, rng);
+
+  std::set<std::uint32_t> seen;
+  for (std::size_t h = 0; h < topo.homes.size(); ++h) {
+    const net::IpAddr addr = topo.homes[h]->address();
+    EXPECT_EQ(addr.value, topo.home_address(h).value);
+    EXPECT_TRUE(seen.insert(addr.value).second) << "duplicate address";
+    EXPECT_TRUE(topo.dslam_prefix(topo.dslam_of_home(h)).contains(addr));
+    EXPECT_TRUE(topo.pop_prefix(topo.pop_of_home(h)).contains(addr));
+  }
+  // Pow2-aligned blocks: a home in DSLAM d+1 is outside DSLAM d's prefix.
+  EXPECT_FALSE(topo.dslam_prefix(0).contains(topo.home_address(8)));
+}
+
+TEST(MetroTopology, SameSeedSameFingerprintJitteredSeedsDiverge) {
+  MetroParams p = small_params();
+  p.access_rate_jitter = 0.1;
+  auto fingerprint = [&](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::Network net(sim, util::Rng(seed));
+    util::Rng rng(seed);
+    return build_metro(net, p, rng).fingerprint();
+  };
+  EXPECT_EQ(fingerprint(7), fingerprint(7));
+  EXPECT_NE(fingerprint(7), fingerprint(8));
+
+  // Without jitter no draws happen: every seed builds the same metro.
+  p.access_rate_jitter = 0.0;
+  EXPECT_EQ(fingerprint(7), fingerprint(8));
+}
+
+TEST(MetroTopology, CrossPopFetchDeliversThroughHierarchicalRoutes) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng rng(1);
+  MetroTopology topo = build_metro(net, p, rng);
+  ASSERT_NE(topo.pop_of_home(0), topo.pop_of_home(47));
+
+  net::Host& server_host = *topo.homes[47];
+  transport::TransportMux server_mux(server_host);
+  http::HttpServer server(server_mux, 8080);
+  server.route(http::Method::kGet, "/x",
+               [](const http::Request&, http::ResponseWriter& w) {
+                 http::Response resp;
+                 resp.body = http::Body::synthetic(4096, 0xAB);
+                 w.respond(std::move(resp));
+               });
+  transport::TransportMux client_mux(*topo.homes[0]);
+  http::HttpClient client(client_mux);
+  bool got = false;
+  http::Request req;
+  req.path = "/x";
+  client.fetch({server_host.address(), 8080}, req,
+               [&got](util::Result<http::Response> r) {
+                 got = r.ok() && r.value().status == 200 &&
+                       r.value().body.size() == 4096;
+               });
+  sim.run_until(5 * kSecond);
+  EXPECT_TRUE(got);
+}
+
+// ------------------------------------------------------------- workload
+
+TEST(DiurnalCurve, InterpolatesAndWraps) {
+  DiurnalCurve c = DiurnalCurve::residential(24 * 3600 * kSecond);
+  EXPECT_DOUBLE_EQ(c.at(0), c.hourly[0]);
+  // Halfway through hour 19 (the peak hour ramp).
+  const util::TimePoint t = (19 * 3600 + 1800) * kSecond;
+  EXPECT_NEAR(c.at(t), (c.hourly[19] + c.hourly[20]) / 2, 1e-12);
+  // One full day later: identical (wrap).
+  EXPECT_DOUBLE_EQ(c.at(t), c.at(t + 24 * 3600 * kSecond));
+  EXPECT_DOUBLE_EQ(c.peak(), 1.0);
+}
+
+TEST(DiurnalCurve, CompressedDayKeepsShape) {
+  DiurnalCurve day = DiurnalCurve::residential(24 * 3600 * kSecond);
+  DiurnalCurve fast = DiurnalCurve::residential(60 * kSecond);
+  // 19:30 of the real day == the same fraction of the 60 s day.
+  const double frac = (19.0 + 0.5) / 24.0;
+  EXPECT_NEAR(day.at(static_cast<util::TimePoint>(frac * 24 * 3600 * kSecond)),
+              fast.at(static_cast<util::TimePoint>(frac * 60 * kSecond)),
+              1e-9);
+}
+
+TEST(ZipfCatalog, SameSeedSameDrawSequence) {
+  ZipfCatalog catalog(256, 0.9);
+  util::Rng a(5), b(5), c(6);
+  std::vector<std::size_t> da, db, dc;
+  for (int i = 0; i < 200; ++i) {
+    da.push_back(catalog.draw(a));
+    db.push_back(catalog.draw(b));
+    dc.push_back(catalog.draw(c));
+  }
+  EXPECT_EQ(da, db);
+  EXPECT_NE(da, dc);
+  // Rank 0 must dominate any single deep rank under skew 0.9.
+  const auto count = [&](std::size_t rank) {
+    std::size_t n = 0;
+    for (std::size_t d : da) n += (d == rank);
+    return n;
+  };
+  EXPECT_GT(count(0), count(200));
+}
+
+TEST(ZipfCatalog, AttributesAreDeterministicFunctionsOfRank) {
+  ZipfCatalog a(64, 0.8), b(64, 1.1);
+  for (std::size_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(a.bytes_of(r), b.bytes_of(r));  // independent of skew
+    EXPECT_GE(a.bytes_of(r), 4096u);
+    EXPECT_LT(a.bytes_of(r), 101u * 1024);
+  }
+  EXPECT_EQ(a.url_of(3), "/o/3");
+  EXPECT_EQ(a.page_of(3), "/p/3");
+}
+
+TEST(EventPlan, SameSeedSameFingerprintDifferentSeedsDiverge) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng trng(1);
+  MetroTopology topo = build_metro(net, p, trng);
+  ZipfCatalog catalog(64, 0.9);
+  const util::TimePoint horizon = 100 * kSecond;
+
+  util::Rng a(9), b(9), c(10);
+  const EventPlan pa = EventPlan::generate(topo, catalog, horizon, 2, 2, a);
+  const EventPlan pb = EventPlan::generate(topo, catalog, horizon, 2, 2, b);
+  const EventPlan pc = EventPlan::generate(topo, catalog, horizon, 2, 2, c);
+  EXPECT_EQ(pa.fingerprint(), pb.fingerprint());
+  EXPECT_NE(pa.fingerprint(), pc.fingerprint());
+  EXPECT_EQ(pa.flash_crowd_count(), 2u);
+  EXPECT_EQ(pa.outage_count(), 2u);
+  for (const EventSpec& e : pa.events) {
+    EXPECT_GE(e.start, horizon * 15 / 100);
+    EXPECT_LE(e.start, horizon * 85 / 100);
+    EXPECT_GE(e.duration, horizon * 5 / 100);
+    EXPECT_LE(e.duration, horizon * 15 / 100);
+  }
+}
+
+TEST(EventPlan, FlashCrowdScopesToItsSubtree) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng trng(1);
+  MetroTopology topo = build_metro(net, p, trng);
+
+  EventSpec crowd;
+  crowd.kind = EventSpec::Kind::kFlashCrowd;
+  crowd.scope = EventSpec::Scope::kDslam;
+  crowd.target = 1;  // homes 8..15
+  crowd.start = 10 * kSecond;
+  crowd.duration = 5 * kSecond;
+  crowd.intensity = 6.0;
+  EventPlan plan{{crowd}};
+
+  const util::TimePoint during = 12 * kSecond;
+  EXPECT_DOUBLE_EQ(plan.crowd_multiplier(topo, 8, during), 6.0);
+  EXPECT_DOUBLE_EQ(plan.crowd_multiplier(topo, 15, during), 6.0);
+  EXPECT_DOUBLE_EQ(plan.crowd_multiplier(topo, 7, during), 1.0);
+  EXPECT_DOUBLE_EQ(plan.crowd_multiplier(topo, 16, during), 1.0);
+  // Outside the window nobody is affected.
+  EXPECT_DOUBLE_EQ(plan.crowd_multiplier(topo, 8, 20 * kSecond), 1.0);
+  EXPECT_EQ(plan.active_crowd(topo, 8, during), &plan.events[0]);
+  EXPECT_EQ(plan.active_crowd(topo, 7, during), nullptr);
+}
+
+TEST(EventPlan, OutagesMapToScopedUplinks) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng trng(1);
+  MetroTopology topo = build_metro(net, p, trng);
+
+  EventSpec ds_outage;
+  ds_outage.kind = EventSpec::Kind::kOutage;
+  ds_outage.scope = EventSpec::Scope::kDslam;
+  ds_outage.target = 2;
+  ds_outage.start = 3 * kSecond;
+  ds_outage.duration = 4 * kSecond;
+  EventSpec pop_outage;
+  pop_outage.kind = EventSpec::Kind::kOutage;
+  pop_outage.scope = EventSpec::Scope::kPop;
+  pop_outage.target = 1;
+  pop_outage.start = 9 * kSecond;
+  pop_outage.duration = 2 * kSecond;
+  EventSpec crowd;  // must NOT appear in the fault plan
+  crowd.kind = EventSpec::Kind::kFlashCrowd;
+  EventPlan plan{{ds_outage, pop_outage, crowd}};
+
+  const fault::FaultPlan faults = plan.to_fault_plan(topo);
+  ASSERT_EQ(faults.events.size(), 2u);
+  EXPECT_EQ(faults.events[0].kind, fault::FaultEvent::Kind::kLinkDown);
+  EXPECT_EQ(faults.events[0].link, topo.dslam_uplinks[2]);
+  EXPECT_EQ(faults.events[0].at, 3 * kSecond);
+  EXPECT_EQ(faults.events[0].duration, 4 * kSecond);
+  EXPECT_EQ(faults.events[1].link, topo.pop_uplinks[1]);
+}
+
+TEST(WorkloadModel, ArrivalsAreDeterministicAndRateModulated) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng trng(1);
+  MetroTopology topo = build_metro(net, p, trng);
+  ZipfCatalog catalog(64, 0.9);
+  const util::Duration day = 100 * kSecond;
+  WorkloadModel model(DiurnalCurve::residential(day), catalog, EventPlan{},
+                      1.0);
+
+  util::Rng a(3), b(3);
+  std::vector<util::TimePoint> ta, tb;
+  util::TimePoint cur_a = 0, cur_b = 0;
+  for (int i = 0; i < 100; ++i) {
+    cur_a = model.next_arrival(topo, 5, cur_a, a);
+    cur_b = model.next_arrival(topo, 5, cur_b, b);
+    ta.push_back(cur_a);
+    tb.push_back(cur_b);
+  }
+  EXPECT_EQ(ta, tb);
+  for (std::size_t i = 1; i < ta.size(); ++i) EXPECT_GT(ta[i], ta[i - 1]);
+
+  // A crowd on the home's subtree accelerates arrivals: count arrivals in
+  // the crowd window with and without the plan.
+  EventSpec crowd;
+  crowd.kind = EventSpec::Kind::kFlashCrowd;
+  crowd.scope = EventSpec::Scope::kDslam;
+  crowd.target = 0;
+  crowd.start = 0;
+  crowd.duration = day;
+  crowd.intensity = 10.0;
+  WorkloadModel crowded(DiurnalCurve::residential(day), catalog,
+                        EventPlan{{crowd}}, 1.0);
+  auto count_arrivals = [&](const WorkloadModel& m, std::uint64_t seed) {
+    util::Rng rng(seed);
+    int n = 0;
+    util::TimePoint t = 0;
+    while (true) {
+      t = m.next_arrival(topo, 5, t, rng);
+      if (t >= day) break;
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_arrivals(crowded, 11), 3 * count_arrivals(model, 11));
+}
+
+TEST(WorkloadModel, CrowdConcentratesDrawsOnHotObject) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng trng(1);
+  MetroTopology topo = build_metro(net, p, trng);
+  ZipfCatalog catalog(1024, 0.5);  // flat-ish: rank 777 is rarely drawn
+  EventSpec crowd;
+  crowd.kind = EventSpec::Kind::kFlashCrowd;
+  crowd.scope = EventSpec::Scope::kPop;
+  crowd.target = 0;
+  crowd.start = 0;
+  crowd.duration = 10 * kSecond;
+  crowd.hot_object = 777;
+  crowd.hot_fraction = 0.75;
+  WorkloadModel model(DiurnalCurve::flat(10 * kSecond), catalog,
+                      EventPlan{{crowd}}, 1.0);
+
+  util::Rng rng(4);
+  int hot_in = 0, hot_out = 0;
+  for (int i = 0; i < 400; ++i) {
+    hot_in += (model.draw_object(topo, 0, kSecond, rng) == 777);
+    hot_out += (model.draw_object(topo, 47, kSecond, rng) == 777);
+  }
+  EXPECT_GT(hot_in, 200);  // ~75% of 400
+  EXPECT_LT(hot_out, 20);
+}
+
+// --------------------------------------------------------------- driver
+
+TEST(MetroDriver, DiurnalDayServesMostBytesFromPeers) {
+  const util::Duration day = 20 * kSecond;
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(2));
+  MetroParams p = small_params();
+  util::Rng trng(2);
+  MetroTopology topo = build_metro(net, p, trng);
+  ZipfCatalog catalog(64, 0.9);
+  WorkloadModel model(DiurnalCurve::residential(day), catalog, EventPlan{},
+                      0.5);
+  MetroDriverConfig config;
+  config.active_homes = 32;
+  config.peers = 4;
+  config.attic_pairs = 2;
+  config.attic_interval = 5 * kSecond;
+  config.horizon = day;
+  MetroDriver driver(topo, model, config, util::Rng(2));
+  driver.start();
+  sim.run_until(day + 10 * kSecond);
+
+  const MetroDriver::Stats& stats = driver.stats();
+  EXPECT_GT(stats.arrivals, 50u);
+  EXPECT_GT(stats.loads_ok, 50u);
+  EXPECT_EQ(stats.loads_failed, 0u);
+  EXPECT_GT(driver.offload(), 0.5);
+  EXPECT_GT(driver.peer_hit_rate(), 0.0);
+  EXPECT_GT(stats.attic_puts, 0u);
+  EXPECT_EQ(stats.attic_gets, stats.attic_puts);
+  EXPECT_EQ(stats.attic_failures, 0u);
+}
+
+TEST(MetroDriver, RoleLayoutClampsToPopulation) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(3));
+  MetroParams p = small_params();
+  p.homes = 16;
+  p.homes_per_dslam = 8;
+  util::Rng trng(3);
+  MetroTopology topo = build_metro(net, p, trng);
+  ZipfCatalog catalog(16, 0.9);
+  WorkloadModel model(DiurnalCurve::flat(5 * kSecond), catalog, EventPlan{},
+                      0.5);
+  MetroDriverConfig config;
+  config.active_homes = 1000;  // absurd: must clamp below homes
+  config.peers = 64;
+  config.attic_pairs = 64;
+  config.horizon = 5 * kSecond;
+  MetroDriver driver(topo, model, config, util::Rng(3));
+  driver.start();
+  EXPECT_LE(driver.config().active_homes +
+                driver.config().peers + 2 * driver.config().attic_pairs,
+            16u);
+  EXPECT_GE(driver.config().peers, 1u);
+  sim.run_until(10 * kSecond);
+  EXPECT_GT(driver.stats().loads_ok, 0u);
+}
+
+// ---------------------------------------------------------------- sweep
+
+TEST(MetroSweep, SerialAndParallelRunsAreByteIdentical) {
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+  const auto serial = sweep::run_sweep(sweep::Scenario::kMetro, seeds, 1);
+  const auto parallel = sweep::run_sweep(sweep::Scenario::kMetro, seeds, 4);
+  EXPECT_EQ(serial, parallel);
+  ASSERT_EQ(serial.size(), seeds.size());
+  for (const std::string& line : serial) {
+    EXPECT_NE(line.find("metro seed="), std::string::npos);
+    EXPECT_NE(line.find("offload="), std::string::npos);
+  }
+  // Different seeds must actually differ (jittered topology + workload).
+  EXPECT_NE(serial[0], serial[1]);
+}
+
+}  // namespace
+}  // namespace hpop::metro

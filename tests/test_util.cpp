@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "util/encoding.hpp"
 #include "util/erasure.hpp"
@@ -9,6 +11,8 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
+#include "util/symbol.hpp"
+#include "util/symbol_map.hpp"
 #include "util/token_bucket.hpp"
 
 namespace hpop::util {
@@ -435,6 +439,69 @@ TEST(TokenBucket, AvailableAt) {
 TEST(TokenBucket, CapsAtCapacity) {
   TokenBucket tb(100.0, 50.0);
   EXPECT_NEAR(tb.level(seconds(100)), 50.0, 1e-9);
+}
+
+// -------------------------------------------------------------- SymbolMap
+
+TEST(SymbolMap, FindInsertEraseRoundTrip) {
+  SymbolMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find("alpha"), nullptr);
+
+  map["alpha"] = 1;
+  map["beta"] = 2;
+  map.insert_or_assign("alpha", 10);
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find("alpha"), nullptr);
+  EXPECT_EQ(*map.find("alpha"), 10);
+  EXPECT_EQ(*map.find(Symbol::intern("beta")), 2);
+  EXPECT_TRUE(map.contains("beta"));
+  EXPECT_FALSE(map.contains("gamma"));
+
+  EXPECT_TRUE(map.erase("alpha"));
+  EXPECT_FALSE(map.erase("alpha"));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.find("alpha"), nullptr);
+  EXPECT_EQ(*map.find("beta"), 2);
+}
+
+TEST(SymbolMap, IterationFollowsInsertionOrderNotSymbolIds) {
+  // Interning "zz" before "aa" gives "zz" the smaller id; iteration must
+  // still follow insertion order or sweep reports would depend on the
+  // process-wide intern history.
+  SymbolMap<int> map;
+  map["zz-metro-order"] = 1;
+  map["aa-metro-order"] = 2;
+  map["mm-metro-order"] = 3;
+  std::vector<std::string> keys;
+  for (const auto& [sym, value] : map) keys.push_back(std::string(sym.str()));
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "zz-metro-order");
+  EXPECT_EQ(keys[1], "aa-metro-order");
+  EXPECT_EQ(keys[2], "mm-metro-order");
+
+  // Erase keeps the relative order of survivors.
+  map.erase("aa-metro-order");
+  keys.clear();
+  for (const auto& [sym, value] : map) keys.push_back(std::string(sym.str()));
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "zz-metro-order");
+  EXPECT_EQ(keys[1], "mm-metro-order");
+}
+
+TEST(SymbolMap, ManyEntriesStayConsistent) {
+  SymbolMap<std::size_t> map;
+  map.reserve(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    map["k" + std::to_string(i)] = i;
+  }
+  EXPECT_EQ(map.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ASSERT_NE(map.find("k" + std::to_string(i)), nullptr);
+    EXPECT_EQ(*map.find("k" + std::to_string(i)), i);
+  }
+  std::size_t pos = 0;
+  for (const auto& [sym, value] : map) EXPECT_EQ(value, pos++);
 }
 
 }  // namespace
