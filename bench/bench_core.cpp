@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/alloc_hook.hpp"
+#include "bench/durability_workloads.hpp"
 #include "metro/topology.hpp"
 #include "net/pool.hpp"
 #include "net/topology.hpp"
@@ -454,6 +455,28 @@ MetroBuildResult run_metro_build(std::size_t homes) {
   return r;
 }
 
+// --- Workload 8: durability (E18 gates) ---------------------------------
+// The bench_durability workloads at BENCH_CORE sizes, so the durability
+// gates live in BENCH_CORE.json next to the engine gates: WAL replay
+// rebuilds the store byte-identically, an epoch snapshot bounds recovery
+// to the post-snapshot tail, and a 1%-churn day ships <10% of the
+// whole-object bytes as an epoch delta.
+
+struct DurabilityResult {
+  benchdur::RecoveryPoint recovery;
+  benchdur::CompactionResult compaction;
+  benchdur::IncrementalResult incremental;
+};
+
+DurabilityResult run_durability(std::size_t records, std::size_t tail,
+                                std::size_t day_files) {
+  DurabilityResult r;
+  r.recovery = benchdur::run_recovery(records, 1'024, 18);
+  r.compaction = benchdur::run_compaction(records, tail, 1'024, 18);
+  r.incremental = benchdur::run_incremental(day_files, 0.01, 18);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -524,6 +547,14 @@ int main(int argc, char** argv) {
                metro_homes);
   const MetroBuildResult metro = run_metro_build(metro_homes);
 
+  const std::size_t dur_records = smoke ? 20'000 : 100'000;
+  const std::size_t dur_tail = 500;
+  const std::size_t dur_day_files = smoke ? 500 : 2'000;
+  std::fprintf(stderr, "[bench_core] durability (%zu-record WAL)...\n",
+               dur_records);
+  const DurabilityResult dur =
+      run_durability(dur_records, dur_tail, dur_day_files);
+
   constexpr double kPacketHopAllocsMax = 1.0;
   constexpr double kTcpBulkAllocsMax = 3.0;
   constexpr double kSweepSpeedupMin = 3.0;
@@ -542,10 +573,23 @@ int main(int argc, char** argv) {
   const bool gate_metro_build = metro.homes_per_sec >= kMetroHomesPerSecMin;
   const bool gate_bytes_per_home =
       metro.bytes_per_home > 0 && metro.bytes_per_home <= kMetroBytesPerHomeMax;
+  constexpr double kIncrementalRatioMax = 0.10;
+  const bool gate_dur_recovery =
+      dur.recovery.fingerprint_ok &&
+      dur.recovery.replayed ==
+          static_cast<std::uint64_t>(dur.recovery.log_records) &&
+      dur.recovery.replayed >= dur_records;
+  const bool gate_dur_compaction =
+      dur.compaction.bounded() && dur.compaction.fingerprint_ok;
+  const bool gate_dur_incremental =
+      dur.incremental.ratio() < kIncrementalRatioMax &&
+      dur.incremental.fingerprint_ok;
   const bool gates_passed = gate_speedup && gate_delivery &&
                             gate_hop_allocs && gate_bulk_allocs &&
                             gate_sweep_identical && gate_sweep_speedup &&
-                            gate_metro_build && gate_bytes_per_home;
+                            gate_metro_build && gate_bytes_per_home &&
+                            gate_dur_recovery && gate_dur_compaction &&
+                            gate_dur_incremental;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -627,6 +671,30 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"fingerprint\": \"%016llx\"\n",
                static_cast<unsigned long long>(metro.fingerprint));
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"durability\": {\n");
+  std::fprintf(out, "    \"wal_records\": %zu,\n", dur.recovery.log_records);
+  std::fprintf(out, "    \"wal_bytes\": %zu,\n", dur.recovery.log_bytes);
+  std::fprintf(out, "    \"records_replayed\": %llu,\n",
+               static_cast<unsigned long long>(dur.recovery.replayed));
+  std::fprintf(out, "    \"recover_s\": %.3f,\n", dur.recovery.recover_s);
+  std::fprintf(out, "    \"replay_records_per_sec\": %.0f,\n",
+               dur.recovery.records_per_sec());
+  std::fprintf(out, "    \"recovered_state_identical\": %s,\n",
+               dur.recovery.fingerprint_ok ? "true" : "false");
+  std::fprintf(out, "    \"compaction_tail_records\": %zu,\n",
+               dur.compaction.tail_records);
+  std::fprintf(out, "    \"replayed_before_compaction\": %llu,\n",
+               static_cast<unsigned long long>(dur.compaction.replayed_before));
+  std::fprintf(out, "    \"replayed_after_compaction\": %llu,\n",
+               static_cast<unsigned long long>(dur.compaction.replayed_after));
+  std::fprintf(out, "    \"churn_day_files\": %zu,\n", dur.incremental.files);
+  std::fprintf(out, "    \"full_backup_bytes\": %zu,\n",
+               dur.incremental.full_bytes);
+  std::fprintf(out, "    \"incremental_backup_bytes\": %zu,\n",
+               dur.incremental.delta_bytes);
+  std::fprintf(out, "    \"incremental_ratio\": %.4f\n",
+               dur.incremental.ratio());
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates\": {\n");
   std::fprintf(out, "    \"scheduler_speedup_min\": 2.0,\n");
   std::fprintf(out, "    \"scheduler_speedup_ok\": %s,\n",
@@ -654,8 +722,17 @@ int main(int argc, char** argv) {
                gate_metro_build ? "true" : "false");
   std::fprintf(out, "    \"bytes_per_home_max\": %.0f,\n",
                kMetroBytesPerHomeMax);
-  std::fprintf(out, "    \"bytes_per_home_ok\": %s\n",
+  std::fprintf(out, "    \"bytes_per_home_ok\": %s,\n",
                gate_bytes_per_home ? "true" : "false");
+  std::fprintf(out, "    \"durability_replay_min\": %zu,\n", dur_records);
+  std::fprintf(out, "    \"durability_recovery_ok\": %s,\n",
+               gate_dur_recovery ? "true" : "false");
+  std::fprintf(out, "    \"durability_compaction_ok\": %s,\n",
+               gate_dur_compaction ? "true" : "false");
+  std::fprintf(out, "    \"incremental_ratio_max\": %.2f,\n",
+               kIncrementalRatioMax);
+  std::fprintf(out, "    \"durability_incremental_ok\": %s\n",
+               gate_dur_incremental ? "true" : "false");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates_passed\": %s\n", gates_passed ? "true" : "false");
   std::fprintf(out, "}\n");
@@ -697,6 +774,16 @@ int main(int argc, char** argv) {
                "%.0f bytes/home\n",
                metro.homes, metro.build_s, metro.homes_per_sec / 1e3,
                metro.bytes_per_home);
+  std::fprintf(stderr,
+               "[bench_core] durability: %llu records replayed in %.2fs "
+               "(identical=%s), compaction %llu -> %llu replayed, "
+               "incremental %.1f%% of full\n",
+               static_cast<unsigned long long>(dur.recovery.replayed),
+               dur.recovery.recover_s,
+               dur.recovery.fingerprint_ok ? "yes" : "NO",
+               static_cast<unsigned long long>(dur.compaction.replayed_before),
+               static_cast<unsigned long long>(dur.compaction.replayed_after),
+               dur.incremental.ratio() * 100);
   std::fprintf(stderr, "[bench_core] gates %s -> %s\n",
                gates_passed ? "PASSED" : "FAILED", out_path.c_str());
 

@@ -57,6 +57,32 @@ diff /tmp/sweep_flash_serial.txt /tmp/sweep_flash_parallel.txt
   > /tmp/sweep_metro_parallel.txt
 diff /tmp/sweep_metro_serial.txt /tmp/sweep_metro_parallel.txt
 
+# Recovery-determinism gate (E18): the durable chaos scenario — node
+# crashes plus torn-write/partial-flush faults against the WAL-backed
+# attic — must recover with zero acked-write loss and be byte-identical
+# same-seed: twice in-process (the gtest runs the full scenario twice and
+# diffs state fingerprints and telemetry), and across processes (the
+# sweeper's durable scenario diffed serial-vs-parallel and run-vs-rerun).
+./build/tests/test_durable --gtest_filter='DurableChaos.*'
+./build/bench/sweeper --scenario durable --seeds 1-8 --jobs 1 \
+  > /tmp/sweep_durable_serial.txt
+./build/bench/sweeper --scenario durable --seeds 1-8 --jobs 4 \
+  > /tmp/sweep_durable_parallel.txt
+diff /tmp/sweep_durable_serial.txt /tmp/sweep_durable_parallel.txt
+./build/bench/sweeper --scenario durable --seeds 1-8 --jobs 1 \
+  > /tmp/sweep_durable_rerun.txt
+diff /tmp/sweep_durable_serial.txt /tmp/sweep_durable_rerun.txt
+
+# Durability gate (E18, smoke scale): bench_durability self-gates on WAL
+# replay rebuilding byte-identical state, snapshot compaction bounding
+# recovery to the post-snapshot tail, and the incremental-backup session
+# shipping < 10% of the whole-object bytes for a 1%-churn day. Two runs
+# must print byte-identical reports.
+./build/bench/bench_durability --smoke > /tmp/durability_run_a.txt
+./build/bench/bench_durability --smoke > /tmp/durability_run_b.txt
+diff /tmp/durability_run_a.txt /tmp/durability_run_b.txt
+cat /tmp/durability_run_a.txt
+
 # Metro smoke gate (E17): build a 10k-home metro, run the short diurnal
 # slice twice, and diff the telemetry — the generator, workload draws, and
 # driver stats must be byte-identical run to run. The bench also self-gates
@@ -82,6 +108,9 @@ for gate_file in /tmp/BENCH_CORE.json BENCH_CORE.json; do
   grep -q '"sweep_identical_ok": true' "$gate_file"
   grep -q '"metro_build_ok": true' "$gate_file"
   grep -q '"bytes_per_home_ok": true' "$gate_file"
+  grep -q '"durability_recovery_ok": true' "$gate_file"
+  grep -q '"durability_compaction_ok": true' "$gate_file"
+  grep -q '"durability_incremental_ok": true' "$gate_file"
 done
 
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
@@ -97,6 +126,10 @@ ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
 ASAN_OPTIONS=detect_leaks=0 \
   ./build-asan/bench/bench_metro --homes 1000 --smoke --no-gate \
   > /dev/null
+# Durability under ASan: WAL encode/scan/truncate and the device's torn
+# prefix arithmetic are exactly the byte-twiddling ASan is for.
+ASAN_OPTIONS=detect_leaks=0 \
+  ./build-asan/bench/bench_durability --smoke > /dev/null
 
 # TSan lane: the whole tier-1 suite once under ThreadSanitizer. The
 # simulator itself is single-threaded; this lane guards the thread_local

@@ -130,6 +130,10 @@ void BackupManager::backup(const std::string& file_key,
     }
   }
 
+  for (const http::Body& b : shard_bodies) {
+    entry.shard_digests.push_back(b.digest());
+  }
+
   // Round-robin placement across distinct peers.
   auto remaining = std::make_shared<int>(total);
   auto failed = std::make_shared<int>(0);
@@ -292,14 +296,19 @@ void BackupManager::restore(const std::string& file_key, RestoreCallback cb) {
         shard_path(file_key, i),
         [i, entry, gather, finish](util::Result<AtticClient::File> file) {
           --gather->outstanding;
-          if (file.ok()) {
+          const auto idx = static_cast<std::size_t>(i);
+          // A shard whose digest mismatches the manifest is corrupt: treat
+          // it exactly like a lost shard so RS reconstruction handles it.
+          if (file.ok() &&
+              (idx >= entry.shard_digests.size() ||
+               util::digest_equal(file.value().content.digest(),
+                                  entry.shard_digests[idx]))) {
             if (entry.synthetic) {
-              gather->shards[static_cast<std::size_t>(i)] = util::Bytes{};
+              gather->shards[idx] = util::Bytes{};
             } else if (file.value().content.is_real()) {
-              gather->shards[static_cast<std::size_t>(i)] =
-                  file.value().content.bytes();
+              gather->shards[idx] = file.value().content.bytes();
             }
-            if (gather->shards[static_cast<std::size_t>(i)]) {
+            if (gather->shards[idx]) {
               ++gather->have;
             }
           }
@@ -331,6 +340,100 @@ void BackupManager::probe_peers(ProbeCallback cb) {
           if (--*outstanding == 0) cb(std::move(*alive));
         });
   }
+}
+
+void BackupManager::backup_session(const std::string& key, durable::Wal& wal,
+                                   const SessionConfig& config,
+                                   SessionCallback cb) {
+  SessionState& state = sessions_[key];
+  const std::uint64_t session = state.next++;
+  // Close the current epoch first: everything appended from here on
+  // belongs to the next session, so the boundary is race-free even if the
+  // service keeps writing while shards are in flight.
+  const std::uint64_t boundary = wal.epoch();
+  wal.advance_epoch();
+
+  util::Bytes payload;
+  bool full = config.full_every > 0 &&
+              session % static_cast<std::uint64_t>(config.full_every) == 0;
+  if (!full && !wal.collect_since(state.base_epoch, payload)) {
+    // The WAL was compacted past our last boundary: the delta chain no
+    // longer exists on disk, so this session must ship a full image.
+    full = true;
+  }
+  if (full) payload = wal.durable_image();
+
+  const std::string piece =
+      key + (full ? "/full-" : "/delta-") + std::to_string(session);
+  SessionInfo info;
+  info.session = session;
+  info.full = full;
+  info.payload_bytes = payload.size();
+  info.epoch = boundary;
+
+  ++session_stats_.sessions;
+  if (full) {
+    ++session_stats_.full_sessions;
+    session_stats_.full_bytes += payload.size();
+    state.pieces.clear();
+  } else {
+    ++session_stats_.delta_sessions;
+    session_stats_.delta_bytes += payload.size();
+  }
+  state.base_epoch = boundary;
+
+  if (payload.empty() && !full) {
+    // Nothing changed since the last session: record it, ship nothing.
+    cb(info);
+    return;
+  }
+  state.pieces.push_back(piece);
+  backup(piece, http::Body(std::move(payload)), config.strategy, config.k,
+         config.m, [info, cb](util::Status status) {
+           if (!status.ok()) {
+             cb(util::Result<SessionInfo>::failure(status.error().code,
+                                                   status.error().message));
+             return;
+           }
+           cb(info);
+         });
+}
+
+void BackupManager::restore_session(const std::string& key, ImageCallback cb) {
+  const auto it = sessions_.find(key);
+  if (it == sessions_.end() || it->second.pieces.empty()) {
+    cb(util::Result<util::Bytes>::failure("not_found",
+                                          "no backup sessions for " + key));
+    return;
+  }
+  // Restore pieces strictly in chain order (full first, then each delta):
+  // the concatenation is a single WAL image whose records replay in the
+  // exact order the home device persisted them.
+  struct Chain {
+    std::vector<std::string> pieces;
+    std::size_t index = 0;
+    util::Bytes image;
+  };
+  auto chain = std::make_shared<Chain>();
+  chain->pieces = it->second.pieces;
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, chain, step, cb] {
+    if (chain->index == chain->pieces.size()) {
+      cb(std::move(chain->image));
+      return;
+    }
+    const std::string piece = chain->pieces[chain->index++];
+    restore(piece, [chain, step, cb](util::Result<http::Body> body) {
+      if (!body.ok()) {
+        cb(util::Result<util::Bytes>(body.error()));
+        return;
+      }
+      const util::Bytes& bytes = body.value().bytes();
+      chain->image.insert(chain->image.end(), bytes.begin(), bytes.end());
+      (*step)();
+    });
+  };
+  (*step)();
 }
 
 void BackupManager::check_and_repair(const std::string& file_key,
@@ -482,11 +585,20 @@ void BackupManager::check_and_repair(const std::string& file_key,
         it->second.placement[static_cast<std::size_t>(i)]);
     peers_[peer_index].client->get(
         shard_path(file_key, i),
-        [i, synthetic, audit, finish](util::Result<AtticClient::File> file) {
+        [i, synthetic, entry = it->second, audit,
+         finish](util::Result<AtticClient::File> file) {
           const auto idx = static_cast<std::size_t>(i);
           if (file.ok()) {
             audit->holder_answered[idx] = true;
-            if (synthetic) {
+            const bool intact =
+                idx >= entry.shard_digests.size() ||
+                util::digest_equal(file.value().content.digest(),
+                                   entry.shard_digests[idx]);
+            // A corrupted shard on a live peer audits as missing-but-
+            // repairable-in-place: reconstructed from survivors and
+            // rewritten over the bad copy.
+            if (!intact) {
+            } else if (synthetic) {
               audit->shards[idx] = util::Bytes{};
               audit->present[idx] = true;
             } else if (file.value().content.is_real()) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "attic/client.hpp"
+#include "durable/wal.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/erasure.hpp"
 
@@ -63,6 +64,52 @@ class BackupManager {
   using RestoreCallback = std::function<void(util::Result<http::Body>)>;
   void restore(const std::string& file_key, RestoreCallback cb);
 
+  // --- Incremental-since-epoch backup sessions ---
+  //
+  // Instead of re-shipping the whole object every time, a session ships
+  // only the WAL records appended since the previous session (the epoch
+  // delta), with a periodic full snapshot bounding the restore chain.
+  // Restore = full image + delta replay, reassembled into one WAL byte
+  // image the owning service feeds through its usual recovery scan.
+
+  struct SessionConfig {
+    Strategy strategy = Strategy::kErasure;
+    int k = 2;
+    int m = 1;
+    /// A full image every Nth session (session 0 is always full); deltas
+    /// in between. Also forced full when the WAL was compacted past the
+    /// last session's epoch (the delta chain no longer exists).
+    int full_every = 4;
+  };
+
+  struct SessionInfo {
+    std::uint64_t session = 0;
+    bool full = false;
+    std::uint64_t payload_bytes = 0;  // pre-encoding WAL bytes shipped
+    std::uint64_t epoch = 0;          // epoch boundary this session closed
+  };
+  using SessionCallback = std::function<void(util::Result<SessionInfo>)>;
+  /// Ships one backup session for `key` from `wal` (closing the current
+  /// epoch, so later appends land in the next session). An empty delta
+  /// still records a session (zero payload, nothing shipped).
+  void backup_session(const std::string& key, durable::Wal& wal,
+                      const SessionConfig& config, SessionCallback cb);
+
+  using ImageCallback = std::function<void(util::Result<util::Bytes>)>;
+  /// Reassembles the latest full image plus every delta since, in order.
+  /// The result is a valid WAL byte image: scan_records()/recover() apply
+  /// it exactly as if it were read off the home device.
+  void restore_session(const std::string& key, ImageCallback cb);
+
+  struct SessionStats {
+    std::uint64_t sessions = 0;
+    std::uint64_t full_sessions = 0;
+    std::uint64_t delta_sessions = 0;
+    std::uint64_t full_bytes = 0;   // pre-encoding payload bytes
+    std::uint64_t delta_bytes = 0;
+  };
+  const SessionStats& session_stats() const { return session_stats_; }
+
   /// Probes every registered peer attic (a cheap LIST of our backup
   /// directory); alive[i] is true when peer i answered at all — an error
   /// status still proves liveness, only transport failures do not.
@@ -93,6 +140,11 @@ class BackupManager {
     std::uint64_t synthetic_tag = 0;
     std::uint64_t nonce = 0;
     util::Digest content_digest{};
+    /// Per-shard digests, validated at restore/repair time: a fetched
+    /// shard whose bytes do not match is treated as missing, so a single
+    /// corrupted shard flows down the same reconstruction path as a lost
+    /// one instead of poisoning the decode.
+    std::vector<util::Digest> shard_digests;
     /// shard index -> peer index (into peers_).
     std::vector<int> placement;
   };
@@ -114,6 +166,14 @@ class BackupManager {
     net::Endpoint endpoint;
     std::unique_ptr<AtticClient> client;
   };
+  /// Chain bookkeeping for one session key: which piece file-keys must be
+  /// reassembled (full first, deltas in order) and where the next delta
+  /// starts.
+  struct SessionState {
+    std::uint64_t next = 0;
+    std::uint64_t base_epoch = 0;
+    std::vector<std::string> pieces;
+  };
   std::string shard_path(const std::string& file_key, int index) const;
 
   std::string owner_;
@@ -121,9 +181,11 @@ class BackupManager {
   util::Bytes key_;
   std::vector<Peer> peers_;
   std::map<std::string, ManifestEntry> manifest_;
+  std::map<std::string, SessionState> sessions_;
   std::uint64_t next_nonce_ = 1;
   std::size_t next_peer_ = 0;
   Stats stats_;
+  SessionStats session_stats_;
 
   // Registry handles (aggregated across all backup managers).
   telemetry::Counter* m_shards_written_;

@@ -1,5 +1,6 @@
 #include "attic/health.hpp"
 
+#include "attic/store.hpp"
 #include "util/logging.hpp"
 
 namespace hpop::attic {
@@ -41,6 +42,16 @@ void HealthProviderSystem::add_record(HealthRecord record, WriteCallback cb) {
   pw.started = sim_.now();
   pw.cb = std::move(cb);
   const std::uint64_t id = next_pending_id_++;
+  if (wal_ != nullptr) {
+    durable::PayloadWriter w;
+    w.put_u64(id);
+    w.put_string(pw.patient);
+    w.put_string(pw.path);
+    w.put_u64(static_cast<std::uint64_t>(pw.started));
+    encode_body(w, pw.content);
+    wal_->append(kWalEnqueue, w.take());
+    wal_->sync();
+  }
   pending_.emplace(id, std::move(pw));
   attempt_write(id);
 }
@@ -62,6 +73,12 @@ void HealthProviderSystem::attempt_write(std::uint64_t id) {
         if (it == pending_.end()) return;
         it->second.in_flight = false;
         if (etag.ok()) {
+          if (wal_ != nullptr) {
+            durable::PayloadWriter w;
+            w.put_u64(id);
+            wal_->append(kWalComplete, w.take());
+            wal_->sync();
+          }
           auto cb = std::move(it->second.cb);
           pending_.erase(it);
           if (cb) cb(util::Status::success());
@@ -90,6 +107,115 @@ void HealthProviderSystem::flush_pending() {
     parked.push_back(id);
   }
   for (const std::uint64_t id : parked) attempt_write(id);
+}
+
+void HealthProviderSystem::apply_record(const durable::WalRecord& rec) {
+  durable::PayloadReader r(rec.payload);
+  switch (rec.type) {
+    case kWalEnqueue: {
+      PendingWrite pw;
+      std::uint64_t id = 0, started = 0;
+      if (!r.get_u64(id) || !r.get_string(pw.patient) ||
+          !r.get_string(pw.path) || !r.get_u64(started) ||
+          !decode_body(r, pw.content)) {
+        return;
+      }
+      pw.started = static_cast<util::TimePoint>(started);
+      pending_.emplace(id, std::move(pw));
+      if (id >= next_pending_id_) next_pending_id_ = id + 1;
+      return;
+    }
+    case kWalComplete: {
+      std::uint64_t id = 0;
+      if (r.get_u64(id)) pending_.erase(id);
+      return;
+    }
+    case durable::kSnapshotRecordType:
+      restore_state(rec.payload);
+      return;
+    default:
+      return;
+  }
+}
+
+durable::Wal::RecoveryStats HealthProviderSystem::recover_from_wal(
+    durable::Wal& wal) {
+  pending_.clear();
+  next_pending_id_ = 1;
+  wal_ = &wal;
+  const auto stats =
+      wal.recover([this](const durable::WalRecord& rec) { apply_record(rec); });
+  return stats;
+}
+
+bool HealthProviderSystem::compact_wal() {
+  if (wal_ == nullptr) return false;
+  return wal_->compact(serialize_state());
+}
+
+util::Bytes HealthProviderSystem::serialize_state() const {
+  durable::PayloadWriter w;
+  w.put_u64(next_pending_id_);
+  w.put_u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [id, pw] : pending_) {
+    w.put_u64(id);
+    w.put_string(pw.patient);
+    w.put_string(pw.path);
+    w.put_u64(static_cast<std::uint64_t>(pw.started));
+    encode_body(w, pw.content);
+  }
+  return w.take();
+}
+
+bool HealthProviderSystem::restore_state(const util::Bytes& payload) {
+  pending_.clear();
+  durable::PayloadReader r(payload);
+  std::uint32_t count = 0;
+  if (!r.get_u64(next_pending_id_) || !r.get_u32(count)) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PendingWrite pw;
+    std::uint64_t id = 0, started = 0;
+    if (!r.get_u64(id) || !r.get_string(pw.patient) || !r.get_string(pw.path) ||
+        !r.get_u64(started) || !decode_body(r, pw.content)) {
+      return false;
+    }
+    pw.started = static_cast<util::TimePoint>(started);
+    pending_.emplace(id, std::move(pw));
+  }
+  return true;
+}
+
+std::uint64_t HealthProviderSystem::fingerprint() const {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= kPrime;
+    }
+  };
+  auto mix_str = [&](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= kPrime;
+    }
+  };
+  mix(next_pending_id_);
+  mix(pending_.size());
+  for (const auto& [id, pw] : pending_) {
+    mix(id);
+    mix_str(pw.patient);
+    mix_str(pw.path);
+    mix(static_cast<std::uint64_t>(pw.started));
+    mix(pw.content.size());
+    for (const std::uint8_t b : pw.content.digest()) {
+      h ^= b;
+      h *= kPrime;
+    }
+  }
+  return h;
 }
 
 std::vector<HealthRecord> HealthProviderSystem::local_records(

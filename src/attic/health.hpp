@@ -7,6 +7,7 @@
 
 #include "attic/client.hpp"
 #include "attic/grant.hpp"
+#include "durable/wal.hpp"
 #include "util/retry.hpp"
 
 namespace hpop::attic {
@@ -51,6 +52,26 @@ class HealthProviderSystem {
   /// e.g. once the patient's HPoP is known to be back up.
   void flush_pending();
 
+  /// Attaches a WAL so the pending queue survives a provider crash: every
+  /// enqueue and completion is logged. A recovered entry is re-attempted
+  /// (at-least-once: a completion record torn off by the crash re-ships an
+  /// already-landed write, which is safe — the ack only ever fired after
+  /// attic durability).
+  void attach_wal(durable::Wal* wal) { wal_ = wal; }
+  durable::Wal* wal() const { return wal_; }
+  /// Rebuilds the pending queue from the WAL (callbacks died with the
+  /// process; recovered entries carry a null cb and a fresh retry budget).
+  durable::Wal::RecoveryStats recover_from_wal(durable::Wal& wal);
+  /// Snapshot-compacts the WAL to the live pending queue.
+  bool compact_wal();
+  util::Bytes serialize_state() const;
+  bool restore_state(const util::Bytes& payload);
+  /// Digest of the durable queue state (ids, paths, contents, counters).
+  std::uint64_t fingerprint() const;
+
+  static constexpr std::uint8_t kWalEnqueue = 1;
+  static constexpr std::uint8_t kWalComplete = 2;
+
   /// Backoff schedule for attic-copy retries (tunable per deployment).
   util::RetryPolicy retry_policy{/*max_attempts=*/5,
                                  /*initial_backoff=*/500 * util::kMillisecond,
@@ -91,6 +112,7 @@ class HealthProviderSystem {
   };
 
   void attempt_write(std::uint64_t id);
+  void apply_record(const durable::WalRecord& rec);
 
   std::string name_;
   http::HttpClient& http_;
@@ -99,6 +121,7 @@ class HealthProviderSystem {
   std::map<std::string, LinkedPatient> linked_;
   std::map<std::uint64_t, PendingWrite> pending_;
   std::uint64_t next_pending_id_ = 1;
+  durable::Wal* wal_ = nullptr;
   util::Rng rng_{0x48454C5448ull};  // jitter source for backoff
   std::uint64_t attic_writes_ = 0;
   std::uint64_t attic_write_failures_ = 0;

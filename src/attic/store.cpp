@@ -2,7 +2,66 @@
 
 #include <set>
 
+#include "util/hash.hpp"
+
 namespace hpop::attic {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv {
+  std::uint64_t h = kFnvOffset;
+  void mix_byte(std::uint8_t b) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void mix(std::string_view s) {
+    mix(s.size());
+    for (const char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  }
+  void mix_body(const http::Body& b) {
+    if (b.is_real()) {
+      mix(b.size());
+      for (const std::uint8_t byte : b.bytes()) mix_byte(byte);
+    } else {
+      mix(b.size());
+      mix(b.tag());
+    }
+  }
+};
+
+}  // namespace
+
+void encode_body(durable::PayloadWriter& w, const http::Body& body) {
+  if (body.is_real()) {
+    w.put_u8(0);
+    w.put_bytes(body.bytes());
+  } else {
+    w.put_u8(1);
+    w.put_u64(body.size());
+    w.put_u64(body.tag());
+  }
+}
+
+bool decode_body(durable::PayloadReader& r, http::Body& body) {
+  std::uint8_t synthetic = 0;
+  if (!r.get_u8(synthetic)) return false;
+  if (synthetic == 0) {
+    util::Bytes bytes;
+    if (!r.get_bytes(bytes)) return false;
+    body = http::Body(std::move(bytes));
+    return true;
+  }
+  std::uint64_t size = 0, tag = 0;
+  if (!r.get_u64(size) || !r.get_u64(tag)) return false;
+  body = http::Body::synthetic(static_cast<std::size_t>(size), tag);
+  return true;
+}
 
 std::string AtticStore::normalize(const std::string& path) {
   std::string p = path;
@@ -35,6 +94,13 @@ util::Result<std::string> AtticStore::put(const std::string& path,
     return util::Result<std::string>::failure("quota_exceeded",
                                               "attic quota exhausted");
   }
+  if (wal_ != nullptr && !replaying_) {
+    durable::PayloadWriter w;
+    w.put_string(p);
+    w.put_u64(static_cast<std::uint64_t>(now));
+    encode_body(w, content);
+    wal_->append(kWalPut, w.take());
+  }
   // Auto-create the directory chain.
   for (std::string dir = parent_of(p); dirs_.insert(dir).second && dir != "/";
        dir = parent_of(dir)) {
@@ -45,9 +111,29 @@ util::Result<std::string> AtticStore::put(const std::string& path,
   version.etag = make_etag();
   version.modified = now;
   used_ += incoming;
-  files_[p].versions.push_back(version);
-  m_puts_->inc();
+  auto& versions = files_[p].versions;
+  versions.push_back(version);
+  if (versions.size() > kMaxVersions) {
+    // Oldest version pruned; its bytes return to the quota.
+    const std::size_t freed = versions.front().content.size();
+    used_ -= freed;
+    versions.erase(versions.begin());
+    ++versions_pruned_;
+    m_used_bytes_->add(-static_cast<double>(freed));
+    if (!replaying_) m_versions_pruned_->inc();
+  }
+  // The gauge mirrors used_ unconditionally (replays included): it is the
+  // live bytes across all stores, and a store subtracts itself on clear()
+  // and destruction, so same-seed runs leave byte-identical telemetry.
   m_used_bytes_->add(static_cast<double>(incoming));
+  if (!replaying_) m_puts_->inc();
+  // Log-ahead ack rule: the record is buffered above; the barrier decides
+  // whether this put may be acknowledged. On a partial flush the in-memory
+  // mutation stands (disk may hold a prefix) but the caller must not ack.
+  if (wal_ != nullptr && !replaying_ && !wal_->sync()) {
+    return util::Result<std::string>::failure(
+        "not_durable", "WAL sync barrier failed; write not durable");
+  }
   return version.etag;
 }
 
@@ -73,11 +159,20 @@ util::Status AtticStore::remove(const std::string& path) {
   if (it == files_.end()) {
     return util::Status::failure("not_found", path);
   }
+  if (wal_ != nullptr && !replaying_) {
+    durable::PayloadWriter w;
+    w.put_string(it->first);
+    wal_->append(kWalRemove, w.take());
+  }
   for (const FileVersion& v : it->second.versions) {
     used_ -= v.content.size();
     m_used_bytes_->add(-static_cast<double>(v.content.size()));
   }
   files_.erase(it);
+  if (wal_ != nullptr && !replaying_ && !wal_->sync()) {
+    return util::Status::failure("not_durable",
+                                 "WAL sync barrier failed; remove not durable");
+  }
   return util::Status::success();
 }
 
@@ -87,6 +182,12 @@ bool AtticStore::exists(const std::string& path) const {
 
 void AtticStore::mkdir(const std::string& path) {
   const std::string p = normalize(path);
+  if (wal_ != nullptr && !replaying_) {
+    durable::PayloadWriter w;
+    w.put_string(p);
+    wal_->append(kWalMkdir, w.take());
+    wal_->sync();
+  }
   for (std::string dir = p; dirs_.insert(dir).second && dir != "/";
        dir = parent_of(dir)) {
   }
@@ -114,6 +215,143 @@ std::vector<std::string> AtticStore::list(const std::string& dir_path) const {
   }
   for (const auto& d : dirs_) collect(d);
   return {children.begin(), children.end()};
+}
+
+// --------------------------------------------------- durability plumbing
+
+void AtticStore::clear() {
+  m_used_bytes_->add(-static_cast<double>(used_));
+  files_.clear();
+  dirs_ = {"/"};
+  used_ = 0;
+  etag_counter_ = 0;
+  versions_pruned_ = 0;
+}
+
+void AtticStore::apply_record(const durable::WalRecord& rec) {
+  durable::PayloadReader r(rec.payload);
+  switch (rec.type) {
+    case kWalPut: {
+      std::string path;
+      std::uint64_t modified = 0;
+      http::Body body;
+      if (!r.get_string(path) || !r.get_u64(modified) || !decode_body(r, body))
+        return;
+      put(path, std::move(body), static_cast<util::TimePoint>(modified));
+      return;
+    }
+    case kWalRemove: {
+      std::string path;
+      if (r.get_string(path)) remove(path);
+      return;
+    }
+    case kWalMkdir: {
+      std::string path;
+      if (r.get_string(path)) mkdir(path);
+      return;
+    }
+    case durable::kSnapshotRecordType:
+      restore_state(rec.payload);
+      return;
+    default:
+      return;
+  }
+}
+
+durable::Wal::RecoveryStats AtticStore::recover_from_wal(durable::Wal& wal) {
+  clear();
+  wal_ = &wal;
+  replaying_ = true;
+  const auto stats =
+      wal.recover([this](const durable::WalRecord& rec) { apply_record(rec); });
+  replaying_ = false;
+  return stats;
+}
+
+bool AtticStore::compact_wal() {
+  if (wal_ == nullptr) return false;
+  return wal_->compact(serialize_state());
+}
+
+util::Bytes AtticStore::serialize_state() const {
+  durable::PayloadWriter w;
+  w.put_u64(etag_counter_);
+  w.put_u64(versions_pruned_);
+  w.put_u32(static_cast<std::uint32_t>(dirs_.size()));
+  for (const std::string& d : dirs_) w.put_string(d);
+  w.put_u32(static_cast<std::uint32_t>(files_.size()));
+  for (const auto& [path, entry] : files_) {
+    w.put_string(path);
+    w.put_u32(static_cast<std::uint32_t>(entry.versions.size()));
+    for (const FileVersion& v : entry.versions) {
+      w.put_string(v.etag);
+      w.put_u64(static_cast<std::uint64_t>(v.modified));
+      encode_body(w, v.content);
+    }
+  }
+  return w.take();
+}
+
+bool AtticStore::restore_state(const util::Bytes& payload) {
+  clear();
+  // Re-add whatever used_ the parse accumulated on every exit path (partial
+  // state is kept on failure), preserving the gauge == sum-of-used_ invariant.
+  const bool ok = parse_snapshot(payload);
+  m_used_bytes_->add(static_cast<double>(used_));
+  return ok;
+}
+
+bool AtticStore::parse_snapshot(const util::Bytes& payload) {
+  durable::PayloadReader r(payload);
+  std::uint64_t pruned = 0;
+  std::uint32_t dir_count = 0, file_count = 0;
+  if (!r.get_u64(etag_counter_) || !r.get_u64(pruned) || !r.get_u32(dir_count))
+    return false;
+  versions_pruned_ = pruned;
+  for (std::uint32_t i = 0; i < dir_count; ++i) {
+    std::string d;
+    if (!r.get_string(d)) return false;
+    dirs_.insert(d);
+  }
+  if (!r.get_u32(file_count)) return false;
+  for (std::uint32_t i = 0; i < file_count; ++i) {
+    std::string path;
+    std::uint32_t version_count = 0;
+    if (!r.get_string(path) || !r.get_u32(version_count)) return false;
+    FileEntry entry;
+    for (std::uint32_t v = 0; v < version_count; ++v) {
+      FileVersion version;
+      std::uint64_t modified = 0;
+      if (!r.get_string(version.etag) || !r.get_u64(modified) ||
+          !decode_body(r, version.content)) {
+        return false;
+      }
+      version.modified = static_cast<util::TimePoint>(modified);
+      used_ += version.content.size();
+      entry.versions.push_back(std::move(version));
+    }
+    files_[path] = std::move(entry);
+  }
+  return true;
+}
+
+std::uint64_t AtticStore::fingerprint() const {
+  Fnv fnv;
+  fnv.mix(etag_counter_);
+  fnv.mix(used_);
+  fnv.mix(dirs_.size());
+  for (const std::string& d : dirs_) fnv.mix(d);
+  fnv.mix(files_.size());
+  for (const auto& [path, entry] : files_) {
+    fnv.mix(path);
+    fnv.mix(entry.versions.size());
+    for (const FileVersion& v : entry.versions) {
+      fnv.mix(v.etag);
+      fnv.mix(static_cast<std::uint64_t>(v.modified));
+      fnv.mix_body(v.content);
+    }
+  }
+  return fnv.h;
 }
 
 }  // namespace hpop::attic

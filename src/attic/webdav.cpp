@@ -130,7 +130,11 @@ void AtticService::install_routes() {
                  const auto etag = store_.put(path, req.body,
                                               hpop_.simulator().now());
                  if (!etag.ok()) {
-                   resp.status = 507;  // insufficient storage
+                   // 503 when the WAL barrier failed (write landed in memory
+                   // but is not durable — client must retry); 507 when the
+                   // quota rejected it outright.
+                   resp.status =
+                       etag.error().code == "not_durable" ? 503 : 507;
                    w.respond(std::move(resp));
                    return;
                  }
@@ -153,7 +157,10 @@ void AtticService::install_routes() {
                    w.respond(std::move(resp));
                    return;
                  }
-                 resp.status = store_.remove(path).ok() ? 204 : 404;
+                 const auto removed = store_.remove(path);
+                 resp.status = removed.ok() ? 204
+                               : removed.error().code == "not_durable" ? 503
+                                                                       : 404;
                  w.respond(std::move(resp));
                });
 

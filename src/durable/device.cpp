@@ -1,0 +1,132 @@
+#include "durable/device.hpp"
+
+#include "util/logging.hpp"
+
+namespace hpop::durable {
+
+StorageDevice::StorageDevice(std::string name, util::Rng rng)
+    : name_(std::move(name)), rng_(rng) {
+  auto& reg = telemetry::registry();
+  m_fsyncs_ = reg.counter("durable.device.fsyncs");
+  m_crashes_ = reg.counter("durable.device.crashes");
+  m_torn_writes_ = reg.counter("durable.device.torn_writes");
+  m_partial_flushes_ = reg.counter("durable.device.partial_flushes");
+}
+
+void StorageDevice::append(const std::string& file, const util::Bytes& data) {
+  File& f = files_[file];
+  f.data.insert(f.data.end(), data.begin(), data.end());
+  ++stats_.appends;
+  stats_.bytes_appended += data.size();
+}
+
+bool StorageDevice::fsync(const std::string& file) {
+  const auto it = files_.find(file);
+  ++stats_.fsyncs;
+  m_fsyncs_->inc();
+  if (it == files_.end()) return true;  // nothing to flush
+  File& f = it->second;
+  const std::size_t buffered = f.data.size() - f.durable;
+  if (partial_flush_armed_ && buffered > 0) {
+    partial_flush_armed_ = false;
+    // A strict prefix persists; the barrier itself fails. The bytes ARE on
+    // the platter — a crash before a clean retry leaves a torn record.
+    const std::size_t kept =
+        static_cast<std::size_t>(rng_.uniform_index(buffered));
+    f.durable += kept;
+    stats_.bytes_flushed += kept;
+    ++stats_.partial_flushes;
+    m_partial_flushes_->inc();
+    HPOP_LOG(kWarn, "durable") << name_ << "/" << file << ": partial flush ("
+                               << kept << " of " << buffered << " bytes)";
+    return false;
+  }
+  stats_.bytes_flushed += buffered;
+  f.durable = f.data.size();
+  return true;
+}
+
+util::Bytes StorageDevice::read(const std::string& file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? util::Bytes{} : it->second.data;
+}
+
+util::Bytes StorageDevice::read_durable(const std::string& file) const {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return {};
+  return util::Bytes(it->second.data.begin(),
+                     it->second.data.begin() +
+                         static_cast<std::ptrdiff_t>(it->second.durable));
+}
+
+void StorageDevice::truncate_to(const std::string& file, std::size_t size) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;
+  File& f = it->second;
+  if (size < f.data.size()) f.data.resize(size);
+  if (f.durable > f.data.size()) f.durable = f.data.size();
+}
+
+bool StorageDevice::rename(const std::string& from, const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) return false;
+  File moved = std::move(it->second);
+  // Metadata journaling: the replace is atomic and durable as a unit, so
+  // the moved file's buffered tail is flushed with it.
+  moved.durable = moved.data.size();
+  files_.erase(it);
+  files_[to] = std::move(moved);
+  ++stats_.renames;
+  return true;
+}
+
+bool StorageDevice::remove(const std::string& file) {
+  return files_.erase(file) > 0;
+}
+
+bool StorageDevice::exists(const std::string& file) const {
+  return files_.count(file) > 0;
+}
+
+std::size_t StorageDevice::size(const std::string& file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+std::size_t StorageDevice::durable_size(const std::string& file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.durable;
+}
+
+void StorageDevice::crash() {
+  ++stats_.crashes;
+  m_crashes_->inc();
+  const bool torn = torn_write_armed_;
+  torn_write_armed_ = false;
+  bool tore_something = false;
+  for (auto& [file, f] : files_) {
+    const std::size_t buffered = f.data.size() - f.durable;
+    if (buffered == 0) continue;
+    std::size_t kept = 0;
+    if (torn) {
+      // Keep a strict-prefix cut of the unflushed tail: at least one byte
+      // short of complete so the tail is genuinely torn, possibly mid-record.
+      kept = static_cast<std::size_t>(rng_.uniform_index(buffered));
+      tore_something = tore_something || kept > 0;
+    }
+    stats_.bytes_lost_in_crash += buffered - kept;
+    f.data.resize(f.durable + kept);
+    f.durable = f.data.size();
+    if (kept > 0) {
+      HPOP_LOG(kWarn, "durable")
+          << name_ << "/" << file << ": torn write (" << kept << " of "
+          << buffered << " unflushed bytes survived)";
+    }
+  }
+  if (torn && tore_something) {
+    ++stats_.torn_writes;
+    m_torn_writes_->inc();
+  }
+}
+
+}  // namespace hpop::durable

@@ -78,6 +78,26 @@ FaultPlan& FaultPlan::nat_flush(net::NatBox* nat, util::TimePoint at) {
   return *this;
 }
 
+FaultPlan& FaultPlan::torn_write(durable::StorageDevice* device,
+                                 util::TimePoint at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kTornWrite;
+  e.device = device;
+  e.at = at;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::partial_flush(durable::StorageDevice* device,
+                                    util::TimePoint at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kPartialFlush;
+  e.device = device;
+  e.at = at;
+  events.push_back(e);
+  return *this;
+}
+
 ChaosController::ChaosController(sim::Simulator& sim, util::Rng rng)
     : sim_(sim), rng_(rng) {
   auto& reg = telemetry::registry();
@@ -86,6 +106,8 @@ ChaosController::ChaosController(sim::Simulator& sim, util::Rng rng)
   m_link_downs_ = reg.counter("fault.link_downs");
   m_link_ups_ = reg.counter("fault.link_ups");
   m_nat_flushes_ = reg.counter("fault.nat_flushes");
+  m_torn_armed_ = reg.counter("fault.torn_writes_armed");
+  m_partial_armed_ = reg.counter("fault.partial_flushes_armed");
   m_downtime_s_ = reg.histogram("fault.node_downtime_s", 0, 120, 24);
 }
 
@@ -97,6 +119,16 @@ void ChaosController::register_node(const std::string& name, net::Node* node,
   e.on_crash = std::move(on_crash);
   e.on_restart = std::move(on_restart);
   nodes_[name] = std::move(e);
+}
+
+void ChaosController::attach_device(const std::string& name,
+                                    durable::StorageDevice* device) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    HPOP_LOG(kWarn, "fault") << "attach_device: unknown node " << name;
+    return;
+  }
+  it->second.devices.push_back(device);
 }
 
 bool ChaosController::node_up(const std::string& name) const {
@@ -113,7 +145,14 @@ void ChaosController::do_crash(NodeEntry& e, util::Duration downtime) {
   HPOP_LOG(kInfo, "fault") << e.node->name() << ": crash (down for "
                            << util::format_duration(downtime) << ")";
   e.went_down = sim_.now();
-  // Take the node down first (clears hooks that may reference service
+  // The power cut reaches the platter first: attached devices drop their
+  // unflushed tails (honouring an armed torn write) BEFORE teardown, so
+  // the crash callback already sees the exact image recovery will scan.
+  for (durable::StorageDevice* d : e.devices) {
+    d->crash();
+    ++stats_.device_crashes;
+  }
+  // Take the node down next (clears hooks that may reference service
   // objects), then tear the services down — process death loses both.
   e.node->set_up(false);
   if (e.on_crash) e.on_crash();
@@ -230,6 +269,26 @@ void ChaosController::burst_loss(net::Link* link, util::TimePoint start,
   });
 }
 
+void ChaosController::torn_write_at(durable::StorageDevice* device,
+                                    util::TimePoint when) {
+  sim_.schedule(delay_until(when), [this, device] {
+    device->arm_torn_write();
+    ++stats_.torn_writes_armed;
+    m_torn_armed_->inc();
+    HPOP_LOG(kInfo, "fault") << device->name() << ": torn write armed";
+  });
+}
+
+void ChaosController::partial_flush_at(durable::StorageDevice* device,
+                                       util::TimePoint when) {
+  sim_.schedule(delay_until(when), [this, device] {
+    device->arm_partial_flush();
+    ++stats_.partial_flushes_armed;
+    m_partial_armed_->inc();
+    HPOP_LOG(kInfo, "fault") << device->name() << ": partial flush armed";
+  });
+}
+
 void ChaosController::flush_nat(net::NatBox* nat, util::TimePoint when) {
   sim_.schedule(delay_until(when), [this, nat] {
     const double dropped = static_cast<double>(nat->mapping_count());
@@ -282,6 +341,12 @@ void ChaosController::execute(const FaultPlan& plan) {
         break;
       case FaultEvent::Kind::kNatFlush:
         flush_nat(e.nat, e.at);
+        break;
+      case FaultEvent::Kind::kTornWrite:
+        torn_write_at(e.device, e.at);
+        break;
+      case FaultEvent::Kind::kPartialFlush:
+        partial_flush_at(e.device, e.at);
         break;
     }
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "durable/device.hpp"
 #include "net/link.hpp"
 #include "net/nat.hpp"
 #include "net/node.hpp"
@@ -30,18 +31,21 @@ struct GilbertElliott {
 /// past fires immediately.
 struct FaultEvent {
   enum class Kind {
-    kCrash,      // node: crash for `duration`, then restart
-    kLinkDown,   // link: admin-down for `duration`
-    kLinkFlap,   // link: `count` down/up cycles (`duration` down, `period` up)
-    kDegrade,    // link: run at `rate`/`loss` for `duration`, then restore
-    kBurstLoss,  // link: Gilbert–Elliott episode of `duration`
-    kNatFlush,   // nat: drop every dynamic mapping
+    kCrash,         // node: crash for `duration`, then restart
+    kLinkDown,      // link: admin-down for `duration`
+    kLinkFlap,      // link: `count` down/up cycles (`duration` down, `period` up)
+    kDegrade,       // link: run at `rate`/`loss` for `duration`, then restore
+    kBurstLoss,     // link: Gilbert–Elliott episode of `duration`
+    kNatFlush,      // nat: drop every dynamic mapping
+    kTornWrite,     // device: arm so the next crash keeps a torn prefix
+    kPartialFlush,  // device: arm so the next fsync persists a prefix + fails
   };
   Kind kind = Kind::kCrash;
   util::TimePoint at = 0;
   std::string node;  // kCrash: a name registered with register_node
   net::Link* link = nullptr;
   net::NatBox* nat = nullptr;
+  durable::StorageDevice* device = nullptr;  // kTornWrite / kPartialFlush
   util::Duration duration = 0;
   int count = 1;                // kLinkFlap: number of down/up cycles
   util::Duration period = 0;    // kLinkFlap: up time between cycles
@@ -66,6 +70,13 @@ struct FaultPlan {
   FaultPlan& burst_loss(net::Link* link, util::TimePoint at,
                         util::Duration duration, GilbertElliott ge);
   FaultPlan& nat_flush(net::NatBox* nat, util::TimePoint at);
+  /// Arms a storage fault (durable-layer chaos): `torn_write` makes the
+  /// device's NEXT crash keep a random prefix of each unflushed tail;
+  /// `partial_flush` makes its NEXT fsync persist a random prefix and
+  /// report failure. Both draw cut points from the device's own seeded Rng,
+  /// so the plan stays byte-reproducible.
+  FaultPlan& torn_write(durable::StorageDevice* device, util::TimePoint at);
+  FaultPlan& partial_flush(durable::StorageDevice* device, util::TimePoint at);
 };
 
 /// Deterministic fault injector. Every stochastic choice (churn victims,
@@ -90,6 +101,13 @@ class ChaosController {
                      std::function<void()> on_crash = nullptr,
                      std::function<void()> on_restart = nullptr);
 
+  /// Attaches a storage device to a registered node. When the node
+  /// crashes, its devices crash FIRST (the power cut hits the platter
+  /// before the teardown callback runs), so `on_crash` observes exactly
+  /// the durable image recovery will see and `on_restart` can rebuild
+  /// services with recover-from-device instead of a clean slate.
+  void attach_device(const std::string& name, durable::StorageDevice* device);
+
   bool node_up(const std::string& name) const;
 
   // --- Immediate / scheduled primitives ---
@@ -104,6 +122,8 @@ class ChaosController {
   void burst_loss(net::Link* link, util::TimePoint start,
                   util::Duration duration, GilbertElliott ge);
   void flush_nat(net::NatBox* nat, util::TimePoint when);
+  void torn_write_at(durable::StorageDevice* device, util::TimePoint when);
+  void partial_flush_at(durable::StorageDevice* device, util::TimePoint when);
 
   /// Crashes `fraction` of the named pool (distinct victims, chosen by the
   /// controller's Rng), each at a uniform offset within [start,
@@ -123,6 +143,9 @@ class ChaosController {
     std::uint64_t degradations = 0;
     std::uint64_t nat_flushes = 0;
     std::uint64_t burst_episodes = 0;
+    std::uint64_t torn_writes_armed = 0;
+    std::uint64_t partial_flushes_armed = 0;
+    std::uint64_t device_crashes = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -131,6 +154,7 @@ class ChaosController {
     net::Node* node = nullptr;
     std::function<void()> on_crash;
     std::function<void()> on_restart;
+    std::vector<durable::StorageDevice*> devices;
     util::TimePoint went_down = 0;
   };
 
@@ -151,6 +175,8 @@ class ChaosController {
   telemetry::Counter* m_link_downs_;
   telemetry::Counter* m_link_ups_;
   telemetry::Counter* m_nat_flushes_;
+  telemetry::Counter* m_torn_armed_;
+  telemetry::Counter* m_partial_armed_;
   telemetry::HistogramMetric* m_downtime_s_;
 };
 

@@ -14,6 +14,16 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
                                    conn) {
     conn->set_on_message([this, conn](net::PayloadPtr msg) {
       if (const auto reg = std::dynamic_pointer_cast<const DirRegister>(msg)) {
+        if (wal_ != nullptr) {
+          durable::PayloadWriter w;
+          w.put_string(reg->household);
+          w.put_u8(static_cast<std::uint8_t>(reg->advertisement.method));
+          w.put_u32(reg->advertisement.endpoint.ip.value);
+          w.put_u32(reg->advertisement.endpoint.port);
+          w.put_u8(reg->advertisement.rendezvous_required ? 1 : 0);
+          wal_->append(kWalRegister, w.take());
+          wal_->sync();
+        }
         households_.insert_or_assign(reg->household,
                                      Registration{reg->advertisement, conn});
         HPOP_LOG(kInfo, "directory")
@@ -83,6 +93,99 @@ DirectoryServer::DirectoryServer(transport::TransportMux& mux,
     });
     conn->set_on_remote_close([conn] { conn->close(); });
   });
+}
+
+void DirectoryServer::apply_record(const durable::WalRecord& rec) {
+  if (rec.type == durable::kSnapshotRecordType) {
+    restore_state(rec.payload);
+    return;
+  }
+  if (rec.type != kWalRegister) return;
+  durable::PayloadReader r(rec.payload);
+  std::string household;
+  std::uint8_t method = 0, rendezvous = 0;
+  std::uint32_t ip = 0, port = 0;
+  if (!r.get_string(household) || !r.get_u8(method) || !r.get_u32(ip) ||
+      !r.get_u32(port) || !r.get_u8(rendezvous)) {
+    return;
+  }
+  traversal::Advertisement adv;
+  adv.method = static_cast<traversal::ReachMethod>(method);
+  adv.endpoint = {net::IpAddr(ip), static_cast<std::uint16_t>(port)};
+  adv.rendezvous_required = rendezvous != 0;
+  households_.insert_or_assign(household, Registration{adv, nullptr});
+}
+
+durable::Wal::RecoveryStats DirectoryServer::recover_from_wal(
+    durable::Wal& wal) {
+  households_.clear();
+  wal_ = &wal;
+  return wal.recover(
+      [this](const durable::WalRecord& rec) { apply_record(rec); });
+}
+
+bool DirectoryServer::compact_wal() {
+  if (wal_ == nullptr) return false;
+  return wal_->compact(serialize_state());
+}
+
+util::Bytes DirectoryServer::serialize_state() const {
+  durable::PayloadWriter w;
+  w.put_u32(static_cast<std::uint32_t>(households_.size()));
+  for (const auto& [household, reg] : households_) {
+    w.put_string(household.str());
+    w.put_u8(static_cast<std::uint8_t>(reg.advertisement.method));
+    w.put_u32(reg.advertisement.endpoint.ip.value);
+    w.put_u32(reg.advertisement.endpoint.port);
+    w.put_u8(reg.advertisement.rendezvous_required ? 1 : 0);
+  }
+  return w.take();
+}
+
+bool DirectoryServer::restore_state(const util::Bytes& payload) {
+  households_.clear();
+  durable::PayloadReader r(payload);
+  std::uint32_t count = 0;
+  if (!r.get_u32(count)) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string household;
+    std::uint8_t method = 0, rendezvous = 0;
+    std::uint32_t ip = 0, port = 0;
+    if (!r.get_string(household) || !r.get_u8(method) || !r.get_u32(ip) ||
+        !r.get_u32(port) || !r.get_u8(rendezvous)) {
+      return false;
+    }
+    traversal::Advertisement adv;
+    adv.method = static_cast<traversal::ReachMethod>(method);
+    adv.endpoint = {net::IpAddr(ip), static_cast<std::uint16_t>(port)};
+    adv.rendezvous_required = rendezvous != 0;
+    households_.insert_or_assign(household, Registration{adv, nullptr});
+  }
+  return true;
+}
+
+std::uint64_t DirectoryServer::fingerprint() const {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= kPrime;
+    }
+  };
+  for (const auto& [household, reg] : households_) {
+    const std::string_view name = household.str();
+    mix(name.size());
+    for (const char c : name) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= kPrime;
+    }
+    mix(static_cast<std::uint64_t>(reg.advertisement.method));
+    mix(reg.advertisement.endpoint.ip.value);
+    mix(reg.advertisement.endpoint.port);
+    mix(reg.advertisement.rendezvous_required ? 1 : 0);
+  }
+  return h;
 }
 
 void DirectoryServer::enable_admission(overload::AdmissionConfig config) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "durable/wal.hpp"
 #include "overload/admission.hpp"
 #include "traversal/reachability.hpp"
 #include "transport/mux.hpp"
@@ -72,7 +73,23 @@ class DirectoryServer {
   void enable_admission(overload::AdmissionConfig config);
   std::uint64_t sheds() const { return sheds_; }
 
+  /// Attaches a WAL so registrations survive a directory crash. A
+  /// recovered entry has a null control connection (the process's sockets
+  /// died with it) — lookups answer immediately from the recovered
+  /// advertisement while HPoPs re-establish their persistent connections.
+  void attach_wal(durable::Wal* wal) { wal_ = wal; }
+  durable::Wal* wal() const { return wal_; }
+  durable::Wal::RecoveryStats recover_from_wal(durable::Wal& wal);
+  bool compact_wal();
+  util::Bytes serialize_state() const;
+  bool restore_state(const util::Bytes& payload);
+  /// Digest over registrations (household, method, endpoint, rendezvous).
+  std::uint64_t fingerprint() const;
+
+  static constexpr std::uint8_t kWalRegister = 1;
+
  private:
+  void apply_record(const durable::WalRecord& rec);
   struct Registration {
     traversal::Advertisement advertisement;
     std::shared_ptr<transport::TcpConnection> control;
@@ -86,6 +103,7 @@ class DirectoryServer {
   /// directory holds one entry per home, and a std::map's per-node heap
   /// allocations plus string keys dominated its footprint.
   util::SymbolMap<Registration> households_;
+  durable::Wal* wal_ = nullptr;
   // txn -> requester connection, for relaying rendezvous-ready.
   std::map<std::uint64_t, std::weak_ptr<transport::TcpConnection>>
       rendezvous_waiters_;

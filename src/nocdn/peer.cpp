@@ -58,22 +58,19 @@ void PeerProxy::install_routes(const std::string& provider) {
   server_.vhost_route(
       provider, http::Method::kPost, "/nocdn/usage",
       [this, provider](const http::Request& req, http::ResponseWriter& w) {
+        bool durable = true;
         if (req.body.is_real()) {
           const auto record = parse_usage_line(req.body.text());
           if (record.ok()) {
             ++stats_.records_received;
             m_records_received_->inc();
-            auto& pending = pending_usage_[provider];
-            if (pending.size() >= kMaxPendingUsage) {
-              pending.erase(pending.begin());
-              ++stats_.usage_evicted;
-              m_usage_evicted_->inc();
-            }
-            pending.push_back(record.value());
+            durable = accept_usage(provider, record.value());
           }
         }
         http::Response resp;
-        resp.status = 204;
+        // 503, not 204, when the WAL barrier failed: the claim is not
+        // durable and must not be acked (the client retries the POST).
+        resp.status = durable ? 204 : 503;
         w.respond(std::move(resp));
       });
 }
@@ -152,6 +149,128 @@ void PeerProxy::serve(const ProviderSignup& signup, const http::Request& req,
       });
 }
 
+bool PeerProxy::accept_usage(const std::string& provider, UsageRecord record) {
+  auto& pending = pending_usage_[provider];
+  if (pending.size() >= kMaxPendingUsage) {
+    pending.erase(pending.begin());
+    ++stats_.usage_evicted;
+    if (!replaying_) m_usage_evicted_->inc();
+  }
+  if (wal_ != nullptr && !replaying_) {
+    durable::PayloadWriter w;
+    w.put_string(provider);
+    w.put_string(serialize_usage_line(record));
+    wal_->append(kWalUsage, w.take());
+  }
+  pending.push_back(std::move(record));
+  if (wal_ != nullptr && !replaying_) return wal_->sync();
+  return true;
+}
+
+void PeerProxy::apply_record(const durable::WalRecord& rec) {
+  durable::PayloadReader r(rec.payload);
+  switch (rec.type) {
+    case kWalUsage: {
+      std::string provider, line;
+      if (!r.get_string(provider) || !r.get_string(line)) return;
+      const auto record = parse_usage_line(line);
+      if (record.ok()) accept_usage(provider, record.value());
+      return;
+    }
+    case kWalFlush: {
+      std::string provider;
+      if (!r.get_string(provider)) return;
+      if (auto* pending = pending_usage_.find(provider)) pending->clear();
+      return;
+    }
+    case durable::kSnapshotRecordType:
+      restore_state(rec.payload);
+      return;
+    default:
+      return;
+  }
+}
+
+durable::Wal::RecoveryStats PeerProxy::recover_from_wal(durable::Wal& wal) {
+  pending_usage_.clear();
+  wal_ = &wal;
+  replaying_ = true;
+  const auto stats =
+      wal.recover([this](const durable::WalRecord& rec) { apply_record(rec); });
+  replaying_ = false;
+  return stats;
+}
+
+bool PeerProxy::compact_wal() {
+  if (wal_ == nullptr) return false;
+  return wal_->compact(serialize_state());
+}
+
+util::Bytes PeerProxy::serialize_state() const {
+  durable::PayloadWriter w;
+  std::uint32_t providers = 0;
+  for (const auto& [provider, records] : pending_usage_) {
+    (void)provider;
+    (void)records;
+    ++providers;
+  }
+  w.put_u32(providers);
+  for (const auto& [provider, records] : pending_usage_) {
+    w.put_string(provider.str());
+    w.put_u32(static_cast<std::uint32_t>(records.size()));
+    for (const UsageRecord& r : records) w.put_string(serialize_usage_line(r));
+  }
+  return w.take();
+}
+
+bool PeerProxy::restore_state(const util::Bytes& payload) {
+  pending_usage_.clear();
+  durable::PayloadReader r(payload);
+  std::uint32_t providers = 0;
+  if (!r.get_u32(providers)) return false;
+  for (std::uint32_t i = 0; i < providers; ++i) {
+    std::string provider;
+    std::uint32_t count = 0;
+    if (!r.get_string(provider) || !r.get_u32(count)) return false;
+    auto& pending = pending_usage_[provider];
+    for (std::uint32_t j = 0; j < count; ++j) {
+      std::string line;
+      if (!r.get_string(line)) return false;
+      const auto record = parse_usage_line(line);
+      if (!record.ok()) return false;
+      pending.push_back(record.value());
+    }
+  }
+  return true;
+}
+
+std::uint64_t PeerProxy::fingerprint() const {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix_str = [&h](std::string_view s) {
+    h ^= s.size();
+    h *= kPrime;
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= kPrime;
+    }
+  };
+  for (const auto& [provider, records] : pending_usage_) {
+    mix_str(provider.str());
+    for (const UsageRecord& r : records) mix_str(serialize_usage_line(r));
+  }
+  return h;
+}
+
+std::size_t PeerProxy::pending_usage_count() const {
+  std::size_t n = 0;
+  for (const auto& [provider, records] : pending_usage_) {
+    (void)provider;
+    n += records.size();
+  }
+  return n;
+}
+
 void PeerProxy::start_usage_uploads(util::Duration interval) {
   upload_timer_ = mux_.simulator().schedule(interval, [this, interval] {
     upload_usage_now();
@@ -180,6 +299,12 @@ void PeerProxy::upload_usage_now() {
       }
     }
     records.clear();
+    if (wal_ != nullptr) {
+      durable::PayloadWriter w;
+      w.put_string(signup.provider);
+      wal_->append(kWalFlush, w.take());
+      wal_->sync();
+    }
     http::Request req;
     req.method = http::Method::kPost;
     req.path = "/usage";

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "durable/wal.hpp"
 #include "http/cache.hpp"
 #include "http/client.hpp"
 #include "http/server.hpp"
@@ -69,6 +70,27 @@ class PeerProxy {
   /// past this (they are payment claims, not correctness state — losing
   /// the oldest under pressure is the cheapest safe degradation).
   static constexpr std::size_t kMaxPendingUsage = 4096;
+
+  /// Attaches a WAL so acknowledged (204'd) usage records survive a peer
+  /// crash: each accepted record and each upload flush is logged. A POST
+  /// whose sync barrier fails is answered 503 — the client retries, so a
+  /// payment claim is never acked into thin air.
+  void attach_wal(durable::Wal* wal) { wal_ = wal; }
+  durable::Wal* wal() const { return wal_; }
+  /// Rebuilds pending usage from the WAL (cache and signups are soft state
+  /// the driver re-establishes). Replay runs the same bounded-queue logic,
+  /// so evictions reproduce deterministically.
+  durable::Wal::RecoveryStats recover_from_wal(durable::Wal& wal);
+  bool compact_wal();
+  util::Bytes serialize_state() const;
+  bool restore_state(const util::Bytes& payload);
+  /// Digest over pending usage (provider, serialized record lines).
+  std::uint64_t fingerprint() const;
+  std::size_t pending_usage_count() const;
+
+  static constexpr std::uint8_t kWalUsage = 1;
+  static constexpr std::uint8_t kWalFlush = 2;
+
   const Stats& stats() const { return stats_; }
   http::HttpCache& cache() { return cache_; }
   net::Endpoint endpoint() const;
@@ -76,6 +98,10 @@ class PeerProxy {
 
  private:
   void install_routes(const std::string& provider);
+  /// Bounded-queue admission + WAL logging for one usage record. Returns
+  /// false when the WAL barrier failed (record buffered but not durable).
+  bool accept_usage(const std::string& provider, UsageRecord record);
+  void apply_record(const durable::WalRecord& rec);
   void serve(const ProviderSignup& signup, const http::Request& req,
              http::ResponseWriter w);
   void respond_from(const ProviderSignup& signup, const http::Request& req,
@@ -95,6 +121,8 @@ class PeerProxy {
   util::SymbolMap<std::vector<UsageRecord>> pending_usage_;
   std::optional<sim::TimerId> upload_timer_;
   std::unique_ptr<overload::AdmissionController> admission_;
+  durable::Wal* wal_ = nullptr;
+  bool replaying_ = false;
   Stats stats_;
 
   // Registry handles (aggregated across all peers).

@@ -18,6 +18,7 @@ enum class Scenario {
   kFlashCrowd,  // open-loop crowd vs one admission-controlled NoCDN peer
   kRampup,      // TCP slow-start ramp to 90% of a 1 Gbps path
   kMetro,       // small metro tree, diurnal NoCDN day with crowd + outage
+  kDurable,     // WAL'd attic through torn crashes: zero acked-write loss
 };
 
 const char* to_string(Scenario s);

@@ -52,6 +52,27 @@ TEST(Store, QuotaEnforced) {
   EXPECT_EQ(store.used_bytes(), 900u + 800u);  // history retained
 }
 
+TEST(Store, VersionHistoryBoundedAndQuotaReflectsPruning) {
+  AtticStore store(1 << 20);
+  const std::size_t total = AtticStore::kMaxVersions + 4;
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(store
+                    .put("/f", http::Body::synthetic(100 + i, i),
+                         static_cast<util::TimePoint>(i) * kSecond)
+                    .ok());
+  }
+  const auto history = store.history("/f");
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history.value().size(), AtticStore::kMaxVersions);
+  EXPECT_EQ(store.versions_pruned(), 4u);
+  // The oldest retained version is the 5th write; pruned bytes returned
+  // to the quota.
+  EXPECT_EQ(history.value().front().content.size(), 104u);
+  std::size_t expected = 0;
+  for (std::size_t i = 4; i < total; ++i) expected += 100 + i;
+  EXPECT_EQ(store.used_bytes(), expected);
+}
+
 TEST(Store, RemoveFreesSpace) {
   AtticStore store(1000);
   ASSERT_TRUE(store.put("/a", http::Body::synthetic(800, 1), 0).ok());
@@ -506,6 +527,15 @@ TEST(Seal, RoundTripAndTamperDetection) {
   tampered.ciphertext[0] ^= 1;
   EXPECT_FALSE(unseal(key, tampered).ok());
 
+  // A flipped MAC bit, a substituted nonce, and a wrong key all fail
+  // closed — every field of the sealed box is integrity-bound.
+  Sealed bad_mac = box;
+  bad_mac.mac[0] ^= 1;
+  EXPECT_FALSE(unseal(key, bad_mac).ok());
+  Sealed bad_nonce = box;
+  bad_nonce.nonce ^= 1;
+  EXPECT_FALSE(unseal(key, bad_nonce).ok());
+
   EXPECT_FALSE(unseal(util::to_bytes("wrong-key"), box).ok());
 }
 
@@ -653,7 +683,19 @@ TEST(Backup, PeersHoldOnlyCiphertext) {
   EXPECT_EQ(shard.value().content.text().find(secret), std::string::npos);
 }
 
-TEST(Backup, RestoreDetectsTamperedShard) {
+/// Flips one byte of the shard held by peer `i`.
+void corrupt_shard(BackupWorld& w, int peer, int shard_index) {
+  auto& store = w.peers[static_cast<std::size_t>(peer)].attic->store();
+  const std::string path =
+      "/backup/owner/medical/shard-" + std::to_string(shard_index);
+  const auto shard = store.get(path);
+  ASSERT_TRUE(shard.ok());
+  std::string bytes = shard.value().content.text();
+  bytes[0] = static_cast<char>(bytes[0] ^ 1);
+  ASSERT_TRUE(store.put(path, http::Body(bytes), w.sim.now()).ok());
+}
+
+TEST(Backup, RestoreReconstructsAroundCorruptedShard) {
   BackupWorld w(5);
   const http::Body content(std::string(3000, 't'));
   bool stored = false;
@@ -662,19 +704,34 @@ TEST(Backup, RestoreDetectsTamperedShard) {
   w.sim.run_until(10 * kSecond);
   ASSERT_TRUE(stored);
 
-  // A malicious peer flips one byte of the shard it holds.
-  auto& store = w.peers[0].attic->store();
-  const auto shard = store.get("/backup/owner/medical/shard-0");
-  ASSERT_TRUE(shard.ok());
-  std::string bytes = shard.value().content.text();
-  bytes[0] = static_cast<char>(bytes[0] ^ 1);
-  ASSERT_TRUE(store
-                  .put("/backup/owner/medical/shard-0", http::Body(bytes),
-                       w.sim.now())
-                  .ok());
+  // A malicious peer flips one byte of the shard it holds. The per-shard
+  // manifest digest catches it at fetch time: the corrupted shard is
+  // treated as missing and RS reconstruction rebuilds the data from the
+  // surviving k, instead of the bad bytes poisoning the decode.
+  corrupt_shard(w, 0, 0);
+  std::optional<http::Body> restored;
+  w.backup->restore("medical", [&](util::Result<http::Body> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    restored = r.value();
+  });
+  w.sim.run_until(200 * kSecond);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->text(), content.text());
+}
 
-  // The parity holders go dark so the decode must consume the tampered
-  // data shard; the MAC over the reassembled blob catches it.
+TEST(Backup, CorruptedShardPlusDeadParityIsInsufficient) {
+  BackupWorld w(5);
+  const http::Body content(std::string(3000, 't'));
+  bool stored = false;
+  w.backup->backup("medical", content, BackupManager::Strategy::kErasure, 3,
+                   2, [&](util::Status s) { stored = s.ok(); });
+  w.sim.run_until(10 * kSecond);
+  ASSERT_TRUE(stored);
+
+  // With both parity holders dark, a corrupted data shard leaves only
+  // k-1 = 2 usable shards: the restore fails loudly rather than decoding
+  // garbage.
+  corrupt_shard(w, 0, 0);
   w.kill_peer(3);
   w.kill_peer(4);
   std::string code;
@@ -683,7 +740,44 @@ TEST(Backup, RestoreDetectsTamperedShard) {
     code = r.error().code;
   });
   w.sim.run_until(200 * kSecond);
-  EXPECT_EQ(code, "tampered");
+  EXPECT_EQ(code, "insufficient_shards");
+}
+
+TEST(Backup, RepairRewritesCorruptedShardInPlace) {
+  BackupWorld w(5);
+  const http::Body content(std::string(3000, 'c'));
+  bool stored = false;
+  w.backup->backup("medical", content, BackupManager::Strategy::kErasure, 3,
+                   2, [&](util::Status s) { stored = s.ok(); });
+  w.sim.run_until(10 * kSecond);
+  ASSERT_TRUE(stored);
+
+  corrupt_shard(w, 1, 1);
+  std::optional<BackupManager::RepairReport> report;
+  w.backup->check_and_repair(
+      "medical", [&](util::Result<BackupManager::RepairReport> r) {
+        ASSERT_TRUE(r.ok()) << r.error().message;
+        report = r.value();
+      });
+  w.sim.run_until(200 * kSecond);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->shards_missing, 1);
+  EXPECT_EQ(report->shards_repaired, 1);
+  // The peer is alive — the shard is rewritten where it lives, not moved.
+  EXPECT_EQ(report->placements_moved, 0);
+
+  // The repaired backup again tolerates m=2 failures including the
+  // once-corrupted shard's peer staying up.
+  w.kill_peer(3);
+  w.kill_peer(4);
+  std::optional<http::Body> restored;
+  w.backup->restore("medical", [&](util::Result<http::Body> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    restored = r.value();
+  });
+  w.sim.run_until(500 * kSecond);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->text(), content.text());
 }
 
 TEST(Backup, RepairRehomesShardsFromDeadPeer) {

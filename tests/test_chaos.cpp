@@ -7,6 +7,8 @@
 #include "attic/health.hpp"
 #include "attic/webdav.hpp"
 #include "dcol/client.hpp"
+#include "durable/device.hpp"
+#include "durable/wal.hpp"
 #include "fault/fault.hpp"
 #include "net/topology.hpp"
 #include "nocdn/loader.hpp"
@@ -209,13 +211,16 @@ TEST(Chaos, FaultPlanExecutesScriptedEvents) {
 // ------------------------------------------- Health records under crashes
 
 /// A patient HPoP (attic) that a ChaosController can crash and restart.
-/// The attic's contents model disk: they survive the crash; the Hpop and
-/// AtticService objects model the process image: they are rebuilt.
+/// The attic's state lives on a simulated StorageDevice behind a WAL: the
+/// device survives the crash (minus its unflushed tail); the Hpop and
+/// AtticService objects model the process image and are rebuilt by
+/// recovering from the device — never from a saved in-memory copy.
 struct PatientWorld {
   sim::Simulator sim;
   net::Network net{sim, util::Rng(53)};
   net::TwoHostPath path;
-  attic::AtticStore disk;
+  durable::StorageDevice disk{"patient-disk", util::Rng(71)};
+  std::unique_ptr<durable::Wal> wal;
   std::unique_ptr<core::Hpop> hpop;
   std::unique_ptr<attic::AtticService> attic;
   std::unique_ptr<transport::TransportMux> mux_provider;
@@ -232,12 +237,13 @@ struct PatientWorld {
     config.household = "patient";
     hpop = std::make_unique<core::Hpop>(*path.a, config);
     attic = std::make_unique<attic::AtticService>(*hpop);
-    attic->store() = disk;  // remount the surviving disk
+    wal = std::make_unique<durable::Wal>(disk, "attic.wal");
+    attic->store().recover_from_wal(*wal);
   }
   void teardown() {
-    disk = attic->store();
     attic.reset();
     hpop.reset();
+    wal.reset();
   }
 };
 
@@ -246,6 +252,7 @@ TEST(ChaosScenario, AckedHealthRecordsSurviveHpopCrash) {
   fault::ChaosController chaos(w.sim, util::Rng(11));
   chaos.register_node("patient", w.path.a, [&] { w.teardown(); },
                       [&] { w.build(); });
+  chaos.attach_device("patient", &w.disk);
 
   const attic::ProviderGrant grant =
       attic::issue_provider_grant(*w.attic, "clinic");
