@@ -32,7 +32,11 @@
 
 #include "bench/alloc_hook.hpp"
 #include "bench/durability_workloads.hpp"
+#include "fault/fault.hpp"
+#include "hpop/dir_cluster.hpp"
+#include "metro/driver.hpp"
 #include "metro/topology.hpp"
+#include "metro/workload.hpp"
 #include "net/pool.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -477,6 +481,111 @@ DurabilityResult run_durability(std::size_t records, std::size_t tail,
   return r;
 }
 
+// --- Workload 9: sharded directory day (E19 gates) ----------------------
+// A compact version of bench_directory's day: a replicated DirectoryCluster
+// under a shard crash and a shard partition in disjoint windows. The E19
+// invariants gate here so they land in BENCH_CORE.json: post-warmup lookup
+// success, zero acked-registration loss, no stale adverts past lease
+// expiry, and anti-entropy actually repairing the crashed shard.
+
+struct DirectoryDayResult {
+  std::size_t homes = 0;
+  std::uint64_t lookups = 0;
+  double success = 0;
+  double p99_s = 0;
+  std::size_t acked = 0;
+  std::size_t resolved = 0;
+  std::uint64_t silent_probes = 0;
+  std::uint64_t stale_served = 0;
+  std::uint64_t sync_rounds = 0;
+  std::uint64_t sync_applied = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t partition_heals = 0;
+  std::uint64_t cut_drops = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  // Client-side failure breakdown (includes warmup traffic).
+  std::uint64_t client_not_found = 0;
+  std::uint64_t client_unreachable = 0;
+  std::uint64_t client_busy = 0;
+  std::uint64_t client_failovers = 0;
+  std::uint64_t client_timeouts = 0;
+};
+
+DirectoryDayResult run_directory_day(std::size_t homes) {
+  using util::kSecond;
+  constexpr util::Duration kDay = 24 * kSecond;
+  DirectoryDayResult r;
+  r.homes = homes;
+
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(42)};
+  metro::MetroParams params;
+  params.homes = homes;
+  util::Rng topo_rng(42 ^ 0x4d455452u);
+  metro::MetroTopology topo = metro::build_metro(net, params, topo_rng);
+
+  metro::ZipfCatalog catalog(128, 0.9);
+  util::Rng plan_rng(42 ^ 0x504c414eu);
+  metro::EventPlan plan = metro::EventPlan::generate(
+      topo, catalog, kDay, /*flash_crowds=*/1, /*outages=*/0, plan_rng);
+  metro::WorkloadModel model(metro::DiurnalCurve::residential(kDay), catalog,
+                             plan, /*base_rate_per_home=*/0.1);
+
+  metro::MetroDriverConfig dconfig;
+  dconfig.active_homes = homes;
+  dconfig.peers = 8;
+  dconfig.attic_pairs = 2;
+  dconfig.horizon = kDay;
+  dconfig.dir_shards = 4;
+  dconfig.dir_replication = 2;
+  dconfig.dir_lease = 6 * kSecond;
+  dconfig.dir_anti_entropy = 2 * kSecond;
+  dconfig.dir_registered_homes = std::min<std::size_t>(300, homes / 2);
+  dconfig.dir_silent_homes = 24;
+  dconfig.dir_silent_lease_s = 2;
+  dconfig.dir_warmup = 3 * kSecond;
+  metro::MetroDriver driver(topo, model, dconfig, util::Rng(42 ^ 0xd1ce5u));
+  driver.start();
+
+  core::DirectoryCluster* cluster = driver.directory();
+  fault::ChaosController chaos(sim, util::Rng(42 ^ 0xfa017u));
+  cluster->register_with_chaos(chaos);
+  // Disjoint windows: crash [6, 10), partition [12, 16) — R=2 always
+  // leaves one live replica.
+  chaos.crash_at(cluster->host(1).name(), 6 * kSecond, 4 * kSecond);
+  chaos.partition_at({&cluster->host(2)}, {}, 12 * kSecond, 4 * kSecond);
+
+  sim.run_until(kDay + 8 * kSecond);
+
+  r.lookups = driver.stats().dir_lookups;
+  r.success = driver.dir_success_rate();
+  r.p99_s = driver.dir_lookup_p99_s();
+  r.silent_probes = driver.stats().dir_silent_probes;
+  r.stale_served = driver.stats().dir_stale_served;
+  const auto sync = cluster->sync_totals();
+  r.sync_rounds = sync.rounds;
+  r.sync_applied = sync.entries_applied;
+  r.partitions = chaos.stats().partitions;
+  r.partition_heals = chaos.stats().partition_heals;
+  r.cut_drops = chaos.stats().partition_drops;
+  r.crashes = chaos.stats().crashes;
+  r.restarts = chaos.stats().restarts;
+  const auto client = driver.dir_client_totals();
+  r.client_not_found = client.not_found;
+  r.client_unreachable = client.unreachable;
+  r.client_busy = client.busy;
+  r.client_failovers = client.failovers;
+  r.client_timeouts = client.timeouts;
+  const auto& regs = driver.dir_registrations();
+  for (std::size_t i = 0; i < driver.dir_renewing(); ++i) {
+    if (!regs[i]->acked()) continue;
+    ++r.acked;
+    if (cluster->resolves(regs[i]->household())) ++r.resolved;
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -555,6 +664,11 @@ int main(int argc, char** argv) {
   const DurabilityResult dur =
       run_durability(dur_records, dur_tail, dur_day_files);
 
+  const std::size_t dir_homes = smoke ? 300 : 1'000;
+  std::fprintf(stderr, "[bench_core] directory day (%zu homes)...\n",
+               dir_homes);
+  const DirectoryDayResult dir = run_directory_day(dir_homes);
+
   constexpr double kPacketHopAllocsMax = 1.0;
   constexpr double kTcpBulkAllocsMax = 3.0;
   constexpr double kSweepSpeedupMin = 3.0;
@@ -584,12 +698,23 @@ int main(int argc, char** argv) {
   const bool gate_dur_incremental =
       dur.incremental.ratio() < kIncrementalRatioMax &&
       dur.incremental.fingerprint_ok;
+  constexpr double kDirSuccessMin = 0.99;
+  const bool gate_dir_lookup =
+      dir.lookups > 0 && dir.success >= kDirSuccessMin;
+  const bool gate_dir_no_loss = dir.acked > 0 && dir.resolved == dir.acked;
+  const bool gate_dir_no_stale =
+      dir.silent_probes > 0 && dir.stale_served == 0;
+  const bool gate_dir_sync = dir.sync_rounds > 0 && dir.sync_applied > 0 &&
+                             dir.crashes == 1 && dir.restarts == 1 &&
+                             dir.partitions == 1 && dir.partition_heals == 1;
   const bool gates_passed = gate_speedup && gate_delivery &&
                             gate_hop_allocs && gate_bulk_allocs &&
                             gate_sweep_identical && gate_sweep_speedup &&
                             gate_metro_build && gate_bytes_per_home &&
                             gate_dur_recovery && gate_dur_compaction &&
-                            gate_dur_incremental;
+                            gate_dur_incremental && gate_dir_lookup &&
+                            gate_dir_no_loss && gate_dir_no_stale &&
+                            gate_dir_sync;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -695,6 +820,29 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"incremental_ratio\": %.4f\n",
                dur.incremental.ratio());
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"directory\": {\n");
+  std::fprintf(out, "    \"homes\": %zu,\n", dir.homes);
+  std::fprintf(out, "    \"lookups\": %llu,\n",
+               static_cast<unsigned long long>(dir.lookups));
+  std::fprintf(out, "    \"success_rate\": %.4f,\n", dir.success);
+  std::fprintf(out, "    \"lookup_p99_s\": %.4f,\n", dir.p99_s);
+  std::fprintf(out, "    \"acked\": %zu,\n", dir.acked);
+  std::fprintf(out, "    \"resolved\": %zu,\n", dir.resolved);
+  std::fprintf(out, "    \"silent_probes\": %llu,\n",
+               static_cast<unsigned long long>(dir.silent_probes));
+  std::fprintf(out, "    \"stale_served\": %llu,\n",
+               static_cast<unsigned long long>(dir.stale_served));
+  std::fprintf(out, "    \"sync_rounds\": %llu,\n",
+               static_cast<unsigned long long>(dir.sync_rounds));
+  std::fprintf(out, "    \"sync_applied\": %llu,\n",
+               static_cast<unsigned long long>(dir.sync_applied));
+  std::fprintf(out, "    \"partitions\": %llu,\n",
+               static_cast<unsigned long long>(dir.partitions));
+  std::fprintf(out, "    \"partition_heals\": %llu,\n",
+               static_cast<unsigned long long>(dir.partition_heals));
+  std::fprintf(out, "    \"cut_drops\": %llu\n",
+               static_cast<unsigned long long>(dir.cut_drops));
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates\": {\n");
   std::fprintf(out, "    \"scheduler_speedup_min\": 2.0,\n");
   std::fprintf(out, "    \"scheduler_speedup_ok\": %s,\n",
@@ -731,8 +879,17 @@ int main(int argc, char** argv) {
                gate_dur_compaction ? "true" : "false");
   std::fprintf(out, "    \"incremental_ratio_max\": %.2f,\n",
                kIncrementalRatioMax);
-  std::fprintf(out, "    \"durability_incremental_ok\": %s\n",
+  std::fprintf(out, "    \"durability_incremental_ok\": %s,\n",
                gate_dur_incremental ? "true" : "false");
+  std::fprintf(out, "    \"directory_success_min\": %.2f,\n", kDirSuccessMin);
+  std::fprintf(out, "    \"directory_lookup_ok\": %s,\n",
+               gate_dir_lookup ? "true" : "false");
+  std::fprintf(out, "    \"directory_no_loss_ok\": %s,\n",
+               gate_dir_no_loss ? "true" : "false");
+  std::fprintf(out, "    \"directory_no_stale_ok\": %s,\n",
+               gate_dir_no_stale ? "true" : "false");
+  std::fprintf(out, "    \"directory_sync_ok\": %s\n",
+               gate_dir_sync ? "true" : "false");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates_passed\": %s\n", gates_passed ? "true" : "false");
   std::fprintf(out, "}\n");
@@ -784,6 +941,24 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(dur.compaction.replayed_before),
                static_cast<unsigned long long>(dur.compaction.replayed_after),
                dur.incremental.ratio() * 100);
+  std::fprintf(stderr,
+               "[bench_core] directory: %llu lookups %.2f%% ok (p99 %.2fs), "
+               "acked %zu resolved %zu, stale %llu/%llu probes, "
+               "sync %llu rounds %llu applied\n",
+               static_cast<unsigned long long>(dir.lookups),
+               dir.success * 100, dir.p99_s, dir.acked, dir.resolved,
+               static_cast<unsigned long long>(dir.stale_served),
+               static_cast<unsigned long long>(dir.silent_probes),
+               static_cast<unsigned long long>(dir.sync_rounds),
+               static_cast<unsigned long long>(dir.sync_applied));
+  std::fprintf(stderr,
+               "[bench_core] directory clients: %llu not_found %llu "
+               "unreachable %llu busy, %llu failovers %llu timeouts\n",
+               static_cast<unsigned long long>(dir.client_not_found),
+               static_cast<unsigned long long>(dir.client_unreachable),
+               static_cast<unsigned long long>(dir.client_busy),
+               static_cast<unsigned long long>(dir.client_failovers),
+               static_cast<unsigned long long>(dir.client_timeouts));
   std::fprintf(stderr, "[bench_core] gates %s -> %s\n",
                gates_passed ? "PASSED" : "FAILED", out_path.c_str());
 

@@ -73,6 +73,18 @@ diff /tmp/sweep_durable_serial.txt /tmp/sweep_durable_parallel.txt
   > /tmp/sweep_durable_rerun.txt
 diff /tmp/sweep_durable_serial.txt /tmp/sweep_durable_rerun.txt
 
+# Directory-cluster determinism gate (E19): the sharded directory day —
+# lease churn, a shard crash, and a network partition — must be
+# jobs-invariant in the sweeper and byte-identical run to rerun.
+./build/bench/sweeper --scenario directory --seeds 1-4 --jobs 1 \
+  > /tmp/sweep_directory_serial.txt
+./build/bench/sweeper --scenario directory --seeds 1-4 --jobs 4 \
+  > /tmp/sweep_directory_parallel.txt
+diff /tmp/sweep_directory_serial.txt /tmp/sweep_directory_parallel.txt
+./build/bench/sweeper --scenario directory --seeds 1-4 --jobs 1 \
+  > /tmp/sweep_directory_rerun.txt
+diff /tmp/sweep_directory_serial.txt /tmp/sweep_directory_rerun.txt
+
 # Durability gate (E18, smoke scale): bench_durability self-gates on WAL
 # replay rebuilding byte-identical state, snapshot compaction bounding
 # recovery to the post-snapshot tail, and the incremental-backup session
@@ -82,6 +94,16 @@ diff /tmp/sweep_durable_serial.txt /tmp/sweep_durable_rerun.txt
 ./build/bench/bench_durability --smoke > /tmp/durability_run_b.txt
 diff /tmp/durability_run_a.txt /tmp/durability_run_b.txt
 cat /tmp/durability_run_a.txt
+
+# Directory gate (E19, smoke scale): bench_directory self-gates on lookup
+# availability (>= 99%), bounded p99, zero acked-registration loss, no
+# stale advert served past lease expiry, anti-entropy catch-up after the
+# crash, and the chaos schedule actually firing; two same-seed runs must
+# print byte-identical reports.
+./build/bench/bench_directory --smoke > /tmp/directory_run_a.txt
+./build/bench/bench_directory --smoke > /tmp/directory_run_b.txt
+diff /tmp/directory_run_a.txt /tmp/directory_run_b.txt
+cat /tmp/directory_run_a.txt
 
 # Metro smoke gate (E17): build a 10k-home metro, run the short diurnal
 # slice twice, and diff the telemetry — the generator, workload draws, and
@@ -111,6 +133,10 @@ for gate_file in /tmp/BENCH_CORE.json BENCH_CORE.json; do
   grep -q '"durability_recovery_ok": true' "$gate_file"
   grep -q '"durability_compaction_ok": true' "$gate_file"
   grep -q '"durability_incremental_ok": true' "$gate_file"
+  grep -q '"directory_lookup_ok": true' "$gate_file"
+  grep -q '"directory_no_loss_ok": true' "$gate_file"
+  grep -q '"directory_no_stale_ok": true' "$gate_file"
+  grep -q '"directory_sync_ok": true' "$gate_file"
 done
 
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
@@ -130,6 +156,11 @@ ASAN_OPTIONS=detect_leaks=0 \
 # prefix arithmetic are exactly the byte-twiddling ASan is for.
 ASAN_OPTIONS=detect_leaks=0 \
   ./build-asan/bench/bench_durability --smoke > /dev/null
+# Directory under ASan: shard crash + partition teardown is where dangling
+# connection/mux references would live (a crash destroys the shard's
+# TransportMux while peers still hold connections into it).
+ASAN_OPTIONS=detect_leaks=0 \
+  ./build-asan/bench/bench_directory --smoke > /dev/null
 
 # TSan lane: the whole tier-1 suite once under ThreadSanitizer. The
 # simulator itself is single-threaded; this lane guards the thread_local
@@ -138,3 +169,8 @@ ASAN_OPTIONS=detect_leaks=0 \
 cmake -B build-tsan -S . -DHPOP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure --timeout 480
+# Directory sweep under TSan: four seeds across four worker threads — the
+# sweeper's one-Simulator-per-seed isolation must hold for the new
+# scenario too.
+./build-tsan/bench/sweeper --scenario directory --seeds 1-4 --jobs 4 \
+  > /dev/null

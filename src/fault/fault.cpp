@@ -98,6 +98,19 @@ FaultPlan& FaultPlan::partial_flush(durable::StorageDevice* device,
   return *this;
 }
 
+FaultPlan& FaultPlan::partition(std::vector<net::Node*> a,
+                                std::vector<net::Node*> b, util::TimePoint at,
+                                util::Duration duration) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kPartition;
+  e.set_a = std::move(a);
+  e.set_b = std::move(b);
+  e.at = at;
+  e.duration = duration;
+  events.push_back(std::move(e));
+  return *this;
+}
+
 ChaosController::ChaosController(sim::Simulator& sim, util::Rng rng)
     : sim_(sim), rng_(rng) {
   auto& reg = telemetry::registry();
@@ -108,6 +121,8 @@ ChaosController::ChaosController(sim::Simulator& sim, util::Rng rng)
   m_nat_flushes_ = reg.counter("fault.nat_flushes");
   m_torn_armed_ = reg.counter("fault.torn_writes_armed");
   m_partial_armed_ = reg.counter("fault.partial_flushes_armed");
+  m_partitions_ = reg.counter("fault.partitions");
+  m_partition_heals_ = reg.counter("fault.partition_heals");
   m_downtime_s_ = reg.histogram("fault.node_downtime_s", 0, 120, 24);
 }
 
@@ -289,6 +304,89 @@ void ChaosController::partial_flush_at(durable::StorageDevice* device,
   });
 }
 
+namespace {
+
+bool addr_in(const std::vector<std::uint32_t>& sorted, std::uint32_t addr) {
+  return std::binary_search(sorted.begin(), sorted.end(), addr);
+}
+
+std::vector<std::uint32_t> member_addrs(const std::vector<net::Node*>& nodes) {
+  std::vector<std::uint32_t> addrs;
+  for (net::Node* n : nodes) {
+    for (const auto& ifc : n->interfaces()) addrs.push_back(ifc->addr.value);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  return addrs;
+}
+
+}  // namespace
+
+void ChaosController::install_cut_hooks(
+    net::Node* node, bool side_a, const std::shared_ptr<PartitionCut>& cut) {
+  // A member of side A drops traffic to/from side B; with an empty side B
+  // ("isolate A") it drops everything whose far end is outside A. Side-B
+  // members mirror that against A. The shared `active` flag makes the heal
+  // a single store; inert hooks cost one branch per packet.
+  auto far_end_cut = [cut, side_a](std::uint32_t far) {
+    if (!cut->active) return false;
+    if (side_a) {
+      return cut->addrs_b.empty() ? !addr_in(cut->addrs_a, far)
+                                  : addr_in(cut->addrs_b, far);
+    }
+    return addr_in(cut->addrs_a, far);
+  };
+  Stats* stats = &stats_;
+  node->add_egress_hook([far_end_cut, stats](net::Packet& p) {
+    if (!far_end_cut(p.dst.value)) return false;
+    ++stats->partition_drops;
+    return true;
+  });
+  node->add_ingress_hook([far_end_cut, stats](net::Packet& p) {
+    if (!far_end_cut(p.src.value)) return false;
+    ++stats->partition_drops;
+    return true;
+  });
+}
+
+void ChaosController::partition_at(std::vector<net::Node*> a,
+                                   std::vector<net::Node*> b,
+                                   util::TimePoint when,
+                                   util::Duration duration) {
+  auto cut = std::make_shared<PartitionCut>();
+  cut->addrs_a = member_addrs(a);
+  cut->addrs_b = member_addrs(b);
+  cuts_.push_back(cut);
+  sim_.schedule(delay_until(when),
+                [this, cut, a = std::move(a), b = std::move(b), duration] {
+    cut->active = true;
+    // Hooks are installed at activation (not scheduling) so nodes rebuilt
+    // by an earlier crash/restart still get them. Installing on every
+    // member catches both directions even when only one side is hooked —
+    // the redundancy is what keeps the cut bidirectional if a member on
+    // the other side crashed and lost its hooks.
+    for (net::Node* n : a) install_cut_hooks(n, /*side_a=*/true, cut);
+    for (net::Node* n : b) install_cut_hooks(n, /*side_a=*/false, cut);
+    ++stats_.partitions;
+    m_partitions_->inc();
+    HPOP_LOG(kInfo, "fault")
+        << "partition: " << a.size() << " node(s) vs "
+        << (b.empty() ? std::string("rest") : std::to_string(b.size()))
+        << " for " << util::format_duration(duration);
+    sim_.schedule(duration, [this, cut] {
+      if (!cut->active) return;
+      cut->active = false;
+      ++stats_.partition_heals;
+      m_partition_heals_->inc();
+      HPOP_LOG(kInfo, "fault") << "partition healed";
+      telemetry::tracer().emit(telemetry::TraceEvent::kLinkUp, 0, 0,
+                               "partition_heal");
+    });
+    telemetry::tracer().emit(telemetry::TraceEvent::kLinkDown, 0, 0,
+                             "partition");
+  });
+}
+
 void ChaosController::flush_nat(net::NatBox* nat, util::TimePoint when) {
   sim_.schedule(delay_until(when), [this, nat] {
     const double dropped = static_cast<double>(nat->mapping_count());
@@ -347,6 +445,9 @@ void ChaosController::execute(const FaultPlan& plan) {
         break;
       case FaultEvent::Kind::kPartialFlush:
         partial_flush_at(e.device, e.at);
+        break;
+      case FaultEvent::Kind::kPartition:
+        partition_at(e.set_a, e.set_b, e.at, e.duration);
         break;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,7 @@ struct FaultEvent {
     kNatFlush,      // nat: drop every dynamic mapping
     kTornWrite,     // device: arm so the next crash keeps a torn prefix
     kPartialFlush,  // device: arm so the next fsync persists a prefix + fails
+    kPartition,     // net: bidirectional cut between set_a and set_b
   };
   Kind kind = Kind::kCrash;
   util::TimePoint at = 0;
@@ -52,6 +54,10 @@ struct FaultEvent {
   util::BitRate rate = 0;       // kDegrade: 0 keeps the current rate
   double loss = 0;              // kDegrade
   GilbertElliott ge{};          // kBurstLoss
+  /// kPartition: the two sides of the cut. An empty set_b means "set_a is
+  /// isolated from everyone else" (the complement cut).
+  std::vector<net::Node*> set_a;
+  std::vector<net::Node*> set_b;
 };
 
 /// A reproducible chaos script: an ordered set of fault events. Plans are
@@ -77,6 +83,10 @@ struct FaultPlan {
   /// so the plan stays byte-reproducible.
   FaultPlan& torn_write(durable::StorageDevice* device, util::TimePoint at);
   FaultPlan& partial_flush(durable::StorageDevice* device, util::TimePoint at);
+  /// Bidirectional cut between `a` and `b` for `duration`, then heal. An
+  /// empty `b` isolates `a` from the entire network.
+  FaultPlan& partition(std::vector<net::Node*> a, std::vector<net::Node*> b,
+                       util::TimePoint at, util::Duration duration);
 };
 
 /// Deterministic fault injector. Every stochastic choice (churn victims,
@@ -125,6 +135,16 @@ class ChaosController {
   void torn_write_at(durable::StorageDevice* device, util::TimePoint when);
   void partial_flush_at(durable::StorageDevice* device, util::TimePoint when);
 
+  /// Scoped network partition: from `when` until `when + duration`, no
+  /// packet crosses between `a` and `b` in either direction (an empty `b`
+  /// isolates `a` from everyone). Implemented as egress+ingress hooks on
+  /// the member nodes consulting shared cut state, so the heal is O(1) —
+  /// the hooks stay installed but inert (node hooks are append-only).
+  /// Caveat: a node crash clears its hooks, so crashing a member mid-cut
+  /// ends that node's side of the partition early.
+  void partition_at(std::vector<net::Node*> a, std::vector<net::Node*> b,
+                    util::TimePoint when, util::Duration duration);
+
   /// Crashes `fraction` of the named pool (distinct victims, chosen by the
   /// controller's Rng), each at a uniform offset within [start,
   /// start+window], each down for `downtime`. Returns the victims.
@@ -146,6 +166,9 @@ class ChaosController {
     std::uint64_t torn_writes_armed = 0;
     std::uint64_t partial_flushes_armed = 0;
     std::uint64_t device_crashes = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t partition_heals = 0;
+    std::uint64_t partition_drops = 0;  // packets eaten by active cuts
   };
   const Stats& stats() const { return stats_; }
 
@@ -158,8 +181,18 @@ class ChaosController {
     util::TimePoint went_down = 0;
   };
 
+  /// Shared state of one cut: sorted member addresses of each side plus an
+  /// active flag the installed hooks consult. Healing flips the flag.
+  struct PartitionCut {
+    std::vector<std::uint32_t> addrs_a;  // sorted
+    std::vector<std::uint32_t> addrs_b;  // sorted; empty = complement cut
+    bool active = false;
+  };
+
   /// Delay from now to `when`, floored at zero (past events fire now).
   util::Duration delay_until(util::TimePoint when) const;
+  void install_cut_hooks(net::Node* node, bool side_a,
+                         const std::shared_ptr<PartitionCut>& cut);
   void do_crash(NodeEntry& e, util::Duration downtime);
   void do_restart(NodeEntry& e);
   void ge_step(net::Link* link, util::TimePoint end, GilbertElliott ge,
@@ -168,6 +201,7 @@ class ChaosController {
   sim::Simulator& sim_;
   util::Rng rng_;
   std::map<std::string, NodeEntry> nodes_;
+  std::vector<std::shared_ptr<PartitionCut>> cuts_;
   Stats stats_;
 
   telemetry::Counter* m_crashes_;
@@ -177,6 +211,8 @@ class ChaosController {
   telemetry::Counter* m_nat_flushes_;
   telemetry::Counter* m_torn_armed_;
   telemetry::Counter* m_partial_armed_;
+  telemetry::Counter* m_partitions_;
+  telemetry::Counter* m_partition_heals_;
   telemetry::HistogramMetric* m_downtime_s_;
 };
 

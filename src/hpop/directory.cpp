@@ -1,6 +1,7 @@
 #include "hpop/directory.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/logging.hpp"
 
@@ -9,90 +10,190 @@ namespace hpop::core {
 DirectoryServer::DirectoryServer(transport::TransportMux& mux,
                                  std::uint16_t port)
     : mux_(mux), listener_(mux.tcp_listen(port)) {
-  listener_->set_on_accept([this](
-                               std::shared_ptr<transport::TcpConnection>
-                                   conn) {
-    conn->set_on_message([this, conn](net::PayloadPtr msg) {
-      if (const auto reg = std::dynamic_pointer_cast<const DirRegister>(msg)) {
-        if (wal_ != nullptr) {
-          durable::PayloadWriter w;
-          w.put_string(reg->household);
-          w.put_u8(static_cast<std::uint8_t>(reg->advertisement.method));
-          w.put_u32(reg->advertisement.endpoint.ip.value);
-          w.put_u32(reg->advertisement.endpoint.port);
-          w.put_u8(reg->advertisement.rendezvous_required ? 1 : 0);
-          wal_->append(kWalRegister, w.take());
-          wal_->sync();
-        }
-        households_.insert_or_assign(reg->household,
-                                     Registration{reg->advertisement, conn});
-        HPOP_LOG(kInfo, "directory")
-            << "registered " << reg->household << " via "
-            << traversal::to_string(reg->advertisement.method);
-        return;
-      }
-      if (const auto lookup =
-              std::dynamic_pointer_cast<const DirLookupRequest>(msg)) {
-        auto resp = std::make_shared<DirLookupResponse>();
-        resp->txn = lookup->txn;
-        util::Duration hint = 0;
-        if (admission_ && !admission_->try_admit_instant(
-                              overload::Class::kThirdParty, &hint)) {
-          ++sheds_;
-          resp->busy = true;
-          resp->retry_after_s = static_cast<std::uint32_t>(
-              std::max<util::Duration>(hint, util::kSecond) / util::kSecond);
-          conn->send(resp);
-          return;
-        }
-        if (const Registration* r = households_.find(lookup->household)) {
-          resp->found = true;
-          resp->advertisement = r->advertisement;
-        }
-        conn->send(resp);
-        return;
-      }
-      if (const auto rdv =
-              std::dynamic_pointer_cast<const DirRendezvousRequest>(msg)) {
-        util::Duration hint = 0;
-        if (admission_ && !admission_->try_admit_instant(
-                              overload::Class::kOwner, &hint)) {
-          ++sheds_;
-          auto ready = std::make_shared<DirRendezvousReady>();
-          ready->txn = rdv->txn;
-          ready->ok = false;
-          ready->busy = true;
-          ready->retry_after_s = static_cast<std::uint32_t>(
-              std::max<util::Duration>(hint, util::kSecond) / util::kSecond);
-          conn->send(ready);
-          return;
-        }
-        const Registration* r = households_.find(rdv->household);
-        if (r == nullptr || !r->control) {
-          auto ready = std::make_shared<DirRendezvousReady>();
-          ready->txn = rdv->txn;
-          ready->ok = false;
-          conn->send(ready);
-          return;
-        }
-        rendezvous_waiters_[rdv->txn] = conn;
-        r->control->send(std::make_shared<DirRendezvousRequest>(*rdv));
-        return;
-      }
-      if (const auto ready =
-              std::dynamic_pointer_cast<const DirRendezvousReady>(msg)) {
-        // Relayed back from the HPoP to the waiting requester.
-        const auto it = rendezvous_waiters_.find(ready->txn);
-        if (it == rendezvous_waiters_.end()) return;
-        if (const auto waiter = it->second.lock()) {
-          waiter->send(std::make_shared<DirRendezvousReady>(*ready));
-        }
-        rendezvous_waiters_.erase(it);
-        return;
-      }
-    });
-    conn->set_on_remote_close([conn] { conn->close(); });
-  });
+  listener_->set_on_accept(
+      [this](std::shared_ptr<transport::TcpConnection> conn) {
+        conn->set_on_message([this, conn](net::PayloadPtr msg) {
+          handle_message(conn, msg);
+        });
+        conn->set_on_remote_close([conn] { conn->close(); });
+      });
+}
+
+DirectoryServer::~DirectoryServer() {
+  if (sweep_armed_) mux_.simulator().cancel(sweep_timer_);
+}
+
+bool DirectoryServer::expired(const Registration& reg) const {
+  return reg.expires_at != 0 && mux_.simulator().now() >= reg.expires_at;
+}
+
+const DirectoryServer::Registration* DirectoryServer::find_live(
+    const std::string& household) {
+  const Registration* r = households_.find(household);
+  if (r == nullptr) return nullptr;
+  if (expired(*r)) {
+    // The lease lapsed: the HPoP stopped renewing (died for good, or moved
+    // to another shard). Serving the stale advertisement would point
+    // clients at a dead endpoint forever — drop it instead. This check is
+    // what keeps WAL-recovered entries honest too.
+    households_.erase(household);
+    ++stats_.expired_dropped;
+    return nullptr;
+  }
+  return r;
+}
+
+bool DirectoryServer::would_resolve(const std::string& household) const {
+  const Registration* r = households_.find(household);
+  return r != nullptr && !expired(*r);
+}
+
+std::uint64_t DirectoryServer::next_version(
+    const std::string& household) const {
+  const auto now = static_cast<std::uint64_t>(mux_.simulator().now());
+  const Registration* r = households_.find(household);
+  return r == nullptr ? std::max<std::uint64_t>(now, 1)
+                      : std::max(now, r->version + 1);
+}
+
+bool DirectoryServer::upsert(const std::string& household,
+                             const Registration& reg, bool wal_log) {
+  Registration* existing = households_.find(household);
+  if (existing != nullptr && reg.version <= existing->version) return false;
+  Registration stored = reg;
+  if (!stored.control && existing != nullptr) {
+    // Replication / recovery writes carry no socket; keep the live control
+    // connection so rendezvous relaying survives an anti-entropy overwrite.
+    stored.control = existing->control;
+  }
+  if (wal_log && wal_ != nullptr) wal_append(household, stored);
+  households_.insert_or_assign(household, std::move(stored));
+  return true;
+}
+
+void DirectoryServer::wal_append(std::string_view household,
+                                 const Registration& reg) {
+  durable::PayloadWriter w;
+  w.put_string(household);
+  w.put_u8(static_cast<std::uint8_t>(reg.advertisement.method));
+  w.put_u32(reg.advertisement.endpoint.ip.value);
+  w.put_u32(reg.advertisement.endpoint.port);
+  w.put_u8(reg.advertisement.rendezvous_required ? 1 : 0);
+  w.put_u64(reg.version);
+  w.put_u64(static_cast<std::uint64_t>(reg.expires_at));
+  wal_->append(kWalRegister, w.take());
+}
+
+void DirectoryServer::handle_message(
+    const std::shared_ptr<transport::TcpConnection>& conn,
+    const net::PayloadPtr& msg) {
+  if (const auto reg = std::dynamic_pointer_cast<const DirRegister>(msg)) {
+    const util::TimePoint now = mux_.simulator().now();
+    const util::Duration granted =
+        reg->lease_s > 0
+            ? static_cast<util::Duration>(reg->lease_s) * util::kSecond
+            : lease_ttl_;
+    Registration r;
+    r.advertisement = reg->advertisement;
+    r.control = conn;
+    r.version = next_version(reg->household);
+    r.expires_at = granted > 0 ? now + granted : 0;
+    upsert(reg->household, r, /*wal_log=*/true);
+    if (wal_ != nullptr) wal_->sync();
+    ++stats_.registrations;
+    HPOP_LOG(kInfo, "directory")
+        << "registered " << reg->household << " via "
+        << traversal::to_string(reg->advertisement.method);
+    auto ack = std::make_shared<DirRegisterAck>();
+    ack->txn = reg->txn;
+    ack->ok = true;
+    ack->lease_s = static_cast<std::uint32_t>(granted / util::kSecond);
+    conn->send(ack);
+    on_registered(reg->household, *households_.find(reg->household));
+    return;
+  }
+  if (const auto lookup =
+          std::dynamic_pointer_cast<const DirLookupRequest>(msg)) {
+    ++stats_.lookups;
+    auto resp = std::make_shared<DirLookupResponse>();
+    resp->txn = lookup->txn;
+    util::Duration hint = 0;
+    if (admission_ && !admission_->try_admit_instant(
+                          overload::Class::kThirdParty, &hint)) {
+      ++sheds_;
+      resp->busy = true;
+      resp->retry_after_s = static_cast<std::uint32_t>(
+          std::max<util::Duration>(hint, util::kSecond) / util::kSecond);
+      conn->send(resp);
+      return;
+    }
+    if (const Registration* r = find_live(lookup->household)) {
+      resp->found = true;
+      resp->advertisement = r->advertisement;
+      ++stats_.lookup_hits;
+    }
+    conn->send(resp);
+    return;
+  }
+  if (const auto rdv =
+          std::dynamic_pointer_cast<const DirRendezvousRequest>(msg)) {
+    util::Duration hint = 0;
+    if (admission_ && !admission_->try_admit_instant(
+                          overload::Class::kOwner, &hint)) {
+      ++sheds_;
+      auto ready = std::make_shared<DirRendezvousReady>();
+      ready->txn = rdv->txn;
+      ready->ok = false;
+      ready->busy = true;
+      ready->retry_after_s = static_cast<std::uint32_t>(
+          std::max<util::Duration>(hint, util::kSecond) / util::kSecond);
+      conn->send(ready);
+      return;
+    }
+    const Registration* r = find_live(rdv->household);
+    if (r == nullptr || !r->control) {
+      auto ready = std::make_shared<DirRendezvousReady>();
+      ready->txn = rdv->txn;
+      ready->ok = false;
+      conn->send(ready);
+      return;
+    }
+    rendezvous_waiters_[rdv->txn] = conn;
+    r->control->send(std::make_shared<DirRendezvousRequest>(*rdv));
+    return;
+  }
+  if (const auto ready =
+          std::dynamic_pointer_cast<const DirRendezvousReady>(msg)) {
+    // Relayed back from the HPoP to the waiting requester.
+    const auto it = rendezvous_waiters_.find(ready->txn);
+    if (it == rendezvous_waiters_.end()) return;
+    if (const auto waiter = it->second.lock()) {
+      waiter->send(std::make_shared<DirRendezvousReady>(*ready));
+    }
+    rendezvous_waiters_.erase(it);
+    return;
+  }
+}
+
+void DirectoryServer::start_expiry_sweep(util::Duration interval) {
+  if (sweep_armed_) mux_.simulator().cancel(sweep_timer_);
+  sweep_interval_ = interval;
+  sweep_timer_ =
+      mux_.simulator().schedule(interval, [this] { expiry_sweep_tick(); });
+  sweep_armed_ = true;
+}
+
+void DirectoryServer::expiry_sweep_tick() {
+  std::vector<std::string> dead;
+  for (const auto& [household, reg] : households_) {
+    if (expired(reg)) dead.emplace_back(household.str());
+  }
+  for (const std::string& h : dead) {
+    households_.erase(h);
+    ++stats_.expired_dropped;
+  }
+  sweep_timer_ = mux_.simulator().schedule(sweep_interval_,
+                                           [this] { expiry_sweep_tick(); });
 }
 
 void DirectoryServer::apply_record(const durable::WalRecord& rec) {
@@ -105,15 +206,22 @@ void DirectoryServer::apply_record(const durable::WalRecord& rec) {
   std::string household;
   std::uint8_t method = 0, rendezvous = 0;
   std::uint32_t ip = 0, port = 0;
+  std::uint64_t version = 0, expires = 0;
   if (!r.get_string(household) || !r.get_u8(method) || !r.get_u32(ip) ||
-      !r.get_u32(port) || !r.get_u8(rendezvous)) {
+      !r.get_u32(port) || !r.get_u8(rendezvous) || !r.get_u64(version) ||
+      !r.get_u64(expires)) {
     return;
   }
-  traversal::Advertisement adv;
-  adv.method = static_cast<traversal::ReachMethod>(method);
-  adv.endpoint = {net::IpAddr(ip), static_cast<std::uint16_t>(port)};
-  adv.rendezvous_required = rendezvous != 0;
-  households_.insert_or_assign(household, Registration{adv, nullptr});
+  Registration reg;
+  reg.advertisement.method = static_cast<traversal::ReachMethod>(method);
+  reg.advertisement.endpoint = {net::IpAddr(ip),
+                                static_cast<std::uint16_t>(port)};
+  reg.advertisement.rendezvous_required = rendezvous != 0;
+  reg.version = version;
+  reg.expires_at = static_cast<util::TimePoint>(expires);
+  // Replay in version order: the log is append-ordered, so plain LWW
+  // upsert (no WAL re-log) reconstructs the latest entry per household.
+  upsert(household, reg, /*wal_log=*/false);
 }
 
 durable::Wal::RecoveryStats DirectoryServer::recover_from_wal(
@@ -138,6 +246,8 @@ util::Bytes DirectoryServer::serialize_state() const {
     w.put_u32(reg.advertisement.endpoint.ip.value);
     w.put_u32(reg.advertisement.endpoint.port);
     w.put_u8(reg.advertisement.rendezvous_required ? 1 : 0);
+    w.put_u64(reg.version);
+    w.put_u64(static_cast<std::uint64_t>(reg.expires_at));
   }
   return w.take();
 }
@@ -151,15 +261,20 @@ bool DirectoryServer::restore_state(const util::Bytes& payload) {
     std::string household;
     std::uint8_t method = 0, rendezvous = 0;
     std::uint32_t ip = 0, port = 0;
+    std::uint64_t version = 0, expires = 0;
     if (!r.get_string(household) || !r.get_u8(method) || !r.get_u32(ip) ||
-        !r.get_u32(port) || !r.get_u8(rendezvous)) {
+        !r.get_u32(port) || !r.get_u8(rendezvous) || !r.get_u64(version) ||
+        !r.get_u64(expires)) {
       return false;
     }
-    traversal::Advertisement adv;
-    adv.method = static_cast<traversal::ReachMethod>(method);
-    adv.endpoint = {net::IpAddr(ip), static_cast<std::uint16_t>(port)};
-    adv.rendezvous_required = rendezvous != 0;
-    households_.insert_or_assign(household, Registration{adv, nullptr});
+    Registration reg;
+    reg.advertisement.method = static_cast<traversal::ReachMethod>(method);
+    reg.advertisement.endpoint = {net::IpAddr(ip),
+                                  static_cast<std::uint16_t>(port)};
+    reg.advertisement.rendezvous_required = rendezvous != 0;
+    reg.version = version;
+    reg.expires_at = static_cast<util::TimePoint>(expires);
+    households_.insert_or_assign(household, std::move(reg));
   }
   return true;
 }
@@ -184,6 +299,8 @@ std::uint64_t DirectoryServer::fingerprint() const {
     mix(reg.advertisement.endpoint.ip.value);
     mix(reg.advertisement.endpoint.port);
     mix(reg.advertisement.rendezvous_required ? 1 : 0);
+    mix(reg.version);
+    mix(static_cast<std::uint64_t>(reg.expires_at));
   }
   return h;
 }
@@ -211,15 +328,36 @@ DirectoryRegistration::DirectoryRegistration(
       ready->txn = rdv->txn;
       ready->ok = true;
       control_->send(ready);
+      return;
+    }
+    if (const auto ack =
+            std::dynamic_pointer_cast<const DirRegisterAck>(msg)) {
+      if (!ack->ok) return;
+      ++acks_;
+      if (auto_renew_ && ack->lease_s > 0) {
+        // Renew at half-lease so one lost renewal still leaves headroom.
+        const util::Duration renew_in =
+            static_cast<util::Duration>(ack->lease_s) * util::kSecond / 2;
+        if (renew_armed_) mux_.simulator().cancel(renew_timer_);
+        renew_timer_ = mux_.simulator().schedule(
+            renew_in, [this] { register_advertisement(last_adv_); });
+        renew_armed_ = true;
+      }
     }
   });
 }
 
+DirectoryRegistration::~DirectoryRegistration() {
+  if (renew_armed_) mux_.simulator().cancel(renew_timer_);
+}
+
 void DirectoryRegistration::register_advertisement(
     const traversal::Advertisement& adv) {
+  last_adv_ = adv;
   auto reg = std::make_shared<DirRegister>();
   reg->household = household_;
   reg->advertisement = adv;
+  reg->txn = next_txn_++;
   control_->send(reg);
 }
 

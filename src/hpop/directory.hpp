@@ -21,7 +21,23 @@ namespace hpop::core {
 struct DirRegister : net::Payload {
   std::string household;
   traversal::Advertisement advertisement;
-  std::size_t wire_size() const override { return 64 + household.size(); }
+  /// Requested lease in seconds; 0 asks for the server's default TTL.
+  std::uint32_t lease_s = 0;
+  /// Echoed in the DirRegisterAck so the HPoP can match its renewal.
+  std::uint64_t txn = 0;
+  std::size_t wire_size() const override {
+    return 32 + household.size() + advertisement.wire_bytes();
+  }
+};
+
+/// Directory -> HPoP: the registration is durable (WAL-synced) and the
+/// lease clock is running. An HPoP that never sees an ack must assume the
+/// registration was lost and retry (possibly against another shard).
+struct DirRegisterAck : net::Payload {
+  std::uint64_t txn = 0;
+  bool ok = false;
+  std::uint32_t lease_s = 0;  // granted lease (may differ from requested)
+  std::size_t wire_size() const override { return 24; }
 };
 
 struct DirLookupRequest : net::Payload {
@@ -38,7 +54,12 @@ struct DirLookupResponse : net::Payload {
   bool busy = false;
   std::uint32_t retry_after_s = 0;
   traversal::Advertisement advertisement;
-  std::size_t wire_size() const override { return 64; }
+  std::size_t wire_size() const override {
+    // The advertisement only rides along on a hit; misses and sheds are
+    // header-sized. Metering the payload honestly matters at metro scale
+    // where lookup responses dominate directory bytes.
+    return 24 + (found ? advertisement.wire_bytes() : 0);
+  }
 };
 
 /// Client -> directory -> HPoP: "this endpoint is about to connect to you."
@@ -61,17 +82,49 @@ struct DirRendezvousReady : net::Payload {
 /// The public directory service. HPoPs hold persistent registration
 /// connections (their always-on presence); lookups and rendezvous requests
 /// arrive from anywhere.
+///
+/// Registrations are leases: each entry carries an absolute expiry and a
+/// monotone version (last-writer-wins across replicas). An entry past its
+/// expiry is never served — the serving paths treat it as absent and drop
+/// it — including entries recovered from the WAL, so a permanently dead
+/// HPoP stops resolving one lease after its last renewal.
 class DirectoryServer {
  public:
   DirectoryServer(transport::TransportMux& mux, std::uint16_t port = 5300);
+  virtual ~DirectoryServer();
+  DirectoryServer(const DirectoryServer&) = delete;
+  DirectoryServer& operator=(const DirectoryServer&) = delete;
 
   std::size_t registered() const { return households_.size(); }
+
+  /// Default lease granted to registrations that don't ask for one.
+  /// 0 disables expiry (entries live until replaced).
+  void set_lease_ttl(util::Duration ttl) { lease_ttl_ = ttl; }
+  util::Duration lease_ttl() const { return lease_ttl_; }
+
+  /// Opt-in periodic sweep that erases expired entries even when nobody
+  /// looks them up. Off by default: the lazy serving-path check already
+  /// guarantees nothing stale is ever served, and an always-armed timer
+  /// would keep run-to-idle simulations alive forever.
+  void start_expiry_sweep(util::Duration interval);
 
   /// Overload admission (off unless called). Registrations are critical —
   /// an HPoP that cannot re-register goes dark for every member of its
   /// household — so only lookups and rendezvous signalling are sheddable.
   void enable_admission(overload::AdmissionConfig config);
   std::uint64_t sheds() const { return sheds_; }
+
+  struct Stats {
+    std::uint64_t registrations = 0;  // fresh + renewals, network path
+    std::uint64_t lookups = 0;
+    std::uint64_t lookup_hits = 0;
+    std::uint64_t expired_dropped = 0;  // entries dropped past their lease
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Non-mutating serving-path preview: would a lookup answer right now?
+  /// (Entry present and lease unexpired.) For invariant checks in benches.
+  bool would_resolve(const std::string& household) const;
 
   /// Attaches a WAL so registrations survive a directory crash. A
   /// recovered entry has a null control connection (the process's sockets
@@ -83,17 +136,54 @@ class DirectoryServer {
   bool compact_wal();
   util::Bytes serialize_state() const;
   bool restore_state(const util::Bytes& payload);
-  /// Digest over registrations (household, method, endpoint, rendezvous).
+  /// Digest over registrations (household, method, endpoint, rendezvous,
+  /// version, expiry).
   std::uint64_t fingerprint() const;
 
   static constexpr std::uint8_t kWalRegister = 1;
+  static constexpr util::Duration kDefaultLeaseTtl = util::kHour;
 
- private:
-  void apply_record(const durable::WalRecord& rec);
+ protected:
   struct Registration {
     traversal::Advertisement advertisement;
     std::shared_ptr<transport::TcpConnection> control;
+    std::uint64_t version = 0;       // LWW stamp, comparable across shards
+    util::TimePoint expires_at = 0;  // absolute; 0 = no expiry
   };
+
+  /// Per-connection message dispatch. Subclasses (DirectoryShard) extend
+  /// this with their own message types and fall back to the base handler.
+  virtual void handle_message(
+      const std::shared_ptr<transport::TcpConnection>& conn,
+      const net::PayloadPtr& msg);
+
+  /// Hook: a registration was accepted on the network path (not recovery,
+  /// not replication). Shards use it to push the entry to their replicas.
+  virtual void on_registered(const std::string& household,
+                             const Registration& reg) {
+    (void)household;
+    (void)reg;
+  }
+
+  /// Last-writer-wins upsert: applies iff `reg.version` beats the stored
+  /// entry's. A null `reg.control` (recovery / replication) keeps any live
+  /// control connection the entry already has. Returns whether it applied;
+  /// `wal_log` appends the applied entry to the attached WAL (the caller
+  /// decides when to sync — batching syncs is what makes anti-entropy
+  /// batches one barrier instead of one per entry).
+  bool upsert(const std::string& household, const Registration& reg,
+              bool wal_log);
+
+  /// Serving-path find: an entry past its lease is dropped and reported
+  /// absent. This is the stale-advertisement fix — it applies equally to
+  /// live and WAL-recovered entries.
+  const Registration* find_live(const std::string& household);
+
+  bool expired(const Registration& reg) const;
+  void wal_append(std::string_view household, const Registration& reg);
+  /// Version stamp for a registration accepted now: the current time,
+  /// bumped past the stored version so renewals always win locally.
+  std::uint64_t next_version(const std::string& household) const;
 
   transport::TransportMux& mux_;
   std::shared_ptr<transport::TcpListener> listener_;
@@ -104,6 +194,16 @@ class DirectoryServer {
   /// allocations plus string keys dominated its footprint.
   util::SymbolMap<Registration> households_;
   durable::Wal* wal_ = nullptr;
+  util::Duration lease_ttl_ = kDefaultLeaseTtl;
+  Stats stats_;
+
+ private:
+  void apply_record(const durable::WalRecord& rec);
+  void expiry_sweep_tick();
+
+  util::Duration sweep_interval_ = 0;
+  sim::TimerId sweep_timer_{};
+  bool sweep_armed_ = false;
   // txn -> requester connection, for relaying rendezvous-ready.
   std::map<std::uint64_t, std::weak_ptr<transport::TcpConnection>>
       rendezvous_waiters_;
@@ -117,8 +217,16 @@ class DirectoryRegistration {
                         net::Endpoint directory,
                         std::string household,
                         traversal::ReachabilityManager& reach);
+  ~DirectoryRegistration();
 
   void register_advertisement(const traversal::Advertisement& adv);
+
+  /// Opt-in lease renewal: re-register at half the granted lease so the
+  /// entry never lapses while this HPoP is alive. Off by default — the
+  /// renewal timer keeps the simulator from going idle, which run-to-empty
+  /// tests rely on.
+  void enable_auto_renew() { auto_renew_ = true; }
+  std::uint64_t acks() const { return acks_; }
 
  private:
   transport::TransportMux& mux_;
@@ -126,6 +234,12 @@ class DirectoryRegistration {
   std::string household_;
   traversal::ReachabilityManager& reach_;
   std::shared_ptr<transport::TcpConnection> control_;
+  traversal::Advertisement last_adv_{};
+  bool auto_renew_ = false;
+  sim::TimerId renew_timer_ = 0;
+  bool renew_armed_ = false;
+  std::uint64_t acks_ = 0;
+  std::uint64_t next_txn_ = 1;
 };
 
 /// Device-side resolver: lookup + (if required) rendezvous + connect.

@@ -21,14 +21,24 @@ MetroDriver::MetroDriver(MetroTopology& topo, WorkloadModel model,
   const std::size_t after_peers =
       homes > config_.peers ? homes - config_.peers : 0;
   config_.attic_pairs = std::min(config_.attic_pairs, after_peers / 4);
-  const std::size_t reserved = config_.peers + 2 * config_.attic_pairs;
+  // Directory shard hosts sit between the peer region and the attic tail.
+  config_.dir_shards = std::min(
+      config_.dir_shards,
+      (after_peers - 2 * config_.attic_pairs) / 2);
+  const std::size_t reserved =
+      config_.peers + 2 * config_.attic_pairs + config_.dir_shards;
   config_.active_homes =
       std::min(config_.active_homes, homes > reserved ? homes - reserved : 0);
 
   peer_region_begin_ = config_.active_homes;
-  const std::size_t peer_region_size =
-      homes - 2 * config_.attic_pairs - peer_region_begin_;
+  dir_region_begin_ = homes - 2 * config_.attic_pairs - config_.dir_shards;
+  const std::size_t peer_region_size = dir_region_begin_ - peer_region_begin_;
   peer_stride_ = std::max<std::size_t>(1, peer_region_size / config_.peers);
+
+  config_.dir_registered_homes =
+      std::min(config_.dir_registered_homes, config_.active_homes);
+  config_.dir_silent_homes =
+      std::min(config_.dir_silent_homes, config_.dir_registered_homes);
 }
 
 MetroDriver::~MetroDriver() = default;
@@ -109,6 +119,45 @@ void MetroDriver::start() {
         config_.attic_interval * (i + 1) / (config_.attic_pairs + 1));
     sim_.schedule(offset, [this, i] { attic_tick(i); });
   }
+
+  if (config_.dir_shards > 0) start_directory();
+}
+
+void MetroDriver::start_directory() {
+  std::vector<net::Host*> hosts;
+  hosts.reserve(config_.dir_shards);
+  for (std::size_t i = 0; i < config_.dir_shards; ++i) {
+    hosts.push_back(topo_.homes.at(dir_region_begin_ + i));
+  }
+  core::DirClusterConfig dcfg;
+  dcfg.shards = config_.dir_shards;
+  dcfg.replication = config_.dir_replication;
+  dcfg.lease_ttl = config_.dir_lease;
+  dcfg.anti_entropy_interval = config_.dir_anti_entropy;
+  cluster_ = std::make_unique<core::DirectoryCluster>(std::move(hosts), dcfg,
+                                                      rng_.fork());
+
+  // Household registrations ride the registered homes' own muxes — the
+  // HPoP keeping itself resolvable is home-side work, like browsing.
+  const std::size_t n = config_.dir_registered_homes;
+  dir_renewing_ = n - config_.dir_silent_homes;
+  dir_regs_.reserve(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    ClientSlot& slot = ensure_client(h);
+    core::DirRegistrationConfig rcfg;
+    rcfg.replication = config_.dir_replication;
+    const bool silent = h >= dir_renewing_;
+    rcfg.auto_renew = !silent;
+    if (silent) rcfg.lease_s = config_.dir_silent_lease_s;
+    auto reg = std::make_unique<core::ShardedDirectoryRegistration>(
+        *slot.mux, &cluster_->ring(), cluster_->endpoints(),
+        topo_.homes[h]->name(), rcfg, rng_.fork());
+    traversal::Advertisement adv;
+    adv.method = traversal::ReachMethod::kDirect;
+    adv.endpoint = {topo_.homes[h]->address(), 443};
+    reg->register_advertisement(adv);
+    dir_regs_.push_back(std::move(reg));
+  }
 }
 
 MetroDriver::ClientSlot& MetroDriver::ensure_client(std::size_t home) {
@@ -120,7 +169,54 @@ MetroDriver::ClientSlot& MetroDriver::ensure_client(std::size_t home) {
         *slot.http, net::Endpoint{topo_.origins[0]->address(), 80},
         config_.provider);
   }
+  if (cluster_ && !slot.dir) {
+    slot.dir = std::make_unique<core::ShardedDirectoryClient>(
+        *slot.mux, &cluster_->ring(), cluster_->endpoints(),
+        cluster_->client_config(), rng_.fork());
+  }
   return slot;
+}
+
+void MetroDriver::dir_probe(ClientSlot& slot) {
+  // Resolve a random renewing household — the "find my friend's HPoP"
+  // traffic every directory serves. Counted post-warmup only.
+  const std::size_t target = rng_.uniform_index(dir_renewing_);
+  const bool counted = sim_.now() >= config_.dir_warmup;
+  const util::TimePoint started = sim_.now();
+  slot.dir->lookup(
+      topo_.homes[target]->name(),
+      [this, counted, started](util::Result<traversal::Advertisement> r) {
+        if (!counted) return;
+        ++stats_.dir_lookups;
+        dir_latencies_.push_back(sim_.now() - started);
+        if (r.ok()) {
+          ++stats_.dir_ok;
+        } else if (r.error().code == "directory_busy") {
+          ++stats_.dir_busy;
+        } else {
+          ++stats_.dir_failed;
+        }
+      });
+
+  // Occasionally probe a silent household: any found answer past its
+  // lease (+1 s grace) is a stale advertisement being served.
+  if (config_.dir_silent_homes > 0 &&
+      rng_.bernoulli(config_.dir_silent_probe_p)) {
+    const std::size_t idx =
+        dir_renewing_ + rng_.uniform_index(config_.dir_silent_homes);
+    core::ShardedDirectoryRegistration* reg = dir_regs_[idx].get();
+    ++stats_.dir_silent_probes;
+    slot.dir->lookup(
+        reg->household(),
+        [this, reg](util::Result<traversal::Advertisement> r) {
+          if (!r.ok() || !reg->acked()) return;
+          const util::TimePoint expiry =
+              reg->last_ack_at() +
+              static_cast<util::Duration>(reg->granted_lease_s()) *
+                  util::kSecond;
+          if (sim_.now() > expiry + util::kSecond) ++stats_.dir_stale_served;
+        });
+  }
 }
 
 void MetroDriver::schedule_next(std::size_t home) {
@@ -146,6 +242,7 @@ void MetroDriver::on_arrival(std::size_t home) {
           ++stats_.loads_failed;
         }
       });
+  if (slot.dir && dir_renewing_ > 0) dir_probe(slot);
   schedule_next(home);
 }
 
@@ -184,6 +281,39 @@ void MetroDriver::attic_tick(std::size_t pair_idx) {
   }
 }
 
+double MetroDriver::dir_success_rate() const {
+  return stats_.dir_lookups > 0
+             ? static_cast<double>(stats_.dir_ok) /
+                   static_cast<double>(stats_.dir_lookups)
+             : 1.0;
+}
+
+core::ShardedDirectoryClient::Stats MetroDriver::dir_client_totals() const {
+  core::ShardedDirectoryClient::Stats total;
+  for (const auto& slot : clients_) {
+    if (!slot.dir) continue;
+    const auto& s = slot.dir->stats();
+    total.lookups += s.lookups;
+    total.ok += s.ok;
+    total.not_found += s.not_found;
+    total.busy += s.busy;
+    total.unreachable += s.unreachable;
+    total.failovers += s.failovers;
+    total.timeouts += s.timeouts;
+    total.breaker_skips += s.breaker_skips;
+  }
+  return total;
+}
+
+double MetroDriver::dir_lookup_p99_s() const {
+  if (dir_latencies_.empty()) return 0.0;
+  std::vector<util::Duration> sorted = dir_latencies_;
+  const std::size_t k = (sorted.size() * 99) / 100;
+  const std::size_t idx = std::min(k, sorted.size() - 1);
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return static_cast<double>(sorted[idx]) / util::kSecond;
+}
+
 double MetroDriver::offload() const {
   const double total = static_cast<double>(stats_.bytes_from_peers) +
                        static_cast<double>(stats_.bytes_from_origin);
@@ -220,7 +350,24 @@ std::string MetroDriver::report() const {
       static_cast<unsigned long long>(stats_.attic_puts),
       static_cast<unsigned long long>(stats_.attic_gets),
       static_cast<unsigned long long>(stats_.attic_failures));
-  return line;
+  std::string out = line;
+  if (cluster_) {
+    char dir[224];
+    std::snprintf(
+        dir, sizeof dir,
+        " dir: shards=%zu regs=%zu lookups=%llu ok=%llu busy=%llu "
+        "failed=%llu success=%.4f p99_s=%.4f silent_probes=%llu stale=%llu",
+        cluster_->shards(), dir_regs_.size(),
+        static_cast<unsigned long long>(stats_.dir_lookups),
+        static_cast<unsigned long long>(stats_.dir_ok),
+        static_cast<unsigned long long>(stats_.dir_busy),
+        static_cast<unsigned long long>(stats_.dir_failed),
+        dir_success_rate(), dir_lookup_p99_s(),
+        static_cast<unsigned long long>(stats_.dir_silent_probes),
+        static_cast<unsigned long long>(stats_.dir_stale_served));
+    out += dir;
+  }
+  return out;
 }
 
 }  // namespace hpop::metro

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "hpop/dir_cluster.hpp"
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "metro/topology.hpp"
@@ -37,6 +38,27 @@ struct MetroDriverConfig {
   /// loads are allowed to finish (run the sim a little longer).
   util::TimePoint horizon = 60 * util::kSecond;
   util::Duration usage_upload_interval = 10 * util::kSecond;
+
+  /// --- Sharded HPoP directory (off while dir_shards == 0) ---
+  /// Shard hosts are reserved from the layout between the peer region and
+  /// the attic tail. The first dir_registered_homes active homes register
+  /// their household ("h<id>") against the cluster and auto-renew; the
+  /// LAST dir_silent_homes of those instead register once with a short
+  /// lease and go silent — the stale-advertisement probes.
+  std::size_t dir_shards = 0;
+  std::size_t dir_replication = 2;
+  util::Duration dir_lease = 15 * util::kSecond;
+  util::Duration dir_anti_entropy = 5 * util::kSecond;
+  std::size_t dir_registered_homes = 256;  // clamped to active_homes
+  std::size_t dir_silent_homes = 0;
+  std::uint32_t dir_silent_lease_s = 2;
+  /// Lookups before this settle-in point are issued but not counted, so
+  /// the success-rate gate measures steady state, not the registration
+  /// storm racing the first arrivals.
+  util::TimePoint dir_warmup = 5 * util::kSecond;
+  /// Probability an arrival also probes a random silent household (stale
+  /// detection); renewing households are looked up on every arrival.
+  double dir_silent_probe_p = 0.25;
 };
 
 /// Wires the NoCDN service stack onto a built metro and drives it with a
@@ -71,6 +93,15 @@ class MetroDriver {
     std::uint64_t attic_puts = 0;
     std::uint64_t attic_gets = 0;
     std::uint64_t attic_failures = 0;
+    // Directory lookups counted after dir_warmup.
+    std::uint64_t dir_lookups = 0;
+    std::uint64_t dir_ok = 0;
+    std::uint64_t dir_busy = 0;
+    std::uint64_t dir_failed = 0;  // unreachable or (wrongly) not_found
+    std::uint64_t dir_silent_probes = 0;
+    // Lookups of a silent household answered found PAST its lease expiry
+    // (+1 s grace). The stale-advertisement invariant: must stay 0.
+    std::uint64_t dir_stale_served = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -85,6 +116,25 @@ class MetroDriver {
   nocdn::OriginServer& origin() { return *origin_server_; }
   const MetroDriverConfig& config() const { return config_; }
 
+  /// Null while the directory is disabled (dir_shards == 0).
+  core::DirectoryCluster* directory() { return cluster_.get(); }
+  const core::DirectoryCluster* directory() const { return cluster_.get(); }
+  /// The household registrations the driver keeps alive (renewing first,
+  /// then the silent ones).
+  const std::vector<std::unique_ptr<core::ShardedDirectoryRegistration>>&
+  dir_registrations() const {
+    return dir_regs_;
+  }
+  std::size_t dir_renewing() const { return dir_renewing_; }
+  /// Post-warmup lookup success rate (ok / counted; 1.0 when none).
+  double dir_success_rate() const;
+  /// p99 of post-warmup lookup completion times, seconds (0 when none).
+  double dir_lookup_p99_s() const;
+  /// Sum of every per-home lookup client's counters (includes warmup
+  /// traffic) — the failure breakdown behind dir_failed: not_found vs
+  /// unreachable, plus failover and timeout volume.
+  core::ShardedDirectoryClient::Stats dir_client_totals() const;
+
  private:
   struct PeerSlot {
     std::unique_ptr<transport::TransportMux> mux;
@@ -94,6 +144,7 @@ class MetroDriver {
     std::unique_ptr<transport::TransportMux> mux;
     std::unique_ptr<http::HttpClient> http;
     std::unique_ptr<nocdn::LoaderClient> loader;
+    std::unique_ptr<core::ShardedDirectoryClient> dir;
   };
   struct AtticPair {
     std::size_t store_home = 0;
@@ -110,6 +161,8 @@ class MetroDriver {
   void schedule_next(std::size_t home);
   void on_arrival(std::size_t home);
   void attic_tick(std::size_t pair);
+  void start_directory();
+  void dir_probe(ClientSlot& slot);
 
   MetroTopology& topo_;
   WorkloadModel model_;
@@ -124,6 +177,12 @@ class MetroDriver {
   std::vector<AtticPair> attic_;
   std::size_t peer_region_begin_ = 0;
   std::size_t peer_stride_ = 1;
+
+  std::unique_ptr<core::DirectoryCluster> cluster_;
+  std::vector<std::unique_ptr<core::ShardedDirectoryRegistration>> dir_regs_;
+  std::size_t dir_region_begin_ = 0;  // first shard-host home index
+  std::size_t dir_renewing_ = 0;      // dir_regs_[0, dir_renewing_) renew
+  std::vector<util::Duration> dir_latencies_;  // post-warmup completions
 
   Stats stats_;
 };

@@ -103,9 +103,9 @@ EventPlan EventPlan::generate(const MetroTopology& topo,
                               const ZipfCatalog& catalog,
                               util::TimePoint horizon,
                               std::size_t flash_crowds, std::size_t outages,
-                              util::Rng& rng) {
+                              util::Rng& rng, std::size_t partitions) {
   EventPlan plan;
-  plan.events.reserve(flash_crowds + outages);
+  plan.events.reserve(flash_crowds + outages + partitions);
   const auto draw_common = [&](EventSpec& e) {
     e.scope = rng.bernoulli(0.5) ? EventSpec::Scope::kDslam
                                  : EventSpec::Scope::kPop;
@@ -133,17 +133,37 @@ EventPlan EventPlan::generate(const MetroTopology& topo,
     draw_common(e);
     plan.events.push_back(e);
   }
+  // Partitions draw LAST so plans generated with partitions == 0 consume
+  // exactly the pre-existing draw sequence.
+  for (std::size_t i = 0; i < partitions; ++i) {
+    EventSpec e;
+    e.kind = EventSpec::Kind::kPartition;
+    draw_common(e);
+    plan.events.push_back(e);
+  }
   return plan;
 }
 
 fault::FaultPlan EventPlan::to_fault_plan(const MetroTopology& topo) const {
   fault::FaultPlan plan;
   for (const EventSpec& e : events) {
-    if (e.kind != EventSpec::Kind::kOutage) continue;
-    net::Link* uplink = e.scope == EventSpec::Scope::kDslam
-                            ? topo.dslam_uplinks[e.target]
-                            : topo.pop_uplinks[e.target];
-    plan.link_down(uplink, e.start, e.duration);
+    if (e.kind == EventSpec::Kind::kOutage) {
+      net::Link* uplink = e.scope == EventSpec::Scope::kDslam
+                              ? topo.dslam_uplinks[e.target]
+                              : topo.pop_uplinks[e.target];
+      plan.link_down(uplink, e.start, e.duration);
+    } else if (e.kind == EventSpec::Kind::kPartition) {
+      // Isolate the subtree's homes from everyone outside it (empty far
+      // side = complement cut). Intra-subtree traffic keeps flowing,
+      // which is exactly what distinguishes a partition from an outage.
+      auto [lo, hi] = e.scope == EventSpec::Scope::kDslam
+                          ? topo.homes_of_dslam(e.target)
+                          : topo.homes_of_pop(e.target);
+      std::vector<net::Node*> side;
+      side.reserve(hi - lo);
+      for (std::size_t h = lo; h < hi; ++h) side.push_back(topo.homes[h]);
+      plan.partition(std::move(side), {}, e.start, e.duration);
+    }
   }
   return plan;
 }
@@ -178,7 +198,19 @@ std::size_t EventPlan::flash_crowd_count() const {
 }
 
 std::size_t EventPlan::outage_count() const {
-  return events.size() - flash_crowd_count();
+  std::size_t n = 0;
+  for (const EventSpec& e : events) {
+    if (e.kind == EventSpec::Kind::kOutage) ++n;
+  }
+  return n;
+}
+
+std::size_t EventPlan::partition_count() const {
+  std::size_t n = 0;
+  for (const EventSpec& e : events) {
+    if (e.kind == EventSpec::Kind::kPartition) ++n;
+  }
+  return n;
 }
 
 double EventPlan::max_crowd_intensity() const {

@@ -58,10 +58,12 @@ class ZipfCatalog {
 
 /// One regionally correlated event, scoped to an access-tree subtree: a
 /// flash crowd (every home under the subtree multiplies its request rate
-/// and concentrates on one hot object) or an outage (the subtree's uplink
-/// goes admin-down — the whole region drops off the metro).
+/// and concentrates on one hot object), an outage (the subtree's uplink
+/// goes admin-down — the whole region drops off the metro), or a partition
+/// (the subtree's homes stay "up" but no packet crosses to or from the
+/// rest of the metro — a routing gray failure rather than a dead link).
 struct EventSpec {
-  enum class Kind { kFlashCrowd, kOutage };
+  enum class Kind { kFlashCrowd, kOutage, kPartition };
   enum class Scope { kDslam, kPop };
 
   Kind kind = Kind::kFlashCrowd;
@@ -86,16 +88,20 @@ struct EventSpec {
 struct EventPlan {
   std::vector<EventSpec> events;
 
-  /// Draws `flash_crowds` + `outages` events over [0, horizon): targets
-  /// uniform over subtrees (dslam- or pop-scoped, 50/50), starts in the
-  /// middle 70% of the horizon, durations 5–15% of it, crowd intensities
-  /// uniform in [4, 12], hot objects Zipf-drawn from `catalog`.
+  /// Draws `flash_crowds` + `outages` + `partitions` events over
+  /// [0, horizon): targets uniform over subtrees (dslam- or pop-scoped,
+  /// 50/50), starts in the middle 70% of the horizon, durations 5–15% of
+  /// it, crowd intensities uniform in [4, 12], hot objects Zipf-drawn from
+  /// `catalog`. The partitions arg is defaulted so existing call sites
+  /// keep their draw sequence (and thus their byte-identical telemetry).
   static EventPlan generate(const MetroTopology& topo,
                             const ZipfCatalog& catalog,
                             util::TimePoint horizon, std::size_t flash_crowds,
-                            std::size_t outages, util::Rng& rng);
+                            std::size_t outages, util::Rng& rng,
+                            std::size_t partitions = 0);
 
-  /// Maps every outage to a link_down of the scoped subtree's uplink.
+  /// Maps every outage to a link_down of the scoped subtree's uplink and
+  /// every partition to a bidirectional cut isolating the subtree's homes.
   /// Flash crowds do not appear here — they are workload, not faults.
   fault::FaultPlan to_fault_plan(const MetroTopology& topo) const;
 
@@ -109,6 +115,7 @@ struct EventPlan {
 
   std::size_t flash_crowd_count() const;
   std::size_t outage_count() const;
+  std::size_t partition_count() const;
   /// Highest crowd intensity in the plan (>= 1.0; used for thinning).
   double max_crowd_intensity() const;
   /// FNV-1a over every field of every event (determinism tests).

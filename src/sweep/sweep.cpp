@@ -377,6 +377,87 @@ std::string run_durable(std::uint64_t seed) {
   return line;
 }
 
+// ---- directory: sharded HPoP directory through shard crash + partition
+
+std::string run_directory(std::uint64_t seed) {
+  constexpr util::Duration kDayLength = 20 * kSecond;
+  const util::TimePoint horizon = kDayLength;
+
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(seed)};
+
+  metro::MetroParams params;
+  params.homes = 48;
+  params.homes_per_dslam = 8;
+  params.dslams_per_pop = 3;
+  params.access_rate_jitter = 0.1;
+  util::Rng topo_rng(seed ^ 0x4d455452u);
+  metro::MetroTopology topo = metro::build_metro(net, params, topo_rng);
+
+  metro::ZipfCatalog catalog(64, 0.9);
+  util::Rng plan_rng(seed ^ 0x504c414eu);
+  // One flash crowd, no uplink outage (lookups need a live edge), one
+  // access-subtree partition — the new correlated-failure mode.
+  metro::EventPlan plan =
+      metro::EventPlan::generate(topo, catalog, horizon, /*flash_crowds=*/1,
+                                 /*outages=*/0, plan_rng, /*partitions=*/1);
+  metro::WorkloadModel model(metro::DiurnalCurve::residential(kDayLength),
+                             catalog, plan, /*base_rate_per_home=*/0.5);
+
+  metro::MetroDriverConfig dconfig;
+  dconfig.active_homes = 24;
+  dconfig.peers = 4;
+  dconfig.attic_pairs = 2;
+  dconfig.attic_interval = 4 * kSecond;
+  dconfig.horizon = horizon;
+  dconfig.dir_shards = 3;
+  dconfig.dir_replication = 2;
+  dconfig.dir_lease = 6 * kSecond;
+  dconfig.dir_anti_entropy = 2 * kSecond;
+  dconfig.dir_registered_homes = 24;
+  dconfig.dir_silent_homes = 4;
+  dconfig.dir_silent_lease_s = 2;
+  dconfig.dir_warmup = 3 * kSecond;
+  metro::MetroDriver driver(topo, model, dconfig, util::Rng(seed ^ 0xd1ce5u));
+  driver.start();
+
+  fault::ChaosController chaos(sim, util::Rng(seed ^ 0xfa017u));
+  core::DirectoryCluster* cluster = driver.directory();
+  cluster->register_with_chaos(chaos);
+  chaos.execute(plan.to_fault_plan(topo));
+  // Kill one shard mid-day: the WAL brings it back, anti-entropy and the
+  // ongoing renewals close the gap it slept through.
+  chaos.crash_at(cluster->host(seed % dconfig.dir_shards).name(),
+                 8 * kSecond, 4 * kSecond);
+
+  sim.run_until(horizon + 10 * kSecond);
+
+  std::size_t acked = 0, resolved = 0;
+  const auto& regs = driver.dir_registrations();
+  for (std::size_t i = 0; i < driver.dir_renewing(); ++i) {
+    if (!regs[i]->acked()) continue;
+    ++acked;
+    if (cluster->resolves(regs[i]->household())) ++resolved;
+  }
+  const auto sync = cluster->sync_totals();
+
+  char line[448];
+  std::snprintf(
+      line, sizeof line,
+      "directory seed=%llu fp=%016llx partitions=%llu heals=%llu "
+      "cut_drops=%llu ae_rounds=%llu sync_applied=%llu acked=%zu "
+      "resolved=%zu %s",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(cluster->fingerprint()),
+      static_cast<unsigned long long>(chaos.stats().partitions),
+      static_cast<unsigned long long>(chaos.stats().partition_heals),
+      static_cast<unsigned long long>(chaos.stats().partition_drops),
+      static_cast<unsigned long long>(sync.rounds),
+      static_cast<unsigned long long>(sync.entries_applied), acked, resolved,
+      driver.report().c_str());
+  return line;
+}
+
 }  // namespace
 
 const char* to_string(Scenario s) {
@@ -386,6 +467,7 @@ const char* to_string(Scenario s) {
     case Scenario::kRampup: return "rampup";
     case Scenario::kMetro: return "metro";
     case Scenario::kDurable: return "durable";
+    case Scenario::kDirectory: return "directory";
   }
   return "?";
 }
@@ -396,6 +478,7 @@ std::optional<Scenario> scenario_from_string(std::string_view name) {
   if (name == "rampup") return Scenario::kRampup;
   if (name == "metro") return Scenario::kMetro;
   if (name == "durable") return Scenario::kDurable;
+  if (name == "directory") return Scenario::kDirectory;
   return std::nullopt;
 }
 
@@ -406,6 +489,7 @@ std::string run_scenario(Scenario s, std::uint64_t seed) {
     case Scenario::kRampup: return run_rampup(seed);
     case Scenario::kMetro: return run_metro(seed);
     case Scenario::kDurable: return run_durable(seed);
+    case Scenario::kDirectory: return run_directory(seed);
   }
   return {};
 }

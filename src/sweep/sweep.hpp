@@ -19,6 +19,7 @@ enum class Scenario {
   kRampup,      // TCP slow-start ramp to 90% of a 1 Gbps path
   kMetro,       // small metro tree, diurnal NoCDN day with crowd + outage
   kDurable,     // WAL'd attic through torn crashes: zero acked-write loss
+  kDirectory,   // sharded directory day: shard crash + subtree partition
 };
 
 const char* to_string(Scenario s);

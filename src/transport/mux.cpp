@@ -13,7 +13,17 @@ TransportMux::TransportMux(net::Host& host) : host_(host) {
       });
 }
 
-TransportMux::~TransportMux() { host_.set_transport_handler(nullptr); }
+TransportMux::~TransportMux() {
+  host_.set_transport_handler(nullptr);
+  // Applications may keep connections alive past the mux (self-capturing
+  // handlers, a peer's connection map); a pending RTO on one of those
+  // would fire into this freed mux. Detach them all: timers cancelled,
+  // handlers cleared, no callbacks invoked.
+  for (auto& [key, conn] : connections_) {
+    conn->detach();
+  }
+  connections_.clear();
+}
 
 net::IpAddr TransportMux::default_source() const { return host_.address(); }
 

@@ -125,6 +125,27 @@ void TcpConnection::abort() {
   fail("local abort");
 }
 
+void TcpConnection::detach() {
+  disarm_rto();
+  if (delayed_ack_timer_) {
+    mux_.simulator().cancel(*delayed_ack_timer_);
+    delayed_ack_timer_.reset();
+  }
+  if (state_ != State::kClosed) {
+    last_error_ = "transport destroyed";
+    state_ = State::kClosed;
+  }
+  // Break the self-capture cycles so externally-held references drain.
+  on_established_ = nullptr;
+  on_message_ = nullptr;
+  on_bytes_ = nullptr;
+  on_closed_ = nullptr;
+  on_reset_ = nullptr;
+  on_remote_close_ = nullptr;
+  on_send_space_ = nullptr;
+  on_payload_acked_ = nullptr;
+}
+
 void TcpConnection::fail(const char* reason) {
   HPOP_LOG(kDebug, "tcp") << local_.to_string() << "->" << remote_.to_string()
                           << " failed: " << reason;

@@ -126,6 +126,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // --- Wiring (mux-internal) ---
   void start_active_open();
   void on_packet(const net::Packet& pkt);
+  /// Called by ~TransportMux: the mux is going away while the application
+  /// may still hold the connection (self-capturing handlers, peer maps).
+  /// Cancels all pending timers and clears handlers without invoking any
+  /// callback — the owner tearing down the mux (a crashed host) has
+  /// usually destroyed the application already, so firing on_reset here
+  /// would call into freed objects. Leaves the object inert and kClosed.
+  void detach();
 
  private:
   struct Item {

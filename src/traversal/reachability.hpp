@@ -61,6 +61,12 @@ struct Advertisement {
   ReachMethod method = ReachMethod::kUnreachable;
   net::Endpoint endpoint;  // where clients should connect
   bool rendezvous_required = false;
+
+  /// Serialized footprint when carried inside a directory message: method
+  /// byte + flags byte + (ip, port) endpoint + framing. Messages that
+  /// carry an advertisement add this to their own header size so the
+  /// telemetry byte counters meter the real payload.
+  std::size_t wire_bytes() const { return 16; }
 };
 
 struct ReachabilityConfig {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "durable/device.hpp"
+#include "durable/wal.hpp"
+#include "fault/fault.hpp"
 #include "hpop/appliance.hpp"
+#include "hpop/dir_cluster.hpp"
 #include "net/topology.hpp"
 #include "util/encoding.hpp"
 
@@ -225,6 +229,382 @@ INSTANTIATE_TEST_SUITE_P(
                       return c;
                     }(),
                     "turn-relay"}));
+
+// -------------------------------------------- Leases + WAL recovery
+
+TEST(DirectoryWire, SizesAccountForCarriedAdvertisement) {
+  DirRegister reg;
+  reg.household = "casa";
+  EXPECT_EQ(reg.wire_size(), 32 + 4 + reg.advertisement.wire_bytes());
+  DirLookupResponse miss;
+  EXPECT_EQ(miss.wire_size(), 24u);
+  DirLookupResponse hit;
+  hit.found = true;
+  EXPECT_EQ(hit.wire_size(), 24 + hit.advertisement.wire_bytes());
+}
+
+/// Three public hosts on a star: the directory, a lightweight "HPoP" that
+/// registers over raw wire messages, and a device that looks up.
+struct DirWorld {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(11)};
+  net::Router* rtr;
+  net::Host* server;
+  net::Host* hpop;
+  net::Host* device;
+  std::unique_ptr<transport::TransportMux> mux_server;
+  std::unique_ptr<transport::TransportMux> mux_hpop;
+  std::unique_ptr<transport::TransportMux> mux_device;
+
+  DirWorld() {
+    rtr = &net.add_router("rtr");
+    server = &net.add_host("dir", net.next_public_address());
+    hpop = &net.add_host("hpop", net.next_public_address());
+    device = &net.add_host("device", net.next_public_address());
+    for (net::Host* h : {server, hpop, device}) {
+      net.connect(*h, h->address(), *rtr, net::IpAddr{},
+                  net::LinkParams{util::kGbps, util::kMillisecond});
+    }
+    net.auto_route();
+    mux_server = std::make_unique<transport::TransportMux>(*server);
+    mux_hpop = std::make_unique<transport::TransportMux>(*hpop);
+    mux_device = std::make_unique<transport::TransportMux>(*device);
+  }
+
+  std::shared_ptr<DirRegister> make_register(const std::string& household,
+                                             std::uint32_t lease_s,
+                                             std::uint64_t txn,
+                                             std::uint16_t adv_port = 443) {
+    auto reg = std::make_shared<DirRegister>();
+    reg->household = household;
+    reg->advertisement.method = traversal::ReachMethod::kDirect;
+    reg->advertisement.endpoint = {hpop->address(), adv_port};
+    reg->lease_s = lease_s;
+    reg->txn = txn;
+    return reg;
+  }
+
+  /// Opens a control connection and registers `household`; the returned
+  /// connection is the entry's live control (drop it and it stays alive
+  /// through its own callbacks, like a real HPoP's persistent socket).
+  std::shared_ptr<transport::TcpConnection> register_household(
+      std::uint16_t port, const std::string& household, std::uint32_t lease_s,
+      std::uint16_t adv_port = 443) {
+    auto conn = mux_hpop->tcp_connect({server->address(), port});
+    auto reg = make_register(household, lease_s, 1, adv_port);
+    conn->set_on_established([conn, reg] { conn->send(reg); });
+    return conn;
+  }
+
+  /// Resolves `household` and runs the sim forward; "ok" or an error code.
+  std::string lookup_code(std::uint16_t port, const std::string& household) {
+    DirectoryClient client(*mux_device, {server->address(), port});
+    std::string code = "no_reply";
+    client.lookup(household, [&](util::Result<traversal::Advertisement> r) {
+      code = r.ok() ? "ok" : r.error().code;
+    });
+    sim.run_until(sim.now() + 2 * kSecond);
+    return code;
+  }
+};
+
+TEST(DirectoryLease, ExpiredEntryIsNeverServed) {
+  DirWorld w;
+  DirectoryServer dir(*w.mux_server, 5300);
+  w.register_household(5300, "casa", 4);
+  w.sim.run_until(kSecond);
+  ASSERT_EQ(dir.registered(), 1u);
+  EXPECT_TRUE(dir.would_resolve("casa"));
+  EXPECT_EQ(w.lookup_code(5300, "casa"), "ok");  // now at 3 s, inside lease
+
+  w.sim.run_until(5 * kSecond);  // the ~4 s lease has lapsed
+  EXPECT_FALSE(dir.would_resolve("casa"));
+  EXPECT_EQ(w.lookup_code(5300, "casa"), "not_found");
+  EXPECT_EQ(dir.stats().expired_dropped, 1u);
+  EXPECT_EQ(dir.registered(), 0u);
+}
+
+TEST(DirectoryLease, RenewalExtendsTheLease) {
+  DirWorld w;
+  DirectoryServer dir(*w.mux_server, 5300);
+  auto conn = w.register_household(5300, "casa", 4);
+  w.sim.run_until(3 * kSecond);
+  ASSERT_EQ(dir.registered(), 1u);
+  conn->send(w.make_register("casa", 4, 2));  // renew: lease now ends ~7 s
+
+  w.sim.run_until(6 * kSecond);
+  // Without the renewal this would have expired at ~4 s.
+  EXPECT_EQ(w.lookup_code(5300, "casa"), "ok");  // now at 8 s
+  EXPECT_EQ(w.lookup_code(5300, "casa"), "not_found");
+  EXPECT_EQ(dir.stats().registrations, 2u);
+}
+
+TEST(DirectoryLease, ExpirySweepEvictsWithoutLookups) {
+  DirWorld w;
+  DirectoryServer dir(*w.mux_server, 5300);
+  dir.start_expiry_sweep(kSecond);
+  w.register_household(5300, "casa", 2);
+  w.sim.run_until(kSecond);
+  ASSERT_EQ(dir.registered(), 1u);
+  w.sim.run_until(5 * kSecond);
+  EXPECT_EQ(dir.registered(), 0u);
+  EXPECT_EQ(dir.stats().expired_dropped, 1u);
+}
+
+TEST(DirectoryWal, RecoveredEntriesHonorLeases) {
+  DirWorld w;
+  durable::StorageDevice disk("dirdisk", util::Rng(3));
+  auto wal = std::make_unique<durable::Wal>(disk, "directory.wal");
+  auto dir = std::make_unique<DirectoryServer>(*w.mux_server, 5300);
+  dir->attach_wal(wal.get());
+  w.register_household(5300, "casa", 120);
+  w.register_household(5300, "ghost", 3);  // lapses while the process is dead
+  w.sim.run_until(kSecond);
+  ASSERT_EQ(dir->registered(), 2u);
+
+  // Process death: the directory and its WAL handle go, sockets included.
+  dir.reset();
+  wal.reset();
+  auto wal2 = std::make_unique<durable::Wal>(disk, "directory.wal");
+  auto dir2 = std::make_unique<DirectoryServer>(*w.mux_server, 5301);
+  const auto rec = dir2->recover_from_wal(*wal2);
+  EXPECT_EQ(rec.records, 2u);
+  ASSERT_EQ(dir2->registered(), 2u);
+
+  // A recovered entry has no control connection, but lookups answer.
+  EXPECT_EQ(w.lookup_code(5301, "casa"), "ok");  // now at 3 s
+
+  // "ghost"'s lease ran out at ~3 s: recovery must not resurrect it.
+  w.sim.run_until(5 * kSecond);
+  EXPECT_FALSE(dir2->would_resolve("ghost"));
+  EXPECT_EQ(w.lookup_code(5301, "ghost"), "not_found");
+  EXPECT_EQ(dir2->stats().expired_dropped, 1u);
+  EXPECT_TRUE(dir2->would_resolve("casa"));
+}
+
+TEST(DirectoryWal, RecoveredEntryUnderAdmissionControl) {
+  DirWorld w;
+  durable::StorageDevice disk("dirdisk", util::Rng(3));
+  auto wal = std::make_unique<durable::Wal>(disk, "directory.wal");
+  auto dir = std::make_unique<DirectoryServer>(*w.mux_server, 5300);
+  dir->attach_wal(wal.get());
+  w.register_household(5300, "casa", 120);
+  w.sim.run_until(kSecond);
+  ASSERT_EQ(dir->registered(), 1u);
+
+  dir.reset();
+  wal.reset();
+  auto wal2 = std::make_unique<durable::Wal>(disk, "directory.wal");
+  auto dir2 = std::make_unique<DirectoryServer>(*w.mux_server, 5301);
+  dir2->recover_from_wal(*wal2);
+  overload::AdmissionConfig acfg;
+  acfg.rate = 0.1;  // one token every 10 s
+  acfg.burst = 1.0;
+  dir2->enable_admission(acfg);
+
+  // The sole token goes to a lookup, answered from the recovered entry.
+  EXPECT_EQ(w.lookup_code(5301, "casa"), "ok");  // now at 3 s
+
+  // The next rendezvous is shed: busy, with a concrete retry hint.
+  auto probe_rendezvous = [&](std::uint64_t txn, bool& ok, bool& busy,
+                              std::uint32_t& retry) {
+    auto conn = w.mux_device->tcp_connect({w.server->address(), 5301});
+    auto rdv = std::make_shared<DirRendezvousRequest>();
+    rdv->household = "casa";
+    rdv->client = {w.device->address(), 4000};
+    rdv->txn = txn;
+    conn->set_on_established([conn, rdv] { conn->send(rdv); });
+    conn->set_on_message([&ok, &busy, &retry](net::PayloadPtr msg) {
+      if (const auto ready =
+              std::dynamic_pointer_cast<const DirRendezvousReady>(msg)) {
+        ok = ready->ok;
+        busy = ready->busy;
+        retry = ready->retry_after_s;
+      }
+    });
+    w.sim.run_until(w.sim.now() + 2 * kSecond);
+  };
+  bool ok = true, busy = false;
+  std::uint32_t retry = 0;
+  probe_rendezvous(9, ok, busy, retry);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(busy);
+  EXPECT_GE(retry, 1u);
+  EXPECT_EQ(dir2->sheds(), 1u);
+
+  // Re-registration is critical (never shed) and replaces the recovered
+  // null-control entry with a live one.
+  auto control = w.register_household(5301, "casa", 120, 8443);
+  control->set_on_message([control](net::PayloadPtr msg) {
+    if (const auto r =
+            std::dynamic_pointer_cast<const DirRendezvousRequest>(msg)) {
+      auto ready = std::make_shared<DirRendezvousReady>();
+      ready->txn = r->txn;
+      ready->ok = true;
+      control->send(ready);
+    }
+  });
+  w.sim.run_until(w.sim.now() + 2 * kSecond);
+  EXPECT_EQ(dir2->stats().registrations, 1u);
+
+  // After the bucket refills, rendezvous relays through the new control —
+  // proof the re-registration replaced the socketless recovered entry.
+  w.sim.run_until(20 * kSecond);
+  ok = false;
+  busy = true;
+  probe_rendezvous(10, ok, busy, retry);
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(busy);
+}
+
+// ------------------------------------------------- Sharded directory
+
+TEST(DirCluster, HashRingIsDeterministicWithDistinctReplicas) {
+  HashRing r1(6, 0x52494e47, 16), r2(6, 0x52494e47, 16), r3(6, 99, 16);
+  EXPECT_EQ(r1.fingerprint(), r2.fingerprint());
+  EXPECT_NE(r1.fingerprint(), r3.fingerprint());
+  std::vector<std::size_t> primaries(6, 0);
+  for (int i = 0; i < 200; ++i) {
+    const std::string h = "home-" + std::to_string(i);
+    const auto reps = r1.replicas(h, 3);
+    EXPECT_EQ(reps, r2.replicas(h, 3));
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_NE(reps[0], reps[1]);
+    EXPECT_NE(reps[1], reps[2]);
+    EXPECT_NE(reps[0], reps[2]);
+    EXPECT_EQ(reps[0], r1.primary(h));
+    ++primaries[reps[0]];
+  }
+  for (const std::size_t n : primaries) EXPECT_GT(n, 0u);
+  EXPECT_EQ(r1.replicas("x", 99).size(), 6u);  // r clamps to the shard count
+}
+
+/// Shard hosts, an HPoP host, and a device host on one star.
+struct ClusterWorld {
+  sim::Simulator sim;
+  net::Network net{sim, util::Rng(21)};
+  net::Router* rtr;
+  std::vector<net::Host*> shard_hosts;
+  net::Host* hpop;
+  net::Host* device;
+  std::unique_ptr<transport::TransportMux> mux_hpop;
+  std::unique_ptr<transport::TransportMux> mux_device;
+  std::unique_ptr<DirectoryCluster> cluster;
+
+  explicit ClusterWorld(std::size_t shards) {
+    rtr = &net.add_router("rtr");
+    for (std::size_t i = 0; i < shards; ++i) {
+      net::Host& h = net.add_host("shard-" + std::to_string(i),
+                                  net.next_public_address());
+      net.connect(h, h.address(), *rtr, net::IpAddr{},
+                  net::LinkParams{util::kGbps, util::kMillisecond});
+      shard_hosts.push_back(&h);
+    }
+    hpop = &net.add_host("hpop", net.next_public_address());
+    device = &net.add_host("device", net.next_public_address());
+    for (net::Host* h : {hpop, device}) {
+      net.connect(*h, h->address(), *rtr, net::IpAddr{},
+                  net::LinkParams{util::kGbps, util::kMillisecond});
+    }
+    net.auto_route();
+    DirClusterConfig cfg;
+    cfg.replication = 2;
+    cfg.lease_ttl = 60 * kSecond;
+    cfg.anti_entropy_interval = kSecond;
+    cluster =
+        std::make_unique<DirectoryCluster>(shard_hosts, cfg, util::Rng(5));
+    mux_hpop = std::make_unique<transport::TransportMux>(*hpop);
+    mux_device = std::make_unique<transport::TransportMux>(*device);
+  }
+
+  traversal::Advertisement adv() const {
+    traversal::Advertisement a;
+    a.method = traversal::ReachMethod::kDirect;
+    a.endpoint = {hpop->address(), 443};
+    return a;
+  }
+};
+
+TEST(DirCluster, LookupFailsOverWhenPrimaryReplicaCrashes) {
+  ClusterWorld w(3);
+  const auto eps = w.cluster->endpoints();
+  ShardedDirectoryRegistration reg(*w.mux_hpop, &w.cluster->ring(), eps,
+                                   "casa", DirRegistrationConfig{},
+                                   util::Rng(7));
+  reg.register_advertisement(w.adv());
+  w.sim.run_until(2 * kSecond);
+  ASSERT_TRUE(reg.acked());
+  const auto reps = w.cluster->ring().replicas("casa", 2);
+  for (const std::uint32_t s : reps) {
+    EXPECT_TRUE(w.cluster->shard(s)->would_resolve("casa"))
+        << "eager replication should reach shard " << s;
+  }
+
+  fault::ChaosController chaos(w.sim, util::Rng(9));
+  w.cluster->register_with_chaos(chaos);
+  chaos.crash_at(w.cluster->host(reps[0]).name(), 3 * kSecond, 6 * kSecond);
+
+  ShardedDirectoryClient client(*w.mux_device, &w.cluster->ring(), eps,
+                                w.cluster->client_config(), util::Rng(11));
+  std::string code = "no_reply";
+  w.sim.schedule(4 * kSecond, [&] {
+    client.lookup("casa", [&](util::Result<traversal::Advertisement> r) {
+      code = r.ok() ? "ok" : r.error().code;
+    });
+  });
+  w.sim.run_until(8 * kSecond);
+  EXPECT_EQ(code, "ok");  // the surviving replica answered
+  EXPECT_GE(client.stats().failovers, 1u);
+  EXPECT_EQ(w.cluster->shard(reps[0]), nullptr);  // still down at 8 s
+
+  w.sim.run_until(15 * kSecond);
+  EXPECT_NE(w.cluster->shard(reps[0]), nullptr);
+  EXPECT_TRUE(w.cluster->resolves("casa"));
+}
+
+TEST(DirCluster, RegistrationFailsOverWhenPrimaryIsDown) {
+  ClusterWorld w(3);
+  fault::ChaosController chaos(w.sim, util::Rng(9));
+  w.cluster->register_with_chaos(chaos);
+  const auto reps = w.cluster->ring().replicas("casa", 2);
+  chaos.crash_at(w.cluster->host(reps[0]).name(), kSecond, 8 * kSecond);
+
+  ShardedDirectoryRegistration reg(*w.mux_hpop, &w.cluster->ring(),
+                                   w.cluster->endpoints(), "casa",
+                                   DirRegistrationConfig{}, util::Rng(7));
+  w.sim.schedule(2 * kSecond, [&] { reg.register_advertisement(w.adv()); });
+  w.sim.run_until(8 * kSecond);
+  EXPECT_TRUE(reg.acked());
+  EXPECT_GE(reg.stats().failovers, 1u);
+  EXPECT_TRUE(w.cluster->shard(reps[1])->would_resolve("casa"));
+}
+
+TEST(DirCluster, AntiEntropyCatchesUpAShardThatMissedWrites) {
+  ClusterWorld w(3);
+  fault::ChaosController chaos(w.sim, util::Rng(9));
+  w.cluster->register_with_chaos(chaos);
+  const auto reps = w.cluster->ring().replicas("casa", 2);
+  // The secondary sleeps through the registration: down [1, 5), so both
+  // the eager replica push and the WAL write miss it entirely.
+  chaos.crash_at(w.cluster->host(reps[1]).name(), kSecond, 4 * kSecond);
+
+  ShardedDirectoryRegistration reg(*w.mux_hpop, &w.cluster->ring(),
+                                   w.cluster->endpoints(), "casa",
+                                   DirRegistrationConfig{}, util::Rng(7));
+  w.sim.schedule(2 * kSecond, [&] { reg.register_advertisement(w.adv()); });
+  w.sim.run_until(3 * kSecond);
+  ASSERT_TRUE(reg.acked());
+  EXPECT_EQ(w.cluster->shard(reps[1]), nullptr);
+  EXPECT_TRUE(w.cluster->shard(reps[0])->would_resolve("casa"));
+
+  // Back at 5 s with an empty WAL; round-robin anti-entropy (1 s ticks)
+  // replays the registration onto it within a few rounds.
+  w.sim.run_until(12 * kSecond);
+  ASSERT_NE(w.cluster->shard(reps[1]), nullptr);
+  EXPECT_TRUE(w.cluster->shard(reps[1])->would_resolve("casa"));
+  EXPECT_GE(w.cluster->shard(reps[1])->sync_stats().entries_applied, 1u);
+  EXPECT_GT(w.cluster->sync_totals().rounds, 0u);
+}
 
 }  // namespace
 }  // namespace hpop::core

@@ -278,6 +278,68 @@ TEST(EventPlan, OutagesMapToScopedUplinks) {
   EXPECT_EQ(faults.events[1].link, topo.pop_uplinks[1]);
 }
 
+TEST(EventPlan, PartitionsMapToSubtreeComplementCuts) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng trng(1);
+  MetroTopology topo = build_metro(net, p, trng);
+
+  EventSpec part;
+  part.kind = EventSpec::Kind::kPartition;
+  part.scope = EventSpec::Scope::kDslam;
+  part.target = 1;
+  part.start = 3 * kSecond;
+  part.duration = 4 * kSecond;
+  EventSpec crowd;  // workload, not a fault
+  crowd.kind = EventSpec::Kind::kFlashCrowd;
+  EventPlan plan{{part, crowd}};
+  EXPECT_EQ(plan.partition_count(), 1u);
+  EXPECT_EQ(plan.outage_count(), 0u);
+  EXPECT_EQ(plan.flash_crowd_count(), 1u);
+
+  const fault::FaultPlan faults = plan.to_fault_plan(topo);
+  ASSERT_EQ(faults.events.size(), 1u);
+  EXPECT_EQ(faults.events[0].kind, fault::FaultEvent::Kind::kPartition);
+  EXPECT_EQ(faults.events[0].at, 3 * kSecond);
+  EXPECT_EQ(faults.events[0].duration, 4 * kSecond);
+  const auto [lo, hi] = topo.homes_of_dslam(1);
+  ASSERT_EQ(faults.events[0].set_a.size(), hi - lo);
+  EXPECT_EQ(faults.events[0].set_a.front(), topo.homes[lo]);
+  EXPECT_EQ(faults.events[0].set_a.back(), topo.homes[hi - 1]);
+  // Empty far side: the subtree is cut from everyone, but keeps talking
+  // to itself (a gray failure, not a dead uplink).
+  EXPECT_TRUE(faults.events[0].set_b.empty());
+}
+
+TEST(EventPlan, GenerateWithPartitionsPreservesPrefixDraws) {
+  sim::Simulator sim;
+  net::Network net(sim, util::Rng(1));
+  MetroParams p = small_params();
+  util::Rng trng(1);
+  MetroTopology topo = build_metro(net, p, trng);
+  ZipfCatalog catalog(64, 0.9);
+  const util::TimePoint horizon = 100 * kSecond;
+
+  // Partitions draw last, so an old-style call and a partitioned call
+  // share their crowd/outage prefix byte-for-byte — existing seeds keep
+  // their telemetry identity.
+  util::Rng a(9), b(9);
+  const EventPlan old_style =
+      EventPlan::generate(topo, catalog, horizon, 2, 2, a);
+  const EventPlan with_part =
+      EventPlan::generate(topo, catalog, horizon, 2, 2, b, 1);
+  ASSERT_EQ(with_part.events.size(), 5u);
+  EXPECT_EQ(with_part.partition_count(), 1u);
+  const EventPlan prefix{{with_part.events.begin(),
+                          with_part.events.begin() + 4}};
+  EXPECT_EQ(prefix.fingerprint(), old_style.fingerprint());
+  const EventSpec& cut = with_part.events[4];
+  EXPECT_EQ(cut.kind, EventSpec::Kind::kPartition);
+  EXPECT_GE(cut.start, horizon * 15 / 100);
+  EXPECT_LE(cut.start, horizon * 85 / 100);
+}
+
 TEST(WorkloadModel, ArrivalsAreDeterministicAndRateModulated) {
   sim::Simulator sim;
   net::Network net(sim, util::Rng(1));
