@@ -39,6 +39,7 @@
 #include "metro/workload.hpp"
 #include "net/pool.hpp"
 #include "net/topology.hpp"
+#include "psim/day.hpp"
 #include "sim/simulator.hpp"
 #include "sweep/sweep.hpp"
 #include "transport/mux.hpp"
@@ -251,6 +252,15 @@ ChurnResult churn_baseline(std::uint64_t timers, std::uint64_t ops) {
 // UDP datagrams across host -- router -- host: every datagram is copied
 // per hop by the link layer, so this measures the copy-on-write packet
 // body end to end (the body is shared, never cloned, across both hops).
+//
+// Senders are bursty — 16 datagrams arrive back to back every 160 us
+// (~980 Mbps average) — and the first hop runs at 10 Gbps into a 1 Gbps
+// bottleneck hop, so real queues form at BOTH links (a batch crosses the
+// fast hop nearly intact and piles up at the bottleneck) and the burst
+// service loop has something to drain on every hop. Run once with
+// burst_limit=1 (strict per-packet servicing, the pre-burst engine) and
+// once with the default 8; delivery schedules are identical by
+// construction, so the same packets arrive and only the wall clock moves.
 
 struct PacketHopResult {
   double packets_per_sec = 0;
@@ -258,12 +268,15 @@ struct PacketHopResult {
   std::uint64_t delivered = 0;
 };
 
-PacketHopResult run_packet_hop(std::uint64_t packets) {
+PacketHopResult run_packet_hop(std::uint64_t packets, int burst_limit) {
   sim::Simulator sim;
   net::Network net(sim, util::Rng(7));
-  const net::PathParams params{1 * util::kGbps, 1 * util::kMillisecond, 0.0,
-                               16 << 20};
-  auto path = net::make_two_host_path(net, params, params);
+  const net::PathParams fast{10 * util::kGbps, 1 * util::kMillisecond, 0.0,
+                             16 << 20};
+  const net::PathParams bottleneck{1 * util::kGbps, 1 * util::kMillisecond,
+                                   0.0, 16 << 20};
+  auto path = net::make_two_host_path(net, fast, bottleneck);
+  for (const auto& link : net.links()) link->set_burst_limit(burst_limit);
   transport::TransportMux mux_a(*path.a), mux_b(*path.b);
   auto rx = mux_b.udp_open(9000);
   std::uint64_t delivered = 0;
@@ -272,7 +285,6 @@ PacketHopResult run_packet_hop(std::uint64_t packets) {
   auto tx = mux_a.udp_open(9001);
   const auto payload = std::make_shared<transport::FillerPayload>(1200);
   const net::Endpoint dst{path.b->address(), 9000};
-  // Paced at 960 Mbps so the 1 Gbps link never queues unboundedly.
   std::uint64_t sent = 0;
   struct Pump {
     sim::Simulator* sim;
@@ -282,8 +294,11 @@ PacketHopResult run_packet_hop(std::uint64_t packets) {
     std::uint64_t* sent;
     std::uint64_t total;
     void operator()() const {
-      tx->send_to(dst, payload);
-      if (++*sent < total) sim->schedule(10 * util::kMicrosecond, Pump{*this});
+      for (int b = 0; b < 32 && *sent < total; ++b) {
+        tx->send_to(dst, payload);
+        ++*sent;
+      }
+      if (*sent < total) sim->schedule(320 * util::kMicrosecond, Pump{*this});
     }
   };
   const std::uint64_t allocs_before = alloc_count();
@@ -586,6 +601,57 @@ DirectoryDayResult run_directory_day(std::size_t homes) {
   return r;
 }
 
+// --- Workload 10: sharded parallel metro day (E20 gates) ----------------
+// psim's conservative-lookahead engine running the 10k-home compressed
+// diurnal day at 1, 2, and 4 workers. The determinism gate — all three day
+// reports byte-identical — is a pure software property and always armed.
+// The speedup gate (>= 2.5x at 4 workers) is a hardware property, armed
+// only where >= 8 hardware threads exist; elsewhere it is recorded as
+// "skipped", never as a pass.
+
+struct ParallelMetroResult {
+  std::size_t homes = 0;
+  unsigned hw_threads = 0;
+  double wall_1 = 0, wall_2 = 0, wall_4 = 0;
+  bool identical = false;
+  std::uint64_t requests = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t crossings = 0;
+  std::uint64_t spilled = 0;
+
+  double speedup_4() const { return wall_4 > 0 ? wall_1 / wall_4 : 0.0; }
+  bool speedup_gate_armed() const { return hw_threads >= 8; }
+};
+
+ParallelMetroResult run_parallel_metro(std::size_t homes, bool smoke) {
+  ParallelMetroResult r;
+  r.homes = homes;
+  r.hw_threads = std::thread::hardware_concurrency();
+  psim::DayConfig cfg;
+  cfg.homes = homes;
+  cfg.seed = 42;
+  cfg.day = (smoke ? 10 : 20) * util::kSecond;
+
+  cfg.workers = 1;
+  const psim::DayResult w1 = psim::run_day(cfg);
+  cfg.workers = 2;
+  const psim::DayResult w2 = psim::run_day(cfg);
+  cfg.workers = 4;
+  const psim::DayResult w4 = psim::run_day(cfg);
+
+  r.wall_1 = w1.wall_s;
+  r.wall_2 = w2.wall_s;
+  r.wall_4 = w4.wall_s;
+  r.identical = w1.report == w2.report && w1.report == w4.report;
+  r.requests = w4.requests;
+  r.rx_bytes = w4.rx_bytes;
+  r.epochs = w4.epochs;
+  r.crossings = w4.crossings;
+  r.spilled = w4.spilled;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -609,7 +675,7 @@ int main(int argc, char** argv) {
   const std::uint64_t hot_events = smoke ? 200'000 : 2'000'000;
   const std::uint64_t churn_timers = smoke ? 1'024 : 4'096;
   const std::uint64_t churn_ops = smoke ? 100'000 : 1'000'000;
-  const std::uint64_t hop_packets = smoke ? 5'000 : 50'000;
+  const std::uint64_t hop_packets = smoke ? 20'000 : 50'000;
   const std::size_t bulk_mb = smoke ? 8 : 64;
 
   std::fprintf(stderr, "[bench_core] scheduler hot loop (%llu events)...\n",
@@ -634,8 +700,12 @@ int main(int argc, char** argv) {
   const ChurnResult baseline_churn = churn_baseline(churn_timers, churn_ops);
   const ChurnResult engine_churn = churn_engine(churn_timers, churn_ops);
 
-  std::fprintf(stderr, "[bench_core] packet-hop throughput...\n");
-  const PacketHopResult hop = run_packet_hop(hop_packets);
+  std::fprintf(stderr, "[bench_core] packet-hop throughput (burst A/B)...\n");
+  const PacketHopResult hop_pp = run_packet_hop(hop_packets, 1);
+  const PacketHopResult hop = run_packet_hop(hop_packets, 16);
+  const double burst_speedup = hop_pp.packets_per_sec > 0
+                                   ? hop.packets_per_sec / hop_pp.packets_per_sec
+                                   : 0.0;
 
   std::fprintf(stderr, "[bench_core] TCP bulk transfer (%zu MiB)...\n",
                bulk_mb);
@@ -669,15 +739,27 @@ int main(int argc, char** argv) {
                dir_homes);
   const DirectoryDayResult dir = run_directory_day(dir_homes);
 
+  const std::size_t pm_homes = smoke ? 2'000 : 10'000;
+  std::fprintf(stderr, "[bench_core] parallel metro day (%zu homes)...\n",
+               pm_homes);
+  const ParallelMetroResult pmetro = run_parallel_metro(pm_homes, smoke);
+
   constexpr double kPacketHopAllocsMax = 1.0;
   constexpr double kTcpBulkAllocsMax = 3.0;
   constexpr double kSweepSpeedupMin = 3.0;
   constexpr double kMetroHomesPerSecMin = 20'000.0;
   constexpr double kMetroBytesPerHomeMax = 4'096.0;
+  constexpr double kBurstSpeedupMin = 1.2;
+  constexpr double kParallelMetroSpeedupMin = 2.5;
   const bool gate_speedup = speedup >= 2.0;
-  const bool gate_delivery =
-      bulk.received == bulk.expected && hop.delivered == hop_packets;
-  const bool gate_hop_allocs = hop.allocs_per_packet <= kPacketHopAllocsMax;
+  const bool gate_delivery = bulk.received == bulk.expected &&
+                             hop.delivered == hop_packets &&
+                             hop_pp.delivered == hop_packets;
+  const bool gate_hop_allocs = hop.allocs_per_packet <= kPacketHopAllocsMax &&
+                               hop_pp.allocs_per_packet <= kPacketHopAllocsMax;
+  // Burst servicing is a single-thread algorithmic win (one heap dispatch
+  // per burst instead of per packet), so this gate is armed everywhere.
+  const bool gate_burst_speedup = burst_speedup >= kBurstSpeedupMin;
   const bool gate_bulk_allocs =
       bulk.allocs_per_segment <= kTcpBulkAllocsMax;
   const bool gate_sweep_identical = sweep.identical;
@@ -707,14 +789,20 @@ int main(int argc, char** argv) {
   const bool gate_dir_sync = dir.sync_rounds > 0 && dir.sync_applied > 0 &&
                              dir.crashes == 1 && dir.restarts == 1 &&
                              dir.partitions == 1 && dir.partition_heals == 1;
+  const bool gate_pm_identical = pmetro.identical && pmetro.requests > 0 &&
+                                 pmetro.rx_bytes > 0 && pmetro.crossings > 0;
+  const bool gate_pm_speedup = !pmetro.speedup_gate_armed() ||
+                               pmetro.speedup_4() >= kParallelMetroSpeedupMin;
   const bool gates_passed = gate_speedup && gate_delivery &&
                             gate_hop_allocs && gate_bulk_allocs &&
+                            gate_burst_speedup &&
                             gate_sweep_identical && gate_sweep_speedup &&
                             gate_metro_build && gate_bytes_per_home &&
                             gate_dur_recovery && gate_dur_compaction &&
                             gate_dur_incremental && gate_dir_lookup &&
                             gate_dir_no_loss && gate_dir_no_stale &&
-                            gate_dir_sync;
+                            gate_dir_sync && gate_pm_identical &&
+                            gate_pm_speedup;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -750,7 +838,12 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"packet_hop\": {\n");
   std::fprintf(out, "    \"packets\": %llu,\n",
                static_cast<unsigned long long>(hop.delivered));
+  std::fprintf(out, "    \"per_packet_packets_per_sec\": %.0f,\n",
+               hop_pp.packets_per_sec);
   std::fprintf(out, "    \"packets_per_sec\": %.0f,\n", hop.packets_per_sec);
+  std::fprintf(out, "    \"burst_speedup\": %.3f,\n", burst_speedup);
+  std::fprintf(out, "    \"per_packet_allocs_per_packet\": %.3f,\n",
+               hop_pp.allocs_per_packet);
   std::fprintf(out, "    \"allocs_per_packet\": %.3f\n",
                hop.allocs_per_packet);
   std::fprintf(out, "  },\n");
@@ -843,6 +936,26 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"cut_drops\": %llu\n",
                static_cast<unsigned long long>(dir.cut_drops));
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"parallel_metro\": {\n");
+  std::fprintf(out, "    \"homes\": %zu,\n", pmetro.homes);
+  std::fprintf(out, "    \"hw_threads\": %u,\n", pmetro.hw_threads);
+  std::fprintf(out, "    \"wall_1w_s\": %.3f,\n", pmetro.wall_1);
+  std::fprintf(out, "    \"wall_2w_s\": %.3f,\n", pmetro.wall_2);
+  std::fprintf(out, "    \"wall_4w_s\": %.3f,\n", pmetro.wall_4);
+  std::fprintf(out, "    \"speedup_4w\": %.3f,\n", pmetro.speedup_4());
+  std::fprintf(out, "    \"identical\": %s,\n",
+               pmetro.identical ? "true" : "false");
+  std::fprintf(out, "    \"requests\": %llu,\n",
+               static_cast<unsigned long long>(pmetro.requests));
+  std::fprintf(out, "    \"rx_bytes\": %llu,\n",
+               static_cast<unsigned long long>(pmetro.rx_bytes));
+  std::fprintf(out, "    \"epochs\": %llu,\n",
+               static_cast<unsigned long long>(pmetro.epochs));
+  std::fprintf(out, "    \"crossings\": %llu,\n",
+               static_cast<unsigned long long>(pmetro.crossings));
+  std::fprintf(out, "    \"spilled\": %llu\n",
+               static_cast<unsigned long long>(pmetro.spilled));
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates\": {\n");
   std::fprintf(out, "    \"scheduler_speedup_min\": 2.0,\n");
   std::fprintf(out, "    \"scheduler_speedup_ok\": %s,\n",
@@ -853,6 +966,9 @@ int main(int argc, char** argv) {
                kPacketHopAllocsMax);
   std::fprintf(out, "    \"packet_hop_allocs_ok\": %s,\n",
                gate_hop_allocs ? "true" : "false");
+  std::fprintf(out, "    \"burst_speedup_min\": %.1f,\n", kBurstSpeedupMin);
+  std::fprintf(out, "    \"burst_speedup_ok\": %s,\n",
+               gate_burst_speedup ? "true" : "false");
   std::fprintf(out, "    \"tcp_bulk_allocs_max\": %.1f,\n",
                kTcpBulkAllocsMax);
   std::fprintf(out, "    \"tcp_bulk_allocs_ok\": %s,\n",
@@ -862,8 +978,13 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"sweep_speedup_min\": %.1f,\n", kSweepSpeedupMin);
   std::fprintf(out, "    \"sweep_speedup_armed\": %s,\n",
                sweep.speedup_gate_armed() ? "true" : "false");
+  // Hardware-gated checks record the explicit "skipped" marker when
+  // disarmed — a committed BENCH_CORE.json from a small box must never
+  // read as a speedup pass (ci.sh greps for true-or-skipped).
   std::fprintf(out, "    \"sweep_speedup_ok\": %s,\n",
-               gate_sweep_speedup ? "true" : "false");
+               !sweep.speedup_gate_armed()
+                   ? "\"skipped\""
+                   : (gate_sweep_speedup ? "true" : "false"));
   std::fprintf(out, "    \"metro_homes_per_sec_min\": %.0f,\n",
                kMetroHomesPerSecMin);
   std::fprintf(out, "    \"metro_build_ok\": %s,\n",
@@ -888,8 +1009,18 @@ int main(int argc, char** argv) {
                gate_dir_no_loss ? "true" : "false");
   std::fprintf(out, "    \"directory_no_stale_ok\": %s,\n",
                gate_dir_no_stale ? "true" : "false");
-  std::fprintf(out, "    \"directory_sync_ok\": %s\n",
+  std::fprintf(out, "    \"directory_sync_ok\": %s,\n",
                gate_dir_sync ? "true" : "false");
+  std::fprintf(out, "    \"parallel_metro_identical_ok\": %s,\n",
+               gate_pm_identical ? "true" : "false");
+  std::fprintf(out, "    \"parallel_metro_speedup_min\": %.1f,\n",
+               kParallelMetroSpeedupMin);
+  std::fprintf(out, "    \"parallel_metro_speedup_armed\": %s,\n",
+               pmetro.speedup_gate_armed() ? "true" : "false");
+  std::fprintf(out, "    \"parallel_metro_speedup_ok\": %s\n",
+               !pmetro.speedup_gate_armed()
+                   ? "\"skipped\""
+                   : (gate_pm_speedup ? "true" : "false"));
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates_passed\": %s\n", gates_passed ? "true" : "false");
   std::fprintf(out, "}\n");
@@ -907,8 +1038,10 @@ int main(int argc, char** argv) {
                engine_churn.ops_per_sec / 1e6, baseline_churn.ops_per_sec / 1e6,
                baseline_churn.allocs_per_op, engine_churn.allocs_per_op);
   std::fprintf(stderr,
-               "[bench_core] packet hop: %.2fM pkts/s, %.2f allocs/pkt\n",
-               hop.packets_per_sec / 1e6, hop.allocs_per_packet);
+               "[bench_core] packet hop: burst %.2fM pkts/s vs per-packet "
+               "%.2fM pkts/s (%.2fx), %.2f allocs/pkt\n",
+               hop.packets_per_sec / 1e6, hop_pp.packets_per_sec / 1e6,
+               burst_speedup, hop.allocs_per_packet);
   std::fprintf(stderr,
                "[bench_core] tcp bulk: %llu/%llu bytes, %.2fM ev/s, "
                "%.2f allocs/segment\n",
@@ -959,6 +1092,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(dir.client_busy),
                static_cast<unsigned long long>(dir.client_failovers),
                static_cast<unsigned long long>(dir.client_timeouts));
+  std::fprintf(stderr,
+               "[bench_core] parallel metro: %zu homes, walls %.2f/%.2f/%.2f s "
+               "(1/2/4 workers, %.2fx at 4), identical=%s, speedup gate %s\n",
+               pmetro.homes, pmetro.wall_1, pmetro.wall_2, pmetro.wall_4,
+               pmetro.speedup_4(), pmetro.identical ? "yes" : "NO",
+               pmetro.speedup_gate_armed() ? "armed" : "skipped");
   std::fprintf(stderr, "[bench_core] gates %s -> %s\n",
                gates_passed ? "PASSED" : "FAILED", out_path.c_str());
 

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "net/topology.hpp"
+#include "psim/day.hpp"
+#include "psim/spsc_ring.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transport/mux.hpp"
 #include "transport/payloads.hpp"
@@ -242,6 +244,45 @@ void BM_SimulatedTcpTransfer(benchmark::State& state) {
                           static_cast<std::int64_t>(mb << 20));
 }
 BENCHMARK(BM_SimulatedTcpTransfer)->Arg(1)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+// The psim cross-shard ring: one push + one pop per item, single thread —
+// the pure cost of the acquire/release fences and the pow2 index masks,
+// with no contention. This is the per-crossing overhead a boundary packet
+// pays on top of its normal delivery.
+void BM_SpscRingPushPop(benchmark::State& state) {
+  psim::SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t i = 0;
+  std::uint64_t out = 0;
+  for (auto _ : state) {
+    ring.try_push(i++);
+    ring.try_pop(out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+// A full barrier-epoch cycle of the sharded metro day: builds a small
+// 4-PoP world once per iteration and runs one compressed day at the given
+// worker count. items = barrier epochs, so the per-epoch cost (min-clock
+// scan, fan-out, join, crossing drain) is the number to watch — it is the
+// serial fraction that bounds shard scaling.
+void BM_BarrierEpoch(benchmark::State& state) {
+  psim::DayConfig cfg;
+  cfg.homes = 2'000;
+  cfg.workers = static_cast<std::size_t>(state.range(0));
+  cfg.day = 2 * util::kSecond;
+  cfg.base_rate_per_home = 0.2;
+  std::uint64_t epochs = 0;
+  for (auto _ : state) {
+    const psim::DayResult r = psim::run_day(cfg);
+    epochs += r.epochs;
+    benchmark::DoNotOptimize(r.rx_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(epochs));
+}
+BENCHMARK(BM_BarrierEpoch)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
 }  // namespace

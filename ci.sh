@@ -85,6 +85,23 @@ diff /tmp/sweep_directory_serial.txt /tmp/sweep_directory_parallel.txt
   > /tmp/sweep_directory_rerun.txt
 diff /tmp/sweep_directory_serial.txt /tmp/sweep_directory_rerun.txt
 
+# Sharded-parallel determinism gate (E20): the psim metro day must print
+# byte-identical telemetry for any worker count — conservative lookahead,
+# fixed-order crossing drain at barrier epochs, per-PoP partitioning that
+# does not depend on how many threads execute it. bench_psim self-gates
+# serial-vs-sharded in-process; the diff below additionally pins the
+# 1-worker and 4-worker processes to the same stdout, and the sweeper
+# checks the engine nested inside sweep worker threads.
+./build/bench/bench_psim --smoke --workers 1 > /tmp/psim_run_1w.txt
+./build/bench/bench_psim --smoke --workers 4 > /tmp/psim_run_4w.txt
+diff /tmp/psim_run_1w.txt /tmp/psim_run_4w.txt
+cat /tmp/psim_run_4w.txt
+./build/bench/sweeper --scenario psim --seeds 42-45 --jobs 1 \
+  > /tmp/sweep_psim_serial.txt
+./build/bench/sweeper --scenario psim --seeds 42-45 --jobs 2 \
+  > /tmp/sweep_psim_parallel.txt
+diff /tmp/sweep_psim_serial.txt /tmp/sweep_psim_parallel.txt
+
 # Durability gate (E18, smoke scale): bench_durability self-gates on WAL
 # replay rebuilding byte-identical state, snapshot compaction bounding
 # recovery to the post-snapshot tail, and the incremental-backup session
@@ -137,6 +154,14 @@ for gate_file in /tmp/BENCH_CORE.json BENCH_CORE.json; do
   grep -q '"directory_no_loss_ok": true' "$gate_file"
   grep -q '"directory_no_stale_ok": true' "$gate_file"
   grep -q '"directory_sync_ok": true' "$gate_file"
+  grep -q '"burst_speedup_ok": true' "$gate_file"
+  grep -q '"parallel_metro_identical_ok": true' "$gate_file"
+  # Hardware-armed speedup gates: true where the box has >= 8 hardware
+  # threads, the explicit string "skipped" where it does not. A bare false
+  # — or a baseline silently produced with the gate disarmed and then
+  # hand-edited — fails the grep either way.
+  grep -Eq '"sweep_speedup_ok": (true|"skipped")' "$gate_file"
+  grep -Eq '"parallel_metro_speedup_ok": (true|"skipped")' "$gate_file"
 done
 
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
@@ -161,6 +186,12 @@ ASAN_OPTIONS=detect_leaks=0 \
 # TransportMux while peers still hold connections into it).
 ASAN_OPTIONS=detect_leaks=0 \
   ./build-asan/bench/bench_directory --smoke > /dev/null
+# Sharded engine under ASan: cross-shard packets detach from one shard's
+# pool and re-enter another's, and link queues can still hold pooled
+# packets at the horizon — teardown ordering bugs here are exactly what
+# ASan catches (and has caught).
+ASAN_OPTIONS=detect_leaks=0 \
+  ./build-asan/bench/bench_psim --smoke --workers 4 > /dev/null
 
 # TSan lane: the whole tier-1 suite once under ThreadSanitizer. The
 # simulator itself is single-threaded; this lane guards the thread_local
@@ -174,3 +205,8 @@ ctest --test-dir build-tsan --output-on-failure --timeout 480
 # scenario too.
 ./build-tsan/bench/sweeper --scenario directory --seeds 1-4 --jobs 4 \
   > /dev/null
+# Sharded metro day under TSan: four worker threads exchanging packets
+# through the SPSC rings and blocking on the barrier epochs — the
+# acquire/release fences in psim::SpscRing and the epoch barrier are the
+# exact surface this lane exists for.
+./build-tsan/bench/bench_psim --smoke --workers 4 > /dev/null

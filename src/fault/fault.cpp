@@ -112,18 +112,24 @@ FaultPlan& FaultPlan::partition(std::vector<net::Node*> a,
 }
 
 ChaosController::ChaosController(sim::Simulator& sim, util::Rng rng)
-    : sim_(sim), rng_(rng) {
-  auto& reg = telemetry::registry();
-  m_crashes_ = reg.counter("fault.node_crashes");
-  m_restarts_ = reg.counter("fault.node_restarts");
-  m_link_downs_ = reg.counter("fault.link_downs");
-  m_link_ups_ = reg.counter("fault.link_ups");
-  m_nat_flushes_ = reg.counter("fault.nat_flushes");
-  m_torn_armed_ = reg.counter("fault.torn_writes_armed");
-  m_partial_armed_ = reg.counter("fault.partial_flushes_armed");
-  m_partitions_ = reg.counter("fault.partitions");
-  m_partition_heals_ = reg.counter("fault.partition_heals");
-  m_downtime_s_ = reg.histogram("fault.node_downtime_s", 0, 120, 24);
+    : sim_(sim), rng_(rng) {}
+
+ChaosController::Metrics& ChaosController::metrics() {
+  if (!m_.bound) {
+    auto& reg = telemetry::registry();
+    m_.crashes = reg.counter("fault.node_crashes");
+    m_.restarts = reg.counter("fault.node_restarts");
+    m_.link_downs = reg.counter("fault.link_downs");
+    m_.link_ups = reg.counter("fault.link_ups");
+    m_.nat_flushes = reg.counter("fault.nat_flushes");
+    m_.torn_armed = reg.counter("fault.torn_writes_armed");
+    m_.partial_armed = reg.counter("fault.partial_flushes_armed");
+    m_.partitions = reg.counter("fault.partitions");
+    m_.partition_heals = reg.counter("fault.partition_heals");
+    m_.downtime_s = reg.histogram("fault.node_downtime_s", 0, 120, 24);
+    m_.bound = true;
+  }
+  return m_;
 }
 
 void ChaosController::register_node(const std::string& name, net::Node* node,
@@ -172,7 +178,7 @@ void ChaosController::do_crash(NodeEntry& e, util::Duration downtime) {
   e.node->set_up(false);
   if (e.on_crash) e.on_crash();
   ++stats_.crashes;
-  m_crashes_->inc();
+  metrics().crashes->inc();
   telemetry::tracer().emit(telemetry::TraceEvent::kNodeCrash,
                            util::to_seconds(downtime), 0, "crash");
   sim_.schedule(downtime, [this, ep = &e] { do_restart(*ep); });
@@ -186,8 +192,8 @@ void ChaosController::do_restart(NodeEntry& e) {
   e.node->set_up(true);
   if (e.on_restart) e.on_restart();
   ++stats_.restarts;
-  m_restarts_->inc();
-  m_downtime_s_->observe(util::to_seconds(down));
+  metrics().restarts->inc();
+  metrics().downtime_s->observe(util::to_seconds(down));
   telemetry::tracer().emit(telemetry::TraceEvent::kNodeRestart,
                            util::to_seconds(down), 0, "restart");
 }
@@ -208,13 +214,13 @@ void ChaosController::link_down_at(net::Link* link, util::TimePoint when,
   sim_.schedule(delay_until(when), [this, link, downtime] {
     link->set_admin_up(false);
     ++stats_.link_downs;
-    m_link_downs_->inc();
+    metrics().link_downs->inc();
     telemetry::tracer().emit(telemetry::TraceEvent::kLinkDown, 0, 0,
                              "admin_down");
     sim_.schedule(downtime, [this, link] {
       link->set_admin_up(true);
       ++stats_.link_ups;
-      m_link_ups_->inc();
+      metrics().link_ups->inc();
       telemetry::tracer().emit(telemetry::TraceEvent::kLinkUp, 0, 0,
                                "admin_up");
     });
@@ -289,7 +295,7 @@ void ChaosController::torn_write_at(durable::StorageDevice* device,
   sim_.schedule(delay_until(when), [this, device] {
     device->arm_torn_write();
     ++stats_.torn_writes_armed;
-    m_torn_armed_->inc();
+    metrics().torn_armed->inc();
     HPOP_LOG(kInfo, "fault") << device->name() << ": torn write armed";
   });
 }
@@ -299,7 +305,7 @@ void ChaosController::partial_flush_at(durable::StorageDevice* device,
   sim_.schedule(delay_until(when), [this, device] {
     device->arm_partial_flush();
     ++stats_.partial_flushes_armed;
-    m_partial_armed_->inc();
+    metrics().partial_armed->inc();
     HPOP_LOG(kInfo, "fault") << device->name() << ": partial flush armed";
   });
 }
@@ -368,7 +374,7 @@ void ChaosController::partition_at(std::vector<net::Node*> a,
     for (net::Node* n : a) install_cut_hooks(n, /*side_a=*/true, cut);
     for (net::Node* n : b) install_cut_hooks(n, /*side_a=*/false, cut);
     ++stats_.partitions;
-    m_partitions_->inc();
+    metrics().partitions->inc();
     HPOP_LOG(kInfo, "fault")
         << "partition: " << a.size() << " node(s) vs "
         << (b.empty() ? std::string("rest") : std::to_string(b.size()))
@@ -377,7 +383,7 @@ void ChaosController::partition_at(std::vector<net::Node*> a,
       if (!cut->active) return;
       cut->active = false;
       ++stats_.partition_heals;
-      m_partition_heals_->inc();
+      metrics().partition_heals->inc();
       HPOP_LOG(kInfo, "fault") << "partition healed";
       telemetry::tracer().emit(telemetry::TraceEvent::kLinkUp, 0, 0,
                                "partition_heal");
@@ -392,7 +398,7 @@ void ChaosController::flush_nat(net::NatBox* nat, util::TimePoint when) {
     const double dropped = static_cast<double>(nat->mapping_count());
     nat->flush_mappings();
     ++stats_.nat_flushes;
-    m_nat_flushes_->inc();
+    metrics().nat_flushes->inc();
     telemetry::tracer().emit(telemetry::TraceEvent::kNatFlush, dropped, 0,
                              "flush");
   });

@@ -198,22 +198,32 @@ class ChaosController {
   void ge_step(net::Link* link, util::TimePoint end, GilbertElliott ge,
                bool bad, double restore_loss);
 
+  /// Registry handles, resolved lazily on first use. The registry is
+  /// thread_local; a per-shard controller in the parallel engine is built
+  /// on the main thread but fires on its shard's worker, and must bind to
+  /// THAT thread's registry — eager binding in the constructor would alias
+  /// every shard onto the build thread's counters.
+  struct Metrics {
+    telemetry::Counter* crashes = nullptr;
+    telemetry::Counter* restarts = nullptr;
+    telemetry::Counter* link_downs = nullptr;
+    telemetry::Counter* link_ups = nullptr;
+    telemetry::Counter* nat_flushes = nullptr;
+    telemetry::Counter* torn_armed = nullptr;
+    telemetry::Counter* partial_armed = nullptr;
+    telemetry::Counter* partitions = nullptr;
+    telemetry::Counter* partition_heals = nullptr;
+    telemetry::HistogramMetric* downtime_s = nullptr;
+    bool bound = false;
+  };
+  Metrics& metrics();
+
   sim::Simulator& sim_;
   util::Rng rng_;
   std::map<std::string, NodeEntry> nodes_;
   std::vector<std::shared_ptr<PartitionCut>> cuts_;
   Stats stats_;
-
-  telemetry::Counter* m_crashes_;
-  telemetry::Counter* m_restarts_;
-  telemetry::Counter* m_link_downs_;
-  telemetry::Counter* m_link_ups_;
-  telemetry::Counter* m_nat_flushes_;
-  telemetry::Counter* m_torn_armed_;
-  telemetry::Counter* m_partial_armed_;
-  telemetry::Counter* m_partitions_;
-  telemetry::Counter* m_partition_heals_;
-  telemetry::HistogramMetric* m_downtime_s_;
+  Metrics m_;
 };
 
 }  // namespace hpop::fault

@@ -1,0 +1,73 @@
+#include "metro/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace hpop::metro {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv_value(std::uint64_t h, const T& v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+std::uint64_t hash_link_params(std::uint64_t h, const net::Link* link) {
+  const net::LinkParams& lp = link->params();
+  h = fnv_value(h, lp.rate);
+  h = fnv_value(h, lp.delay);
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(lp.loss));
+  std::memcpy(&bits, &lp.loss, sizeof(bits));
+  h = fnv_value(h, bits);
+  h = fnv_value(h, static_cast<std::uint64_t>(lp.queue_bytes));
+  return h;
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const MetroTopology& topo) {
+  const std::size_t pops = topo.pops.size();
+  assert(pops > 0 && "plan_shards needs a built metro");
+  ShardPlan plan;
+  plan.partitions = pops + 1;
+  plan.core_partition = pops;
+
+  plan.lookahead = std::numeric_limits<util::Duration>::max();
+  for (const net::Link* up : topo.pop_uplinks) {
+    plan.lookahead = std::min(plan.lookahead, up->params().delay);
+  }
+
+  plan.fingerprints.resize(plan.partitions);
+  for (std::size_t p = 0; p < pops; ++p) {
+    std::uint64_t h = 14695981039346656037ull;
+    h = fnv_value(h, static_cast<std::uint64_t>(p));
+    const auto [first, last] = topo.homes_of_pop(p);
+    h = fnv_value(h, static_cast<std::uint64_t>(first));
+    h = fnv_value(h, static_cast<std::uint64_t>(last));
+    for (std::size_t hh = first; hh < last; ++hh) {
+      h = fnv_value(h, topo.home_address(hh).value);
+    }
+    h = hash_link_params(h, topo.pop_uplinks[p]);
+    plan.fingerprints[p] = h;
+  }
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv_value(h, static_cast<std::uint64_t>(plan.core_partition));
+  h = fnv_value(h, static_cast<std::uint64_t>(topo.origins.size()));
+  for (const net::Link* ol : topo.origin_links) h = hash_link_params(h, ol);
+  plan.fingerprints[plan.core_partition] = h;
+  return plan;
+}
+
+}  // namespace hpop::metro

@@ -11,21 +11,37 @@ namespace hpop::net {
 
 Link::Link(sim::Simulator& sim, Interface& a, Interface& b, LinkParams params,
            util::Rng rng)
-    : sim_(sim),
-      a_(a),
-      b_(b),
-      params_(params),
-      pending_params_(params),
-      rng_(rng) {
+    : a_(a), b_(b), burst_limit_(8) {
   a_.link = this;
   b_.link = this;
-  auto& reg = telemetry::registry();
-  m_pkts_ = reg.counter("link.tx_pkts");
-  m_bytes_ = reg.counter("link.tx_bytes");
-  m_queue_drops_ = reg.counter("link.queue_drops");
-  m_loss_drops_ = reg.counter("link.loss_drops");
-  m_admin_drops_ = reg.counter("link.admin_drops");
-  m_queued_bytes_ = reg.gauge("link.queued_bytes");
+  for (Direction& dir : dir_) {
+    dir.params = params;
+    dir.pending_params = params;
+    dir.rng = rng.fork();
+    dir.sim = &sim;
+  }
+}
+
+Link::Metrics& Link::metrics(Direction& dir) {
+  if (!dir.m.bound) {
+    auto& reg = telemetry::registry();
+    dir.m.pkts = reg.counter("link.tx_pkts");
+    dir.m.bytes = reg.counter("link.tx_bytes");
+    dir.m.queue_drops = reg.counter("link.queue_drops");
+    dir.m.loss_drops = reg.counter("link.loss_drops");
+    dir.m.admin_drops = reg.counter("link.admin_drops");
+    dir.m.queued_bytes = reg.gauge("link.queued_bytes");
+    dir.m.bound = true;
+  }
+  return dir.m;
+}
+
+void Link::prune_claimed(Direction& dir, util::TimePoint now) {
+  if (dir.claimed == nullptr) return;
+  while (!dir.claimed->empty() && dir.claimed->front().start <= now) {
+    dir.claimed_bytes -= dir.claimed->front().bytes;
+    dir.claimed->pop_front();
+  }
 }
 
 int Link::direction_of(const Interface& from) const {
@@ -42,20 +58,35 @@ Interface& Link::peer_of(const Interface& one) {
 }
 
 void Link::set_loss(double loss) {
-  pending_params_.loss = std::clamp(loss, 0.0, 1.0);
-  params_dirty_ = true;
+  for (Direction& dir : dir_) {
+    dir.pending_params.loss = std::clamp(loss, 0.0, 1.0);
+    dir.params_dirty = true;
+  }
 }
 
 void Link::set_rate(util::BitRate rate) {
-  if (rate > 0) pending_params_.rate = rate;
-  params_dirty_ = true;
+  for (Direction& dir : dir_) {
+    if (rate > 0) dir.pending_params.rate = rate;
+    dir.params_dirty = true;
+  }
 }
 
 void Link::set_params(LinkParams params) {
   params.loss = std::clamp(params.loss, 0.0, 1.0);
-  if (params.rate <= 0) params.rate = pending_params_.rate;
-  pending_params_ = params;
-  params_dirty_ = true;
+  for (Direction& dir : dir_) {
+    LinkParams staged = params;
+    if (staged.rate <= 0) staged.rate = dir.pending_params.rate;
+    dir.pending_params = staged;
+    dir.params_dirty = true;
+  }
+}
+
+void Link::set_burst_limit(int n) { burst_limit_ = std::max(1, n); }
+
+void Link::bind_shard(int dir, sim::Simulator* sim, CrossSink* sink) {
+  assert(dir_[dir].queue == nullptr || dir_[dir].queue->empty());
+  dir_[dir].sim = sim;
+  dir_[dir].sink = sink;
 }
 
 void Link::set_admin_up(bool up) {
@@ -70,9 +101,10 @@ void Link::set_admin_up(bool up) {
 void Link::drain(int d) {
   Direction& dir = dir_[d];
   if (dir.queue == nullptr || dir.queue->empty()) return;
+  Metrics& m = metrics(dir);
   dir.stats.admin_drops += dir.queue->size();
-  m_admin_drops_->inc(dir.queue->size());
-  m_queued_bytes_->add(-static_cast<double>(dir.queued_bytes));
+  m.admin_drops->inc(dir.queue->size());
+  m.queued_bytes->add(-static_cast<double>(dir.queued_bytes));
   dir.queue->clear();
   dir.queued_bytes = 0;
 }
@@ -80,23 +112,28 @@ void Link::drain(int d) {
 void Link::transmit(const Interface& from, PooledPacket pkt) {
   const int d = direction_of(from);
   Direction& dir = dir_[d];
+  Metrics& m = metrics(dir);
   const std::size_t size = pkt->wire_size();
   if (!admin_up_) {
     ++dir.stats.admin_drops;
-    m_admin_drops_->inc();
+    m.admin_drops->inc();
     telemetry::tracer().emit(telemetry::TraceEvent::kPacketDrop,
                              static_cast<double>(size), 2, "admin_down");
     return;
   }
-  if (dir.queued_bytes + size > params_.queue_bytes) {
+  // Claimed-but-not-yet-serializing burst packets still occupy the buffer
+  // until their serialization start, so the drop decision is byte-identical
+  // to per-packet servicing.
+  prune_claimed(dir, dir.sim->now());
+  if (dir.queued_bytes + dir.claimed_bytes + size > dir.params.queue_bytes) {
     ++dir.stats.queue_drops;
-    m_queue_drops_->inc();
+    m.queue_drops->inc();
     telemetry::tracer().emit(telemetry::TraceEvent::kPacketDrop,
                              static_cast<double>(size), 0, "queue_full");
     return;
   }
   dir.queued_bytes += size;
-  m_queued_bytes_->add(static_cast<double>(size));
+  m.queued_bytes->add(static_cast<double>(size));
   if (dir.queue == nullptr) {
     dir.queue = std::make_unique<std::deque<PooledPacket>>();
   }
@@ -110,48 +147,74 @@ void Link::start_service(int d) {
     dir.busy = false;
     return;
   }
-  // Staged parameter changes take effect here — at a dequeue boundary —
-  // so the packet whose serialization is already scheduled keeps the rate
-  // it started with.
-  if (params_dirty_) {
-    params_ = pending_params_;
-    params_dirty_ = false;
+  // Staged parameter changes take effect here — at a burst boundary — so
+  // every packet this burst claims keeps the rate/loss it was dequeued
+  // under.
+  if (dir.params_dirty) {
+    dir.params = dir.pending_params;
+    dir.params_dirty = false;
   }
   dir.busy = true;
-  PooledPacket pkt = std::move(dir.queue->front());
-  dir.queue->pop_front();
-  const std::size_t size = pkt->wire_size();
-  dir.queued_bytes -= size;
-  m_queued_bytes_->add(-static_cast<double>(size));
-  const util::Duration tx = util::transmission_delay(size, params_.rate);
-  dir.stats.busy_time += tx;
-
+  Metrics& m = metrics(dir);
+  sim::Simulator& sim = *dir.sim;
   Interface& to = d == 0 ? b_ : a_;
-  // Serialization completes after `tx`; the packet then propagates for
-  // params_.delay. The next queued packet starts serializing immediately
-  // after this one finishes.
-  sim_.schedule(tx, [this, d] { start_service(d); });
-  const bool lost = rng_.bernoulli(params_.loss);
-  if (lost) {
-    ++dir_[d].stats.loss_drops;
-    m_loss_drops_->inc();
-    telemetry::tracer().emit(telemetry::TraceEvent::kPacketDrop,
-                             static_cast<double>(size), 1, "channel_loss");
-    return;
+
+  // Drain up to burst_limit_ packets in one timer event. `span` is the
+  // running sum of serialization times, so packet k completes at
+  // now + tx_0 + ... + tx_k and propagates from there — byte-identical to
+  // servicing one packet per event, at 1/burst the heap dispatches.
+  prune_claimed(dir, sim.now());
+  util::Duration span = 0;
+  for (int n = 0; n < burst_limit_ && !dir.queue->empty(); ++n) {
+    PooledPacket pkt = std::move(dir.queue->front());
+    dir.queue->pop_front();
+    const std::size_t size = pkt->wire_size();
+    dir.queued_bytes -= size;
+    m.queued_bytes->add(-static_cast<double>(size));
+    if (n > 0) {
+      // Serialization starts at now + span (after the packets ahead of it
+      // in the burst); until then its bytes count against the buffer.
+      if (dir.claimed == nullptr) {
+        dir.claimed = std::make_unique<std::deque<Direction::ClaimedSpan>>();
+      }
+      dir.claimed->push_back({sim.now() + span, size});
+      dir.claimed_bytes += size;
+    }
+    const util::Duration tx = util::transmission_delay(size, dir.params.rate);
+    span += tx;
+    dir.stats.busy_time += tx;
+    if (dir.rng.bernoulli(dir.params.loss)) {
+      ++dir.stats.loss_drops;
+      m.loss_drops->inc();
+      telemetry::tracer().emit(telemetry::TraceEvent::kPacketDrop,
+                               static_cast<double>(size), 1, "channel_loss");
+      continue;
+    }
+    ++dir.stats.pkts;
+    dir.stats.bytes += size;
+    m.pkts->inc();
+    m.bytes->inc(size);
+    const util::TimePoint deliver_at = sim.now() + span + dir.params.delay;
+    if (dir.sink != nullptr) {
+      // Boundary direction: the packet leaves this shard. Detach the
+      // Packet from our pool (the handle releases here, on our thread) and
+      // let the engine carry it to the owner of `to`.
+      dir.sink->push(deliver_at, std::move(*pkt), &to);
+    } else {
+      sim.schedule_at(deliver_at,
+                      [this, d, &to, p = std::move(pkt)]() mutable {
+                        if (!admin_up_) {
+                          ++dir_[d].stats.admin_drops;
+                          metrics(dir_[d]).admin_drops->inc();
+                          return;
+                        }
+                        to.node->deliver(std::move(p), to);
+                      });
+    }
   }
-  ++dir_[d].stats.pkts;
-  dir_[d].stats.bytes += size;
-  m_pkts_->inc();
-  m_bytes_->inc(size);
-  sim_.schedule(tx + params_.delay,
-                [this, d, &to, p = std::move(pkt)]() mutable {
-                  if (!admin_up_) {
-                    ++dir_[d].stats.admin_drops;
-                    m_admin_drops_->inc();
-                    return;
-                  }
-                  to.node->deliver(std::move(p), to);
-                });
+  // The transmitter stays busy until the last claimed packet finishes
+  // serializing; the next burst (or idle transition) happens there.
+  sim.schedule(span, [this, d] { start_service(d); });
 }
 
 }  // namespace hpop::net

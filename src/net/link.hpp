@@ -22,10 +22,36 @@ struct LinkParams {
   std::size_t queue_bytes = 512 * 1024;  // drop-tail buffer per direction
 };
 
+/// Destination for packets leaving the shard that services a link
+/// direction. A boundary direction bound to a CrossSink hands each
+/// fully-serialized packet — with its absolute delivery time — to the sink
+/// instead of scheduling local delivery; the parallel engine's SPSC ring
+/// buffers implement it. `pkt` is detached from any pool (moved by value)
+/// so the receiving shard can re-home it in its own arena.
+class CrossSink {
+ public:
+  virtual ~CrossSink() = default;
+  virtual void push(util::TimePoint deliver_at, Packet&& pkt,
+                    Interface* to) = 0;
+};
+
 /// Full-duplex point-to-point link between two interfaces. Each direction
 /// has an independent drop-tail queue, serialization at `rate`, propagation
 /// `delay`, and Bernoulli loss applied after serialization (channel noise);
 /// queue overflow models congestion loss.
+///
+/// Service is burst-oriented: one timer event drains up to burst_limit()
+/// queued packets, accumulating their serialization times, so a deep queue
+/// costs one heap dispatch per burst instead of one per packet. Delivery
+/// times and per-direction loss draws are identical to per-packet
+/// servicing by construction (the accumulated offset is exactly the sum of
+/// the per-packet schedules).
+///
+/// Every mutable per-packet datum — queue, effective/staged parameters,
+/// loss Rng, telemetry handles, the servicing Simulator — lives per
+/// direction, because the parallel engine services the two directions of a
+/// boundary link on different shards (each end's sender owns its
+/// direction).
 class Link {
  public:
   Link(sim::Simulator& sim, Interface& a, Interface& b, LinkParams params,
@@ -34,12 +60,16 @@ class Link {
   /// Called by the owning node: transmit `pkt` from interface `from`.
   void transmit(const Interface& from, PooledPacket pkt);
 
-  const LinkParams& params() const { return params_; }
-  /// Parameter changes are *staged*: a packet already serializing finishes
-  /// on the schedule it started with, and the new rate/loss apply from the
-  /// next dequeue. Changing params mid-flight therefore never reschedules
-  /// or double-accounts an in-service packet (it used to corrupt busy_time
-  /// and delivery ordering).
+  const LinkParams& params() const { return dir_[0].params; }
+  /// Effective parameters of one direction (0: a->b, 1: b->a).
+  const LinkParams& params_of(int dir) const { return dir_[dir].params; }
+
+  /// Parameter changes are *staged*: packets already claimed by a service
+  /// burst keep the schedule they were dequeued with, and the new
+  /// rate/loss apply from the start of the next burst. Changing params
+  /// mid-flight therefore never reschedules or double-accounts an
+  /// in-service packet (it used to corrupt busy_time and delivery
+  /// ordering). Setters stage on both directions.
   void set_loss(double loss);
   void set_rate(util::BitRate rate);
   void set_params(LinkParams params);
@@ -47,9 +77,23 @@ class Link {
   /// Administrative state. Taking a link down drains both queues (counted
   /// as admin_drops) and discards anything transmitted while down; packets
   /// already on the wire are lost too if the link is still down when their
-  /// propagation completes.
+  /// propagation completes. Unsupported on directions bound to a CrossSink
+  /// (the receiving shard cannot consult this shard's admin flag) — the
+  /// parallel engine keeps chaos off boundary links.
   void set_admin_up(bool up);
   bool admin_up() const { return admin_up_; }
+
+  /// Upper bound on packets drained per service event (>= 1). 1 restores
+  /// strict per-packet servicing (the A/B switch bench_core gates on).
+  void set_burst_limit(int n);
+  int burst_limit() const { return burst_limit_; }
+
+  /// Rebinds direction `dir` to a shard: its service and delivery events
+  /// schedule on `sim`, and — when `sink` is non-null — completed packets
+  /// are pushed into `sink` instead of delivered locally. Must be called
+  /// before any traffic flows. Only the parallel engine calls this; serial
+  /// code leaves both directions on the constructing simulator.
+  void bind_shard(int dir, sim::Simulator* sim, CrossSink* sink);
 
   struct DirectionStats {
     std::uint64_t pkts = 0;
@@ -70,6 +114,21 @@ class Link {
   Interface& peer_of(const Interface& one);
 
  private:
+  /// Registry handles (aggregated across all links). Resolved lazily on
+  /// first use so each direction binds to the registry of the thread that
+  /// services it — the registry is thread_local, and resolving at
+  /// construction (on the build thread) would hand every shard's links the
+  /// same Counter objects to race on.
+  struct Metrics {
+    telemetry::Counter* pkts = nullptr;
+    telemetry::Counter* bytes = nullptr;
+    telemetry::Counter* queue_drops = nullptr;
+    telemetry::Counter* loss_drops = nullptr;
+    telemetry::Counter* admin_drops = nullptr;
+    telemetry::Gauge* queued_bytes = nullptr;
+    bool bound = false;
+  };
+
   struct Direction {
     /// Allocated on first enqueue: libstdc++'s deque grabs ~0.5KB at
     /// construction, and a metro-scale world has hundreds of thousands of
@@ -78,32 +137,43 @@ class Link {
     std::unique_ptr<std::deque<PooledPacket>> queue;
     std::size_t queued_bytes = 0;
     bool busy = false;
+    LinkParams params;
+    /// Staged parameters; applied at the next burst start (see set_rate).
+    LinkParams pending_params;
+    bool params_dirty = false;
+    /// Packets claimed by the in-flight burst whose serialization has not
+    /// started yet. Their bytes still occupy the drop-tail buffer until
+    /// their serialization start instant, so transmit()'s overflow check
+    /// makes exactly the same decisions as per-packet servicing (bursting
+    /// must not widen the effective buffer by burst_limit-1 packets).
+    /// Lazily allocated: empty whenever burst_limit() == 1.
+    struct ClaimedSpan {
+      util::TimePoint start;
+      std::size_t bytes;
+    };
+    std::unique_ptr<std::deque<ClaimedSpan>> claimed;
+    std::size_t claimed_bytes = 0;
+    /// Per-direction loss stream: the draw sequence of one direction is
+    /// independent of the other's traffic (and of which thread services
+    /// it).
+    util::Rng rng;
+    sim::Simulator* sim = nullptr;
+    CrossSink* sink = nullptr;
+    Metrics m;
     DirectionStats stats;
   };
 
+  Metrics& metrics(Direction& dir);
+  static void prune_claimed(Direction& dir, util::TimePoint now);
   void start_service(int dir);
   int direction_of(const Interface& from) const;
   void drain(int dir);
 
-  sim::Simulator& sim_;
   Interface& a_;
   Interface& b_;
-  LinkParams params_;
-  /// Staged parameters; applied at the next dequeue (see set_rate).
-  LinkParams pending_params_;
-  bool params_dirty_ = false;
   bool admin_up_ = true;
-  util::Rng rng_;
+  int burst_limit_;
   Direction dir_[2];
-
-  // Registry handles (aggregated across all links); resolved once here so
-  // the per-packet path is a pointer bump.
-  telemetry::Counter* m_pkts_;
-  telemetry::Counter* m_bytes_;
-  telemetry::Counter* m_queue_drops_;
-  telemetry::Counter* m_loss_drops_;
-  telemetry::Counter* m_admin_drops_;
-  telemetry::Gauge* m_queued_bytes_;
 };
 
 }  // namespace hpop::net

@@ -1,0 +1,136 @@
+#include "psim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace hpop::psim {
+
+void Crossing::push(util::TimePoint deliver_at, net::Packet&& pkt,
+                    net::Interface* to) {
+  // CowVec's sole-owner fast path mutates shared storage without
+  // synchronization, so a body that crossed shards could be written by
+  // both sides. Deep-copy the two CowVec bodies here, on the producer, so
+  // the packet the consumer re-homes shares no mutable storage with this
+  // shard. Payload objects themselves are immutable (const Payload behind
+  // shared_ptr) and safe to share.
+  if (!pkt.messages.empty()) {
+    std::vector<net::MessageRef> body(pkt.messages.view());
+    pkt.messages.assign(std::move(body));
+  }
+  if (!pkt.tcp.sack.empty()) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> body(
+        pkt.tcp.sack.view());
+    pkt.tcp.sack.assign(std::move(body));
+  }
+  CrossItem item{deliver_at, seq_++, to, std::move(pkt)};
+  if (!spill_.empty() || !ring_.try_push(std::move(item))) {
+    spill_.push_back(std::move(item));
+    ++spilled_;
+  }
+}
+
+Engine::Engine(const Config& cfg)
+    : cfg_(cfg), pool_(cfg.workers <= 1 ? 0 : cfg.workers) {
+  assert(cfg_.lookahead > 0 && "conservative engine needs positive lookahead");
+}
+
+std::size_t Engine::add_partition() {
+  sims_.push_back(std::make_unique<sim::Simulator>());
+  net::PacketPool::of(*sims_.back());  // create the arena on the main thread
+  inbound_.emplace_back();
+  return sims_.size() - 1;
+}
+
+Crossing* Engine::crossing(std::size_t from, std::size_t to) {
+  for (auto& c : crossings_) {
+    if (c->from() == from && c->to() == to) return c.get();
+  }
+  crossings_.push_back(std::make_unique<Crossing>(from, to, cfg_.ring_slots));
+  inbound_[to].push_back(crossings_.back().get());
+  return crossings_.back().get();
+}
+
+void Engine::bind_local(net::Link* link, std::size_t p) {
+  link->bind_shard(0, &sim(p), nullptr);
+  link->bind_shard(1, &sim(p), nullptr);
+}
+
+void Engine::bind_boundary(net::Link* link, int dir, std::size_t from,
+                           std::size_t to) {
+  assert(link->params_of(dir).delay >= cfg_.lookahead);
+  link->bind_shard(dir, &sim(from), crossing(from, to));
+}
+
+void Engine::deliver_item(net::PacketPool& pool, sim::Simulator& dest,
+                          CrossItem&& item) {
+  net::PooledPacket q = pool.acquire();
+  *q = std::move(item.pkt);
+  net::Interface* to = item.to;
+  dest.schedule_at(item.deliver_at, [q = std::move(q), to]() mutable {
+    to->node->deliver(std::move(q), *to);
+  });
+  ++stats_.crossings;
+}
+
+void Engine::drain_all() {
+  for (std::size_t to = 0; to < sims_.size(); ++to) {
+    if (inbound_[to].empty()) continue;
+    sim::Simulator& dest = *sims_[to];
+    net::PacketPool& pool = net::PacketPool::of(dest);
+    for (Crossing* c : inbound_[to]) {
+      CrossItem item;
+      while (c->ring_.try_pop(item)) {
+        deliver_item(pool, dest, std::move(item));
+      }
+      for (CrossItem& sp : c->spill_) {
+        deliver_item(pool, dest, std::move(sp));
+      }
+      c->spill_.clear();
+    }
+  }
+}
+
+void Engine::run_until(util::TimePoint horizon) {
+  bool done = false;
+  while (!done) {
+    util::TimePoint tmin = sim::Simulator::kNoEvent;
+    for (auto& s : sims_) tmin = std::min(tmin, s->next_event_time());
+    util::TimePoint deadline;
+    if (tmin >= horizon) {
+      deadline = horizon;
+      done = true;
+    } else {
+      deadline = tmin + cfg_.lookahead;
+      if (deadline >= horizon) {
+        deadline = horizon;
+        done = true;
+      }
+    }
+    for (std::size_t p = 0; p < sims_.size(); ++p) {
+      sim::Simulator* s = sims_[p].get();
+      // Idle shards (no event due this epoch) are only submitted on the
+      // final pass, to settle every clock at the horizon.
+      if (!done && s->next_event_time() > deadline) continue;
+      pool_.submit_pinned(p, [s, deadline] { s->run_until(deadline); });
+    }
+    pool_.wait_idle();
+    ++stats_.epochs;
+    // Safety: every packet pushed during this epoch left its shard at some
+    // t >= tmin, so it is due at t + tx + delay > tmin + lookahead >=
+    // deadline — always in the receiving shard's future.
+    drain_all();
+  }
+  stats_.spilled = 0;
+  for (auto& c : crossings_) stats_.spilled += c->spilled_;
+}
+
+std::uint64_t Engine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->events_executed();
+  return total;
+}
+
+}  // namespace hpop::psim

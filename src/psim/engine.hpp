@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/pool.hpp"
+#include "psim/spsc_ring.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time.hpp"
+
+namespace hpop::psim {
+
+/// One packet in flight between shards: where it is due, a producer-side
+/// sequence stamp (FIFO tie-break inside one crossing), and the interface
+/// it will be delivered on.
+struct CrossItem {
+  util::TimePoint deliver_at = 0;
+  std::uint64_t seq = 0;
+  net::Interface* to = nullptr;
+  net::Packet pkt;
+};
+
+/// The SPSC channel for one ordered partition pair (from → to). The
+/// producer is the worker servicing `from` (during an epoch); the consumer
+/// is the barrier (main thread, workers parked), so the ring is never
+/// popped concurrently with pushes. A full ring spills to a producer-local
+/// vector; once anything has spilled, later pushes spill too — popping
+/// could reopen ring slots mid-epoch, and letting push order fork between
+/// ring and spill would break FIFO.
+class Crossing : public net::CrossSink {
+ public:
+  Crossing(std::size_t from, std::size_t to, std::size_t slots)
+      : from_(from), to_(to), ring_(slots) {}
+
+  void push(util::TimePoint deliver_at, net::Packet&& pkt,
+            net::Interface* to) override;
+
+  std::size_t from() const { return from_; }
+  std::size_t to() const { return to_; }
+
+ private:
+  friend class Engine;
+  std::size_t from_;
+  std::size_t to_;
+  SpscRing<CrossItem> ring_;
+  std::vector<CrossItem> spill_;  // producer-written, barrier-drained
+  std::uint64_t seq_ = 0;
+  std::uint64_t spilled_ = 0;
+};
+
+/// Conservative-lookahead parallel engine (CMB-style). The topology is cut
+/// into logical partitions, each with its own Simulator (event heap) and
+/// PacketPool; partition p is pinned to worker p % workers for the
+/// engine's lifetime. Execution alternates epochs and barriers:
+///
+///   1. barrier (main thread): drain every crossing, re-homing each packet
+///      into its destination partition's pool and scheduling its delivery;
+///      then read every shard's next-event time.
+///   2. deadline = min(horizon, T_min + lookahead), where T_min is the
+///      global minimum next-event time. Any packet a shard emits at t >=
+///      T_min arrives at t + tx + delay > T_min + lookahead (boundary
+///      delays >= lookahead, tx > 0), i.e. strictly after the epoch — so
+///      shards cannot affect each other inside one epoch.
+///   3. epoch: every shard runs to the deadline in parallel.
+///
+/// Partitioning is a function of the topology alone (never the worker
+/// count) and crossings drain in registration order, so event order — and
+/// therefore telemetry — is byte-identical for any worker count.
+class Engine {
+ public:
+  struct Config {
+    std::size_t workers = 1;
+    std::size_t ring_slots = 1024;
+    /// Minimum boundary-link one-way delay; must be > 0.
+    util::Duration lookahead = 0;
+  };
+
+  explicit Engine(const Config& cfg);
+
+  /// Adds a partition (own Simulator + PacketPool); returns its index.
+  std::size_t add_partition();
+  std::size_t partitions() const { return sims_.size(); }
+
+  sim::Simulator& sim(std::size_t p) { return *sims_[p]; }
+  net::PacketPool& pool(std::size_t p) {
+    return net::PacketPool::of(*sims_[p]);
+  }
+
+  /// The crossing for ordered pair (from → to), created on first use.
+  Crossing* crossing(std::size_t from, std::size_t to);
+
+  /// Binds both directions of an intra-partition link to partition p.
+  void bind_local(net::Link* link, std::size_t p);
+  /// Binds link direction `dir` (sender side in `from`) as a boundary: it
+  /// serializes on `from`'s clock and hands finished packets to the
+  /// (from → to) crossing. The direction's propagation delay must be >=
+  /// the configured lookahead.
+  void bind_boundary(net::Link* link, int dir, std::size_t from,
+                     std::size_t to);
+
+  /// Runs every partition to `horizon` through the epoch/barrier protocol.
+  void run_until(util::TimePoint horizon);
+
+  struct Stats {
+    std::uint64_t epochs = 0;
+    std::uint64_t crossings = 0;  // packets drained across shard boundaries
+    std::uint64_t spilled = 0;    // crossings that overflowed their ring
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Total events executed across all partitions (worker-count invariant).
+  std::uint64_t events_executed() const;
+
+ private:
+  void drain_all();
+  void deliver_item(net::PacketPool& pool, sim::Simulator& dest,
+                    CrossItem&& item);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<sim::Simulator>> sims_;
+  std::vector<std::unique_ptr<Crossing>> crossings_;  // registration order
+  std::vector<std::vector<Crossing*>> inbound_;       // [to], reg. order
+  util::ThreadPool pool_;
+  Stats stats_;
+};
+
+}  // namespace hpop::psim

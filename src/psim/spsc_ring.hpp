@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace hpop::psim {
+
+/// Single-producer single-consumer bounded ring (NDN-DPDK-style packet
+/// hand-off between shards). Lock-free: the producer owns tail_, the
+/// consumer owns head_, and each reads the other's index with acquire
+/// ordering, so a try_push/try_pop pair never blocks and never races.
+///
+/// Capacity is rounded up to a power of two so index masking is one AND.
+/// The indices are monotonically increasing uint64s (never wrapped), which
+/// makes the full/empty tests exact: size = tail - head.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when full (caller spills; see engine).
+  bool try_push(T&& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t - h > mask_) return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) return false;
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace hpop::psim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -93,6 +94,16 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   bool empty() const { return heap_.empty(); }
   std::size_t queued() const { return heap_.size(); }
+
+  /// Timestamp of the earliest queued event, or kNoEvent when the heap is
+  /// empty. The parallel engine's barrier peeks this on every shard to
+  /// skip dead time: the next epoch deadline is min(horizon, global
+  /// minimum next-event time + lookahead), so idle windows cost one
+  /// barrier instead of many.
+  static constexpr TimePoint kNoEvent = std::numeric_limits<TimePoint>::max();
+  TimePoint next_event_time() const {
+    return heap_.empty() ? kNoEvent : heap_.front().when;
+  }
 
  private:
   static constexpr std::uint32_t kArity = 4;

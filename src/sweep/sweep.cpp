@@ -18,6 +18,7 @@
 #include "nocdn/peer.hpp"
 #include "overload/admission.hpp"
 #include "overload/breaker.hpp"
+#include "psim/day.hpp"
 #include "transport/mux.hpp"
 #include "util/retry.hpp"
 #include "util/thread_pool.hpp"
@@ -458,6 +459,46 @@ std::string run_directory(std::uint64_t seed) {
   return line;
 }
 
+// ----- psim: the sharded parallel metro day, 2 workers, chaos in shards
+
+std::string run_psim(std::uint64_t seed) {
+  // Small world so a sweep over many seeds stays cheap; 2 workers so every
+  // seed exercises the real cross-shard path (rings, barriers, drain
+  // order), not the degenerate serial mode. The day report itself is
+  // worker-count invariant, so its fingerprint is a pure function of the
+  // seed — the property the jobs=1-vs-jobs=N CI diff leans on.
+  psim::DayConfig cfg;
+  cfg.homes = 2'000;
+  cfg.workers = 2;
+  cfg.seed = seed;
+  cfg.day = 5 * kSecond;
+  cfg.base_rate_per_home = 0.2;
+  const psim::DayResult r = psim::run_day(cfg);
+
+  std::uint64_t fp = 14695981039346656037ull;  // FNV-1a over the report
+  for (const char c : r.report) {
+    fp ^= static_cast<unsigned char>(c);
+    fp *= 1099511628211ull;
+  }
+
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "psim seed=%llu requests=%llu chunks=%llu rx_bytes=%llu "
+                "epochs=%llu crossings=%llu spilled=%llu crashes=%llu "
+                "cut_drops=%llu report_fp=%016llx",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(r.requests),
+                static_cast<unsigned long long>(r.chunks),
+                static_cast<unsigned long long>(r.rx_bytes),
+                static_cast<unsigned long long>(r.epochs),
+                static_cast<unsigned long long>(r.crossings),
+                static_cast<unsigned long long>(r.spilled),
+                static_cast<unsigned long long>(r.chaos_crashes),
+                static_cast<unsigned long long>(r.partition_drops),
+                static_cast<unsigned long long>(fp));
+  return line;
+}
+
 }  // namespace
 
 const char* to_string(Scenario s) {
@@ -468,6 +509,7 @@ const char* to_string(Scenario s) {
     case Scenario::kMetro: return "metro";
     case Scenario::kDurable: return "durable";
     case Scenario::kDirectory: return "directory";
+    case Scenario::kPsim: return "psim";
   }
   return "?";
 }
@@ -479,6 +521,7 @@ std::optional<Scenario> scenario_from_string(std::string_view name) {
   if (name == "metro") return Scenario::kMetro;
   if (name == "durable") return Scenario::kDurable;
   if (name == "directory") return Scenario::kDirectory;
+  if (name == "psim") return Scenario::kPsim;
   return std::nullopt;
 }
 
@@ -490,6 +533,7 @@ std::string run_scenario(Scenario s, std::uint64_t seed) {
     case Scenario::kMetro: return run_metro(seed);
     case Scenario::kDurable: return run_durable(seed);
     case Scenario::kDirectory: return run_directory(seed);
+    case Scenario::kPsim: return run_psim(seed);
   }
   return {};
 }

@@ -20,6 +20,7 @@ enum class Scenario {
   kMetro,       // small metro tree, diurnal NoCDN day with crowd + outage
   kDurable,     // WAL'd attic through torn crashes: zero acked-write loss
   kDirectory,   // sharded directory day: shard crash + subtree partition
+  kPsim,        // sharded parallel metro day (2 workers), chaos in shards
 };
 
 const char* to_string(Scenario s);

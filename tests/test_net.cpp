@@ -267,6 +267,87 @@ TEST(Link, LossChangeDoesNotAffectInFlightPacket) {
   EXPECT_EQ(link.stats(0).loss_drops, 1u);
 }
 
+TEST(Link, MidBurstParamChangeKeepsClaimedSchedules) {
+  // The documented contract (link.hpp): packets already claimed by a
+  // service burst keep the schedule (and loss draw) they were dequeued
+  // with; staged rate/loss apply at the next burst boundary. Regression
+  // guard for the burst dequeue: a change landing while a multi-packet
+  // burst is on the wire must not reschedule or retro-lose its packets.
+  sim::Simulator sim;
+  Network net(sim, util::Rng(1));
+  Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+  Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+  Link& link = net.connect(a, b, LinkParams{1 * kMbps, 0, 0.0, 1 << 20});
+  net.auto_route();
+  std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+
+  const util::Duration tx = util::transmission_delay(1000, 1 * kMbps);  // 8ms
+  // p1 starts a single-packet burst; p2-p4 queue behind it and are all
+  // claimed together by the second burst at t=tx.
+  for (int i = 0; i < 4; ++i) {
+    a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  }
+  // Mid-burst-2 (p2 serializing, p3/p4 claimed): a 10x rate hike plus
+  // loss=1. Neither may touch p3/p4 — they keep the 1 Mbps schedule and
+  // their already-passed loss draws.
+  sim.schedule(tx + 2 * kMillisecond, [&] {
+    link.set_rate(10 * kMbps);
+    link.set_loss(1.0);
+  });
+  sim.run();
+  ASSERT_EQ(seen->size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen->at(i).at, (i + 1) * tx) << "packet " << i;
+  }
+  EXPECT_EQ(link.stats(0).loss_drops, 0u);
+
+  // The next burst picks up the staged params: p5 is drawn against
+  // loss=1 and dropped.
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  sim.run();
+  EXPECT_EQ(seen->size(), 4u);
+  EXPECT_EQ(link.stats(0).loss_drops, 1u);
+
+  // And the staged rate is live too: with loss back off, a packet now
+  // serializes at 10 Mbps.
+  link.set_loss(0.0);
+  const util::TimePoint sent_at = sim.now();
+  a.send_packet(make_udp({a.address(), 1}, {b.address(), 2}, 972));
+  sim.run();
+  ASSERT_EQ(seen->size(), 5u);
+  EXPECT_EQ(seen->back().at,
+            sent_at + util::transmission_delay(1000, 10 * kMbps));
+}
+
+TEST(Link, BurstLimitDoesNotChangeDeliveryTimes) {
+  // Burst servicing is a dispatch-count optimization, not a model change:
+  // delivery instants must be identical at burst_limit 1 (strict
+  // per-packet) and the default 8.
+  auto run = [](int burst_limit) {
+    sim::Simulator sim;
+    Network net(sim, util::Rng(1));
+    Host& a = net.add_host("a", IpAddr(1, 0, 0, 1));
+    Host& b = net.add_host("b", IpAddr(1, 0, 0, 2));
+    Link& link = net.connect(a, b, LinkParams{5 * kMbps, 3 * kMillisecond,
+                                              0.0, 1 << 20});
+    link.set_burst_limit(burst_limit);
+    net.auto_route();
+    std::unique_ptr<std::vector<Seen>> seen(capture(b, sim));
+    for (int i = 0; i < 12; ++i) {
+      a.send_packet(
+          make_udp({a.address(), 1}, {b.address(), 2}, 100 + 137 * i));
+    }
+    sim.run();
+    std::vector<util::TimePoint> at;
+    for (const Seen& s : *seen) at.push_back(s.at);
+    return at;
+  };
+  const auto serial = run(1);
+  const auto burst = run(8);
+  ASSERT_EQ(serial.size(), 12u);
+  EXPECT_EQ(serial, burst);
+}
+
 TEST(Link, AdminDownDrainsQueueAndBlocksTraffic) {
   sim::Simulator sim;
   Network net(sim, util::Rng(1));

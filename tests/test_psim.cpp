@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "metro/partition.hpp"
+#include "metro/topology.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "psim/day.hpp"
+#include "psim/engine.hpp"
+#include "psim/spsc_ring.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hpop {
+namespace {
+
+// --- SPSC ring ---
+
+TEST(SpscRing, FifoAndCapacity) {
+  psim::SpscRing<int> ring(6);  // rounds up to 8
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  int extra = 99;
+  EXPECT_FALSE(ring.try_push(std::move(extra)));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(SpscRing, WraparoundKeepsOrder) {
+  psim::SpscRing<int> ring(4);
+  int out = -1;
+  int expect = 0;
+  // Interleaved push/pop far past capacity: indices wrap many times.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(int(i)));
+    if (i % 4 == 3) {
+      for (int k = 0; k < 4; ++k) {
+        ASSERT_TRUE(ring.try_pop(out));
+        EXPECT_EQ(out, expect++);
+      }
+    }
+  }
+  while (ring.try_pop(out)) EXPECT_EQ(out, expect++);
+  EXPECT_EQ(expect, 1000);
+}
+
+// --- Shard partitioner ---
+
+TEST(ShardPlan, OnePartitionPerPopPlusCore) {
+  sim::Simulator sim;
+  util::Rng rng(7);
+  net::Network net(sim, rng.fork());
+  metro::MetroParams mp;
+  mp.homes = 1024;  // 32 dslams -> 2 pops
+  metro::MetroTopology topo = metro::build_metro(net, mp, rng);
+  ASSERT_EQ(topo.pops.size(), 2u);
+
+  metro::ShardPlan plan = metro::plan_shards(topo);
+  EXPECT_EQ(plan.partitions, 3u);
+  EXPECT_EQ(plan.core_partition, 2u);
+  EXPECT_EQ(plan.lookahead, mp.pop_uplink.delay);
+  ASSERT_EQ(plan.fingerprints.size(), 3u);
+  EXPECT_NE(plan.fingerprints[0], plan.fingerprints[1]);
+
+  // Every home and dslam lands in its PoP's partition.
+  for (std::size_t h = 0; h < mp.homes; h += 97) {
+    EXPECT_EQ(plan.of_home(topo, h), topo.pop_of_home(h));
+    EXPECT_LT(plan.of_home(topo, h), plan.core_partition);
+  }
+  EXPECT_EQ(plan.of_dslam(topo, 31), topo.pop_of_dslam(31));
+}
+
+// --- Deterministic cross-shard delivery ---
+
+struct Seen {
+  util::TimePoint at;
+  std::uint16_t src_port;
+};
+
+/// Two senders in different shards, one receiver in a third. Link delays
+/// and packet sizes are identical, so both packets cross their boundary
+/// rings stamped with the SAME deliver_time; the drain must order them by
+/// crossing registration order, regardless of sender identity.
+class BoundaryFifoTest : public ::testing::Test {
+ protected:
+  void run(bool register_c_first, std::vector<Seen>& seen) {
+    sim::Simulator build_sim;
+    util::Rng rng(3);
+    net::Network net(build_sim, rng.fork());
+    net::Host& a = net.add_host("a", net::IpAddr(10, 0, 0, 1));
+    net::Host& b = net.add_host("b", net::IpAddr(10, 0, 0, 2));
+    net::Host& c = net.add_host("c", net::IpAddr(10, 0, 0, 3));
+    net::LinkParams lp;
+    lp.rate = 1 * util::kGbps;
+    lp.delay = 2 * util::kMillisecond;
+    net::Link& ab = net.connect(a, b, lp);
+    net::Link& cb = net.connect(c, b, lp);
+    net.auto_route();
+
+    psim::Engine::Config ec;
+    ec.lookahead = lp.delay;
+    psim::Engine eng(ec);
+    const std::size_t pa = eng.add_partition();  // 0: a
+    const std::size_t pb = eng.add_partition();  // 1: b
+    const std::size_t pc = eng.add_partition();  // 2: c
+    if (register_c_first) {
+      eng.crossing(pc, pb);
+      eng.crossing(pa, pb);
+    }
+    eng.bind_boundary(&ab, 0, pa, pb);
+    eng.bind_boundary(&ab, 1, pb, pa);
+    eng.bind_boundary(&cb, 0, pc, pb);
+    eng.bind_boundary(&cb, 1, pb, pc);
+
+    b.set_transport_handler(
+        [&seen, &eng, pb](net::PooledPacket pkt, net::Interface&) {
+          seen.push_back({eng.sim(pb).now(), pkt->udp.src_port});
+        });
+
+    auto send = [&eng](net::Host& from, net::Host& to, std::size_t part,
+                       std::uint16_t port) {
+      eng.sim(part).schedule_at(0, [&eng, part, &from, &to, port] {
+        net::PooledPacket q = eng.pool(part).acquire();
+        q->src = from.address();
+        q->dst = to.address();
+        q->proto = net::Proto::kUdp;
+        q->udp.src_port = port;
+        q->udp.dst_port = 7000;
+        q->payload_len = 400;
+        from.send_packet(std::move(q));
+      });
+    };
+    send(a, b, pa, 1111);
+    send(c, b, pc, 2222);
+    eng.run_until(50 * util::kMillisecond);
+    EXPECT_EQ(eng.stats().crossings, 2u);
+  }
+};
+
+TEST_F(BoundaryFifoTest, EqualTimestampsDrainInRegistrationOrder) {
+  std::vector<Seen> seen;
+  run(/*register_c_first=*/false, seen);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].at, seen[1].at);  // identical arrival instants
+  // a's crossing was registered first (bind order), so its packet wins the
+  // equal-timestamp tie.
+  EXPECT_EQ(seen[0].src_port, 1111);
+  EXPECT_EQ(seen[1].src_port, 2222);
+}
+
+TEST_F(BoundaryFifoTest, TieBreakFollowsRegistrationNotSenderId) {
+  std::vector<Seen> seen;
+  run(/*register_c_first=*/true, seen);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].at, seen[1].at);
+  EXPECT_EQ(seen[0].src_port, 2222);  // c's crossing registered first
+  EXPECT_EQ(seen[1].src_port, 1111);
+}
+
+// --- Worker-count invariance + chaos in non-zero shards ---
+
+psim::DayConfig small_day(std::size_t workers) {
+  psim::DayConfig cfg;
+  cfg.homes = 2'000;  // 63 dslams -> 4 pops -> 5 partitions
+  cfg.workers = workers;
+  cfg.seed = 42;
+  cfg.day = 5 * util::kSecond;
+  cfg.base_rate_per_home = 0.2;
+  return cfg;
+}
+
+TEST(PsimDay, ByteIdenticalAcrossWorkerCounts) {
+  psim::DayResult w1 = psim::run_day(small_day(1));
+  psim::DayResult w2 = psim::run_day(small_day(2));
+  psim::DayResult w4 = psim::run_day(small_day(4));
+  EXPECT_GT(w1.requests, 0u);
+  EXPECT_GT(w1.rx_bytes, 0u);
+  EXPECT_GT(w1.crossings, 0u);
+  EXPECT_GT(w1.epochs, 1u);
+  EXPECT_EQ(w1.report, w2.report);
+  EXPECT_EQ(w1.report, w4.report);
+}
+
+TEST(PsimDay, ChaosFiresInsideNonZeroShards) {
+  // The day scripts a DSLAM crash in PoP 1's shard and a partition cut in
+  // PoP 2's shard; both must actually fire and eat traffic, and must not
+  // break worker-count invariance (checked above on the same config).
+  psim::DayResult r = psim::run_day(small_day(2));
+  EXPECT_EQ(r.chaos_crashes, 1u);
+  EXPECT_EQ(r.chaos_restarts, 1u);
+  EXPECT_GT(r.partition_drops, 0u);
+}
+
+TEST(PsimDay, RingOverflowSpillsWithoutReordering) {
+  // A deliberately tiny ring forces the spill path; traffic accounting
+  // must not change (spill preserves push order), only the spill counter.
+  psim::DayConfig big = small_day(2);
+  psim::DayConfig tiny = small_day(2);
+  tiny.ring_slots = 16;
+  psim::DayResult rb = psim::run_day(big);
+  psim::DayResult rt = psim::run_day(tiny);
+  EXPECT_GT(rt.spilled, 0u);
+  EXPECT_EQ(rb.spilled, 0u);
+  EXPECT_EQ(rb.requests, rt.requests);
+  EXPECT_EQ(rb.chunks, rt.chunks);
+  EXPECT_EQ(rb.rx_pkts, rt.rx_pkts);
+  EXPECT_EQ(rb.rx_bytes, rt.rx_bytes);
+  EXPECT_EQ(rb.events, rt.events);
+  EXPECT_EQ(rb.crossings, rt.crossings);
+}
+
+}  // namespace
+}  // namespace hpop

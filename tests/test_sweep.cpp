@@ -12,7 +12,8 @@ namespace {
 TEST(Sweep, ScenarioNamesRoundTrip) {
   for (sweep::Scenario s : {sweep::Scenario::kChaos,
                             sweep::Scenario::kFlashCrowd,
-                            sweep::Scenario::kRampup}) {
+                            sweep::Scenario::kRampup,
+                            sweep::Scenario::kPsim}) {
     const auto parsed = sweep::scenario_from_string(sweep::to_string(s));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, s);
@@ -42,6 +43,20 @@ TEST(Sweep, FlashCrowdParallelMatchesSerial) {
   EXPECT_EQ(serial, parallel);
   for (const std::string& line : serial) {
     EXPECT_NE(line.find("warmed=1"), std::string::npos) << line;
+  }
+}
+
+TEST(Sweep, PsimParallelMatchesSerial) {
+  // Each seed runs a 2-worker sharded engine *inside* a sweep worker
+  // thread: nested thread pools, and the thread-local telemetry registries
+  // of the inner shards must not perturb the per-object day report.
+  const std::vector<std::uint64_t> seeds = {42, 43};
+  const auto serial = sweep::run_sweep(sweep::Scenario::kPsim, seeds, 1);
+  const auto parallel = sweep::run_sweep(sweep::Scenario::kPsim, seeds, 2);
+  EXPECT_EQ(serial, parallel);
+  for (const std::string& line : serial) {
+    EXPECT_NE(line.find("crashes=1"), std::string::npos) << line;
+    EXPECT_EQ(line.find("requests=0 "), std::string::npos) << line;
   }
 }
 
