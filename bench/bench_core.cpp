@@ -40,6 +40,7 @@
 #include "net/pool.hpp"
 #include "net/topology.hpp"
 #include "psim/day.hpp"
+#include "psim/tcp_day.hpp"
 #include "sim/simulator.hpp"
 #include "sweep/sweep.hpp"
 #include "transport/mux.hpp"
@@ -652,6 +653,65 @@ ParallelMetroResult run_parallel_metro(std::size_t homes, bool smoke) {
   return r;
 }
 
+// --- Workload 11: sharded parallel metro day over TCP (E21 gates) -------
+// The same day shape, but every transfer is a real TCP (or MPTCP)
+// connection: cwnd, SACK scoreboards, and RTO timers live in per-home
+// muxes bound to the home's shard while their segments cross the pop
+// uplink boundaries. Same gate structure as workload 10 — identity is
+// always armed, speedup (>= 2.0x at 4 workers; transport adds serial
+// per-segment work the UDP day doesn't have) only on >= 8 hw threads.
+
+struct ParallelTcpMetroResult {
+  std::size_t homes = 0;
+  unsigned hw_threads = 0;
+  double wall_1 = 0, wall_2 = 0, wall_4 = 0;
+  bool identical = false;
+  std::uint64_t conns = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t mptcp_sessions = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t crossings = 0;
+  std::uint64_t spilled = 0;
+
+  double speedup_4() const { return wall_4 > 0 ? wall_1 / wall_4 : 0.0; }
+  bool speedup_gate_armed() const { return hw_threads >= 8; }
+};
+
+ParallelTcpMetroResult run_parallel_tcp_metro(std::size_t homes, bool smoke) {
+  ParallelTcpMetroResult r;
+  r.homes = homes;
+  r.hw_threads = std::thread::hardware_concurrency();
+  psim::TcpDayConfig cfg;
+  cfg.homes = homes;
+  cfg.seed = 42;
+  cfg.day = (smoke ? 10 : 20) * util::kSecond;
+
+  cfg.workers = 1;
+  const psim::TcpDayResult w1 = psim::run_tcp_day(cfg);
+  cfg.workers = 2;
+  const psim::TcpDayResult w2 = psim::run_tcp_day(cfg);
+  cfg.workers = 4;
+  const psim::TcpDayResult w4 = psim::run_tcp_day(cfg);
+
+  r.wall_1 = w1.wall_s;
+  r.wall_2 = w2.wall_s;
+  r.wall_4 = w4.wall_s;
+  r.identical = w1.report == w2.report && w1.report == w4.report;
+  r.conns = w4.conns;
+  r.completed = w4.completed;
+  r.mptcp_sessions = w4.mptcp_sessions;
+  r.rx_bytes = w4.rx_bytes;
+  r.retransmits = w4.retransmits;
+  r.timeouts = w4.timeouts;
+  r.epochs = w4.epochs;
+  r.crossings = w4.crossings;
+  r.spilled = w4.spilled;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -744,13 +804,18 @@ int main(int argc, char** argv) {
                pm_homes);
   const ParallelMetroResult pmetro = run_parallel_metro(pm_homes, smoke);
 
+  std::fprintf(stderr, "[bench_core] parallel TCP metro day (%zu homes)...\n",
+               pm_homes);
+  const ParallelTcpMetroResult ptcp = run_parallel_tcp_metro(pm_homes, smoke);
+
   constexpr double kPacketHopAllocsMax = 1.0;
-  constexpr double kTcpBulkAllocsMax = 3.0;
+  constexpr double kTcpBulkAllocsMax = 1.0;
   constexpr double kSweepSpeedupMin = 3.0;
   constexpr double kMetroHomesPerSecMin = 20'000.0;
   constexpr double kMetroBytesPerHomeMax = 4'096.0;
   constexpr double kBurstSpeedupMin = 1.2;
   constexpr double kParallelMetroSpeedupMin = 2.5;
+  constexpr double kParallelTcpMetroSpeedupMin = 2.0;
   const bool gate_speedup = speedup >= 2.0;
   const bool gate_delivery = bulk.received == bulk.expected &&
                              hop.delivered == hop_packets &&
@@ -793,6 +858,12 @@ int main(int argc, char** argv) {
                                  pmetro.rx_bytes > 0 && pmetro.crossings > 0;
   const bool gate_pm_speedup = !pmetro.speedup_gate_armed() ||
                                pmetro.speedup_4() >= kParallelMetroSpeedupMin;
+  const bool gate_ptcp_identical = ptcp.identical && ptcp.completed > 0 &&
+                                   ptcp.mptcp_sessions > 0 &&
+                                   ptcp.rx_bytes > 0 && ptcp.crossings > 0;
+  const bool gate_ptcp_speedup =
+      !ptcp.speedup_gate_armed() ||
+      ptcp.speedup_4() >= kParallelTcpMetroSpeedupMin;
   const bool gates_passed = gate_speedup && gate_delivery &&
                             gate_hop_allocs && gate_bulk_allocs &&
                             gate_burst_speedup &&
@@ -802,7 +873,8 @@ int main(int argc, char** argv) {
                             gate_dur_incremental && gate_dir_lookup &&
                             gate_dir_no_loss && gate_dir_no_stale &&
                             gate_dir_sync && gate_pm_identical &&
-                            gate_pm_speedup;
+                            gate_pm_speedup && gate_ptcp_identical &&
+                            gate_ptcp_speedup;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -956,6 +1028,34 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"spilled\": %llu\n",
                static_cast<unsigned long long>(pmetro.spilled));
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"parallel_tcp_metro\": {\n");
+  std::fprintf(out, "    \"homes\": %zu,\n", ptcp.homes);
+  std::fprintf(out, "    \"hw_threads\": %u,\n", ptcp.hw_threads);
+  std::fprintf(out, "    \"wall_1w_s\": %.3f,\n", ptcp.wall_1);
+  std::fprintf(out, "    \"wall_2w_s\": %.3f,\n", ptcp.wall_2);
+  std::fprintf(out, "    \"wall_4w_s\": %.3f,\n", ptcp.wall_4);
+  std::fprintf(out, "    \"speedup_4w\": %.3f,\n", ptcp.speedup_4());
+  std::fprintf(out, "    \"identical\": %s,\n",
+               ptcp.identical ? "true" : "false");
+  std::fprintf(out, "    \"conns\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.conns));
+  std::fprintf(out, "    \"completed\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.completed));
+  std::fprintf(out, "    \"mptcp_sessions\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.mptcp_sessions));
+  std::fprintf(out, "    \"rx_bytes\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.rx_bytes));
+  std::fprintf(out, "    \"retransmits\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.retransmits));
+  std::fprintf(out, "    \"timeouts\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.timeouts));
+  std::fprintf(out, "    \"epochs\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.epochs));
+  std::fprintf(out, "    \"crossings\": %llu,\n",
+               static_cast<unsigned long long>(ptcp.crossings));
+  std::fprintf(out, "    \"spilled\": %llu\n",
+               static_cast<unsigned long long>(ptcp.spilled));
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates\": {\n");
   std::fprintf(out, "    \"scheduler_speedup_min\": 2.0,\n");
   std::fprintf(out, "    \"scheduler_speedup_ok\": %s,\n",
@@ -1017,10 +1117,20 @@ int main(int argc, char** argv) {
                kParallelMetroSpeedupMin);
   std::fprintf(out, "    \"parallel_metro_speedup_armed\": %s,\n",
                pmetro.speedup_gate_armed() ? "true" : "false");
-  std::fprintf(out, "    \"parallel_metro_speedup_ok\": %s\n",
+  std::fprintf(out, "    \"parallel_metro_speedup_ok\": %s,\n",
                !pmetro.speedup_gate_armed()
                    ? "\"skipped\""
                    : (gate_pm_speedup ? "true" : "false"));
+  std::fprintf(out, "    \"parallel_tcp_metro_identical_ok\": %s,\n",
+               gate_ptcp_identical ? "true" : "false");
+  std::fprintf(out, "    \"parallel_tcp_metro_speedup_min\": %.1f,\n",
+               kParallelTcpMetroSpeedupMin);
+  std::fprintf(out, "    \"parallel_tcp_metro_speedup_armed\": %s,\n",
+               ptcp.speedup_gate_armed() ? "true" : "false");
+  std::fprintf(out, "    \"parallel_tcp_metro_speedup_ok\": %s\n",
+               !ptcp.speedup_gate_armed()
+                   ? "\"skipped\""
+                   : (gate_ptcp_speedup ? "true" : "false"));
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"gates_passed\": %s\n", gates_passed ? "true" : "false");
   std::fprintf(out, "}\n");
@@ -1098,6 +1208,15 @@ int main(int argc, char** argv) {
                pmetro.homes, pmetro.wall_1, pmetro.wall_2, pmetro.wall_4,
                pmetro.speedup_4(), pmetro.identical ? "yes" : "NO",
                pmetro.speedup_gate_armed() ? "armed" : "skipped");
+  std::fprintf(stderr,
+               "[bench_core] parallel TCP metro: %zu homes, walls "
+               "%.2f/%.2f/%.2f s (1/2/4 workers, %.2fx at 4), identical=%s, "
+               "%llu conns (%llu mptcp), speedup gate %s\n",
+               ptcp.homes, ptcp.wall_1, ptcp.wall_2, ptcp.wall_4,
+               ptcp.speedup_4(), ptcp.identical ? "yes" : "NO",
+               static_cast<unsigned long long>(ptcp.conns),
+               static_cast<unsigned long long>(ptcp.mptcp_sessions),
+               ptcp.speedup_gate_armed() ? "armed" : "skipped");
   std::fprintf(stderr, "[bench_core] gates %s -> %s\n",
                gates_passed ? "PASSED" : "FAILED", out_path.c_str());
 

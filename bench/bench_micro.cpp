@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "net/network.hpp"
 #include "net/topology.hpp"
 #include "psim/day.hpp"
 #include "psim/spsc_ring.hpp"
@@ -262,6 +263,80 @@ void BM_SpscRingPushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SpscRingPushPop);
+
+// NAT idle-timeout sweep: N distinct inside flows create N mappings, then
+// the periodic sweep evicts them all once the timeout lapses. With the
+// expiry-ordered intrusive list each sweep is O(expired), so items/s here
+// is mapping churn (create + refresh-order bookkeeping + evict), not a
+// full-table walk per sweep period. items = mappings evicted.
+void BM_NatSweepEviction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim, util::Rng(3));
+    net::NatConfig config = net::NatConfig::full_cone();
+    config.udp_mapping_timeout = 1 * util::kSecond;
+    net::NatBox& nat = net.add_nat("nat", net::IpAddr(100, 64, 0, 1), config);
+    net::Host& server = net.add_host("s", net::IpAddr(100, 64, 0, 9));
+    net.connect(nat, nat.public_ip(), server, net::IpAddr{});
+    net::Host& inside = net.add_host("inside", net::IpAddr(10, 0, 0, 10));
+    net.connect(inside, inside.address(), nat, net::IpAddr(10, 0, 0, 1));
+    net.auto_route();
+    nat.enable_mapping_sweep(250 * util::kMillisecond);
+    for (std::size_t i = 0; i < n; ++i) {
+      net::Packet pkt;
+      pkt.src = inside.address();
+      pkt.dst = server.address();
+      pkt.proto = net::Proto::kUdp;
+      pkt.udp.src_port = static_cast<std::uint16_t>(1024 + i);
+      pkt.udp.dst_port = 53;
+      pkt.payload_len = 64;
+      inside.send_packet(std::move(pkt));
+    }
+    sim.run();  // sweep timer self-terminates once the table drains
+    benchmark::DoNotOptimize(nat.mapping_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NatSweepEviction)->Arg(256)->Arg(4096);
+
+// The NAT translation hot path under burst drain: one flow, back-to-back
+// datagrams. After the first packet of a burst misses, the direct-mapped
+// flow cache turns every later translation into a tag check + timeout
+// refresh instead of a map walk. items = packets translated.
+void BM_NatTranslateBurst(benchmark::State& state) {
+  const std::uint64_t kPackets = 20'000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim, util::Rng(3));
+    net::NatBox& nat = net.add_nat("nat", net::IpAddr(100, 64, 0, 1),
+                                   net::NatConfig::full_cone());
+    net::Host& server = net.add_host("s", net::IpAddr(100, 64, 0, 9));
+    net.connect(nat, nat.public_ip(), server, net::IpAddr{});
+    net::Host& inside = net.add_host("inside", net::IpAddr(10, 0, 0, 10));
+    net.connect(inside, inside.address(), nat, net::IpAddr(10, 0, 0, 1));
+    net.auto_route();
+    std::uint64_t sent = 0;
+    std::function<void()> pump = [&] {
+      net::Packet pkt;
+      pkt.src = inside.address();
+      pkt.dst = server.address();
+      pkt.proto = net::Proto::kUdp;
+      pkt.udp.src_port = 5000;
+      pkt.udp.dst_port = 53;
+      pkt.payload_len = 1200;
+      inside.send_packet(std::move(pkt));
+      if (++sent < kPackets) sim.schedule(10 * util::kMicrosecond, pump);
+    };
+    sim.schedule(0, pump);
+    sim.run();
+    benchmark::DoNotOptimize(nat.nat_counters().translated_out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPackets));
+}
+BENCHMARK(BM_NatTranslateBurst)->Unit(benchmark::kMillisecond);
 
 // A full barrier-epoch cycle of the sharded metro day: builds a small
 // 4-PoP world once per iteration and runs one compressed day at the given

@@ -8,6 +8,12 @@
 //     a partition cut in PoP 2 that ate traffic),
 //   - traffic actually flowed (requests, response bytes).
 //
+// E21: the same day over real transport (psim::run_tcp_day): per-home TCP
+// and MPTCP connections whose segments cross shard boundaries while every
+// piece of endpoint state stays shard-local. Gates mirror E20, plus
+// transfers must complete and loss recovery must have fired (the chaos
+// faults land mid-transfer).
+//
 // Deterministic stdout: every line printed is derived from simulated state
 // only, so CI can diff a --workers 1 run against a --workers 4 run. Wall
 // times go to stderr.
@@ -21,6 +27,7 @@
 #include <string>
 
 #include "src/psim/day.hpp"
+#include "src/psim/tcp_day.hpp"
 #include "src/util/time.hpp"
 
 using namespace hpop;
@@ -70,7 +77,41 @@ int main(int argc, char** argv) {
   std::printf("gate chaos_fired=%s\n", chaos_ok ? "ok" : "FAIL");
   std::printf("gate traffic_flowed=%s\n", traffic_ok ? "ok" : "FAIL");
 
-  if (gate && !(identical && chaos_ok && traffic_ok)) {
+  psim::TcpDayConfig tcfg;
+  tcfg.homes = cfg.homes;
+  tcfg.seed = seed;
+  tcfg.day = cfg.day;
+
+  tcfg.workers = 1;
+  psim::TcpDayResult tserial = psim::run_tcp_day(tcfg);
+  tcfg.workers = workers;
+  psim::TcpDayResult tsharded = psim::run_tcp_day(tcfg);
+
+  std::printf("# E21: sharded parallel metro day over TCP/MPTCP\n");
+  std::printf("%s", tsharded.report.c_str());
+  std::fprintf(stderr, "wall: serial %.3fs, %zu workers %.3fs\n",
+               tserial.wall_s, workers, tsharded.wall_s);
+
+  const bool tcp_identical = tserial.report == tsharded.report;
+  const bool tcp_chaos_ok =
+      tsharded.chaos_crashes >= 1 && tsharded.chaos_restarts >= 1 &&
+      tsharded.partition_drops >= 1;
+  const bool tcp_traffic_ok = tsharded.completed > 0 &&
+                              tsharded.rx_bytes > 0 &&
+                              tsharded.mptcp_sessions > 0 &&
+                              tsharded.crossings > 0;
+  // Loss recovery at work: data retransmissions or RTO-driven retries
+  // (a SYN lost to the crashed DSLAM retries via RTO without counting a
+  // data retransmit, so both counters qualify).
+  const bool tcp_recovery_ok = tsharded.retransmits + tsharded.timeouts > 0;
+  std::printf("gate tcp_identical_across_workers=%s\n",
+              tcp_identical ? "ok" : "FAIL");
+  std::printf("gate tcp_chaos_fired=%s\n", tcp_chaos_ok ? "ok" : "FAIL");
+  std::printf("gate tcp_traffic_flowed=%s\n", tcp_traffic_ok ? "ok" : "FAIL");
+  std::printf("gate tcp_recovery_fired=%s\n", tcp_recovery_ok ? "ok" : "FAIL");
+
+  if (gate && !(identical && chaos_ok && traffic_ok && tcp_identical &&
+                tcp_chaos_ok && tcp_traffic_ok && tcp_recovery_ok)) {
     std::fprintf(stderr, "bench_psim: gate failure\n");
     return 1;
   }

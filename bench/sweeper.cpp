@@ -9,7 +9,7 @@
 //
 // must always be empty. Timing goes to stderr, outside the comparison.
 //
-// Usage: sweeper [--scenario chaos|flash|rampup|metro|durable|directory|psim] [--seeds A-B | a,b,c]
+// Usage: sweeper [--scenario chaos|flash|rampup|metro|durable|directory|psim|psim_tcp] [--seeds A-B | a,b,c]
 //                [--jobs N]
 
 #include <chrono>
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       const auto parsed = hpop::sweep::scenario_from_string(argv[++i]);
       if (!parsed) {
-        std::fprintf(stderr, "unknown scenario '%s' (chaos|flash|rampup|metro|durable|directory|psim)\n",
+        std::fprintf(stderr, "unknown scenario '%s' (chaos|flash|rampup|metro|durable|directory|psim|psim_tcp)\n",
                      argv[i]);
         return 2;
       }
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: sweeper [--scenario chaos|flash|rampup|metro|durable|directory|psim] "
+                   "usage: sweeper [--scenario chaos|flash|rampup|metro|durable|directory|psim|psim_tcp] "
                    "[--seeds A-B|a,b,c] [--jobs N]\n");
       return 2;
     }

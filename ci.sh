@@ -85,22 +85,30 @@ diff /tmp/sweep_directory_serial.txt /tmp/sweep_directory_parallel.txt
   > /tmp/sweep_directory_rerun.txt
 diff /tmp/sweep_directory_serial.txt /tmp/sweep_directory_rerun.txt
 
-# Sharded-parallel determinism gate (E20): the psim metro day must print
-# byte-identical telemetry for any worker count — conservative lookahead,
-# fixed-order crossing drain at barrier epochs, per-PoP partitioning that
-# does not depend on how many threads execute it. bench_psim self-gates
+# Sharded-parallel determinism gate (E20 + E21): the psim metro day must
+# print byte-identical telemetry for any worker count — conservative
+# lookahead, fixed-order crossing drain at barrier epochs, per-PoP
+# partitioning that does not depend on how many threads execute it.
+# bench_psim runs both the chunk day (E20) and the TCP/MPTCP day (E21,
+# real transport whose segments cross shard boundaries) and self-gates
 # serial-vs-sharded in-process; the diff below additionally pins the
-# 1-worker and 4-worker processes to the same stdout, and the sweeper
-# checks the engine nested inside sweep worker threads.
+# 1-worker and 4-worker processes to the same stdout for BOTH days, and
+# the sweeper checks each engine nested inside sweep worker threads.
 ./build/bench/bench_psim --smoke --workers 1 > /tmp/psim_run_1w.txt
 ./build/bench/bench_psim --smoke --workers 4 > /tmp/psim_run_4w.txt
 diff /tmp/psim_run_1w.txt /tmp/psim_run_4w.txt
+grep -q '^# E21:' /tmp/psim_run_4w.txt  # the TCP day is in the diffed output
 cat /tmp/psim_run_4w.txt
 ./build/bench/sweeper --scenario psim --seeds 42-45 --jobs 1 \
   > /tmp/sweep_psim_serial.txt
 ./build/bench/sweeper --scenario psim --seeds 42-45 --jobs 2 \
   > /tmp/sweep_psim_parallel.txt
 diff /tmp/sweep_psim_serial.txt /tmp/sweep_psim_parallel.txt
+./build/bench/sweeper --scenario psim_tcp --seeds 42-45 --jobs 1 \
+  > /tmp/sweep_psim_tcp_serial.txt
+./build/bench/sweeper --scenario psim_tcp --seeds 42-45 --jobs 4 \
+  > /tmp/sweep_psim_tcp_parallel.txt
+diff /tmp/sweep_psim_tcp_serial.txt /tmp/sweep_psim_tcp_parallel.txt
 
 # Durability gate (E18, smoke scale): bench_durability self-gates on WAL
 # replay rebuilding byte-identical state, snapshot compaction bounding
@@ -137,8 +145,10 @@ cat /tmp/metro_run_a.txt
 # workload delivers in full, the data plane stays within its allocation
 # budgets (packet hop <= 1 alloc/pkt, TCP bulk <= 3 allocs/segment), and
 # the sweep-scaling section is byte-identical (plus >= 3x faster where 8
-# hardware threads exist). The committed BENCH_CORE.json baseline must
-# also have been produced by a passing run.
+# hardware threads exist). The TCP bulk budget is now <= 1 alloc/segment
+# (RangeMap node recycling), and the parallel TCP metro section must be
+# byte-identical across 1/2/4 workers. The committed BENCH_CORE.json
+# baseline must also have been produced by a passing run.
 ./build/bench/bench_core --smoke --out /tmp/BENCH_CORE.json
 for gate_file in /tmp/BENCH_CORE.json BENCH_CORE.json; do
   grep -q '"gates_passed": true' "$gate_file"
@@ -156,12 +166,14 @@ for gate_file in /tmp/BENCH_CORE.json BENCH_CORE.json; do
   grep -q '"directory_sync_ok": true' "$gate_file"
   grep -q '"burst_speedup_ok": true' "$gate_file"
   grep -q '"parallel_metro_identical_ok": true' "$gate_file"
+  grep -q '"parallel_tcp_metro_identical_ok": true' "$gate_file"
   # Hardware-armed speedup gates: true where the box has >= 8 hardware
   # threads, the explicit string "skipped" where it does not. A bare false
   # — or a baseline silently produced with the gate disarmed and then
   # hand-edited — fails the grep either way.
   grep -Eq '"sweep_speedup_ok": (true|"skipped")' "$gate_file"
   grep -Eq '"parallel_metro_speedup_ok": (true|"skipped")' "$gate_file"
+  grep -Eq '"parallel_tcp_metro_speedup_ok": (true|"skipped")' "$gate_file"
 done
 
 cmake -B build-asan -S . -DHPOP_SANITIZE=ON
@@ -189,7 +201,9 @@ ASAN_OPTIONS=detect_leaks=0 \
 # Sharded engine under ASan: cross-shard packets detach from one shard's
 # pool and re-enter another's, and link queues can still hold pooled
 # packets at the horizon — teardown ordering bugs here are exactly what
-# ASan catches (and has caught).
+# ASan catches (and has caught). bench_psim also runs the TCP day (E21):
+# per-home muxes are destroyed while shard simulators still hold armed
+# RTO/delayed-ACK timers, and SACK CowVec bodies re-home across pools.
 ASAN_OPTIONS=detect_leaks=0 \
   ./build-asan/bench/bench_psim --smoke --workers 4 > /dev/null
 
@@ -208,5 +222,12 @@ ctest --test-dir build-tsan --output-on-failure --timeout 480
 # Sharded metro day under TSan: four worker threads exchanging packets
 # through the SPSC rings and blocking on the barrier epochs — the
 # acquire/release fences in psim::SpscRing and the epoch barrier are the
-# exact surface this lane exists for.
+# exact surface this lane exists for. The TCP day (E21, also inside
+# bench_psim) adds full TCP/MPTCP endpoint state on each worker thread:
+# any connection state accidentally shared across a shard cut is a race
+# TSan sees directly.
 ./build-tsan/bench/bench_psim --smoke --workers 4 > /dev/null
+# TCP-day sweep under TSan: nested parallelism — each sweep worker thread
+# spins up a 2-worker sharded engine with live TCP timers inside it.
+./build-tsan/bench/sweeper --scenario psim_tcp --seeds 42-43 --jobs 2 \
+  > /dev/null

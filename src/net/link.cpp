@@ -85,6 +85,7 @@ void Link::set_burst_limit(int n) { burst_limit_ = std::max(1, n); }
 
 void Link::bind_shard(int dir, sim::Simulator* sim, CrossSink* sink) {
   assert(dir_[dir].queue == nullptr || dir_[dir].queue->empty());
+  assert(dir_[dir].flight == nullptr || dir_[dir].flight->empty());
   dir_[dir].sim = sim;
   dir_[dir].sink = sink;
 }
@@ -201,20 +202,67 @@ void Link::start_service(int d) {
       // let the engine carry it to the owner of `to`.
       dir.sink->push(deliver_at, std::move(*pkt), &to);
     } else {
-      sim.schedule_at(deliver_at,
-                      [this, d, &to, p = std::move(pkt)]() mutable {
-                        if (!admin_up_) {
-                          ++dir_[d].stats.admin_drops;
-                          metrics(dir_[d]).admin_drops->inc();
-                          return;
-                        }
-                        to.node->deliver(std::move(p), to);
-                      });
+      enqueue_flight(d, deliver_at, std::move(pkt));
     }
   }
   // The transmitter stays busy until the last claimed packet finishes
   // serializing; the next burst (or idle transition) happens there.
   sim.schedule(span, [this, d] { start_service(d); });
+}
+
+void Link::enqueue_flight(int d, util::TimePoint deliver_at,
+                          PooledPacket pkt) {
+  Direction& dir = dir_[d];
+  if (dir.flight == nullptr) {
+    dir.flight = std::make_unique<std::deque<Direction::InFlight>>();
+  }
+  auto& q = *dir.flight;
+  if (q.empty() || q.back().deliver_at <= deliver_at) {
+    q.push_back({deliver_at, std::move(pkt)});
+  } else {
+    // A staged delay decrease let this packet overtake older wire traffic;
+    // walk in from the back (parameters only change at burst boundaries,
+    // so this is rare and short).
+    auto it = q.end();
+    while (it != q.begin() && std::prev(it)->deliver_at > deliver_at) --it;
+    q.insert(it, {deliver_at, std::move(pkt)});
+  }
+  if (!dir.flight_armed || deliver_at < dir.flight_deadline) arm_flight(d);
+}
+
+void Link::arm_flight(int d) {
+  Direction& dir = dir_[d];
+  sim::Simulator& sim = *dir.sim;
+  const util::TimePoint when = dir.flight->front().deliver_at;
+  const util::Duration delta = when > sim.now() ? when - sim.now() : 0;
+  dir.flight_deadline = when;
+  dir.flight_armed = true;
+  // One persistent timer per direction: rearm in place while pending,
+  // schedule afresh only after it fired.
+  if (dir.flight_timer != 0 && sim.reschedule(dir.flight_timer, delta)) {
+    return;
+  }
+  dir.flight_timer = sim.schedule(delta, [this, d] { on_flight(d); });
+}
+
+void Link::on_flight(int d) {
+  Direction& dir = dir_[d];
+  dir.flight_armed = false;
+  sim::Simulator& sim = *dir.sim;
+  Interface& to = d == 0 ? b_ : a_;
+  auto& q = *dir.flight;
+  while (!q.empty() && q.front().deliver_at <= sim.now()) {
+    PooledPacket pkt = std::move(q.front().pkt);
+    q.pop_front();
+    if (!admin_up_) {
+      // Link still down when propagation completed: the wire lost it.
+      ++dir.stats.admin_drops;
+      metrics(dir).admin_drops->inc();
+      continue;
+    }
+    to.node->deliver(std::move(pkt), to);
+  }
+  if (!q.empty() && !dir.flight_armed) arm_flight(d);
 }
 
 }  // namespace hpop::net

@@ -153,6 +153,21 @@ class Link {
     };
     std::unique_ptr<std::deque<ClaimedSpan>> claimed;
     std::size_t claimed_bytes = 0;
+    /// Packets serialized and propagating toward the receiver, in delivery
+    /// order. One persistent timer per direction walks this FIFO instead
+    /// of scheduling a heap event per packet: a gigabit path keeps
+    /// hundreds of packets on the wire, and holding them here instead of
+    /// in the event heap keeps every sift over a far smaller heap. The
+    /// delivery instants are unchanged — the timer fires at exactly the
+    /// per-packet deliver_at times. Lazily allocated like `queue`.
+    struct InFlight {
+      util::TimePoint deliver_at;
+      PooledPacket pkt;
+    };
+    std::unique_ptr<std::deque<InFlight>> flight;
+    sim::TimerId flight_timer = 0;  // 0 = never scheduled
+    bool flight_armed = false;
+    util::TimePoint flight_deadline = 0;  // valid while flight_armed
     /// Per-direction loss stream: the draw sequence of one direction is
     /// independent of the other's traffic (and of which thread services
     /// it).
@@ -168,6 +183,9 @@ class Link {
   void start_service(int dir);
   int direction_of(const Interface& from) const;
   void drain(int dir);
+  void enqueue_flight(int dir, util::TimePoint deliver_at, PooledPacket pkt);
+  void arm_flight(int dir);
+  void on_flight(int dir);
 
   Interface& a_;
   Interface& b_;

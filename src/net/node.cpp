@@ -6,9 +6,14 @@
 namespace hpop::net {
 
 Node::Node(sim::Simulator& sim, std::string name)
-    : sim_(sim), pool_(&PacketPool::of(sim)), name_(std::move(name)) {}
+    : sim_(&sim), pool_(&PacketPool::of(sim)), name_(std::move(name)) {}
 
 Node::~Node() = default;
+
+void Node::bind_shard(sim::Simulator& sim) {
+  sim_ = &sim;
+  pool_ = &PacketPool::of(sim);
+}
 
 Interface& Node::add_interface(IpAddr addr) {
   auto iface = std::make_unique<Interface>();

@@ -34,9 +34,15 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   const std::string& name() const { return name_; }
-  sim::Simulator& simulator() { return sim_; }
+  sim::Simulator& simulator() { return *sim_; }
   /// The simulator's packet arena; every wire packet is built in it.
   PacketPool& packet_pool() { return *pool_; }
+
+  /// Re-homes the node into a shard's simulator (parallel engine): timers
+  /// and pooled packets created from here on belong to that shard. Must run
+  /// during partition binding, before any traffic or transport state exists
+  /// — timers already scheduled on the old simulator are not migrated.
+  void bind_shard(sim::Simulator& sim);
 
   Interface& add_interface(IpAddr addr);
   const std::vector<std::unique_ptr<Interface>>& interfaces() const {
@@ -120,7 +126,7 @@ class Node {
     Interface* out;
   };
 
-  sim::Simulator& sim_;
+  sim::Simulator* sim_;
   PacketPool* pool_;
   std::string name_;
   std::vector<std::unique_ptr<Interface>> interfaces_;

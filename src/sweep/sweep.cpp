@@ -19,6 +19,7 @@
 #include "overload/admission.hpp"
 #include "overload/breaker.hpp"
 #include "psim/day.hpp"
+#include "psim/tcp_day.hpp"
 #include "transport/mux.hpp"
 #include "util/retry.hpp"
 #include "util/thread_pool.hpp"
@@ -499,6 +500,45 @@ std::string run_psim(std::uint64_t seed) {
   return line;
 }
 
+// ----- psim_tcp: the same sharded day over real TCP/MPTCP transport
+
+std::string run_psim_tcp(std::uint64_t seed) {
+  // Endpoint state (cwnd, SACK scoreboards, RTO timers) lives on the
+  // shard that owns the endpoint; only serialized segments cross the
+  // boundary rings. As with run_psim, the report is worker-count
+  // invariant, so its fingerprint depends on the seed alone.
+  psim::TcpDayConfig cfg;
+  cfg.homes = 2'000;
+  cfg.workers = 2;
+  cfg.seed = seed;
+  cfg.day = 5 * kSecond;
+  cfg.base_rate_per_home = 0.2;
+  const psim::TcpDayResult r = psim::run_tcp_day(cfg);
+
+  std::uint64_t fp = 14695981039346656037ull;  // FNV-1a over the report
+  for (const char c : r.report) {
+    fp ^= static_cast<unsigned char>(c);
+    fp *= 1099511628211ull;
+  }
+
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "psim_tcp seed=%llu conns=%llu completed=%llu mptcp=%llu "
+                "rx_bytes=%llu retx=%llu crossings=%llu crashes=%llu "
+                "cut_drops=%llu report_fp=%016llx",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(r.conns),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.mptcp_sessions),
+                static_cast<unsigned long long>(r.rx_bytes),
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.crossings),
+                static_cast<unsigned long long>(r.chaos_crashes),
+                static_cast<unsigned long long>(r.partition_drops),
+                static_cast<unsigned long long>(fp));
+  return line;
+}
+
 }  // namespace
 
 const char* to_string(Scenario s) {
@@ -510,6 +550,7 @@ const char* to_string(Scenario s) {
     case Scenario::kDurable: return "durable";
     case Scenario::kDirectory: return "directory";
     case Scenario::kPsim: return "psim";
+    case Scenario::kPsimTcp: return "psim_tcp";
   }
   return "?";
 }
@@ -522,6 +563,7 @@ std::optional<Scenario> scenario_from_string(std::string_view name) {
   if (name == "durable") return Scenario::kDurable;
   if (name == "directory") return Scenario::kDirectory;
   if (name == "psim") return Scenario::kPsim;
+  if (name == "psim_tcp") return Scenario::kPsimTcp;
   return std::nullopt;
 }
 
@@ -534,6 +576,7 @@ std::string run_scenario(Scenario s, std::uint64_t seed) {
     case Scenario::kDurable: return run_durable(seed);
     case Scenario::kDirectory: return run_directory(seed);
     case Scenario::kPsim: return run_psim(seed);
+    case Scenario::kPsimTcp: return run_psim_tcp(seed);
   }
   return {};
 }

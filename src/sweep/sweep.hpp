@@ -21,6 +21,7 @@ enum class Scenario {
   kDurable,     // WAL'd attic through torn crashes: zero acked-write loss
   kDirectory,   // sharded directory day: shard crash + subtree partition
   kPsim,        // sharded parallel metro day (2 workers), chaos in shards
+  kPsimTcp,     // same day over TCP/MPTCP: segments cross shard cuts
 };
 
 const char* to_string(Scenario s);

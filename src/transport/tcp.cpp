@@ -172,13 +172,15 @@ std::uint64_t TcpConnection::available_window() const {
   return flight >= wnd ? 0 : wnd - flight;
 }
 
-void TcpConnection::collect_refs_in_range(
-    std::uint64_t seq, std::uint64_t len,
-    std::vector<net::MessageRef>& out) const {
+void TcpConnection::collect_refs_in_range(std::uint64_t seq,
+                                          std::uint64_t len,
+                                          net::Packet& pkt) const {
   // Items are sorted by end_offset; collect those ending in (seq, seq+len].
   const auto it = std::lower_bound(
       send_items_.begin(), send_items_.end(), seq + 1,
       [](const Item& item, std::uint64_t v) { return item.end_offset < v; });
+  if (it == send_items_.end() || it->end_offset > seq + len) return;
+  auto& out = pkt.messages.mutate();
   for (auto i = it; i != send_items_.end() && i->end_offset <= seq + len;
        ++i) {
     out.push_back(net::MessageRef{i->end_offset, i->payload});
@@ -190,7 +192,7 @@ void TcpConnection::emit_segment(std::uint64_t seq, std::uint64_t len,
   net::PooledPacket pkt = base_packet();
   pkt->tcp.seq = seq;
   pkt->payload_len = len;
-  collect_refs_in_range(seq, len, pkt->messages.mutate());
+  collect_refs_in_range(seq, len, *pkt);
   if (retransmit) {
     ++retransmits_;
     m_retransmits_->inc();
@@ -228,35 +230,75 @@ void TcpConnection::try_send() {
   maybe_send_fin();
 }
 
+void TcpConnection::stash_range_node(RangeMap::node_type&& node) {
+  if (range_spares_.size() < kMaxRangeSpares) {
+    range_spares_.push_back(std::move(node));
+  }
+}
+
+void TcpConnection::insert_range(RangeMap& m, std::uint64_t lo,
+                                 std::uint64_t hi,
+                                 RangeMap::node_type&& reuse) {
+  if (!reuse && !range_spares_.empty()) {
+    reuse = std::move(range_spares_.back());
+    range_spares_.pop_back();
+  }
+  if (reuse) {
+    reuse.key() = lo;
+    reuse.mapped() = hi;
+    m.insert(std::move(reuse));
+  } else {
+    m.emplace(lo, hi);
+  }
+}
+
 void TcpConnection::update_sack_scoreboard(const net::Packet& pkt) {
   for (const auto& [lo_in, hi_in] : pkt.tcp.sack) {
     std::uint64_t lo = std::max(lo_in, snd_una_);
     std::uint64_t hi = hi_in;
     if (hi <= lo) continue;
     auto it = sacked_.lower_bound(lo);
+    RangeMap::iterator host = sacked_.end();
     if (it != sacked_.begin()) {
-      auto prev = std::prev(it);
+      const auto prev = std::prev(it);
       if (prev->second >= lo) {
-        lo = prev->first;
-        hi = std::max(hi, prev->second);
-        sacked_.erase(prev);
+        if (prev->second >= hi) continue;  // block already fully covered
+        host = prev;  // extend in place: the range start (the key) survives
       }
     }
-    it = sacked_.lower_bound(lo);
+    // Absorb every range the block overlaps. Nodes come out via extract,
+    // not erase: one is re-used for the insert below, the rest feed the
+    // spare cache — scoreboard maintenance runs per ACK during recovery
+    // and must not pay an allocator round-trip per merged range.
+    RangeMap::node_type reuse;
     while (it != sacked_.end() && it->first <= hi) {
       hi = std::max(hi, it->second);
-      it = sacked_.erase(it);
+      auto node = sacked_.extract(it++);
+      if (reuse) {
+        stash_range_node(std::move(node));
+      } else {
+        reuse = std::move(node);
+      }
     }
-    sacked_[lo] = hi;
+    if (host != sacked_.end()) {
+      host->second = hi;
+      if (reuse) stash_range_node(std::move(reuse));
+    } else {
+      insert_range(sacked_, lo, hi, std::move(reuse));
+    }
   }
   // Prune everything at or below the cumulative-ack frontier.
   while (!sacked_.empty() && sacked_.begin()->second <= snd_una_) {
-    sacked_.erase(sacked_.begin());
+    stash_range_node(sacked_.extract(sacked_.begin()));
   }
   if (!sacked_.empty() && sacked_.begin()->first < snd_una_) {
     auto node = sacked_.extract(sacked_.begin());
-    const std::uint64_t hi = node.mapped();
-    if (hi > snd_una_) sacked_[snd_una_] = hi;
+    if (node.mapped() > snd_una_) {
+      node.key() = snd_una_;
+      sacked_.insert(std::move(node));
+    } else {
+      stash_range_node(std::move(node));
+    }
   }
 }
 
@@ -503,8 +545,11 @@ void TcpConnection::on_rto() {
   in_fast_recovery_ = false;
   dupacks_ = 0;
   timed_seq_.reset();
-  // Distrust the scoreboard after a timeout (RFC 6675 §5.1).
-  sacked_.clear();
+  // Distrust the scoreboard after a timeout (RFC 6675 §5.1); the nodes go
+  // to the spare cache for the recovery traffic that follows.
+  while (!sacked_.empty()) {
+    stash_range_node(sacked_.extract(sacked_.begin()));
+  }
   rexmit_scan_ = 0;
   snd_nxt_ = snd_una_;
   // If the FIN was outstanding it needs re-emitting once data is resent.
@@ -619,35 +664,44 @@ void TcpConnection::process_data(const net::Packet& pkt) {
     // Remember where this segment landed: its (merged) range leads the
     // next ACK's SACK blocks per RFC 2018.
     last_ooo_seq_ = std::max(seq, rcv_nxt_);
-    // Merge [seq, seq+len) into the out-of-order set.
+    // Merge [seq, seq+len) into the out-of-order set. Same node-recycling
+    // discipline as the sender's scoreboard: a left neighbour that already
+    // covers the start extends in place, absorbed ranges are extracted and
+    // re-used, and the insert draws from the spare cache.
     std::uint64_t lo = seq;
     std::uint64_t hi = seq + len;
     auto it = ooo_ranges_.lower_bound(lo);
+    RangeMap::iterator host = ooo_ranges_.end();
     if (it != ooo_ranges_.begin()) {
-      auto prev = std::prev(it);
+      const auto prev = std::prev(it);
       if (prev->second >= lo) {
         lo = prev->first;
         hi = std::max(hi, prev->second);
-        it = ooo_ranges_.erase(prev);
+        host = prev;
       }
     }
+    RangeMap::node_type reuse;
     while (it != ooo_ranges_.end() && it->first <= hi) {
       hi = std::max(hi, it->second);
-      it = ooo_ranges_.erase(it);
+      auto node = ooo_ranges_.extract(it++);
+      if (reuse) {
+        stash_range_node(std::move(node));
+      } else {
+        reuse = std::move(node);
+      }
     }
-    if (ooo_spare_) {
-      ooo_spare_.key() = lo;
-      ooo_spare_.mapped() = hi;
-      ooo_ranges_.insert(std::move(ooo_spare_));
+    if (host != ooo_ranges_.end()) {
+      host->second = hi;
+      if (reuse) stash_range_node(std::move(reuse));
     } else {
-      ooo_ranges_[lo] = hi;
+      insert_range(ooo_ranges_, lo, hi, std::move(reuse));
     }
     // Advance the contiguous frontier. Extracting (not erasing) the node
-    // hands it back to ooo_spare_ for the next segment's insert.
+    // hands it to the spare cache for the next segment's insert.
     auto front = ooo_ranges_.begin();
     if (front != ooo_ranges_.end() && front->first <= rcv_nxt_) {
       rcv_nxt_ = std::max(rcv_nxt_, front->second);
-      ooo_spare_ = ooo_ranges_.extract(front);
+      stash_range_node(ooo_ranges_.extract(front));
     }
   }
   if (rcv_nxt_ > old_rcv_nxt) {

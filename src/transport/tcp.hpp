@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -165,11 +166,12 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void deliver_ready();
   void prune_acked_items();
   void fail(const char* reason);
-  /// Appends the message refs ending in (seq, seq+len] to `out` — filled
-  /// straight into a pooled packet's body so the hot send path reuses the
-  /// slot's warm buffer instead of building a temporary vector.
+  /// Fills the message refs ending in (seq, seq+len] straight into the
+  /// packet's body. The CowVec is only touched when at least one message
+  /// actually ends in the range — bulk filler segments (the hot path) ship
+  /// with the pool slot's empty default instead of materializing a vector.
   void collect_refs_in_range(std::uint64_t seq, std::uint64_t len,
-                             std::vector<net::MessageRef>& out) const;
+                             net::Packet& pkt) const;
   net::PooledPacket base_packet() const;
   void transmit(net::PooledPacket pkt);
 
@@ -191,8 +193,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   int dupacks_ = 0;
   bool in_fast_recovery_ = false;
   std::uint64_t recover_ = 0;
+  /// Sender scoreboard / receiver reassembly maps share one node shape so
+  /// extracted nodes are interchangeable between them.
+  using RangeMap = std::map<std::uint64_t, std::uint64_t>;
   /// SACK scoreboard: peer-confirmed out-of-order ranges above snd_una_.
-  std::map<std::uint64_t, std::uint64_t> sacked_;
+  RangeMap sacked_;
   /// Hole-scan cursor during SACK-based recovery (monotone per episode).
   std::uint64_t rexmit_scan_ = 0;
   std::uint64_t retransmits_ = 0;
@@ -213,12 +218,19 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   // Receiver.
   std::uint64_t rcv_nxt_ = 0;
-  std::map<std::uint64_t, std::uint64_t> ooo_ranges_;  // start -> end
-  /// Spare map node recycled between the per-segment insert (merge into
-  /// ooo_ranges_) and erase (frontier advance): in-order bulk transfer
-  /// churns one node per segment, and without reuse that is one allocator
-  /// round-trip per segment.
-  std::map<std::uint64_t, std::uint64_t>::node_type ooo_spare_;
+  RangeMap ooo_ranges_;  // start -> end
+  /// Spare map nodes shared by every RangeMap operation on the segment hot
+  /// path (SACK scoreboard merges, out-of-order reassembly, frontier
+  /// advance). Ranges churn one node per segment in bulk transfer and one
+  /// per merged range per ACK during loss recovery; recycling extracted
+  /// nodes here turns that into zero allocator round-trips in steady state.
+  static constexpr std::size_t kMaxRangeSpares = 256;
+  std::vector<RangeMap::node_type> range_spares_;
+  void stash_range_node(RangeMap::node_type&& node);
+  /// Inserts [lo, hi) into `m`, re-using `reuse` (or a cached spare) for
+  /// the node so the insert does not allocate.
+  void insert_range(RangeMap& m, std::uint64_t lo, std::uint64_t hi,
+                    RangeMap::node_type&& reuse);
   /// SACK generation state (RFC 2018 block selection): sequence inside the
   /// most recently received out-of-order segment, and the rotation cursor
   /// cycling the remaining ranges through the capped block slots. Mutable:

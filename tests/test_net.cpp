@@ -684,6 +684,45 @@ TEST(Nat, FlushDropsDynamicKeepsStaticForwards) {
   EXPECT_EQ(f.seen_inside->size(), 1u);
 }
 
+TEST(Nat, FlushMidBurstInvalidatesFlowCache) {
+  // A back-to-back burst from one flow drives the NAT's outbound flow
+  // cache hot; a flush_mappings() landing mid-burst must invalidate the
+  // cached decision (generation bump), so the tail of the burst gets a
+  // FRESH mapping — never a stale translation through the dead one.
+  NatFixture f(NatConfig::full_cone());
+  const Endpoint from{f.inside->address(), 5000};
+  const Endpoint to{f.server1->address(), 53};
+  for (int i = 0; i < 8; ++i) {
+    f.sim.schedule(i * kMillisecond,
+                   [&] { f.inside->send_packet(make_udp(from, to)); });
+  }
+  f.sim.schedule(3 * kMillisecond + kMillisecond / 2,
+                 [&] { f.nat->flush_mappings(); });
+  f.sim.run();
+  ASSERT_EQ(f.seen1->size(), 8u);
+  EXPECT_EQ(f.nat->nat_counters().flushed, 1u);
+
+  const std::uint16_t pre = f.seen1->front().pkt.udp.src_port;
+  const std::uint16_t post = f.seen1->back().pkt.udp.src_port;
+  // The burst splits into exactly two runs: the pre-flush mapping, then a
+  // re-allocated one. No packet may straddle the two or revert.
+  EXPECT_NE(pre, post);
+  bool flipped = false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint16_t port = f.seen1->at(i).pkt.udp.src_port;
+    if (!flipped && port == post) flipped = true;
+    EXPECT_EQ(port, flipped ? post : pre) << i;
+  }
+  EXPECT_TRUE(flipped);
+
+  // Only the live mapping accepts replies: the stale public port is dead.
+  f.server1->send_packet(make_udp(to, {f.nat->public_ip(), post}));
+  f.server1->send_packet(make_udp(to, {f.nat->public_ip(), pre}));
+  f.sim.run();
+  EXPECT_EQ(f.seen_inside->size(), 1u);
+  EXPECT_EQ(f.seen_inside->front().pkt.dst_endpoint(), from);
+}
+
 // ------------------------------------------------------------- Topologies
 
 TEST(Topology, NeighborhoodShape) {

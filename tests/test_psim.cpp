@@ -8,6 +8,7 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "psim/day.hpp"
+#include "psim/tcp_day.hpp"
 #include "psim/engine.hpp"
 #include "psim/spsc_ring.hpp"
 #include "util/rng.hpp"
@@ -211,6 +212,66 @@ TEST(PsimDay, RingOverflowSpillsWithoutReordering) {
   EXPECT_EQ(rb.chunks, rt.chunks);
   EXPECT_EQ(rb.rx_pkts, rt.rx_pkts);
   EXPECT_EQ(rb.rx_bytes, rt.rx_bytes);
+  EXPECT_EQ(rb.events, rt.events);
+  EXPECT_EQ(rb.crossings, rt.crossings);
+}
+
+// --- TCP day: cross-shard transport ---
+
+psim::TcpDayConfig small_tcp_day(std::size_t workers) {
+  psim::TcpDayConfig cfg;
+  cfg.homes = 2'000;  // 63 dslams -> 4 pops -> 5 partitions
+  cfg.workers = workers;
+  cfg.seed = 42;
+  cfg.day = 5 * util::kSecond;
+  cfg.base_rate_per_home = 0.2;
+  return cfg;
+}
+
+TEST(PsimTcpDay, ByteIdenticalAcrossWorkerCountsWithChaos) {
+  // Real transport across the shard cut: endpoint state (cwnd, SACK
+  // scoreboards, RTO timers) is shard-local, only serialized segments
+  // cross, and the chaos faults (DSLAM crash, home partition) land
+  // mid-transfer — the composition must still be worker-count invariant
+  // byte for byte.
+  psim::TcpDayResult w1 = psim::run_tcp_day(small_tcp_day(1));
+  psim::TcpDayResult w2 = psim::run_tcp_day(small_tcp_day(2));
+  psim::TcpDayResult w4 = psim::run_tcp_day(small_tcp_day(4));
+  EXPECT_GT(w1.conns, 0u);
+  EXPECT_GT(w1.completed, 0u);
+  EXPECT_GT(w1.mptcp_sessions, 0u);
+  EXPECT_GT(w1.rx_bytes, 0u);
+  EXPECT_GT(w1.crossings, 0u);
+  EXPECT_EQ(w1.chaos_crashes, 1u);
+  EXPECT_EQ(w1.chaos_restarts, 1u);
+  EXPECT_GT(w1.partition_drops, 0u);
+  EXPECT_EQ(w1.report, w2.report);
+  EXPECT_EQ(w1.report, w4.report);
+}
+
+TEST(PsimTcpDay, ServesRequestsEndToEnd) {
+  psim::TcpDayResult r = psim::run_tcp_day(small_tcp_day(2));
+  // Every served request maps to a connection; the handful of connections
+  // initiated right at the day horizon may be neither served nor failed
+  // (SYN or request still in flight), hence <= rather than ==.
+  EXPECT_GT(r.origin_served, 0u);
+  EXPECT_LE(r.origin_served + r.failed, r.conns);
+  EXPECT_LE(r.completed, r.origin_served);
+  EXPECT_LE(r.rx_bytes, r.origin_tx_bytes);
+  EXPECT_GT(r.rx_bytes, r.origin_tx_bytes / 2);
+}
+
+TEST(PsimTcpDay, RingOverflowSpillsWithoutReordering) {
+  psim::TcpDayConfig tiny = small_tcp_day(2);
+  tiny.ring_slots = 16;
+  psim::TcpDayResult rb = psim::run_tcp_day(small_tcp_day(2));
+  psim::TcpDayResult rt = psim::run_tcp_day(tiny);
+  EXPECT_GT(rt.spilled, 0u);
+  EXPECT_EQ(rb.spilled, 0u);
+  EXPECT_EQ(rb.conns, rt.conns);
+  EXPECT_EQ(rb.completed, rt.completed);
+  EXPECT_EQ(rb.rx_bytes, rt.rx_bytes);
+  EXPECT_EQ(rb.retransmits, rt.retransmits);
   EXPECT_EQ(rb.events, rt.events);
   EXPECT_EQ(rb.crossings, rt.crossings);
 }

@@ -13,7 +13,8 @@ TEST(Sweep, ScenarioNamesRoundTrip) {
   for (sweep::Scenario s : {sweep::Scenario::kChaos,
                             sweep::Scenario::kFlashCrowd,
                             sweep::Scenario::kRampup,
-                            sweep::Scenario::kPsim}) {
+                            sweep::Scenario::kPsim,
+                            sweep::Scenario::kPsimTcp}) {
     const auto parsed = sweep::scenario_from_string(sweep::to_string(s));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, s);
@@ -57,6 +58,22 @@ TEST(Sweep, PsimParallelMatchesSerial) {
   for (const std::string& line : serial) {
     EXPECT_NE(line.find("crashes=1"), std::string::npos) << line;
     EXPECT_EQ(line.find("requests=0 "), std::string::npos) << line;
+  }
+}
+
+TEST(Sweep, PsimTcpParallelMatchesSerial) {
+  // The TCP day adds per-connection endpoint state (cwnd, SACK, RTO
+  // timers) on top of the nested-pool hazards above; the report must
+  // still be a pure function of the seed.
+  const std::vector<std::uint64_t> seeds = {42, 43};
+  const auto serial = sweep::run_sweep(sweep::Scenario::kPsimTcp, seeds, 1);
+  const auto parallel =
+      sweep::run_sweep(sweep::Scenario::kPsimTcp, seeds, 2);
+  EXPECT_EQ(serial, parallel);
+  for (const std::string& line : serial) {
+    EXPECT_NE(line.find("crashes=1"), std::string::npos) << line;
+    EXPECT_EQ(line.find("conns=0 "), std::string::npos) << line;
+    EXPECT_EQ(line.find("completed=0 "), std::string::npos) << line;
   }
 }
 
